@@ -1,0 +1,60 @@
+// Experiment E13 (extension): end-to-end audit throughput on synthetic
+// hospital workloads — the systems-level measurement a deployment would
+// care about. For each prior family we audit a generated query log against
+// every record and report disclosures audited per second, plus the verdict
+// mix (which also documents how much each assumption clears in a realistic
+// query mix, complementing E5/E12).
+#include <chrono>
+#include <cstdio>
+
+#include "core/auditor.h"
+#include "core/workload.h"
+
+using namespace epi;
+
+int main() {
+  std::printf("=== E13 (extension): offline audit throughput ===\n\n");
+  std::printf("%9s %8s %18s %12s | %6s %7s %8s\n", "patients", "queries",
+              "prior", "audits/sec", "safe", "unsafe", "unknown");
+
+  for (unsigned patients : {4u, 6u, 8u}) {
+    WorkloadOptions options;
+    options.patients = patients;
+    options.queries = 120;
+    options.seed = 0xAB5 + patients;
+    Workload workload = make_hospital_workload(options);
+
+    for (PriorAssumption prior :
+         {PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+          PriorAssumption::kLogSupermodular}) {
+      AuditorOptions auditor_options;
+      auditor_options.enable_sos = false;  // throughput mode: no SDP stage
+      auditor_options.ascent.multistarts = 16;
+      Auditor auditor(workload.universe, prior, auditor_options);
+
+      std::size_t safe = 0, unsafe = 0, unknown = 0, audited = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const std::string& record : workload.audit_candidates) {
+        const AuditReport report = auditor.audit(workload.log, record);
+        safe += report.count(Verdict::kSafe);
+        unsafe += report.count(Verdict::kUnsafe);
+        unknown += report.count(Verdict::kUnknown);
+        audited += report.per_disclosure.size();
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      std::printf("%9u %8d %18s %12.0f | %6zu %7zu %8zu\n", patients,
+                  options.queries, to_string(prior).c_str(),
+                  static_cast<double>(audited) / seconds, safe, unsafe, unknown);
+    }
+  }
+
+  std::printf(
+      "\nReading: unrestricted-prior audits are instant (Theorem 3.11 is a\n"
+      "set test); product-prior audits pay for the optimizer only on the\n"
+      "instances the combinatorial criteria leave open; the supermodular\n"
+      "pipeline sits in between and leaves a small unknown zone. Rates\n"
+      "include per-user conjunction audits (Section 3.3).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Experiment E6 (DESIGN.md): scalability of the cancellation criterion.
+//
+// Paper claim (Section 5.1): "We hope that the combinatorial simplicity of
+// the criterion given by Proposition 5.9 will allow highly scalable
+// implementations". The criterion costs O(|A'B|*|AB'| + |AB|*|A'B'|) pair
+// operations — independent of 2^n when the four regions are small — while
+// numeric optimization over the 2^n-world gap grows with |A|, |B| and the
+// multistart budget. google-benchmark timings for both.
+#include <benchmark/benchmark.h>
+
+#include "criteria/cancellation.h"
+#include "optimize/coordinate_ascent.h"
+#include "util/rng.h"
+#include "worlds/world_set.h"
+
+namespace {
+
+using namespace epi;
+
+std::pair<WorldSet, WorldSet> random_pair(unsigned n, double density,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  return {WorldSet::random(n, rng, density), WorldSet::random(n, rng, density)};
+}
+
+// Sparse query-difference instances: |A|, |B| fixed as n grows.
+std::pair<WorldSet, WorldSet> sparse_pair(unsigned n, std::size_t set_size,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  WorldSet a(n), b(n);
+  for (std::size_t i = 0; i < set_size; ++i) {
+    a.insert(static_cast<World>(rng.next_bits(n)));
+    b.insert(static_cast<World>(rng.next_bits(n)));
+  }
+  return {a, b};
+}
+
+void BM_CancellationDense(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  auto [a, b] = random_pair(n, 0.5, 42 + n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cancellation_criterion(a, b).holds);
+  }
+  state.SetLabel("|A|=" + std::to_string(a.count()) +
+                 " |B|=" + std::to_string(b.count()));
+}
+BENCHMARK(BM_CancellationDense)->DenseRange(4, 10, 2);
+
+void BM_CancellationSparse(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  auto [a, b] = sparse_pair(n, 64, 43 + n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cancellation_criterion(a, b).holds);
+  }
+  state.SetLabel("fixed |A|,|B| ~ 64");
+}
+BENCHMARK(BM_CancellationSparse)->DenseRange(8, 20, 2);
+
+void BM_NumericOptimizer(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  auto [a, b] = random_pair(n, 0.5, 44 + n);
+  AscentOptions opts;
+  opts.multistarts = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximize_product_gap(a, b, opts).max_gap);
+  }
+}
+BENCHMARK(BM_NumericOptimizer)->DenseRange(4, 10, 2);
+
+void BM_BoxCriterion(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  auto [a, b] = random_pair(n, 0.5, 45 + n);
+  for (auto _ : state) {
+    // Includes the 3^n ternary table build.
+    benchmark::DoNotOptimize(
+        epi::TernaryTable::box_counts(a & b).at(0));
+  }
+}
+BENCHMARK(BM_BoxCriterion)->DenseRange(4, 12, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Experiment E4 (DESIGN.md): the criterion inclusion diagram of Section 5.1
+// measured empirically.
+//
+// Paper claims:
+//  * Theorem 5.11: Miklau-Suciu => cancellation, monotonicity => cancellation;
+//  * cancellation is sufficient: cancellation => Pi_m0-safe;
+//  * Prop. 5.10 is necessary: Pi_m0-safe => box criterion;
+//  * Remark 5.12: the inclusion "cancellation => safe" is strict, witnessed
+//    by A = {011,100,110,111}, B = {010,101,110,111} (with the Circ(***)
+//    counts 0 vs 2).
+#include <cstdio>
+
+#include "criteria/box_necessary.h"
+#include "criteria/cancellation.h"
+#include "criteria/miklau_suciu.h"
+#include "criteria/monotonicity.h"
+#include "optimize/coordinate_ascent.h"
+#include "worlds/monotone.h"
+
+using namespace epi;
+
+int main() {
+  std::printf("=== E4: criterion inclusion diagram (Theorem 5.11, Remark 5.12) ===\n\n");
+
+  Rng rng(515);
+  const unsigned n = 4;
+  const int trials = 3000;
+  int ms_pass = 0, mono_pass = 0, cancel_pass = 0, box_pass = 0, safe_numeric = 0;
+  int ms_not_cancel = 0, mono_not_cancel = 0, cancel_not_safe = 0, safe_not_box = 0;
+  int cancel_strictly_stronger = 0;
+
+  for (int t = 0; t < trials; ++t) {
+    WorldSet a = WorldSet::random(n, rng, 0.4);
+    WorldSet b = WorldSet::random(n, rng, 0.4);
+    // Mix in structured instances so every criterion fires reasonably often.
+    if (t % 3 == 1) {
+      const World mask = static_cast<World>(rng.next_bits(n));
+      a = up_closure(a).xor_with(mask);
+      b = down_closure(b).xor_with(mask);
+    } else if (t % 3 == 2) {
+      // A on low coordinates, B on high ones (Miklau-Suciu-style).
+      WorldSet a2(n), b2(n);
+      const World ap = static_cast<World>(rng.next_bits(4));
+      const World bp = static_cast<World>(rng.next_bits(4));
+      for (World w = 0; w < (World{1} << n); ++w) {
+        if ((ap >> (w & 3)) & 1) a2.insert(w);
+        if ((bp >> ((w >> 2) & 3)) & 1) b2.insert(w);
+      }
+      a = a2;
+      b = b2;
+    }
+
+    const bool ms = miklau_suciu_independent(a, b);
+    const bool mono = monotonicity_criterion(a, b);
+    const bool cancel = cancellation_criterion(a, b).holds;
+    const bool box = box_necessary_criterion(a, b).holds;
+    AscentOptions opts;
+    opts.multistarts = 24;
+    opts.seed = 9000 + t;
+    const bool safe = maximize_product_gap(a, b, opts).max_gap <= 1e-9;
+
+    ms_pass += ms;
+    mono_pass += mono;
+    cancel_pass += cancel;
+    box_pass += box;
+    safe_numeric += safe;
+    ms_not_cancel += ms && !cancel;
+    mono_not_cancel += mono && !cancel;
+    cancel_not_safe += cancel && !safe;
+    safe_not_box += safe && !box;
+    cancel_strictly_stronger += cancel && !ms && !mono;
+  }
+
+  std::printf("random+structured instances at n = %u (%d trials):\n", n, trials);
+  std::printf("  %-38s %6d\n", "Miklau-Suciu passes", ms_pass);
+  std::printf("  %-38s %6d\n", "monotonicity passes", mono_pass);
+  std::printf("  %-38s %6d\n", "cancellation passes", cancel_pass);
+  std::printf("  %-38s %6d\n", "box necessary passes", box_pass);
+  std::printf("  %-38s %6d\n", "safe (numeric ground truth)", safe_numeric);
+  std::printf("\ninclusion violations (all must be 0):\n");
+  std::printf("  Miklau-Suciu but not cancellation:    %6d\n", ms_not_cancel);
+  std::printf("  monotonicity but not cancellation:    %6d\n", mono_not_cancel);
+  std::printf("  cancellation but unsafe:              %6d\n", cancel_not_safe);
+  std::printf("  safe but box criterion fails:         %6d\n", safe_not_box);
+  std::printf("\ncancellation strictly stronger than both (Thm 5.11 strictness): %d\n",
+              cancel_strictly_stronger);
+
+  // Remark 5.12 verbatim.
+  std::printf("\n=== Remark 5.12 counterexample ===\n");
+  WorldSet a = WorldSet::from_strings(3, {"011", "100", "110", "111"});
+  WorldSet b = WorldSet::from_strings(3, {"010", "101", "110", "111"});
+  const auto cancel = cancellation_criterion(a, b);
+  std::printf("A = %s\nB = %s\n", a.to_string().c_str(), b.to_string().c_str());
+  std::printf("cancellation holds: %s (paper: no)\n", cancel.holds ? "yes" : "no");
+  if (cancel.failing_vector) {
+    std::printf("failing match vector %s: |A'B x AB' ∩ Circ| = %lld, "
+                "|AB x A'B' ∩ Circ| = %lld (paper: 0 vs 2 at ***)\n",
+                cancel.failing_vector->to_string(3).c_str(),
+                static_cast<long long>(cancel.positive_pairs),
+                static_cast<long long>(cancel.negative_pairs));
+  }
+  AscentOptions opts;
+  opts.multistarts = 64;
+  std::printf("numeric max gap over product priors: %.3e (paper: safe, <= 0)\n",
+              maximize_product_gap(a, b, opts).max_gap);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Experiment E5 (DESIGN.md): the headline flexibility claim — "taking
+// advantage of the gain-vs-loss distinction yields a remarkable increase in
+// the flexibility of query auditing" (Section 1.1), i.e. epistemic privacy
+// clears far more disclosures than perfect secrecy under the same product
+// prior assumption.
+//
+// For random and query-shaped (A, B) pairs we measure the fraction cleared
+// by: perfect secrecy (Miklau-Suciu independence), each epistemic criterion,
+// and the exact epistemic notion (numeric ground truth).
+#include <cstdio>
+
+#include "criteria/cancellation.h"
+#include "criteria/miklau_suciu.h"
+#include "criteria/monotonicity.h"
+#include "criteria/unconditional.h"
+#include "optimize/coordinate_ascent.h"
+#include "worlds/monotone.h"
+
+using namespace epi;
+
+namespace {
+
+struct Row {
+  int trials = 0;
+  int perfect = 0;
+  int mono = 0;
+  int cancel = 0;
+  int exact = 0;
+};
+
+void print_row(const char* label, const Row& r) {
+  auto pct = [&](int c) { return 100.0 * c / r.trials; };
+  std::printf("  %-26s %8.1f%% %12.1f%% %12.1f%% %13.1f%%\n", label,
+              pct(r.perfect), pct(r.mono), pct(r.cancel), pct(r.exact));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E5: flexibility of epistemic privacy vs perfect secrecy ===\n\n");
+  std::printf("fraction of disclosures CLEARED (A true and B true in the actual world)\n\n");
+  std::printf("  %-26s %9s %13s %13s %14s\n", "instance family", "perfect",
+              "monotonicity", "cancellation", "exact epist.");
+
+  Rng rng(77);
+  const unsigned n = 4;
+  const int trials = 1200;
+  AscentOptions opts;
+  opts.multistarts = 24;
+
+  auto run = [&](const char* label, auto generate) {
+    Row row;
+    row.trials = trials;
+    for (int t = 0; t < trials; ++t) {
+      auto [a, b] = generate(t);
+      // Condition on the audit-relevant situation: both properties hold in
+      // some world (Remark 3.12's interesting case).
+      if ((a & b).is_empty()) {
+        --row.trials;
+        continue;
+      }
+      row.perfect += miklau_suciu_independent(a, b);
+      row.mono += monotonicity_criterion(a, b);
+      row.cancel += cancellation_criterion(a, b).holds;
+      opts.seed = 31000 + t;
+      row.exact += maximize_product_gap(a, b, opts).max_gap <= 1e-9;
+    }
+    print_row(label, row);
+  };
+
+  run("dense random (p=0.5)", [&](int) {
+    return std::pair{WorldSet::random(n, rng, 0.5), WorldSet::random(n, rng, 0.5)};
+  });
+  run("sparse random (p=0.2)", [&](int) {
+    return std::pair{WorldSet::random(n, rng, 0.2), WorldSet::random(n, rng, 0.2)};
+  });
+  run("monotone masked", [&](int) {
+    const World mask = static_cast<World>(rng.next_bits(n));
+    return std::pair{up_closure(WorldSet::random(n, rng, 0.25)).xor_with(mask),
+                     down_closure(WorldSet::random(n, rng, 0.25)).xor_with(mask)};
+  });
+  run("implication queries", [&](int) {
+    // A = one record positive; B = random implication between records, the
+    // Section 1.1 query shape.
+    const unsigned i = static_cast<unsigned>(rng.next_below(n));
+    unsigned j = static_cast<unsigned>(rng.next_below(n));
+    if (j == i) j = (j + 1) % n;
+    WorldSet a(n), b(n);
+    for (World w = 0; w < (World{1} << n); ++w) {
+      if (world_bit(w, i)) a.insert(w);
+      if (!world_bit(w, i) || world_bit(w, j)) b.insert(w);
+    }
+    return std::pair{a, b};
+  });
+  run("negative-answer queries", [&](int) {
+    // A = conjunction of records, B = complement of a random monotone query
+    // ("no" answer to a monotone query, Remark 5.6's shape).
+    WorldSet a = up_closure(WorldSet::singleton(n, static_cast<World>(
+                                                       rng.next_bits(n))));
+    WorldSet b = ~up_closure(WorldSet::random(n, rng, 0.15));
+    return std::pair{a, b};
+  });
+
+  std::printf(
+      "\nReading: perfect secrecy clears almost nothing once A and B touch the\n"
+      "same records; the epistemic criteria clear the monotone, implication\n"
+      "and negative-answer families nearly completely — the paper's\n"
+      "\"remarkable increase in flexibility\".\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Experiment E10 (DESIGN.md): the Theorem 6.2 hardness landscape.
+//
+// Paper claim: for general algebraic families Pi with poly(N) quadratic
+// constraints, deciding Safe_Pi(A,B) is NP-hard (reduction from MAX-CUT) —
+// so exact decision procedures pay an exponential price, in contrast to the
+// product-family algorithms of Section 6.1.
+//
+// We build the reconstructed reduction Pi_{G,k} (see maxcut/reduction.h),
+// verify its correctness against an exact MAX-CUT solver across all bounds
+// k on small graphs, then time the exact emptiness decision as the vertex
+// count grows (expected ~2^t growth), alongside the polynomial-time
+// relax-and-round heuristic and its success rate.
+#include <chrono>
+#include <cstdio>
+
+#include "maxcut/maxcut.h"
+#include "maxcut/reduction.h"
+
+using namespace epi;
+
+namespace {
+
+double ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E10: Theorem 6.2 — hardness via MAX-CUT ===\n\n");
+
+  // Correctness of the reduction across all bounds on small random graphs.
+  Rng rng(1202);
+  int checks = 0, agree = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = Graph::random(6, 0.5, rng);
+    const std::size_t best = max_cut_exact(g).value;
+    for (std::size_t k = 0; k <= g.edge_count() + 1; ++k) {
+      const MaxCutReduction r = reduce_maxcut_to_safety(g, k);
+      ++checks;
+      agree += r.nonempty_exact(g) == (best >= k);
+    }
+  }
+  std::printf("reduction correctness (K(A,B,Pi_Gk) non-empty <=> maxcut >= k): "
+              "%d/%d\n\n", agree, checks);
+
+  std::printf("exact emptiness decision time vs graph size (k = maxcut, the\n"
+              "hardest satisfiable bound; Erdos-Renyi p = 0.5):\n");
+  std::printf("%4s %7s %9s %14s %10s %14s %12s\n", "t", "edges", "maxcut",
+              "exact(ms)", "bnb(ms)", "heuristic(ms)", "rounded cut");
+  for (std::size_t t = 6; t <= 22; t += 2) {
+    Graph g = Graph::random(t, 0.5, rng);
+    auto t0 = std::chrono::steady_clock::now();
+    const CutResult best = max_cut_exact(g);
+    const MaxCutReduction r = reduce_maxcut_to_safety(g, best.value);
+    // The exact emptiness decision enumerates cuts: 2^t.
+    t0 = std::chrono::steady_clock::now();
+    const bool nonempty = r.nonempty_exact(g);
+    const double exact_ms = ms_since(t0);
+
+    // Branch & bound: still exact, prunes aggressively on sparse graphs.
+    t0 = std::chrono::steady_clock::now();
+    const CutResult bnb = max_cut_branch_bound(g);
+    const double bnb_ms = ms_since(t0);
+
+    // Polynomial-time heuristic: local-search relaxation + rounding.
+    t0 = std::chrono::steady_clock::now();
+    const CutResult local = max_cut_local_search(g, rng, 8);
+    const double heur_ms = ms_since(t0);
+
+    std::printf("%4zu %7zu %9zu %14.2f %10.2f %14.2f %8zu/%zu %s\n", t,
+                g.edge_count(), best.value, exact_ms, bnb_ms, heur_ms,
+                local.value, best.value,
+                (nonempty && bnb.value == best.value) ? "" : "(!)");
+  }
+
+  std::printf(
+      "\ncontrast (Section 6.1): product-family safety at the same world-space\n"
+      "sizes is decided by the combinatorial pipeline + optimizer in\n"
+      "microseconds-to-milliseconds (see bench_cancellation_scaling), while\n"
+      "the general algebraic family above doubles in cost with every added\n"
+      "vertex — the Theorem 6.2 separation.\n");
+  return 0;
+}

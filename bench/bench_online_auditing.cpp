@@ -1,0 +1,67 @@
+// Experiment E11 (extension; the paper's Section 7 future-work direction):
+// online (proactive) auditing with strategy-aware agents.
+//
+// Measured claims:
+//  * the introduction's pitfall: the naive "answer truthfully while safe"
+//    strategy leaks the sensitive set through its denials to an agent who
+//    knows the strategy — we count the breach rate over random query
+//    streams;
+//  * the simulatable strategy (denial decision computable from the agent's
+//    knowledge alone) never leaks, at the cost of denying more queries;
+//  * utility comparison: denial rates of the two strategies.
+#include <cstdio>
+
+#include "core/online.h"
+#include "util/rng.h"
+
+using namespace epi;
+
+int main() {
+  std::printf("=== E11 (extension): online auditing, leaky vs simulatable ===\n\n");
+  std::printf("%3s %10s | %14s %12s | %14s %12s\n", "n", "streams",
+              "naive breach", "naive deny%", "simul breach", "simul deny%");
+
+  Rng rng(808);
+  for (unsigned n : {1u, 2u, 3u, 4u}) {
+    const int streams = 400;
+    const int queries_per_stream = 10;
+    int naive_breaches = 0, simul_breaches = 0;
+    int naive_denials = 0, simul_denials = 0;
+    int total_queries = 0;
+
+    for (int s = 0; s < streams; ++s) {
+      WorldSet a = WorldSet::random(n, rng, 0.4);
+      if (a.is_empty() || a.is_universe()) {
+        a = WorldSet::singleton(n, static_cast<World>(rng.next_bits(n)));
+      }
+      // Actual world inside A (something to protect).
+      const World actual = a.min_world();
+      OnlineAuditSession naive(a, actual, OnlineStrategy::kTruthfulWhenSafe);
+      OnlineAuditSession simulatable(a, actual, OnlineStrategy::kSimulatable);
+      for (int q = 0; q < queries_per_stream; ++q) {
+        const WorldSet query = WorldSet::random(n, rng, 0.5);
+        naive.ask(query);
+        simulatable.ask(query);
+        ++total_queries;
+      }
+      naive_breaches += naive.agent_knows_sensitive();
+      simul_breaches += simulatable.agent_knows_sensitive();
+      naive_denials += naive.denials();
+      simul_denials += simulatable.denials();
+    }
+
+    std::printf("%3u %10d | %13.1f%% %11.1f%% | %13.1f%% %11.1f%%\n", n, streams,
+                100.0 * naive_breaches / streams,
+                100.0 * naive_denials / total_queries,
+                100.0 * simul_breaches / streams,
+                100.0 * simul_denials / total_queries);
+  }
+
+  std::printf(
+      "\nExpectations: the naive strategy breaches on a large fraction of\n"
+      "streams (its denials depend on the actual database — the paper's\n"
+      "introduction pitfall); the simulatable strategy breaches on none,\n"
+      "paying with a higher denial rate. Offline auditing (the paper's\n"
+      "subject) avoids the dilemma entirely: verdicts are never fed back.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Ablation (DESIGN.md section 5, decision 5): Douglas-Rachford splitting vs
+// plain alternating projections (POCS) for the SDP feasibility core.
+//
+// SOS Gram problems routinely have *boundary* solutions (the margin vanishes
+// at independence points, so the Gram matrix is singular); the PSD cone and
+// the affine coefficient subspace then meet tangentially, where POCS
+// converges at a ~1/k rate while DR stays effective. This bench re-runs the
+// same feasibility instances under both iterations and reports the
+// iteration counts — the measurement that motivated the DR choice.
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "algebra/safety_polynomial.h"
+#include "linalg/eigen.h"
+#include "linalg/least_squares.h"
+#include "optimize/sos.h"
+#include "util/rng.h"
+#include "worlds/world_set.h"
+
+using namespace epi;
+
+namespace {
+
+// Builds the Gram feasibility system for "f is SOS" (same construction as
+// sos_decompose, exposed here to drive both iterations).
+struct GramSystem {
+  std::vector<Monomial> basis;
+  Matrix constraints;
+  Vec rhs;
+};
+
+GramSystem build_gram_system(const Polynomial& f) {
+  const std::size_t nvars = f.nvars();
+  const unsigned deg = f.degree() + (f.degree() % 2);
+  GramSystem sys;
+  sys.basis = monomials_up_to_degree(nvars, deg / 2);
+  const std::size_t m = sys.basis.size();
+  std::map<std::vector<unsigned>, std::size_t> row_of;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      row_of.emplace((sys.basis[i] * sys.basis[j]).exponents(), row_of.size());
+    }
+  }
+  sys.constraints = Matrix(row_of.size(), m * m);
+  sys.rhs = Vec(row_of.size(), 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      sys.constraints.at(row_of.at((sys.basis[i] * sys.basis[j]).exponents()),
+                         i * m + j) += 1.0;
+    }
+  }
+  for (const auto& [exps, coeff] : f.terms()) {
+    sys.rhs[row_of.at(exps)] = coeff;
+  }
+  return sys;
+}
+
+Vec project_cone_flat(const Vec& v, std::size_t m) {
+  Matrix block(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) block.at(i, j) = v[i * m + j];
+  }
+  block.symmetrize();
+  block = project_psd(block);
+  Vec out(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) out[i * m + j] = block.at(i, j);
+  }
+  return out;
+}
+
+/// Iterations until the PSD shadow point satisfies the constraints; -1 when
+/// the budget is exhausted.
+int iterations_to_converge(const GramSystem& sys, bool douglas_rachford,
+                           int budget, double tol = 1e-8) {
+  const std::size_t m = sys.basis.size();
+  AffineProjector affine(sys.constraints, sys.rhs);
+  Vec z(m * m, 0.0);
+  if (!douglas_rachford) z = affine.project(z);
+  for (int iter = 0; iter < budget; ++iter) {
+    const Vec cone = project_cone_flat(z, m);
+    if (affine.residual(cone) < tol) return iter;
+    if (douglas_rachford) {
+      Vec reflected(cone.size());
+      for (std::size_t i = 0; i < cone.size(); ++i) reflected[i] = 2 * cone[i] - z[i];
+      const Vec affine_point = affine.project(reflected);
+      for (std::size_t i = 0; i < z.size(); ++i) z[i] += affine_point[i] - cone[i];
+    } else {
+      z = affine.project(cone);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ablation: Douglas-Rachford vs alternating projections ===\n\n");
+  std::printf("%-44s %10s %10s\n", "instance (feasible SOS problems)", "DR iters",
+              "POCS iters");
+
+  const std::size_t s = 2;
+  const Polynomial x = Polynomial::variable(s, 0);
+  const Polynomial y = Polynomial::variable(s, 1);
+
+  struct Case {
+    const char* name;
+    Polynomial f;
+  };
+  Rng rng(9);
+  std::vector<Case> cases;
+  cases.push_back({"(x-y)^2 (pinned Gram)", (x - y).pow(2)});
+  cases.push_back({"x^2y^2 + (x+y)^2/2 + 2 (boundary Gram)",
+                   (x * y).pow(2) + (x + y).pow(2) * 0.5 + Polynomial::constant(s, 2.0)});
+  cases.push_back({"(x+y)^4 (rank-1 Gram)", (x + y).pow(4)});
+  cases.push_back({"interior: 1 + x^2 + y^2 + x^4 + x^2y^2 + y^4",
+                   Polynomial::constant(s, 1.0) + x * x + y * y + x.pow(4) +
+                       (x * y).pow(2) + y.pow(4)});
+  for (int t = 0; t < 3; ++t) {
+    Polynomial g(s), h(s);
+    for (const Monomial& m : monomials_up_to_degree(s, 2)) {
+      g.add_term(m, 2.0 * rng.next_double() - 1.0);
+      h.add_term(m, 2.0 * rng.next_double() - 1.0);
+    }
+    cases.push_back({"random g^2 + h^2 (deg 4)", g * g + h * h});
+  }
+
+  int dr_wins = 0, total = 0;
+  for (const Case& c : cases) {
+    const GramSystem sys = build_gram_system(c.f);
+    const int budget = 30000;
+    const int dr = iterations_to_converge(sys, true, budget);
+    const int pocs = iterations_to_converge(sys, false, budget);
+    auto show = [](int iters) {
+      return iters < 0 ? std::string(">30000 (stalled)") : std::to_string(iters);
+    };
+    std::printf("%-44s %10s %10s\n", c.name, show(dr).c_str(), show(pocs).c_str());
+    ++total;
+    dr_wins += (pocs < 0) || (dr >= 0 && dr <= pocs);
+  }
+  std::printf("\nDR at least as fast on %d/%d instances; POCS stalls on the\n"
+              "boundary-Gram cases that dominate safety-margin certificates.\n",
+              dr_wins, total);
+  return 0;
+}

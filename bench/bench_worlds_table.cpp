@@ -1,0 +1,72 @@
+// Experiment E2 (DESIGN.md): the Section 1.1 possible-worlds table.
+//
+// Paper claim: with A = "r1 in omega" and B = "r1 in omega => r2 in omega",
+// learning B rules out exactly the cell (r1=1, r2=0) and can only LOWER the
+// odds of A: P[A | B] <= P[A] for every prior, regardless of record
+// correlations — even though A and B share the critical record r1, so
+// perfect secrecy (Miklau-Suciu) rejects the disclosure.
+#include <algorithm>
+#include <cstdio>
+
+#include "criteria/miklau_suciu.h"
+#include "criteria/pipeline.h"
+#include "db/parser.h"
+#include "db/record.h"
+#include "probabilistic/distribution.h"
+
+using namespace epi;
+
+int main() {
+  RecordUniverse universe;
+  universe.add("r1");  // "Bob is HIV-positive"
+  universe.add("r2");  // "Bob had blood transfusions"
+  const WorldSet a = parse_query("r1")->compile(universe);
+  const WorldSet b = parse_query("r1 -> r2")->compile(universe);
+
+  std::printf("=== E2: Section 1.1 possible-worlds table ===\n\n");
+  std::printf("              | r2 in w     | r2 not in w\n");
+  std::printf("  ------------+-------------+-------------\n");
+  for (int r1 = 1; r1 >= 0; --r1) {
+    std::printf("  r1 %s w  |", r1 ? "in    " : "not in");
+    for (int r2 = 1; r2 >= 0; --r2) {
+      World w = 0;
+      if (r1) w = world_with_bit(w, 0, true);
+      if (r2) w = world_with_bit(w, 1, true);
+      std::printf(" A %-5s %s |", a.contains(w) ? "true" : "false",
+                  b.contains(w) ? " " : "X");
+    }
+    std::printf("\n");
+  }
+  std::printf("  (X marks the cell ruled out by learning B — the paper's check mark)\n\n");
+
+  // Randomized check over arbitrary (correlated) priors.
+  Rng rng(11);
+  const int trials = 100000;
+  double worst_gain = -1.0;
+  double worst_direct_gain = -1.0;
+  const WorldSet direct = a;  // Mallory's direct query
+  for (int i = 0; i < trials; ++i) {
+    const Distribution p = Distribution::random(2, rng);
+    worst_gain = std::max(worst_gain, p.conditional(a, b) - p.prob(a));
+    worst_direct_gain =
+        std::max(worst_direct_gain, p.conditional(a, direct) - p.prob(a));
+  }
+  std::printf("max over %d random priors of P[A|B] - P[A]:\n", trials);
+  std::printf("  implication query B = (r1 -> r2): % .3e   (paper: <= 0 always)\n",
+              worst_gain);
+  std::printf("  direct query      B = r1        : % .3e   (> 0: a breach)\n\n",
+              worst_direct_gain);
+
+  std::printf("verdict comparison for the implication query:\n");
+  std::printf("  perfect secrecy (Miklau-Suciu, shares critical record r1): %s\n",
+              miklau_suciu_independent(a, b) ? "allows" : "REJECTS");
+  std::printf("  epistemic privacy, unrestricted priors (Thm 3.11):         %s\n",
+              decide_unrestricted_safety(a, b).verdict == Verdict::kSafe
+                  ? "allows"
+                  : "rejects");
+  std::printf("  epistemic privacy, product priors (pipeline):              %s (%s)\n",
+              decide_product_safety(a, b).verdict == Verdict::kSafe ? "allows"
+                                                                    : "rejects",
+              decide_product_safety(a, b).criterion.c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Collusion analysis demo (Section 4.1's motivation for intersection-closed
+// knowledge): two insurance agents each receive an individually-harmless
+// answer about which patient a leaked record belongs to; together they
+// identify the patient. The auditor who anticipates collusion must audit
+// against the intersection-closure of the users' knowledge.
+#include <cstdio>
+
+#include "possibilistic/collusion.h"
+
+int main() {
+  using namespace epi;
+
+  // Worlds: which of six patients the leaked record belongs to.
+  const std::size_t m = 6;
+  const char* patients[] = {"Ana", "Bob", "Cem", "Dee", "Eli", "Fay"};
+  const std::size_t actual = 1;  // it is Bob's record
+  const FiniteSet sensitive(m, {actual});
+
+  std::printf("worlds: the leaked record belongs to one of six patients\n");
+  std::printf("sensitive fact A: it is %s's record (the actual world)\n\n",
+              patients[actual]);
+
+  // Each user starts with no knowledge; each received one answered query.
+  CollusionUser u1{"agentX",
+                   {FiniteSet::universe(m)},
+                   {FiniteSet(m, {0, 1, 2})}};  // "the patient is in ward A"
+  CollusionUser u2{"agentY",
+                   {FiniteSet::universe(m)},
+                   {FiniteSet(m, {1, 3, 5})}};  // "the patient id is odd"
+  CollusionUser u3{"agentZ",
+                   {FiniteSet::universe(m)},
+                   {FiniteSet(m, {0, 1, 2, 3, 4})}};  // "it is not Fay"
+
+  std::printf("agentX learned: ward A            -> considers {Ana,Bob,Cem}\n");
+  std::printf("agentY learned: odd patient id    -> considers {Bob,Dee,Fay}\n");
+  std::printf("agentZ learned: not Fay           -> considers all but Fay\n\n");
+
+  const auto findings = audit_coalitions({u1, u2, u3}, sensitive, actual);
+  std::printf("%-28s %s\n", "coalition", "knows the sensitive fact?");
+  for (const auto& f : findings) {
+    std::string names;
+    for (const auto& name : f.members) {
+      names += (names.empty() ? "" : "+") + name;
+    }
+    std::printf("%-28s %s\n", names.c_str(), f.knows_sensitive ? "YES (breach)" : "no");
+  }
+
+  std::printf(
+      "\nOnly the coalitions containing both agentX and agentY breach: their\n"
+      "joint knowledge {Ana,Bob,Cem} ∩ {Bob,Dee,Fay} = {Bob}. This is why\n"
+      "Definition 4.3 closes the auditor's assumption under intersections —\n"
+      "and why the interval machinery of Section 4.1 is stated for\n"
+      "intersection-closed knowledge.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// A fuller offline-auditing scenario: a hospital database, several users
+// issuing queries over time, and an audit of the sensitive fact under all
+// three supported prior-knowledge assumptions. Shows how stronger (smaller)
+// prior families clear strictly more disclosures — the paper's central
+// flexibility argument.
+#include <cstdio>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/report.h"
+
+int main() {
+  using namespace epi;
+
+  RecordUniverse universe;
+  universe.add(Record{"bob_hiv", {{"patient", "Bob"}, {"fact", "HIV-positive"}}});
+  universe.add(Record{"bob_transfusion", {{"patient", "Bob"}}});
+  universe.add(Record{"bob_hepatitis", {{"patient", "Bob"}}});
+  universe.add(Record{"carol_diabetes", {{"patient", "Carol"}}});
+
+  InMemoryDatabase db(universe);
+
+  AuditLog log;
+  // 2005: Bob is still HIV-negative; he has had a transfusion.
+  db.insert("bob_transfusion");
+  log.record("alice", "bob_hiv", db, "2005-03-02");          // answer false
+  log.record("cindy", "bob_hiv & bob_hepatitis", db, "2005-07-15");
+  // 2006: Bob contracts HIV; Carol's record is added.
+  db.insert("bob_hiv");
+  db.insert("carol_diabetes");
+  // 2007: more queries after the infection.
+  log.record("mallory", "bob_hiv", db, "2007-02-20");        // answer true
+  log.record("dave", "bob_hiv -> bob_transfusion", db, "2007-03-01");
+  log.record("erin", "!bob_hepatitis", db, "2007-04-12");
+  log.record("erin", "carol_diabetes | bob_hiv", db, "2007-04-12");
+
+  std::printf("database at audit time: %s\n", db.to_string().c_str());
+  std::printf("audit query: bob_hiv (initiated by Bob after a suspected leak)\n\n");
+
+  for (PriorAssumption prior :
+       {PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+        PriorAssumption::kLogSupermodular, PriorAssumption::kSubcubeKnowledge}) {
+    Auditor auditor(universe, prior);
+    const AuditReport report = auditor.audit(log, "bob_hiv");
+    std::printf("================ prior assumption: %s ================\n",
+                to_string(prior).c_str());
+    std::printf("%s\n", format_report(report).c_str());
+  }
+
+  std::printf(
+      "Reading the reports: Mallory's direct query is flagged under every\n"
+      "assumption; Alice and Cindy queried before the infection (their answers\n"
+      "assert the complement of the audited fact) and are cleared; Dave's\n"
+      "implication and Erin's negative answer are cleared only once the\n"
+      "auditor is willing to assume independent (or positively correlated)\n"
+      "priors — the flexibility gained by the epistemic definition.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The introduction's online-auditing pitfall, simulated: Bob proactively
+// answers "I am HIV-negative" while it is true and refuses afterwards — and
+// a possibilistic Alice who knows the strategy infers his status from the
+// refusal. Offline auditing of the same history has no such self-disclosure
+// problem: the auditor's verdicts are never shown to users.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "possibilistic/knowledge.h"
+#include "possibilistic/safe.h"
+
+int main() {
+  using namespace epi;
+
+  // One relevant fact per year: "Bob is HIV-positive in year y".
+  // Worlds = subsets of {infected_by_2006}; we model the two years Alice
+  // asks in, with Omega = {negative_both_years, positive_in_2007}.
+  // World 0: Bob stays negative; world 1: Bob turns positive before 2007.
+  const std::size_t m = 2;
+
+  std::printf("=== online (proactive) scenario ===\n");
+  std::printf("Bob's strategy: answer 'negative' while true, else refuse.\n\n");
+
+  // Alice's knowledge starts as 'anything possible'.
+  FiniteSet alice(m, {0, 1});
+  // 2005: Bob answers "I am HIV-negative". Consistent worlds: both (in world
+  // 1 he is still negative in 2005 under this encoding? we encode world 1 as
+  // positive from 2006) — the answer only rules nothing out yet.
+  std::printf("2005: Bob answers 'negative'. Alice considers: %s\n",
+              alice.to_string().c_str());
+  // 2007: Bob refuses. Under the known strategy, refusal happens exactly
+  // when he can no longer truthfully answer 'negative' — i.e. world 1.
+  FiniteSet refusal_consistent(m, {1});
+  alice &= refusal_consistent;
+  std::printf("2007: Bob refuses.   Alice considers: %s -> she KNOWS world 1\n",
+              alice.to_string().c_str());
+  std::printf("The refusal disclosed the sensitive fact (intro, Section 1).\n\n");
+
+  // Formally: with the strategy public, the 2007 'answer' partitions worlds
+  // into {refuse} = {1} and {negative} = {0}; disclosing B = {1} to an agent
+  // with S = {0,1} reveals A = {1}.
+  SecondLevelKnowledge k(m);
+  k.add(1, FiniteSet(m, {0, 1}));
+  const bool online_safe = safe_possibilistic(k, FiniteSet(m, {1}), FiniteSet(m, {1}));
+  std::printf("possibilistic Safe_K(A = positive, B = refusal): %s\n\n",
+              online_safe ? "safe" : "VIOLATION");
+
+  std::printf("=== offline (retroactive) scenario ===\n");
+  RecordUniverse universe;
+  universe.add("bob_hiv");
+  InMemoryDatabase db(universe);
+
+  AuditLog log;
+  log.record("alice", "bob_hiv", db, "2005");   // negative at the time
+  log.record("cindy", "bob_hiv", db, "2005");
+  db.insert("bob_hiv");                          // Bob contracts HIV in 2006
+  log.record("mallory", "bob_hiv", db, "2007");  // positive now
+
+  Auditor auditor(universe, PriorAssumption::kUnrestricted);
+  const AuditReport report = auditor.audit(log, "bob_hiv");
+  for (const AuditFinding& f : report.per_disclosure) {
+    std::printf("  %-8s asked '%s' (%s): %s\n", f.user.c_str(),
+                f.query_text.c_str(), f.answer ? "true" : "false",
+                to_string(f.verdict).c_str());
+  }
+  std::printf(
+      "\nThe audit places suspicion on Mallory only — Alice and Cindy saw a\n"
+      "negative answer, whose disclosure can only LOWER confidence in the\n"
+      "audited fact. The auditor's conclusions are not fed back to users, so\n"
+      "no refusal channel exists (the motivating contrast of Section 1).\n");
+  return 0;
+}

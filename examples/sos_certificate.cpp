@@ -1,0 +1,64 @@
+// Section 6.2 hands-on: print an actual Positivstellensatz certificate that
+// a disclosure is safe for every product prior — the algebraic proof object
+// behind a "safe" verdict, for the hard instance of Remark 5.12 that defeats
+// all of the paper's combinatorial criteria.
+#include <cstdio>
+
+#include "algebra/safety_polynomial.h"
+#include "criteria/cancellation.h"
+#include "criteria/miklau_suciu.h"
+#include "criteria/monotonicity.h"
+#include "linalg/eigen.h"
+#include "optimize/positivstellensatz.h"
+
+int main() {
+  using namespace epi;
+
+  const unsigned n = 3;
+  const WorldSet a = WorldSet::from_strings(n, {"011", "100", "110", "111"});
+  const WorldSet b = WorldSet::from_strings(n, {"010", "101", "110", "111"});
+  std::printf("A = %s\nB = %s\n\n", a.to_string().c_str(), b.to_string().c_str());
+
+  std::printf("combinatorial criteria:\n");
+  std::printf("  Miklau-Suciu independent: %s\n",
+              miklau_suciu_independent(a, b) ? "yes" : "no");
+  std::printf("  monotonicity criterion:   %s\n",
+              monotonicity_criterion(a, b) ? "yes" : "no");
+  std::printf("  cancellation criterion:   %s (Remark 5.12's counterexample)\n\n",
+              cancellation_criterion(a, b).holds ? "yes" : "no");
+
+  const Polynomial margin = product_safety_margin(a, b).pruned(1e-14);
+  std::printf("safety margin P[A]P[B] - P[AB] (in Bernoulli parameters):\n  %s\n\n",
+              margin.to_string().c_str());
+
+  SdpOptions sdp;
+  sdp.max_iterations = 20000;
+  const auto cert = prove_nonneg_on_box(margin, 4, sdp);
+  if (!cert) {
+    std::printf("no certificate found within budget\n");
+    return 1;
+  }
+  std::printf("Positivstellensatz certificate found: margin = sigma_0 + "
+              "sum_S sigma_S * prod_{i in S} p_i(1-p_i)\n\n");
+  std::printf("sigma_0 basis size %zu, min eigenvalue %.2e\n",
+              cert->sigma0.basis.size(), min_eigenvalue(cert->sigma0.gram));
+  for (std::size_t k = 0; k < cert->multipliers.size(); ++k) {
+    const Polynomial sigma =
+        cert->multipliers[k].to_polynomial(n).pruned(1e-9);
+    if (sigma.is_zero(1e-9)) continue;
+    std::string subset;
+    for (unsigned i = 0; i < n; ++i) {
+      if ((cert->multiplier_subsets[k] >> i) & 1u) {
+        subset += (subset.empty() ? "" : ",");
+        subset += "p" + std::to_string(i);
+      }
+    }
+    std::printf("sigma_{%s} = %s  (min eig %.2e)\n", subset.c_str(),
+                sigma.to_string().c_str(),
+                min_eigenvalue(cert->multipliers[k].gram));
+  }
+  const double err = cert->to_polynomial(n).max_coeff_difference(margin);
+  std::printf("\nreconstruction max coefficient error: %.2e\n", err);
+  std::printf("=> Safe_{Pi_m0}(A,B) PROVED for every product prior.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "algebra/monomial.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epi {
+
+Monomial Monomial::variable(std::size_t nvars, std::size_t i, unsigned power) {
+  if (i >= nvars) throw std::out_of_range("Monomial::variable: index out of range");
+  std::vector<unsigned> exps(nvars, 0);
+  exps[i] = power;
+  return Monomial(std::move(exps));
+}
+
+unsigned Monomial::degree() const {
+  unsigned d = 0;
+  for (unsigned e : exps_) d += e;
+  return d;
+}
+
+Monomial Monomial::operator*(const Monomial& o) const {
+  if (exps_.size() != o.exps_.size()) {
+    throw std::invalid_argument("Monomial*: variable count mismatch");
+  }
+  std::vector<unsigned> exps(exps_.size());
+  for (std::size_t i = 0; i < exps_.size(); ++i) exps[i] = exps_[i] + o.exps_[i];
+  return Monomial(std::move(exps));
+}
+
+double Monomial::eval(const std::vector<double>& x) const {
+  if (x.size() != exps_.size()) {
+    throw std::invalid_argument("Monomial::eval: point dimension mismatch");
+  }
+  double v = 1.0;
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    for (unsigned e = 0; e < exps_[i]; ++e) v *= x[i];
+  }
+  return v;
+}
+
+std::string Monomial::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    if (exps_[i] == 0) continue;
+    if (!s.empty()) s += "*";
+    s += "x" + std::to_string(i);
+    if (exps_[i] > 1) s += "^" + std::to_string(exps_[i]);
+  }
+  return s.empty() ? "1" : s;
+}
+
+namespace {
+
+void enumerate(std::size_t nvars, unsigned remaining, std::size_t var,
+               std::vector<unsigned>& current, std::vector<Monomial>& out) {
+  if (var == nvars) {
+    out.emplace_back(current);
+    return;
+  }
+  for (unsigned e = 0; e <= remaining; ++e) {
+    current[var] = e;
+    enumerate(nvars, remaining - e, var + 1, current, out);
+  }
+  current[var] = 0;
+}
+
+}  // namespace
+
+std::vector<Monomial> monomials_up_to_degree(std::size_t nvars, unsigned max_degree) {
+  std::vector<Monomial> out;
+  std::vector<unsigned> current(nvars, 0);
+  enumerate(nvars, max_degree, 0, current, out);
+  return out;
+}
+
+}  // namespace epi

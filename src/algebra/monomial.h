@@ -1,0 +1,48 @@
+// Monomials over a fixed variable set x_0..x_{s-1}, the building block of the
+// sparse multivariate polynomials used by Section 6's algebraic machinery.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace epi {
+
+/// A monomial prod x_i^{e_i}, stored as its exponent vector.
+class Monomial {
+ public:
+  /// The constant monomial 1 over `nvars` variables.
+  explicit Monomial(std::size_t nvars) : exps_(nvars, 0) {}
+  /// Monomial from an explicit exponent vector.
+  explicit Monomial(std::vector<unsigned> exps) : exps_(std::move(exps)) {}
+  /// x_i over `nvars` variables.
+  static Monomial variable(std::size_t nvars, std::size_t i, unsigned power = 1);
+
+  std::size_t nvars() const { return exps_.size(); }
+  unsigned exponent(std::size_t i) const { return exps_[i]; }
+  const std::vector<unsigned>& exponents() const { return exps_; }
+
+  /// Total degree.
+  unsigned degree() const;
+
+  /// Product of two monomials (exponent-wise sum).
+  Monomial operator*(const Monomial& o) const;
+
+  /// Value at a point.
+  double eval(const std::vector<double>& x) const;
+
+  bool operator==(const Monomial& o) const { return exps_ == o.exps_; }
+  bool operator<(const Monomial& o) const { return exps_ < o.exps_; }
+
+  /// "x0^2*x3" ("1" for the constant monomial).
+  std::string to_string() const;
+
+ private:
+  std::vector<unsigned> exps_;
+};
+
+/// All monomials over `nvars` variables of total degree <= max_degree,
+/// in lexicographic exponent order. Count = C(nvars + max_degree, max_degree).
+std::vector<Monomial> monomials_up_to_degree(std::size_t nvars, unsigned max_degree);
+
+}  // namespace epi

@@ -1,0 +1,181 @@
+#include "algebra/polynomial.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace epi {
+
+Polynomial Polynomial::constant(std::size_t nvars, double c) {
+  Polynomial p(nvars);
+  p.add_term(Monomial(nvars), c);
+  return p;
+}
+
+Polynomial Polynomial::variable(std::size_t nvars, std::size_t i) {
+  Polynomial p(nvars);
+  p.add_term(Monomial::variable(nvars, i), 1.0);
+  return p;
+}
+
+Polynomial Polynomial::term(double coeff, const Monomial& m) {
+  Polynomial p(m.nvars());
+  p.add_term(m, coeff);
+  return p;
+}
+
+double Polynomial::coefficient(const Monomial& m) const {
+  auto it = terms_.find(m.exponents());
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+void Polynomial::add_term(const Monomial& m, double coeff) {
+  if (m.nvars() != nvars_) {
+    throw std::invalid_argument("add_term: variable count mismatch");
+  }
+  if (coeff == 0.0) return;
+  auto [it, inserted] = terms_.emplace(m.exponents(), coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second == 0.0) terms_.erase(it);
+  }
+}
+
+bool Polynomial::is_zero(double tol) const {
+  for (const auto& [exps, coeff] : terms_) {
+    if (std::abs(coeff) > tol) return false;
+  }
+  return true;
+}
+
+unsigned Polynomial::degree() const {
+  unsigned d = 0;
+  for (const auto& [exps, coeff] : terms_) {
+    unsigned term_degree = 0;
+    for (unsigned e : exps) term_degree += e;
+    d = std::max(d, term_degree);
+  }
+  return d;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  Polynomial r = *this;
+  return r += o;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& o) const {
+  Polynomial r = *this;
+  return r -= o;
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& o) {
+  if (nvars_ != o.nvars_) throw std::invalid_argument("Polynomial+: nvars mismatch");
+  for (const auto& [exps, coeff] : o.terms_) add_term(Monomial(exps), coeff);
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& o) {
+  if (nvars_ != o.nvars_) throw std::invalid_argument("Polynomial-: nvars mismatch");
+  for (const auto& [exps, coeff] : o.terms_) add_term(Monomial(exps), -coeff);
+  return *this;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  if (nvars_ != o.nvars_) throw std::invalid_argument("Polynomial*: nvars mismatch");
+  Polynomial r(nvars_);
+  for (const auto& [e1, c1] : terms_) {
+    for (const auto& [e2, c2] : o.terms_) {
+      r.add_term(Monomial(e1) * Monomial(e2), c1 * c2);
+    }
+  }
+  return r;
+}
+
+Polynomial Polynomial::operator*(double s) const {
+  Polynomial r(nvars_);
+  for (const auto& [exps, coeff] : terms_) r.add_term(Monomial(exps), coeff * s);
+  return r;
+}
+
+Polynomial Polynomial::operator-() const { return *this * -1.0; }
+
+Polynomial Polynomial::pow(unsigned k) const {
+  Polynomial r = Polynomial::constant(nvars_, 1.0);
+  for (unsigned i = 0; i < k; ++i) r = r * *this;
+  return r;
+}
+
+double Polynomial::eval(const std::vector<double>& x) const {
+  double v = 0.0;
+  for (const auto& [exps, coeff] : terms_) {
+    v += coeff * Monomial(exps).eval(x);
+  }
+  return v;
+}
+
+Polynomial Polynomial::derivative(std::size_t i) const {
+  if (i >= nvars_) throw std::out_of_range("derivative: variable out of range");
+  Polynomial r(nvars_);
+  for (const auto& [exps, coeff] : terms_) {
+    if (exps[i] == 0) continue;
+    std::vector<unsigned> de = exps;
+    de[i] -= 1;
+    r.add_term(Monomial(std::move(de)), coeff * exps[i]);
+  }
+  return r;
+}
+
+double Polynomial::max_coeff_difference(const Polynomial& o) const {
+  double worst = 0.0;
+  for (const auto& [exps, coeff] : terms_) {
+    worst = std::max(worst, std::abs(coeff - o.coefficient(Monomial(exps))));
+  }
+  for (const auto& [exps, coeff] : o.terms_) {
+    worst = std::max(worst, std::abs(coeff - coefficient(Monomial(exps))));
+  }
+  return worst;
+}
+
+Polynomial Polynomial::pruned(double tol) const {
+  Polynomial r(nvars_);
+  for (const auto& [exps, coeff] : terms_) {
+    if (std::abs(coeff) > tol) r.add_term(Monomial(exps), coeff);
+  }
+  return r;
+}
+
+std::string Polynomial::to_string() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [exps, coeff] : terms_) {
+    const double c = coeff;
+    if (first) {
+      if (c < 0) os << "-";
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    first = false;
+    const Monomial m{std::vector<unsigned>(exps)};
+    const double mag = std::abs(c);
+    if (m.degree() == 0) {
+      os << mag;
+    } else if (mag == 1.0) {
+      os << m.to_string();
+    } else {
+      os << mag << "*" << m.to_string();
+    }
+  }
+  return os.str();
+}
+
+Polynomial motzkin_polynomial() {
+  const std::size_t s = 3;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial y = Polynomial::variable(s, 1);
+  Polynomial z = Polynomial::variable(s, 2);
+  return x.pow(4) * y.pow(2) + x.pow(2) * y.pow(4) + z.pow(6) -
+         x.pow(2) * y.pow(2) * z.pow(2) * 3.0;
+}
+
+}  // namespace epi

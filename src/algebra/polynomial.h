@@ -1,0 +1,76 @@
+// Sparse multivariate polynomials over double coefficients. Used to express
+// the product-prior safety gap, the constraints of algebraic families Pi
+// (Section 6), and the SOS certificates of Section 6.2.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/monomial.h"
+
+namespace epi {
+
+/// A polynomial sum of coeff * monomial, with a fixed variable count.
+class Polynomial {
+ public:
+  /// The zero polynomial over `nvars` variables.
+  explicit Polynomial(std::size_t nvars) : nvars_(nvars) {}
+
+  /// The constant c.
+  static Polynomial constant(std::size_t nvars, double c);
+  /// The variable x_i.
+  static Polynomial variable(std::size_t nvars, std::size_t i);
+  /// coeff * m.
+  static Polynomial term(double coeff, const Monomial& m);
+
+  std::size_t nvars() const { return nvars_; }
+
+  /// Coefficient of a monomial (0 when absent).
+  double coefficient(const Monomial& m) const;
+  /// Adds coeff * m (dropping the term if it cancels out).
+  void add_term(const Monomial& m, double coeff);
+
+  /// Terms in deterministic (lexicographic exponent) order.
+  const std::map<std::vector<unsigned>, double>& terms() const { return terms_; }
+
+  bool is_zero(double tol = 0.0) const;
+  unsigned degree() const;
+
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator-(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;
+  Polynomial operator*(double s) const;
+  Polynomial operator-() const;
+
+  Polynomial& operator+=(const Polynomial& o);
+  Polynomial& operator-=(const Polynomial& o);
+
+  /// this^k (k >= 0).
+  Polynomial pow(unsigned k) const;
+
+  double eval(const std::vector<double>& x) const;
+
+  /// d/dx_i.
+  Polynomial derivative(std::size_t i) const;
+
+  /// Largest |coefficient| difference against another polynomial.
+  double max_coeff_difference(const Polynomial& o) const;
+
+  /// Drops terms with |coeff| <= tol.
+  Polynomial pruned(double tol) const;
+
+  /// "2*x0*x1 - x2^2 + 1".
+  std::string to_string() const;
+
+ private:
+  std::size_t nvars_;
+  std::map<std::vector<unsigned>, double> terms_;
+};
+
+/// The Motzkin polynomial x^4 y^2 + x^2 y^4 + z^6 - 3 x^2 y^2 z^2:
+/// nonnegative on R^3 yet not a sum of squares (Section 6.2).
+Polynomial motzkin_polynomial();
+
+}  // namespace epi

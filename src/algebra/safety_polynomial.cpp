@@ -1,0 +1,71 @@
+#include "algebra/safety_polynomial.h"
+
+namespace epi {
+
+Polynomial event_probability_in_params(const WorldSet& x) {
+  const unsigned n = x.n();
+  Polynomial result(n);
+  x.for_each([&](World w) {
+    Polynomial term = Polynomial::constant(n, 1.0);
+    for (unsigned i = 0; i < n; ++i) {
+      const Polynomial pi = Polynomial::variable(n, i);
+      if (world_bit(w, i)) {
+        term = term * pi;
+      } else {
+        term = term * (Polynomial::constant(n, 1.0) - pi);
+      }
+    }
+    result += term;
+  });
+  return result;
+}
+
+Polynomial product_safety_margin(const WorldSet& a, const WorldSet& b) {
+  const Polynomial pa = event_probability_in_params(a);
+  const Polynomial pb = event_probability_in_params(b);
+  const Polynomial pab = event_probability_in_params(a & b);
+  return pa * pb - pab;
+}
+
+Polynomial product_safety_margin_factored(const WorldSet& a, const WorldSet& b) {
+  const Polynomial p_ab = event_probability_in_params(a & b);
+  const Polynomial p_not_a_b = event_probability_in_params(b - a);
+  const Polynomial p_a_not_b = event_probability_in_params(a - b);
+  const Polynomial p_neither = event_probability_in_params(~(a | b));
+  return p_not_a_b * p_a_not_b - p_ab * p_neither;
+}
+
+Polynomial event_probability_in_weights(const WorldSet& x) {
+  const std::size_t nvars = x.omega_size();
+  Polynomial result(nvars);
+  x.for_each([&](World w) { result += Polynomial::variable(nvars, w); });
+  return result;
+}
+
+Polynomial weight_safety_margin(const WorldSet& a, const WorldSet& b) {
+  const Polynomial pa = event_probability_in_weights(a);
+  const Polynomial pb = event_probability_in_weights(b);
+  const Polynomial pab = event_probability_in_weights(a & b);
+  return pa * pb - pab;
+}
+
+std::vector<Polynomial> supermodularity_constraints_in_weights(unsigned n) {
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<Polynomial> constraints;
+  for (std::size_t x = 0; x < size; ++x) {
+    for (std::size_t y = x + 1; y < size; ++y) {
+      const World u = static_cast<World>(x);
+      const World v = static_cast<World>(y);
+      if (world_leq(u, v) || world_leq(v, u)) continue;
+      const Polynomial meet_join =
+          Polynomial::variable(size, world_meet(u, v)) *
+          Polynomial::variable(size, world_join(u, v));
+      const Polynomial direct =
+          Polynomial::variable(size, u) * Polynomial::variable(size, v);
+      constraints.push_back(meet_join - direct);
+    }
+  }
+  return constraints;
+}
+
+}  // namespace epi

@@ -1,0 +1,38 @@
+// Polynomial encodings of the safety question (Section 6):
+//  * in Bernoulli parameters p_1..p_n for product families (Section 6.1), and
+//  * in world weights p_x, x in {0,1}^n, for general algebraic families.
+#pragma once
+
+#include "algebra/polynomial.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// P[X] as a polynomial in the Bernoulli parameters p_0..p_{n-1}:
+/// sum over members of prod p_i^{x[i]} (1-p_i)^{1-x[i]} (Equation (17)).
+Polynomial event_probability_in_params(const WorldSet& x);
+
+/// The product-prior safety *margin* P[A]P[B] - P[AB] as a polynomial in
+/// p_0..p_{n-1}. Safe_{Pi_m0}(A,B) holds iff this polynomial is nonnegative
+/// on the box [0,1]^n.
+Polynomial product_safety_margin(const WorldSet& a, const WorldSet& b);
+
+/// The same margin in the factored form P[A'B] P[AB'] - P[AB] P[A'B'] used
+/// by the cancellation criterion; identical as a polynomial (asserted by
+/// tests), exposed for the Prop. 5.9 cross-check.
+Polynomial product_safety_margin_factored(const WorldSet& a, const WorldSet& b);
+
+/// P[X] as a polynomial in 2^n world-weight variables p_x (one per world):
+/// simply the sum of the members' variables. Used by general algebraic
+/// families Pi over the weight simplex (Section 6).
+Polynomial event_probability_in_weights(const WorldSet& x);
+
+/// The weight-space safety margin P[A]P[B] - P[AB] over 2^n variables.
+Polynomial weight_safety_margin(const WorldSet& a, const WorldSet& b);
+
+/// The log-supermodularity constraints p_{x/\y} p_{x\/y} - p_x p_y >= 0 for
+/// all incomparable pairs, as polynomials in the 2^n weight variables —
+/// the algebraic description of Pi_m+ given in Section 6.
+std::vector<Polynomial> supermodularity_constraints_in_weights(unsigned n);
+
+}  // namespace epi

@@ -1,0 +1,102 @@
+#include "approx/frameworks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epi {
+
+double logit(double p) {
+  if (p <= 0.0) return -kLogitCap;
+  if (p >= 1.0) return kLogitCap;
+  return std::clamp(std::log(p / (1.0 - p)), -kLogitCap, kLogitCap);
+}
+
+bool rho1_rho2_breach(const Distribution& prior, const WorldSet& a,
+                      const WorldSet& b, double rho1, double rho2) {
+  if (!(rho1 < rho2)) {
+    throw std::invalid_argument("rho1_rho2_breach: requires rho1 < rho2");
+  }
+  if (prior.prob(b) <= 0.0) return false;
+  return prior.prob(a) <= rho1 && prior.conditional(a, b) >= rho2;
+}
+
+bool lambda_safe(const Distribution& prior, const WorldSet& a, const WorldSet& b,
+                 double lambda) {
+  if (!(lambda > 0.0 && lambda < 1.0)) {
+    throw std::invalid_argument("lambda_safe: lambda must be in (0,1)");
+  }
+  if (prior.prob(b) <= 0.0) return true;
+  const double pa = prior.prob(a);
+  const double pab = prior.conditional(a, b);
+  if (pa <= 0.0) return pab <= 0.0;  // ratio undefined unless both zero
+  const double ratio = pab / pa;
+  return ratio >= 1.0 - lambda && ratio <= 1.0 / (1.0 - lambda);
+}
+
+bool lambda_safe_gain_only(const Distribution& prior, const WorldSet& a,
+                           const WorldSet& b, double lambda) {
+  if (!(lambda > 0.0 && lambda < 1.0)) {
+    throw std::invalid_argument("lambda_safe_gain_only: lambda must be in (0,1)");
+  }
+  if (prior.prob(b) <= 0.0) return true;
+  const double pa = prior.prob(a);
+  const double pab = prior.conditional(a, b);
+  if (pa <= 0.0) return pab <= 0.0;
+  return pab / pa <= 1.0 / (1.0 - lambda);
+}
+
+double logit_gain(const Distribution& prior, const WorldSet& a, const WorldSet& b) {
+  if (prior.prob(b) <= 0.0) return 0.0;
+  return logit(prior.conditional(a, b)) - logit(prior.prob(a));
+}
+
+bool sulq_safe(const Distribution& prior, const WorldSet& a, const WorldSet& b,
+               double epsilon) {
+  return std::abs(logit_gain(prior, a, b)) <= epsilon;
+}
+
+bool sulq_safe_gain_only(const Distribution& prior, const WorldSet& a,
+                         const WorldSet& b, double epsilon) {
+  return logit_gain(prior, a, b) <= epsilon;
+}
+
+FrameworkAssessment assess_over_product_priors(const WorldSet& a, const WorldSet& b,
+                                               Rng& rng, int samples, double rho1,
+                                               double rho2) {
+  FrameworkAssessment out;
+  out.min_ratio = 1.0;
+  out.max_ratio = 1.0;
+  const unsigned n = a.n();
+  for (int s = 0; s < samples; ++s) {
+    ProductDistribution p = [&] {
+      if (s % 3 == 0) {
+        // Corner-biased parameters expose ratio extremes.
+        std::vector<double> params(n);
+        for (double& v : params) {
+          v = rng.next_bool() ? 0.02 + 0.08 * rng.next_double()
+                              : 0.90 + 0.08 * rng.next_double();
+        }
+        return ProductDistribution(params);
+      }
+      return ProductDistribution::random(n, rng);
+    }();
+    const double pb = p.prob(b);
+    if (pb <= 1e-12) continue;
+    const double pa = p.prob(a);
+    const double pab = p.prob(a & b) / pb;
+    out.max_gain = std::max(out.max_gain, pab - pa);
+    const double gain = logit(pab) - logit(pa);
+    out.max_logit_gain = std::max(out.max_logit_gain, gain);
+    out.max_logit_loss = std::max(out.max_logit_loss, -gain);
+    if (pa > 1e-12) {
+      const double ratio = pab / pa;
+      out.max_ratio = std::max(out.max_ratio, ratio);
+      out.min_ratio = std::min(out.min_ratio, ratio);
+    }
+    out.breach_rho = out.breach_rho || (pa <= rho1 && pab >= rho2);
+  }
+  return out;
+}
+
+}  // namespace epi

@@ -1,0 +1,84 @@
+// The approximate-privacy frameworks the paper surveys in Section 1.1, used
+// as comparison baselines for epistemic privacy:
+//
+//  * rho1-to-rho2 privacy breaches (Evfimievski, Gehrke & Srikant [12]):
+//    disclosure of B causes a breach when P[A] <= rho1 yet P[A|B] >= rho2;
+//  * the lambda bound (Kenthapadi, Mishra & Nissim [18]):
+//    1 - lambda <= P[A|B] / P[A] <= 1/(1 - lambda);
+//  * the SuLQ logit bound (Blum, Dwork, McSherry & Nissim [5], Eq. (2)):
+//    | logit P[A|B] - logit P[A] | <= epsilon, where logit p = log(p/(1-p)).
+//
+// The paper's key observation (Section 1.1): all of these are symmetric —
+// they punish confidence LOSS as much as confidence gain — while all of
+// their guarantees survive if only the gain side is kept. We implement both
+// the symmetric originals and the gain-only (epistemic-spirit) variants so
+// the flexibility difference can be measured (experiment E12).
+#pragma once
+
+#include "probabilistic/distribution.h"
+#include "probabilistic/product.h"
+#include "util/rng.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// log(p / (1-p)); saturates to +-kLogitCap instead of +-infinity so that
+/// comparisons against finite epsilon stay meaningful at p in {0,1}.
+double logit(double p);
+inline constexpr double kLogitCap = 50.0;
+
+/// [12]: true when the prior suffers a rho1-to-rho2 breach upon learning B
+/// (requires rho1 < rho2). Only meaningful when P[B] > 0.
+bool rho1_rho2_breach(const Distribution& prior, const WorldSet& a,
+                      const WorldSet& b, double rho1, double rho2);
+
+/// [18]: the multiplicative bound on P[A|B]/P[A]. Symmetric original.
+bool lambda_safe(const Distribution& prior, const WorldSet& a, const WorldSet& b,
+                 double lambda);
+/// Gain-only variant: only P[A|B]/P[A] <= 1/(1-lambda) is required.
+bool lambda_safe_gain_only(const Distribution& prior, const WorldSet& a,
+                           const WorldSet& b, double lambda);
+
+/// The (log-odds) confidence change logit P[A|B] - logit P[A].
+double logit_gain(const Distribution& prior, const WorldSet& a, const WorldSet& b);
+
+/// [5] Eq. (2), per-disclosure form: |logit gain| <= epsilon. Symmetric.
+bool sulq_safe(const Distribution& prior, const WorldSet& a, const WorldSet& b,
+               double epsilon);
+/// Gain-only variant: logit gain <= epsilon (losses of any size allowed) —
+/// the paper's proposed asymmetric reading of (2).
+bool sulq_safe_gain_only(const Distribution& prior, const WorldSet& a,
+                         const WorldSet& b, double epsilon);
+
+/// Worst-case assessment of a disclosure over sampled product priors: the
+/// family-level analogue used to compare frameworks on equal footing.
+struct FrameworkAssessment {
+  double max_gain = 0.0;            ///< max P[A|B] - P[A]
+  double max_logit_gain = 0.0;      ///< max logit change upward
+  double max_logit_loss = 0.0;      ///< max logit change downward (>= 0)
+  double max_ratio = 0.0;           ///< max P[A|B]/P[A]
+  double min_ratio = 0.0;           ///< min P[A|B]/P[A]
+  bool breach_rho = false;          ///< some prior suffers a rho1->rho2 breach
+
+  /// Verdicts under each framework at the given thresholds.
+  bool epistemic_ok(double tol = 1e-9) const { return max_gain <= tol; }
+  bool sulq_ok(double epsilon) const {
+    return max_logit_gain <= epsilon && max_logit_loss <= epsilon;
+  }
+  bool sulq_gain_only_ok(double epsilon) const { return max_logit_gain <= epsilon; }
+  bool lambda_ok(double lambda) const {
+    return min_ratio >= 1.0 - lambda && max_ratio <= 1.0 / (1.0 - lambda);
+  }
+  bool lambda_gain_only_ok(double lambda) const {
+    return max_ratio <= 1.0 / (1.0 - lambda);
+  }
+};
+
+/// Samples `samples` random product priors (plus structured corner-ish ones)
+/// and aggregates the worst confidence changes for the disclosure of B with
+/// audited property A.
+FrameworkAssessment assess_over_product_priors(const WorldSet& a, const WorldSet& b,
+                                               Rng& rng, int samples = 4000,
+                                               double rho1 = 0.5, double rho2 = 0.8);
+
+}  // namespace epi

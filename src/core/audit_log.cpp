@@ -1,0 +1,48 @@
+#include "core/audit_log.h"
+
+#include <algorithm>
+
+#include "db/parser.h"
+
+namespace epi {
+
+WorldSet Disclosure::disclosed_set(const RecordUniverse& universe) const {
+  const WorldSet satisfying = query->compile(universe);
+  return answer ? satisfying : ~satisfying;
+}
+
+bool AuditLog::record(const std::string& user, const std::string& query_text,
+                      const InMemoryDatabase& db, const std::string& timestamp) {
+  Disclosure d;
+  d.user = user;
+  d.query_text = query_text;
+  d.query = parse_query(query_text);
+  d.answer = db.answer(*d.query);
+  d.timestamp = timestamp;
+  entries_.push_back(std::move(d));
+  return entries_.back().answer;
+}
+
+void AuditLog::record_with_answer(const std::string& user,
+                                  const std::string& query_text, bool answer,
+                                  const std::string& timestamp) {
+  Disclosure d;
+  d.user = user;
+  d.query_text = query_text;
+  d.query = parse_query(query_text);
+  d.answer = answer;
+  d.timestamp = timestamp;
+  entries_.push_back(std::move(d));
+}
+
+std::vector<std::string> AuditLog::users() const {
+  std::vector<std::string> out;
+  for (const Disclosure& d : entries_) {
+    if (std::find(out.begin(), out.end(), d.user) == out.end()) {
+      out.push_back(d.user);
+    }
+  }
+  return out;
+}
+
+}  // namespace epi

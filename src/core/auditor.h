@@ -1,0 +1,90 @@
+// The offline auditor — the paper's motivating application. Given an audit
+// query A (the sensitive property), assumptions about users' prior knowledge,
+// and a log of answered queries, it decides for each disclosure whether the
+// user could have *gained* confidence in A (Definitions 3.1 / 3.4), and
+// additionally audits each user's accumulated disclosures (Section 3.3:
+// acquiring B1 then B2 equals acquiring B1 ∩ B2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <memory>
+#include <optional>
+
+#include "core/audit_log.h"
+#include "criteria/verdict.h"
+#include "optimize/emptiness.h"
+#include "possibilistic/intervals.h"
+
+namespace epi {
+
+/// The auditor's assumption about users' prior knowledge.
+enum class PriorAssumption {
+  kUnrestricted,      ///< any prior (Theorem 3.11 — exact and instant)
+  kProduct,           ///< record-wise independence, Pi_m0 (Section 5.1)
+  kLogSupermodular,   ///< no negative correlations, Pi_m+ (Section 5)
+  /// Possibilistic: the user knows the exact contents of some subset of
+  /// records (the subcube family; Section 4.1 machinery, always definite).
+  kSubcubeKnowledge,
+};
+
+std::string to_string(PriorAssumption prior);
+
+/// The verdict for one disclosure (or one user's accumulated disclosures).
+struct AuditFinding {
+  std::string user;
+  std::string query_text;  ///< the query, or "<conjunction of k answers>"
+  bool answer = false;
+  Verdict verdict = Verdict::kUnknown;
+  std::string method;      ///< the deciding criterion/stage
+  bool certified = false;  ///< proof-backed (criterion/witness/SOS), not numerics
+  double numeric_gap = 0.0;
+  std::string detail;      ///< witness description when unsafe
+};
+
+/// Complete audit output.
+struct AuditReport {
+  std::string audit_query;
+  PriorAssumption prior = PriorAssumption::kUnrestricted;
+  std::vector<AuditFinding> per_disclosure;
+  std::vector<AuditFinding> per_user_cumulative;
+
+  std::size_t count(Verdict v) const;
+};
+
+/// Tuning knobs for the auditor's decision stages.
+struct AuditorOptions {
+  bool enable_sos = true;        ///< SOS certificate stage (product prior)
+  unsigned max_sos_records = 4;  ///< skip SOS above this many records
+  AscentOptions ascent;          ///< optimizer budget (product prior)
+};
+
+/// Offline auditor over a fixed record universe.
+class Auditor {
+ public:
+  Auditor(RecordUniverse universe, PriorAssumption prior,
+          AuditorOptions options = {});
+
+  const RecordUniverse& universe() const { return universe_; }
+  PriorAssumption prior() const { return prior_; }
+
+  /// Audits every disclosure in the log, plus each user's conjunction,
+  /// against the sensitive property given as query text.
+  AuditReport audit(const AuditLog& log, const std::string& audit_query_text) const;
+
+  /// One A-vs-B decision under the configured prior assumption.
+  AuditFinding audit_sets(const WorldSet& a, const WorldSet& b) const;
+
+ private:
+  RecordUniverse universe_;
+  PriorAssumption prior_;
+  AuditorOptions options_;
+  void ensure_subcube_oracle() const;
+
+  /// Lazily-built subcube interval oracle (kSubcubeKnowledge only); shared
+  /// across audits so interval memoization is amortized over the log.
+  mutable std::shared_ptr<IntervalOracle> subcube_oracle_;
+};
+
+}  // namespace epi

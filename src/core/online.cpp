@@ -1,0 +1,80 @@
+#include "core/online.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+std::string to_string(OnlineStrategy strategy) {
+  switch (strategy) {
+    case OnlineStrategy::kTruthfulWhenSafe:
+      return "truthful-when-safe";
+    case OnlineStrategy::kSimulatable:
+      return "simulatable";
+  }
+  return "?";
+}
+
+OnlineAuditSession::OnlineAuditSession(WorldSet sensitive, World actual,
+                                       OnlineStrategy strategy)
+    : sensitive_(std::move(sensitive)),
+      actual_(actual),
+      strategy_(strategy),
+      agent_knowledge_(WorldSet::universe(sensitive_.n())) {
+  if (actual_ >= agent_knowledge_.omega_size()) {
+    throw std::invalid_argument("OnlineAuditSession: actual world out of range");
+  }
+}
+
+bool OnlineAuditSession::would_deny(const WorldSet& query_true_set, World world,
+                                    const WorldSet& knowledge) const {
+  // The truthful answer in `world` discloses B_world = the answer's worlds.
+  auto reveals = [&](World w) {
+    const WorldSet disclosed =
+        query_true_set.contains(w) ? query_true_set : ~query_true_set;
+    const WorldSet updated = knowledge & disclosed;
+    // Knowledge of A is gained iff the agent did not know A and would after.
+    return !knowledge.subset_of(sensitive_) && !updated.is_empty() &&
+           updated.subset_of(sensitive_);
+  };
+  switch (strategy_) {
+    case OnlineStrategy::kTruthfulWhenSafe:
+      return reveals(world);
+    case OnlineStrategy::kSimulatable: {
+      // Deny iff ANY world the agent considers possible would force a
+      // revealing answer — computable without looking at the actual world.
+      bool deny = false;
+      knowledge.for_each([&](World w) { deny = deny || reveals(w); });
+      return deny;
+    }
+  }
+  return true;
+}
+
+OnlineResponse OnlineAuditSession::ask(const WorldSet& query_true_set) {
+  if (query_true_set.n() != sensitive_.n()) {
+    throw std::invalid_argument("ask: query over wrong world space");
+  }
+  OnlineResponse response;
+  response.denied = would_deny(query_true_set, actual_, agent_knowledge_);
+  if (response.denied) {
+    ++denials_;
+    // A strategy-aware agent learns from the denial: only worlds in which
+    // the strategy would also deny remain possible.
+    WorldSet deny_worlds(sensitive_.n());
+    agent_knowledge_.for_each([&](World w) {
+      if (would_deny(query_true_set, w, agent_knowledge_)) deny_worlds.insert(w);
+    });
+    agent_knowledge_ &= deny_worlds;
+  } else {
+    response.answer = query_true_set.contains(actual_);
+    agent_knowledge_ &= response.answer ? query_true_set : ~query_true_set;
+  }
+  response.agent_knowledge = agent_knowledge_;
+  return response;
+}
+
+bool OnlineAuditSession::agent_knows_sensitive() const {
+  return !agent_knowledge_.is_empty() && agent_knowledge_.subset_of(sensitive_);
+}
+
+}  // namespace epi

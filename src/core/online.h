@@ -1,0 +1,85 @@
+// Online (proactive) auditing — the paper's Section 7 future-work direction
+// ("apply the new frameworks to online auditing, which will require the
+// modeling of a user's knowledge about the auditor's query-answering
+// strategy"), built on the possibilistic machinery.
+//
+// The online auditor receives a stream of Boolean queries and must answer or
+// deny each one. The crux (introduction's Alice/Bob example): a DENIAL is
+// itself an answer to the implicit query "would the strategy deny here?", so
+// a strategy whose denials depend on the actual database leaks through them.
+// We model an agent who knows the strategy and updates on denials
+// accordingly, and provide two strategies to compare:
+//
+//  * kTruthfulWhenSafe — deny only when the truthful answer would reveal the
+//    sensitive set A to the current agent. Its denial set depends on the
+//    actual world, so denials leak (the paper's intro pitfall).
+//  * kSimulatable — deny when ANY world the agent still considers possible
+//    would make the truthful answer reveal A (in the spirit of Kenthapadi,
+//    Mishra & Nissim's simulatable auditing, the paper's [18]). The denial
+//    decision is a function of the query and the agent's knowledge only, so
+//    denials carry no information about the actual database.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// Query-answering strategies for the online auditor.
+enum class OnlineStrategy {
+  kTruthfulWhenSafe,  ///< deny iff the truthful answer would reveal A (leaky)
+  kSimulatable,       ///< deny iff some possible world's answer would reveal A
+};
+
+std::string to_string(OnlineStrategy strategy);
+
+/// One interaction's outcome.
+struct OnlineResponse {
+  bool denied = false;
+  bool answer = false;  ///< meaningful only when !denied
+  /// The worlds the strategy-aware agent still considers possible afterwards.
+  WorldSet agent_knowledge;
+
+  OnlineResponse() : agent_knowledge(1) {}
+};
+
+/// Simulates the online auditor AND the strategy-aware possibilistic agent
+/// in lockstep. The sensitive set A is fixed; the agent starts with no
+/// knowledge (all worlds possible) and must never come to know A.
+class OnlineAuditSession {
+ public:
+  /// `sensitive` is the audited set A; `actual` the real database omega*.
+  /// Requires omega* in A or not — both are allowed; only knowledge of A is
+  /// protected (a negative fact is disclosable, Section 3's asymmetry).
+  OnlineAuditSession(WorldSet sensitive, World actual, OnlineStrategy strategy);
+
+  /// Processes one query given as the set of worlds where it is true.
+  /// Returns the response and advances the simulated agent's knowledge.
+  OnlineResponse ask(const WorldSet& query_true_set);
+
+  /// The agent's current knowledge set S.
+  const WorldSet& agent_knowledge() const { return agent_knowledge_; }
+
+  /// True when the agent has come to know A (S ⊆ A) — a privacy breach.
+  bool agent_knows_sensitive() const;
+
+  /// Number of denials so far.
+  int denials() const { return denials_; }
+
+ private:
+  /// Would the strategy deny `query` in a hypothetical world `world`, given
+  /// agent knowledge `knowledge`? Used both to act and to model the agent's
+  /// inference from denials.
+  bool would_deny(const WorldSet& query_true_set, World world,
+                  const WorldSet& knowledge) const;
+
+  WorldSet sensitive_;
+  World actual_;
+  OnlineStrategy strategy_;
+  WorldSet agent_knowledge_;
+  int denials_ = 0;
+};
+
+}  // namespace epi

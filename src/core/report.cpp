@@ -1,0 +1,38 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace epi {
+namespace {
+
+void append_rows(std::ostringstream& os, const std::vector<AuditFinding>& rows) {
+  for (const AuditFinding& f : rows) {
+    os << "  " << std::left << std::setw(10) << f.user << std::setw(44)
+       << (f.query_text + (f.answer ? " = true" : " = false")) << std::setw(9)
+       << to_string(f.verdict) << std::setw(34) << f.method
+       << (f.certified ? "certified" : "numeric") << "\n";
+    if (!f.detail.empty()) {
+      os << "      witness: " << f.detail << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string format_report(const AuditReport& report) {
+  std::ostringstream os;
+  os << "Audit query  : " << report.audit_query << "\n";
+  os << "Prior family : " << to_string(report.prior) << "\n";
+  os << "Disclosures  : " << report.per_disclosure.size() << " ("
+     << report.count(Verdict::kUnsafe) << " unsafe, "
+     << report.count(Verdict::kSafe) << " safe, "
+     << report.count(Verdict::kUnknown) << " unknown)\n";
+  os << "\nPer disclosure:\n";
+  append_rows(os, report.per_disclosure);
+  os << "\nPer user (accumulated knowledge, Section 3.3):\n";
+  append_rows(os, report.per_user_cumulative);
+  return os.str();
+}
+
+}  // namespace epi

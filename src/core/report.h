@@ -1,0 +1,14 @@
+// Plain-text rendering of audit reports.
+#pragma once
+
+#include <string>
+
+#include "core/auditor.h"
+
+namespace epi {
+
+/// Renders a report as an aligned text table with one row per disclosure and
+/// a per-user cumulative section.
+std::string format_report(const AuditReport& report);
+
+}  // namespace epi

@@ -1,0 +1,112 @@
+#include "core/scenario.h"
+
+#include <memory>
+#include <sstream>
+
+namespace epi {
+namespace {
+
+PriorAssumption parse_prior(int line, const std::string& kind) {
+  if (kind == "unrestricted") return PriorAssumption::kUnrestricted;
+  if (kind == "product") return PriorAssumption::kProduct;
+  if (kind == "log-supermodular") return PriorAssumption::kLogSupermodular;
+  if (kind == "subcube-knowledge") return PriorAssumption::kSubcubeKnowledge;
+  throw ScenarioError(line, "unknown prior '" + kind + "'");
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t start = s.find_first_not_of(" \t");
+  if (start == std::string::npos) return "";
+  const std::size_t end = s.find_last_not_of(" \t");
+  return s.substr(start, end - start + 1);
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(std::istream& input, const AuditorOptions& options) {
+  ScenarioResult result;
+  PriorAssumption prior = PriorAssumption::kUnrestricted;
+  std::unique_ptr<InMemoryDatabase> db;
+  int line_number = 0;
+  std::string line;
+
+  auto ensure_db = [&]() -> InMemoryDatabase& {
+    if (!db) {
+      if (result.universe.empty()) {
+        throw ScenarioError(line_number, "no records declared");
+      }
+      db = std::make_unique<InMemoryDatabase>(result.universe);
+    }
+    return *db;
+  };
+
+  while (std::getline(input, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive) || directive[0] == '#') continue;
+    try {
+      if (directive == "record") {
+        std::string name;
+        if (!(ls >> name)) throw ScenarioError(line_number, "record needs a name");
+        if (db) throw ScenarioError(line_number, "records must precede use");
+        result.universe.add(name);
+      } else if (directive == "insert" || directive == "remove") {
+        std::string name;
+        if (!(ls >> name)) throw ScenarioError(line_number, "missing record name");
+        if (directive == "insert") {
+          ensure_db().insert(name);
+        } else {
+          ensure_db().remove(name);
+        }
+      } else if (directive == "prior") {
+        std::string kind;
+        ls >> kind;
+        prior = parse_prior(line_number, kind);
+      } else if (directive == "query") {
+        std::string user;
+        if (!(ls >> user)) throw ScenarioError(line_number, "query needs a user");
+        std::string rest;
+        std::getline(ls, rest);
+        rest = trim(rest);
+        std::string timestamp;
+        if (!rest.empty() && rest[0] == '@') {
+          const std::size_t space = rest.find(' ');
+          if (space == std::string::npos) {
+            throw ScenarioError(line_number, "query needs text after timestamp");
+          }
+          timestamp = rest.substr(1, space - 1);
+          rest = trim(rest.substr(space));
+        }
+        if (rest.empty()) throw ScenarioError(line_number, "empty query text");
+        const bool answer =
+            result.log.record(user, rest, ensure_db(), timestamp);
+        result.query_trace.push_back(user + ": " + rest + " -> " +
+                                     (answer ? "true" : "false"));
+      } else if (directive == "audit") {
+        std::string audit_query;
+        std::getline(ls, audit_query);
+        audit_query = trim(audit_query);
+        if (audit_query.empty()) throw ScenarioError(line_number, "empty audit query");
+        ensure_db();
+        Auditor auditor(result.universe, prior, options);
+        result.reports.push_back(auditor.audit(result.log, audit_query));
+      } else {
+        throw ScenarioError(line_number, "unknown directive '" + directive + "'");
+      }
+    } catch (const ScenarioError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw ScenarioError(line_number, e.what());
+    }
+  }
+  result.final_state = db ? db->state() : 0;
+  return result;
+}
+
+ScenarioResult run_scenario(const std::string& text, const AuditorOptions& options) {
+  std::istringstream in(text);
+  return run_scenario(in, options);
+}
+
+}  // namespace epi

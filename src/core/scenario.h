@@ -1,0 +1,52 @@
+// Scenario scripts: a small line-based language describing records, database
+// changes, logged queries, prior assumptions and audit requests. Used by the
+// audit_cli example and by tests to stage end-to-end audits from text.
+//
+// Directives (one per line, '#' starts a comment):
+//   record <name>                   declare a relevant record
+//   insert <name> / remove <name>   change the actual database
+//   prior unrestricted|product|log-supermodular|subcube-knowledge
+//   query <user> [@<timestamp>] <query-text>
+//   audit <query-text>              run an audit; the report is appended to
+//                                   ScenarioResult::reports
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/auditor.h"
+
+namespace epi {
+
+/// Thrown on malformed scenario input; what() names the offending line.
+class ScenarioError : public std::runtime_error {
+ public:
+  ScenarioError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// The outcome of running a scenario.
+struct ScenarioResult {
+  RecordUniverse universe;
+  World final_state = 0;
+  AuditLog log;
+  std::vector<AuditReport> reports;          ///< one per `audit` directive
+  std::vector<std::string> query_trace;      ///< "user query -> answer" lines
+};
+
+/// Executes a scenario script. Throws ScenarioError on bad input.
+ScenarioResult run_scenario(std::istream& input,
+                            const AuditorOptions& options = {});
+
+/// Convenience overload for in-memory scripts.
+ScenarioResult run_scenario(const std::string& text,
+                            const AuditorOptions& options = {});
+
+}  // namespace epi

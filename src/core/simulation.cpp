@@ -1,0 +1,65 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace epi {
+
+std::vector<ConfidencePoint> confidence_trajectory(const Distribution& prior,
+                                                   const AuditLog& log,
+                                                   const RecordUniverse& universe,
+                                                   const WorldSet& sensitive,
+                                                   const std::string& user) {
+  std::vector<ConfidencePoint> out;
+  ConfidencePoint start;
+  start.confidence = prior.prob(sensitive);
+  out.push_back(start);
+
+  WorldSet accumulated = WorldSet::universe(sensitive.n());
+  bool inconsistent = false;
+  std::size_t step = 0;
+  for (const Disclosure& d : log.entries()) {
+    if (d.user != user) continue;
+    ++step;
+    ConfidencePoint point;
+    point.step = step;
+    point.query_text = d.query_text;
+    point.answer = d.answer;
+    accumulated &= d.disclosed_set(universe);
+    if (!inconsistent && prior.prob(accumulated) > 0.0) {
+      point.confidence = prior.conditional(sensitive, accumulated);
+    } else {
+      inconsistent = true;
+      point.inconsistent = true;
+      point.confidence = std::numeric_limits<double>::quiet_NaN();
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::string render_trajectory(const std::vector<ConfidencePoint>& trajectory,
+                              unsigned width) {
+  std::ostringstream os;
+  for (const ConfidencePoint& p : trajectory) {
+    if (p.step == 0) {
+      os << "  prior                                   ";
+    } else {
+      std::string label = p.query_text + (p.answer ? " = true" : " = false");
+      if (label.size() > 38) label = label.substr(0, 35) + "...";
+      os << "  " << label << std::string(40 - std::min<std::size_t>(label.size(), 38), ' ');
+    }
+    if (p.inconsistent) {
+      os << "| (prior ruled out by history)\n";
+      continue;
+    }
+    const unsigned bars =
+        static_cast<unsigned>(std::lround(p.confidence * width));
+    os << "|" << std::string(bars, '#') << std::string(width - bars, ' ') << "| "
+       << p.confidence << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace epi

@@ -1,0 +1,39 @@
+// Confidence-trajectory simulation: replay a user's answered queries against
+// a hypothetical prior and track the posterior probability of the sensitive
+// property after each acquisition (Section 3.3's sequential knowledge
+// updates made visible). Used to illustrate audits and to sanity-check
+// verdicts: an unsafe disclosure shows as an upward step for some prior.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "probabilistic/distribution.h"
+
+namespace epi {
+
+/// One step of the trajectory.
+struct ConfidencePoint {
+  std::size_t step = 0;        ///< 0 = prior, k = after the k-th disclosure
+  std::string query_text;      ///< empty at step 0
+  bool answer = false;
+  double confidence = 0.0;     ///< P[A | B_1 ∩ ... ∩ B_k]
+  bool inconsistent = false;   ///< prior assigns zero mass to the history
+};
+
+/// Replays `user`'s disclosures from the log in order against `prior`,
+/// recording P[A | accumulated knowledge] after each. Once the accumulated
+/// event has zero prior mass, remaining points are marked inconsistent (the
+/// prior is ruled out by the observed answers).
+std::vector<ConfidencePoint> confidence_trajectory(const Distribution& prior,
+                                                   const AuditLog& log,
+                                                   const RecordUniverse& universe,
+                                                   const WorldSet& sensitive,
+                                                   const std::string& user);
+
+/// Renders a trajectory as a small ASCII chart (one line per step).
+std::string render_trajectory(const std::vector<ConfidencePoint>& trajectory,
+                              unsigned width = 40);
+
+}  // namespace epi

@@ -1,0 +1,68 @@
+#include "core/workload.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+std::string random_workload_query(const std::vector<std::string>& names, Rng& rng,
+                                  const WorkloadOptions& options) {
+  if (names.empty()) throw std::invalid_argument("random_workload_query: no records");
+  const double total = options.point_weight + options.implication_weight +
+                       options.negation_weight + options.counting_weight;
+  if (total <= 0.0) throw std::invalid_argument("random_workload_query: zero weights");
+  double pick = rng.next_double() * total;
+  auto name = [&] { return names[rng.next_below(names.size())]; };
+
+  if ((pick -= options.point_weight) < 0.0) {
+    return name();
+  }
+  if ((pick -= options.implication_weight) < 0.0) {
+    const std::string lhs = name();
+    std::string rhs = name();
+    if (rhs == lhs && names.size() > 1) rhs = names[(rng.next_below(names.size()))];
+    return lhs + " -> " + rhs;
+  }
+  if ((pick -= options.negation_weight) < 0.0) {
+    if (rng.next_bool() && names.size() > 1) {
+      return "!(" + name() + " & " + name() + ")";
+    }
+    return "!" + name();
+  }
+  // Counting query over a random subset.
+  const std::size_t subset = 2 + rng.next_below(std::min<std::size_t>(names.size(), 3));
+  std::string body;
+  for (std::size_t i = 0; i < subset; ++i) body += ", " + name();
+  const unsigned k = 1 + static_cast<unsigned>(rng.next_below(subset));
+  return (rng.next_bool() ? "atleast(" : "atmost(") + std::to_string(k) + body + ")";
+}
+
+Workload make_hospital_workload(const WorkloadOptions& options) {
+  if (options.patients == 0 || options.patients > kMaxCoordinates) {
+    throw std::invalid_argument("make_hospital_workload: bad patient count");
+  }
+  RecordUniverse universe;
+  std::vector<std::string> names;
+  for (unsigned p = 0; p < options.patients; ++p) {
+    const std::string name = "p" + std::to_string(p) + "_cond";
+    universe.add(Record{name, {{"patient", "p" + std::to_string(p)}}});
+    names.push_back(name);
+  }
+
+  Workload workload(universe);
+  Rng rng(options.seed);
+  for (const std::string& name : names) {
+    if (rng.next_bool(options.record_present_prob)) {
+      workload.database.insert(name);
+    }
+  }
+  for (int q = 0; q < options.queries; ++q) {
+    const std::string user = "user" + std::to_string(rng.next_below(options.users));
+    const std::string query = random_workload_query(names, rng, options);
+    workload.log.record(user, query, workload.database,
+                        "t" + std::to_string(q));
+  }
+  workload.audit_candidates = names;
+  return workload;
+}
+
+}  // namespace epi

@@ -1,0 +1,47 @@
+// Synthetic audit workloads: hospital-style record universes and query logs
+// with a realistic mix of query shapes (point lookups, implications,
+// negations, counting thresholds). Used by the throughput experiment (E13)
+// and available to applications for load testing their audit pipelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "db/database.h"
+#include "util/rng.h"
+
+namespace epi {
+
+/// Knobs for workload synthesis.
+struct WorkloadOptions {
+  unsigned patients = 4;           ///< one "condition" record per patient
+  double record_present_prob = 0.5;  ///< database density
+  int queries = 100;
+  int users = 5;
+  /// Mix weights (normalized internally).
+  double point_weight = 0.35;       ///< single-record lookups
+  double implication_weight = 0.25; ///< r_i -> r_j
+  double negation_weight = 0.2;     ///< !r_i, !(r_i & r_j)
+  double counting_weight = 0.2;     ///< atleast/atmost over a subset
+  std::uint64_t seed = 0xAB5;
+};
+
+/// A generated scenario: universe, populated database and filled log.
+struct Workload {
+  RecordUniverse universe;
+  InMemoryDatabase database;
+  AuditLog log;
+  std::vector<std::string> audit_candidates;  ///< record names to audit
+
+  explicit Workload(RecordUniverse u) : universe(u), database(std::move(u)) {}
+};
+
+/// Builds a workload. Record names are "p<k>_cond".
+Workload make_hospital_workload(const WorkloadOptions& options = {});
+
+/// One random query text in the configured mix (exposed for reuse).
+std::string random_workload_query(const std::vector<std::string>& names, Rng& rng,
+                                  const WorkloadOptions& options);
+
+}  // namespace epi

@@ -1,0 +1,32 @@
+#include "criteria/box_necessary.h"
+
+#include <stdexcept>
+
+#include "probabilistic/witness.h"
+
+namespace epi {
+
+BoxNecessaryResult box_necessary_criterion(const WorldSet& a, const WorldSet& b) {
+  if (a.n() != b.n()) throw std::invalid_argument("box_necessary: mismatched n");
+  const TernaryTable ab = TernaryTable::box_counts(a & b);
+  const TernaryTable not_a_b = TernaryTable::box_counts(b - a);
+  const TernaryTable a_not_b = TernaryTable::box_counts(a - b);
+  const TernaryTable neither = TernaryTable::box_counts(~(a | b));
+
+  BoxNecessaryResult result;
+  result.holds = true;
+  for (std::size_t code = 0; code < ab.size(); ++code) {
+    const std::int64_t lhs = not_a_b.at(code) * a_not_b.at(code);
+    const std::int64_t rhs = ab.at(code) * neither.at(code);
+    if (lhs < rhs) {
+      result.holds = false;
+      const MatchVector w = ab.vector_of(code);
+      result.failing_vector = w;
+      result.witness = box_witness(a.n(), w.stars, w.values);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace epi

@@ -1,0 +1,28 @@
+// The box-counting necessary criterion for product-family safety
+// (Proposition 5.10): if Safe_{Pi_m0}(A,B), then for every w in {0,1,*}^n
+//   |A'B ∩ Box(w)| * |AB' ∩ Box(w)|  >=  |AB ∩ Box(w)| * |A'B' ∩ Box(w)|.
+// A violation at w yields an explicit product-prior witness concentrated on
+// Box(w) whose safety gap is positive.
+#pragma once
+
+#include <optional>
+
+#include "probabilistic/product.h"
+#include "worlds/match_vector.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// Outcome of the box-count test.
+struct BoxNecessaryResult {
+  bool holds = false;
+  /// When violated: the offending box and the witness prior on it.
+  std::optional<MatchVector> failing_vector;
+  std::optional<ProductDistribution> witness;
+};
+
+/// Proposition 5.10, checked over all 3^n boxes in O(n * 3^n). Requires
+/// n <= 14 (TernaryTable memory limit).
+BoxNecessaryResult box_necessary_criterion(const WorldSet& a, const WorldSet& b);
+
+}  // namespace epi

@@ -1,0 +1,36 @@
+#include "criteria/cancellation.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+CancellationResult cancellation_criterion(const WorldSet& a, const WorldSet& b) {
+  if (a.n() != b.n()) throw std::invalid_argument("cancellation: mismatched n");
+  const WorldSet ab = a & b;
+  const WorldSet not_a_b = b - a;      // A'B
+  const WorldSet a_not_b = a - b;      // AB'
+  const WorldSet neither = ~(a | b);   // A'B'
+
+  auto positive = circ_counts(not_a_b, a_not_b);
+  auto negative = circ_counts(ab, neither);
+
+  CancellationResult result;
+  result.holds = true;
+  for (const auto& [key, neg_count] : negative) {
+    const auto it = positive.find(key);
+    const std::int64_t pos_count = it == positive.end() ? 0 : it->second;
+    if (pos_count < neg_count) {
+      result.holds = false;
+      MatchVector w;
+      w.stars = static_cast<World>(key >> 32);
+      w.values = static_cast<World>(key & 0xFFFFFFFFull);
+      result.failing_vector = w;
+      result.positive_pairs = pos_count;
+      result.negative_pairs = neg_count;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace epi

@@ -1,0 +1,15 @@
+#include "criteria/miklau_suciu.h"
+
+#include "worlds/monotone.h"
+
+namespace epi {
+
+World shared_critical_coordinates(const WorldSet& a, const WorldSet& b) {
+  return critical_coordinates(a) & critical_coordinates(b);
+}
+
+bool miklau_suciu_independent(const WorldSet& a, const WorldSet& b) {
+  return shared_critical_coordinates(a, b) == 0;
+}
+
+}  // namespace epi

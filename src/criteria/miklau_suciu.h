@@ -1,0 +1,19 @@
+// The Miklau-Suciu perfect-secrecy criterion (Theorem 5.7): A and B are
+// independent under every product distribution iff they share no critical
+// coordinates. Independence implies Safe_{Pi_m0}(A,B) (with equality of the
+// two sides), so this is a sufficient criterion for epistemic privacy — the
+// paper's baseline for comparison.
+#pragma once
+
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// Theorem 5.7: true iff critical(A) ∩ critical(B) = {}; equivalent to
+/// P[AB] = P[A]*P[B] for every product distribution P.
+bool miklau_suciu_independent(const WorldSet& a, const WorldSet& b);
+
+/// The shared critical coordinates (empty mask means the criterion passes).
+World shared_critical_coordinates(const WorldSet& a, const WorldSet& b);
+
+}  // namespace epi

@@ -1,0 +1,38 @@
+#include "criteria/monotonicity.h"
+
+#include <stdexcept>
+
+#include "worlds/monotone.h"
+
+namespace epi {
+
+std::optional<World> monotonicity_mask(const WorldSet& a, const WorldSet& b) {
+  if (a.n() != b.n()) throw std::invalid_argument("monotonicity: mismatched n");
+  // z ^ A is an up-set in coordinate i iff A is increasing in i (z_i = 0) or
+  // decreasing in i (z_i = 1); z ^ B down-set is the mirror condition. Each
+  // coordinate is decided independently.
+  World z = 0;
+  for (unsigned i = 0; i < a.n(); ++i) {
+    const CoordinateDirection da = coordinate_direction(a, i);
+    const CoordinateDirection db = coordinate_direction(b, i);
+    const bool zero_ok = da.increasing && db.decreasing;
+    const bool one_ok = da.decreasing && db.increasing;
+    if (zero_ok) continue;  // prefer z_i = 0
+    if (one_ok) {
+      z |= World{1} << i;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return z;
+}
+
+bool monotonicity_criterion(const WorldSet& a, const WorldSet& b) {
+  return monotonicity_mask(a, b).has_value();
+}
+
+bool upset_downset_criterion(const WorldSet& a, const WorldSet& b) {
+  return (is_upset(a) && is_downset(b)) || (is_downset(a) && is_upset(b));
+}
+
+}  // namespace epi

@@ -1,0 +1,26 @@
+// The monotonicity criterion (Section 5.1): Safe_{Pi_m0}(A,B) holds whenever
+// there is a mask z such that z ^ A is an up-set and z ^ B is a down-set.
+// The z = 0 case is Corollary 5.5 ("a negative answer to a monotone query
+// protects a positive answer to another monotone query"), valid for the whole
+// log-supermodular family Pi_m+.
+#pragma once
+
+#include <optional>
+
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// Finds a mask z with z ^ A an up-set and z ^ B a down-set, in O(n * 2^n)
+/// via per-coordinate direction analysis; nullopt when no mask exists.
+std::optional<World> monotonicity_mask(const WorldSet& a, const WorldSet& b);
+
+/// True when some mask exists (the monotonicity criterion passes, implying
+/// Safe_{Pi_m0}(A,B)).
+bool monotonicity_criterion(const WorldSet& a, const WorldSet& b);
+
+/// Corollary 5.5 exactly: A is an up-set and B is a down-set, or vice versa
+/// — sufficient for Safe over all log-supermodular priors Pi_m+.
+bool upset_downset_criterion(const WorldSet& a, const WorldSet& b);
+
+}  // namespace epi

@@ -1,0 +1,101 @@
+#include "criteria/pipeline.h"
+
+#include "criteria/box_necessary.h"
+#include "criteria/cancellation.h"
+#include "criteria/miklau_suciu.h"
+#include "criteria/monotonicity.h"
+#include "criteria/supermodular.h"
+#include "criteria/unconditional.h"
+#include "probabilistic/safe.h"
+
+namespace epi {
+
+PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b) {
+  PipelineResult r;
+  if (unconditionally_safe(a, b)) {
+    r.verdict = Verdict::kSafe;
+    r.criterion = "theorem-3.11";
+  } else {
+    r.verdict = Verdict::kUnsafe;
+    r.criterion = "theorem-3.11";
+    r.witness_distribution = unrestricted_witness(a, b);
+  }
+  return r;
+}
+
+PipelineResult decide_product_safety(const WorldSet& a, const WorldSet& b) {
+  PipelineResult r;
+  if (unconditionally_safe(a, b)) {
+    r.verdict = Verdict::kSafe;
+    r.criterion = "theorem-3.11";
+    return r;
+  }
+  if (miklau_suciu_independent(a, b)) {
+    r.verdict = Verdict::kSafe;
+    r.criterion = "miklau-suciu";
+    return r;
+  }
+  if (monotonicity_criterion(a, b)) {
+    r.verdict = Verdict::kSafe;
+    r.criterion = "monotonicity";
+    return r;
+  }
+  if (cancellation_criterion(a, b).holds) {
+    r.verdict = Verdict::kSafe;
+    r.criterion = "cancellation";
+    return r;
+  }
+  // The 3^n box tables are memory-bound; above the TernaryTable limit the
+  // stage is skipped rather than failing the whole pipeline.
+  if (a.n() <= 14) {
+    BoxNecessaryResult box = box_necessary_criterion(a, b);
+    if (!box.holds) {
+      r.verdict = Verdict::kUnsafe;
+      r.criterion = "box-necessary";
+      r.witness_product = box.witness;
+      return r;
+    }
+  }
+  r.verdict = Verdict::kUnknown;
+  r.criterion = "exhausted-combinatorial-criteria";
+  return r;
+}
+
+PipelineResult decide_supermodular_safety(const WorldSet& a, const WorldSet& b) {
+  PipelineResult r;
+  if (unconditionally_safe(a, b)) {
+    r.verdict = Verdict::kSafe;
+    r.criterion = "theorem-3.11";
+    return r;
+  }
+  if (supermodular_sufficient(a, b)) {
+    r.verdict = Verdict::kSafe;
+    r.criterion = "four-functions-sufficient";
+    return r;
+  }
+  if (auto witness = supermodular_necessary_witness(a, b)) {
+    r.verdict = Verdict::kUnsafe;
+    r.criterion = "supermodular-necessary";
+    r.witness_distribution = std::move(witness);
+    return r;
+  }
+  // Product priors are log-supermodular (Pi_m0 ⊆ Pi_m+), so a product
+  // witness from the box criterion also refutes Pi_m+ safety.
+  if (a.n() > 14) {
+    r.verdict = Verdict::kUnknown;
+    r.criterion = "exhausted-supermodular-criteria";
+    return r;
+  }
+  BoxNecessaryResult box = box_necessary_criterion(a, b);
+  if (!box.holds) {
+    r.verdict = Verdict::kUnsafe;
+    r.criterion = "box-necessary";
+    r.witness_product = box.witness;
+    return r;
+  }
+  r.verdict = Verdict::kUnknown;
+  r.criterion = "exhausted-supermodular-criteria";
+  return r;
+}
+
+}  // namespace epi

@@ -1,0 +1,41 @@
+// Staged decision procedures combining the paper's criteria. Cheap
+// combinatorial tests run first; every definite verdict carries the name of
+// the deciding criterion, and unsafe verdicts carry a witness prior.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "criteria/verdict.h"
+#include "probabilistic/distribution.h"
+#include "probabilistic/product.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// A staged decision with provenance.
+struct PipelineResult {
+  Verdict verdict = Verdict::kUnknown;
+  /// Which criterion decided (e.g. "miklau-suciu", "cancellation").
+  std::string criterion;
+  /// For unsafe verdicts: a general witness prior...
+  std::optional<Distribution> witness_distribution;
+  /// ...or a product witness when the deciding criterion produces one.
+  std::optional<ProductDistribution> witness_product;
+};
+
+/// Decides Safe over all priors (Theorem 3.11) — always definite.
+PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b);
+
+/// Decides Safe_{Pi_m0}(A,B) (product priors) via, in order: Theorem 3.11,
+/// Miklau-Suciu (Thm 5.7), monotonicity, cancellation (Prop 5.9) for "safe";
+/// the box-count criterion (Prop 5.10) for "unsafe"; otherwise unknown
+/// (escalate to the optimizer / algebraic layer).
+PipelineResult decide_product_safety(const WorldSet& a, const WorldSet& b);
+
+/// Decides Safe_{Pi_m+}(A,B) (log-supermodular priors) via Theorem 3.11 and
+/// Proposition 5.4 for "safe", Proposition 5.2 for "unsafe" (with a 4-point
+/// witness); otherwise unknown.
+PipelineResult decide_supermodular_safety(const WorldSet& a, const WorldSet& b);
+
+}  // namespace epi

@@ -1,0 +1,59 @@
+#include "criteria/projection.h"
+
+#include <stdexcept>
+
+#include "worlds/monotone.h"
+
+namespace epi {
+
+World ProjectedPair::lift(World projected) const {
+  World original = 0;
+  for (std::size_t i = 0; i < kept_coordinates.size(); ++i) {
+    if (world_bit(projected, static_cast<unsigned>(i))) {
+      original |= World{1} << kept_coordinates[i];
+    }
+  }
+  return original;
+}
+
+World compress_world(const ProjectedPair& projection, World original) {
+  World compressed = 0;
+  for (std::size_t i = 0; i < projection.kept_coordinates.size(); ++i) {
+    if (world_bit(original, projection.kept_coordinates[i])) {
+      compressed |= World{1} << i;
+    }
+  }
+  return compressed;
+}
+
+ProjectedPair project_to_critical(const WorldSet& a, const WorldSet& b) {
+  if (a.n() != b.n()) {
+    throw std::invalid_argument("project_to_critical: mismatched n");
+  }
+  const World critical = critical_coordinates(a) | critical_coordinates(b);
+
+  ProjectedPair out;
+  out.original_n_ = a.n();
+  for (unsigned i = 0; i < a.n(); ++i) {
+    if (world_bit(critical, i)) out.kept_coordinates.push_back(i);
+  }
+  if (out.kept_coordinates.empty()) {
+    // Both sets are trivial (empty or the universe); keep one coordinate so
+    // downstream code still has a valid world space.
+    out.kept_coordinates.push_back(0);
+  }
+  const unsigned new_n = static_cast<unsigned>(out.kept_coordinates.size());
+  out.a = WorldSet(new_n);
+  out.b = WorldSet(new_n);
+  // Membership is decided by the critical coordinates alone, so lifting any
+  // representative (irrelevant coordinates zeroed) answers membership.
+  const std::size_t new_size = std::size_t{1} << new_n;
+  for (World w = 0; w < new_size; ++w) {
+    const World representative = out.lift(w);
+    if (a.contains(representative)) out.a.insert(w);
+    if (b.contains(representative)) out.b.insert(w);
+  }
+  return out;
+}
+
+}  // namespace epi

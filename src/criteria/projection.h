@@ -1,0 +1,48 @@
+// Dimension reduction to the *relevant* coordinates — the operational form
+// of Section 6's observation that "N does not need to be the number of
+// possible worlds, but rather only the potentially much smaller number of
+// possible relevant worlds".
+//
+// Coordinates critical for neither A nor B cannot influence membership in
+// either set, and for every prior family considered in the paper
+// (unrestricted, Pi_m+, Pi_m0) safety is invariant under marginalizing them
+// out: both sets are cylinders over the critical coordinates, and the
+// induced prior on those coordinates stays in the same family. Projecting
+// first can shrink 2^n to 2^|critical| before any decision procedure runs.
+#pragma once
+
+#include <vector>
+
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// The projection of a pair (A, B) onto their joint critical coordinates.
+struct ProjectedPair {
+  WorldSet a;
+  WorldSet b;
+  /// Original indices of the kept coordinates, in new-coordinate order.
+  std::vector<unsigned> kept_coordinates;
+
+  ProjectedPair() : a(1), b(1) {}
+
+  unsigned original_n() const { return original_n_; }
+  /// Maps a world of the projected space back to a representative world of
+  /// the original space (irrelevant coordinates set to 0).
+  World lift(World projected) const;
+
+ private:
+  friend ProjectedPair project_to_critical(const WorldSet&, const WorldSet&);
+  unsigned original_n_ = 0;
+};
+
+/// Projects A and B onto the union of their critical coordinates. When the
+/// union is empty (both sets trivial), one dummy coordinate is kept so the
+/// result remains a valid world space; membership semantics are preserved:
+/// w in A  <=>  compress(w) in projected.a for every original w.
+ProjectedPair project_to_critical(const WorldSet& a, const WorldSet& b);
+
+/// Compresses an original-space world onto the kept coordinates.
+World compress_world(const ProjectedPair& projection, World original);
+
+}  // namespace epi

@@ -1,0 +1,54 @@
+#include "criteria/supermodular.h"
+
+#include <stdexcept>
+
+#include "probabilistic/witness.h"
+
+namespace epi {
+
+bool supermodular_necessary(const WorldSet& a, const WorldSet& b) {
+  return !supermodular_witness(a, b).has_value();
+}
+
+std::optional<Distribution> supermodular_necessary_witness(const WorldSet& a,
+                                                           const WorldSet& b) {
+  return supermodular_witness(a, b);
+}
+
+bool supermodular_sufficient(const WorldSet& a, const WorldSet& b) {
+  if (a.n() != b.n()) throw std::invalid_argument("supermodular: mismatched n");
+  const WorldSet ab = a & b;
+  const WorldSet neither = ~(a | b);
+  if (ab.is_empty() || neither.is_empty()) {
+    // Unconditionally safe (Theorem 3.11); the setwise conditions below
+    // hold vacuously as well.
+    return true;
+  }
+  const WorldSet meet = ab.setwise_meet(neither);
+  const WorldSet join = ab.setwise_join(neither);
+  const WorldSet a_minus_b = a - b;
+  const WorldSet b_minus_a = b - a;
+  const bool branch1 = meet.subset_of(a_minus_b) && join.subset_of(b_minus_a);
+  const bool branch2 = join.subset_of(a_minus_b) && meet.subset_of(b_minus_a);
+  return branch1 || branch2;
+}
+
+bool four_functions_pointwise(const std::vector<double>& alpha,
+                              const std::vector<double>& beta,
+                              const std::vector<double>& gamma,
+                              const std::vector<double>& delta, unsigned n,
+                              double tol) {
+  const std::size_t size = std::size_t{1} << n;
+  if (alpha.size() != size || beta.size() != size || gamma.size() != size ||
+      delta.size() != size) {
+    throw std::invalid_argument("four_functions: arrays must have size 2^n");
+  }
+  for (std::size_t u = 0; u < size; ++u) {
+    for (std::size_t v = 0; v < size; ++v) {
+      if (alpha[u] * beta[v] > gamma[u | v] * delta[u & v] + tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace epi

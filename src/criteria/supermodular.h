@@ -1,0 +1,40 @@
+// Criteria for privacy over the log-supermodular family Pi_m+ (Section 5):
+// the necessary criterion of Proposition 5.2 (with a constructive witness on
+// violation) and the sufficient criterion of Proposition 5.4, derived from
+// the Four Functions Theorem (Theorem 5.3).
+#pragma once
+
+#include <optional>
+
+#include "probabilistic/distribution.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// Proposition 5.2 (necessary): if Safe_{Pi_m+}(A,B), then for every
+/// w1 in A∩B and w2 outside A∪B, the meet or the join of w1, w2 lies in the
+/// symmetric difference (A-B) ∪ (B-A).
+bool supermodular_necessary(const WorldSet& a, const WorldSet& b);
+
+/// Constructive contrapositive of Prop. 5.2: a log-supermodular prior with a
+/// positive safety gap, when the necessary criterion fails.
+std::optional<Distribution> supermodular_necessary_witness(const WorldSet& a,
+                                                           const WorldSet& b);
+
+/// Proposition 5.4 (sufficient, via the Four Functions Theorem): either of
+///   AB /\ A'B' ⊆ A-B  and  AB \/ A'B' ⊆ B-A, or
+///   AB \/ A'B' ⊆ A-B  and  AB /\ A'B' ⊆ B-A
+/// (setwise meet/join) establishes Safe_{Pi_m+}(A,B).
+bool supermodular_sufficient(const WorldSet& a, const WorldSet& b);
+
+/// The Ahlswede-Daykin Four Functions Theorem (Theorem 5.3), element-wise
+/// side: checks alpha(u) beta(v) <= gamma(u \/ v) delta(u /\ v) for all
+/// pairs, which by the theorem lifts to all subsets. Exposed for tests and
+/// for verifying Prop. 5.4's derivation.
+bool four_functions_pointwise(const std::vector<double>& alpha,
+                              const std::vector<double>& beta,
+                              const std::vector<double>& gamma,
+                              const std::vector<double>& delta, unsigned n,
+                              double tol = 1e-12);
+
+}  // namespace epi

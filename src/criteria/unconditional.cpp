@@ -1,0 +1,15 @@
+#include "criteria/unconditional.h"
+
+namespace epi {
+
+bool unconditionally_safe(const WorldSet& a, const WorldSet& b) {
+  return a.disjoint_with(b) || (a | b).is_universe();
+}
+
+bool unconditionally_safe_known_world(const WorldSet& a, const WorldSet& b,
+                                      World actual_world) {
+  if (unconditionally_safe(a, b)) return true;
+  return b.contains(actual_world) && !a.contains(actual_world);
+}
+
+}  // namespace epi

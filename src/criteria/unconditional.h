@@ -1,0 +1,22 @@
+// Theorem 3.11: privacy with unrestricted prior knowledge, on the hypercube
+// representation used by the probabilistic sections.
+#pragma once
+
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// Theorem 3.11, conditions 1-4: with no constraints on prior knowledge
+/// (possibilistic or probabilistic, known or unknown actual world in the
+/// probabilistic case), A is private given B iff A ∩ B = {} or A ∪ B = Omega.
+/// Remark 3.12: when omega* in A∩B (the practically interesting case), this
+/// reduces to testing whether "A or B" is a tautology.
+bool unconditionally_safe(const WorldSet& a, const WorldSet& b);
+
+/// Theorem 3.11, second part: possibilistic privacy when the auditor knows
+/// the actual world (K = {omega*} (x) P(Omega)): additionally safe when
+/// omega* in B - A.
+bool unconditionally_safe_known_world(const WorldSet& a, const WorldSet& b,
+                                      World actual_world);
+
+}  // namespace epi

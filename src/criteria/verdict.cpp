@@ -1,0 +1,17 @@
+#include "criteria/verdict.h"
+
+namespace epi {
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kSafe:
+      return "safe";
+    case Verdict::kUnsafe:
+      return "unsafe";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace epi

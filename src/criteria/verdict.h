@@ -1,0 +1,18 @@
+// Three-valued verdicts for privacy tests. Sound criteria never return a
+// wrong definite answer; Unknown cascades to the next (more expensive) stage.
+#pragma once
+
+#include <string>
+
+namespace epi {
+
+enum class Verdict {
+  kSafe,     ///< privacy of A is provably preserved under disclosure of B
+  kUnsafe,   ///< an admissible prior gaining confidence in A exists
+  kUnknown,  ///< this criterion cannot decide; escalate
+};
+
+/// "safe" / "unsafe" / "unknown".
+std::string to_string(Verdict v);
+
+}  // namespace epi

@@ -1,0 +1,47 @@
+#include "db/database.h"
+
+#include <stdexcept>
+
+#include "db/parser.h"
+
+namespace epi {
+
+unsigned InMemoryDatabase::coordinate(const std::string& record_name) const {
+  const auto coord = universe_.coordinate_of(record_name);
+  if (!coord) {
+    throw std::invalid_argument("unknown record '" + record_name + "'");
+  }
+  return *coord;
+}
+
+void InMemoryDatabase::insert(const std::string& record_name) {
+  state_ = world_with_bit(state_, coordinate(record_name), true);
+}
+
+void InMemoryDatabase::remove(const std::string& record_name) {
+  state_ = world_with_bit(state_, coordinate(record_name), false);
+}
+
+bool InMemoryDatabase::contains(const std::string& record_name) const {
+  return world_bit(state_, coordinate(record_name));
+}
+
+bool InMemoryDatabase::answer(const Query& query) const {
+  return query.evaluate(universe_, state_);
+}
+
+bool InMemoryDatabase::answer(const std::string& query_text) const {
+  return answer(*parse_query(query_text));
+}
+
+std::string InMemoryDatabase::to_string() const {
+  std::string out;
+  for (unsigned i = 0; i < universe_.size(); ++i) {
+    if (!out.empty()) out += ", ";
+    out += universe_.record(i).name;
+    out += world_bit(state_, i) ? "=1" : "=0";
+  }
+  return out;
+}
+
+}  // namespace epi

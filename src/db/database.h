@@ -1,0 +1,45 @@
+// A tiny in-memory database: the record universe plus the actual database
+// state omega* and its history. Enough substrate to stage the paper's
+// auditing scenarios end to end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+#include "db/record.h"
+
+namespace epi {
+
+/// The actual database: which relevant records are currently present.
+class InMemoryDatabase {
+ public:
+  explicit InMemoryDatabase(RecordUniverse universe)
+      : universe_(std::move(universe)) {}
+
+  const RecordUniverse& universe() const { return universe_; }
+
+  /// Inserts/removes a record by name; throws on unknown records.
+  void insert(const std::string& record_name);
+  void remove(const std::string& record_name);
+  bool contains(const std::string& record_name) const;
+
+  /// The current world omega*.
+  World state() const { return state_; }
+  void set_state(World w) { state_ = w; }
+
+  /// Evaluates a query against the current state (the user-visible answer).
+  bool answer(const Query& query) const;
+  bool answer(const std::string& query_text) const;
+
+  /// Readable dump "name=0/1, ...".
+  std::string to_string() const;
+
+ private:
+  unsigned coordinate(const std::string& record_name) const;
+
+  RecordUniverse universe_;
+  World state_ = 0;
+};
+
+}  // namespace epi

@@ -1,0 +1,151 @@
+#include "db/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace epi {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  QueryPtr parse() {
+    QueryPtr q = parse_implied();
+    skip_spaces();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing input");
+    }
+    return q;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("parse error at position " + std::to_string(pos_) + ": " +
+                     message);
+  }
+
+  void skip_spaces() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(const std::string& token) {
+    skip_spaces();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  QueryPtr parse_implied() {
+    QueryPtr lhs = parse_or();
+    if (consume("->")) {
+      return implies(lhs, parse_implied());  // right associative
+    }
+    return lhs;
+  }
+
+  QueryPtr parse_or() {
+    QueryPtr q = parse_and();
+    for (;;) {
+      skip_spaces();
+      // Don't swallow the '-' of '->' or mistake '||'-style input.
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        q = q | parse_and();
+      } else {
+        return q;
+      }
+    }
+  }
+
+  QueryPtr parse_and() {
+    QueryPtr q = parse_unary();
+    for (;;) {
+      skip_spaces();
+      if (pos_ < text_.size() && text_[pos_] == '&') {
+        ++pos_;
+        q = q & parse_unary();
+      } else {
+        return q;
+      }
+    }
+  }
+
+  // "atleast(k, r1, r2, ...)" / "atmost(k, r1, ...)" — the head keyword has
+  // already been consumed.
+  QueryPtr parse_count(bool is_at_least) {
+    skip_spaces();
+    if (pos_ >= text_.size() || text_[pos_] != '(') fail("expected '(' after count keyword");
+    ++pos_;
+    skip_spaces();
+    const std::size_t digits_start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits_start) fail("expected a count");
+    const unsigned k = static_cast<unsigned>(
+        std::stoul(text_.substr(digits_start, pos_ - digits_start)));
+    std::vector<std::string> names;
+    while (consume(",")) {
+      skip_spaces();
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      if (pos_ == start) fail("expected a record name");
+      names.push_back(text_.substr(start, pos_ - start));
+    }
+    skip_spaces();
+    if (pos_ >= text_.size() || text_[pos_] != ')') fail("expected ')'");
+    ++pos_;
+    if (names.empty()) fail("counting query needs at least one record");
+    return is_at_least ? at_least(k, std::move(names)) : at_most(k, std::move(names));
+  }
+
+  QueryPtr parse_unary() {
+    skip_spaces();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '!') {
+      ++pos_;
+      return !parse_unary();
+    }
+    if (c == '(') {
+      ++pos_;
+      QueryPtr q = parse_implied();
+      skip_spaces();
+      if (pos_ >= text_.size() || text_[pos_] != ')') fail("expected ')'");
+      ++pos_;
+      return q;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      const std::string name = text_.substr(start, pos_ - start);
+      if (name == "true") return constant(true);
+      if (name == "false") return constant(false);
+      if (name == "atleast" || name == "atmost") return parse_count(name == "atleast");
+      return atom(name);
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+QueryPtr parse_query(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace epi

@@ -1,0 +1,25 @@
+// Text syntax for Boolean queries:
+//   expr    := implied
+//   implied := or ("->" implied)?          (right associative)
+//   or      := and ("|" and)*
+//   and     := unary ("&" unary)*
+//   unary   := "!" unary | "(" expr ")" | "true" | "false" | identifier
+// Identifiers are record names: [A-Za-z_][A-Za-z0-9_]*.
+#pragma once
+
+#include <string>
+
+#include "db/query.h"
+
+namespace epi {
+
+/// Thrown on malformed query text; what() pinpoints the offending position.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses the query grammar above.
+QueryPtr parse_query(const std::string& text);
+
+}  // namespace epi

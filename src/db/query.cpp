@@ -1,0 +1,191 @@
+#include "db/query.h"
+
+#include <stdexcept>
+
+namespace epi {
+namespace {
+
+class AtomQuery : public Query {
+ public:
+  explicit AtomQuery(std::string name) : name_(std::move(name)) {}
+
+  bool evaluate(const RecordUniverse& universe, World w) const override {
+    return world_bit(w, coordinate(universe));
+  }
+
+  WorldSet compile(const RecordUniverse& universe) const override {
+    // The cylinder "record i present" directly.
+    const unsigned i = coordinate(universe);
+    WorldSet s(universe.size());
+    const std::size_t size = s.omega_size();
+    for (World w = 0; w < size; ++w) {
+      if (world_bit(w, i)) s.insert(w);
+    }
+    return s;
+  }
+
+  std::string to_string() const override { return name_; }
+
+ private:
+  unsigned coordinate(const RecordUniverse& universe) const {
+    const auto coord = universe.coordinate_of(name_);
+    if (!coord) {
+      throw std::invalid_argument("query references unknown record '" + name_ + "'");
+    }
+    return *coord;
+  }
+
+  std::string name_;
+};
+
+class ConstQuery : public Query {
+ public:
+  explicit ConstQuery(bool value) : value_(value) {}
+  bool evaluate(const RecordUniverse&, World) const override { return value_; }
+  WorldSet compile(const RecordUniverse& universe) const override {
+    return value_ ? WorldSet::universe(universe.size()) : WorldSet(universe.size());
+  }
+  std::string to_string() const override { return value_ ? "true" : "false"; }
+
+ private:
+  bool value_;
+};
+
+class NotQuery : public Query {
+ public:
+  explicit NotQuery(QueryPtr inner) : inner_(std::move(inner)) {}
+  bool evaluate(const RecordUniverse& u, World w) const override {
+    return !inner_->evaluate(u, w);
+  }
+  WorldSet compile(const RecordUniverse& u) const override {
+    return ~inner_->compile(u);
+  }
+  std::string to_string() const override { return "!" + inner_->to_string(); }
+
+ private:
+  QueryPtr inner_;
+};
+
+class CountQuery : public Query {
+ public:
+  CountQuery(bool at_least, unsigned k, std::vector<std::string> names)
+      : at_least_(at_least), k_(k), names_(std::move(names)) {
+    if (names_.empty()) {
+      throw std::invalid_argument("counting query needs at least one record");
+    }
+  }
+
+  bool evaluate(const RecordUniverse& universe, World w) const override {
+    unsigned present = 0;
+    for (const std::string& name : names_) {
+      const auto coord = universe.coordinate_of(name);
+      if (!coord) {
+        throw std::invalid_argument("query references unknown record '" + name + "'");
+      }
+      present += world_bit(w, *coord);
+    }
+    return at_least_ ? present >= k_ : present <= k_;
+  }
+
+  std::string to_string() const override {
+    std::string s = at_least_ ? "atleast(" : "atmost(";
+    s += std::to_string(k_);
+    for (const std::string& name : names_) s += ", " + name;
+    return s + ")";
+  }
+
+ private:
+  bool at_least_;
+  unsigned k_;
+  std::vector<std::string> names_;
+};
+
+enum class BinaryOp { kAnd, kOr, kImplies };
+
+class BinaryQuery : public Query {
+ public:
+  BinaryQuery(BinaryOp op, QueryPtr lhs, QueryPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  bool evaluate(const RecordUniverse& u, World w) const override {
+    switch (op_) {
+      case BinaryOp::kAnd:
+        return lhs_->evaluate(u, w) && rhs_->evaluate(u, w);
+      case BinaryOp::kOr:
+        return lhs_->evaluate(u, w) || rhs_->evaluate(u, w);
+      case BinaryOp::kImplies:
+        return !lhs_->evaluate(u, w) || rhs_->evaluate(u, w);
+    }
+    return false;
+  }
+
+  WorldSet compile(const RecordUniverse& u) const override {
+    const WorldSet lhs = lhs_->compile(u);
+    const WorldSet rhs = rhs_->compile(u);
+    switch (op_) {
+      case BinaryOp::kAnd:
+        return lhs & rhs;
+      case BinaryOp::kOr:
+        return lhs | rhs;
+      case BinaryOp::kImplies:
+        return (~lhs) | rhs;
+    }
+    return lhs;
+  }
+
+  std::string to_string() const override {
+    const char* symbol = op_ == BinaryOp::kAnd ? " & "
+                         : op_ == BinaryOp::kOr ? " | "
+                                                : " -> ";
+    return "(" + lhs_->to_string() + symbol + rhs_->to_string() + ")";
+  }
+
+ private:
+  BinaryOp op_;
+  QueryPtr lhs_;
+  QueryPtr rhs_;
+};
+
+}  // namespace
+
+WorldSet Query::compile(const RecordUniverse& universe) const {
+  if (universe.empty()) {
+    throw std::invalid_argument("Query::compile: empty record universe");
+  }
+  WorldSet result(universe.size());
+  const std::size_t size = result.omega_size();
+  for (World w = 0; w < size; ++w) {
+    if (evaluate(universe, w)) result.insert(w);
+  }
+  return result;
+}
+
+QueryPtr atom(std::string record_name) {
+  return std::make_shared<AtomQuery>(std::move(record_name));
+}
+
+QueryPtr constant(bool value) { return std::make_shared<ConstQuery>(value); }
+
+QueryPtr at_least(unsigned k, std::vector<std::string> record_names) {
+  return std::make_shared<CountQuery>(true, k, std::move(record_names));
+}
+
+QueryPtr at_most(unsigned k, std::vector<std::string> record_names) {
+  return std::make_shared<CountQuery>(false, k, std::move(record_names));
+}
+
+QueryPtr operator!(const QueryPtr& q) { return std::make_shared<NotQuery>(q); }
+
+QueryPtr operator&(const QueryPtr& lhs, const QueryPtr& rhs) {
+  return std::make_shared<BinaryQuery>(BinaryOp::kAnd, lhs, rhs);
+}
+
+QueryPtr operator|(const QueryPtr& lhs, const QueryPtr& rhs) {
+  return std::make_shared<BinaryQuery>(BinaryOp::kOr, lhs, rhs);
+}
+
+QueryPtr implies(const QueryPtr& lhs, const QueryPtr& rhs) {
+  return std::make_shared<BinaryQuery>(BinaryOp::kImplies, lhs, rhs);
+}
+
+}  // namespace epi

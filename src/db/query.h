@@ -1,0 +1,50 @@
+// Boolean queries over record membership: the query language whose answers
+// are the disclosed properties B and audited properties A. A query compiles
+// to the WorldSet of databases satisfying it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/record.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// AST of a Boolean query. Atoms assert the presence of a named record.
+class Query {
+ public:
+  virtual ~Query() = default;
+
+  /// True when the database `w` (under `universe`'s coordinates) satisfies
+  /// the query.
+  virtual bool evaluate(const RecordUniverse& universe, World w) const = 0;
+
+  /// Readable form, fully parenthesized.
+  virtual std::string to_string() const = 0;
+
+  /// The set of satisfying databases. Boolean connectives compile to bitset
+  /// algebra on their children (word-parallel); only leaf shapes that truly
+  /// depend on counting fall back to a per-world scan.
+  virtual WorldSet compile(const RecordUniverse& universe) const;
+};
+
+using QueryPtr = std::shared_ptr<const Query>;
+
+/// "record in omega".
+QueryPtr atom(std::string record_name);
+/// Counting query "at least k of the named records are present" — the
+/// aggregate shape of COUNT(*) >= k audits. Monotone in every coordinate.
+QueryPtr at_least(unsigned k, std::vector<std::string> record_names);
+/// "at most k of the named records are present" (anti-monotone).
+QueryPtr at_most(unsigned k, std::vector<std::string> record_names);
+/// Constant true/false.
+QueryPtr constant(bool value);
+QueryPtr operator!(const QueryPtr& q);
+QueryPtr operator&(const QueryPtr& lhs, const QueryPtr& rhs);
+QueryPtr operator|(const QueryPtr& lhs, const QueryPtr& rhs);
+/// Material implication lhs -> rhs.
+QueryPtr implies(const QueryPtr& lhs, const QueryPtr& rhs);
+
+}  // namespace epi

@@ -1,0 +1,41 @@
+#include "db/record.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+unsigned RecordUniverse::add(Record record) {
+  if (record.name.empty()) {
+    throw std::invalid_argument("RecordUniverse::add: empty record name");
+  }
+  if (index_.count(record.name)) {
+    throw std::invalid_argument("RecordUniverse::add: duplicate record '" +
+                                record.name + "'");
+  }
+  if (records_.size() >= kMaxCoordinates) {
+    throw std::invalid_argument("RecordUniverse::add: too many relevant records");
+  }
+  const unsigned coordinate = static_cast<unsigned>(records_.size());
+  index_.emplace(record.name, coordinate);
+  records_.push_back(std::move(record));
+  return coordinate;
+}
+
+unsigned RecordUniverse::add(const std::string& name) {
+  return add(Record{name, {}});
+}
+
+std::optional<unsigned> RecordUniverse::coordinate_of(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> RecordUniverse::names() const {
+  std::vector<std::string> out;
+  out.reserve(records_.size());
+  for (const Record& r : records_) out.push_back(r.name);
+  return out;
+}
+
+}  // namespace epi

@@ -1,0 +1,51 @@
+// Records and the record universe. In the paper's model (Section 5 onward) a
+// database omega is a subset of potential records; the auditor restricts
+// attention to the *relevant* records (Section 6's "possible relevant
+// worlds"), each of which becomes one coordinate of Omega = {0,1}^n.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "worlds/world.h"
+
+namespace epi {
+
+/// A potential database record: a stable name plus free-form attributes
+/// (e.g. "bob_hiv" -> {patient: Bob, fact: HIV-positive}).
+struct Record {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+};
+
+/// The ordered set of relevant records; record i is coordinate i of the
+/// world space {0,1}^n.
+class RecordUniverse {
+ public:
+  RecordUniverse() = default;
+
+  /// Adds a record and returns its coordinate. Throws std::invalid_argument
+  /// on duplicate names or when exceeding kMaxCoordinates.
+  unsigned add(Record record);
+  /// Shorthand for attribute-less records.
+  unsigned add(const std::string& name);
+
+  unsigned size() const { return static_cast<unsigned>(records_.size()); }
+  bool empty() const { return records_.empty(); }
+
+  const Record& record(unsigned coordinate) const { return records_.at(coordinate); }
+  /// Coordinate of a record name, or nullopt when unknown.
+  std::optional<unsigned> coordinate_of(const std::string& name) const;
+
+  /// All record names in coordinate order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<Record> records_;
+  std::map<std::string, unsigned> index_;
+};
+
+}  // namespace epi

@@ -1,0 +1,75 @@
+// Umbrella header: everything a typical application needs. Individual
+// modules can be included directly for faster builds.
+#pragma once
+
+// Worlds and set algebra.
+#include "worlds/finite_set.h"
+#include "worlds/match_vector.h"
+#include "worlds/monotone.h"
+#include "worlds/world.h"
+#include "worlds/world_set.h"
+
+// Possibilistic knowledge (Sections 2-4).
+#include "possibilistic/collusion.h"
+#include "possibilistic/intervals.h"
+#include "possibilistic/knowledge.h"
+#include "possibilistic/laminar.h"
+#include "possibilistic/rectangles.h"
+#include "possibilistic/safe.h"
+#include "possibilistic/sigma_family.h"
+#include "possibilistic/subcubes.h"
+
+// Probabilistic knowledge (Sections 2-3, 5).
+#include "probabilistic/distribution.h"
+#include "probabilistic/exact.h"
+#include "probabilistic/family.h"
+#include "probabilistic/marginal_family.h"
+#include "probabilistic/modularity.h"
+#include "probabilistic/product.h"
+#include "probabilistic/safe.h"
+#include "probabilistic/witness.h"
+
+// Decision criteria (Sections 3.4, 5).
+#include "criteria/box_necessary.h"
+#include "criteria/cancellation.h"
+#include "criteria/miklau_suciu.h"
+#include "criteria/monotonicity.h"
+#include "criteria/pipeline.h"
+#include "criteria/projection.h"
+#include "criteria/supermodular.h"
+#include "criteria/unconditional.h"
+#include "criteria/verdict.h"
+
+// Algebraic and numeric layers (Section 6).
+#include "algebra/monomial.h"
+#include "algebra/polynomial.h"
+#include "algebra/safety_polynomial.h"
+#include "optimize/branch_bound.h"
+#include "optimize/coordinate_ascent.h"
+#include "optimize/emptiness.h"
+#include "optimize/positivstellensatz.h"
+#include "optimize/sos.h"
+
+// Epistemic logic (Section 2 semantics).
+#include "logic/epistemic_logic.h"
+
+// Hardness demonstration (Theorem 6.2).
+#include "maxcut/graph.h"
+#include "maxcut/maxcut.h"
+#include "maxcut/reduction.h"
+
+// Comparison frameworks (Section 1.1 baselines).
+#include "approx/frameworks.h"
+
+// Database, auditing and applications.
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/online.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "core/workload.h"
+#include "db/database.h"
+#include "db/parser.h"
+#include "db/query.h"
+#include "db/record.h"

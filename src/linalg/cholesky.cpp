@@ -1,0 +1,46 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epi {
+
+std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: not square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l.at(j, k) * l.at(j, k);
+    if (diag <= pivot_tol) return std::nullopt;
+    l.at(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l.at(i, k) * l.at(j, k);
+      l.at(i, j) = v / l.at(j, j);
+    }
+  }
+  return l;
+}
+
+Vec cholesky_solve(const Matrix& l, const Vec& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("cholesky_solve: size mismatch");
+  // Forward solve L y = b.
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l.at(i, k) * y[k];
+    y[i] = v / l.at(i, i);
+  }
+  // Back solve L^T x = y.
+  Vec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l.at(k, ii) * x[k];
+    x[ii] = v / l.at(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace epi

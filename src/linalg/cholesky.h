@@ -1,0 +1,17 @@
+// Cholesky factorization and SPD solves.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace epi {
+
+/// Lower-triangular L with A = L L^T; nullopt when A (symmetric) is not
+/// positive definite up to the pivot tolerance.
+std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol = 1e-12);
+
+/// Solves A x = b given the Cholesky factor L of A.
+Vec cholesky_solve(const Matrix& l, const Vec& b);
+
+}  // namespace epi

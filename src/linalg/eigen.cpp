@@ -1,0 +1,103 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace epi {
+
+EigenDecomposition jacobi_eigen(const Matrix& input, double tol, int max_sweeps) {
+  if (!input.is_symmetric(1e-7)) {
+    throw std::invalid_argument("jacobi_eigen: matrix not symmetric");
+  }
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  a.symmetrize();
+  Matrix v = Matrix::identity(n);
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a.at(i, j) * a.at(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_diag_norm() > tol; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (a.at(q, q) - a.at(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition d;
+  d.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d.values[i] = a.at(i, i);
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return d.values[x] < d.values[y]; });
+  Vec sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_values[i] = d.values[order[i]];
+    for (std::size_t k = 0; k < n; ++k) sorted_vectors.at(k, i) = v.at(k, order[i]);
+  }
+  d.values = std::move(sorted_values);
+  d.vectors = std::move(sorted_vectors);
+  return d;
+}
+
+Matrix project_psd(const Matrix& a) {
+  const EigenDecomposition d = jacobi_eigen(a);
+  const std::size_t n = a.rows();
+  Matrix r(n, n);
+  for (std::size_t e = 0; e < n; ++e) {
+    const double lambda = std::max(d.values[e], 0.0);
+    if (lambda == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vi = d.vectors.at(i, e);
+      if (vi == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        r.at(i, j) += lambda * vi * d.vectors.at(j, e);
+      }
+    }
+  }
+  r.symmetrize();
+  return r;
+}
+
+double min_eigenvalue(const Matrix& a) { return jacobi_eigen(a).values.front(); }
+
+bool is_psd(const Matrix& a, double tol) { return min_eigenvalue(a) >= -tol; }
+
+}  // namespace epi

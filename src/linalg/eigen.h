@@ -1,0 +1,29 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and projection onto the PSD
+// cone — the core primitive of the alternating-projection SDP solver.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace epi {
+
+/// A = V diag(values) V^T with orthonormal columns of V.
+struct EigenDecomposition {
+  Vec values;      ///< ascending eigenvalues
+  Matrix vectors;  ///< column i is the eigenvector of values[i]
+};
+
+/// Cyclic Jacobi sweeps until off-diagonal mass < tol. Input must be
+/// symmetric (symmetrize first if in doubt).
+EigenDecomposition jacobi_eigen(const Matrix& a, double tol = 1e-12,
+                                int max_sweeps = 100);
+
+/// Euclidean projection onto the PSD cone: clamp negative eigenvalues to 0.
+Matrix project_psd(const Matrix& a);
+
+/// Smallest eigenvalue (convenience).
+double min_eigenvalue(const Matrix& a);
+
+/// True when all eigenvalues >= -tol.
+bool is_psd(const Matrix& a, double tol = 1e-9);
+
+}  // namespace epi

@@ -1,0 +1,58 @@
+#include "linalg/least_squares.h"
+
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+
+namespace epi {
+
+Vec solve_least_squares(const Matrix& a, const Vec& b, double ridge) {
+  const Matrix at = a.transpose();
+  Matrix normal = at * a;
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal.at(i, i) += ridge;
+  const auto factor = cholesky(normal);
+  if (!factor) throw std::runtime_error("solve_least_squares: singular normal matrix");
+  return cholesky_solve(*factor, at * b);
+}
+
+Vec solve_min_norm(const Matrix& a, const Vec& b, double ridge) {
+  Matrix gram = a * a.transpose();
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram.at(i, i) += ridge;
+  const auto factor = cholesky(gram);
+  if (!factor) throw std::runtime_error("solve_min_norm: singular Gram matrix");
+  const Vec y = cholesky_solve(*factor, b);
+  return a.transpose() * y;
+}
+
+AffineProjector::AffineProjector(Matrix a, Vec b, double ridge)
+    : a_(std::move(a)), b_(std::move(b)) {
+  if (a_.rows() != b_.size()) {
+    throw std::invalid_argument("AffineProjector: row/rhs mismatch");
+  }
+  Matrix gram = a_ * a_.transpose();
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram.at(i, i) += ridge;
+  const auto factor = cholesky(gram);
+  if (!factor) throw std::runtime_error("AffineProjector: singular Gram matrix");
+  gram_factor_ = *factor;
+}
+
+Vec AffineProjector::project(const Vec& x0) const {
+  if (x0.size() != a_.cols()) {
+    throw std::invalid_argument("AffineProjector::project: size mismatch");
+  }
+  Vec residual_vec = a_ * x0;
+  for (std::size_t i = 0; i < residual_vec.size(); ++i) residual_vec[i] -= b_[i];
+  const Vec y = cholesky_solve(gram_factor_, residual_vec);
+  Vec x = x0;
+  const Vec correction = a_.transpose() * y;
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] -= correction[i];
+  return x;
+}
+
+double AffineProjector::residual(const Vec& x) const {
+  Vec r = a_ * x;
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b_[i];
+  return norm(r);
+}
+
+}  // namespace epi

@@ -1,0 +1,37 @@
+// Least-squares and minimum-norm solves used for projecting onto affine
+// subspaces {x : A x = b} inside the alternating-projection SDP solver.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace epi {
+
+/// Minimizes ||A x - b||_2 via regularized normal equations
+/// (A^T A + ridge I) x = A^T b.
+Vec solve_least_squares(const Matrix& a, const Vec& b, double ridge = 1e-12);
+
+/// Minimum-norm solution of the (under-determined, consistent) system
+/// A x = b: x = A^T (A A^T + ridge I)^{-1} b.
+Vec solve_min_norm(const Matrix& a, const Vec& b, double ridge = 1e-12);
+
+/// Euclidean projection of x0 onto {x : A x = b}:
+/// x0 - A^T (A A^T)^{-1} (A x0 - b). The Gram factor can be precomputed once
+/// with AffineProjector when projecting many points.
+class AffineProjector {
+ public:
+  /// Builds and factorizes the Gram matrix A A^T + ridge I.
+  AffineProjector(Matrix a, Vec b, double ridge = 1e-10);
+
+  /// Projects x0 onto the affine subspace (x0 size = columns of A).
+  Vec project(const Vec& x0) const;
+
+  /// Residual ||A x - b|| of a candidate.
+  double residual(const Vec& x) const;
+
+ private:
+  Matrix a_;
+  Vec b_;
+  Matrix gram_factor_;  // Cholesky factor of A A^T + ridge I
+};
+
+}  // namespace epi

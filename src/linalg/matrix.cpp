@@ -1,0 +1,128 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace epi {
+
+double dot(const Vec& v, const Vec& w) {
+  if (v.size() != w.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) s += v[i] * w[i];
+  return s;
+}
+
+double norm(const Vec& v) { return std::sqrt(dot(v, v)); }
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix+: shape mismatch");
+  }
+  Matrix r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] + o.data_[i];
+  return r;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix-: shape mismatch");
+  }
+  Matrix r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] - o.data_[i];
+  return r;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("Matrix*: shape mismatch");
+  Matrix r(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        r.at(i, j) += aik * o.at(k, j);
+      }
+    }
+  }
+  return r;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] * s;
+  return r;
+}
+
+Vec Matrix::operator*(const Vec& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("Matrix*vec: shape mismatch");
+  Vec r(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += at(i, j) * v[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) r.at(j, i) = at(i, j);
+  }
+  return r;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      if (std::abs(at(i, j) - at(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+void Matrix::symmetrize() {
+  if (rows_ != cols_) throw std::logic_error("symmetrize: not square");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      const double avg = 0.5 * (at(i, j) + at(j, i));
+      at(i, j) = avg;
+      at(j, i) = avg;
+    }
+  }
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      os << (j ? " " : "") << at(i, j);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace epi

@@ -1,0 +1,57 @@
+// Small dense linear algebra used by the semidefinite-feasibility and
+// sum-of-squares layers (Section 6.2 of the paper). Self-contained: no BLAS.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace epi {
+
+/// Dense vector of doubles.
+using Vec = std::vector<double>;
+
+/// v . w
+double dot(const Vec& v, const Vec& w);
+/// Euclidean norm.
+double norm(const Vec& v);
+/// y += alpha * x
+void axpy(double alpha, const Vec& x, Vec& y);
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double at(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(double s) const;
+  Vec operator*(const Vec& v) const;
+
+  Matrix transpose() const;
+
+  double frobenius_norm() const;
+  bool is_symmetric(double tol = 1e-9) const;
+
+  /// Symmetrizes in place: (A + A^T) / 2.
+  void symmetrize();
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace epi

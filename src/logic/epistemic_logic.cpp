@@ -1,0 +1,157 @@
+#include "logic/epistemic_logic.h"
+
+namespace epi {
+namespace {
+
+class Proposition : public EpistemicFormula {
+ public:
+  Proposition(FiniteSet worlds, std::string name)
+      : worlds_(std::move(worlds)), name_(std::move(name)) {}
+
+  bool holds(std::size_t world, const FiniteSet&) const override {
+    return worlds_.contains(world);
+  }
+  std::string to_string() const override { return name_; }
+
+ private:
+  FiniteSet worlds_;
+  std::string name_;
+};
+
+class Not : public EpistemicFormula {
+ public:
+  explicit Not(FormulaPtr inner) : inner_(std::move(inner)) {}
+  bool holds(std::size_t w, const FiniteSet& s) const override {
+    return !inner_->holds(w, s);
+  }
+  std::string to_string() const override { return "!" + inner_->to_string(); }
+
+ private:
+  FormulaPtr inner_;
+};
+
+enum class Connective { kAnd, kOr, kImplies };
+
+class Binary : public EpistemicFormula {
+ public:
+  Binary(Connective c, FormulaPtr lhs, FormulaPtr rhs)
+      : connective_(c), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  bool holds(std::size_t w, const FiniteSet& s) const override {
+    switch (connective_) {
+      case Connective::kAnd:
+        return lhs_->holds(w, s) && rhs_->holds(w, s);
+      case Connective::kOr:
+        return lhs_->holds(w, s) || rhs_->holds(w, s);
+      case Connective::kImplies:
+        return !lhs_->holds(w, s) || rhs_->holds(w, s);
+    }
+    return false;
+  }
+
+  std::string to_string() const override {
+    const char* symbol = connective_ == Connective::kAnd ? " & "
+                         : connective_ == Connective::kOr ? " | "
+                                                          : " -> ";
+    return "(" + lhs_->to_string() + symbol + rhs_->to_string() + ")";
+  }
+
+ private:
+  Connective connective_;
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+};
+
+class Knows : public EpistemicFormula {
+ public:
+  explicit Knows(FormulaPtr inner) : inner_(std::move(inner)) {}
+
+  bool holds(std::size_t, const FiniteSet& s) const override {
+    bool all = true;
+    s.for_each([&](std::size_t w2) {
+      if (all && !inner_->holds(w2, s)) all = false;
+    });
+    return all;
+  }
+  std::string to_string() const override { return "K " + inner_->to_string(); }
+
+ private:
+  FormulaPtr inner_;
+};
+
+class AfterLearning : public EpistemicFormula {
+ public:
+  AfterLearning(FiniteSet b, FormulaPtr inner, std::string name)
+      : b_(std::move(b)), inner_(std::move(inner)), name_(std::move(name)) {}
+
+  bool holds(std::size_t w, const FiniteSet& s) const override {
+    // Standard box semantics: vacuously true when B cannot truthfully be
+    // announced at w (matching Def. 3.1's discarding of pairs with w not
+    // in B).
+    if (!b_.contains(w)) return true;
+    return inner_->holds(w, s & b_);
+  }
+  std::string to_string() const override {
+    return "[" + name_ + "]" + inner_->to_string();
+  }
+
+ private:
+  FiniteSet b_;
+  FormulaPtr inner_;
+  std::string name_;
+};
+
+}  // namespace
+
+FormulaPtr proposition(FiniteSet worlds, std::string name) {
+  return std::make_shared<Proposition>(std::move(worlds), std::move(name));
+}
+
+FormulaPtr logical_not(const FormulaPtr& f) { return std::make_shared<Not>(f); }
+
+FormulaPtr logical_and(const FormulaPtr& lhs, const FormulaPtr& rhs) {
+  return std::make_shared<Binary>(Connective::kAnd, lhs, rhs);
+}
+
+FormulaPtr logical_or(const FormulaPtr& lhs, const FormulaPtr& rhs) {
+  return std::make_shared<Binary>(Connective::kOr, lhs, rhs);
+}
+
+FormulaPtr logical_implies(const FormulaPtr& lhs, const FormulaPtr& rhs) {
+  return std::make_shared<Binary>(Connective::kImplies, lhs, rhs);
+}
+
+FormulaPtr knows(const FormulaPtr& f) { return std::make_shared<Knows>(f); }
+
+FormulaPtr possible(const FormulaPtr& f) {
+  return logical_not(knows(logical_not(f)));
+}
+
+FormulaPtr after_learning(FiniteSet b, const FormulaPtr& f, std::string name) {
+  return std::make_shared<AfterLearning>(std::move(b), f, std::move(name));
+}
+
+bool valid_in(const SecondLevelKnowledge& k, const FormulaPtr& f) {
+  for (const KnowledgeWorld& kw : k.pairs()) {
+    if (!f->holds(kw.world, kw.knowledge)) return false;
+  }
+  return true;
+}
+
+FormulaPtr privacy_formula(const FiniteSet& a, const FiniteSet& b) {
+  const FormulaPtr knows_a = knows(proposition(a, "A"));
+  return logical_implies(logical_not(knows_a),
+                         after_learning(b, logical_not(knows_a), "B"));
+}
+
+FormulaPtr axiom_t(const FormulaPtr& f) { return logical_implies(knows(f), f); }
+
+FormulaPtr axiom_4(const FormulaPtr& f) {
+  return logical_implies(knows(f), knows(knows(f)));
+}
+
+FormulaPtr axiom_5(const FormulaPtr& f) {
+  return logical_implies(logical_not(knows(f)), knows(logical_not(knows(f))));
+}
+
+}  // namespace epi

@@ -1,0 +1,77 @@
+// Single-agent epistemic logic (S5) over finite world spaces — the
+// "well-known semantics for reasoning about knowledge" the paper builds its
+// privacy notion on (Section 2, citing Fagin-Halpern-Moses-Vardi). A formula
+// is evaluated at a possibilistic knowledge world (omega, S):
+//
+//   (omega, S) |= p           iff omega is in the proposition's world set
+//   (omega, S) |= K phi       iff (omega', S) |= phi for every omega' in S
+//   (omega, S) |= P phi       iff (omega', S) |= phi for some omega' in S
+//   boolean connectives as usual
+//
+// The privacy definition itself becomes a formula scheme: Definition 3.1
+// says the disclosure of B is safe at (omega, S) iff
+//     update_B( not K A )  holds whenever  not K A  held before,
+// i.e. "not K A -> [B](not K A)" — and the module proves the equivalence
+// with safe_possibilistic by exhaustive model checking in tests.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "possibilistic/knowledge.h"
+#include "worlds/finite_set.h"
+
+namespace epi {
+
+/// A formula of single-agent epistemic logic with propositions interpreted
+/// as world sets.
+class EpistemicFormula {
+ public:
+  virtual ~EpistemicFormula() = default;
+
+  /// Truth at the knowledge world (omega, S).
+  virtual bool holds(std::size_t world, const FiniteSet& knowledge) const = 0;
+
+  /// Readable form.
+  virtual std::string to_string() const = 0;
+};
+
+using FormulaPtr = std::shared_ptr<const EpistemicFormula>;
+
+/// Atomic proposition "the actual world lies in `worlds`".
+FormulaPtr proposition(FiniteSet worlds, std::string name = "p");
+/// Negation.
+FormulaPtr logical_not(const FormulaPtr& f);
+/// Conjunction / disjunction / implication.
+FormulaPtr logical_and(const FormulaPtr& lhs, const FormulaPtr& rhs);
+FormulaPtr logical_or(const FormulaPtr& lhs, const FormulaPtr& rhs);
+FormulaPtr logical_implies(const FormulaPtr& lhs, const FormulaPtr& rhs);
+/// Knowledge modality: "the agent knows f".
+FormulaPtr knows(const FormulaPtr& f);
+/// Possibility modality: "the agent considers f possible" (= not K not f).
+FormulaPtr possible(const FormulaPtr& f);
+/// Public-announcement-style update (box): "if `b` can truthfully be
+/// announced, then after learning it f holds" — evaluated as f at
+/// (omega, S ∩ b); vacuously true when omega is not in b.
+FormulaPtr after_learning(FiniteSet b, const FormulaPtr& f,
+                          std::string name = "B");
+
+/// True when the formula holds at every consistent knowledge world of K.
+bool valid_in(const SecondLevelKnowledge& k, const FormulaPtr& f);
+
+/// The Definition 3.1 privacy scheme as a formula:
+///     (not K A) -> [B](not K A)
+/// "an agent who does not know A still does not know A after learning B".
+/// `valid_in(K, privacy_formula(A,B))` is equivalent to Safe_K(A,B) for
+/// agents whose worlds satisfy B (asserted by tests).
+FormulaPtr privacy_formula(const FiniteSet& a, const FiniteSet& b);
+
+/// S5 axioms as formula schemes over given components, for validity testing:
+/// T (knowledge is true): K f -> f.
+FormulaPtr axiom_t(const FormulaPtr& f);
+/// 4 (positive introspection): K f -> K K f.
+FormulaPtr axiom_4(const FormulaPtr& f);
+/// 5 (negative introspection): not K f -> K not K f.
+FormulaPtr axiom_5(const FormulaPtr& f);
+
+}  // namespace epi

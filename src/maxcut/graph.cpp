@@ -1,0 +1,66 @@
+#include "maxcut/graph.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+Graph::Graph(std::size_t vertex_count) : vertex_count_(vertex_count) {
+  if (vertex_count == 0) throw std::invalid_argument("Graph: empty vertex set");
+}
+
+Graph Graph::random(std::size_t vertex_count, double edge_probability, Rng& rng) {
+  Graph g(vertex_count);
+  for (std::size_t u = 0; u < vertex_count; ++u) {
+    for (std::size_t v = u + 1; v < vertex_count; ++v) {
+      if (rng.next_bool(edge_probability)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph Graph::cycle(std::size_t vertex_count) {
+  Graph g(vertex_count);
+  if (vertex_count < 3) throw std::invalid_argument("cycle needs >= 3 vertices");
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    g.add_edge(v, (v + 1) % vertex_count);
+  }
+  return g;
+}
+
+Graph Graph::complete(std::size_t vertex_count) {
+  Graph g(vertex_count);
+  for (std::size_t u = 0; u < vertex_count; ++u) {
+    for (std::size_t v = u + 1; v < vertex_count; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+void Graph::add_edge(std::size_t u, std::size_t v) {
+  if (u >= vertex_count_ || v >= vertex_count_) {
+    throw std::out_of_range("add_edge: vertex out of range");
+  }
+  if (u == v) throw std::invalid_argument("add_edge: loops not allowed");
+  if (has_edge(u, v)) throw std::invalid_argument("add_edge: duplicate edge");
+  edges_.emplace_back(u < v ? u : v, u < v ? v : u);
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  if (u > v) std::swap(u, v);
+  for (const auto& e : edges_) {
+    if (e.first == u && e.second == v) return true;
+  }
+  return false;
+}
+
+std::size_t Graph::cut_value(const std::vector<bool>& side) const {
+  if (side.size() != vertex_count_) {
+    throw std::invalid_argument("cut_value: side size mismatch");
+  }
+  std::size_t value = 0;
+  for (const auto& [u, v] : edges_) {
+    value += side[u] != side[v];
+  }
+  return value;
+}
+
+}  // namespace epi

@@ -1,0 +1,44 @@
+// Simple undirected graphs — the substrate for the Theorem 6.2 hardness
+// demonstration (reduction from MAX-CUT).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace epi {
+
+/// An undirected simple graph on vertices 0..n-1.
+class Graph {
+ public:
+  explicit Graph(std::size_t vertex_count);
+
+  /// Erdos-Renyi G(n, p).
+  static Graph random(std::size_t vertex_count, double edge_probability, Rng& rng);
+  /// The cycle C_n.
+  static Graph cycle(std::size_t vertex_count);
+  /// The complete graph K_n.
+  static Graph complete(std::size_t vertex_count);
+
+  std::size_t vertex_count() const { return vertex_count_; }
+  std::size_t edge_count() const { return edges_.size(); }
+  const std::vector<std::pair<std::size_t, std::size_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Adds edge {u, v}; throws on loops, duplicates or out-of-range vertices.
+  void add_edge(std::size_t u, std::size_t v);
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  /// Number of edges crossing the cut defined by `side` (side[v] = true puts
+  /// v on the right side).
+  std::size_t cut_value(const std::vector<bool>& side) const;
+
+ private:
+  std::size_t vertex_count_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+};
+
+}  // namespace epi

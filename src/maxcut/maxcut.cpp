@@ -1,0 +1,126 @@
+#include "maxcut/maxcut.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+CutResult max_cut_exact(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n > 26) throw std::invalid_argument("max_cut_exact: graph too large");
+  CutResult best;
+  best.side.assign(n, false);
+  std::vector<bool> side(n, false);
+  const std::size_t assignments = std::size_t{1} << (n - 1);
+  for (std::size_t mask = 0; mask < assignments; ++mask) {
+    for (std::size_t v = 1; v < n; ++v) side[v] = (mask >> (v - 1)) & 1;
+    const std::size_t value = g.cut_value(side);
+    if (value > best.value || (mask == 0 && best.value == 0)) {
+      best.value = value;
+      best.side = side;
+    }
+  }
+  return best;
+}
+
+CutResult max_cut_local_search(const Graph& g, Rng& rng, int restarts) {
+  const std::size_t n = g.vertex_count();
+  CutResult best;
+  best.side.assign(n, false);
+  best.value = 0;
+  for (int restart = 0; restart < restarts; ++restart) {
+    std::vector<bool> side(n);
+    for (std::size_t v = 0; v < n; ++v) side[v] = rng.next_bool();
+    bool improved = true;
+    std::size_t value = g.cut_value(side);
+    while (improved) {
+      improved = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        side[v] = !side[v];
+        const std::size_t flipped = g.cut_value(side);
+        if (flipped > value) {
+          value = flipped;
+          improved = true;
+        } else {
+          side[v] = !side[v];
+        }
+      }
+    }
+    if (value > best.value) {
+      best.value = value;
+      best.side = side;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+struct BnbState {
+  const Graph* graph;
+  std::vector<std::vector<std::size_t>> adjacency;
+  std::vector<int> side;  // -1 unassigned, 0/1 assigned
+  std::size_t current_cut = 0;
+  std::size_t undecided_edges = 0;  // edges with >= 1 unassigned endpoint
+  CutResult best;
+
+  void assign(std::size_t v, int s, std::size_t& gained, std::size_t& decided) {
+    side[v] = s;
+    gained = 0;
+    decided = 0;
+    for (std::size_t u : adjacency[v]) {
+      if (side[u] < 0) continue;
+      ++decided;                    // this edge is now fully decided
+      gained += side[u] != s;
+    }
+    current_cut += gained;
+    undecided_edges -= decided;
+  }
+
+  void unassign(std::size_t v, std::size_t gained, std::size_t decided) {
+    side[v] = -1;
+    current_cut -= gained;
+    undecided_edges += decided;
+  }
+
+  void search(std::size_t v) {
+    const std::size_t n = graph->vertex_count();
+    if (v == n) {
+      if (current_cut > best.value) {
+        best.value = current_cut;
+        for (std::size_t i = 0; i < n; ++i) best.side[i] = side[i] == 1;
+      }
+      return;
+    }
+    // Optimistic bound: every still-undecided edge could be cut.
+    if (current_cut + undecided_edges <= best.value) return;
+    for (int s = 0; s < (v == 0 ? 1 : 2); ++s) {  // pin vertex 0 by symmetry
+      std::size_t gained = 0, decided = 0;
+      assign(v, s, gained, decided);
+      search(v + 1);
+      unassign(v, gained, decided);
+    }
+  }
+};
+
+}  // namespace
+
+CutResult max_cut_branch_bound(const Graph& g) {
+  BnbState state;
+  state.graph = &g;
+  const std::size_t n = g.vertex_count();
+  state.adjacency.assign(n, {});
+  for (const auto& [u, v] : g.edges()) {
+    state.adjacency[u].push_back(v);
+    state.adjacency[v].push_back(u);
+  }
+  state.side.assign(n, -1);
+  state.undecided_edges = g.edge_count();
+  // Warm start with local search so pruning bites immediately.
+  Rng rng(0xBB);
+  state.best = max_cut_local_search(g, rng, 8);
+  // The warm start is a lower bound only; search may improve it.
+  state.search(0);
+  return state.best;
+}
+
+}  // namespace epi

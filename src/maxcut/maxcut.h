@@ -1,0 +1,30 @@
+// Exact and heuristic MAX-CUT solvers.
+#pragma once
+
+#include <vector>
+
+#include "maxcut/graph.h"
+
+namespace epi {
+
+/// A cut and its value.
+struct CutResult {
+  std::size_t value = 0;
+  std::vector<bool> side;
+};
+
+/// Exact maximum cut by exhaustive enumeration over 2^(n-1) assignments
+/// (vertex 0 pinned to the left side). Guarded to n <= 26.
+CutResult max_cut_exact(const Graph& g);
+
+/// Randomized local search (single-vertex flips from random starts) —
+/// the fast heuristic baseline.
+CutResult max_cut_local_search(const Graph& g, Rng& rng, int restarts = 16);
+
+/// Exact maximum cut by branch & bound: vertices are assigned in order with
+/// the optimistic bound "current cut + every edge touching an unassigned
+/// vertex could still be cut", warm-started by local search. Much faster
+/// than enumeration on sparse graphs; exact for any size that terminates.
+CutResult max_cut_branch_bound(const Graph& g);
+
+}  // namespace epi

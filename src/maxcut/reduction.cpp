@@ -1,0 +1,109 @@
+#include "maxcut/reduction.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+MaxCutReduction reduce_maxcut_to_safety(const Graph& g, std::size_t k) {
+  const std::size_t t = g.vertex_count();
+  unsigned n = 1;
+  while ((std::size_t{1} << n) < t + 2) ++n;
+  const std::size_t nvars = std::size_t{1} << n;
+
+  MaxCutReduction r;
+  r.n = n;
+  r.astar = static_cast<World>(t);
+  r.bstar = static_cast<World>(t + 1);
+  r.delta = 0.5 / static_cast<double>(t);
+  r.cut_bound = k;
+  r.a = WorldSet::singleton(n, r.astar);
+  r.b = WorldSet::singleton(n, r.astar);
+
+  AlgebraicFamily& family = r.family;
+  family.name = "maxcut(" + std::to_string(t) + " vertices, k=" + std::to_string(k) + ")";
+  family.nvars = nvars;
+
+  // Vertex weights binary in {0, delta}: y^2 - delta*y = 0 as two inequalities.
+  for (std::size_t v = 0; v < t; ++v) {
+    const Polynomial y = Polynomial::variable(nvars, v);
+    const Polynomial binary = y * y - y * r.delta;
+    family.inequalities.push_back(binary);
+    family.inequalities.push_back(-binary);
+  }
+  // Unused worlds carry no mass: p_x <= 0 (p_x >= 0 is the simplex).
+  for (std::size_t x = t + 2; x < nvars; ++x) {
+    family.inequalities.push_back(-Polynomial::variable(nvars, x));
+  }
+  // a* and b* split the leftover mass equally: p_a* - p_b* = 0.
+  const Polynomial balance =
+      Polynomial::variable(nvars, r.astar) - Polynomial::variable(nvars, r.bstar);
+  family.inequalities.push_back(balance);
+  family.inequalities.push_back(-balance);
+  // Cut value at least k: sum over edges of (y_u + y_v - (2/delta) y_u y_v)
+  // >= k * delta.
+  Polynomial cut(nvars);
+  for (const auto& [u, v] : g.edges()) {
+    const Polynomial yu = Polynomial::variable(nvars, u);
+    const Polynomial yv = Polynomial::variable(nvars, v);
+    cut += yu + yv - yu * yv * (2.0 / r.delta);
+  }
+  cut -= Polynomial::constant(nvars, static_cast<double>(k) * r.delta);
+  family.inequalities.push_back(cut);
+  return r;
+}
+
+Distribution MaxCutReduction::distribution_for_cut(
+    const Graph& g, const std::vector<bool>& side) const {
+  const std::size_t t = g.vertex_count();
+  if (side.size() != t) {
+    throw std::invalid_argument("distribution_for_cut: side size mismatch");
+  }
+  std::vector<double> weights(std::size_t{1} << n, 0.0);
+  double used = 0.0;
+  for (std::size_t v = 0; v < t; ++v) {
+    if (side[v]) {
+      weights[v] = delta;
+      used += delta;
+    }
+  }
+  weights[astar] = (1.0 - used) / 2.0;
+  weights[bstar] = (1.0 - used) / 2.0;
+  return Distribution(n, std::move(weights));
+}
+
+std::vector<bool> MaxCutReduction::cut_from_weights(
+    const Graph& g, const std::vector<double>& weights) const {
+  const std::size_t t = g.vertex_count();
+  if (weights.size() != (std::size_t{1} << n)) {
+    throw std::invalid_argument("cut_from_weights: weight vector size mismatch");
+  }
+  // Threshold rounding: try every vertex weight as the threshold and keep
+  // the cut of largest value (the relaxation often meets the cut constraint
+  // with fractional weights, so no single fixed threshold is right).
+  std::vector<bool> best(t, false);
+  std::size_t best_value = 0;
+  std::vector<bool> side(t);
+  for (std::size_t pivot = 0; pivot <= t; ++pivot) {
+    const double threshold = pivot == t ? delta / 2.0 : weights[pivot];
+    for (std::size_t v = 0; v < t; ++v) side[v] = weights[v] >= threshold;
+    const std::size_t value = g.cut_value(side);
+    if (value > best_value) {
+      best_value = value;
+      best = side;
+    }
+  }
+  return best;
+}
+
+bool MaxCutReduction::nonempty_exact(const Graph& g) const {
+  const std::size_t t = g.vertex_count();
+  std::vector<bool> side(t, false);
+  const std::size_t assignments = std::size_t{1} << t;
+  for (std::size_t mask = 0; mask < assignments; ++mask) {
+    for (std::size_t v = 0; v < t; ++v) side[v] = (mask >> v) & 1;
+    if (g.cut_value(side) >= cut_bound) return true;
+  }
+  return false;
+}
+
+}  // namespace epi

@@ -1,0 +1,60 @@
+// A reconstruction of the Theorem 6.2 reduction: deciding Safe_Pi(A,B) for
+// general algebraic families Pi is NP-hard, via MAX-CUT. (The paper defers
+// the proof details to its full version; this module rebuilds a reduction
+// with the same shape — see DESIGN.md.)
+//
+// Construction: given a graph G on t vertices and a bound k, build a family
+// Pi_{G,k} over the 2^n world weights (2^n >= t + 2) with degree-<=2
+// constraints:
+//   * per-vertex weights y_v in {0, delta} (quadratic y_v^2 = delta y_v),
+//   * unused worlds pinned to weight 0,
+//   * the two designated worlds a*, b* share the leftover mass equally,
+//   * sum over edges of (y_u + y_v - (2/delta) y_u y_v) >= k delta
+//     (each edge term equals delta times the cut indicator).
+// Members of Pi_{G,k} correspond exactly to the cuts of value >= k. With
+// A = B = {a*}, every member has P[AB] - P[A]P[B] = p(1 - p) > 0, so
+//   Safe_{Pi_{G,k}}(A, B)  <=>  Pi_{G,k} empty  <=>  maxcut(G) < k.
+#pragma once
+
+#include "maxcut/graph.h"
+#include "optimize/emptiness.h"
+#include "probabilistic/distribution.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// The reduction output.
+struct MaxCutReduction {
+  AlgebraicFamily family;  ///< Pi_{G,k} over 2^n weight variables
+  unsigned n = 0;          ///< world coordinates (2^n >= t + 2)
+  WorldSet a;              ///< audited property {a*}
+  WorldSet b;              ///< disclosed property {a*}
+  World astar = 0;
+  World bstar = 0;
+  double delta = 0.0;      ///< per-vertex weight quantum
+  std::size_t cut_bound = 0;
+
+  MaxCutReduction() : a(1), b(1) {}
+
+  /// The family member encoding a concrete cut; the distribution satisfies
+  /// every constraint and violates safety. Only valid for cuts of value
+  /// >= cut_bound.
+  Distribution distribution_for_cut(const Graph& g,
+                                    const std::vector<bool>& side) const;
+
+  /// Rounds an arbitrary weight vector (e.g. the relaxation's best iterate)
+  /// to the cut it most resembles: vertex v goes to the right side when its
+  /// weight exceeds delta / 2.
+  std::vector<bool> cut_from_weights(const Graph& g,
+                                     const std::vector<double>& weights) const;
+
+  /// Exact emptiness decision by enumerating all 2^t cuts — the exponential
+  /// "honest" decision procedure whose cost growth the hardness experiment
+  /// measures. Returns true when Pi_{G,k} is non-empty (i.e. unsafe).
+  bool nonempty_exact(const Graph& g) const;
+};
+
+/// Builds Pi_{G,k}, A and B for "is there a cut of size >= k".
+MaxCutReduction reduce_maxcut_to_safety(const Graph& g, std::size_t k);
+
+}  // namespace epi

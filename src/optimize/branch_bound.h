@@ -1,0 +1,51 @@
+// Certified branch-and-bound lower bounds for polynomials on the unit box —
+// a third, independent decision route for product-prior safety besides
+// coordinate ascent (refutation) and Positivstellensatz certificates
+// (proof). Interval arithmetic on monomials gives a rigorous lower bound on
+// each sub-box; subdivision tightens it. The result is a *certified*
+// statement "f >= -epsilon on [0,1]^n" or an explicit point with
+// f(point) < -epsilon.
+//
+// Convergence note: near interior zero sets of f the bound tightens at rate
+// O(width^2) per box but the number of active boxes can grow, so epsilon
+// should not be pushed below ~1e-6 for margins with interior zeros; the
+// budget caps the work and yields kUnknown when exhausted.
+#pragma once
+
+#include <vector>
+
+#include "algebra/polynomial.h"
+#include "criteria/verdict.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// Outcome of the branch-and-bound certification.
+struct BranchBoundResult {
+  Verdict verdict = Verdict::kUnknown;  ///< kSafe = certified >= -epsilon
+  double certified_lower_bound = 0.0;   ///< valid global bound when certified
+  std::vector<double> refutation_point; ///< point with f < -epsilon, if found
+  std::size_t boxes_processed = 0;
+};
+
+struct BranchBoundOptions {
+  double epsilon = 1e-6;         ///< certification slack
+  std::size_t max_boxes = 200000;  ///< subdivision budget
+};
+
+/// Rigorous interval lower/upper bound of f over the axis-aligned box
+/// [lo_i, hi_i]^n with 0 <= lo_i <= hi_i <= 1 (exposed for tests).
+std::pair<double, double> interval_bounds(const Polynomial& f,
+                                          const std::vector<double>& lo,
+                                          const std::vector<double>& hi);
+
+/// Certifies f >= -epsilon on [0,1]^n, refutes with a point, or gives up.
+BranchBoundResult certify_nonneg_on_box(const Polynomial& f,
+                                        const BranchBoundOptions& options = {});
+
+/// Applies the certification to the product-prior safety margin
+/// P[A]P[B] - P[AB]: kSafe means "no product prior gains more than epsilon".
+BranchBoundResult branch_bound_product_safety(const WorldSet& a, const WorldSet& b,
+                                              const BranchBoundOptions& options = {});
+
+}  // namespace epi

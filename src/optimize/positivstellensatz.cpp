@@ -1,0 +1,205 @@
+#include "optimize/positivstellensatz.h"
+
+#include <map>
+
+#include "algebra/safety_polynomial.h"
+
+namespace epi {
+
+Polynomial BoxCertificate::to_polynomial(std::size_t nvars) const {
+  Polynomial total = sigma0.to_polynomial(nvars);
+  for (std::size_t k = 0; k < multipliers.size(); ++k) {
+    Polynomial product = Polynomial::constant(nvars, 1.0);
+    for (std::size_t i = 0; i < nvars; ++i) {
+      if (!((multiplier_subsets[k] >> i) & 1u)) continue;
+      const Polynomial xi = Polynomial::variable(nvars, i);
+      product = product * (xi - xi * xi);  // x_i (1 - x_i)
+    }
+    total += multipliers[k].to_polynomial(nvars) * product;
+  }
+  return total;
+}
+
+namespace {
+
+/// Largest exponent of any single variable across the terms of f.
+unsigned max_variable_degree(const Polynomial& f) {
+  unsigned d = 0;
+  for (const auto& [exps, coeff] : f.terms()) {
+    for (unsigned e : exps) d = std::max(d, e);
+  }
+  return d;
+}
+
+/// Keeps only basis monomials whose square (plus the subset product's
+/// per-variable degree) stays within the per-variable degree budget. For the
+/// product-prior safety margins (per-variable degree <= 2) this reduces the
+/// sigma_0 basis to multilinear monomials — a Newton-polytope-style
+/// restriction that keeps the SDP small. For sigma_0 it is exact (an SOS of
+/// a polynomial with per-variable degree 2d has generators of per-variable
+/// degree <= d); for the multipliers it is a heuristic, so callers fall back
+/// to the unrestricted basis when the restricted search fails.
+std::vector<Monomial> filter_basis(std::vector<Monomial> basis, unsigned var_budget,
+                                   std::uint32_t subset) {
+  std::vector<Monomial> kept;
+  for (Monomial& m : basis) {
+    bool ok = true;
+    for (std::size_t i = 0; i < m.nvars(); ++i) {
+      const unsigned extra = (subset >> i) & 1u ? 2u : 0u;
+      if (2 * m.exponent(i) + extra > var_budget) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) kept.push_back(std::move(m));
+  }
+  return kept;
+}
+
+std::optional<BoxCertificate> prove_with_bases(const Polynomial& f,
+                                               unsigned degree,
+                                               const SdpOptions& options,
+                                               double coeff_tol,
+                                               bool restrict_bases);
+
+}  // namespace
+
+std::optional<BoxCertificate> prove_nonneg_on_box(const Polynomial& f,
+                                                  unsigned degree,
+                                                  const SdpOptions& options,
+                                                  double coeff_tol) {
+  // Try the per-variable-restricted bases first (small, fast, usually
+  // enough), then the full bases.
+  if (auto cert = prove_with_bases(f, degree, options, coeff_tol, true)) {
+    return cert;
+  }
+  return prove_with_bases(f, degree, options, coeff_tol, false);
+}
+
+namespace {
+
+std::optional<BoxCertificate> prove_with_bases(const Polynomial& f,
+                                               unsigned degree,
+                                               const SdpOptions& options,
+                                               double coeff_tol,
+                                               bool restrict_bases) {
+  const std::size_t nvars = f.nvars();
+  if (degree % 2 != 0 || degree < f.degree()) return std::nullopt;
+  const unsigned var_budget =
+      restrict_bases ? std::max(2u, max_variable_degree(f)) : 2 * degree;
+
+  // Schmuedgen/Positivstellensatz form (Theorem 6.7's algebraic cone):
+  //   f = sigma_0 + sum over non-empty subsets S of sigma_S * prod_{i in S}
+  //       x_i (1 - x_i),
+  // with every sigma an SOS of degree <= degree - 2|S|.
+  std::vector<std::uint32_t> subsets;  // bitmask per multiplier block
+  std::vector<Polynomial> subset_products;
+  const std::uint32_t all = (nvars >= 32) ? 0xFFFFFFFFu
+                                          : ((std::uint32_t{1} << nvars) - 1);
+  for (std::uint32_t s = 1; s <= all; ++s) {
+    const unsigned size = static_cast<unsigned>(__builtin_popcount(s));
+    if (2 * size > degree) continue;
+    Polynomial product = Polynomial::constant(nvars, 1.0);
+    for (std::size_t i = 0; i < nvars; ++i) {
+      if (!((s >> i) & 1u)) continue;
+      const Polynomial xi = Polynomial::variable(nvars, i);
+      product = product * (xi - xi * xi);
+    }
+    subsets.push_back(s);
+    subset_products.push_back(std::move(product));
+  }
+
+  const std::vector<Monomial> basis0 =
+      filter_basis(monomials_up_to_degree(nvars, degree / 2), var_budget, 0);
+  std::vector<std::vector<Monomial>> bases;
+  for (std::uint32_t s : subsets) {
+    const unsigned size = static_cast<unsigned>(__builtin_popcount(s));
+    bases.push_back(filter_basis(
+        monomials_up_to_degree(nvars, (degree - 2 * size) / 2), var_budget, s));
+  }
+
+  // Rows: every monomial of degree <= degree.
+  const std::vector<Monomial> all_monomials = monomials_up_to_degree(nvars, degree);
+  std::map<std::vector<unsigned>, std::size_t> row_of;
+  for (const Monomial& mono : all_monomials) {
+    row_of.emplace(mono.exponents(), row_of.size());
+  }
+
+  const std::size_t m0 = basis0.size();
+  std::size_t total_entries = m0 * m0;
+  for (const auto& basis : bases) total_entries += basis.size() * basis.size();
+
+  Matrix constraints(row_of.size(), total_entries);
+  Vec rhs(row_of.size(), 0.0);
+
+  // sigma0 contributions.
+  for (std::size_t i = 0; i < m0; ++i) {
+    for (std::size_t j = 0; j < m0; ++j) {
+      const std::size_t row = row_of.at((basis0[i] * basis0[j]).exponents());
+      constraints.at(row, i * m0 + j) += 1.0;
+    }
+  }
+  // Multiplier contributions: Q^{(S)}_{ij} multiplies (m_i m_j) * prod_S.
+  std::size_t offset = m0 * m0;
+  for (std::size_t k = 0; k < subsets.size(); ++k) {
+    const auto& basis = bases[k];
+    const std::size_t mm = basis.size();
+    for (std::size_t i = 0; i < mm; ++i) {
+      for (std::size_t j = 0; j < mm; ++j) {
+        const Monomial prod_basis = basis[i] * basis[j];
+        for (const auto& [exps, coeff] : subset_products[k].terms()) {
+          const std::size_t row = row_of.at((prod_basis * Monomial(exps)).exponents());
+          constraints.at(row, offset + i * mm + j) += coeff;
+        }
+      }
+    }
+    offset += mm * mm;
+  }
+  // Targets: coefficients of f.
+  for (const auto& [exps, coeff] : f.terms()) {
+    auto it = row_of.find(exps);
+    if (it == row_of.end()) return std::nullopt;
+    rhs[it->second] = coeff;
+  }
+
+  SdpProblem problem;
+  problem.block_sizes.push_back(m0);
+  for (const auto& basis : bases) problem.block_sizes.push_back(basis.size());
+  problem.constraint_matrix = std::move(constraints);
+  problem.rhs = std::move(rhs);
+
+  auto blocks = solve_sdp_feasibility(problem, options);
+  if (!blocks) return std::nullopt;
+
+  BoxCertificate cert;
+  cert.sigma0.basis = basis0;
+  cert.sigma0.gram = std::move((*blocks)[0]);
+  for (std::size_t k = 0; k < subsets.size(); ++k) {
+    SosCertificate mult;
+    mult.basis = bases[k];
+    mult.gram = std::move((*blocks)[k + 1]);
+    cert.multipliers.push_back(std::move(mult));
+    cert.multiplier_subsets.push_back(subsets[k]);
+  }
+  if (cert.to_polynomial(nvars).max_coeff_difference(f) > coeff_tol) {
+    return std::nullopt;
+  }
+  return cert;
+}
+
+}  // namespace
+
+Verdict sos_product_safety(const WorldSet& a, const WorldSet& b, unsigned degree,
+                           const SdpOptions& options) {
+  const Polynomial margin = product_safety_margin(a, b).pruned(1e-14);
+  if (margin.is_zero(1e-14)) return Verdict::kSafe;  // identically independent
+  unsigned d = degree;
+  if (d == 0) {
+    d = margin.degree();
+    if (d % 2 != 0) ++d;
+  }
+  if (prove_nonneg_on_box(margin, d, options)) return Verdict::kSafe;
+  return Verdict::kUnknown;
+}
+
+}  // namespace epi

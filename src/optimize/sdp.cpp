@@ -1,0 +1,92 @@
+#include "optimize/sdp.h"
+
+#include <stdexcept>
+
+#include "linalg/eigen.h"
+#include "linalg/least_squares.h"
+
+namespace epi {
+namespace {
+
+std::vector<Matrix> unflatten(const Vec& x, const std::vector<std::size_t>& sizes) {
+  std::vector<Matrix> blocks;
+  std::size_t offset = 0;
+  for (std::size_t s : sizes) {
+    Matrix block(s, s);
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        block.at(i, j) = x[offset + i * s + j];
+      }
+    }
+    offset += s * s;
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+Vec flatten(const std::vector<Matrix>& blocks, std::size_t total) {
+  Vec x(total);
+  std::size_t offset = 0;
+  for (const Matrix& block : blocks) {
+    const std::size_t s = block.rows();
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        x[offset + i * s + j] = block.at(i, j);
+      }
+    }
+    offset += s * s;
+  }
+  return x;
+}
+
+}  // namespace
+
+std::size_t SdpProblem::total_entries() const {
+  std::size_t total = 0;
+  for (std::size_t s : block_sizes) total += s * s;
+  return total;
+}
+
+std::optional<std::vector<Matrix>> solve_sdp_feasibility(const SdpProblem& problem,
+                                                         const SdpOptions& options) {
+  const std::size_t total = problem.total_entries();
+  if (problem.constraint_matrix.cols() != total) {
+    throw std::invalid_argument("solve_sdp_feasibility: constraint width mismatch");
+  }
+  if (problem.constraint_matrix.rows() != problem.rhs.size()) {
+    throw std::invalid_argument("solve_sdp_feasibility: rhs size mismatch");
+  }
+
+  AffineProjector affine(problem.constraint_matrix, problem.rhs);
+
+  auto project_cone = [&](const Vec& v) {
+    std::vector<Matrix> blocks = unflatten(v, problem.block_sizes);
+    for (Matrix& block : blocks) {
+      block.symmetrize();
+      block = project_psd(block);
+    }
+    return blocks;
+  };
+
+  // Douglas-Rachford splitting between the PSD cone and the affine subspace:
+  //   z <- z + P_affine(2 P_cone(z) - z) - P_cone(z).
+  // The shadow sequence P_cone(z) converges to a point of the intersection
+  // when one exists; DR handles the tangential (boundary-Gram) intersections
+  // that plain alternating projections stall on.
+  Vec z(total, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<Matrix> cone_blocks = project_cone(z);
+    const Vec cone_point = flatten(cone_blocks, total);
+    // Accept when the shadow point (exactly PSD) satisfies the constraints.
+    if (affine.residual(cone_point) < options.tolerance) {
+      return cone_blocks;
+    }
+    Vec reflected(total);
+    for (std::size_t i = 0; i < total; ++i) reflected[i] = 2.0 * cone_point[i] - z[i];
+    const Vec affine_point = affine.project(reflected);
+    for (std::size_t i = 0; i < total; ++i) z[i] += affine_point[i] - cone_point[i];
+  }
+  return std::nullopt;
+}
+
+}  // namespace epi

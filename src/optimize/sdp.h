@@ -1,0 +1,37 @@
+// Semidefinite feasibility by alternating projections: find block-diagonal
+// PSD X satisfying linear equality constraints. This is the self-contained
+// SDP core behind Proposition 6.4 ("the test f in Sigma^2 can be done in
+// poly time" — via semidefinite programming).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace epi {
+
+/// find X = diag(X_1..X_k), X_i PSD of size block_sizes[i], with
+/// constraint_matrix * vec(X) = rhs, where vec concatenates the row-major
+/// flattening of every (full, symmetric) block.
+struct SdpProblem {
+  std::vector<std::size_t> block_sizes;
+  Matrix constraint_matrix;  ///< rows = constraints, cols = total flattened entries
+  Vec rhs;
+
+  std::size_t total_entries() const;
+};
+
+struct SdpOptions {
+  int max_iterations = 4000;
+  double tolerance = 1e-8;  ///< affine residual accepted for the PSD iterate
+};
+
+/// Alternating projections between the affine subspace and the PSD cone.
+/// Returns the feasible blocks, or nullopt when no feasible point was found
+/// within the budget (which may mean infeasible or merely slow — callers
+/// must treat nullopt as "unknown", never as "infeasible").
+std::optional<std::vector<Matrix>> solve_sdp_feasibility(
+    const SdpProblem& problem, const SdpOptions& options = {});
+
+}  // namespace epi

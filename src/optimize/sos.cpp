@@ -1,0 +1,71 @@
+#include "optimize/sos.h"
+
+#include <map>
+
+namespace epi {
+
+Polynomial SosCertificate::to_polynomial(std::size_t nvars) const {
+  Polynomial p(nvars);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    for (std::size_t j = 0; j < basis.size(); ++j) {
+      p.add_term(basis[i] * basis[j], gram.at(i, j));
+    }
+  }
+  return p;
+}
+
+std::optional<SosCertificate> sos_decompose(const Polynomial& f,
+                                            const SdpOptions& options,
+                                            double coeff_tol) {
+  const unsigned deg = f.degree();
+  if (deg % 2 != 0) return std::nullopt;
+  const std::size_t nvars = f.nvars();
+  const std::vector<Monomial> basis = monomials_up_to_degree(nvars, deg / 2);
+  const std::size_t m = basis.size();
+
+  // One linear constraint per monomial that can appear in m^T Q m.
+  std::map<std::vector<unsigned>, std::size_t> row_of;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      row_of.emplace((basis[i] * basis[j]).exponents(), row_of.size());
+    }
+  }
+  // Target coefficients (monomials of f outside the span make it infeasible;
+  // they cannot occur because every monomial of degree <= deg is spanned).
+  Matrix constraints(row_of.size(), m * m);
+  Vec rhs(row_of.size(), 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t row = row_of.at((basis[i] * basis[j]).exponents());
+      constraints.at(row, i * m + j) += 1.0;
+    }
+  }
+  for (const auto& [exps, coeff] : f.terms()) {
+    auto it = row_of.find(exps);
+    if (it == row_of.end()) return std::nullopt;  // degree bookkeeping failed
+    rhs[it->second] = coeff;
+  }
+
+  SdpProblem problem;
+  problem.block_sizes = {m};
+  problem.constraint_matrix = std::move(constraints);
+  problem.rhs = std::move(rhs);
+
+  auto blocks = solve_sdp_feasibility(problem, options);
+  if (!blocks) return std::nullopt;
+
+  SosCertificate cert;
+  cert.basis = basis;
+  cert.gram = std::move((*blocks)[0]);
+  // Verify the certificate before handing it out.
+  if (cert.to_polynomial(nvars).max_coeff_difference(f) > coeff_tol) {
+    return std::nullopt;
+  }
+  return cert;
+}
+
+bool is_sos(const Polynomial& f, const SdpOptions& options) {
+  return sos_decompose(f, options).has_value();
+}
+
+}  // namespace epi

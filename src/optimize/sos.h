@@ -1,0 +1,36 @@
+// Sum-of-squares decomposition (Section 6.2, Proposition 6.4): decide whether
+// a polynomial lies in Sigma^2 by solving a Gram-matrix semidefinite
+// feasibility problem, and return the certificate.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "algebra/polynomial.h"
+#include "linalg/matrix.h"
+#include "optimize/sdp.h"
+
+namespace epi {
+
+/// An SOS certificate: f(x) = m(x)^T Q m(x) with Q PSD over the monomial
+/// basis m.
+struct SosCertificate {
+  std::vector<Monomial> basis;
+  Matrix gram;
+
+  /// Reconstructs m^T Q m for verification.
+  Polynomial to_polynomial(std::size_t nvars) const;
+};
+
+/// Attempts an SOS decomposition of f with Gram basis of degree
+/// ceil(deg(f)/2). Returns nullopt when the SDP finds no certificate within
+/// budget (e.g. for the Motzkin polynomial) or when deg(f) is odd.
+/// `coeff_tol` bounds the certified coefficient mismatch.
+std::optional<SosCertificate> sos_decompose(const Polynomial& f,
+                                            const SdpOptions& options = {},
+                                            double coeff_tol = 1e-6);
+
+/// Convenience wrapper: true iff a certificate is found.
+bool is_sos(const Polynomial& f, const SdpOptions& options = {});
+
+}  // namespace epi

@@ -1,0 +1,76 @@
+#include "possibilistic/collusion.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epi {
+namespace {
+
+void push_unique(std::vector<FiniteSet>& sets, FiniteSet s) {
+  if (std::find(sets.begin(), sets.end(), s) == sets.end()) {
+    sets.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+std::vector<FiniteSet> posterior_family(const CollusionUser& user,
+                                        std::size_t actual_world) {
+  std::vector<FiniteSet> out;
+  for (const FiniteSet& prior : user.prior_family) {
+    FiniteSet posterior = prior;
+    for (const FiniteSet& b : user.disclosures) posterior &= b;
+    // Consistency (Remark 2.3): knowledge must contain the actual world.
+    if (posterior.contains(actual_world)) push_unique(out, std::move(posterior));
+  }
+  return out;
+}
+
+std::vector<FiniteSet> coalition_family(const std::vector<CollusionUser>& members,
+                                        std::size_t actual_world) {
+  if (members.empty()) {
+    throw std::invalid_argument("coalition_family: empty coalition");
+  }
+  std::vector<FiniteSet> joint = posterior_family(members[0], actual_world);
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    const std::vector<FiniteSet> next = posterior_family(members[i], actual_world);
+    std::vector<FiniteSet> combined;
+    for (const FiniteSet& s1 : joint) {
+      for (const FiniteSet& s2 : next) {
+        push_unique(combined, s1 & s2);
+      }
+    }
+    joint = std::move(combined);
+  }
+  return joint;
+}
+
+std::vector<CoalitionFinding> audit_coalitions(const std::vector<CollusionUser>& users,
+                                               const FiniteSet& sensitive,
+                                               std::size_t actual_world) {
+  if (users.size() > 16) {
+    throw std::invalid_argument("audit_coalitions: too many users");
+  }
+  std::vector<CoalitionFinding> findings;
+  const std::size_t coalitions = (std::size_t{1} << users.size()) - 1;
+  for (std::size_t mask = 1; mask <= coalitions; ++mask) {
+    std::vector<CollusionUser> members;
+    CoalitionFinding finding;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      if ((mask >> i) & 1) {
+        members.push_back(users[i]);
+        finding.members.push_back(users[i].name);
+      }
+    }
+    for (const FiniteSet& joint : coalition_family(members, actual_world)) {
+      if (!joint.is_empty() && joint.subset_of(sensitive)) {
+        finding.knows_sensitive = true;
+        break;
+      }
+    }
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+}  // namespace epi

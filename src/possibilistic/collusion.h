@@ -1,0 +1,49 @@
+// Collusion analysis — the motivation for intersection-closed knowledge
+// (Section 4.1: "When two or more possibilistic agents collude ... their
+// knowledge sets intersect: they jointly consider a world possible if and
+// only if none of them has ruled it out").
+//
+// Given per-user knowledge families and the disclosures each user received,
+// this module derives the knowledge of every coalition and audits the
+// sensitive set against it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "possibilistic/knowledge.h"
+
+namespace epi {
+
+/// One user: name, admissible prior knowledge sets, received disclosures.
+struct CollusionUser {
+  std::string name;
+  std::vector<FiniteSet> prior_family;  ///< possible prior knowledge sets
+  std::vector<FiniteSet> disclosures;   ///< the B sets this user received
+};
+
+/// The possible post-disclosure knowledge sets of one user: every prior S
+/// intersected with all received disclosures, keeping only sets containing
+/// the actual world (others are inconsistent histories).
+std::vector<FiniteSet> posterior_family(const CollusionUser& user,
+                                        std::size_t actual_world);
+
+/// The possible joint knowledge sets of a coalition: all intersections of
+/// one posterior per member (deduplicated).
+std::vector<FiniteSet> coalition_family(const std::vector<CollusionUser>& members,
+                                        std::size_t actual_world);
+
+/// Audit result for one coalition.
+struct CoalitionFinding {
+  std::vector<std::string> members;
+  bool knows_sensitive = false;  ///< some admissible joint knowledge ⊆ A
+};
+
+/// Audits every non-empty coalition of the given users (2^k - 1 of them;
+/// k <= 16) against the sensitive set A: a coalition is flagged when some
+/// combination of admissible posteriors pins the sensitive set down.
+std::vector<CoalitionFinding> audit_coalitions(const std::vector<CollusionUser>& users,
+                                               const FiniteSet& sensitive,
+                                               std::size_t actual_world);
+
+}  // namespace epi

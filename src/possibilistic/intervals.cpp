@@ -1,0 +1,164 @@
+#include "possibilistic/intervals.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+IntervalOracle::IntervalOracle(std::shared_ptr<const SigmaFamily> sigma, FiniteSet c)
+    : sigma_(std::move(sigma)), c_(std::move(c)) {
+  if (!sigma_) throw std::invalid_argument("IntervalOracle: null family");
+  if (sigma_->universe_size() != c_.universe_size()) {
+    throw std::invalid_argument("IntervalOracle: mismatched universes");
+  }
+  if (!sigma_->is_intersection_closed()) {
+    throw std::invalid_argument("IntervalOracle: family is not intersection-closed");
+  }
+}
+
+std::optional<FiniteSet> IntervalOracle::interval(std::size_t w1, std::size_t w2) const {
+  // Condition (14): w1 must be a possible world for the auditor (w1 in C) —
+  // otherwise no pair (w1, S) belongs to K = C (x) Sigma.
+  if (!c_.contains(w1)) return std::nullopt;
+  const std::size_t key = w1 * c_.universe_size() + w2;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  std::optional<FiniteSet> result = sigma_->interval(w1, w2);
+  cache_.emplace(key, result);
+  return result;
+}
+
+std::vector<FiniteSet> IntervalOracle::minimal_intervals(std::size_t w1,
+                                                         const FiniteSet& x) const {
+  std::vector<FiniteSet> result;
+  x.for_each([&](std::size_t w2) {
+    std::optional<FiniteSet> iv = interval(w1, w2);
+    if (!iv) return;
+    // Definition 4.7: minimal iff every x-world inside the interval induces
+    // the very same interval.
+    bool minimal = true;
+    const FiniteSet inside = *iv & x;
+    inside.for_each([&](std::size_t w2p) {
+      if (!minimal) return;
+      std::optional<FiniteSet> ivp = interval(w1, w2p);
+      if (!ivp || *ivp != *iv) minimal = false;
+    });
+    if (!minimal) return;
+    for (const FiniteSet& seen : result) {
+      if (seen == *iv) return;  // dedupe
+    }
+    result.push_back(std::move(*iv));
+  });
+  return result;
+}
+
+std::vector<FiniteSet> IntervalOracle::delta_partition(const FiniteSet& x,
+                                                       std::size_t w1) const {
+  std::vector<FiniteSet> classes;
+  for (const FiniteSet& iv : minimal_intervals(w1, x)) {
+    classes.push_back(iv & x);
+  }
+  return classes;
+}
+
+bool IntervalOracle::has_tight_intervals() const {
+  const std::size_t m = c_.universe_size();
+  for (std::size_t w1 = 0; w1 < m; ++w1) {
+    if (!c_.contains(w1)) continue;
+    for (std::size_t w2 = 0; w2 < m; ++w2) {
+      std::optional<FiniteSet> iv = interval(w1, w2);
+      if (!iv) continue;
+      bool tight = true;
+      iv->for_each([&](std::size_t w2p) {
+        if (!tight || w2p == w2) return;
+        std::optional<FiniteSet> ivp = interval(w1, w2p);
+        // ivp exists because w2p lies in a family member containing w1.
+        if (!ivp || !(ivp->subset_of(*iv) && *ivp != *iv)) tight = false;
+      });
+      if (!tight) return false;
+    }
+  }
+  return true;
+}
+
+bool IntervalOracle::safe_all_intervals(const FiniteSet& a, const FiniteSet& b) const {
+  const FiniteSet ab = a & b;
+  const FiniteSet outside_a = ~a;
+  const FiniteSet b_minus_a = b - a;
+  bool safe = true;
+  ab.for_each([&](std::size_t w1) {
+    if (!safe) return;
+    outside_a.for_each([&](std::size_t w2) {
+      if (!safe) return;
+      std::optional<FiniteSet> iv = interval(w1, w2);
+      if (iv && iv->disjoint_with(b_minus_a)) safe = false;
+    });
+  });
+  return safe;
+}
+
+bool IntervalOracle::safe_minimal_intervals(const FiniteSet& a,
+                                            const FiniteSet& b) const {
+  const FiniteSet ab = a & b;
+  const FiniteSet outside_a = ~a;
+  const FiniteSet b_minus_a = b - a;
+  bool safe = true;
+  ab.for_each([&](std::size_t w1) {
+    if (!safe) return;
+    for (const FiniteSet& iv : minimal_intervals(w1, outside_a)) {
+      if (iv.disjoint_with(b_minus_a)) {
+        safe = false;
+        return;
+      }
+    }
+  });
+  return safe;
+}
+
+std::optional<std::vector<FiniteSet>> IntervalOracle::beta(const FiniteSet& a) const {
+  if (!has_tight_intervals()) return std::nullopt;
+  const std::size_t m = c_.universe_size();
+  const FiniteSet outside_a = ~a;
+  std::vector<FiniteSet> result(m, FiniteSet(m));
+  a.for_each([&](std::size_t w1) {
+    // With tight intervals every Delta class is a singleton (Cor. 4.14), so
+    // beta(w1) is simply the union of the classes.
+    for (const FiniteSet& cls : delta_partition(outside_a, w1)) {
+      result[w1] |= cls;
+    }
+  });
+  return result;
+}
+
+IntervalOracle::PreparedAudit IntervalOracle::prepare(const FiniteSet& a) const {
+  PreparedAudit audit(a);
+  const std::size_t m = c_.universe_size();
+  const FiniteSet outside_a = ~a;
+  audit.classes_.assign(m, {});
+  a.for_each([&](std::size_t w1) {
+    audit.classes_[w1] = delta_partition(outside_a, w1);
+  });
+  return audit;
+}
+
+bool IntervalOracle::PreparedAudit::safe(const FiniteSet& b) const {
+  const FiniteSet ab = a_ & b;
+  bool result = true;
+  ab.for_each([&](std::size_t w1) {
+    if (!result) return;
+    for (const FiniteSet& cls : classes_[w1]) {
+      if (cls.disjoint_with(b)) {
+        result = false;
+        return;
+      }
+    }
+  });
+  return result;
+}
+
+std::size_t IntervalOracle::PreparedAudit::class_count() const {
+  std::size_t total = 0;
+  for (const auto& per_world : classes_) total += per_world.size();
+  return total;
+}
+
+}  // namespace epi

@@ -1,0 +1,88 @@
+// K-intervals and the interval-based privacy tests for intersection-closed
+// second-level knowledge (Section 4.1 of the paper: Definitions 4.4/4.7/4.11/
+// 4.13, Propositions 4.5/4.8/4.10, Corollaries 4.12/4.14).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "possibilistic/sigma_family.h"
+
+namespace epi {
+
+/// Interval machinery for K = C (x) Sigma where Sigma is intersection-closed.
+///
+/// All interval queries are memoized, so auditing many disclosures B_1..B_N
+/// against one audit query A reuses the computed structure (the amortization
+/// pointed out after Proposition 4.1).
+class IntervalOracle {
+ public:
+  /// `sigma` must be intersection-closed; throws std::invalid_argument if the
+  /// family reports otherwise. `c` is the auditor's knowledge about the
+  /// database (C = Omega when she knows nothing).
+  IntervalOracle(std::shared_ptr<const SigmaFamily> sigma, FiniteSet c);
+
+  std::size_t universe_size() const { return c_.universe_size(); }
+  const FiniteSet& c() const { return c_; }
+
+  /// I_K(w1, w2) of Definition 4.4 — the smallest S with (w1, S) in K and
+  /// w2 in S; nullopt when the interval does not exist (conditions (14)).
+  std::optional<FiniteSet> interval(std::size_t w1, std::size_t w2) const;
+
+  /// The minimal K-intervals from w1 to X (Definition 4.7), deduplicated.
+  std::vector<FiniteSet> minimal_intervals(std::size_t w1, const FiniteSet& x) const;
+
+  /// Delta_K(X, w1) of Definition 4.11: the disjoint equivalence classes
+  /// X ∩ I over the minimal intervals I from w1 to X (Proposition 4.10).
+  std::vector<FiniteSet> delta_partition(const FiniteSet& x, std::size_t w1) const;
+
+  /// Definition 4.13: every world of an interval other than its endpoint
+  /// induces a strictly smaller interval. Exhaustive check, O(m^3) interval
+  /// queries.
+  bool has_tight_intervals() const;
+
+  /// Proposition 4.5: Safe_K(A,B) iff every existing interval I_K(w1,w2) with
+  /// w1 in A∩B and w2 not in A intersects B - A.
+  bool safe_all_intervals(const FiniteSet& a, const FiniteSet& b) const;
+
+  /// Proposition 4.8 / Corollary 4.12: the same test restricted to intervals
+  /// minimal from w1 in A∩B to Omega - A.
+  bool safe_minimal_intervals(const FiniteSet& a, const FiniteSet& b) const;
+
+  /// Corollary 4.14: the safety-margin map beta : A -> P(Omega - A) with
+  /// Safe_K(A,B) iff beta(w1) ⊆ B for every w1 in A∩B. Requires tight
+  /// intervals; returns nullopt otherwise. The result is indexed by world id
+  /// (entries for worlds outside A are empty and meaningless).
+  std::optional<std::vector<FiniteSet>> beta(const FiniteSet& a) const;
+
+  /// Precomputed per-world Delta classes for a fixed audit query A, enabling
+  /// O(|classes|) auditing of each disclosed B (Corollary 4.12).
+  class PreparedAudit {
+   public:
+    /// Corollary 4.12 applied with the precomputed classes.
+    bool safe(const FiniteSet& b) const;
+
+    /// Total number of stored equivalence classes (for reporting).
+    std::size_t class_count() const;
+
+   private:
+    friend class IntervalOracle;
+    explicit PreparedAudit(FiniteSet a) : a_(std::move(a)) {}
+    FiniteSet a_;
+    // classes_[w] = Delta_K(Omega - A, w) for w in A (empty otherwise).
+    std::vector<std::vector<FiniteSet>> classes_;
+  };
+
+  /// Builds the precomputed audit structure for audit query A.
+  PreparedAudit prepare(const FiniteSet& a) const;
+
+ private:
+  std::shared_ptr<const SigmaFamily> sigma_;
+  FiniteSet c_;
+  mutable std::unordered_map<std::size_t, std::optional<FiniteSet>> cache_;
+};
+
+}  // namespace epi

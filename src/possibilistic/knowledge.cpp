@@ -1,0 +1,107 @@
+#include "possibilistic/knowledge.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epi {
+
+KnowledgeWorld::KnowledgeWorld(std::size_t w, FiniteSet s)
+    : world(w), knowledge(std::move(s)) {
+  if (!knowledge.contains(world)) {
+    throw std::invalid_argument(
+        "KnowledgeWorld: inconsistent pair (world not in knowledge set)");
+  }
+}
+
+SecondLevelKnowledge SecondLevelKnowledge::product(
+    const FiniteSet& c, const std::vector<FiniteSet>& sigma) {
+  SecondLevelKnowledge k(c.universe_size());
+  for (const FiniteSet& s : sigma) {
+    if (s.universe_size() != c.universe_size()) {
+      throw std::invalid_argument("product: mismatched universes");
+    }
+    c.for_each([&](std::size_t w) {
+      if (s.contains(w)) k.add(w, s);
+    });
+  }
+  return k;
+}
+
+SecondLevelKnowledge SecondLevelKnowledge::full(std::size_t m) {
+  if (m > 16) throw std::invalid_argument("full Omega_poss limited to m <= 16");
+  SecondLevelKnowledge k(m);
+  const std::size_t subsets = std::size_t{1} << m;
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    FiniteSet s(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      if ((mask >> e) & 1) s.insert(e);
+    }
+    for (std::size_t e = 0; e < m; ++e) {
+      if (s.contains(e)) k.add(e, s);
+    }
+  }
+  return k;
+}
+
+void SecondLevelKnowledge::add(std::size_t world, FiniteSet knowledge) {
+  if (knowledge.universe_size() != m_) {
+    throw std::invalid_argument("add: knowledge set over wrong universe");
+  }
+  pairs_.emplace_back(world, std::move(knowledge));
+}
+
+bool SecondLevelKnowledge::contains(std::size_t world,
+                                    const FiniteSet& knowledge) const {
+  return std::any_of(pairs_.begin(), pairs_.end(), [&](const KnowledgeWorld& kw) {
+    return kw.world == world && kw.knowledge == knowledge;
+  });
+}
+
+FiniteSet SecondLevelKnowledge::world_projection() const {
+  FiniteSet p(m_);
+  for (const auto& kw : pairs_) p.insert(kw.world);
+  return p;
+}
+
+bool SecondLevelKnowledge::is_intersection_closed() const {
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    for (std::size_t j = i + 1; j < pairs_.size(); ++j) {
+      if (pairs_[i].world != pairs_[j].world) continue;
+      const FiniteSet inter = pairs_[i].knowledge & pairs_[j].knowledge;
+      if (!contains(pairs_[i].world, inter)) return false;
+    }
+  }
+  return true;
+}
+
+SecondLevelKnowledge SecondLevelKnowledge::intersection_closure() const {
+  SecondLevelKnowledge k(m_);
+  k.pairs_ = pairs_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::size_t count = k.pairs_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t j = i + 1; j < count; ++j) {
+        if (k.pairs_[i].world != k.pairs_[j].world) continue;
+        FiniteSet inter = k.pairs_[i].knowledge & k.pairs_[j].knowledge;
+        if (!k.contains(k.pairs_[i].world, inter)) {
+          k.add(k.pairs_[i].world, std::move(inter));
+          changed = true;
+        }
+      }
+    }
+  }
+  return k;
+}
+
+bool SecondLevelKnowledge::is_preserving(const FiniteSet& b) const {
+  for (const auto& kw : pairs_) {
+    if (!b.contains(kw.world)) continue;
+    const FiniteSet updated = kw.knowledge & b;
+    if (!contains(kw.world, updated)) return false;
+  }
+  return true;
+}
+
+}  // namespace epi

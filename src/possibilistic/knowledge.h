@@ -1,0 +1,73 @@
+// Possibilistic knowledge worlds and second-level knowledge sets
+// (Definitions 2.1 and 2.5 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "worlds/finite_set.h"
+
+namespace epi {
+
+/// A possibilistic knowledge world (omega, S): the world omega paired with the
+/// agent's knowledge set S. Consistency (Remark 2.3) requires omega in S.
+struct KnowledgeWorld {
+  std::size_t world;
+  FiniteSet knowledge;
+
+  KnowledgeWorld(std::size_t w, FiniteSet s);
+
+  bool operator==(const KnowledgeWorld& o) const {
+    return world == o.world && knowledge == o.knowledge;
+  }
+};
+
+/// The auditor's second-level knowledge set K, a finite set of consistent
+/// knowledge worlds over a common universe Omega = {0, ..., m-1}.
+class SecondLevelKnowledge {
+ public:
+  /// Empty K over a universe of size m (add pairs before use; Def. 2.5 notes
+  /// the empty set is not a valid second-level knowledge set).
+  explicit SecondLevelKnowledge(std::size_t m) : m_(m) {}
+
+  /// The product C (x) Sigma of Definition 2.5: all consistent pairs
+  /// (omega, S) with omega in C, S in Sigma and omega in S.
+  static SecondLevelKnowledge product(const FiniteSet& c,
+                                      const std::vector<FiniteSet>& sigma);
+
+  /// All of Omega_poss = { (omega, S) : omega in S subseteq Omega }.
+  /// Exponential in m; guarded to m <= 16.
+  static SecondLevelKnowledge full(std::size_t m);
+
+  /// Adds one pair; throws std::invalid_argument if inconsistent
+  /// (world not in knowledge) or over the wrong universe.
+  void add(std::size_t world, FiniteSet knowledge);
+
+  std::size_t universe_size() const { return m_; }
+  const std::vector<KnowledgeWorld>& pairs() const { return pairs_; }
+  bool empty() const { return pairs_.empty(); }
+  std::size_t size() const { return pairs_.size(); }
+
+  bool contains(std::size_t world, const FiniteSet& knowledge) const;
+
+  /// Projection pi_1(K): the worlds appearing in some pair.
+  FiniteSet world_projection() const;
+
+  /// Definition 4.3: K is intersection-closed when (omega,S1), (omega,S2) in K
+  /// imply (omega, S1 ∩ S2) in K.
+  bool is_intersection_closed() const;
+
+  /// Smallest intersection-closed superset of K (closes each world's family
+  /// of knowledge sets under pairwise intersection).
+  SecondLevelKnowledge intersection_closure() const;
+
+  /// Definition 3.9: B is K-preserving when for every (omega,S) in K with
+  /// omega in B, the updated pair (omega, S ∩ B) is also in K.
+  bool is_preserving(const FiniteSet& b) const;
+
+ private:
+  std::size_t m_;
+  std::vector<KnowledgeWorld> pairs_;
+};
+
+}  // namespace epi

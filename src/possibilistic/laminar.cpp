@@ -1,0 +1,99 @@
+#include "possibilistic/laminar.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+LaminarSigma::LaminarSigma(std::size_t universe_size) : m_(universe_size) {
+  if (universe_size == 0) {
+    throw std::invalid_argument("LaminarSigma: empty universe");
+  }
+  nodes_.emplace_back(FiniteSet::universe(m_), "root", kRoot);
+}
+
+LaminarSigma::NodeId LaminarSigma::add_group(NodeId parent, const FiniteSet& members,
+                                             std::string label) {
+  if (parent >= nodes_.size()) {
+    throw std::out_of_range("add_group: unknown parent");
+  }
+  if (members.is_empty() || members.universe_size() != m_) {
+    throw std::invalid_argument("add_group: bad member set");
+  }
+  if (!members.subset_of(nodes_[parent].members)) {
+    throw std::invalid_argument("add_group: members not nested in parent");
+  }
+  for (NodeId sibling : nodes_[parent].children) {
+    if (!members.disjoint_with(nodes_[sibling].members)) {
+      throw std::invalid_argument("add_group: members overlap a sibling group");
+    }
+  }
+  const NodeId id = nodes_.size();
+  nodes_.emplace_back(members, std::move(label), parent);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+LaminarSigma LaminarSigma::balanced(std::size_t universe_size,
+                                    std::size_t leaf_size) {
+  if (leaf_size == 0) throw std::invalid_argument("balanced: leaf_size 0");
+  LaminarSigma tree(universe_size);
+  // Iteratively split ranges [lo, hi) in halves.
+  struct Range {
+    NodeId node;
+    std::size_t lo, hi;
+  };
+  std::vector<Range> stack = {{kRoot, 0, universe_size}};
+  while (!stack.empty()) {
+    const Range r = stack.back();
+    stack.pop_back();
+    if (r.hi - r.lo <= leaf_size) continue;
+    const std::size_t mid = (r.lo + r.hi) / 2;
+    FiniteSet left(universe_size), right(universe_size);
+    for (std::size_t e = r.lo; e < mid; ++e) left.insert(e);
+    for (std::size_t e = mid; e < r.hi; ++e) right.insert(e);
+    const NodeId l = tree.add_group(r.node, left);
+    const NodeId rr = tree.add_group(r.node, right);
+    stack.push_back({l, r.lo, mid});
+    stack.push_back({rr, mid, r.hi});
+  }
+  return tree;
+}
+
+LaminarSigma::NodeId LaminarSigma::lowest_common_group(std::size_t w1,
+                                                       std::size_t w2) const {
+  // Walk down from the root while some child contains both.
+  NodeId current = kRoot;
+  for (;;) {
+    bool descended = false;
+    for (NodeId child : nodes_[current].children) {
+      if (nodes_[child].members.contains(w1) && nodes_[child].members.contains(w2)) {
+        current = child;
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) return current;
+  }
+}
+
+bool LaminarSigma::contains(const FiniteSet& s) const {
+  for (const Node& node : nodes_) {
+    if (node.members == s) return true;
+  }
+  return false;
+}
+
+std::vector<FiniteSet> LaminarSigma::enumerate() const {
+  std::vector<FiniteSet> out;
+  out.reserve(nodes_.size());
+  for (const Node& node : nodes_) out.push_back(node.members);
+  return out;
+}
+
+std::optional<FiniteSet> LaminarSigma::interval(std::size_t w1,
+                                                std::size_t w2) const {
+  if (w1 >= m_ || w2 >= m_) return std::nullopt;
+  return nodes_[lowest_common_group(w1, w2)].members;
+}
+
+}  // namespace epi

@@ -1,0 +1,72 @@
+// Laminar (hierarchy) knowledge families: the admissible knowledge sets form
+// a tree of nested groups — e.g. "the user knows which ward / department /
+// hospital the record is in, at some granularity". Any two members of a
+// laminar family are nested or disjoint, so the family is intersection-
+// closed and the whole Section 4.1 interval machinery applies; the interval
+// I(w1, w2) is the lowest common group. The candidate intervals from a world
+// are its totally-ordered ancestors, so for every (A, w1) there is exactly
+// ONE minimal interval — the nearest ancestor meeting the complement of A —
+// and Delta_K collapses to a single class (the intervals are not tight in
+// Def 4.13's sense, so no beta function; tests exercise this contrast with
+// the rectangle family).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "possibilistic/sigma_family.h"
+
+namespace epi {
+
+/// A laminar family over {0,...,m-1}, built as a rooted tree whose root is
+/// the full universe and whose children partition (a subset of) each node.
+class LaminarSigma : public SigmaFamily {
+ public:
+  /// Node handle.
+  using NodeId = std::size_t;
+  static constexpr NodeId kRoot = 0;
+
+  /// Creates the hierarchy with the root covering the whole universe.
+  explicit LaminarSigma(std::size_t universe_size);
+
+  /// Adds a child group under `parent`; `members` must be a non-empty subset
+  /// of the parent's set, disjoint from the parent's existing children.
+  NodeId add_group(NodeId parent, const FiniteSet& members,
+                   std::string label = "");
+
+  /// A balanced binary hierarchy over the universe (for tests/benches):
+  /// splits every group in half down to `leaf_size`.
+  static LaminarSigma balanced(std::size_t universe_size, std::size_t leaf_size);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const FiniteSet& group(NodeId id) const { return nodes_[id].members; }
+  const std::string& label(NodeId id) const { return nodes_[id].label; }
+
+  /// The deepest group containing both worlds (always exists: the root).
+  NodeId lowest_common_group(std::size_t w1, std::size_t w2) const;
+
+  // SigmaFamily interface.
+  std::size_t universe_size() const override { return m_; }
+  bool contains(const FiniteSet& s) const override;
+  std::vector<FiniteSet> enumerate() const override;
+  bool is_intersection_closed() const override { return true; }
+  /// The smallest group containing both worlds.
+  std::optional<FiniteSet> interval(std::size_t w1, std::size_t w2) const override;
+
+ private:
+  struct Node {
+    FiniteSet members;
+    std::string label;
+    NodeId parent;
+    std::vector<NodeId> children;
+
+    Node(FiniteSet m, std::string l, NodeId p)
+        : members(std::move(m)), label(std::move(l)), parent(p) {}
+  };
+
+  std::size_t m_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace epi

@@ -1,0 +1,94 @@
+#include "possibilistic/rectangles.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epi {
+
+GridDomain::GridDomain(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("GridDomain: zero dimension");
+  }
+}
+
+std::size_t GridDomain::index(std::size_t x, std::size_t y) const {
+  if (x < 1 || x > width_ || y < 1 || y > height_) {
+    throw std::out_of_range("GridDomain::index: pixel outside grid");
+  }
+  return (y - 1) * width_ + (x - 1);
+}
+
+FiniteSet GridDomain::rectangle(std::size_t x1, std::size_t y1, std::size_t x2,
+                                std::size_t y2) const {
+  if (x1 > x2 || y1 > y2) throw std::invalid_argument("rectangle: empty range");
+  FiniteSet s(size());
+  for (std::size_t y = y1; y <= y2; ++y) {
+    for (std::size_t x = x1; x <= x2; ++x) {
+      s.insert(index(x, y));
+    }
+  }
+  return s;
+}
+
+FiniteSet GridDomain::ellipse(double cx, double cy, double rx, double ry) const {
+  FiniteSet s(size());
+  for (std::size_t y = 1; y <= height_; ++y) {
+    for (std::size_t x = 1; x <= width_; ++x) {
+      const double dx = (static_cast<double>(x) - cx) / rx;
+      const double dy = (static_cast<double>(y) - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0) s.insert(index(x, y));
+    }
+  }
+  return s;
+}
+
+std::string GridDomain::render(const FiniteSet& s) const {
+  std::string out;
+  out.reserve((width_ + 1) * height_);
+  for (std::size_t y = 1; y <= height_; ++y) {
+    for (std::size_t x = 1; x <= width_; ++x) {
+      out += s.contains(index(x, y)) ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool RectangleSigma::contains(const FiniteSet& s) const {
+  if (s.universe_size() != grid_.size() || s.is_empty()) return false;
+  std::size_t min_x = grid_.width() + 1, max_x = 0;
+  std::size_t min_y = grid_.height() + 1, max_y = 0;
+  s.for_each([&](std::size_t w) {
+    min_x = std::min(min_x, grid_.x_of(w));
+    max_x = std::max(max_x, grid_.x_of(w));
+    min_y = std::min(min_y, grid_.y_of(w));
+    max_y = std::max(max_y, grid_.y_of(w));
+  });
+  return s == grid_.rectangle(min_x, min_y, max_x, max_y);
+}
+
+std::vector<FiniteSet> RectangleSigma::enumerate() const {
+  std::vector<FiniteSet> sets;
+  for (std::size_t x1 = 1; x1 <= grid_.width(); ++x1) {
+    for (std::size_t x2 = x1; x2 <= grid_.width(); ++x2) {
+      for (std::size_t y1 = 1; y1 <= grid_.height(); ++y1) {
+        for (std::size_t y2 = y1; y2 <= grid_.height(); ++y2) {
+          sets.push_back(grid_.rectangle(x1, y1, x2, y2));
+        }
+      }
+    }
+  }
+  return sets;
+}
+
+std::optional<FiniteSet> RectangleSigma::interval(std::size_t w1,
+                                                  std::size_t w2) const {
+  const std::size_t x1 = std::min(grid_.x_of(w1), grid_.x_of(w2));
+  const std::size_t x2 = std::max(grid_.x_of(w1), grid_.x_of(w2));
+  const std::size_t y1 = std::min(grid_.y_of(w1), grid_.y_of(w2));
+  const std::size_t y2 = std::max(grid_.y_of(w1), grid_.y_of(w2));
+  return grid_.rectangle(x1, y1, x2, y2);
+}
+
+}  // namespace epi

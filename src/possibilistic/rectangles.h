@@ -1,0 +1,67 @@
+// The integer-rectangle knowledge family of Example 4.9 / Figure 1: worlds
+// are pixels of a width x height grid, admissible knowledge sets are integer
+// sub-rectangles. The family is intersection-closed and has tight intervals,
+// so the full Section 4.1 machinery (minimal intervals, Delta classes, beta)
+// applies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "possibilistic/sigma_family.h"
+
+namespace epi {
+
+/// A width x height pixel grid with 1-based coordinates, matching the paper's
+/// Figure 1 (whose grid is 14 x 7 and whose points run (1,1)..(14,7)).
+class GridDomain {
+ public:
+  GridDomain(std::size_t width, std::size_t height);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t size() const { return width_ * height_; }
+
+  /// World id of pixel (x, y); x in [1,width], y in [1,height].
+  std::size_t index(std::size_t x, std::size_t y) const;
+  std::size_t x_of(std::size_t index) const { return index % width_ + 1; }
+  std::size_t y_of(std::size_t index) const { return index / width_ + 1; }
+
+  /// The axis-aligned rectangle [x1,x2] x [y1,y2] as a world set.
+  FiniteSet rectangle(std::size_t x1, std::size_t y1, std::size_t x2,
+                      std::size_t y2) const;
+
+  /// The discretized ellipse ((x-cx)/rx)^2 + ((y-cy)/ry)^2 <= 1 as a world
+  /// set — used to rebuild the A-complement region of Figure 1.
+  FiniteSet ellipse(double cx, double cy, double rx, double ry) const;
+
+  /// ASCII rendering: '#' for members of `s`, '.' otherwise, row y=1 first.
+  std::string render(const FiniteSet& s) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+};
+
+/// The family of all integer sub-rectangles of a grid (Example 4.9).
+/// Intervals have the closed form I(w1, w2) = bounding box of {w1, w2}.
+class RectangleSigma : public SigmaFamily {
+ public:
+  explicit RectangleSigma(GridDomain grid) : grid_(grid) {}
+
+  const GridDomain& grid() const { return grid_; }
+
+  std::size_t universe_size() const override { return grid_.size(); }
+  /// True iff s is a non-empty rectangle (equals its own bounding box).
+  bool contains(const FiniteSet& s) const override;
+  /// All width*(width+1)/2 * height*(height+1)/2 rectangles.
+  std::vector<FiniteSet> enumerate() const override;
+  bool is_intersection_closed() const override { return true; }
+  /// Bounding box of {w1, w2}; always exists.
+  std::optional<FiniteSet> interval(std::size_t w1, std::size_t w2) const override;
+
+ private:
+  GridDomain grid_;
+};
+
+}  // namespace epi

@@ -1,0 +1,42 @@
+#include "possibilistic/safe.h"
+
+namespace epi {
+
+std::optional<KnowledgeWorld> find_possibilistic_violation(
+    const SecondLevelKnowledge& k, const FiniteSet& a, const FiniteSet& b) {
+  for (const KnowledgeWorld& kw : k.pairs()) {
+    if (!b.contains(kw.world)) continue;  // inconsistent with the disclosure
+    const FiniteSet sb = kw.knowledge & b;
+    if (sb.subset_of(a) && !kw.knowledge.subset_of(a)) {
+      return kw;  // this agent gains knowledge of A
+    }
+  }
+  return std::nullopt;
+}
+
+bool safe_possibilistic(const SecondLevelKnowledge& k, const FiniteSet& a,
+                        const FiniteSet& b) {
+  return !find_possibilistic_violation(k, a, b).has_value();
+}
+
+bool safe_c_sigma(const FiniteSet& c, const SigmaFamily& sigma, const FiniteSet& a,
+                  const FiniteSet& b) {
+  for (const FiniteSet& s : sigma.enumerate()) {
+    const FiniteSet sb = s & b;
+    if ((sb & c).is_empty()) continue;
+    if (sb.subset_of(a) && !s.subset_of(a)) return false;
+  }
+  return true;
+}
+
+bool safe_unrestricted(const FiniteSet& a, const FiniteSet& b) {
+  return a.disjoint_with(b) || (a | b).is_universe();
+}
+
+bool safe_unrestricted_known_world(const FiniteSet& a, const FiniteSet& b,
+                                   std::size_t actual_world) {
+  if (safe_unrestricted(a, b)) return true;
+  return b.contains(actual_world) && !a.contains(actual_world);
+}
+
+}  // namespace epi

@@ -1,0 +1,39 @@
+// The possibilistic privacy predicate Safe_K(A,B) (Definition 3.1) and its
+// (C, Sigma) product form (Proposition 3.3), with violation witnesses.
+#pragma once
+
+#include <optional>
+
+#include "possibilistic/knowledge.h"
+#include "possibilistic/sigma_family.h"
+
+namespace epi {
+
+/// Definition 3.1: A is K-private given the disclosure of B iff for every
+/// (omega, S) in K with omega in B: S ∩ B ⊆ A implies S ⊆ A.
+/// (Equivalently: no admissible agent that did not know A learns A from B.)
+bool safe_possibilistic(const SecondLevelKnowledge& k, const FiniteSet& a,
+                        const FiniteSet& b);
+
+/// The knowledge world violating Definition 3.1, if any: a pair (omega, S)
+/// with omega in B, S ⊄ A, and S ∩ B ⊆ A — i.e. an admissible agent who
+/// gains knowledge of A upon learning B.
+std::optional<KnowledgeWorld> find_possibilistic_violation(
+    const SecondLevelKnowledge& k, const FiniteSet& a, const FiniteSet& b);
+
+/// Proposition 3.3: Safe_{C,Sigma}(A,B) without materializing C (x) Sigma:
+/// for every S in Sigma, S∩B∩C != {} and S∩B ⊆ A imply S ⊆ A.
+bool safe_c_sigma(const FiniteSet& c, const SigmaFamily& sigma, const FiniteSet& a,
+                  const FiniteSet& b);
+
+/// Theorem 3.11 (possibilistic, unrestricted prior knowledge, auditor knows
+/// nothing about the world): Safe_K(A,B) for K = Omega_poss iff
+/// A ∩ B = {} or A ∪ B = Omega.
+bool safe_unrestricted(const FiniteSet& a, const FiniteSet& b);
+
+/// Theorem 3.11, second part: Safe_K(A,B) for K = {omega*} (x) P(Omega) iff
+/// A ∩ B = {}, or A ∪ B = Omega, or omega* in B - A.
+bool safe_unrestricted_known_world(const FiniteSet& a, const FiniteSet& b,
+                                   std::size_t actual_world);
+
+}  // namespace epi

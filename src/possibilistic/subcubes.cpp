@@ -1,0 +1,67 @@
+#include "possibilistic/subcubes.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+SubcubeSigma::SubcubeSigma(unsigned n) : n_(n) {
+  if (n == 0 || n > 13) {
+    throw std::invalid_argument("SubcubeSigma: n must be in [1,13]");
+  }
+}
+
+FiniteSet SubcubeSigma::box(const MatchVector& w) const {
+  FiniteSet s(universe_size());
+  const std::size_t size = universe_size();
+  for (std::size_t v = 0; v < size; ++v) {
+    if (refines(static_cast<World>(v), w)) s.insert(v);
+  }
+  return s;
+}
+
+bool SubcubeSigma::contains(const FiniteSet& s) const {
+  if (s.universe_size() != universe_size() || s.is_empty()) return false;
+  // The bounding match vector of s: coordinates where all members agree are
+  // fixed, the rest are stars; s is a subcube iff it equals its bounding box.
+  World and_all = ~World{0};
+  World or_all = 0;
+  s.for_each([&](std::size_t v) {
+    and_all &= static_cast<World>(v);
+    or_all |= static_cast<World>(v);
+  });
+  MatchVector w;
+  w.stars = (and_all ^ or_all) & ((World{1} << n_) - 1);
+  w.values = and_all & ~w.stars & ((World{1} << n_) - 1);
+  return s == box(w);
+}
+
+std::vector<FiniteSet> SubcubeSigma::enumerate() const {
+  std::vector<FiniteSet> out;
+  std::size_t total = 1;
+  for (unsigned i = 0; i < n_; ++i) total *= 3;
+  out.reserve(total);
+  // Enumerate {0,1,*}^n via base-3 codes.
+  for (std::size_t code = 0; code < total; ++code) {
+    MatchVector w;
+    std::size_t c = code;
+    for (unsigned i = 0; i < n_; ++i) {
+      const unsigned digit = c % 3;
+      c /= 3;
+      if (digit == 1) {
+        w.values |= World{1} << i;
+      } else if (digit == 2) {
+        w.stars |= World{1} << i;
+      }
+    }
+    out.push_back(box(w));
+  }
+  return out;
+}
+
+std::optional<FiniteSet> SubcubeSigma::interval(std::size_t w1,
+                                                std::size_t w2) const {
+  if (w1 >= universe_size() || w2 >= universe_size()) return std::nullopt;
+  return box(match(static_cast<World>(w1), static_cast<World>(w2)));
+}
+
+}  // namespace epi

@@ -1,0 +1,41 @@
+// The subcube knowledge family over Omega = {0,1}^n: the user's possible
+// prior knowledge sets are exactly the subcubes Box(w), w in {0,1,*}^n —
+// i.e. "the user knows the exact presence/absence of some subset of records
+// and nothing else". This is the natural possibilistic analogue of the
+// record-wise independence assumption, and it ties Sections 4 and 5
+// together: the family is intersection-closed, its K-interval is
+//     I(w1, w2) = Box(Match(w1, w2))            (Definition 5.8's objects!),
+// and the intervals are tight, so the beta margin of Corollary 4.14 exists.
+#pragma once
+
+#include "possibilistic/sigma_family.h"
+#include "worlds/match_vector.h"
+
+namespace epi {
+
+/// All subcubes of {0,1}^n as a SigmaFamily over the 2^n-element universe
+/// (FiniteSet encoding: element id = world id).
+class SubcubeSigma : public SigmaFamily {
+ public:
+  /// n <= 13 keeps enumerate() (3^n sets) and oracle sweeps tractable.
+  explicit SubcubeSigma(unsigned n);
+
+  unsigned n() const { return n_; }
+
+  /// The subcube Box(w) as a FiniteSet.
+  FiniteSet box(const MatchVector& w) const;
+
+  std::size_t universe_size() const override { return std::size_t{1} << n_; }
+  /// True iff s is a non-empty subcube.
+  bool contains(const FiniteSet& s) const override;
+  /// All 3^n subcubes.
+  std::vector<FiniteSet> enumerate() const override;
+  bool is_intersection_closed() const override { return true; }
+  /// Box(Match(w1, w2)) — always exists.
+  std::optional<FiniteSet> interval(std::size_t w1, std::size_t w2) const override;
+
+ private:
+  unsigned n_;
+};
+
+}  // namespace epi

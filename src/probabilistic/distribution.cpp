@@ -1,0 +1,98 @@
+#include "probabilistic/distribution.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epi {
+
+Distribution::Distribution(unsigned n, std::vector<double> weights, bool normalize)
+    : n_(n), weights_(std::move(weights)) {
+  if (n == 0 || n > kMaxCoordinates) {
+    throw std::invalid_argument("Distribution: n out of range");
+  }
+  if (weights_.size() != (std::size_t{1} << n)) {
+    throw std::invalid_argument("Distribution: weights size must be 2^n");
+  }
+  double sum = 0.0;
+  for (double w : weights_) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("Distribution: weights must be finite and >= 0");
+    }
+    sum += w;
+  }
+  if (normalize) {
+    if (sum <= 0.0) throw std::invalid_argument("Distribution: zero total mass");
+    for (double& w : weights_) w /= sum;
+  } else if (std::abs(sum - 1.0) > kSumTolerance) {
+    throw std::invalid_argument("Distribution: weights must sum to 1");
+  }
+}
+
+Distribution Distribution::uniform(unsigned n) {
+  const std::size_t size = std::size_t{1} << n;
+  return Distribution(n, std::vector<double>(size, 1.0 / static_cast<double>(size)));
+}
+
+Distribution Distribution::point_mass(unsigned n, World w) {
+  std::vector<double> weights(std::size_t{1} << n, 0.0);
+  weights.at(w) = 1.0;
+  return Distribution(n, std::move(weights));
+}
+
+Distribution Distribution::uniform_on(const WorldSet& support) {
+  if (support.is_empty()) {
+    throw std::invalid_argument("uniform_on: empty support");
+  }
+  std::vector<double> weights(support.omega_size(), 0.0);
+  const double p = 1.0 / static_cast<double>(support.count());
+  support.for_each([&](World w) { weights[w] = p; });
+  return Distribution(support.n(), std::move(weights));
+}
+
+Distribution Distribution::random(unsigned n, Rng& rng) {
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<double> weights(size);
+  double sum = 0.0;
+  for (double& w : weights) {
+    // Exponential variates normalized to the simplex give uniform Dirichlet(1).
+    w = -std::log(1.0 - rng.next_double());
+    sum += w;
+  }
+  for (double& w : weights) w /= sum;
+  return Distribution(n, std::move(weights));
+}
+
+double Distribution::prob(const WorldSet& a) const {
+  if (a.n() != n_) throw std::invalid_argument("prob: mismatched n");
+  double sum = 0.0;
+  a.for_each([&](World w) { sum += weights_[w]; });
+  return sum;
+}
+
+double Distribution::conditional(const WorldSet& a, const WorldSet& b) const {
+  const double pb = prob(b);
+  if (pb <= 0.0) throw std::domain_error("conditional: P[B] == 0");
+  return prob(a & b) / pb;
+}
+
+Distribution Distribution::conditioned_on(const WorldSet& b) const {
+  const double pb = prob(b);
+  if (pb <= 0.0) throw std::domain_error("conditioned_on: P[B] == 0");
+  std::vector<double> weights(weights_.size(), 0.0);
+  b.for_each([&](World w) { weights[w] = weights_[w] / pb; });
+  return Distribution(n_, std::move(weights), /*normalize=*/true);
+}
+
+WorldSet Distribution::support() const {
+  WorldSet s(n_);
+  for (std::size_t w = 0; w < weights_.size(); ++w) {
+    if (weights_[w] > 0.0) s.insert(static_cast<World>(w));
+  }
+  return s;
+}
+
+double Distribution::safety_gap(const WorldSet& a, const WorldSet& b) const {
+  return prob(a & b) - prob(a) * prob(b);
+}
+
+}  // namespace epi

@@ -1,0 +1,59 @@
+// Probability distributions over Omega = {0,1}^n — the knowledge of a
+// probabilistic agent (Definition 2.2 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// A dense probability distribution P : {0,1}^n -> R+, sum = 1.
+class Distribution {
+ public:
+  /// Distribution from explicit weights (size must be 2^n); weights must be
+  /// nonnegative and sum to 1 within `kSumTolerance` unless `normalize`.
+  Distribution(unsigned n, std::vector<double> weights, bool normalize = false);
+
+  /// Uniform distribution over {0,1}^n.
+  static Distribution uniform(unsigned n);
+  /// All mass on one world.
+  static Distribution point_mass(unsigned n, World w);
+  /// Uniform over the worlds of a non-empty set.
+  static Distribution uniform_on(const WorldSet& support);
+  /// Random point of the probability simplex (exponential spacings).
+  static Distribution random(unsigned n, Rng& rng);
+
+  unsigned n() const { return n_; }
+  std::size_t omega_size() const { return weights_.size(); }
+
+  /// P(omega).
+  double prob(World w) const { return weights_[w]; }
+  /// P[A] = sum of member weights.
+  double prob(const WorldSet& a) const;
+
+  /// P[A | B]; throws std::domain_error when P[B] == 0.
+  double conditional(const WorldSet& a, const WorldSet& b) const;
+
+  /// The posterior P(. | B) of Section 3.3; throws when P[B] == 0.
+  Distribution conditioned_on(const WorldSet& b) const;
+
+  /// supp(P) = worlds of positive weight.
+  WorldSet support() const;
+
+  /// The epistemic safety gap P[AB] - P[A]*P[B]; A is unsafe to keep private
+  /// under disclosure of B for this prior iff the gap is positive
+  /// (Propositions 3.6 / 3.8).
+  double safety_gap(const WorldSet& a, const WorldSet& b) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+  static constexpr double kSumTolerance = 1e-9;
+
+ private:
+  unsigned n_;
+  std::vector<double> weights_;
+};
+
+}  // namespace epi

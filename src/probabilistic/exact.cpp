@@ -1,0 +1,107 @@
+#include "probabilistic/exact.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+ExactDistribution::ExactDistribution(unsigned n, std::vector<Rational> weights)
+    : n_(n), weights_(std::move(weights)) {
+  if (n == 0 || n > kMaxCoordinates) {
+    throw std::invalid_argument("ExactDistribution: n out of range");
+  }
+  if (weights_.size() != (std::size_t{1} << n)) {
+    throw std::invalid_argument("ExactDistribution: weights size must be 2^n");
+  }
+  Rational sum;
+  for (const Rational& w : weights_) {
+    if (w.is_negative()) {
+      throw std::invalid_argument("ExactDistribution: negative weight");
+    }
+    sum += w;
+  }
+  if (sum != Rational(1)) {
+    throw std::invalid_argument("ExactDistribution: weights must sum to 1, got " +
+                                sum.to_string());
+  }
+}
+
+ExactDistribution ExactDistribution::uniform_on(const WorldSet& support) {
+  if (support.is_empty()) {
+    throw std::invalid_argument("uniform_on: empty support");
+  }
+  std::vector<Rational> weights(support.omega_size());
+  const Rational w(1, static_cast<std::int64_t>(support.count()));
+  support.for_each([&](World world) { weights[world] = w; });
+  return ExactDistribution(support.n(), std::move(weights));
+}
+
+ExactDistribution ExactDistribution::product(const std::vector<Rational>& params) {
+  const unsigned n = static_cast<unsigned>(params.size());
+  for (const Rational& p : params) {
+    if (p.is_negative() || p > Rational(1)) {
+      throw std::invalid_argument("product: parameter outside [0,1]");
+    }
+  }
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<Rational> weights(size);
+  for (std::size_t w = 0; w < size; ++w) {
+    Rational prod(1);
+    for (unsigned i = 0; i < n; ++i) {
+      prod *= world_bit(static_cast<World>(w), i) ? params[i]
+                                                  : Rational(1) - params[i];
+    }
+    weights[w] = prod;
+  }
+  return ExactDistribution(n, std::move(weights));
+}
+
+Rational ExactDistribution::prob(const WorldSet& a) const {
+  if (a.n() != n_) throw std::invalid_argument("prob: mismatched n");
+  Rational sum;
+  a.for_each([&](World w) { sum += weights_[w]; });
+  return sum;
+}
+
+Rational ExactDistribution::conditional(const WorldSet& a, const WorldSet& b) const {
+  const Rational pb = prob(b);
+  if (pb.is_zero()) throw std::domain_error("conditional: P[B] = 0");
+  return prob(a & b) / pb;
+}
+
+ExactDistribution ExactDistribution::conditioned_on(const WorldSet& b) const {
+  const Rational pb = prob(b);
+  if (pb.is_zero()) throw std::domain_error("conditioned_on: P[B] = 0");
+  std::vector<Rational> weights(weights_.size());
+  b.for_each([&](World w) { weights[w] = weights_[w] / pb; });
+  return ExactDistribution(n_, std::move(weights));
+}
+
+Rational ExactDistribution::safety_gap(const WorldSet& a, const WorldSet& b) const {
+  return prob(a & b) - prob(a) * prob(b);
+}
+
+bool ExactDistribution::is_log_supermodular() const {
+  const std::size_t size = weights_.size();
+  for (std::size_t x = 0; x < size; ++x) {
+    for (std::size_t y = x + 1; y < size; ++y) {
+      const World u = static_cast<World>(x);
+      const World v = static_cast<World>(y);
+      if (world_leq(u, v) || world_leq(v, u)) continue;
+      if (weights_[u] * weights_[v] >
+          weights_[world_meet(u, v)] * weights_[world_join(u, v)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Distribution ExactDistribution::to_double() const {
+  std::vector<double> weights(weights_.size());
+  for (std::size_t w = 0; w < weights_.size(); ++w) {
+    weights[w] = weights_[w].to_double();
+  }
+  return Distribution(n_, std::move(weights), /*normalize=*/true);
+}
+
+}  // namespace epi

@@ -1,0 +1,54 @@
+// Exact-rational probability distributions: the double-based Distribution
+// answers "is the gap positive?" up to tolerances, while audits of record
+// may need verdicts that cannot be an artifact of rounding. This backend
+// carries exact numerators/denominators end to end, so witness checks and
+// small-case safety decisions are rigorous.
+#pragma once
+
+#include <vector>
+
+#include "probabilistic/distribution.h"
+#include "util/rational.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// A probability distribution over {0,1}^n with exact rational weights.
+class ExactDistribution {
+ public:
+  /// Weights must be nonnegative and sum to exactly 1.
+  ExactDistribution(unsigned n, std::vector<Rational> weights);
+
+  /// Uniform over a non-empty support (exact 1/|S| weights).
+  static ExactDistribution uniform_on(const WorldSet& support);
+  /// The product distribution with exact Bernoulli parameters.
+  static ExactDistribution product(const std::vector<Rational>& params);
+
+  unsigned n() const { return n_; }
+  std::size_t omega_size() const { return weights_.size(); }
+
+  Rational prob(World w) const { return weights_[w]; }
+  Rational prob(const WorldSet& a) const;
+
+  /// P[A | B]; throws std::domain_error when P[B] = 0.
+  Rational conditional(const WorldSet& a, const WorldSet& b) const;
+
+  /// The posterior P(. | B) (Section 3.3), exactly.
+  ExactDistribution conditioned_on(const WorldSet& b) const;
+
+  /// P[AB] - P[A]*P[B], exactly. Positive iff this prior gains confidence
+  /// in A upon learning B.
+  Rational safety_gap(const WorldSet& a, const WorldSet& b) const;
+
+  /// Definition 5.1, exactly (no tolerance).
+  bool is_log_supermodular() const;
+
+  /// Nearest double-weight distribution (for interop).
+  Distribution to_double() const;
+
+ private:
+  unsigned n_;
+  std::vector<Rational> weights_;
+};
+
+}  // namespace epi

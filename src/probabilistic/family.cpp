@@ -1,0 +1,59 @@
+#include "probabilistic/family.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epi {
+
+ProbKnowledgeWorld::ProbKnowledgeWorld(World w, Distribution p)
+    : world(w), prior(std::move(p)) {
+  if (prior.prob(world) <= 0.0) {
+    throw std::invalid_argument(
+        "ProbKnowledgeWorld: inconsistent pair (P(world) == 0)");
+  }
+}
+
+ProbSecondLevelKnowledge ProbSecondLevelKnowledge::product(
+    const WorldSet& c, const std::vector<Distribution>& pi) {
+  ProbSecondLevelKnowledge k(c.n());
+  for (const Distribution& p : pi) {
+    if (p.n() != c.n()) throw std::invalid_argument("product: mismatched n");
+    c.for_each([&](World w) {
+      if (p.prob(w) > 0.0) k.add(w, p);
+    });
+  }
+  return k;
+}
+
+void ProbSecondLevelKnowledge::add(World world, Distribution prior) {
+  if (prior.n() != n_) throw std::invalid_argument("add: mismatched n");
+  pairs_.emplace_back(world, std::move(prior));
+}
+
+bool ProbSecondLevelKnowledge::contains(World world, const Distribution& prior,
+                                        double tol) const {
+  for (const auto& kw : pairs_) {
+    if (kw.world != world) continue;
+    bool equal = true;
+    for (std::size_t w = 0; w < kw.prior.omega_size(); ++w) {
+      if (std::abs(kw.prior.prob(static_cast<World>(w)) -
+                   prior.prob(static_cast<World>(w))) > tol) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return true;
+  }
+  return false;
+}
+
+bool ProbSecondLevelKnowledge::is_preserving(const WorldSet& b, double tol) const {
+  for (const auto& kw : pairs_) {
+    if (!b.contains(kw.world)) continue;
+    const Distribution posterior = kw.prior.conditioned_on(b);
+    if (!contains(kw.world, posterior, tol)) return false;
+  }
+  return true;
+}
+
+}  // namespace epi

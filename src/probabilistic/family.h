@@ -1,0 +1,49 @@
+// Probabilistic knowledge worlds (Definition 2.2) and explicit second-level
+// knowledge sets over them.
+#pragma once
+
+#include <vector>
+
+#include "probabilistic/distribution.h"
+
+namespace epi {
+
+/// A probabilistic knowledge world (omega, P) with P(omega) > 0 (Remark 2.3).
+struct ProbKnowledgeWorld {
+  World world;
+  Distribution prior;
+
+  ProbKnowledgeWorld(World w, Distribution p);
+};
+
+/// An explicit, finite second-level knowledge set K ⊆ Omega_prob.
+class ProbSecondLevelKnowledge {
+ public:
+  explicit ProbSecondLevelKnowledge(unsigned n) : n_(n) {}
+
+  /// The product C (x) Pi of Definition 2.5: consistent pairs (omega, P)
+  /// with omega in C, P in Pi, P(omega) > 0.
+  static ProbSecondLevelKnowledge product(const WorldSet& c,
+                                          const std::vector<Distribution>& pi);
+
+  /// Adds a pair; throws std::invalid_argument when inconsistent.
+  void add(World world, Distribution prior);
+
+  unsigned n() const { return n_; }
+  const std::vector<ProbKnowledgeWorld>& pairs() const { return pairs_; }
+  bool empty() const { return pairs_.empty(); }
+  std::size_t size() const { return pairs_.size(); }
+
+  /// Membership up to L-infinity tolerance on the weights.
+  bool contains(World world, const Distribution& prior, double tol = 1e-9) const;
+
+  /// Definition 3.9 (probabilistic): B is K-preserving when for every
+  /// (omega, P) in K with omega in B, (omega, P(.|B)) is also in K.
+  bool is_preserving(const WorldSet& b, double tol = 1e-9) const;
+
+ private:
+  unsigned n_;
+  std::vector<ProbKnowledgeWorld> pairs_;
+};
+
+}  // namespace epi

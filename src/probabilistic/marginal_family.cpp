@@ -1,0 +1,54 @@
+#include "probabilistic/marginal_family.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+AlgebraicFamily marginal_bounds_family(unsigned n, const std::vector<double>& lo,
+                                       const std::vector<double>& hi) {
+  if (lo.size() != n || hi.size() != n) {
+    throw std::invalid_argument("marginal_bounds_family: bounds size mismatch");
+  }
+  AlgebraicFamily family;
+  family.name = "marginal-bounds";
+  family.nvars = std::size_t{1} << n;
+  for (unsigned i = 0; i < n; ++i) {
+    if (!(0.0 <= lo[i] && lo[i] <= hi[i] && hi[i] <= 1.0)) {
+      throw std::invalid_argument("marginal_bounds_family: bad bounds");
+    }
+    // marginal_i(p) = sum over worlds with bit i set of p_w.
+    Polynomial marginal(family.nvars);
+    for (std::size_t w = 0; w < family.nvars; ++w) {
+      if (world_bit(static_cast<World>(w), i)) {
+        marginal += Polynomial::variable(family.nvars, w);
+      }
+    }
+    family.inequalities.push_back(marginal - Polynomial::constant(family.nvars, lo[i]));
+    family.inequalities.push_back(Polynomial::constant(family.nvars, hi[i]) - marginal);
+  }
+  return family;
+}
+
+std::vector<double> marginals(const Distribution& p) {
+  std::vector<double> out(p.n(), 0.0);
+  for (std::size_t w = 0; w < p.omega_size(); ++w) {
+    for (unsigned i = 0; i < p.n(); ++i) {
+      if (world_bit(static_cast<World>(w), i)) out[i] += p.prob(static_cast<World>(w));
+    }
+  }
+  return out;
+}
+
+bool satisfies_marginal_bounds(const Distribution& p, const std::vector<double>& lo,
+                               const std::vector<double>& hi, double tol) {
+  const std::vector<double> m = marginals(p);
+  if (lo.size() != m.size() || hi.size() != m.size()) {
+    throw std::invalid_argument("satisfies_marginal_bounds: size mismatch");
+  }
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] < lo[i] - tol || m[i] > hi[i] + tol) return false;
+  }
+  return true;
+}
+
+}  // namespace epi

@@ -1,0 +1,27 @@
+// A practically-motivated algebraic family (Section 6's framework applied):
+// "the auditor assumes the user's prior puts the probability of each record
+// r_i inside [lo_i, hi_i]" — linear constraints on the world weights. The
+// family is convex, so the maximal safety gap is found reliably by the
+// projected-gradient emptiness search, and membership testing is exact.
+#pragma once
+
+#include <vector>
+
+#include "optimize/emptiness.h"
+#include "probabilistic/distribution.h"
+
+namespace epi {
+
+/// Builds the algebraic family { P : lo_i <= P[record i present] <= hi_i }.
+/// Bounds vectors must have size n with 0 <= lo_i <= hi_i <= 1.
+AlgebraicFamily marginal_bounds_family(unsigned n, const std::vector<double>& lo,
+                                       const std::vector<double>& hi);
+
+/// Exact membership test (evaluates the marginals directly).
+bool satisfies_marginal_bounds(const Distribution& p, const std::vector<double>& lo,
+                               const std::vector<double>& hi, double tol = 1e-9);
+
+/// Per-coordinate marginals P[omega[i] = 1].
+std::vector<double> marginals(const Distribution& p);
+
+}  // namespace epi

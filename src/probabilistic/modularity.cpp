@@ -1,0 +1,96 @@
+#include "probabilistic/modularity.h"
+
+#include <cmath>
+
+namespace epi {
+namespace {
+
+Distribution random_ising(unsigned n, Rng& rng, double field_scale,
+                          double coupling_scale, bool supermodular) {
+  // Random fields in [-field_scale, field_scale]; couplings in
+  // [0, coupling_scale] (negated for the submodular case).
+  std::vector<double> h(n);
+  for (double& v : h) v = (2.0 * rng.next_double() - 1.0) * field_scale;
+  std::vector<std::vector<double>> j(n, std::vector<double>(n, 0.0));
+  for (unsigned a = 0; a < n; ++a) {
+    for (unsigned b = a + 1; b < n; ++b) {
+      double coupling = rng.next_double() * coupling_scale;
+      j[a][b] = supermodular ? coupling : -coupling;
+    }
+  }
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<double> weights(size);
+  for (std::size_t w = 0; w < size; ++w) {
+    double energy = 0.0;
+    for (unsigned a = 0; a < n; ++a) {
+      if (!world_bit(static_cast<World>(w), a)) continue;
+      energy += h[a];
+      for (unsigned b = a + 1; b < n; ++b) {
+        if (world_bit(static_cast<World>(w), b)) energy += j[a][b];
+      }
+    }
+    weights[w] = std::exp(energy);
+  }
+  return Distribution(n, std::move(weights), /*normalize=*/true);
+}
+
+}  // namespace
+
+bool is_log_supermodular(const Distribution& p, double tol) {
+  const std::size_t size = p.omega_size();
+  for (std::size_t w1 = 0; w1 < size; ++w1) {
+    for (std::size_t w2 = w1 + 1; w2 < size; ++w2) {
+      const World u = static_cast<World>(w1);
+      const World v = static_cast<World>(w2);
+      if (world_leq(u, v) || world_leq(v, u)) continue;  // trivially satisfied
+      if (p.prob(u) * p.prob(v) >
+          p.prob(world_meet(u, v)) * p.prob(world_join(u, v)) + tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_log_submodular(const Distribution& p, double tol) {
+  const std::size_t size = p.omega_size();
+  for (std::size_t w1 = 0; w1 < size; ++w1) {
+    for (std::size_t w2 = w1 + 1; w2 < size; ++w2) {
+      const World u = static_cast<World>(w1);
+      const World v = static_cast<World>(w2);
+      if (world_leq(u, v) || world_leq(v, u)) continue;
+      if (p.prob(u) * p.prob(v) + tol <
+          p.prob(world_meet(u, v)) * p.prob(world_join(u, v))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_product(const Distribution& p, double tol) {
+  const std::size_t size = p.omega_size();
+  for (std::size_t w1 = 0; w1 < size; ++w1) {
+    for (std::size_t w2 = w1 + 1; w2 < size; ++w2) {
+      const World u = static_cast<World>(w1);
+      const World v = static_cast<World>(w2);
+      if (world_leq(u, v) || world_leq(v, u)) continue;
+      const double lhs = p.prob(u) * p.prob(v);
+      const double rhs = p.prob(world_meet(u, v)) * p.prob(world_join(u, v));
+      if (std::abs(lhs - rhs) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Distribution random_log_supermodular(unsigned n, Rng& rng, double field_scale,
+                                     double coupling_scale) {
+  return random_ising(n, rng, field_scale, coupling_scale, /*supermodular=*/true);
+}
+
+Distribution random_log_submodular(unsigned n, Rng& rng, double field_scale,
+                                   double coupling_scale) {
+  return random_ising(n, rng, field_scale, coupling_scale, /*supermodular=*/false);
+}
+
+}  // namespace epi

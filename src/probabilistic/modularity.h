@@ -1,0 +1,36 @@
+// Log-supermodular / log-submodular distributions (Definition 5.1) and
+// generators for them. Pi_m+ (log-supermodular) forbids negative correlations
+// between positive events; Pi_m0 = Pi_m+ ∩ Pi_m- is exactly the product
+// family (Equation (18)).
+#pragma once
+
+#include "probabilistic/distribution.h"
+#include "util/rng.h"
+
+namespace epi {
+
+/// Definition 5.1: P is log-supermodular when
+/// P(w1) P(w2) <= P(w1 /\ w2) P(w1 \/ w2) for all pairs.
+bool is_log_supermodular(const Distribution& p, double tol = 1e-12);
+
+/// Definition 5.1 with the inequality reversed.
+bool is_log_submodular(const Distribution& p, double tol = 1e-12);
+
+/// Equation (18): P is a product distribution iff equality holds everywhere
+/// (equivalently, P in Pi_m+ ∩ Pi_m-).
+bool is_product(const Distribution& p, double tol = 1e-9);
+
+/// A random log-supermodular distribution: a pairwise Ising model
+/// P(w) ∝ exp(sum_i h_i w_i + sum_{i<j} J_ij w_i w_j) with J_ij >= 0.
+/// Nonnegative pairwise couplings make the log-density supermodular, hence
+/// P in Pi_m+.
+Distribution random_log_supermodular(unsigned n, Rng& rng,
+                                     double field_scale = 1.0,
+                                     double coupling_scale = 1.0);
+
+/// Same with J_ij <= 0: a random log-submodular distribution.
+Distribution random_log_submodular(unsigned n, Rng& rng,
+                                   double field_scale = 1.0,
+                                   double coupling_scale = 1.0);
+
+}  // namespace epi

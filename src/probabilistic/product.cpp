@@ -1,0 +1,64 @@
+#include "probabilistic/product.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+ProductDistribution::ProductDistribution(std::vector<double> params)
+    : params_(std::move(params)) {
+  if (params_.empty() || params_.size() > kMaxCoordinates) {
+    throw std::invalid_argument("ProductDistribution: n out of range");
+  }
+  for (double p : params_) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("ProductDistribution: parameter outside [0,1]");
+    }
+  }
+}
+
+ProductDistribution ProductDistribution::constant(unsigned n, double p) {
+  return ProductDistribution(std::vector<double>(n, p));
+}
+
+ProductDistribution ProductDistribution::random(unsigned n, Rng& rng) {
+  std::vector<double> params(n);
+  for (double& p : params) p = rng.next_double();
+  return ProductDistribution(std::move(params));
+}
+
+void ProductDistribution::set_param(unsigned i, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("set_param: parameter outside [0,1]");
+  }
+  params_.at(i) = p;
+}
+
+double ProductDistribution::prob(World w) const {
+  double prod = 1.0;
+  for (unsigned i = 0; i < params_.size(); ++i) {
+    prod *= world_bit(w, i) ? params_[i] : 1.0 - params_[i];
+  }
+  return prod;
+}
+
+double ProductDistribution::prob(const WorldSet& a) const {
+  if (a.n() != n()) throw std::invalid_argument("prob: mismatched n");
+  double sum = 0.0;
+  a.for_each([&](World w) { sum += prob(w); });
+  return sum;
+}
+
+double ProductDistribution::safety_gap(const WorldSet& a, const WorldSet& b) const {
+  return prob(a & b) - prob(a) * prob(b);
+}
+
+Distribution ProductDistribution::to_distribution() const {
+  const std::size_t size = std::size_t{1} << params_.size();
+  std::vector<double> weights(size);
+  for (std::size_t w = 0; w < size; ++w) {
+    weights[w] = prob(static_cast<World>(w));
+  }
+  return Distribution(n(), std::move(weights), /*normalize=*/true);
+}
+
+}  // namespace epi

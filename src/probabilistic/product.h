@@ -1,0 +1,47 @@
+// Product distributions over {0,1}^n (Equation (17) of the paper): every
+// coordinate (database record) independent with its own Bernoulli parameter.
+// This is the prior-knowledge family Pi_m0 used by Miklau-Suciu and by the
+// paper's Section 5.1.
+#pragma once
+
+#include <vector>
+
+#include "probabilistic/distribution.h"
+#include "util/rng.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// A product distribution with Bernoulli parameters p_1..p_n in [0,1].
+class ProductDistribution {
+ public:
+  /// Parameters must lie in [0,1].
+  explicit ProductDistribution(std::vector<double> params);
+
+  /// All parameters equal to p.
+  static ProductDistribution constant(unsigned n, double p);
+  /// Independent uniform parameters.
+  static ProductDistribution random(unsigned n, Rng& rng);
+
+  unsigned n() const { return static_cast<unsigned>(params_.size()); }
+  const std::vector<double>& params() const { return params_; }
+  double param(unsigned i) const { return params_[i]; }
+  void set_param(unsigned i, double p);
+
+  /// P(omega) = prod p_i^{omega[i]} (1-p_i)^{1-omega[i]}.
+  double prob(World w) const;
+
+  /// P[A], by summation over members of A. O(|A| * n).
+  double prob(const WorldSet& a) const;
+
+  /// P[AB] - P[A]*P[B] (positive = the prior gains confidence in A from B).
+  double safety_gap(const WorldSet& a, const WorldSet& b) const;
+
+  /// Dense expansion (2^n weights).
+  Distribution to_distribution() const;
+
+ private:
+  std::vector<double> params_;
+};
+
+}  // namespace epi

@@ -1,0 +1,55 @@
+#include "probabilistic/safe.h"
+
+namespace epi {
+
+std::optional<ProbKnowledgeWorld> find_probabilistic_violation(
+    const ProbSecondLevelKnowledge& k, const WorldSet& a, const WorldSet& b) {
+  for (const ProbKnowledgeWorld& kw : k.pairs()) {
+    if (!b.contains(kw.world)) continue;
+    if (kw.prior.conditional(a, b) > kw.prior.prob(a) + kSafetyTolerance) {
+      return kw;
+    }
+  }
+  return std::nullopt;
+}
+
+bool safe_probabilistic(const ProbSecondLevelKnowledge& k, const WorldSet& a,
+                        const WorldSet& b) {
+  return !find_probabilistic_violation(k, a, b).has_value();
+}
+
+bool safe_family(const std::vector<Distribution>& pi, const WorldSet& c,
+                 const WorldSet& a, const WorldSet& b) {
+  const WorldSet bc = b & c;
+  for (const Distribution& p : pi) {
+    if (p.prob(bc) <= 0.0) continue;
+    if (p.safety_gap(a, b) > kSafetyTolerance) return false;
+  }
+  return true;
+}
+
+bool safe_family_lifted(const std::vector<Distribution>& pi, const WorldSet& a,
+                        const WorldSet& b) {
+  for (const Distribution& p : pi) {
+    if (p.safety_gap(a, b) > kSafetyTolerance) return false;
+  }
+  return true;
+}
+
+bool safe_unrestricted_prob(const WorldSet& a, const WorldSet& b) {
+  return a.disjoint_with(b) || (a | b).is_universe();
+}
+
+std::optional<Distribution> unrestricted_witness(const WorldSet& a,
+                                                 const WorldSet& b) {
+  const WorldSet ab = a & b;
+  const WorldSet outside = ~(a | b);
+  if (ab.is_empty() || outside.is_empty()) return std::nullopt;
+  WorldSet support(a.n());
+  support.insert(ab.min_world());
+  support.insert(outside.min_world());
+  // P[AB] = 1/2, P[A] = P[B] = 1/2, so the gap is 1/2 - 1/4 = 1/4 > 0.
+  return Distribution::uniform_on(support);
+}
+
+}  // namespace epi

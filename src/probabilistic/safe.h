@@ -1,0 +1,45 @@
+// The probabilistic privacy predicate Safe_K(A,B) (Definition 3.4), its
+// family forms (Propositions 3.6 / 3.8) and the unrestricted-prior
+// characterization (Theorem 3.11).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "probabilistic/family.h"
+
+namespace epi {
+
+/// Numerical slack for probability comparisons.
+inline constexpr double kSafetyTolerance = 1e-12;
+
+/// Definition 3.4: A is K-private given B iff for every (omega, P) in K with
+/// omega in B: P[A | B] <= P[A].
+bool safe_probabilistic(const ProbSecondLevelKnowledge& k, const WorldSet& a,
+                        const WorldSet& b);
+
+/// The violating pair, if any: an admissible prior that gains confidence.
+std::optional<ProbKnowledgeWorld> find_probabilistic_violation(
+    const ProbSecondLevelKnowledge& k, const WorldSet& a, const WorldSet& b);
+
+/// Proposition 3.6: Safe_{C,Pi}(A,B) iff every P in Pi with P[BC] > 0 has
+/// P[AB] <= P[A]*P[B].
+bool safe_family(const std::vector<Distribution>& pi, const WorldSet& c,
+                 const WorldSet& a, const WorldSet& b);
+
+/// Equation (11): Safe_Pi(A,B) — the C-free form valid for C-liftable
+/// families (Proposition 3.8): P[AB] <= P[A]*P[B] for every P in Pi.
+bool safe_family_lifted(const std::vector<Distribution>& pi, const WorldSet& a,
+                        const WorldSet& b);
+
+/// Theorem 3.11 (probabilistic): Safe for K = Omega_prob — and equally for
+/// K = {omega*} (x) P_prob(Omega) — iff A ∩ B = {} or A ∪ B = Omega.
+bool safe_unrestricted_prob(const WorldSet& a, const WorldSet& b);
+
+/// Constructive converse of Theorem 3.11: when A∩B != {} and A∪B != Omega,
+/// returns a two-point prior gaining confidence in A upon learning B
+/// (P uniform on {w1 in A∩B, w2 outside A∪B}); nullopt when safe.
+std::optional<Distribution> unrestricted_witness(const WorldSet& a,
+                                                 const WorldSet& b);
+
+}  // namespace epi

@@ -1,0 +1,45 @@
+#include "probabilistic/witness.h"
+
+namespace epi {
+
+std::optional<Distribution> supermodular_witness(const WorldSet& a,
+                                                 const WorldSet& b) {
+  const WorldSet ab = a & b;
+  const WorldSet outside = ~(a | b);
+  const WorldSet sym_diff = a ^ b;  // (A-B) ∪ (B-A)
+  std::optional<Distribution> result;
+  ab.for_each([&](World w1) {
+    if (result) return;
+    outside.for_each([&](World w2) {
+      if (result) return;
+      const World meet = world_meet(w1, w2);
+      const World join = world_join(w1, w2);
+      if (sym_diff.contains(meet) || sym_diff.contains(join)) return;
+      // The support {meet, w1, w2, join} is a sublattice; the uniform
+      // distribution on any sublattice is log-supermodular. Its mass sits
+      // entirely in A∩B and outside A∪B, so P[AB] = P[A] = P[B] with
+      // 0 < P[AB] < 1, giving P[AB] > P[A]*P[B].
+      WorldSet support(a.n());
+      support.insert(meet);
+      support.insert(w1);
+      support.insert(w2);
+      support.insert(join);
+      result = Distribution::uniform_on(support);
+    });
+  });
+  return result;
+}
+
+ProductDistribution box_witness(unsigned n, World stars, World values) {
+  std::vector<double> params(n);
+  for (unsigned i = 0; i < n; ++i) {
+    if (world_bit(stars, i)) {
+      params[i] = 0.5;
+    } else {
+      params[i] = world_bit(values, i) ? 1.0 : 0.0;
+    }
+  }
+  return ProductDistribution(std::move(params));
+}
+
+}  // namespace epi

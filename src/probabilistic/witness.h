@@ -1,0 +1,27 @@
+// Constructive unsafety witnesses: explicit admissible priors that gain
+// confidence in A upon learning B. Every negative verdict produced by the
+// library can be re-checked against one of these.
+#pragma once
+
+#include <optional>
+
+#include "probabilistic/distribution.h"
+#include "probabilistic/product.h"
+
+namespace epi {
+
+/// The four-point log-supermodular witness behind Proposition 5.2: if there
+/// are w1 in A∩B and w2 outside A∪B whose meet and join both avoid the
+/// symmetric-difference regions A-B and B-A, then the uniform distribution
+/// on the sublattice {w1 /\ w2, w1, w2, w1 \/ w2} is log-supermodular and
+/// has P[AB] > P[A]*P[B]. Returns nullopt when no such pair exists (i.e. the
+/// necessary criterion of Prop. 5.2 holds).
+std::optional<Distribution> supermodular_witness(const WorldSet& a,
+                                                 const WorldSet& b);
+
+/// A product-distribution witness concentrated on Box(w): parameters are
+/// w[i] on fixed coordinates and 1/2 on stars. If the box-counting necessary
+/// criterion (Prop. 5.10) fails at w, this prior has a positive safety gap.
+ProductDistribution box_witness(unsigned n, World stars, World values);
+
+}  // namespace epi

@@ -1,0 +1,99 @@
+#include "util/rational.h"
+
+#include <numeric>
+#include <ostream>
+
+namespace epi {
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    throw RationalOverflow("rational multiply overflow");
+  }
+  return r;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) {
+    throw RationalOverflow("rational add overflow");
+  }
+  return r;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  if (den == 0) throw std::domain_error("rational with zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const std::int64_t g = std::gcd(num < 0 ? -num : num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  num_ = num;
+  den_ = den;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  const std::int64_t g = std::gcd(den_, o.den_);
+  // a/b + c/d = (a*(d/g) + c*(b/g)) / (b*(d/g))
+  const std::int64_t lhs = checked_mul(num_, o.den_ / g);
+  const std::int64_t rhs = checked_mul(o.num_, den_ / g);
+  return Rational(checked_add(lhs, rhs), checked_mul(den_, o.den_ / g));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce before multiplying to delay overflow.
+  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+  const std::int64_t g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+  return Rational(checked_mul(num_ / g1, o.num_ / g2),
+                  checked_mul(den_ / g2, o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  return *this * o.reciprocal();
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  // Compare a/b vs c/d via a*d vs c*b with cross-reduction.
+  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.num_ < 0 ? -o.num_ : o.num_);
+  const std::int64_t g2 = std::gcd(den_, o.den_);
+  const std::int64_t a = g1 == 0 ? num_ : num_ / (g1 == 0 ? 1 : g1);
+  const std::int64_t c = g1 == 0 ? o.num_ : o.num_ / (g1 == 0 ? 1 : g1);
+  const std::int64_t lhs = checked_mul(a, o.den_ / g2);
+  const std::int64_t rhs = checked_mul(c, den_ / g2);
+  return lhs <=> rhs;
+}
+
+Rational Rational::abs() const { return num_ < 0 ? -*this : *this; }
+
+Rational Rational::reciprocal() const {
+  if (num_ == 0) throw std::domain_error("reciprocal of zero rational");
+  return Rational(den_, num_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace epi

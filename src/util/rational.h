@@ -1,0 +1,81 @@
+// Exact rational arithmetic on 64-bit numerator/denominator with overflow
+// checking. Used by the combinatorial criteria and the exact-distribution
+// backend so that a "safe" verdict never hinges on floating-point rounding.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace epi {
+
+/// Thrown when an exact rational operation would overflow 64-bit storage.
+class RationalOverflow : public std::runtime_error {
+ public:
+  explicit RationalOverflow(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An exact rational number p/q with q > 0 and gcd(|p|, q) == 1.
+///
+/// All arithmetic throws RationalOverflow instead of silently wrapping; the
+/// intended domain (probabilities and counting ratios on |Omega| <= 2^20
+/// worlds) stays far away from the 63-bit limit in practice.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+  /// The integer n.
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT: implicit
+  /// The fraction num/den; den must be nonzero. Normalizes sign and gcd.
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+  bool is_positive() const { return num_ > 0; }
+  bool is_integer() const { return den_ == 1; }
+
+  /// Nearest double value (may round for huge numerators).
+  double to_double() const;
+
+  /// "p/q" or "p" when q == 1.
+  std::string to_string() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division; throws std::domain_error when o == 0.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const { return num_ == o.num_ && den_ == o.den_; }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  std::strong_ordering operator<=>(const Rational& o) const;
+
+  /// |this|.
+  Rational abs() const;
+  /// 1/this; throws std::domain_error when zero.
+  Rational reciprocal() const;
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Checked signed 64-bit multiply; throws RationalOverflow on overflow.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+/// Checked signed 64-bit add; throws RationalOverflow on overflow.
+std::int64_t checked_add(std::int64_t a, std::int64_t b);
+
+}  // namespace epi

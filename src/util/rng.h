@@ -1,0 +1,39 @@
+// Deterministic, seedable PRNG (xoshiro256**) so that tests, benchmarks and
+// experiment tables are bit-reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace epi {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// seeded through splitmix64. Not cryptographic; used for workload generation
+/// and randomized property tests only.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using rejection sampling; bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Uniform n-bit mask (n <= 64).
+  std::uint64_t next_bits(unsigned n);
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace epi

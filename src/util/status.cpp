@@ -1,0 +1,21 @@
+#include "util/status.h"
+
+namespace epi {
+
+std::string Status::to_string() const {
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument: " + message_;
+    case Code::kOutOfRange:
+      return "OutOfRange: " + message_;
+    case Code::kInternal:
+      return "Internal: " + message_;
+    case Code::kInconclusive:
+      return "Inconclusive: " + message_;
+  }
+  return "Unknown";
+}
+
+}  // namespace epi

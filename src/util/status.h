@@ -1,0 +1,41 @@
+// Minimal status/error type used across module boundaries where exceptions
+// would obscure expected "can't decide" outcomes.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace epi {
+
+/// Outcome of an operation that may fail in an expected way.
+class Status {
+ public:
+  /// Success.
+  static Status Ok() { return Status(); }
+  /// Invalid argument supplied by the caller.
+  static Status InvalidArgument(std::string msg) { return Status(Code::kInvalidArgument, std::move(msg)); }
+  /// Resource/size limits exceeded (e.g. n too large for dense Omega).
+  static Status OutOfRange(std::string msg) { return Status(Code::kOutOfRange, std::move(msg)); }
+  /// Internal invariant violation.
+  static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+  /// Algorithm could not reach a conclusion within its budget.
+  static Status Inconclusive(std::string msg) { return Status(Code::kInconclusive, std::move(msg)); }
+
+  enum class Code { kOk, kInvalidArgument, kOutOfRange, kInternal, kInconclusive };
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string to_string() const;
+
+ private:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace epi

@@ -1,0 +1,195 @@
+#include "worlds/finite_set.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace {
+
+std::size_t words_for(std::size_t m) { return (m + 63) / 64; }
+
+}  // namespace
+
+FiniteSet::FiniteSet(std::size_t m) : m_(m), bits_(words_for(m), 0) {
+  if (m == 0) throw std::invalid_argument("FiniteSet: empty universe");
+}
+
+FiniteSet::FiniteSet(std::size_t m, std::initializer_list<std::size_t> elements)
+    : FiniteSet(m) {
+  for (std::size_t e : elements) insert(e);
+}
+
+FiniteSet::FiniteSet(std::size_t m, const std::vector<std::size_t>& elements)
+    : FiniteSet(m) {
+  for (std::size_t e : elements) insert(e);
+}
+
+FiniteSet FiniteSet::universe(std::size_t m) {
+  FiniteSet s(m);
+  for (auto& word : s.bits_) word = ~std::uint64_t{0};
+  const std::size_t tail = m % 64;
+  if (tail != 0) s.bits_.back() = (std::uint64_t{1} << tail) - 1;
+  return s;
+}
+
+FiniteSet FiniteSet::empty(std::size_t m) { return FiniteSet(m); }
+
+FiniteSet FiniteSet::singleton(std::size_t m, std::size_t e) {
+  FiniteSet s(m);
+  s.insert(e);
+  return s;
+}
+
+FiniteSet FiniteSet::random(std::size_t m, Rng& rng, double density) {
+  FiniteSet s(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (rng.next_bool(density)) s.insert(e);
+  }
+  return s;
+}
+
+bool FiniteSet::contains(std::size_t e) const {
+  if (e >= m_) return false;
+  return (bits_[e / 64] >> (e % 64)) & 1u;
+}
+
+void FiniteSet::insert(std::size_t e) {
+  if (e >= m_) throw std::out_of_range("FiniteSet::insert out of range");
+  bits_[e / 64] |= std::uint64_t{1} << (e % 64);
+}
+
+void FiniteSet::erase(std::size_t e) {
+  if (e >= m_) throw std::out_of_range("FiniteSet::erase out of range");
+  bits_[e / 64] &= ~(std::uint64_t{1} << (e % 64));
+}
+
+std::size_t FiniteSet::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t word : bits_) c += static_cast<std::size_t>(std::popcount(word));
+  return c;
+}
+
+void FiniteSet::check_compatible(const FiniteSet& o) const {
+  if (m_ != o.m_) throw std::invalid_argument("FiniteSet: mismatched universes");
+}
+
+FiniteSet FiniteSet::operator&(const FiniteSet& o) const {
+  FiniteSet r = *this;
+  return r &= o;
+}
+FiniteSet FiniteSet::operator|(const FiniteSet& o) const {
+  FiniteSet r = *this;
+  return r |= o;
+}
+FiniteSet FiniteSet::operator-(const FiniteSet& o) const {
+  FiniteSet r = *this;
+  return r -= o;
+}
+FiniteSet FiniteSet::operator^(const FiniteSet& o) const {
+  FiniteSet r = *this;
+  return r ^= o;
+}
+
+FiniteSet FiniteSet::operator~() const {
+  FiniteSet r(m_);
+  const FiniteSet u = universe(m_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) r.bits_[i] = u.bits_[i] & ~bits_[i];
+  return r;
+}
+
+FiniteSet& FiniteSet::operator&=(const FiniteSet& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= o.bits_[i];
+  return *this;
+}
+FiniteSet& FiniteSet::operator|=(const FiniteSet& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= o.bits_[i];
+  return *this;
+}
+FiniteSet& FiniteSet::operator-=(const FiniteSet& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~o.bits_[i];
+  return *this;
+}
+FiniteSet& FiniteSet::operator^=(const FiniteSet& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] ^= o.bits_[i];
+  return *this;
+}
+
+bool FiniteSet::operator==(const FiniteSet& o) const {
+  return m_ == o.m_ && bits_ == o.bits_;
+}
+
+bool FiniteSet::subset_of(const FiniteSet& o) const {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] & ~o.bits_[i]) return false;
+  }
+  return true;
+}
+
+bool FiniteSet::disjoint_with(const FiniteSet& o) const {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] & o.bits_[i]) return false;
+  }
+  return true;
+}
+
+std::size_t FiniteSet::min_element() const {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] != 0) {
+      return i * 64 + static_cast<std::size_t>(std::countr_zero(bits_[i]));
+    }
+  }
+  throw std::logic_error("min_element of empty FiniteSet");
+}
+
+std::vector<std::size_t> FiniteSet::to_vector() const {
+  std::vector<std::size_t> v;
+  v.reserve(count());
+  for_each([&v](std::size_t e) { v.push_back(e); });
+  return v;
+}
+
+void FiniteSet::for_each(const std::function<void(std::size_t)>& fn) const {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    std::uint64_t word = bits_[i];
+    while (word != 0) {
+      fn(i * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+std::string FiniteSet::to_string() const {
+  std::string s = "{";
+  bool first = true;
+  for_each([&](std::size_t e) {
+    if (!first) s += ",";
+    first = false;
+    s += std::to_string(e);
+  });
+  return s + "}";
+}
+
+FiniteSet to_finite(const WorldSet& ws) {
+  FiniteSet fs(ws.omega_size());
+  ws.for_each([&fs](World w) { fs.insert(w); });
+  return fs;
+}
+
+WorldSet to_world_set(const FiniteSet& fs, unsigned n) {
+  if (fs.universe_size() != (std::size_t{1} << n)) {
+    throw std::invalid_argument("to_world_set: universe size is not 2^n");
+  }
+  WorldSet ws(n);
+  fs.for_each([&ws](std::size_t e) { ws.insert(static_cast<World>(e)); });
+  return ws;
+}
+
+}  // namespace epi

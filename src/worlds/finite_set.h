@@ -1,0 +1,85 @@
+// Dense subsets of an arbitrary finite universe {0, ..., m-1}. Sections 2-4
+// of the paper work over an abstract finite Omega (e.g. the pixel grid of
+// Example 4.9), so the possibilistic machinery is written against FiniteSet;
+// the hypercube-specific WorldSet converts losslessly (universe size 2^n).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace epi {
+
+class WorldSet;
+
+/// A subset of {0, ..., m-1} stored as a dense bitset.
+class FiniteSet {
+ public:
+  /// The empty subset of a universe of size m >= 1.
+  explicit FiniteSet(std::size_t m);
+  /// The subset holding exactly `elements`.
+  FiniteSet(std::size_t m, std::initializer_list<std::size_t> elements);
+  FiniteSet(std::size_t m, const std::vector<std::size_t>& elements);
+
+  static FiniteSet universe(std::size_t m);
+  static FiniteSet empty(std::size_t m);
+  static FiniteSet singleton(std::size_t m, std::size_t e);
+  /// Every element included independently with probability `density`.
+  static FiniteSet random(std::size_t m, Rng& rng, double density = 0.5);
+
+  /// Size m of the universe (not of the subset).
+  std::size_t universe_size() const { return m_; }
+
+  bool contains(std::size_t e) const;
+  void insert(std::size_t e);
+  void erase(std::size_t e);
+
+  std::size_t count() const;
+  bool is_empty() const { return count() == 0; }
+  bool is_universe() const { return count() == m_; }
+
+  FiniteSet operator&(const FiniteSet& o) const;
+  FiniteSet operator|(const FiniteSet& o) const;
+  FiniteSet operator-(const FiniteSet& o) const;
+  FiniteSet operator^(const FiniteSet& o) const;
+  FiniteSet operator~() const;
+
+  FiniteSet& operator&=(const FiniteSet& o);
+  FiniteSet& operator|=(const FiniteSet& o);
+  FiniteSet& operator-=(const FiniteSet& o);
+  FiniteSet& operator^=(const FiniteSet& o);
+
+  bool operator==(const FiniteSet& o) const;
+  bool operator!=(const FiniteSet& o) const { return !(*this == o); }
+
+  bool subset_of(const FiniteSet& o) const;
+  bool disjoint_with(const FiniteSet& o) const;
+
+  /// Smallest member; throws std::logic_error when empty.
+  std::size_t min_element() const;
+
+  std::vector<std::size_t> to_vector() const;
+  void for_each(const std::function<void(std::size_t)>& fn) const;
+
+  /// "{0,3,7}".
+  std::string to_string() const;
+
+ private:
+  void check_compatible(const FiniteSet& o) const;
+
+  std::size_t m_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Views a WorldSet (subset of {0,1}^n) as a FiniteSet over 2^n elements.
+FiniteSet to_finite(const WorldSet& ws);
+
+/// Inverse of to_finite; `m` of the input must be a power of two = 2^n.
+WorldSet to_world_set(const FiniteSet& fs, unsigned n);
+
+}  // namespace epi

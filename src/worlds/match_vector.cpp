@@ -1,0 +1,122 @@
+#include "worlds/match_vector.h"
+
+#include <stdexcept>
+
+namespace epi {
+
+std::string MatchVector::to_string(unsigned n) const {
+  std::string s(n, '0');
+  for (unsigned i = 0; i < n; ++i) {
+    if (world_bit(stars, i)) {
+      s[i] = '*';
+    } else if (world_bit(values, i)) {
+      s[i] = '1';
+    }
+  }
+  return s;
+}
+
+MatchVector MatchVector::from_string(const std::string& s) {
+  if (s.size() > kMaxCoordinates) throw std::invalid_argument("match vector too long");
+  MatchVector w;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    switch (s[i]) {
+      case '0':
+        break;
+      case '1':
+        w.values |= World{1} << i;
+        break;
+      case '*':
+        w.stars |= World{1} << i;
+        break;
+      default:
+        throw std::invalid_argument("match vector must be over {0,1,*}");
+    }
+  }
+  return w;
+}
+
+MatchVector match(World u, World v) {
+  MatchVector w;
+  w.stars = u ^ v;
+  w.values = u & ~w.stars;
+  return w;
+}
+
+bool refines(World v, const MatchVector& w) {
+  return (v & ~w.stars) == w.values;
+}
+
+TernaryTable::TernaryTable(unsigned n) : n_(n) {
+  // 3^14 int64 entries is ~38 MB; n = 15 would already be ~460 MB per
+  // table (the box criterion builds four).
+  if (n == 0 || n > 14) {
+    throw std::invalid_argument("TernaryTable: n must be in [1,14]");
+  }
+  std::size_t size = 1;
+  for (unsigned i = 0; i < n; ++i) size *= 3;
+  values_.assign(size, 0);
+}
+
+std::size_t TernaryTable::code_of(const MatchVector& w) const {
+  std::size_t code = 0;
+  std::size_t pow = 1;
+  for (unsigned i = 0; i < n_; ++i) {
+    unsigned digit = world_bit(w.stars, i) ? 2u : (world_bit(w.values, i) ? 1u : 0u);
+    code += digit * pow;
+    pow *= 3;
+  }
+  return code;
+}
+
+MatchVector TernaryTable::vector_of(std::size_t code) const {
+  MatchVector w;
+  for (unsigned i = 0; i < n_; ++i) {
+    const unsigned digit = code % 3;
+    code /= 3;
+    if (digit == 1) {
+      w.values |= World{1} << i;
+    } else if (digit == 2) {
+      w.stars |= World{1} << i;
+    }
+  }
+  return w;
+}
+
+TernaryTable TernaryTable::box_counts(const WorldSet& x) {
+  TernaryTable t(x.n());
+  // Seed the star-free entries with the set indicator.
+  x.for_each([&t](World w) {
+    MatchVector mv;
+    mv.values = w;
+    t.values_[t.code_of(mv)] = 1;
+  });
+  // Ternary zeta transform: for each coordinate, entry(*) = entry(0) + entry(1).
+  std::size_t pow = 1;
+  for (unsigned i = 0; i < t.n_; ++i, pow *= 3) {
+    for (std::size_t code = 0; code < t.values_.size(); ++code) {
+      const unsigned digit = (code / pow) % 3;
+      if (digit == 2) {
+        t.values_[code] = t.values_[code - pow] + t.values_[code - 2 * pow];
+      }
+    }
+  }
+  return t;
+}
+
+std::unordered_map<std::uint64_t, std::int64_t> circ_counts(const WorldSet& x,
+                                                            const WorldSet& y) {
+  if (x.n() != y.n()) throw std::invalid_argument("circ_counts: mismatched n");
+  std::unordered_map<std::uint64_t, std::int64_t> counts;
+  const std::vector<World> xs = x.to_vector();
+  const std::vector<World> ys = y.to_vector();
+  counts.reserve(xs.size() * 2 + 1);
+  for (World u : xs) {
+    for (World v : ys) {
+      ++counts[match(u, v).key()];
+    }
+  }
+  return counts;
+}
+
+}  // namespace epi

@@ -1,0 +1,80 @@
+// Match vectors over {0,1,*}^n (Definition 5.8 of the paper) and the counting
+// machinery behind the cancellation criterion (Prop. 5.9) and the box-counting
+// necessary criterion (Prop. 5.10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// A vector w in {0,1,*}^n: `stars` marks the '*' coordinates; `values` holds
+/// the 0/1 entries on non-star coordinates (star positions are zeroed).
+struct MatchVector {
+  World stars = 0;
+  World values = 0;
+
+  bool operator==(const MatchVector& o) const {
+    return stars == o.stars && values == o.values;
+  }
+
+  /// Packed key for hashing: stars in the high half, values in the low half.
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(stars) << 32) | values;
+  }
+
+  /// Number of '*' coordinates.
+  unsigned star_count() const { return world_weight(stars); }
+
+  /// Renders e.g. "01**1" (coordinate 0 first).
+  std::string to_string(unsigned n) const;
+
+  /// Parses a string over {0,1,*}; throws std::invalid_argument otherwise.
+  static MatchVector from_string(const std::string& s);
+};
+
+/// Match(u, v) per Definition 5.8: coordinate i is u[i] when u[i] == v[i] and
+/// '*' when they differ. Example: Match(01011, 01101) = 01**1.
+MatchVector match(World u, World v);
+
+/// True when world v "refines" w, i.e. v is in Box(w): v agrees with w on all
+/// non-star coordinates.
+bool refines(World v, const MatchVector& w);
+
+/// A dense table indexed by {0,1,*}^n (size 3^n). Used to hold |X ∩ Box(w)|
+/// for all w at once. Guarded to n <= 14 (3^n memory).
+class TernaryTable {
+ public:
+  explicit TernaryTable(unsigned n);
+
+  unsigned n() const { return n_; }
+  std::size_t size() const { return values_.size(); }
+
+  std::int64_t& at(std::size_t code) { return values_[code]; }
+  std::int64_t at(std::size_t code) const { return values_[code]; }
+
+  /// Base-3 code of a match vector (digit i = w[i], with '*' = 2).
+  std::size_t code_of(const MatchVector& w) const;
+  /// Inverse of code_of.
+  MatchVector vector_of(std::size_t code) const;
+
+  /// Builds the table of box counts: entry(w) = |X ∩ Box(w)| for every
+  /// w in {0,1,*}^n, via the ternary zeta transform in O(n * 3^n).
+  static TernaryTable box_counts(const WorldSet& x);
+
+ private:
+  unsigned n_;
+  std::vector<std::int64_t> values_;
+};
+
+/// Counts pairs grouped by their match vector:
+/// result[w.key()] = |{(u,v) in X x Y : Match(u,v) = w}| = |X x Y ∩ Circ(w)|.
+/// Complexity O(|X| * |Y|).
+std::unordered_map<std::uint64_t, std::int64_t> circ_counts(const WorldSet& x,
+                                                            const WorldSet& y);
+
+}  // namespace epi

@@ -1,0 +1,76 @@
+#include "worlds/monotone.h"
+
+namespace epi {
+
+CoordinateDirection coordinate_direction(const WorldSet& a, unsigned i) {
+  CoordinateDirection d;
+  d.increasing = true;
+  d.decreasing = true;
+  const std::size_t size = a.omega_size();
+  const World bit = World{1} << i;
+  for (World w = 0; w < size; ++w) {
+    if (w & bit) continue;  // visit each {low, high} pair once
+    const bool low = a.contains(w);
+    const bool high = a.contains(w | bit);
+    if (low && !high) d.increasing = false;
+    if (high && !low) d.decreasing = false;
+    if (!d.increasing && !d.decreasing) break;
+  }
+  return d;
+}
+
+std::vector<CoordinateDirection> coordinate_directions(const WorldSet& a) {
+  std::vector<CoordinateDirection> dirs(a.n());
+  for (unsigned i = 0; i < a.n(); ++i) dirs[i] = coordinate_direction(a, i);
+  return dirs;
+}
+
+bool is_upset(const WorldSet& a) {
+  for (unsigned i = 0; i < a.n(); ++i) {
+    if (!coordinate_direction(a, i).increasing) return false;
+  }
+  return true;
+}
+
+bool is_downset(const WorldSet& a) {
+  for (unsigned i = 0; i < a.n(); ++i) {
+    if (!coordinate_direction(a, i).decreasing) return false;
+  }
+  return true;
+}
+
+WorldSet up_closure(const WorldSet& a) {
+  WorldSet r = a;
+  // One sweep per coordinate suffices: propagating 0->1 per coordinate in
+  // sequence reaches every superset.
+  for (unsigned i = 0; i < a.n(); ++i) {
+    const World bit = World{1} << i;
+    const std::size_t size = a.omega_size();
+    for (World w = 0; w < size; ++w) {
+      if (!(w & bit) && r.contains(w)) r.insert(w | bit);
+    }
+  }
+  return r;
+}
+
+WorldSet down_closure(const WorldSet& a) {
+  WorldSet r = a;
+  for (unsigned i = 0; i < a.n(); ++i) {
+    const World bit = World{1} << i;
+    const std::size_t size = a.omega_size();
+    for (World w = 0; w < size; ++w) {
+      if ((w & bit) && r.contains(w)) r.insert(w & ~bit);
+    }
+  }
+  return r;
+}
+
+World critical_coordinates(const WorldSet& a) {
+  World mask = 0;
+  for (unsigned i = 0; i < a.n(); ++i) {
+    if (!coordinate_direction(a, i).constant()) mask |= World{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace epi

@@ -1,0 +1,43 @@
+// Monotone-structure analysis of world sets: up-/down-sets (Section 5),
+// critical coordinates (Theorem 5.7), and per-coordinate direction analysis
+// used by the monotonicity criterion.
+#pragma once
+
+#include <vector>
+
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// True when A is an up-set: w in A and w <= w' imply w' in A.
+bool is_upset(const WorldSet& a);
+
+/// True when A is a down-set: w in A and w' <= w imply w' in A.
+bool is_downset(const WorldSet& a);
+
+/// Smallest up-set containing A.
+WorldSet up_closure(const WorldSet& a);
+
+/// Smallest down-set containing A.
+WorldSet down_closure(const WorldSet& a);
+
+/// Coordinate i is critical for A when flipping bit i can change membership
+/// (the notion behind Miklau–Suciu's "critical records", Theorem 5.7).
+/// Returns the mask of critical coordinates.
+World critical_coordinates(const WorldSet& a);
+
+/// How membership in a set can depend on one coordinate.
+struct CoordinateDirection {
+  bool increasing = false;  ///< w[i]=0, w in A  =>  flip_i(w) in A
+  bool decreasing = false;  ///< w[i]=1, w in A  =>  flip_i(w) in A
+  /// Constant (non-critical) coordinates are both increasing and decreasing.
+  bool constant() const { return increasing && decreasing; }
+};
+
+/// Direction analysis of A in coordinate i, in O(2^n).
+CoordinateDirection coordinate_direction(const WorldSet& a, unsigned i);
+
+/// Directions for all n coordinates.
+std::vector<CoordinateDirection> coordinate_directions(const WorldSet& a);
+
+}  // namespace epi

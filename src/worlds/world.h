@@ -1,0 +1,50 @@
+// A "world" is one possible database state. Following the paper (Section 5
+// onward) we identify the set of possible worlds Omega with the Boolean
+// hypercube {0,1}^n: coordinate i tells whether record i is present.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace epi {
+
+/// Index of a world inside Omega = {0,1}^n, i.e. an n-bit vector packed into
+/// a 32-bit integer (bit i of the value = coordinate omega[i]).
+using World = std::uint32_t;
+
+/// Maximum number of coordinates supported by the dense representation.
+inline constexpr unsigned kMaxCoordinates = 26;
+
+/// Bit i of omega (coordinate value omega[i]).
+inline bool world_bit(World w, unsigned i) { return (w >> i) & 1u; }
+
+/// omega with coordinate i set to `value`.
+inline World world_with_bit(World w, unsigned i, bool value) {
+  return value ? (w | (World{1} << i)) : (w & ~(World{1} << i));
+}
+
+/// omega with coordinate i flipped.
+inline World world_flip_bit(World w, unsigned i) { return w ^ (World{1} << i); }
+
+/// Bit-wise AND: the lattice meet omega1 /\ omega2.
+inline World world_meet(World a, World b) { return a & b; }
+
+/// Bit-wise OR: the lattice join omega1 \/ omega2.
+inline World world_join(World a, World b) { return a | b; }
+
+/// The partial order omega1 <= omega2 ("every record of omega1 is in omega2").
+inline bool world_leq(World a, World b) { return (a & ~b) == 0; }
+
+/// Number of records present (Hamming weight).
+inline unsigned world_weight(World w) { return static_cast<unsigned>(__builtin_popcount(w)); }
+
+/// Renders the n low bits as a 0/1 string, most significant coordinate last:
+/// world_to_string(0b011, 3) == "110" (coordinate 0 first), matching the
+/// paper's per-record reading order.
+std::string world_to_string(World w, unsigned n);
+
+/// Parses a 0/1 string in the same order; throws std::invalid_argument on
+/// non-binary characters or length > kMaxCoordinates.
+World world_from_string(const std::string& bits);
+
+}  // namespace epi

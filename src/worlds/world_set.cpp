@@ -1,0 +1,245 @@
+#include "worlds/world_set.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace epi {
+namespace {
+
+std::size_t words_for(unsigned n) {
+  const std::size_t size = std::size_t{1} << n;
+  return (size + 63) / 64;
+}
+
+void check_n(unsigned n) {
+  if (n == 0 || n > kMaxCoordinates) {
+    throw std::invalid_argument("WorldSet: n must be in [1, " +
+                                std::to_string(kMaxCoordinates) + "]");
+  }
+}
+
+}  // namespace
+
+std::string world_to_string(World w, unsigned n) {
+  std::string s(n, '0');
+  for (unsigned i = 0; i < n; ++i) {
+    if (world_bit(w, i)) s[i] = '1';
+  }
+  return s;
+}
+
+World world_from_string(const std::string& bits) {
+  if (bits.size() > kMaxCoordinates) {
+    throw std::invalid_argument("world string too long");
+  }
+  World w = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      w |= World{1} << i;
+    } else if (bits[i] != '0') {
+      throw std::invalid_argument("world string must be over {0,1}");
+    }
+  }
+  return w;
+}
+
+WorldSet::WorldSet(unsigned n) : n_(n), bits_(words_for(n), 0) { check_n(n); }
+
+WorldSet::WorldSet(unsigned n, std::initializer_list<World> worlds) : WorldSet(n) {
+  for (World w : worlds) insert(w);
+}
+
+WorldSet::WorldSet(unsigned n, const std::vector<World>& worlds) : WorldSet(n) {
+  for (World w : worlds) insert(w);
+}
+
+WorldSet WorldSet::universe(unsigned n) {
+  WorldSet s(n);
+  const std::size_t size = s.omega_size();
+  for (std::size_t i = 0; i < s.bits_.size(); ++i) s.bits_[i] = ~std::uint64_t{0};
+  // Clear bits beyond 2^n in the last word (only possible when n < 6).
+  const unsigned tail = size % 64;
+  if (tail != 0) s.bits_.back() = (std::uint64_t{1} << tail) - 1;
+  return s;
+}
+
+WorldSet WorldSet::empty(unsigned n) { return WorldSet(n); }
+
+WorldSet WorldSet::singleton(unsigned n, World w) {
+  WorldSet s(n);
+  s.insert(w);
+  return s;
+}
+
+WorldSet WorldSet::random(unsigned n, Rng& rng, double density) {
+  WorldSet s(n);
+  const std::size_t size = s.omega_size();
+  for (std::size_t w = 0; w < size; ++w) {
+    if (rng.next_bool(density)) s.insert(static_cast<World>(w));
+  }
+  return s;
+}
+
+WorldSet WorldSet::from_strings(unsigned n, const std::vector<std::string>& worlds) {
+  WorldSet s(n);
+  for (const auto& str : worlds) {
+    if (str.size() != n) throw std::invalid_argument("world string length != n");
+    s.insert(world_from_string(str));
+  }
+  return s;
+}
+
+bool WorldSet::contains(World w) const {
+  if (w >= omega_size()) return false;
+  return (bits_[w / 64] >> (w % 64)) & 1u;
+}
+
+void WorldSet::insert(World w) {
+  if (w >= omega_size()) throw std::out_of_range("WorldSet::insert: world out of range");
+  bits_[w / 64] |= std::uint64_t{1} << (w % 64);
+}
+
+void WorldSet::erase(World w) {
+  if (w >= omega_size()) throw std::out_of_range("WorldSet::erase: world out of range");
+  bits_[w / 64] &= ~(std::uint64_t{1} << (w % 64));
+}
+
+std::size_t WorldSet::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t word : bits_) c += static_cast<std::size_t>(std::popcount(word));
+  return c;
+}
+
+void WorldSet::check_compatible(const WorldSet& o) const {
+  if (n_ != o.n_) throw std::invalid_argument("WorldSet: mismatched n");
+}
+
+WorldSet WorldSet::operator&(const WorldSet& o) const {
+  WorldSet r = *this;
+  return r &= o;
+}
+WorldSet WorldSet::operator|(const WorldSet& o) const {
+  WorldSet r = *this;
+  return r |= o;
+}
+WorldSet WorldSet::operator-(const WorldSet& o) const {
+  WorldSet r = *this;
+  return r -= o;
+}
+WorldSet WorldSet::operator^(const WorldSet& o) const {
+  WorldSet r = *this;
+  return r ^= o;
+}
+
+WorldSet WorldSet::operator~() const {
+  WorldSet r(n_);
+  const WorldSet u = universe(n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) r.bits_[i] = u.bits_[i] & ~bits_[i];
+  return r;
+}
+
+WorldSet& WorldSet::operator&=(const WorldSet& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= o.bits_[i];
+  return *this;
+}
+WorldSet& WorldSet::operator|=(const WorldSet& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= o.bits_[i];
+  return *this;
+}
+WorldSet& WorldSet::operator-=(const WorldSet& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~o.bits_[i];
+  return *this;
+}
+WorldSet& WorldSet::operator^=(const WorldSet& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] ^= o.bits_[i];
+  return *this;
+}
+
+bool WorldSet::operator==(const WorldSet& o) const {
+  return n_ == o.n_ && bits_ == o.bits_;
+}
+
+bool WorldSet::subset_of(const WorldSet& o) const {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] & ~o.bits_[i]) return false;
+  }
+  return true;
+}
+
+bool WorldSet::disjoint_with(const WorldSet& o) const {
+  check_compatible(o);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] & o.bits_[i]) return false;
+  }
+  return true;
+}
+
+World WorldSet::min_world() const {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] != 0) {
+      return static_cast<World>(i * 64 + static_cast<unsigned>(std::countr_zero(bits_[i])));
+    }
+  }
+  throw std::logic_error("min_world of empty WorldSet");
+}
+
+std::vector<World> WorldSet::to_vector() const {
+  std::vector<World> v;
+  v.reserve(count());
+  for_each([&v](World w) { v.push_back(w); });
+  return v;
+}
+
+void WorldSet::for_each(const std::function<void(World)>& fn) const {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    std::uint64_t word = bits_[i];
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      fn(static_cast<World>(i * 64 + bit));
+      word &= word - 1;
+    }
+  }
+}
+
+WorldSet WorldSet::xor_with(World mask) const {
+  WorldSet r(n_);
+  for_each([&r, mask](World w) { r.insert(w ^ mask); });
+  return r;
+}
+
+WorldSet WorldSet::flip_coordinate(unsigned i) const {
+  return xor_with(World{1} << i);
+}
+
+WorldSet WorldSet::setwise_meet(const WorldSet& o) const {
+  check_compatible(o);
+  WorldSet r(n_);
+  for_each([&](World u) { o.for_each([&](World v) { r.insert(u & v); }); });
+  return r;
+}
+
+WorldSet WorldSet::setwise_join(const WorldSet& o) const {
+  check_compatible(o);
+  WorldSet r(n_);
+  for_each([&](World u) { o.for_each([&](World v) { r.insert(u | v); }); });
+  return r;
+}
+
+std::string WorldSet::to_string() const {
+  std::string s = "{";
+  bool first = true;
+  for_each([&](World w) {
+    if (!first) s += ",";
+    first = false;
+    s += world_to_string(w, n_);
+  });
+  s += "}";
+  return s;
+}
+
+}  // namespace epi

@@ -1,0 +1,106 @@
+// Dense sets of worlds (subsets of Omega = {0,1}^n) with full Boolean set
+// algebra. Knowledge sets, audited properties A and disclosed properties B
+// are all WorldSets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "worlds/world.h"
+
+namespace epi {
+
+/// A subset of Omega = {0,1}^n stored as a dense bitset of size 2^n.
+///
+/// n is fixed at construction; all binary operations require equal n and
+/// throw std::invalid_argument otherwise. Word granularity is 64 bits.
+class WorldSet {
+ public:
+  /// The empty subset of {0,1}^n.
+  explicit WorldSet(unsigned n);
+  /// The subset of {0,1}^n holding exactly `worlds`.
+  WorldSet(unsigned n, std::initializer_list<World> worlds);
+  /// The subset of {0,1}^n holding exactly `worlds`.
+  WorldSet(unsigned n, const std::vector<World>& worlds);
+
+  /// All of {0,1}^n.
+  static WorldSet universe(unsigned n);
+  /// Empty subset (same as the constructor; reads better at call sites).
+  static WorldSet empty(unsigned n);
+  /// The singleton {w}.
+  static WorldSet singleton(unsigned n, World w);
+  /// Every world included independently with probability `density`.
+  static WorldSet random(unsigned n, Rng& rng, double density = 0.5);
+  /// Parses worlds given as 0/1 strings, e.g. {"011","100"}; see
+  /// world_from_string for digit order.
+  static WorldSet from_strings(unsigned n, const std::vector<std::string>& worlds);
+
+  unsigned n() const { return n_; }
+  /// |Omega| = 2^n.
+  std::size_t omega_size() const { return std::size_t{1} << n_; }
+
+  bool contains(World w) const;
+  void insert(World w);
+  void erase(World w);
+
+  /// Number of worlds in the set.
+  std::size_t count() const;
+  bool is_empty() const { return count() == 0; }
+  bool is_universe() const { return count() == omega_size(); }
+
+  /// Set algebra. `operator-` is set difference, `operator~` complement in Omega.
+  WorldSet operator&(const WorldSet& o) const;
+  WorldSet operator|(const WorldSet& o) const;
+  WorldSet operator-(const WorldSet& o) const;
+  WorldSet operator^(const WorldSet& o) const;
+  WorldSet operator~() const;
+
+  WorldSet& operator&=(const WorldSet& o);
+  WorldSet& operator|=(const WorldSet& o);
+  WorldSet& operator-=(const WorldSet& o);
+  WorldSet& operator^=(const WorldSet& o);
+
+  bool operator==(const WorldSet& o) const;
+  bool operator!=(const WorldSet& o) const { return !(*this == o); }
+
+  /// True when *this is a subset of `o`.
+  bool subset_of(const WorldSet& o) const;
+  /// True when the two sets share no world.
+  bool disjoint_with(const WorldSet& o) const;
+
+  /// Smallest world in the set; throws std::logic_error when empty.
+  World min_world() const;
+
+  /// All member worlds in increasing order.
+  std::vector<World> to_vector() const;
+
+  /// Calls fn(w) for every member world in increasing order.
+  void for_each(const std::function<void(World)>& fn) const;
+
+  /// Image of the set under XOR with `mask` (the paper's z ^ A transform).
+  WorldSet xor_with(World mask) const;
+
+  /// Image under flipping coordinate i in every member.
+  WorldSet flip_coordinate(unsigned i) const;
+
+  /// {u /\ v : u in *this, v in o} — the setwise meet A /\ B of Theorem 5.3.
+  WorldSet setwise_meet(const WorldSet& o) const;
+  /// {u \/ v : u in *this, v in o} — the setwise join A \/ B of Theorem 5.3.
+  WorldSet setwise_join(const WorldSet& o) const;
+
+  /// Comma-separated 0/1 strings, e.g. "{011,100}".
+  std::string to_string() const;
+
+ private:
+  void check_compatible(const WorldSet& o) const;
+
+  unsigned n_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace epi

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "algebra/monomial.h"
+#include "algebra/polynomial.h"
+#include "algebra/safety_polynomial.h"
+#include "probabilistic/modularity.h"
+#include "probabilistic/product.h"
+#include "util/rng.h"
+
+namespace epi {
+namespace {
+
+TEST(Monomial, BasicsAndEval) {
+  Monomial one(3);
+  EXPECT_EQ(one.degree(), 0u);
+  EXPECT_EQ(one.to_string(), "1");
+  EXPECT_DOUBLE_EQ(one.eval({1, 2, 3}), 1.0);
+  Monomial m = Monomial::variable(3, 0, 2) * Monomial::variable(3, 2);
+  EXPECT_EQ(m.degree(), 3u);
+  EXPECT_EQ(m.to_string(), "x0^2*x2");
+  EXPECT_DOUBLE_EQ(m.eval({2, 5, 3}), 12.0);
+  EXPECT_THROW(Monomial::variable(3, 3), std::out_of_range);
+  EXPECT_THROW(m.eval({1.0}), std::invalid_argument);
+}
+
+TEST(Monomial, EnumerationCount) {
+  // C(nvars + d, d) monomials up to degree d.
+  EXPECT_EQ(monomials_up_to_degree(3, 2).size(), 10u);
+  EXPECT_EQ(monomials_up_to_degree(2, 4).size(), 15u);
+  EXPECT_EQ(monomials_up_to_degree(4, 0).size(), 1u);
+}
+
+TEST(Polynomial, ArithmeticAndEval) {
+  const std::size_t s = 2;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial y = Polynomial::variable(s, 1);
+  Polynomial f = x * x + y * 2.0 - Polynomial::constant(s, 3.0);
+  EXPECT_DOUBLE_EQ(f.eval({2, 1}), 4 + 2 - 3);
+  EXPECT_EQ(f.degree(), 2u);
+  Polynomial g = f - f;
+  EXPECT_TRUE(g.is_zero());
+  Polynomial h = (x + y).pow(2);
+  EXPECT_DOUBLE_EQ(h.coefficient(Monomial::variable(s, 0) * Monomial::variable(s, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(h.eval({1, 2}), 9.0);
+}
+
+TEST(Polynomial, TermCancellation) {
+  const std::size_t s = 1;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial f = x + x * (-1.0);
+  EXPECT_TRUE(f.is_zero());
+  EXPECT_TRUE(f.terms().empty());
+}
+
+TEST(Polynomial, Derivative) {
+  const std::size_t s = 2;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial y = Polynomial::variable(s, 1);
+  Polynomial f = x.pow(3) * y + y * y;
+  Polynomial fx = f.derivative(0);  // 3 x^2 y
+  Polynomial fy = f.derivative(1);  // x^3 + 2y
+  EXPECT_DOUBLE_EQ(fx.eval({2, 5}), 60.0);
+  EXPECT_DOUBLE_EQ(fy.eval({2, 5}), 18.0);
+  EXPECT_THROW(f.derivative(2), std::out_of_range);
+}
+
+TEST(Polynomial, ToStringReadable) {
+  const std::size_t s = 2;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial f = x * x * 2.0 - Polynomial::constant(s, 1.0);
+  EXPECT_EQ(f.to_string(), "-1 + 2*x0^2");
+  EXPECT_EQ(Polynomial(2).to_string(), "0");
+}
+
+TEST(Polynomial, MaxCoeffDifferenceAndPrune) {
+  const std::size_t s = 1;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial f = x * 2.0;
+  Polynomial g = x * 2.5 + Polynomial::constant(s, 1e-12);
+  EXPECT_NEAR(f.max_coeff_difference(g), 0.5, 1e-9);
+  EXPECT_EQ(g.pruned(1e-9).terms().size(), 1u);
+}
+
+TEST(Motzkin, NonnegativeOnSamples) {
+  Polynomial m = motzkin_polynomial();
+  EXPECT_EQ(m.degree(), 6u);
+  Rng rng(9);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<double> x(3);
+    for (double& v : x) v = 4.0 * rng.next_double() - 2.0;
+    EXPECT_GE(m.eval(x), -1e-9);
+  }
+  // Known zero at |x|=|y|=|z|=1.
+  EXPECT_NEAR(m.eval({1, 1, 1}), 0.0, 1e-12);
+}
+
+TEST(SafetyPolynomial, EventProbabilityMatchesProductDistribution) {
+  Rng rng(11);
+  const unsigned n = 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    WorldSet x = WorldSet::random(n, rng, 0.5);
+    Polynomial poly = event_probability_in_params(x);
+    auto p = ProductDistribution::random(n, rng);
+    EXPECT_NEAR(poly.eval(p.params()), p.prob(x), 1e-10);
+  }
+}
+
+TEST(SafetyPolynomial, MarginMatchesGap) {
+  Rng rng(13);
+  const unsigned n = 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.5);
+    Polynomial margin = product_safety_margin(a, b);
+    auto p = ProductDistribution::random(n, rng);
+    EXPECT_NEAR(margin.eval(p.params()), -p.safety_gap(a, b), 1e-10);
+  }
+}
+
+TEST(SafetyPolynomial, FactoredFormIsIdentical) {
+  // P[A]P[B] - P[AB] == P[A'B]P[AB'] - P[AB]P[A'B'] as polynomials —
+  // the identity behind the cancellation criterion (Prop. 5.9).
+  Rng rng(17);
+  const unsigned n = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.5);
+    Polynomial direct = product_safety_margin(a, b);
+    Polynomial factored = product_safety_margin_factored(a, b);
+    EXPECT_LT(direct.max_coeff_difference(factored), 1e-9)
+        << "A=" << a.to_string() << " B=" << b.to_string();
+  }
+}
+
+TEST(SafetyPolynomial, WeightSpaceMarginMatchesDistribution) {
+  Rng rng(19);
+  const unsigned n = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.5);
+    Polynomial margin = weight_safety_margin(a, b);
+    Distribution d = Distribution::random(n, rng);
+    EXPECT_NEAR(margin.eval(d.weights()), -d.safety_gap(a, b), 1e-10);
+  }
+}
+
+TEST(SafetyPolynomial, SupermodularConstraintsSignMatchesChecker) {
+  Rng rng(23);
+  const unsigned n = 3;
+  const auto constraints = supermodularity_constraints_in_weights(n);
+  // 9 incomparable pairs on {0,1}^3.
+  EXPECT_EQ(constraints.size(), 9u);
+  for (int trial = 0; trial < 20; ++trial) {
+    Distribution d = random_log_supermodular(n, rng);
+    for (const Polynomial& alpha : constraints) {
+      EXPECT_GE(alpha.eval(d.weights()), -1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,135 @@
+// Tests for the Section 1.1 comparison frameworks and the paper's
+// gain-vs-loss observation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/frameworks.h"
+#include "db/parser.h"
+
+namespace epi {
+namespace {
+
+RecordUniverse two_records() {
+  RecordUniverse u;
+  u.add("r1");
+  u.add("r2");
+  return u;
+}
+
+TEST(Logit, BasicValuesAndSaturation) {
+  EXPECT_DOUBLE_EQ(logit(0.5), 0.0);
+  EXPECT_NEAR(logit(0.75), std::log(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(logit(0.0), -kLogitCap);
+  EXPECT_DOUBLE_EQ(logit(1.0), kLogitCap);
+  EXPECT_GT(logit(0.9), logit(0.1));
+}
+
+TEST(RhoBreach, DetectsJumpAcrossThresholds) {
+  const unsigned n = 2;
+  auto uniform = Distribution::uniform(n);
+  WorldSet a(n, {3});
+  WorldSet b(n, {3});
+  // P[A] = 1/4 <= 0.5, P[A|B] = 1 >= 0.8: breach.
+  EXPECT_TRUE(rho1_rho2_breach(uniform, a, b, 0.5, 0.8));
+  // Thresholds not straddled: no breach.
+  EXPECT_FALSE(rho1_rho2_breach(uniform, a, b, 0.1, 0.8));
+  EXPECT_THROW(rho1_rho2_breach(uniform, a, b, 0.8, 0.5), std::invalid_argument);
+}
+
+TEST(LambdaBound, SymmetricVersionRejectsPureLoss) {
+  // The paper's implication disclosure can only LOWER P[A]; the symmetric
+  // lambda bound rejects a large loss while the gain-only version accepts.
+  RecordUniverse u = two_records();
+  const WorldSet a = parse_query("r1")->compile(u);
+  const WorldSet b = parse_query("r1 -> r2")->compile(u);
+  // A prior concentrated near the removed cell makes the loss large:
+  // P(10) = 0.9 spread, rest uniform.
+  std::vector<double> w = {0.04, 0.88, 0.04, 0.04};  // world 1 = "10"
+  Distribution prior(2, w, /*normalize=*/true);
+  const double gain = logit_gain(prior, a, b);
+  EXPECT_LT(gain, 0.0);  // a pure loss
+  EXPECT_FALSE(lambda_safe(prior, a, b, 0.5));
+  EXPECT_TRUE(lambda_safe_gain_only(prior, a, b, 0.5));
+  EXPECT_FALSE(sulq_safe(prior, a, b, 1.0));
+  EXPECT_TRUE(sulq_safe_gain_only(prior, a, b, 1.0));
+}
+
+TEST(LambdaBound, GainDetectedByBothVariants) {
+  const unsigned n = 2;
+  auto uniform = Distribution::uniform(n);
+  WorldSet a(n, {3});
+  WorldSet b(n, {1, 3});
+  // P[A|B]/P[A] = 2: both variants reject at lambda = 0.25 (1/(1-l) = 1.33).
+  EXPECT_FALSE(lambda_safe(uniform, a, b, 0.25));
+  EXPECT_FALSE(lambda_safe_gain_only(uniform, a, b, 0.25));
+  // Permissive lambda accepts.
+  EXPECT_TRUE(lambda_safe(uniform, a, b, 0.6));
+}
+
+TEST(SulqBound, MatchesHandComputedLogits) {
+  const unsigned n = 2;
+  auto uniform = Distribution::uniform(n);
+  WorldSet a(n, {3});
+  WorldSet b(n, {1, 3});
+  // P[A] = 1/4 (logit = -log 3), P[A|B] = 1/2 (logit = 0).
+  EXPECT_NEAR(logit_gain(uniform, a, b), std::log(3.0), 1e-12);
+  EXPECT_TRUE(sulq_safe(uniform, a, b, 1.2));
+  EXPECT_FALSE(sulq_safe(uniform, a, b, 1.0));
+}
+
+TEST(SulqBound, ZeroMassDisclosureIsNeutral) {
+  const unsigned n = 2;
+  auto point = Distribution::point_mass(n, 0);
+  WorldSet a(n, {3});
+  WorldSet b(n, {1, 3});  // P[B] = 0
+  EXPECT_DOUBLE_EQ(logit_gain(point, a, b), 0.0);
+  EXPECT_TRUE(sulq_safe(point, a, b, 0.1));
+  EXPECT_TRUE(lambda_safe(point, a, b, 0.1));
+  EXPECT_FALSE(rho1_rho2_breach(point, a, b, 0.5, 0.8));
+}
+
+TEST(Assessment, EpistemicallySafeImplicationHasGainZeroButBigLoss) {
+  // The flagship asymmetry measurement: for the Section 1.1 implication
+  // disclosure the max gain over product priors is ~0, while the max loss is
+  // large — so symmetric frameworks reject it and gain-only ones accept.
+  RecordUniverse u = two_records();
+  const WorldSet a = parse_query("r1")->compile(u);
+  const WorldSet b = parse_query("r1 -> r2")->compile(u);
+  Rng rng(7);
+  const FrameworkAssessment s = assess_over_product_priors(a, b, rng, 3000);
+  EXPECT_TRUE(s.epistemic_ok(1e-6));
+  EXPECT_LT(s.max_logit_gain, 0.05);
+  EXPECT_GT(s.max_logit_loss, 1.0);
+  EXPECT_TRUE(s.sulq_gain_only_ok(0.1));
+  EXPECT_FALSE(s.sulq_ok(0.1));
+  EXPECT_TRUE(s.lambda_gain_only_ok(0.1));
+  EXPECT_FALSE(s.lambda_ok(0.1));
+  EXPECT_FALSE(s.breach_rho);
+}
+
+TEST(Assessment, DirectDisclosureFailsEverything) {
+  RecordUniverse u = two_records();
+  const WorldSet a = parse_query("r1")->compile(u);
+  Rng rng(9);
+  const FrameworkAssessment s = assess_over_product_priors(a, a, rng, 3000);
+  EXPECT_FALSE(s.epistemic_ok());
+  EXPECT_FALSE(s.sulq_gain_only_ok(1.0));
+  EXPECT_FALSE(s.lambda_gain_only_ok(0.5));
+  EXPECT_TRUE(s.breach_rho);
+}
+
+TEST(Assessment, IndependentDisclosurePassesEverything) {
+  RecordUniverse u = two_records();
+  const WorldSet a = parse_query("r1")->compile(u);
+  const WorldSet b = parse_query("r2")->compile(u);
+  Rng rng(11);
+  const FrameworkAssessment s = assess_over_product_priors(a, b, rng, 2000);
+  EXPECT_TRUE(s.epistemic_ok(1e-9));
+  EXPECT_TRUE(s.sulq_ok(1e-6));
+  EXPECT_TRUE(s.lambda_ok(0.01));
+  EXPECT_FALSE(s.breach_rho);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/report.h"
+
+namespace epi {
+namespace {
+
+RecordUniverse bob_universe() {
+  RecordUniverse u;
+  u.add("bob_hiv");
+  u.add("bob_transfusion");
+  return u;
+}
+
+TEST(AuditLog, RecordsAnswersAgainstDatabase) {
+  InMemoryDatabase db(bob_universe());
+  db.insert("bob_hiv");
+  AuditLog log;
+  EXPECT_TRUE(log.record("alice", "bob_hiv", db, "2005-01-01"));
+  EXPECT_FALSE(log.record("alice", "bob_transfusion", db));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.users(), (std::vector<std::string>{"alice"}));
+  // Disclosed set of a false answer is the complement.
+  const WorldSet b = log.entries()[1].disclosed_set(db.universe());
+  EXPECT_EQ(b, WorldSet::from_strings(2, {"00", "10"}));
+}
+
+TEST(AuditLog, RecordWithAnswer) {
+  AuditLog log;
+  log.record_with_answer("mallory", "bob_hiv", true, "2007-06-01");
+  EXPECT_EQ(log.entries()[0].user, "mallory");
+  EXPECT_TRUE(log.entries()[0].answer);
+}
+
+TEST(Auditor, PaperSection11Example) {
+  // A = "bob_hiv"; B = "bob_hiv -> bob_transfusion" answered true. Epistemic
+  // privacy holds for ANY prior (the possible-worlds table of Section 1.1),
+  // while the direct query "bob_hiv" is flagged.
+  RecordUniverse u = bob_universe();
+  InMemoryDatabase db(u);
+  db.insert("bob_hiv");
+  db.insert("bob_transfusion");
+
+  AuditLog log;
+  log.record("alice", "bob_hiv -> bob_transfusion", db);
+  log.record("mallory", "bob_hiv", db);
+
+  Auditor auditor(u, PriorAssumption::kUnrestricted);
+  AuditReport report = auditor.audit(log, "bob_hiv");
+  ASSERT_EQ(report.per_disclosure.size(), 2u);
+  EXPECT_EQ(report.per_disclosure[0].verdict, Verdict::kSafe);
+  EXPECT_EQ(report.per_disclosure[1].verdict, Verdict::kUnsafe);
+  EXPECT_TRUE(report.per_disclosure[1].certified);
+  EXPECT_EQ(report.count(Verdict::kUnsafe), 1u);
+}
+
+TEST(Auditor, ImplicationIsSafeUnderEveryPriorFamily) {
+  RecordUniverse u = bob_universe();
+  InMemoryDatabase db(u);
+  db.insert("bob_hiv");
+  db.insert("bob_transfusion");
+  AuditLog log;
+  log.record("alice", "bob_hiv -> bob_transfusion", db);
+
+  for (PriorAssumption prior :
+       {PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+        PriorAssumption::kLogSupermodular}) {
+    Auditor auditor(u, prior);
+    AuditReport report = auditor.audit(log, "bob_hiv");
+    EXPECT_EQ(report.per_disclosure[0].verdict, Verdict::kSafe)
+        << to_string(prior);
+  }
+}
+
+TEST(Auditor, ProductPriorAllowsMoreThanUnrestricted) {
+  // B = "!bob_transfusion" answered true protects A = "bob_hiv" under the
+  // product (and log-supermodular) assumption by monotonicity, but not under
+  // unrestricted priors (a user may know "no transfusion => HIV").
+  RecordUniverse u = bob_universe();
+  InMemoryDatabase db(u);
+  db.insert("bob_hiv");  // HIV yes, transfusion no
+  AuditLog log;
+  log.record("alice", "!bob_transfusion", db);
+
+  Auditor unrestricted(u, PriorAssumption::kUnrestricted);
+  EXPECT_EQ(unrestricted.audit(log, "bob_hiv").per_disclosure[0].verdict,
+            Verdict::kUnsafe);
+
+  Auditor product(u, PriorAssumption::kProduct);
+  AuditReport product_report = product.audit(log, "bob_hiv");
+  EXPECT_EQ(product_report.per_disclosure[0].verdict, Verdict::kSafe);
+  EXPECT_TRUE(product_report.per_disclosure[0].certified);
+
+  Auditor supermodular(u, PriorAssumption::kLogSupermodular);
+  EXPECT_EQ(supermodular.audit(log, "bob_hiv").per_disclosure[0].verdict,
+            Verdict::kSafe);
+}
+
+TEST(Auditor, CumulativeDisclosuresCatchComposition) {
+  // Two individually safe answers whose conjunction pins down A.
+  RecordUniverse u;
+  u.add("r1");
+  u.add("r2");
+  InMemoryDatabase db(u);
+  db.insert("r1");
+  db.insert("r2");
+  AuditLog log;
+  // "r1 | !r2" (true) and "r1 | r2" (true): conjunction with each other
+  // still leaves r1 undetermined? r1=0,r2=1 satisfies second not first;
+  // r1=0,r2=0 satisfies first not second; so conjunction = {r1=1} ∪ {}, i.e.
+  // exactly the r1 worlds — revealing A = r1.
+  log.record("eve", "r1 | !r2", db);
+  log.record("eve", "r1 | r2", db);
+
+  Auditor auditor(u, PriorAssumption::kUnrestricted);
+  AuditReport report = auditor.audit(log, "r1");
+  // Each disclosure alone is unsafe under unrestricted priors anyway; the
+  // cumulative check must certainly flag eve.
+  ASSERT_EQ(report.per_user_cumulative.size(), 1u);
+  EXPECT_EQ(report.per_user_cumulative[0].user, "eve");
+  EXPECT_EQ(report.per_user_cumulative[0].verdict, Verdict::kUnsafe);
+}
+
+TEST(Auditor, CumulativeUnderProductPrior) {
+  RecordUniverse u;
+  u.add("r1");
+  u.add("r2");
+  InMemoryDatabase db(u);
+  db.insert("r1");
+  db.insert("r2");
+  AuditLog log;
+  log.record("eve", "r1 | !r2", db);
+  log.record("eve", "r1 | r2", db);
+  Auditor auditor(u, PriorAssumption::kProduct);
+  AuditReport report = auditor.audit(log, "r1");
+  // Conjunction = the r1 worlds: P[A|B] = 1 > P[A]; must be unsafe with a
+  // product witness.
+  EXPECT_EQ(report.per_user_cumulative[0].verdict, Verdict::kUnsafe);
+  EXPECT_FALSE(report.per_user_cumulative[0].detail.empty());
+}
+
+TEST(Auditor, TimelineScenarioFromIntroduction) {
+  // Alice and Cindy read Bob's record in 2005 (HIV-negative at the time),
+  // Mallory in 2007 (after infection). Auditing "bob_hiv" flags Mallory
+  // only — the motivating story of the paper's introduction.
+  RecordUniverse u = bob_universe();
+  InMemoryDatabase db(u);
+  AuditLog log;
+  log.record("alice", "bob_hiv", db, "2005-03-01");  // answer: false
+  log.record("cindy", "bob_hiv", db, "2005-07-15");  // answer: false
+  db.insert("bob_hiv");                              // Bob contracts HIV in 2006
+  log.record("mallory", "bob_hiv", db, "2007-02-20");  // answer: true
+
+  Auditor auditor(u, PriorAssumption::kUnrestricted);
+  AuditReport report = auditor.audit(log, "bob_hiv");
+  EXPECT_EQ(report.per_disclosure[0].verdict, Verdict::kSafe);   // alice
+  EXPECT_EQ(report.per_disclosure[1].verdict, Verdict::kSafe);   // cindy
+  EXPECT_EQ(report.per_disclosure[2].verdict, Verdict::kUnsafe); // mallory
+}
+
+TEST(Auditor, ReportFormatting) {
+  RecordUniverse u = bob_universe();
+  InMemoryDatabase db(u);
+  db.insert("bob_hiv");
+  db.insert("bob_transfusion");
+  AuditLog log;
+  log.record("alice", "bob_hiv -> bob_transfusion", db);
+  log.record("mallory", "bob_hiv", db);
+  Auditor auditor(u, PriorAssumption::kUnrestricted);
+  const std::string text = format_report(auditor.audit(log, "bob_hiv"));
+  EXPECT_NE(text.find("Audit query  : bob_hiv"), std::string::npos);
+  EXPECT_NE(text.find("unrestricted"), std::string::npos);
+  EXPECT_NE(text.find("mallory"), std::string::npos);
+  EXPECT_NE(text.find("unsafe"), std::string::npos);
+  EXPECT_NE(text.find("accumulated knowledge"), std::string::npos);
+}
+
+TEST(Auditor, EmptyUniverseRejected) {
+  EXPECT_THROW(Auditor(RecordUniverse{}, PriorAssumption::kProduct),
+               std::invalid_argument);
+}
+
+TEST(Auditor, PriorAssumptionNames) {
+  EXPECT_EQ(to_string(PriorAssumption::kUnrestricted), "unrestricted");
+  EXPECT_EQ(to_string(PriorAssumption::kProduct), "product");
+  EXPECT_EQ(to_string(PriorAssumption::kLogSupermodular), "log-supermodular");
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,135 @@
+// Tests for the certified branch-and-bound nonnegativity prover.
+#include <gtest/gtest.h>
+
+#include "optimize/branch_bound.h"
+#include "optimize/coordinate_ascent.h"
+#include "util/rng.h"
+
+namespace epi {
+namespace {
+
+TEST(IntervalBounds, EnclosesTrueRange) {
+  // f = x0^2 - x1 on [0,1]^2: range [-1, 1].
+  const std::size_t s = 2;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial y = Polynomial::variable(s, 1);
+  Polynomial f = x * x - y;
+  auto [lo, hi] = interval_bounds(f, {0, 0}, {1, 1});
+  EXPECT_DOUBLE_EQ(lo, -1.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+  // On [0.5,1] x [0, 0.25]: range [0.25 - 0.25, 1 - 0] = [0, 1].
+  auto [lo2, hi2] = interval_bounds(f, {0.5, 0.0}, {1.0, 0.25});
+  EXPECT_DOUBLE_EQ(lo2, 0.0);
+  EXPECT_DOUBLE_EQ(hi2, 1.0);
+  EXPECT_THROW(interval_bounds(f, {0.0}, {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(IntervalBounds, SoundOnRandomPolynomials) {
+  Rng rng(3);
+  const std::size_t s = 3;
+  for (int t = 0; t < 20; ++t) {
+    Polynomial f(s);
+    for (const Monomial& m : monomials_up_to_degree(s, 3)) {
+      if (rng.next_bool(0.4)) f.add_term(m, 2.0 * rng.next_double() - 1.0);
+    }
+    std::vector<double> lo(s), hi(s);
+    for (std::size_t i = 0; i < s; ++i) {
+      const double a = rng.next_double(), b = rng.next_double();
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    auto [bound_lo, bound_hi] = interval_bounds(f, lo, hi);
+    for (int p = 0; p < 50; ++p) {
+      std::vector<double> point(s);
+      for (std::size_t i = 0; i < s; ++i) {
+        point[i] = lo[i] + (hi[i] - lo[i]) * rng.next_double();
+      }
+      const double v = f.eval(point);
+      EXPECT_GE(v, bound_lo - 1e-9);
+      EXPECT_LE(v, bound_hi + 1e-9);
+    }
+  }
+}
+
+TEST(BranchBound, CertifiesNonnegativePolynomials) {
+  const std::size_t s = 2;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial y = Polynomial::variable(s, 1);
+  // (x - y)^2 is nonnegative with a whole zero line — the hard shape.
+  auto r = certify_nonneg_on_box((x - y).pow(2), {1e-4, 200000});
+  EXPECT_EQ(r.verdict, Verdict::kSafe);
+  // x(1-x) + y(1-y): nonnegative, zeros only at corners.
+  auto r2 = certify_nonneg_on_box(x - x * x + y - y * y, {1e-6, 200000});
+  EXPECT_EQ(r2.verdict, Verdict::kSafe);
+}
+
+TEST(BranchBound, RefutesNegativePolynomials) {
+  const std::size_t s = 2;
+  Polynomial x = Polynomial::variable(s, 0);
+  Polynomial f = Polynomial::constant(s, 0.2) - x;  // negative for x > 0.2
+  auto r = certify_nonneg_on_box(f, {1e-6, 100000});
+  EXPECT_EQ(r.verdict, Verdict::kUnsafe);
+  ASSERT_FALSE(r.refutation_point.empty());
+  EXPECT_LT(f.eval(r.refutation_point), -1e-6);
+}
+
+TEST(BranchBound, ProductSafetyAgreesWithAscent) {
+  Rng rng(17);
+  const unsigned n = 3;
+  int certified = 0, refuted = 0;
+  for (int t = 0; t < 40; ++t) {
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.5);
+    // Margins at n = 3 can vanish on codimension-1 surfaces, so certified
+    // slack is kept at 1e-4 to bound the subdivision work.
+    BranchBoundOptions options;
+    options.epsilon = 1e-4;
+    options.max_boxes = 200000;
+    const BranchBoundResult bb = branch_bound_product_safety(a, b, options);
+    AscentOptions ascent;
+    ascent.seed = 900 + t;
+    const double gap = maximize_product_gap(a, b, ascent).max_gap;
+    if (bb.verdict == Verdict::kSafe) {
+      ++certified;
+      // Certified: no prior can gain more than epsilon.
+      EXPECT_LE(gap, options.epsilon + 1e-9)
+          << "A=" << a.to_string() << " B=" << b.to_string();
+    } else if (bb.verdict == Verdict::kUnsafe) {
+      ++refuted;
+      EXPECT_GT(gap, 0.0);
+      // The refutation point is a genuine violating product prior.
+      ProductDistribution witness(bb.refutation_point);
+      EXPECT_GT(witness.safety_gap(a, b), 1e-4 - 1e-12);
+    }
+  }
+  // Margins whose zero set is a full surface exhaust the budget and stay
+  // kUnknown — the contract is "no wrong definite verdicts", not
+  // completeness. (The SOS layer covers those instances analytically.)
+  EXPECT_GE(certified, 1);
+  EXPECT_GT(refuted, 5);
+}
+
+TEST(BranchBound, BudgetExhaustionIsUnknownNotWrong) {
+  // A tiny budget must never produce a wrong definite verdict.
+  Rng rng(23);
+  const unsigned n = 3;
+  for (int t = 0; t < 20; ++t) {
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.5);
+    BranchBoundOptions tiny;
+    tiny.max_boxes = 8;
+    const BranchBoundResult bb = branch_bound_product_safety(a, b, tiny);
+    if (bb.verdict == Verdict::kUnknown) continue;
+    AscentOptions ascent;
+    ascent.seed = 333 + t;
+    const double gap = maximize_product_gap(a, b, ascent).max_gap;
+    if (bb.verdict == Verdict::kSafe) {
+      EXPECT_LE(gap, tiny.epsilon + 1e-9);
+    } else {
+      EXPECT_GT(gap, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,98 @@
+// Tests for the counting-query extension (atleast/atmost) and its
+// interaction with the monotonicity criteria.
+#include <gtest/gtest.h>
+
+#include "criteria/monotonicity.h"
+#include "db/database.h"
+#include "db/parser.h"
+#include "worlds/monotone.h"
+
+namespace epi {
+namespace {
+
+RecordUniverse four_records() {
+  RecordUniverse u;
+  u.add("r0");
+  u.add("r1");
+  u.add("r2");
+  u.add("r3");
+  return u;
+}
+
+TEST(CountingQuery, AtLeastSemantics) {
+  RecordUniverse u = four_records();
+  QueryPtr q = at_least(2, {"r0", "r1", "r2"});
+  EXPECT_TRUE(q->evaluate(u, world_from_string("1100")));
+  EXPECT_TRUE(q->evaluate(u, world_from_string("1110")));
+  EXPECT_FALSE(q->evaluate(u, world_from_string("1000")));
+  EXPECT_FALSE(q->evaluate(u, world_from_string("0001")));
+  // k = 0 is a tautology.
+  EXPECT_TRUE(at_least(0, {"r0"})->evaluate(u, 0));
+}
+
+TEST(CountingQuery, AtMostSemantics) {
+  RecordUniverse u = four_records();
+  QueryPtr q = at_most(1, {"r0", "r1", "r2"});
+  EXPECT_TRUE(q->evaluate(u, world_from_string("1000")));
+  EXPECT_TRUE(q->evaluate(u, world_from_string("0001")));
+  EXPECT_FALSE(q->evaluate(u, world_from_string("1100")));
+}
+
+TEST(CountingQuery, ComplementRelation) {
+  // atmost(k, ...) == !atleast(k+1, ...).
+  RecordUniverse u = four_records();
+  QueryPtr lhs = at_most(1, {"r0", "r1", "r3"});
+  QueryPtr rhs = !at_least(2, {"r0", "r1", "r3"});
+  EXPECT_EQ(lhs->compile(u), rhs->compile(u));
+}
+
+TEST(CountingQuery, UnknownRecordThrows) {
+  RecordUniverse u = four_records();
+  EXPECT_THROW(at_least(1, {"ghost"})->evaluate(u, 0), std::invalid_argument);
+  EXPECT_THROW(at_least(1, std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(CountingQuery, ParserSyntax) {
+  RecordUniverse u = four_records();
+  QueryPtr parsed = parse_query("atleast(2, r0, r1, r2)");
+  EXPECT_EQ(parsed->compile(u), at_least(2, {"r0", "r1", "r2"})->compile(u));
+  QueryPtr parsed2 = parse_query("atmost(0, r3) & r0");
+  EXPECT_TRUE(parsed2->evaluate(u, world_from_string("1000")));
+  EXPECT_FALSE(parsed2->evaluate(u, world_from_string("1001")));
+  // Round trip through to_string.
+  QueryPtr reparsed = parse_query(parsed->to_string());
+  EXPECT_EQ(parsed->compile(u), reparsed->compile(u));
+}
+
+TEST(CountingQuery, ParserErrors) {
+  EXPECT_THROW(parse_query("atleast 2, r0)"), ParseError);
+  EXPECT_THROW(parse_query("atleast(x, r0)"), ParseError);
+  EXPECT_THROW(parse_query("atleast(2)"), ParseError);
+  EXPECT_THROW(parse_query("atleast(2, r0"), ParseError);
+  EXPECT_THROW(parse_query("atmost(1, )"), ParseError);
+}
+
+TEST(CountingQuery, AtLeastIsMonotone) {
+  // atleast compiles to an up-set, atmost to a down-set — so the negative
+  // answer to a threshold query protects positive threshold facts
+  // (Corollary 5.5 applied to aggregates).
+  RecordUniverse u = four_records();
+  const WorldSet least = at_least(2, {"r0", "r1", "r2", "r3"})->compile(u);
+  const WorldSet most = at_most(1, {"r0", "r1", "r2"})->compile(u);
+  EXPECT_TRUE(is_upset(least));
+  EXPECT_TRUE(is_downset(most));
+  EXPECT_TRUE(upset_downset_criterion(least, most));
+}
+
+TEST(CountingQuery, WorksThroughDatabase) {
+  RecordUniverse u = four_records();
+  InMemoryDatabase db(u);
+  db.insert("r0");
+  db.insert("r2");
+  EXPECT_TRUE(db.answer("atleast(2, r0, r1, r2)"));
+  EXPECT_FALSE(db.answer("atleast(3, r0, r1, r2)"));
+  EXPECT_TRUE(db.answer("atmost(2, r0, r1, r2, r3)"));
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,115 @@
+// Targeted tests for paths not exercised elsewhere: the log-submodular
+// algebraic family, auditor option gates, report tags, and small utility
+// edges.
+#include <gtest/gtest.h>
+
+#include "core/auditor.h"
+#include "core/report.h"
+#include "optimize/emptiness.h"
+#include "probabilistic/modularity.h"
+#include "util/rng.h"
+
+namespace epi {
+namespace {
+
+TEST(SubmodularFamily, ConstraintsMatchChecker) {
+  const unsigned n = 3;
+  const AlgebraicFamily family = submodular_family_in_weights(n);
+  EXPECT_EQ(family.name, "log-submodular");
+  Rng rng(3);
+  for (int t = 0; t < 15; ++t) {
+    const Distribution d = random_log_submodular(n, rng);
+    for (const Polynomial& alpha : family.inequalities) {
+      EXPECT_GE(alpha.eval(d.weights()), -1e-9);
+    }
+    // A log-supermodular (strictly coupled) distribution violates some
+    // submodular constraint.
+  }
+  int violations = 0;
+  for (int t = 0; t < 15; ++t) {
+    const Distribution d = random_log_supermodular(n, rng, 1.0, 3.0);
+    for (const Polynomial& alpha : family.inequalities) {
+      if (alpha.eval(d.weights()) < -1e-9) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(violations, 5);
+}
+
+TEST(ProductFamilyInWeights, ExactlyProductDistributions) {
+  const unsigned n = 2;
+  const AlgebraicFamily family = product_family_in_weights(n);
+  Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const Distribution product = ProductDistribution::random(n, rng).to_distribution();
+    for (const Polynomial& alpha : family.inequalities) {
+      EXPECT_GE(alpha.eval(product.weights()), -1e-9);
+    }
+  }
+  // A genuinely correlated distribution fails.
+  Distribution correlated(2, {0.5, 0.0, 0.0, 0.5});
+  bool violated = false;
+  for (const Polynomial& alpha : family.inequalities) {
+    violated |= alpha.eval(correlated.weights()) < -1e-9;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(Auditor, MaxSosRecordsGateSkipsSdp) {
+  // With max_sos_records = 0 the SOS stage is skipped even when enabled;
+  // verdicts must still be sound, only potentially uncertified safe.
+  RecordUniverse u;
+  u.add("a");
+  u.add("b");
+  u.add("c");
+  AuditorOptions options;
+  options.enable_sos = true;
+  options.max_sos_records = 0;
+  Auditor auditor(u, PriorAssumption::kProduct, options);
+  Rng rng(7);
+  for (int t = 0; t < 20; ++t) {
+    WorldSet a = WorldSet::random(3, rng, 0.5);
+    WorldSet b = WorldSet::random(3, rng, 0.5);
+    const AuditFinding f = auditor.audit_sets(a, b);
+    EXPECT_NE(f.method, "sos-certificate");
+  }
+}
+
+TEST(Report, NumericTagShownForUncertifiedVerdicts) {
+  AuditReport report;
+  report.audit_query = "q";
+  report.prior = PriorAssumption::kProduct;
+  AuditFinding f;
+  f.user = "u";
+  f.query_text = "q";
+  f.verdict = Verdict::kSafe;
+  f.method = "numeric-only";
+  f.certified = false;
+  report.per_disclosure.push_back(f);
+  const std::string text = format_report(report);
+  EXPECT_NE(text.find("numeric"), std::string::npos);
+  EXPECT_EQ(text.find("certifiednumeric"), std::string::npos);
+}
+
+TEST(Rng, NextBelowOne) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(EmptinessOptions, GapThresholdRespected) {
+  // With an absurd gap threshold nothing is ever "found".
+  const unsigned n = 2;
+  WorldSet a(n, {3});
+  EmptinessOptions opts;
+  opts.gap_threshold = 10.0;  // impossible
+  const auto r = search_violating_distribution(unconstrained_family_in_weights(n),
+                                               a, a, opts);
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.witness.has_value());
+  EXPECT_FALSE(r.best_iterate.empty());
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/parser.h"
+#include "db/query.h"
+#include "db/record.h"
+
+namespace epi {
+namespace {
+
+RecordUniverse hospital_universe() {
+  RecordUniverse u;
+  u.add(Record{"bob_hiv", {{"patient", "Bob"}, {"fact", "HIV-positive"}}});
+  u.add(Record{"bob_transfusion", {{"patient", "Bob"}, {"fact", "blood transfusion"}}});
+  u.add("alice_flu");
+  return u;
+}
+
+TEST(RecordUniverse, AddAndLookup) {
+  RecordUniverse u = hospital_universe();
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_EQ(u.coordinate_of("bob_hiv"), 0u);
+  EXPECT_EQ(u.coordinate_of("alice_flu"), 2u);
+  EXPECT_FALSE(u.coordinate_of("nobody").has_value());
+  EXPECT_EQ(u.record(0).attributes.at("patient"), "Bob");
+  EXPECT_EQ(u.names(), (std::vector<std::string>{"bob_hiv", "bob_transfusion", "alice_flu"}));
+}
+
+TEST(RecordUniverse, RejectsDuplicatesAndEmpty) {
+  RecordUniverse u;
+  u.add("r");
+  EXPECT_THROW(u.add("r"), std::invalid_argument);
+  EXPECT_THROW(u.add(""), std::invalid_argument);
+}
+
+TEST(Query, EvaluateAndCompile) {
+  RecordUniverse u = hospital_universe();
+  QueryPtr q = atom("bob_hiv") & !atom("alice_flu");
+  EXPECT_TRUE(q->evaluate(u, world_from_string("100")));
+  EXPECT_FALSE(q->evaluate(u, world_from_string("101")));
+  WorldSet compiled = q->compile(u);
+  EXPECT_EQ(compiled, WorldSet::from_strings(3, {"100", "110"}));
+}
+
+TEST(Query, ImplicationSemantics) {
+  RecordUniverse u = hospital_universe();
+  QueryPtr q = implies(atom("bob_hiv"), atom("bob_transfusion"));
+  // False only when hiv=1, transfusion=0.
+  EXPECT_FALSE(q->evaluate(u, world_from_string("100")));
+  EXPECT_TRUE(q->evaluate(u, world_from_string("110")));
+  EXPECT_TRUE(q->evaluate(u, world_from_string("000")));
+  EXPECT_EQ(q->compile(u).count(), 6u);
+}
+
+TEST(Query, UnknownRecordThrows) {
+  RecordUniverse u = hospital_universe();
+  QueryPtr q = atom("ghost");
+  EXPECT_THROW(q->evaluate(u, 0), std::invalid_argument);
+}
+
+TEST(Query, ToStringRoundTripThroughParser) {
+  QueryPtr q = implies(atom("a") & !atom("b"), atom("c") | constant(false));
+  QueryPtr reparsed = parse_query(q->to_string());
+  RecordUniverse u;
+  u.add("a");
+  u.add("b");
+  u.add("c");
+  EXPECT_EQ(q->compile(u), reparsed->compile(u));
+}
+
+TEST(Parser, PrecedenceAndAssociativity) {
+  RecordUniverse u;
+  u.add("a");
+  u.add("b");
+  u.add("c");
+  // & binds tighter than |, -> is lowest.
+  QueryPtr q1 = parse_query("a | b & c");
+  QueryPtr q2 = parse_query("a | (b & c)");
+  EXPECT_EQ(q1->compile(u), q2->compile(u));
+  QueryPtr q3 = parse_query("a -> b -> c");  // right assoc: a -> (b -> c)
+  QueryPtr q4 = parse_query("a -> (b -> c)");
+  EXPECT_EQ(q3->compile(u), q4->compile(u));
+  QueryPtr q5 = parse_query("!a & b");
+  QueryPtr q6 = parse_query("(!a) & b");
+  EXPECT_EQ(q5->compile(u), q6->compile(u));
+}
+
+TEST(Parser, Constants) {
+  RecordUniverse u;
+  u.add("a");
+  EXPECT_TRUE(parse_query("true")->compile(u).is_universe());
+  EXPECT_TRUE(parse_query("false")->compile(u).is_empty());
+  EXPECT_EQ(parse_query("a | !a")->compile(u).count(), 2u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_query(""), ParseError);
+  EXPECT_THROW(parse_query("a &"), ParseError);
+  EXPECT_THROW(parse_query("(a"), ParseError);
+  EXPECT_THROW(parse_query("a b"), ParseError);
+  EXPECT_THROW(parse_query("a + b"), ParseError);
+  EXPECT_THROW(parse_query("->a"), ParseError);
+}
+
+TEST(Database, InsertRemoveAnswer) {
+  InMemoryDatabase db(hospital_universe());
+  EXPECT_FALSE(db.answer("bob_hiv"));
+  db.insert("bob_hiv");
+  db.insert("bob_transfusion");
+  EXPECT_TRUE(db.contains("bob_hiv"));
+  EXPECT_TRUE(db.answer("bob_hiv & bob_transfusion"));
+  EXPECT_TRUE(db.answer("bob_hiv -> bob_transfusion"));
+  db.remove("bob_transfusion");
+  EXPECT_FALSE(db.answer("bob_hiv -> bob_transfusion"));
+  EXPECT_THROW(db.insert("ghost"), std::invalid_argument);
+  EXPECT_EQ(db.to_string(), "bob_hiv=1, bob_transfusion=0, alice_flu=0");
+}
+
+TEST(Database, StateRoundTrip) {
+  InMemoryDatabase db(hospital_universe());
+  db.set_state(world_from_string("101"));
+  EXPECT_TRUE(db.contains("bob_hiv"));
+  EXPECT_FALSE(db.contains("bob_transfusion"));
+  EXPECT_TRUE(db.contains("alice_flu"));
+  EXPECT_EQ(db.state(), world_from_string("101"));
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,178 @@
+// End-to-end integration tests: query text -> parser -> world sets ->
+// auditor verdicts, cross-checked against brute-force semantics.
+#include <gtest/gtest.h>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/report.h"
+#include "db/parser.h"
+#include "optimize/coordinate_ascent.h"
+#include "probabilistic/distribution.h"
+
+namespace epi {
+namespace {
+
+// Random query text generator over a fixed record set.
+std::string random_query(Rng& rng, const std::vector<std::string>& names,
+                         int depth = 2) {
+  if (depth == 0 || rng.next_bool(0.4)) {
+    return names[rng.next_below(names.size())];
+  }
+  switch (rng.next_below(4)) {
+    case 0:
+      return "!(" + random_query(rng, names, depth - 1) + ")";
+    case 1:
+      return "(" + random_query(rng, names, depth - 1) + " & " +
+             random_query(rng, names, depth - 1) + ")";
+    case 2:
+      return "(" + random_query(rng, names, depth - 1) + " | " +
+             random_query(rng, names, depth - 1) + ")";
+    default:
+      return "(" + random_query(rng, names, depth - 1) + " -> " +
+             random_query(rng, names, depth - 1) + ")";
+  }
+}
+
+TEST(Integration, ParserCompileMatchesEvaluate) {
+  RecordUniverse u;
+  const std::vector<std::string> names = {"r0", "r1", "r2", "r3"};
+  for (const auto& name : names) u.add(name);
+  Rng rng(2718);
+  for (int t = 0; t < 100; ++t) {
+    const std::string text = random_query(rng, names, 3);
+    const QueryPtr q = parse_query(text);
+    const WorldSet compiled = q->compile(u);
+    for (World w = 0; w < 16; ++w) {
+      EXPECT_EQ(compiled.contains(w), q->evaluate(u, w)) << text;
+    }
+  }
+}
+
+TEST(Integration, UnrestrictedAuditorVerdictsMatchBruteForce) {
+  RecordUniverse u;
+  const std::vector<std::string> names = {"r0", "r1", "r2"};
+  for (const auto& name : names) u.add(name);
+  Rng rng(3141);
+
+  for (int scenario = 0; scenario < 20; ++scenario) {
+    InMemoryDatabase db(u);
+    db.set_state(static_cast<World>(rng.next_bits(3)));
+    AuditLog log;
+    const int queries = 4;
+    for (int i = 0; i < queries; ++i) {
+      log.record("user" + std::to_string(i % 2), random_query(rng, names), db);
+    }
+    const std::string audit_text = random_query(rng, names);
+    Auditor auditor(u, PriorAssumption::kUnrestricted);
+    const AuditReport report = auditor.audit(log, audit_text);
+    const WorldSet a = parse_query(audit_text)->compile(u);
+    ASSERT_EQ(report.per_disclosure.size(), static_cast<std::size_t>(queries));
+    for (int i = 0; i < queries; ++i) {
+      const WorldSet b = log.entries()[i].disclosed_set(u);
+      // Brute force: random priors try to find a gain.
+      bool gained = false;
+      for (int trial = 0; trial < 300; ++trial) {
+        const Distribution p = Distribution::random(3, rng);
+        if (p.prob(b) > 0 && p.conditional(a, b) > p.prob(a) + 1e-9) {
+          gained = true;
+          break;
+        }
+      }
+      if (report.per_disclosure[i].verdict == Verdict::kSafe) {
+        EXPECT_FALSE(gained) << audit_text << " vs " << log.entries()[i].query_text;
+      } else {
+        // Theorem 3.11 is exact, so unsafe must be realizable (witness check).
+        EXPECT_FALSE(report.per_disclosure[i].detail.empty());
+      }
+    }
+  }
+}
+
+TEST(Integration, ProductAuditorSoundOnRandomScenarios) {
+  RecordUniverse u;
+  const std::vector<std::string> names = {"r0", "r1", "r2"};
+  for (const auto& name : names) u.add(name);
+  Rng rng(1618);
+  AuditorOptions options;
+  options.enable_sos = false;  // keep the test fast; SOS covered elsewhere
+  Auditor auditor(u, PriorAssumption::kProduct, options);
+
+  for (int scenario = 0; scenario < 12; ++scenario) {
+    InMemoryDatabase db(u);
+    db.set_state(static_cast<World>(rng.next_bits(3)));
+    AuditLog log;
+    log.record("eve", random_query(rng, names), db);
+    const std::string audit_text = random_query(rng, names);
+    const AuditReport report = auditor.audit(log, audit_text);
+    const WorldSet a = parse_query(audit_text)->compile(u);
+    const WorldSet b = log.entries()[0].disclosed_set(u);
+    const AuditFinding& f = report.per_disclosure[0];
+    // Brute-force product priors.
+    double worst = -1.0;
+    for (int trial = 0; trial < 2000; ++trial) {
+      worst = std::max(worst,
+                       ProductDistribution::random(3, rng).safety_gap(a, b));
+    }
+    if (f.verdict == Verdict::kSafe) {
+      EXPECT_LE(worst, 1e-9) << audit_text;
+    } else {
+      EXPECT_GT(worst, -1e-12) << audit_text;  // a gain must exist
+    }
+  }
+}
+
+TEST(Integration, PriorFamiliesFormAHierarchy) {
+  // Unrestricted-safe => supermodular-safe => product-safe: verdicts across
+  // the auditor configurations must respect the family inclusions
+  // Pi_m0 ⊂ Pi_m+ ⊂ all priors.
+  RecordUniverse u;
+  const std::vector<std::string> names = {"r0", "r1", "r2"};
+  for (const auto& name : names) u.add(name);
+  Rng rng(112);
+  AuditorOptions options;
+  options.enable_sos = false;
+  Auditor unrestricted(u, PriorAssumption::kUnrestricted, options);
+  Auditor supermodular(u, PriorAssumption::kLogSupermodular, options);
+  Auditor product(u, PriorAssumption::kProduct, options);
+
+  for (int t = 0; t < 60; ++t) {
+    const WorldSet a = parse_query(random_query(rng, names))->compile(u);
+    const WorldSet b = parse_query(random_query(rng, names))->compile(u);
+    const Verdict vu = unrestricted.audit_sets(a, b).verdict;
+    const Verdict vm = supermodular.audit_sets(a, b).verdict;
+    const Verdict vp = product.audit_sets(a, b).verdict;
+    if (vu == Verdict::kSafe) {
+      EXPECT_NE(vm, Verdict::kUnsafe);
+      EXPECT_NE(vp, Verdict::kUnsafe);
+    }
+    if (vm == Verdict::kSafe) {
+      EXPECT_NE(vp, Verdict::kUnsafe);
+    }
+    if (vp == Verdict::kUnsafe) {
+      EXPECT_NE(vm, Verdict::kSafe);
+      EXPECT_NE(vu, Verdict::kSafe);
+    }
+  }
+}
+
+TEST(Integration, ReportCountsConsistent) {
+  RecordUniverse u;
+  u.add("x");
+  u.add("y");
+  InMemoryDatabase db(u);
+  db.insert("x");
+  AuditLog log;
+  log.record("a", "x", db);
+  log.record("b", "y", db);
+  log.record("a", "x | y", db);
+  Auditor auditor(u, PriorAssumption::kUnrestricted);
+  const AuditReport r = auditor.audit(log, "x");
+  EXPECT_EQ(r.per_disclosure.size(), 3u);
+  EXPECT_EQ(r.per_user_cumulative.size(), 2u);
+  EXPECT_EQ(r.count(Verdict::kSafe) + r.count(Verdict::kUnsafe) +
+                r.count(Verdict::kUnknown),
+            3u);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,189 @@
+// Tests for the laminar (hierarchy) knowledge family and the exact-rational
+// distribution backend.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "possibilistic/intervals.h"
+#include "possibilistic/knowledge.h"
+#include "possibilistic/laminar.h"
+#include "possibilistic/safe.h"
+#include "probabilistic/exact.h"
+#include "probabilistic/modularity.h"
+
+namespace epi {
+namespace {
+
+TEST(Laminar, ConstructionAndValidation) {
+  LaminarSigma tree(8);
+  const auto ward_a = tree.add_group(LaminarSigma::kRoot, FiniteSet(8, {0, 1, 2}), "wardA");
+  const auto ward_b = tree.add_group(LaminarSigma::kRoot, FiniteSet(8, {3, 4}), "wardB");
+  tree.add_group(ward_a, FiniteSet(8, {0, 1}), "roomA1");
+  EXPECT_EQ(tree.node_count(), 4u);
+  EXPECT_EQ(tree.label(ward_b), "wardB");
+  // Overlapping sibling rejected.
+  EXPECT_THROW(tree.add_group(LaminarSigma::kRoot, FiniteSet(8, {2, 5})),
+               std::invalid_argument);
+  // Not nested in parent rejected.
+  EXPECT_THROW(tree.add_group(ward_b, FiniteSet(8, {0})), std::invalid_argument);
+  EXPECT_THROW(tree.add_group(ward_b, FiniteSet(8)), std::invalid_argument);
+}
+
+TEST(Laminar, IntervalIsLowestCommonGroup) {
+  LaminarSigma tree(8);
+  const auto ward_a = tree.add_group(LaminarSigma::kRoot, FiniteSet(8, {0, 1, 2, 3}));
+  tree.add_group(LaminarSigma::kRoot, FiniteSet(8, {4, 5, 6, 7}));
+  const auto room1 = tree.add_group(ward_a, FiniteSet(8, {0, 1}));
+  tree.add_group(ward_a, FiniteSet(8, {2, 3}));
+
+  EXPECT_EQ(*tree.interval(0, 1), tree.group(room1));
+  EXPECT_EQ(*tree.interval(0, 3), tree.group(ward_a));
+  EXPECT_EQ(*tree.interval(0, 5), FiniteSet::universe(8));
+  EXPECT_EQ(tree.lowest_common_group(0, 1), room1);
+}
+
+TEST(Laminar, IsIntersectionClosedFamily) {
+  LaminarSigma tree = LaminarSigma::balanced(16, 2);
+  // Verify via the generic explicit-family checker.
+  ExplicitSigma explicit_family(tree.enumerate());
+  EXPECT_TRUE(explicit_family.is_intersection_closed());
+  EXPECT_TRUE(tree.contains(FiniteSet::universe(16)));
+}
+
+TEST(Laminar, BalancedTreeShape) {
+  LaminarSigma tree = LaminarSigma::balanced(8, 1);
+  // 8 leaves, 4+2+1 internal = 15 nodes.
+  EXPECT_EQ(tree.node_count(), 15u);
+  for (std::size_t e = 0; e < 8; ++e) {
+    EXPECT_TRUE(tree.contains(FiniteSet::singleton(8, e)));
+  }
+}
+
+TEST(Laminar, ExactlyOneMinimalIntervalPerWorld) {
+  // Ancestors are totally ordered, so the minimal interval to any target set
+  // is unique (contrast: rectangles had three in Figure 1).
+  LaminarSigma tree = LaminarSigma::balanced(16, 2);
+  auto sigma = std::make_shared<LaminarSigma>(tree);
+  IntervalOracle oracle(sigma, FiniteSet::universe(16));
+  Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    FiniteSet x = FiniteSet::random(16, rng, 0.3);
+    if (x.is_empty()) continue;
+    for (std::size_t w1 = 0; w1 < 16; ++w1) {
+      if (x.contains(w1)) continue;
+      EXPECT_EQ(oracle.minimal_intervals(w1, x).size(), 1u) << "w1=" << w1;
+    }
+  }
+}
+
+TEST(Laminar, IntervalSafetyMatchesDefinition) {
+  LaminarSigma tree = LaminarSigma::balanced(8, 1);
+  auto sigma = std::make_shared<LaminarSigma>(tree);
+  IntervalOracle oracle(sigma, FiniteSet::universe(8));
+  auto k = SecondLevelKnowledge::product(FiniteSet::universe(8), tree.enumerate());
+  Rng rng(7);
+  for (int t = 0; t < 60; ++t) {
+    FiniteSet a = FiniteSet::random(8, rng, 0.5);
+    FiniteSet b = FiniteSet::random(8, rng, 0.5);
+    EXPECT_EQ(oracle.safe_minimal_intervals(a, b), safe_possibilistic(k, a, b))
+        << "A=" << a.to_string() << " B=" << b.to_string();
+  }
+}
+
+TEST(Laminar, HospitalScenario) {
+  // Worlds = which of 6 patients the leaked record belongs to. The user is
+  // assumed to know the patient's ward (a hierarchy group). Disclosing
+  // "the record is not patient 0's" (B = complement of {0}) is safe for
+  // A = {1} iff ... check against the machinery.
+  LaminarSigma tree(6);
+  const auto ward_a = tree.add_group(LaminarSigma::kRoot, FiniteSet(6, {0, 1, 2}), "wardA");
+  tree.add_group(LaminarSigma::kRoot, FiniteSet(6, {3, 4, 5}), "wardB");
+  (void)ward_a;
+  auto sigma = std::make_shared<LaminarSigma>(tree);
+  IntervalOracle oracle(sigma, FiniteSet::universe(6));
+  const FiniteSet a(6, {1});
+  // B = "not patient 0": an agent who knows ward A = {0,1,2} is left with
+  // {1,2} — still not knowing A. Safe.
+  EXPECT_TRUE(oracle.safe_minimal_intervals(a, ~FiniteSet(6, {0})));
+  // B = "patient is 1 or 3": the ward-A agent is left with exactly {1} —
+  // learns A. Unsafe.
+  EXPECT_FALSE(oracle.safe_minimal_intervals(a, FiniteSet(6, {1, 3})));
+}
+
+TEST(ExactDistribution, ValidatesExactly) {
+  EXPECT_THROW(
+      ExactDistribution(1, {Rational(1, 2), Rational(1, 3)}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ExactDistribution(1, {Rational(3, 2), Rational(-1, 2)}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(ExactDistribution(1, {Rational(1, 3), Rational(2, 3)}));
+}
+
+TEST(ExactDistribution, UniformAndConditioning) {
+  WorldSet support(2, {0, 1, 3});
+  ExactDistribution d = ExactDistribution::uniform_on(support);
+  EXPECT_EQ(d.prob(World{0}), Rational(1, 3));
+  EXPECT_EQ(d.prob(World{2}), Rational(0));
+  WorldSet b(2, {1, 2, 3});
+  EXPECT_EQ(d.prob(b), Rational(2, 3));
+  ExactDistribution post = d.conditioned_on(b);
+  EXPECT_EQ(post.prob(World{1}), Rational(1, 2));
+  EXPECT_EQ(post.prob(World{0}), Rational(0));
+  EXPECT_THROW(d.conditioned_on(WorldSet(2, {2})), std::domain_error);
+}
+
+TEST(ExactDistribution, ProductGapExactlyZeroOnIndependentPair) {
+  // The whole point of the exact backend: independence gives gap EXACTLY 0.
+  std::vector<Rational> params = {Rational(1, 3), Rational(2, 7), Rational(1, 2)};
+  ExactDistribution d = ExactDistribution::product(params);
+  WorldSet bit0(3), bit1(3);
+  for (World w = 0; w < 8; ++w) {
+    if (world_bit(w, 0)) bit0.insert(w);
+    if (world_bit(w, 1)) bit1.insert(w);
+  }
+  EXPECT_EQ(d.safety_gap(bit0, bit1), Rational(0));
+  EXPECT_TRUE(d.is_log_supermodular());
+}
+
+TEST(ExactDistribution, Section11GapExact) {
+  // The Section 1.1 example computed exactly: with uniform prior,
+  // gap = P[AB] - P[A]P[B] = 1/4 - (1/2)(3/4) = -1/8.
+  ExactDistribution d = ExactDistribution::uniform_on(WorldSet::universe(2));
+  WorldSet a(2);
+  WorldSet b(2);
+  for (World w = 0; w < 4; ++w) {
+    if (world_bit(w, 0)) a.insert(w);
+    if (!world_bit(w, 0) || world_bit(w, 1)) b.insert(w);
+  }
+  EXPECT_EQ(d.safety_gap(a, b), Rational(-1, 8));
+  EXPECT_EQ(d.conditional(a, b), Rational(1, 3));
+}
+
+TEST(ExactDistribution, AgreesWithDoubleBackend) {
+  Rng rng(13);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<Rational> params;
+    for (int i = 0; i < 3; ++i) {
+      params.emplace_back(static_cast<std::int64_t>(rng.next_below(100)), 100);
+    }
+    ExactDistribution exact = ExactDistribution::product(params);
+    Distribution approx = exact.to_double();
+    WorldSet a = WorldSet::random(3, rng, 0.5);
+    WorldSet b = WorldSet::random(3, rng, 0.5);
+    EXPECT_NEAR(exact.safety_gap(a, b).to_double(), approx.safety_gap(a, b), 1e-9);
+  }
+}
+
+TEST(ExactDistribution, SupermodularWitnessIsExactlySupermodular) {
+  // Re-derive the Prop 5.2 witness exactly: uniform on a sublattice.
+  WorldSet support = WorldSet::from_strings(3, {"000", "100", "011", "111"});
+  ExactDistribution d = ExactDistribution::uniform_on(support);
+  EXPECT_TRUE(d.is_log_supermodular());
+  // P[AB](1 - P[AB]) with one support point in AB: 1/4 * 3/4 = 3/16.
+  WorldSet a = WorldSet::from_strings(3, {"100"});
+  EXPECT_EQ(d.safety_gap(a, a), Rational(3, 16));
+}
+
+}  // namespace
+}  // namespace epi

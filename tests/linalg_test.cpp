@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/least_squares.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace epi {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m.at(i, j) = 2.0 * rng.next_double() - 1.0;
+    }
+  }
+  return m;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix a = random_matrix(n, n, rng);
+  Matrix spd = a * a.transpose();
+  for (std::size_t i = 0; i < n; ++i) spd.at(i, i) += 0.5;
+  return spd;
+}
+
+TEST(VecOps, DotNormAxpy) {
+  Vec v{1, 2, 3}, w{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(v, w), 12.0);
+  EXPECT_DOUBLE_EQ(norm(Vec{3, 4}), 5.0);
+  Vec y{1, 1, 1};
+  axpy(2.0, v, y);
+  EXPECT_EQ(y, (Vec{3, 5, 7}));
+  EXPECT_THROW(dot(v, Vec{1}), std::invalid_argument);
+}
+
+TEST(Matrix, BasicOps) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix i = Matrix::identity(2);
+  Matrix prod = a * i;
+  EXPECT_DOUBLE_EQ(prod.at(1, 0), 3.0);
+  Matrix sum = a + a;
+  EXPECT_DOUBLE_EQ(sum.at(0, 1), 4.0);
+  Matrix diff = a - a;
+  EXPECT_DOUBLE_EQ(diff.frobenius_norm(), 0.0);
+  Matrix t = a.transpose();
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 3.0);
+  Vec mv = a * Vec{1, 1};
+  EXPECT_EQ(mv, (Vec{3, 7}));
+  EXPECT_FALSE(a.is_symmetric());
+  a.symmetrize();
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 2.5);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_NO_THROW(a + b);
+  EXPECT_THROW(a + Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Cholesky, FactorizesAndSolves) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5;
+    Matrix spd = random_spd(n, rng);
+    auto l = cholesky(spd);
+    ASSERT_TRUE(l.has_value());
+    // L L^T == A.
+    EXPECT_LT(((*l) * l->transpose() - spd).frobenius_norm(), 1e-9);
+    // Solve against a random rhs.
+    Vec b(n);
+    for (double& x : b) x = rng.next_double();
+    Vec x = cholesky_solve(*l, b);
+    Vec ax = spd * x;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(1, 1) = -1;
+  EXPECT_FALSE(cholesky(m).has_value());
+}
+
+TEST(Eigen, DiagonalizesRandomSymmetric) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6;
+    Matrix a = random_matrix(n, n, rng);
+    a.symmetrize();
+    EigenDecomposition d = jacobi_eigen(a);
+    // Ascending eigenvalues.
+    for (std::size_t i = 1; i < n; ++i) EXPECT_LE(d.values[i - 1], d.values[i] + 1e-12);
+    // Reconstruction V diag V^T = A.
+    Matrix recon(n, n);
+    for (std::size_t e = 0; e < n; ++e) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          recon.at(i, j) += d.values[e] * d.vectors.at(i, e) * d.vectors.at(j, e);
+        }
+      }
+    }
+    EXPECT_LT((recon - a).frobenius_norm(), 1e-8);
+    // Orthonormality.
+    Matrix vtv = d.vectors.transpose() * d.vectors;
+    EXPECT_LT((vtv - Matrix::identity(n)).frobenius_norm(), 1e-8);
+  }
+}
+
+TEST(Eigen, PsdProjection) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(1, 1) = -2;
+  Matrix p = project_psd(m);
+  EXPECT_NEAR(p.at(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(p.at(1, 1), 0.0, 1e-10);
+  EXPECT_TRUE(is_psd(p));
+  EXPECT_FALSE(is_psd(m));
+  EXPECT_NEAR(min_eigenvalue(m), -2.0, 1e-10);
+}
+
+TEST(Eigen, ProjectionIsIdempotentAndClosest) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix a = random_matrix(5, 5, rng);
+    a.symmetrize();
+    Matrix p = project_psd(a);
+    EXPECT_TRUE(is_psd(p, 1e-8));
+    EXPECT_LT((project_psd(p) - p).frobenius_norm(), 1e-8);
+    // Projection of a PSD matrix is itself.
+    Matrix spd = random_spd(5, rng);
+    EXPECT_LT((project_psd(spd) - spd).frobenius_norm(), 1e-8);
+  }
+}
+
+TEST(LeastSquares, RecoversExactSolution) {
+  Rng rng(4);
+  Matrix a = random_matrix(6, 3, rng);
+  Vec x_true{1.0, -2.0, 0.5};
+  Vec b = a * x_true;
+  Vec x = solve_least_squares(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-6);
+}
+
+TEST(LeastSquares, MinNormSolvesUnderdetermined) {
+  Rng rng(5);
+  Matrix a = random_matrix(2, 5, rng);
+  Vec b{1.0, -1.0};
+  Vec x = solve_min_norm(a, b);
+  Vec ax = a * x;
+  EXPECT_NEAR(ax[0], 1.0, 1e-6);
+  EXPECT_NEAR(ax[1], -1.0, 1e-6);
+}
+
+TEST(AffineProjector, ProjectsOntoSubspace) {
+  Rng rng(6);
+  Matrix a = random_matrix(3, 8, rng);
+  Vec x0(8);
+  for (double& v : x0) v = rng.next_double();
+  Vec b = a * Vec(8, 0.25);  // consistent rhs
+  AffineProjector proj(a, b);
+  Vec x = proj.project(x0);
+  EXPECT_LT(proj.residual(x), 1e-6);
+  // Projection is idempotent.
+  Vec x2 = proj.project(x);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x2[i], 1e-8);
+  // Fixes points already in the subspace.
+  Vec inside = proj.project(Vec(8, 0.0));
+  Vec again = proj.project(inside);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(inside[i], again[i], 1e-8);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,132 @@
+// Tests for the online (proactive) auditing extension: the denial-leak
+// pitfall of the introduction, and the simulatable strategy that avoids it.
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+
+namespace epi {
+namespace {
+
+// The introduction's scenario on a single record: A = {1} ("HIV-positive").
+// Alice repeatedly asks the direct query {1}.
+TEST(Online, TruthfulWhenSafeLeaksThroughDenial) {
+  const unsigned n = 1;
+  const WorldSet a(n, {1});
+  // Bob is HIV-positive (world 1). The truthful answer "yes" would reveal A,
+  // so the strategy denies — but a strategy-aware agent infers world 1.
+  OnlineAuditSession session(a, /*actual=*/1, OnlineStrategy::kTruthfulWhenSafe);
+  const OnlineResponse r = session.ask(a);
+  EXPECT_TRUE(r.denied);
+  EXPECT_TRUE(session.agent_knows_sensitive()) << "the denial leaked A";
+}
+
+TEST(Online, TruthfulWhenSafeAnswersWhenNegative) {
+  const unsigned n = 1;
+  const WorldSet a(n, {1});
+  // Bob is negative: the answer "no" discloses the complement of A, which is
+  // never protected (the paper's asymmetry) — so the strategy answers...
+  OnlineAuditSession session(a, /*actual=*/0, OnlineStrategy::kTruthfulWhenSafe);
+  const OnlineResponse r = session.ask(a);
+  EXPECT_FALSE(r.denied);
+  EXPECT_FALSE(r.answer);
+  EXPECT_FALSE(session.agent_knows_sensitive());
+  // ...which is exactly why the denial in the positive case is informative.
+}
+
+TEST(Online, SimulatableDeniesIndependentlyOfActualWorld) {
+  const unsigned n = 1;
+  const WorldSet a(n, {1});
+  for (World actual : {World{0}, World{1}}) {
+    OnlineAuditSession session(a, actual, OnlineStrategy::kSimulatable);
+    const OnlineResponse r = session.ask(a);
+    // Some possible world (world 1) would force a revealing answer, so the
+    // simulatable strategy denies in BOTH worlds.
+    EXPECT_TRUE(r.denied) << "actual=" << actual;
+    // And the denial teaches the agent nothing.
+    EXPECT_TRUE(session.agent_knowledge().is_universe());
+    EXPECT_FALSE(session.agent_knows_sensitive());
+  }
+}
+
+TEST(Online, SimulatableAnswersHarmlessQueries) {
+  const unsigned n = 2;
+  WorldSet a(n);
+  for (World w = 0; w < 4; ++w) {
+    if (world_bit(w, 0)) a.insert(w);  // A = "record 0 present"
+  }
+  WorldSet other(n);
+  for (World w = 0; w < 4; ++w) {
+    if (world_bit(w, 1)) other.insert(w);  // query about record 1 only
+  }
+  OnlineAuditSession session(a, /*actual=*/0b11, OnlineStrategy::kSimulatable);
+  const OnlineResponse r = session.ask(other);
+  EXPECT_FALSE(r.denied);
+  EXPECT_TRUE(r.answer);
+  EXPECT_FALSE(session.agent_knows_sensitive());
+}
+
+TEST(Online, SimulatableNeverRevealsAcrossRandomStreams) {
+  // Property: under the simulatable strategy, across random query streams
+  // and random actual worlds, the strategy-aware agent never learns A.
+  Rng rng(2024);
+  const unsigned n = 3;
+  for (int scenario = 0; scenario < 60; ++scenario) {
+    WorldSet a = WorldSet::random(n, rng, 0.4);
+    if (a.is_empty() || a.is_universe()) continue;
+    const World actual = static_cast<World>(rng.next_bits(n));
+    OnlineAuditSession session(a, actual, OnlineStrategy::kSimulatable);
+    for (int q = 0; q < 8; ++q) {
+      WorldSet query = WorldSet::random(n, rng, 0.5);
+      session.ask(query);
+      ASSERT_FALSE(session.agent_knows_sensitive())
+          << "A=" << a.to_string() << " actual=" << actual << " q=" << q;
+      // The actual world must always remain possible for the agent
+      // (knowledge, not belief — Section 2).
+      ASSERT_TRUE(session.agent_knowledge().contains(actual));
+    }
+  }
+}
+
+TEST(Online, TruthfulWhenSafeLeaksOnSomeStream) {
+  // Contrast property: the leaky strategy does reveal A on some stream.
+  Rng rng(2025);
+  const unsigned n = 3;
+  int leaks = 0;
+  for (int scenario = 0; scenario < 60; ++scenario) {
+    WorldSet a = WorldSet::random(n, rng, 0.4);
+    if (a.is_empty() || a.is_universe()) continue;
+    // Pick an actual world inside A so there is something to leak.
+    if ((a).is_empty()) continue;
+    const World actual = a.min_world();
+    OnlineAuditSession session(a, actual, OnlineStrategy::kTruthfulWhenSafe);
+    for (int q = 0; q < 8 && !session.agent_knows_sensitive(); ++q) {
+      session.ask(WorldSet::random(n, rng, 0.5));
+    }
+    leaks += session.agent_knows_sensitive();
+  }
+  EXPECT_GT(leaks, 0);
+}
+
+TEST(Online, DenialCountTracked) {
+  const unsigned n = 1;
+  const WorldSet a(n, {1});
+  OnlineAuditSession session(a, 1, OnlineStrategy::kSimulatable);
+  session.ask(a);
+  session.ask(a);
+  EXPECT_EQ(session.denials(), 2);
+}
+
+TEST(Online, RejectsMismatchedQuery) {
+  OnlineAuditSession session(WorldSet(2, {1}), 0, OnlineStrategy::kSimulatable);
+  EXPECT_THROW(session.ask(WorldSet(3)), std::invalid_argument);
+  EXPECT_THROW(OnlineAuditSession(WorldSet(1, {1}), 5, OnlineStrategy::kSimulatable),
+               std::invalid_argument);
+}
+
+TEST(Online, StrategyNames) {
+  EXPECT_EQ(to_string(OnlineStrategy::kTruthfulWhenSafe), "truthful-when-safe");
+  EXPECT_EQ(to_string(OnlineStrategy::kSimulatable), "simulatable");
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,85 @@
+// Tests for the auditor's database knowledge C gating the interval
+// machinery (the C in K = C (x) Sigma): intervals exist only from worlds the
+// auditor considers possible, and richer C means stricter audits.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "possibilistic/intervals.h"
+#include "possibilistic/knowledge.h"
+#include "possibilistic/rectangles.h"
+#include "possibilistic/safe.h"
+
+namespace epi {
+namespace {
+
+TEST(OracleC, IntervalsRequireWorldInC) {
+  GridDomain g(4, 3);
+  auto sigma = std::make_shared<RectangleSigma>(g);
+  FiniteSet c = FiniteSet::singleton(g.size(), g.index(1, 1));
+  IntervalOracle oracle(sigma, c);
+  EXPECT_TRUE(oracle.interval(g.index(1, 1), g.index(3, 2)).has_value());
+  EXPECT_FALSE(oracle.interval(g.index(2, 2), g.index(3, 2)).has_value());
+}
+
+TEST(OracleC, SmallerCIsMorePermissive) {
+  // Remark 3.2 in the C dimension: shrinking C (more auditor knowledge)
+  // discards knowledge worlds, so every disclosure safe under a larger C
+  // stays safe under a smaller one.
+  GridDomain g(5, 4);
+  auto sigma = std::make_shared<RectangleSigma>(g);
+  Rng rng(3);
+  for (int t = 0; t < 40; ++t) {
+    FiniteSet big_c = FiniteSet::random(g.size(), rng, 0.8);
+    if (big_c.is_empty()) big_c.insert(0);
+    FiniteSet small_c = big_c;
+    // Drop roughly half of big C (keep at least one world).
+    big_c.for_each([&](std::size_t w) {
+      if (rng.next_bool() && small_c.count() > 1) small_c.erase(w);
+    });
+    IntervalOracle big(sigma, big_c);
+    IntervalOracle small(sigma, small_c);
+    FiniteSet a = FiniteSet::random(g.size(), rng, 0.5);
+    FiniteSet b = FiniteSet::random(g.size(), rng, 0.5);
+    if (big.safe_minimal_intervals(a, b)) {
+      EXPECT_TRUE(small.safe_minimal_intervals(a, b)) << "trial " << t;
+    }
+  }
+}
+
+TEST(OracleC, MatchesDefinitionWithRestrictedC) {
+  GridDomain g(4, 3);
+  auto sigma = std::make_shared<RectangleSigma>(g);
+  Rng rng(5);
+  for (int t = 0; t < 40; ++t) {
+    FiniteSet c = FiniteSet::random(g.size(), rng, 0.4);
+    if (c.is_empty()) c.insert(rng.next_below(g.size()));
+    IntervalOracle oracle(sigma, c);
+    auto k = SecondLevelKnowledge::product(c, sigma->enumerate());
+    FiniteSet a = FiniteSet::random(g.size(), rng, 0.5);
+    FiniteSet b = FiniteSet::random(g.size(), rng, 0.5);
+    EXPECT_EQ(oracle.safe_minimal_intervals(a, b), safe_possibilistic(k, a, b))
+        << "trial " << t << " C=" << c.to_string();
+  }
+}
+
+TEST(OracleC, KnownWorldAudit) {
+  // The auditor who reconstructed omega* from update logs uses C = {omega*}:
+  // only that world's intervals matter (Figure 1's "assuming omega* =
+  // omega_1" reading).
+  GridDomain g(6, 4);
+  auto sigma = std::make_shared<RectangleSigma>(g);
+  const std::size_t actual = g.index(2, 2);
+  IntervalOracle oracle(sigma, FiniteSet::singleton(g.size(), actual));
+  FiniteSet a = ~g.rectangle(5, 3, 6, 4);  // sensitive: NOT in the corner
+  // B containing the actual world and one complement world adjacent enough.
+  FiniteSet b(g.size(), {actual, g.index(5, 3)});
+  // Minimal intervals only from `actual`; the verdict is definite either way.
+  const bool safe = oracle.safe_minimal_intervals(a, b);
+  auto k = SecondLevelKnowledge::product(FiniteSet::singleton(g.size(), actual),
+                                         sigma->enumerate());
+  EXPECT_EQ(safe, safe_possibilistic(k, a, b));
+}
+
+}  // namespace
+}  // namespace epi

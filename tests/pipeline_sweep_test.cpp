@@ -1,0 +1,91 @@
+// Parameterized cross-validation sweep: the staged combinatorial pipeline,
+// the numeric optimizer and (at n <= 3) dense-grid ground truth must agree
+// across dimensions and set densities. This is the suite that would catch a
+// soundness regression in any single criterion.
+#include <gtest/gtest.h>
+
+#include "criteria/pipeline.h"
+#include "optimize/coordinate_ascent.h"
+#include "probabilistic/modularity.h"
+
+namespace epi {
+namespace {
+
+struct SweepParam {
+  unsigned n;
+  double density;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, ProductPipelineNeverContradictsOptimizer) {
+  const auto [n, density] = GetParam();
+  Rng rng(1000 + n * 31 + static_cast<unsigned>(density * 100));
+  int definite = 0;
+  for (int t = 0; t < 60; ++t) {
+    WorldSet a = WorldSet::random(n, rng, density);
+    WorldSet b = WorldSet::random(n, rng, density);
+    const PipelineResult pipeline = decide_product_safety(a, b);
+    if (pipeline.verdict == Verdict::kUnknown) continue;
+    ++definite;
+    AscentOptions opts;
+    opts.seed = 5000 + t;
+    const double gap = maximize_product_gap(a, b, opts).max_gap;
+    if (pipeline.verdict == Verdict::kSafe) {
+      EXPECT_LE(gap, 1e-9) << "criterion=" << pipeline.criterion
+                           << " A=" << a.to_string() << " B=" << b.to_string();
+    } else {
+      ASSERT_TRUE(pipeline.witness_product.has_value());
+      EXPECT_GT(pipeline.witness_product->safety_gap(a, b), 0.0)
+          << "criterion=" << pipeline.criterion;
+    }
+  }
+  EXPECT_GT(definite, 10);
+}
+
+TEST_P(PipelineSweep, SupermodularVerdictsConsistentWithSampledIsingPriors) {
+  const auto [n, density] = GetParam();
+  Rng rng(2000 + n * 37 + static_cast<unsigned>(density * 100));
+  for (int t = 0; t < 40; ++t) {
+    WorldSet a = WorldSet::random(n, rng, density);
+    WorldSet b = WorldSet::random(n, rng, density);
+    const PipelineResult r = decide_supermodular_safety(a, b);
+    if (r.verdict != Verdict::kSafe) continue;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_LE(random_log_supermodular(n, rng).safety_gap(a, b), 1e-9)
+          << "criterion=" << r.criterion;
+    }
+  }
+}
+
+TEST_P(PipelineSweep, UnsafeVerdictsAgreeAcrossFamilies) {
+  // Family inclusion Pi_m0 ⊆ Pi_m+ ⊆ all: unsafe-for-smaller implies
+  // unsafe-for-larger can NOT be asserted (inclusion points the other way);
+  // what must hold: safe under a LARGER family forces safe under smaller.
+  const auto [n, density] = GetParam();
+  Rng rng(3000 + n * 41 + static_cast<unsigned>(density * 100));
+  for (int t = 0; t < 60; ++t) {
+    WorldSet a = WorldSet::random(n, rng, density);
+    WorldSet b = WorldSet::random(n, rng, density);
+    if (decide_unrestricted_safety(a, b).verdict == Verdict::kSafe) {
+      EXPECT_NE(decide_supermodular_safety(a, b).verdict, Verdict::kUnsafe);
+      EXPECT_NE(decide_product_safety(a, b).verdict, Verdict::kUnsafe);
+    }
+    if (decide_supermodular_safety(a, b).verdict == Verdict::kSafe) {
+      EXPECT_NE(decide_product_safety(a, b).verdict, Verdict::kUnsafe)
+          << " A=" << a.to_string() << " B=" << b.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineSweep,
+    ::testing::Values(SweepParam{2, 0.5}, SweepParam{3, 0.3}, SweepParam{3, 0.5},
+                      SweepParam{4, 0.2}, SweepParam{4, 0.5}, SweepParam{5, 0.4}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "n" + std::to_string(info.param.n) + "_d" +
+             std::to_string(static_cast<int>(info.param.density * 100));
+    });
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "possibilistic/knowledge.h"
+#include "possibilistic/safe.h"
+#include "possibilistic/sigma_family.h"
+#include "worlds/finite_set.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace {
+
+TEST(FiniteSet, Basics) {
+  FiniteSet s(10, {1, 4, 9});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(5));
+  s.erase(4);
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.min_element(), 1u);
+  EXPECT_THROW(FiniteSet(0), std::invalid_argument);
+  EXPECT_THROW(s.insert(10), std::out_of_range);
+}
+
+TEST(FiniteSet, Algebra) {
+  FiniteSet a(6, {0, 1, 2});
+  FiniteSet b(6, {2, 3});
+  EXPECT_EQ((a & b), FiniteSet(6, {2}));
+  EXPECT_EQ((a | b), FiniteSet(6, {0, 1, 2, 3}));
+  EXPECT_EQ((a - b), FiniteSet(6, {0, 1}));
+  EXPECT_EQ((a ^ b), FiniteSet(6, {0, 1, 3}));
+  EXPECT_EQ((~a), FiniteSet(6, {3, 4, 5}));
+  EXPECT_TRUE(FiniteSet(6, {1}).subset_of(a));
+  EXPECT_TRUE(a.disjoint_with(FiniteSet(6, {4, 5})));
+  EXPECT_TRUE(FiniteSet::universe(6).is_universe());
+}
+
+TEST(FiniteSet, LargeUniverse) {
+  FiniteSet s(200);
+  s.insert(130);
+  s.insert(64);
+  EXPECT_EQ(s.to_vector(), (std::vector<std::size_t>{64, 130}));
+  EXPECT_EQ((~s).count(), 198u);
+}
+
+TEST(FiniteSet, WorldSetConversion) {
+  WorldSet ws(3, {1, 5});
+  FiniteSet fs = to_finite(ws);
+  EXPECT_EQ(fs.universe_size(), 8u);
+  EXPECT_TRUE(fs.contains(1));
+  EXPECT_TRUE(fs.contains(5));
+  EXPECT_EQ(to_world_set(fs, 3), ws);
+  EXPECT_THROW(to_world_set(FiniteSet(7), 3), std::invalid_argument);
+}
+
+TEST(KnowledgeWorld, ConsistencyEnforced) {
+  // Remark 2.3: pairs with world not in knowledge are inconsistent.
+  EXPECT_NO_THROW(KnowledgeWorld(1, FiniteSet(4, {1, 2})));
+  EXPECT_THROW(KnowledgeWorld(0, FiniteSet(4, {1, 2})), std::invalid_argument);
+}
+
+TEST(SecondLevelKnowledge, ProductExcludesInconsistentPairs) {
+  // Definition 2.5: C (x) Sigma keeps only pairs with omega in S.
+  FiniteSet c(4, {0, 1});
+  std::vector<FiniteSet> sigma = {FiniteSet(4, {1, 2}), FiniteSet(4, {0, 1, 3})};
+  auto k = SecondLevelKnowledge::product(c, sigma);
+  EXPECT_EQ(k.size(), 3u);  // (1,{1,2}), (0,{0,1,3}), (1,{0,1,3})
+  EXPECT_TRUE(k.contains(1, sigma[0]));
+  EXPECT_TRUE(k.contains(0, sigma[1]));
+  EXPECT_TRUE(k.contains(1, sigma[1]));
+  EXPECT_FALSE(k.contains(0, sigma[0]));
+  EXPECT_EQ(k.world_projection(), FiniteSet(4, {0, 1}));
+}
+
+TEST(SecondLevelKnowledge, FullOmegaPoss) {
+  auto k = SecondLevelKnowledge::full(3);
+  // sum over subsets S of |S| = 3 * 2^(3-1) = 12 consistent pairs.
+  EXPECT_EQ(k.size(), 12u);
+  EXPECT_TRUE(k.is_intersection_closed());
+  EXPECT_THROW(SecondLevelKnowledge::full(17), std::invalid_argument);
+}
+
+TEST(SecondLevelKnowledge, IntersectionClosure) {
+  SecondLevelKnowledge k(4);
+  k.add(1, FiniteSet(4, {1, 2}));
+  k.add(1, FiniteSet(4, {1, 3}));
+  EXPECT_FALSE(k.is_intersection_closed());
+  auto closed = k.intersection_closure();
+  EXPECT_TRUE(closed.is_intersection_closed());
+  EXPECT_TRUE(closed.contains(1, FiniteSet(4, {1})));
+  EXPECT_EQ(closed.size(), 3u);
+}
+
+TEST(SecondLevelKnowledge, PreservingDefinition) {
+  // B is K-preserving iff conditioning keeps pairs inside K (Def. 3.9).
+  SecondLevelKnowledge k(3);
+  k.add(0, FiniteSet(3, {0, 1, 2}));
+  k.add(0, FiniteSet(3, {0, 1}));
+  FiniteSet b1(3, {0, 1});
+  EXPECT_TRUE(k.is_preserving(b1));  // {0,1,2} ∩ B = {0,1} in K; {0,1} ∩ B in K
+  FiniteSet b2(3, {0, 2});
+  EXPECT_FALSE(k.is_preserving(b2));  // {0,1,2} ∩ B = {0,2} not in K
+  FiniteSet b3(3, {1, 2});
+  EXPECT_TRUE(k.is_preserving(b3));  // no pair has world in B
+}
+
+TEST(SafePossibilistic, Definition31Direct) {
+  // Omega = {0,1,2,3}; agent with S = {0,1} learns A = {0} from B = {0,2}
+  // because S ∩ B = {0} ⊆ A but S ⊄ A.
+  SecondLevelKnowledge k(4);
+  k.add(0, FiniteSet(4, {0, 1}));
+  FiniteSet a(4, {0});
+  FiniteSet b(4, {0, 2});
+  EXPECT_FALSE(safe_possibilistic(k, a, b));
+  auto violation = find_possibilistic_violation(k, a, b);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->world, 0u);
+
+  // If the agent already knew A, there is no gain: S = {0}.
+  SecondLevelKnowledge k2(4);
+  k2.add(0, FiniteSet(4, {0}));
+  EXPECT_TRUE(safe_possibilistic(k2, a, b));
+
+  // If the world is outside B the pair is discarded.
+  SecondLevelKnowledge k3(4);
+  k3.add(1, FiniteSet(4, {0, 1}));
+  EXPECT_TRUE(safe_possibilistic(k3, a, b));
+}
+
+TEST(SafePossibilistic, MonotoneInK) {
+  // Remark 3.2: Safe_K and K' ⊆ K imply Safe_K'.
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    SecondLevelKnowledge k(5);
+    for (int p = 0; p < 6; ++p) {
+      FiniteSet s = FiniteSet::random(5, rng, 0.5);
+      if (s.is_empty()) continue;
+      // pick a world inside s
+      auto v = s.to_vector();
+      k.add(v[rng.next_below(v.size())], s);
+    }
+    if (k.empty()) continue;
+    FiniteSet a = FiniteSet::random(5, rng, 0.5);
+    FiniteSet b = FiniteSet::random(5, rng, 0.5);
+    if (!safe_possibilistic(k, a, b)) continue;
+    // any sub-K must also be safe
+    SecondLevelKnowledge sub(5);
+    for (std::size_t i = 0; i < k.size(); i += 2) {
+      sub.add(k.pairs()[i].world, k.pairs()[i].knowledge);
+    }
+    EXPECT_TRUE(safe_possibilistic(sub, a, b));
+  }
+}
+
+TEST(SafeCSigma, AgreesWithProductForm) {
+  // Proposition 3.3: the (C, Sigma) form equals Def. 3.1 on C (x) Sigma.
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t m = 5;
+    FiniteSet c = FiniteSet::random(m, rng, 0.7);
+    if (c.is_empty()) c.insert(0);
+    std::vector<FiniteSet> sigma;
+    for (int i = 0; i < 4; ++i) {
+      FiniteSet s = FiniteSet::random(m, rng, 0.5);
+      if (!s.is_empty()) sigma.push_back(s);
+    }
+    if (sigma.empty()) continue;
+    FiniteSet a = FiniteSet::random(m, rng, 0.5);
+    FiniteSet b = FiniteSet::random(m, rng, 0.6);
+    auto k = SecondLevelKnowledge::product(c, sigma);
+    ExplicitSigma family(sigma);
+    EXPECT_EQ(safe_possibilistic(k, a, b), safe_c_sigma(c, family, a, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(Composition, Proposition310) {
+  // If B1, B2 are safe and at least one is K-preserving, B1 ∩ B2 is safe;
+  // and intersections of preserving sets are preserving.
+  Rng rng(31);
+  int checked = 0;
+  for (int trial = 0; trial < 500 && checked < 50; ++trial) {
+    const std::size_t m = 5;
+    SecondLevelKnowledge k(m);
+    for (int p = 0; p < 5; ++p) {
+      FiniteSet s = FiniteSet::random(m, rng, 0.5);
+      if (s.is_empty()) continue;
+      auto v = s.to_vector();
+      k.add(v[rng.next_below(v.size())], s);
+    }
+    if (k.empty()) continue;
+    FiniteSet a = FiniteSet::random(m, rng, 0.4);
+    FiniteSet b1 = FiniteSet::random(m, rng, 0.6);
+    FiniteSet b2 = FiniteSet::random(m, rng, 0.6);
+    if (!k.is_preserving(b1) && !k.is_preserving(b2)) continue;
+    if (k.is_preserving(b1) && k.is_preserving(b2)) {
+      EXPECT_TRUE(k.is_preserving(b1 & b2));
+    }
+    if (!safe_possibilistic(k, a, b1) || !safe_possibilistic(k, a, b2)) continue;
+    EXPECT_TRUE(safe_possibilistic(k, a, b1 & b2)) << "trial " << trial;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(UnrestrictedPrior, Theorem311Possibilistic) {
+  // Safe over Omega_poss iff A ∩ B = {} or A ∪ B = Omega — checked
+  // exhaustively against Def. 3.1 on the full Omega_poss for m = 3.
+  const std::size_t m = 3;
+  auto full = SecondLevelKnowledge::full(m);
+  for (std::size_t am = 0; am < 8; ++am) {
+    for (std::size_t bm = 1; bm < 8; ++bm) {  // B non-empty (B is disclosed truth)
+      FiniteSet a(m), b(m);
+      for (std::size_t e = 0; e < m; ++e) {
+        if ((am >> e) & 1) a.insert(e);
+        if ((bm >> e) & 1) b.insert(e);
+      }
+      EXPECT_EQ(safe_possibilistic(full, a, b), safe_unrestricted(a, b))
+          << "A=" << a.to_string() << " B=" << b.to_string();
+    }
+  }
+}
+
+TEST(UnrestrictedPrior, Theorem311KnownWorldPossibilistic) {
+  // Safe over {omega*} (x) P(Omega) iff A∩B={}, A∪B=Omega, or omega* in B-A.
+  const std::size_t m = 3;
+  PowerSetSigma power(m);
+  for (std::size_t am = 0; am < 8; ++am) {
+    for (std::size_t bm = 1; bm < 8; ++bm) {
+      FiniteSet a(m), b(m);
+      for (std::size_t e = 0; e < m; ++e) {
+        if ((am >> e) & 1) a.insert(e);
+        if ((bm >> e) & 1) b.insert(e);
+      }
+      b.for_each([&](std::size_t actual) {  // omega* must satisfy B
+        FiniteSet c = FiniteSet::singleton(m, actual);
+        auto k = SecondLevelKnowledge::product(c, power.enumerate());
+        EXPECT_EQ(safe_possibilistic(k, a, b),
+                  safe_unrestricted_known_world(a, b, actual))
+            << "A=" << a.to_string() << " B=" << b.to_string() << " w=" << actual;
+      });
+    }
+  }
+}
+
+TEST(ExplicitSigma, IntersectionClosureAndIntervals) {
+  std::vector<FiniteSet> sets = {FiniteSet(4, {0, 1, 2}), FiniteSet(4, {1, 2, 3})};
+  ExplicitSigma sigma(sets);
+  EXPECT_FALSE(sigma.is_intersection_closed());
+  ExplicitSigma closed = sigma.intersection_closure();
+  EXPECT_TRUE(closed.is_intersection_closed());
+  EXPECT_TRUE(closed.contains(FiniteSet(4, {1, 2})));
+  auto iv = closed.interval(1, 2);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(*iv, FiniteSet(4, {1, 2}));
+  EXPECT_FALSE(closed.interval(0, 3).has_value() &&
+               closed.contains(*closed.interval(0, 3)));
+}
+
+TEST(PowerSetSigma, IntervalsAreSingletonPairs) {
+  PowerSetSigma sigma(5);
+  auto iv = sigma.interval(1, 3);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(*iv, FiniteSet(5, {1, 3}));
+  EXPECT_EQ(sigma.enumerate().size(), 31u);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,247 @@
+// Cross-module property tests of the privacy semantics: invariances of the
+// criteria, composition laws, liftability, and agreement between independent
+// implementations of the same predicate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "criteria/box_necessary.h"
+#include "criteria/cancellation.h"
+#include "criteria/miklau_suciu.h"
+#include "criteria/monotonicity.h"
+#include "optimize/coordinate_ascent.h"
+#include "probabilistic/family.h"
+#include "probabilistic/modularity.h"
+#include "probabilistic/safe.h"
+
+namespace epi {
+namespace {
+
+// The product-prior family is closed under XOR relabelings of the world
+// space (p_i <-> 1 - p_i), so every product-safety notion and criterion must
+// be mask-invariant.
+class MaskInvariance : public ::testing::TestWithParam<unsigned> {
+ protected:
+  unsigned n() const { return GetParam(); }
+};
+
+TEST_P(MaskInvariance, CancellationCriterion) {
+  Rng rng(42 + n());
+  for (int t = 0; t < 40; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    WorldSet b = WorldSet::random(n(), rng, 0.5);
+    const World mask = static_cast<World>(rng.next_bits(n()));
+    EXPECT_EQ(cancellation_criterion(a, b).holds,
+              cancellation_criterion(a.xor_with(mask), b.xor_with(mask)).holds)
+        << "A=" << a.to_string() << " B=" << b.to_string() << " z=" << mask;
+  }
+}
+
+TEST_P(MaskInvariance, BoxNecessaryCriterion) {
+  Rng rng(43 + n());
+  for (int t = 0; t < 40; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    WorldSet b = WorldSet::random(n(), rng, 0.5);
+    const World mask = static_cast<World>(rng.next_bits(n()));
+    EXPECT_EQ(box_necessary_criterion(a, b).holds,
+              box_necessary_criterion(a.xor_with(mask), b.xor_with(mask)).holds);
+  }
+}
+
+TEST_P(MaskInvariance, MiklauSuciuAndMonotonicity) {
+  Rng rng(44 + n());
+  for (int t = 0; t < 40; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    WorldSet b = WorldSet::random(n(), rng, 0.5);
+    const World mask = static_cast<World>(rng.next_bits(n()));
+    EXPECT_EQ(miklau_suciu_independent(a, b),
+              miklau_suciu_independent(a.xor_with(mask), b.xor_with(mask)));
+    EXPECT_EQ(monotonicity_criterion(a, b),
+              monotonicity_criterion(a.xor_with(mask), b.xor_with(mask)));
+  }
+}
+
+TEST_P(MaskInvariance, NumericGap) {
+  Rng rng(45 + n());
+  for (int t = 0; t < 8; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    WorldSet b = WorldSet::random(n(), rng, 0.5);
+    const World mask = static_cast<World>(rng.next_bits(n()));
+    AscentOptions opts;
+    opts.seed = 7000 + t;
+    const double g1 = maximize_product_gap(a, b, opts).max_gap;
+    const double g2 =
+        maximize_product_gap(a.xor_with(mask), b.xor_with(mask), opts).max_gap;
+    EXPECT_NEAR(g1, g2, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllN, MaskInvariance, ::testing::Values(2u, 3u, 4u));
+
+// Criteria are symmetric under swapping A and B where the paper's algebra
+// is: the gap P[AB] - P[A]P[B] is symmetric, so exact safety, cancellation
+// counts and box counts all are.
+TEST(Symmetry, GapAndCriteriaSymmetricInAB) {
+  Rng rng(77);
+  const unsigned n = 4;
+  for (int t = 0; t < 40; ++t) {
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.5);
+    EXPECT_EQ(cancellation_criterion(a, b).holds, cancellation_criterion(b, a).holds);
+    EXPECT_EQ(box_necessary_criterion(a, b).holds, box_necessary_criterion(b, a).holds);
+    EXPECT_EQ(miklau_suciu_independent(a, b), miklau_suciu_independent(b, a));
+    auto p = ProductDistribution::random(n, rng);
+    EXPECT_NEAR(p.safety_gap(a, b), p.safety_gap(b, a), 1e-12);
+  }
+}
+
+// Proposition 3.10 (probabilistic): B1, B2 individually safe and one of them
+// K-preserving implies B1 ∩ B2 safe.
+TEST(Composition, Proposition310Probabilistic) {
+  Rng rng(88);
+  const unsigned n = 3;
+  int exercised = 0;
+  for (int t = 0; t < 400 && exercised < 30; ++t) {
+    // Build K closed under conditioning on B1 to make B1 K-preserving.
+    WorldSet b1 = WorldSet::random(n, rng, 0.7);
+    WorldSet b2 = WorldSet::random(n, rng, 0.7);
+    if (b1.is_empty() || b2.is_empty() || (b1 & b2).is_empty()) continue;
+    Distribution base = Distribution::random(n, rng);
+    std::vector<Distribution> pi = {base, base.conditioned_on(b1)};
+    auto k = ProbSecondLevelKnowledge::product(WorldSet::universe(n), pi);
+    if (!k.is_preserving(b1)) continue;
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    if (!safe_probabilistic(k, a, b1) || !safe_probabilistic(k, a, b2)) continue;
+    ++exercised;
+    EXPECT_TRUE(safe_probabilistic(k, a, b1 & b2))
+        << "A=" << a.to_string() << " B1=" << b1.to_string()
+        << " B2=" << b2.to_string();
+  }
+  EXPECT_GT(exercised, 5);
+}
+
+// Remark 3.5: Safe is antitone in K (probabilistic).
+TEST(Monotone, SafeAntitoneInProbabilisticK) {
+  Rng rng(99);
+  const unsigned n = 3;
+  for (int t = 0; t < 50; ++t) {
+    std::vector<Distribution> pi;
+    for (int i = 0; i < 5; ++i) pi.push_back(Distribution::random(n, rng));
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.6);
+    if (b.is_empty()) continue;
+    auto k = ProbSecondLevelKnowledge::product(WorldSet::universe(n), pi);
+    if (!safe_probabilistic(k, a, b)) continue;
+    // Any sub-K stays safe.
+    ProbSecondLevelKnowledge sub(n);
+    for (std::size_t i = 0; i < k.size(); i += 2) {
+      sub.add(k.pairs()[i].world, k.pairs()[i].prior);
+    }
+    EXPECT_TRUE(safe_probabilistic(sub, a, b));
+  }
+}
+
+// Proposition 3.8 / Definition 3.7: the product family is Omega-liftable —
+// any product prior with P(w) = 0 has arbitrarily close product priors with
+// P(w) > 0 (clamp the Bernoulli parameters away from {0,1}).
+TEST(Liftability, ProductFamilyIsLiftable) {
+  Rng rng(111);
+  const unsigned n = 4;
+  for (int t = 0; t < 30; ++t) {
+    // A degenerate product prior.
+    std::vector<double> params(n);
+    for (double& p : params) {
+      const double r = rng.next_double();
+      p = r < 0.3 ? 0.0 : (r < 0.6 ? 1.0 : r);
+    }
+    const ProductDistribution degenerate(params);
+    const World w = static_cast<World>(rng.next_bits(n));
+    if (degenerate.prob(w) > 0.0) continue;
+    for (double eps : {1e-3, 1e-6, 1e-9}) {
+      std::vector<double> lifted = params;
+      for (double& p : lifted) p = std::clamp(p, eps, 1.0 - eps);
+      const ProductDistribution close(lifted);
+      EXPECT_GT(close.prob(w), 0.0);
+      double linf = 0.0;
+      const std::size_t size = std::size_t{1} << n;
+      for (World v = 0; v < size; ++v) {
+        linf = std::max(linf, std::abs(close.prob(v) - degenerate.prob(v)));
+      }
+      EXPECT_LT(linf, 8 * eps);  // within O(n * eps) of the original
+    }
+  }
+}
+
+// Conditioning semantics (Section 3.3): support containment, normalization,
+// and the chain rule P(.|B1)(.|B2) = P(.|B1 ∩ B2).
+TEST(Conditioning, ChainRule) {
+  Rng rng(123);
+  const unsigned n = 3;
+  for (int t = 0; t < 30; ++t) {
+    Distribution p = Distribution::random(n, rng);
+    WorldSet b1 = WorldSet::random(n, rng, 0.7);
+    WorldSet b2 = WorldSet::random(n, rng, 0.7);
+    if ((b1 & b2).is_empty()) continue;
+    Distribution step = p.conditioned_on(b1).conditioned_on(b2);
+    Distribution direct = p.conditioned_on(b1 & b2);
+    for (World w = 0; w < p.omega_size(); ++w) {
+      EXPECT_NEAR(step.prob(w), direct.prob(w), 1e-9);
+    }
+    EXPECT_TRUE(step.support().subset_of(b1 & b2));
+  }
+}
+
+// Witness contract: every unsafe verdict's witness must actually violate
+// safety — checked end-to-end through the box criterion.
+TEST(WitnessContract, BoxWitnessAlwaysViolates) {
+  Rng rng(131);
+  for (unsigned n = 2; n <= 5; ++n) {
+    int violated = 0;
+    for (int t = 0; t < 200 && violated < 25; ++t) {
+      WorldSet a = WorldSet::random(n, rng, 0.5);
+      WorldSet b = WorldSet::random(n, rng, 0.5);
+      auto result = box_necessary_criterion(a, b);
+      if (result.holds) continue;
+      ++violated;
+      ASSERT_TRUE(result.witness.has_value());
+      EXPECT_GT(result.witness->safety_gap(a, b), 0.0) << "n=" << n;
+    }
+    EXPECT_GT(violated, 5) << "n=" << n;
+  }
+}
+
+// Degenerate inputs across the probabilistic layer.
+TEST(EdgeCases, EmptyAndUniverseSets) {
+  const unsigned n = 3;
+  const WorldSet empty(n);
+  const WorldSet universe = WorldSet::universe(n);
+  Rng rng(141);
+  const Distribution p = Distribution::random(n, rng);
+  // A empty or B = Omega: gap = 0 exactly.
+  WorldSet b = WorldSet::random(n, rng, 0.5);
+  EXPECT_DOUBLE_EQ(p.safety_gap(empty, b), 0.0);
+  EXPECT_NEAR(p.safety_gap(b, universe), 0.0, 1e-12);
+  // Criteria agree these are safe.
+  EXPECT_TRUE(cancellation_criterion(empty, b).holds);
+  EXPECT_TRUE(box_necessary_criterion(empty, b).holds);
+  EXPECT_TRUE(cancellation_criterion(b, universe).holds);
+  // A = B = Omega also safe (knowing a tautology).
+  EXPECT_TRUE(cancellation_criterion(universe, universe).holds);
+}
+
+TEST(EdgeCases, SingleCoordinateWorld) {
+  // n = 1: the smallest world space. A = B = {1}: unsafe; A = {1}, B = {0}:
+  // disjoint, safe; A = {0,1}: trivially safe.
+  const unsigned n = 1;
+  WorldSet one(n, {1});
+  WorldSet zero(n, {0});
+  EXPECT_FALSE(box_necessary_criterion(one, one).holds);
+  EXPECT_TRUE(cancellation_criterion(one, zero).holds);
+  EXPECT_TRUE(cancellation_criterion(WorldSet::universe(n), one).holds);
+  AscentOptions opts;
+  EXPECT_GT(maximize_product_gap(one, one, opts).max_gap, 0.1);
+  EXPECT_LE(maximize_product_gap(one, zero, opts).max_gap, 1e-12);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "probabilistic/distribution.h"
+#include "probabilistic/family.h"
+#include "probabilistic/modularity.h"
+#include "probabilistic/product.h"
+#include "probabilistic/safe.h"
+#include "probabilistic/witness.h"
+#include "worlds/match_vector.h"
+
+namespace epi {
+namespace {
+
+TEST(Distribution, ValidatesInput) {
+  EXPECT_THROW(Distribution(2, {0.5, 0.5}), std::invalid_argument);  // wrong size
+  EXPECT_THROW(Distribution(2, {0.5, 0.5, 0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(Distribution(2, {-0.1, 0.4, 0.4, 0.3}), std::invalid_argument);
+  EXPECT_NO_THROW(Distribution(2, {0.1, 0.2, 0.3, 0.4}));
+  EXPECT_NO_THROW(Distribution(2, {1, 2, 3, 4}, /*normalize=*/true));
+}
+
+TEST(Distribution, UniformAndPointMass) {
+  auto u = Distribution::uniform(3);
+  EXPECT_DOUBLE_EQ(u.prob(World{5}), 0.125);
+  auto p = Distribution::point_mass(3, 2);
+  EXPECT_DOUBLE_EQ(p.prob(World{2}), 1.0);
+  EXPECT_DOUBLE_EQ(p.prob(World{3}), 0.0);
+}
+
+TEST(Distribution, EventProbability) {
+  Distribution d(2, {0.1, 0.2, 0.3, 0.4});
+  WorldSet a(2, {0, 3});
+  EXPECT_NEAR(d.prob(a), 0.5, 1e-12);
+  EXPECT_NEAR(d.prob(WorldSet::universe(2)), 1.0, 1e-12);
+}
+
+TEST(Distribution, ConditionalAndPosterior) {
+  Distribution d(2, {0.1, 0.2, 0.3, 0.4});
+  WorldSet b(2, {1, 3});
+  WorldSet a(2, {3});
+  EXPECT_NEAR(d.conditional(a, b), 0.4 / 0.6, 1e-12);
+  Distribution post = d.conditioned_on(b);
+  EXPECT_NEAR(post.prob(World{1}), 0.2 / 0.6, 1e-12);
+  EXPECT_NEAR(post.prob(World{0}), 0.0, 1e-12);
+  EXPECT_THROW(d.conditioned_on(WorldSet(2)), std::domain_error);
+}
+
+TEST(Distribution, SupportAndRandom) {
+  Rng rng(3);
+  auto d = Distribution::random(3, rng);
+  EXPECT_EQ(d.support().count(), 8u);
+  double sum = 0.0;
+  for (double w : d.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Distribution, SafetyGapSign) {
+  // From the paper's Section 1.1 example: B = "r1 in w implies r2 in w"
+  // cannot raise the probability of A = "r1 in w" for any prior.
+  // Coordinates: bit 0 = r1, bit 1 = r2.
+  WorldSet a(2);
+  for (World w = 0; w < 4; ++w) {
+    if (world_bit(w, 0)) a.insert(w);
+  }
+  WorldSet b(2);
+  for (World w = 0; w < 4; ++w) {
+    if (!world_bit(w, 0) || world_bit(w, 1)) b.insert(w);
+  }
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto p = Distribution::random(2, rng);
+    EXPECT_LE(p.safety_gap(a, b), 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(ProductDistribution, Basics) {
+  ProductDistribution p({0.5, 0.25});
+  EXPECT_NEAR(p.prob(world_from_string("00")), 0.5 * 0.75, 1e-12);
+  EXPECT_NEAR(p.prob(world_from_string("11")), 0.5 * 0.25, 1e-12);
+  EXPECT_THROW(ProductDistribution({1.5}), std::invalid_argument);
+  EXPECT_THROW(p.set_param(0, -0.1), std::invalid_argument);
+}
+
+TEST(ProductDistribution, DenseExpansionAgrees) {
+  Rng rng(7);
+  auto p = ProductDistribution::random(4, rng);
+  auto d = p.to_distribution();
+  for (World w = 0; w < 16; ++w) {
+    EXPECT_NEAR(p.prob(w), d.prob(w), 1e-12);
+  }
+  WorldSet s = WorldSet::random(4, rng, 0.5);
+  EXPECT_NEAR(p.prob(s), d.prob(s), 1e-12);
+}
+
+TEST(ProductDistribution, IndependenceAcrossCoordinates) {
+  ProductDistribution p({0.3, 0.7, 0.2});
+  WorldSet bit0(3), bit1(3);
+  for (World w = 0; w < 8; ++w) {
+    if (world_bit(w, 0)) bit0.insert(w);
+    if (world_bit(w, 1)) bit1.insert(w);
+  }
+  EXPECT_NEAR(p.prob(bit0 & bit1), p.prob(bit0) * p.prob(bit1), 1e-12);
+  EXPECT_NEAR(p.prob(bit0), 0.3, 1e-12);
+}
+
+TEST(Modularity, ProductIsBothSuperAndSubmodular) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto d = ProductDistribution::random(4, rng).to_distribution();
+    EXPECT_TRUE(is_log_supermodular(d));
+    EXPECT_TRUE(is_log_submodular(d));
+    EXPECT_TRUE(is_product(d));
+  }
+}
+
+TEST(Modularity, RandomIsingIsLogSupermodular) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto d = random_log_supermodular(4, rng);
+    EXPECT_TRUE(is_log_supermodular(d)) << "trial " << trial;
+  }
+}
+
+TEST(Modularity, RandomIsingIsLogSubmodular) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto d = random_log_submodular(4, rng);
+    EXPECT_TRUE(is_log_submodular(d)) << "trial " << trial;
+  }
+}
+
+TEST(Modularity, CoupledIsingIsNotProduct) {
+  Rng rng(19);
+  int non_product = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto d = random_log_supermodular(4, rng, 1.0, 2.0);
+    if (!is_product(d)) ++non_product;
+  }
+  EXPECT_GT(non_product, 5);
+}
+
+TEST(Modularity, FourFunctionsConsequence) {
+  // Theorem 5.3 with alpha=beta=gamma=delta=P: for log-supermodular P,
+  // P[X] P[Y] <= P[X \/ Y] P[X /\ Y] for all sets X, Y.
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto d = random_log_supermodular(4, rng);
+    WorldSet x = WorldSet::random(4, rng, 0.4);
+    WorldSet y = WorldSet::random(4, rng, 0.4);
+    if (x.is_empty() || y.is_empty()) continue;
+    EXPECT_LE(d.prob(x) * d.prob(y),
+              d.prob(x.setwise_join(y)) * d.prob(x.setwise_meet(y)) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ProbKnowledge, ConsistencyEnforced) {
+  auto p = Distribution::point_mass(2, 1);
+  EXPECT_NO_THROW(ProbKnowledgeWorld(1, p));
+  EXPECT_THROW(ProbKnowledgeWorld(0, p), std::invalid_argument);
+}
+
+TEST(ProbKnowledge, ProductFiltersZeroMassWorlds) {
+  WorldSet c = WorldSet::universe(2);
+  std::vector<Distribution> pi = {Distribution::point_mass(2, 1)};
+  auto k = ProbSecondLevelKnowledge::product(c, pi);
+  EXPECT_EQ(k.size(), 1u);
+  EXPECT_EQ(k.pairs()[0].world, 1u);
+}
+
+TEST(ProbKnowledge, PreservingUnderConditioning) {
+  // K = all (w, P) for P in {uniform, uniform|B}: B is then K-preserving.
+  const unsigned n = 2;
+  WorldSet b(n, {1, 3});
+  auto uniform = Distribution::uniform(n);
+  auto conditioned = uniform.conditioned_on(b);
+  ProbSecondLevelKnowledge k =
+      ProbSecondLevelKnowledge::product(WorldSet::universe(n), {uniform, conditioned});
+  EXPECT_TRUE(k.is_preserving(b));
+  WorldSet b2(n, {0, 1});
+  EXPECT_FALSE(k.is_preserving(b2));
+}
+
+TEST(SafeProbabilistic, Definition34) {
+  // Prior uniform; A = {11}, B = {01,11} (bit0 view): learning B doubles the
+  // probability of A, so A is not private.
+  const unsigned n = 2;
+  auto uniform = Distribution::uniform(n);
+  ProbSecondLevelKnowledge k(n);
+  k.add(3, uniform);
+  WorldSet a(n, {3});
+  WorldSet b(n, {1, 3});
+  EXPECT_FALSE(safe_probabilistic(k, a, b));
+  auto violation = find_probabilistic_violation(k, a, b);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_GT(violation->prior.conditional(a, b), violation->prior.prob(a));
+
+  // The paper's implication query is safe for the same prior.
+  WorldSet a2(n);
+  for (World w = 0; w < 4; ++w) {
+    if (world_bit(w, 0)) a2.insert(w);
+  }
+  WorldSet b2(n);
+  for (World w = 0; w < 4; ++w) {
+    if (!world_bit(w, 0) || world_bit(w, 1)) b2.insert(w);
+  }
+  ProbSecondLevelKnowledge k2(n);
+  k2.add(3, uniform);
+  EXPECT_TRUE(safe_probabilistic(k2, a2, b2));
+}
+
+TEST(SafeProbabilistic, WorldOutsideBDiscarded) {
+  const unsigned n = 2;
+  ProbSecondLevelKnowledge k(n);
+  k.add(0, Distribution::uniform(n));  // world 0 not in B below
+  WorldSet a(n, {3});
+  WorldSet b(n, {1, 3});
+  EXPECT_TRUE(safe_probabilistic(k, a, b));
+}
+
+TEST(SafeFamily, Proposition36MatchesDefinition) {
+  Rng rng(29);
+  for (int trial = 0; trial < 60; ++trial) {
+    const unsigned n = 3;
+    std::vector<Distribution> pi;
+    for (int i = 0; i < 4; ++i) pi.push_back(Distribution::random(n, rng));
+    WorldSet c = WorldSet::random(n, rng, 0.8);
+    if (c.is_empty()) c.insert(0);
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.6);
+    if (b.is_empty()) continue;
+    auto k = ProbSecondLevelKnowledge::product(c, pi);
+    // Prop 3.6 vs Def 3.4 on the explicit product.
+    EXPECT_EQ(safe_family(pi, c, a, b), safe_probabilistic(k, a, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(SafeFamily, LiftedFormIsStronger) {
+  // Eq (11) quantifies over all P in Pi regardless of support, so it implies
+  // the (C, Pi) form for any C.
+  Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned n = 3;
+    std::vector<Distribution> pi;
+    for (int i = 0; i < 3; ++i) pi.push_back(Distribution::random(n, rng));
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.6);
+    WorldSet c = WorldSet::random(n, rng, 0.5);
+    if (b.is_empty() || c.is_empty()) continue;
+    if (safe_family_lifted(pi, a, b)) {
+      EXPECT_TRUE(safe_family(pi, c, a, b)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(UnrestrictedProb, Theorem311AgainstRandomPriors) {
+  // When Theorem 3.11 says safe, no random prior may violate; when it says
+  // unsafe, the two-point witness must violate.
+  Rng rng(37);
+  const unsigned n = 3;
+  for (int trial = 0; trial < 100; ++trial) {
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.5);
+    if (b.is_empty()) continue;
+    if (safe_unrestricted_prob(a, b)) {
+      for (int i = 0; i < 20; ++i) {
+        auto p = Distribution::random(n, rng);
+        EXPECT_LE(p.safety_gap(a, b), 1e-9) << "trial " << trial;
+      }
+      EXPECT_FALSE(unrestricted_witness(a, b).has_value());
+    } else {
+      auto witness = unrestricted_witness(a, b);
+      ASSERT_TRUE(witness.has_value()) << "trial " << trial;
+      EXPECT_GT(witness->safety_gap(a, b), 0.1);
+    }
+  }
+}
+
+TEST(Witness, SupermodularWitnessIsValidWhenItExists) {
+  Rng rng(41);
+  const unsigned n = 4;
+  int found = 0;
+  for (int trial = 0; trial < 200 && found < 30; ++trial) {
+    WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet b = WorldSet::random(n, rng, 0.5);
+    auto witness = supermodular_witness(a, b);
+    if (!witness) continue;
+    ++found;
+    EXPECT_TRUE(is_log_supermodular(*witness)) << "trial " << trial;
+    EXPECT_GT(witness->safety_gap(a, b), 1e-9) << "trial " << trial;
+  }
+  EXPECT_GT(found, 10);
+}
+
+TEST(Witness, BoxWitnessConcentratesOnBox) {
+  auto w = MatchVector::from_string("1*0");
+  auto p = box_witness(3, w.stars, w.values);
+  EXPECT_DOUBLE_EQ(p.param(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.param(1), 0.5);
+  EXPECT_DOUBLE_EQ(p.param(2), 0.0);
+  // All mass inside Box(w).
+  double inside = 0.0;
+  for (World v = 0; v < 8; ++v) {
+    if (refines(v, w)) inside += p.prob(v);
+  }
+  EXPECT_NEAR(inside, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,120 @@
+// Tests for the scenario script interpreter.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace epi {
+namespace {
+
+const char kBasicScenario[] = R"(
+# Bob's story
+record bob_hiv
+record bob_transfusion
+insert bob_transfusion
+query alice @2005-03-02 bob_hiv
+insert bob_hiv
+query mallory @2007-02-20 bob_hiv
+query dave bob_hiv -> bob_transfusion
+audit bob_hiv
+)";
+
+TEST(Scenario, BasicRun) {
+  const ScenarioResult r = run_scenario(kBasicScenario);
+  EXPECT_EQ(r.universe.size(), 2u);
+  EXPECT_EQ(r.log.size(), 3u);
+  ASSERT_EQ(r.reports.size(), 1u);
+  const AuditReport& report = r.reports[0];
+  EXPECT_EQ(report.audit_query, "bob_hiv");
+  ASSERT_EQ(report.per_disclosure.size(), 3u);
+  EXPECT_EQ(report.per_disclosure[0].verdict, Verdict::kSafe);    // alice, pre-infection
+  EXPECT_EQ(report.per_disclosure[1].verdict, Verdict::kUnsafe);  // mallory
+  EXPECT_EQ(report.per_disclosure[2].verdict, Verdict::kSafe);    // dave's implication
+  // Query trace records answers.
+  ASSERT_EQ(r.query_trace.size(), 3u);
+  EXPECT_EQ(r.query_trace[0], "alice: bob_hiv -> false");
+  EXPECT_EQ(r.query_trace[1], "mallory: bob_hiv -> true");
+  // Final state: both records present.
+  EXPECT_EQ(r.final_state, world_from_string("11"));
+}
+
+TEST(Scenario, PriorDirectiveSwitchesFamilies) {
+  const char* text = R"(
+record r1
+record r2
+insert r1
+query alice !r2
+prior product
+audit r1
+prior unrestricted
+audit r1
+)";
+  AuditorOptions options;
+  options.enable_sos = false;
+  const ScenarioResult r = run_scenario(text, options);
+  ASSERT_EQ(r.reports.size(), 2u);
+  EXPECT_EQ(r.reports[0].prior, PriorAssumption::kProduct);
+  EXPECT_EQ(r.reports[1].prior, PriorAssumption::kUnrestricted);
+  // The negative answer is safe under product priors, unsafe unrestricted.
+  EXPECT_EQ(r.reports[0].per_disclosure[0].verdict, Verdict::kSafe);
+  EXPECT_EQ(r.reports[1].per_disclosure[0].verdict, Verdict::kUnsafe);
+}
+
+TEST(Scenario, SubcubePriorAccepted) {
+  const char* text = R"(
+record r1
+record r2
+insert r1
+insert r2
+query alice r1 -> r2
+prior subcube-knowledge
+audit r1
+)";
+  const ScenarioResult r = run_scenario(text);
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_EQ(r.reports[0].per_disclosure[0].verdict, Verdict::kSafe);
+  EXPECT_EQ(r.reports[0].per_disclosure[0].method, "subcube-intervals(prepared)");
+}
+
+TEST(Scenario, RemoveDirective) {
+  const char* text = R"(
+record r1
+insert r1
+remove r1
+query u r1
+)";
+  const ScenarioResult r = run_scenario(text);
+  EXPECT_EQ(r.query_trace[0], "u: r1 -> false");
+  EXPECT_EQ(r.final_state, 0u);
+}
+
+TEST(Scenario, ErrorsCarryLineNumbers) {
+  try {
+    run_scenario("record r1\nbogus directive\n");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Scenario, ErrorCases) {
+  EXPECT_THROW(run_scenario("insert r1\n"), ScenarioError);  // no records
+  EXPECT_THROW(run_scenario("record r1\nquery u\n"), ScenarioError);
+  EXPECT_THROW(run_scenario("record r1\nquery u @t\n"), ScenarioError);
+  EXPECT_THROW(run_scenario("record r1\naudit\n"), ScenarioError);
+  EXPECT_THROW(run_scenario("record r1\nprior bogus\n"), ScenarioError);
+  EXPECT_THROW(run_scenario("record r1\nrecord\n"), ScenarioError);
+  EXPECT_THROW(run_scenario("record r1\ninsert ghost\n"), ScenarioError);
+  EXPECT_THROW(run_scenario("record r1\ninsert r1\nrecord r2\n"), ScenarioError);
+  // Parse errors inside query text surface as ScenarioError too.
+  EXPECT_THROW(run_scenario("record r1\nquery u r1 &&& r1\n"), ScenarioError);
+}
+
+TEST(Scenario, CommentsAndBlankLinesIgnored) {
+  const ScenarioResult r = run_scenario("# nothing\n\nrecord r1\n# more\n");
+  EXPECT_EQ(r.universe.size(), 1u);
+  EXPECT_TRUE(r.reports.empty());
+}
+
+}  // namespace
+}  // namespace epi

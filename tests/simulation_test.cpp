@@ -1,0 +1,122 @@
+// Tests for the confidence-trajectory simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.h"
+#include "db/parser.h"
+
+namespace epi {
+namespace {
+
+struct Scenario {
+  RecordUniverse universe;
+  InMemoryDatabase db;
+  AuditLog log;
+
+  Scenario() : db(make_universe()) {
+    universe = db.universe();
+  }
+
+  static RecordUniverse make_universe() {
+    RecordUniverse u;
+    u.add("r1");
+    u.add("r2");
+    return u;
+  }
+};
+
+TEST(Trajectory, StartsAtPriorProbability) {
+  Scenario s;
+  const WorldSet a = parse_query("r1")->compile(s.universe);
+  auto traj = confidence_trajectory(Distribution::uniform(2), s.log, s.universe,
+                                    a, "alice");
+  ASSERT_EQ(traj.size(), 1u);
+  EXPECT_NEAR(traj[0].confidence, 0.5, 1e-12);
+}
+
+TEST(Trajectory, ImplicationAnswerLowersConfidence) {
+  Scenario s;
+  s.db.insert("r1");
+  s.db.insert("r2");
+  s.log.record("alice", "r1 -> r2", s.db);
+  const WorldSet a = parse_query("r1")->compile(s.universe);
+  auto traj = confidence_trajectory(Distribution::uniform(2), s.log, s.universe,
+                                    a, "alice");
+  ASSERT_EQ(traj.size(), 2u);
+  // P[A] = 1/2; P[A | B] = 1/3: confidence drops (the Section 1.1 table).
+  EXPECT_NEAR(traj[1].confidence, 1.0 / 3.0, 1e-12);
+  EXPECT_LT(traj[1].confidence, traj[0].confidence);
+}
+
+TEST(Trajectory, DirectAnswerRaisesConfidenceToOne) {
+  Scenario s;
+  s.db.insert("r1");
+  s.log.record("mallory", "r1", s.db);
+  const WorldSet a = parse_query("r1")->compile(s.universe);
+  auto traj = confidence_trajectory(Distribution::uniform(2), s.log, s.universe,
+                                    a, "mallory");
+  ASSERT_EQ(traj.size(), 2u);
+  EXPECT_NEAR(traj[1].confidence, 1.0, 1e-12);
+}
+
+TEST(Trajectory, OnlyTheNamedUsersDisclosures) {
+  Scenario s;
+  s.db.insert("r1");
+  s.log.record("mallory", "r1", s.db);
+  s.log.record("alice", "r2", s.db);
+  const WorldSet a = parse_query("r1")->compile(s.universe);
+  auto traj = confidence_trajectory(Distribution::uniform(2), s.log, s.universe,
+                                    a, "alice");
+  ASSERT_EQ(traj.size(), 2u);
+  EXPECT_EQ(traj[1].query_text, "r2");
+  EXPECT_NEAR(traj[1].confidence, 0.5, 1e-12);  // independent record
+}
+
+TEST(Trajectory, InconsistentPriorFlagged) {
+  Scenario s;
+  s.db.insert("r1");
+  s.log.record("alice", "r1", s.db);  // answer true
+  const WorldSet a = parse_query("r1")->compile(s.universe);
+  // A prior certain that r1 is absent cannot explain the observed answer.
+  std::vector<double> w(4, 0.0);
+  w[world_from_string("00")] = 0.5;
+  w[world_from_string("01")] = 0.5;
+  Distribution prior(2, w);
+  auto traj = confidence_trajectory(prior, s.log, s.universe, a, "alice");
+  ASSERT_EQ(traj.size(), 2u);
+  EXPECT_TRUE(traj[1].inconsistent);
+  EXPECT_TRUE(std::isnan(traj[1].confidence));
+}
+
+TEST(Trajectory, SequentialConditioningMatchesConjunction) {
+  Scenario s;
+  s.db.insert("r1");
+  s.db.insert("r2");
+  s.log.record("eve", "r1 | !r2", s.db);
+  s.log.record("eve", "r1 | r2", s.db);
+  const WorldSet a = parse_query("r1")->compile(s.universe);
+  Rng rng(5);
+  const Distribution prior = Distribution::random(2, rng);
+  auto traj = confidence_trajectory(prior, s.log, s.universe, a, "eve");
+  ASSERT_EQ(traj.size(), 3u);
+  const WorldSet b1 = s.log.entries()[0].disclosed_set(s.universe);
+  const WorldSet b2 = s.log.entries()[1].disclosed_set(s.universe);
+  EXPECT_NEAR(traj[2].confidence, prior.conditional(a, b1 & b2), 1e-12);
+}
+
+TEST(Trajectory, RenderProducesOneLinePerPoint) {
+  Scenario s;
+  s.db.insert("r1");
+  s.log.record("alice", "r1", s.db);
+  const WorldSet a = parse_query("r1")->compile(s.universe);
+  auto traj = confidence_trajectory(Distribution::uniform(2), s.log, s.universe,
+                                    a, "alice");
+  const std::string chart = render_trajectory(traj);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 2);
+  EXPECT_NE(chart.find("prior"), std::string::npos);
+  EXPECT_NE(chart.find("####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,151 @@
+// Tests for the subcube knowledge family and its auditor integration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/auditor.h"
+#include "possibilistic/intervals.h"
+#include "possibilistic/knowledge.h"
+#include "possibilistic/safe.h"
+#include "possibilistic/subcubes.h"
+#include "worlds/finite_set.h"
+
+namespace epi {
+namespace {
+
+TEST(SubcubeSigma, BoxContents) {
+  SubcubeSigma sigma(3);
+  const FiniteSet full = sigma.box(MatchVector::from_string("***"));
+  EXPECT_TRUE(full.is_universe());
+  const FiniteSet point = sigma.box(MatchVector::from_string("101"));
+  EXPECT_EQ(point.count(), 1u);
+  EXPECT_TRUE(point.contains(world_from_string("101")));
+  const FiniteSet edge = sigma.box(MatchVector::from_string("1*0"));
+  EXPECT_EQ(edge.count(), 2u);
+}
+
+TEST(SubcubeSigma, ContainsExactlySubcubes) {
+  SubcubeSigma sigma(3);
+  EXPECT_TRUE(sigma.contains(sigma.box(MatchVector::from_string("0**"))));
+  EXPECT_TRUE(sigma.contains(FiniteSet::singleton(8, 5)));
+  // {000, 011} agrees on no pattern of a 2-element subcube (differs in two
+  // coordinates) — not a subcube.
+  FiniteSet not_cube(8, {0, 6});
+  EXPECT_FALSE(sigma.contains(not_cube));
+  EXPECT_FALSE(sigma.contains(FiniteSet(8)));
+}
+
+TEST(SubcubeSigma, EnumerationCountsThreePowN) {
+  SubcubeSigma sigma(3);
+  // 3^3 = 27 match vectors, with duplicates impossible (distinct boxes).
+  EXPECT_EQ(sigma.enumerate().size(), 27u);
+}
+
+TEST(SubcubeSigma, IntervalIsBoxOfMatch) {
+  // The Section 4 / Section 5 bridge: I(w1, w2) = Box(Match(w1, w2)).
+  SubcubeSigma sigma(4);
+  Rng rng(3);
+  for (int t = 0; t < 40; ++t) {
+    const World u = static_cast<World>(rng.next_bits(4));
+    const World v = static_cast<World>(rng.next_bits(4));
+    const auto iv = sigma.interval(u, v);
+    ASSERT_TRUE(iv.has_value());
+    EXPECT_EQ(*iv, sigma.box(match(u, v)));
+    // Smallest subcube containing both: every family member containing both
+    // contains the interval.
+    for (const FiniteSet& s : sigma.enumerate()) {
+      if (s.contains(u) && s.contains(v)) {
+        EXPECT_TRUE(iv->subset_of(s));
+      }
+    }
+  }
+}
+
+TEST(SubcubeSigma, HasTightIntervals) {
+  auto sigma = std::make_shared<SubcubeSigma>(3);
+  IntervalOracle oracle(sigma, FiniteSet::universe(8));
+  EXPECT_TRUE(oracle.has_tight_intervals());
+  EXPECT_TRUE(oracle.beta(FiniteSet(8, {1, 2, 7})).has_value());
+}
+
+TEST(SubcubeSigma, OracleMatchesDefinitionOnRandomPairs) {
+  auto sigma = std::make_shared<SubcubeSigma>(3);
+  IntervalOracle oracle(sigma, FiniteSet::universe(8));
+  auto k = SecondLevelKnowledge::product(FiniteSet::universe(8),
+                                         sigma->enumerate());
+  Rng rng(7);
+  for (int t = 0; t < 60; ++t) {
+    FiniteSet a = FiniteSet::random(8, rng, 0.5);
+    FiniteSet b = FiniteSet::random(8, rng, 0.5);
+    EXPECT_EQ(oracle.safe_minimal_intervals(a, b), safe_possibilistic(k, a, b))
+        << "A=" << a.to_string() << " B=" << b.to_string();
+  }
+}
+
+TEST(SubcubeAuditor, ImplicationSafeDirectUnsafe) {
+  RecordUniverse u;
+  u.add("r1");
+  u.add("r2");
+  InMemoryDatabase db(u);
+  db.insert("r1");
+  db.insert("r2");
+  AuditLog log;
+  log.record("alice", "r1 -> r2", db);
+  log.record("mallory", "r1", db);
+  Auditor auditor(u, PriorAssumption::kSubcubeKnowledge);
+  const AuditReport report = auditor.audit(log, "r1");
+  // An agent who already knows r2's value gains nothing about r1 from the
+  // implication? Knowing r2=0 plus "r1 -> r2" pins r1 = 0 — but that asserts
+  // NOT A, which epistemic privacy does not protect. Knowing r2=1 makes the
+  // implication vacuous. So the implication stays safe:
+  EXPECT_EQ(report.per_disclosure[0].verdict, Verdict::kSafe);
+  EXPECT_EQ(report.per_disclosure[0].method, "subcube-intervals(prepared)");
+  EXPECT_TRUE(report.per_disclosure[0].certified);
+  // The direct answer pins A for the empty-knowledge agent: unsafe.
+  EXPECT_EQ(report.per_disclosure[1].verdict, Verdict::kUnsafe);
+}
+
+TEST(SubcubeAuditor, AlwaysDefinite) {
+  RecordUniverse u;
+  u.add("a");
+  u.add("b");
+  u.add("c");
+  Auditor auditor(u, PriorAssumption::kSubcubeKnowledge);
+  Rng rng(11);
+  for (int t = 0; t < 40; ++t) {
+    WorldSet a = WorldSet::random(3, rng, 0.5);
+    WorldSet b = WorldSet::random(3, rng, 0.5);
+    const AuditFinding f = auditor.audit_sets(a, b);
+    EXPECT_NE(f.verdict, Verdict::kUnknown);
+    EXPECT_TRUE(f.certified);
+  }
+}
+
+TEST(SubcubeAuditor, DiffersFromProductAssumption) {
+  // The subcube (possibilistic) and product (probabilistic) assumptions are
+  // genuinely different: find a pair where verdicts diverge.
+  RecordUniverse u;
+  u.add("a");
+  u.add("b");
+  AuditorOptions opts;
+  opts.enable_sos = false;
+  Auditor subcube(u, PriorAssumption::kSubcubeKnowledge, opts);
+  Auditor product(u, PriorAssumption::kProduct, opts);
+  Rng rng(13);
+  int diverged = 0;
+  for (int t = 0; t < 100; ++t) {
+    WorldSet a = WorldSet::random(2, rng, 0.5);
+    WorldSet b = WorldSet::random(2, rng, 0.5);
+    if (subcube.audit_sets(a, b).verdict != product.audit_sets(a, b).verdict) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(SubcubeAuditor, NameString) {
+  EXPECT_EQ(to_string(PriorAssumption::kSubcubeKnowledge), "subcube-knowledge");
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,43 @@
+// Compilation smoke test for the umbrella header plus a couple of
+// cross-module flows exercised through it.
+#include <gtest/gtest.h>
+
+#include "epistemic.h"
+
+namespace epi {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  RecordUniverse universe;
+  universe.add("x");
+  universe.add("y");
+  InMemoryDatabase db(universe);
+  db.insert("x");
+  AuditLog log;
+  log.record("u", "x | y", db);
+  Auditor auditor(universe, PriorAssumption::kProduct);
+  const AuditReport report = auditor.audit(log, "x");
+  EXPECT_EQ(report.per_disclosure.size(), 1u);
+  EXPECT_FALSE(format_report(report).empty());
+}
+
+TEST(Umbrella, EveryLayerReachable) {
+  // One symbol per layer, to catch accidental header breakage.
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 2), Rational(1));
+  EXPECT_TRUE(WorldSet::universe(2).is_universe());
+  EXPECT_TRUE(FiniteSet::universe(3).is_universe());
+  EXPECT_TRUE(is_upset(WorldSet::universe(2)));
+  EXPECT_EQ(match(0b01, 0b11).star_count(), 1u);
+  EXPECT_TRUE(unconditionally_safe(WorldSet(2), WorldSet::universe(2)));
+  EXPECT_EQ(Distribution::uniform(2).prob(World{0}), 0.25);
+  EXPECT_EQ(ProductDistribution::constant(2, 0.5).prob(World{0}), 0.25);
+  EXPECT_EQ(motzkin_polynomial().degree(), 6u);
+  EXPECT_EQ(to_string(Verdict::kSafe), "safe");
+  EXPECT_EQ(to_string(OnlineStrategy::kSimulatable), "simulatable");
+  EXPECT_EQ(to_string(PriorAssumption::kSubcubeKnowledge), "subcube-knowledge");
+  EXPECT_EQ(Graph::cycle(4).edge_count(), 4u);
+  EXPECT_DOUBLE_EQ(logit(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rational.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace epi {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesGcdAndSign) {
+  Rational r(6, -8);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+  EXPECT_TRUE(r.is_negative());
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational a(1, 4);
+  a += Rational(1, 4);
+  EXPECT_EQ(a, Rational(1, 2));
+  a *= Rational(2);
+  EXPECT_EQ(a, Rational(1));
+  a -= Rational(3, 2);
+  EXPECT_EQ(a, Rational(-1, 2));
+  a /= Rational(-1, 2);
+  EXPECT_EQ(a, Rational(1));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3, 7).to_string(), "3/7");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(-1, 2).to_string(), "-1/2");
+}
+
+TEST(Rational, ReciprocalOfZeroThrows) {
+  EXPECT_THROW(Rational(0).reciprocal(), std::domain_error);
+}
+
+TEST(Rational, OverflowDetected) {
+  Rational huge(std::int64_t{1} << 62);
+  EXPECT_THROW(huge * huge, RationalOverflow);
+  EXPECT_THROW(huge + huge, RationalOverflow);
+}
+
+TEST(Rational, CrossReductionAvoidsSpuriousOverflow) {
+  // (2^40 / 3) * (3 / 2^40) should be exactly 1 without overflowing.
+  Rational a(std::int64_t{1} << 40, 3);
+  Rational b(3, std::int64_t{1} << 40);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, AbsAndPredicates) {
+  EXPECT_EQ(Rational(-2, 3).abs(), Rational(2, 3));
+  EXPECT_TRUE(Rational(4, 2).is_integer());
+  EXPECT_FALSE(Rational(1, 2).is_integer());
+  EXPECT_TRUE(Rational(1, 9).is_positive());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBitsMasked) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.next_bits(5), 32u);
+  }
+  EXPECT_EQ(rng.next_bits(0), 0u);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(13);
+  auto p = rng.permutation(20);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().to_string(), "OK");
+  auto s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.to_string(), "InvalidArgument: bad n");
+  EXPECT_EQ(Status::Inconclusive("budget").code(), Status::Code::kInconclusive);
+}
+
+}  // namespace
+}  // namespace epi

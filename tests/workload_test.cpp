@@ -1,0 +1,105 @@
+// Tests for the synthetic workload generator.
+#include <gtest/gtest.h>
+
+#include "core/auditor.h"
+#include "core/workload.h"
+#include "db/parser.h"
+
+namespace epi {
+namespace {
+
+TEST(Workload, GeneratesRequestedShape) {
+  WorkloadOptions options;
+  options.patients = 5;
+  options.queries = 40;
+  options.users = 3;
+  Workload w = make_hospital_workload(options);
+  EXPECT_EQ(w.universe.size(), 5u);
+  EXPECT_EQ(w.log.size(), 40u);
+  EXPECT_LE(w.log.users().size(), 3u);
+  EXPECT_EQ(w.audit_candidates.size(), 5u);
+  for (const auto& name : w.audit_candidates) {
+    EXPECT_TRUE(w.universe.coordinate_of(name).has_value());
+  }
+}
+
+TEST(Workload, Deterministic) {
+  WorkloadOptions options;
+  options.seed = 99;
+  Workload w1 = make_hospital_workload(options);
+  Workload w2 = make_hospital_workload(options);
+  ASSERT_EQ(w1.log.size(), w2.log.size());
+  for (std::size_t i = 0; i < w1.log.size(); ++i) {
+    EXPECT_EQ(w1.log.entries()[i].query_text, w2.log.entries()[i].query_text);
+    EXPECT_EQ(w1.log.entries()[i].answer, w2.log.entries()[i].answer);
+  }
+  EXPECT_EQ(w1.database.state(), w2.database.state());
+}
+
+TEST(Workload, AllQueriesParseAndMatchRecordedAnswers) {
+  WorkloadOptions options;
+  options.queries = 80;
+  Workload w = make_hospital_workload(options);
+  for (const Disclosure& d : w.log.entries()) {
+    const QueryPtr q = parse_query(d.query_text);
+    EXPECT_EQ(q->evaluate(w.universe, w.database.state()), d.answer)
+        << d.query_text;
+  }
+}
+
+TEST(Workload, QueryMixCoversAllShapes) {
+  WorkloadOptions options;
+  options.queries = 300;
+  Workload w = make_hospital_workload(options);
+  int implications = 0, negations = 0, counts = 0, points = 0;
+  for (const Disclosure& d : w.log.entries()) {
+    if (d.query_text.find("->") != std::string::npos) {
+      ++implications;
+    } else if (d.query_text.find('!') != std::string::npos) {
+      ++negations;
+    } else if (d.query_text.find("atleast") != std::string::npos ||
+               d.query_text.find("atmost") != std::string::npos) {
+      ++counts;
+    } else {
+      ++points;
+    }
+  }
+  EXPECT_GT(implications, 20);
+  EXPECT_GT(negations, 20);
+  EXPECT_GT(counts, 20);
+  EXPECT_GT(points, 30);
+}
+
+TEST(Workload, AuditsEndToEndUnderEveryPrior) {
+  WorkloadOptions options;
+  options.patients = 3;
+  options.queries = 20;
+  Workload w = make_hospital_workload(options);
+  for (PriorAssumption prior :
+       {PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+        PriorAssumption::kLogSupermodular}) {
+    AuditorOptions auditor_options;
+    auditor_options.enable_sos = false;
+    Auditor auditor(w.universe, prior, auditor_options);
+    const AuditReport report = auditor.audit(w.log, w.audit_candidates[0]);
+    EXPECT_EQ(report.per_disclosure.size(), 20u);
+    // Every finding must carry a method string.
+    for (const AuditFinding& f : report.per_disclosure) {
+      EXPECT_FALSE(f.method.empty());
+    }
+  }
+}
+
+TEST(Workload, RejectsBadOptions) {
+  WorkloadOptions options;
+  options.patients = 0;
+  EXPECT_THROW(make_hospital_workload(options), std::invalid_argument);
+  Rng rng(1);
+  WorkloadOptions zero_mix;
+  zero_mix.point_weight = zero_mix.implication_weight = zero_mix.negation_weight =
+      zero_mix.counting_weight = 0.0;
+  EXPECT_THROW(random_workload_query({"a"}, rng, zero_mix), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,165 @@
+// Parameterized property sweeps over the worlds substrate: Boolean-algebra
+// laws, transform invariances, and the lattice identities the Section 5
+// machinery relies on, across a range of n.
+#include <gtest/gtest.h>
+
+#include "worlds/finite_set.h"
+#include "worlds/match_vector.h"
+#include "worlds/monotone.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace {
+
+class WorldSetLaws : public ::testing::TestWithParam<unsigned> {
+ protected:
+  unsigned n() const { return GetParam(); }
+};
+
+TEST_P(WorldSetLaws, DeMorgan) {
+  Rng rng(100 + n());
+  for (int t = 0; t < 20; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    WorldSet b = WorldSet::random(n(), rng, 0.5);
+    EXPECT_EQ(~(a | b), (~a) & (~b));
+    EXPECT_EQ(~(a & b), (~a) | (~b));
+  }
+}
+
+TEST_P(WorldSetLaws, DistributivityAndAbsorption) {
+  Rng rng(200 + n());
+  for (int t = 0; t < 20; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    WorldSet b = WorldSet::random(n(), rng, 0.5);
+    WorldSet c = WorldSet::random(n(), rng, 0.5);
+    EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+    EXPECT_EQ(a | (b & c), (a | b) & (a | c));
+    EXPECT_EQ(a & (a | b), a);
+    EXPECT_EQ(a | (a & b), a);
+  }
+}
+
+TEST_P(WorldSetLaws, DifferenceAndSymmetricDifference) {
+  Rng rng(300 + n());
+  for (int t = 0; t < 20; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    WorldSet b = WorldSet::random(n(), rng, 0.5);
+    EXPECT_EQ(a - b, a & ~b);
+    EXPECT_EQ(a ^ b, (a - b) | (b - a));
+    EXPECT_EQ((a ^ b).count() + 2 * (a & b).count(), a.count() + b.count());
+  }
+}
+
+TEST_P(WorldSetLaws, XorMaskIsBijective) {
+  Rng rng(400 + n());
+  for (int t = 0; t < 10; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    const World mask = static_cast<World>(rng.next_bits(n()));
+    const WorldSet image = a.xor_with(mask);
+    EXPECT_EQ(image.count(), a.count());
+    EXPECT_EQ(image.xor_with(mask), a);
+    // Masks distribute over set algebra.
+    WorldSet b = WorldSet::random(n(), rng, 0.5);
+    EXPECT_EQ((a & b).xor_with(mask), a.xor_with(mask) & b.xor_with(mask));
+    EXPECT_EQ((~a).xor_with(mask), ~(a.xor_with(mask)));
+  }
+}
+
+TEST_P(WorldSetLaws, XorMaskSwapsUpAndDownSets) {
+  Rng rng(500 + n());
+  const World full = static_cast<World>((std::uint64_t{1} << n()) - 1);
+  for (int t = 0; t < 10; ++t) {
+    WorldSet up = up_closure(WorldSet::random(n(), rng, 0.3));
+    EXPECT_TRUE(is_downset(up.xor_with(full)));
+    WorldSet down = down_closure(WorldSet::random(n(), rng, 0.3));
+    EXPECT_TRUE(is_upset(down.xor_with(full)));
+  }
+}
+
+TEST_P(WorldSetLaws, SetwiseMeetJoinMonotone) {
+  Rng rng(600 + n());
+  for (int t = 0; t < 10; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.4);
+    WorldSet b = WorldSet::random(n(), rng, 0.4);
+    if (a.is_empty() || b.is_empty()) continue;
+    const WorldSet meet = a.setwise_meet(b);
+    const WorldSet join = a.setwise_join(b);
+    // Element-wise verification is cubic; keep it to small universes.
+    if (n() <= 5) {
+      meet.for_each([&](World m) {
+        bool ok = false;
+        a.for_each([&](World x) {
+          b.for_each([&](World y) { ok |= (x & y) == m; });
+        });
+        EXPECT_TRUE(ok);
+      });
+    }
+    EXPECT_LE(meet.count(), a.count() * b.count());
+    EXPECT_LE(join.count(), a.count() * b.count());
+  }
+}
+
+TEST_P(WorldSetLaws, CriticalCoordinatesInvariantUnderMask) {
+  Rng rng(700 + n());
+  for (int t = 0; t < 10; ++t) {
+    WorldSet a = WorldSet::random(n(), rng, 0.5);
+    const World mask = static_cast<World>(rng.next_bits(n()));
+    EXPECT_EQ(critical_coordinates(a), critical_coordinates(a.xor_with(mask)));
+  }
+}
+
+TEST_P(WorldSetLaws, MatchVectorSymmetryAndBoxMembership) {
+  Rng rng(800 + n());
+  for (int t = 0; t < 40; ++t) {
+    const World u = static_cast<World>(rng.next_bits(n()));
+    const World v = static_cast<World>(rng.next_bits(n()));
+    const MatchVector w = match(u, v);
+    EXPECT_EQ(w.key(), match(v, u).key());  // Match is symmetric
+    EXPECT_TRUE(refines(u, w));
+    EXPECT_TRUE(refines(v, w));
+    EXPECT_EQ(w.star_count(), world_weight(u ^ v));
+    // Box(w) has 2^stars members: count via TernaryTable on the universe.
+    if (n() <= 8) {
+      TernaryTable table = TernaryTable::box_counts(WorldSet::universe(n()));
+      EXPECT_EQ(table.at(table.code_of(w)),
+                static_cast<std::int64_t>(std::size_t{1} << w.star_count()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllN, WorldSetLaws, ::testing::Values(1u, 2u, 3u, 5u, 8u, 12u));
+
+class FiniteSetLaws : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::size_t m() const { return GetParam(); }
+};
+
+TEST_P(FiniteSetLaws, BooleanAlgebra) {
+  Rng rng(900 + m());
+  for (int t = 0; t < 15; ++t) {
+    FiniteSet a = FiniteSet::random(m(), rng, 0.5);
+    FiniteSet b = FiniteSet::random(m(), rng, 0.5);
+    EXPECT_EQ(~(a | b), (~a) & (~b));
+    EXPECT_EQ(a - b, a & ~b);
+    EXPECT_EQ((a ^ b) ^ b, a);
+    EXPECT_TRUE((a & b).subset_of(a));
+    EXPECT_TRUE(a.subset_of(a | b));
+    EXPECT_EQ(a.count() + b.count(), (a | b).count() + (a & b).count());
+  }
+}
+
+TEST_P(FiniteSetLaws, ComplementRoundTrip) {
+  Rng rng(1000 + m());
+  FiniteSet a = FiniteSet::random(m(), rng, 0.5);
+  EXPECT_EQ(~~a, a);
+  EXPECT_EQ((a | ~a), FiniteSet::universe(m()));
+  EXPECT_TRUE((a & ~a).is_empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FiniteSetLaws,
+                         ::testing::Values(std::size_t{1}, std::size_t{7},
+                                           std::size_t{64}, std::size_t{65},
+                                           std::size_t{200}));
+
+}  // namespace
+}  // namespace epi
