@@ -1,9 +1,12 @@
 // Experiment E13 (extension): end-to-end audit throughput on synthetic
 // hospital workloads — the systems-level measurement a deployment would
-// care about. For each prior family we audit a generated query log against
-// every record and report disclosures audited per second, plus the verdict
-// mix (which also documents how much each assumption clears in a realistic
-// query mix, complementing E5/E12).
+// care about. Two axes:
+//   1. prior family (single-threaded): disclosures audited per second plus
+//      the verdict mix, documenting how much each assumption clears in a
+//      realistic query mix (complements E5/E12);
+//   2. worker threads (product prior, 200-disclosure log): the
+//      DecisionEngine batch path fanning disclosures out across the pool,
+//      reported as audits/sec and speedup over one thread.
 #include <chrono>
 #include <cstdio>
 
@@ -11,6 +14,37 @@
 #include "core/workload.h"
 
 using namespace epi;
+
+namespace {
+
+AuditorOptions throughput_options(unsigned threads) {
+  AuditorOptions options;
+  options.enable_sos = false;  // throughput mode: no SDP stage
+  options.ascent.multistarts = 16;
+  options.threads = threads;
+  return options;
+}
+
+/// Audits every candidate record; returns disclosures+conjunctions per sec.
+double measure(const Workload& workload, const Auditor& auditor,
+               std::size_t* safe = nullptr, std::size_t* unsafe = nullptr,
+               std::size_t* unknown = nullptr) {
+  std::size_t audited = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& record : workload.audit_candidates) {
+    const AuditReport report = auditor.audit(workload.log, record);
+    if (safe) *safe += report.count(Verdict::kSafe);
+    if (unsafe) *unsafe += report.count(Verdict::kUnsafe);
+    if (unknown) *unknown += report.count(Verdict::kUnknown);
+    audited += report.per_disclosure.size() + report.per_user_cumulative.size();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(audited) / seconds;
+}
+
+}  // namespace
 
 int main() {
   std::printf("=== E13 (extension): offline audit throughput ===\n\n");
@@ -27,27 +61,31 @@ int main() {
     for (PriorAssumption prior :
          {PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
           PriorAssumption::kLogSupermodular}) {
-      AuditorOptions auditor_options;
-      auditor_options.enable_sos = false;  // throughput mode: no SDP stage
-      auditor_options.ascent.multistarts = 16;
-      Auditor auditor(workload.universe, prior, auditor_options);
-
-      std::size_t safe = 0, unsafe = 0, unknown = 0, audited = 0;
-      const auto t0 = std::chrono::steady_clock::now();
-      for (const std::string& record : workload.audit_candidates) {
-        const AuditReport report = auditor.audit(workload.log, record);
-        safe += report.count(Verdict::kSafe);
-        unsafe += report.count(Verdict::kUnsafe);
-        unknown += report.count(Verdict::kUnknown);
-        audited += report.per_disclosure.size();
-      }
-      const double seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
+      Auditor auditor(workload.universe, prior, throughput_options(1));
+      std::size_t safe = 0, unsafe = 0, unknown = 0;
+      const double rate = measure(workload, auditor, &safe, &unsafe, &unknown);
       std::printf("%9u %8d %18s %12.0f | %6zu %7zu %8zu\n", patients,
-                  options.queries, to_string(prior).c_str(),
-                  static_cast<double>(audited) / seconds, safe, unsafe, unknown);
+                  options.queries, to_string(prior).c_str(), rate, safe, unsafe,
+                  unknown);
     }
+  }
+
+  std::printf(
+      "\n--- thread scaling: product prior, 200-disclosure log ---\n\n");
+  WorkloadOptions scaling;
+  scaling.patients = 8;
+  scaling.queries = 200;
+  scaling.seed = 0xAB5;
+  Workload workload = make_hospital_workload(scaling);
+
+  std::printf("%9s %12s %9s\n", "threads", "audits/sec", "speedup");
+  double base_rate = 0.0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    Auditor auditor(workload.universe, PriorAssumption::kProduct,
+                    throughput_options(threads));
+    const double rate = measure(workload, auditor);
+    if (threads == 1) base_rate = rate;
+    std::printf("%9u %12.0f %8.2fx\n", threads, rate, rate / base_rate);
   }
 
   std::printf(
@@ -55,6 +93,8 @@ int main() {
       "set test); product-prior audits pay for the optimizer only on the\n"
       "instances the combinatorial criteria leave open; the supermodular\n"
       "pipeline sits in between and leaves a small unknown zone. Rates\n"
-      "include per-user conjunction audits (Section 3.3).\n");
+      "include per-user conjunction audits (Section 3.3). Thread scaling\n"
+      "reflects hardware parallelism — reports stay byte-identical at every\n"
+      "thread count.\n");
   return 0;
 }

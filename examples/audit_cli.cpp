@@ -3,11 +3,18 @@
 // of tool a DBA would run after a suspected leak. The script language is
 // documented in core/scenario.h.
 //
-// Usage: audit_cli [scenario-file]
-// Without arguments a built-in demonstration scenario is used.
+// Usage: audit_cli [--stats] [--threads N] [scenario-file]
+//   --stats      after each report, print per-stage decision counters and
+//                wall time (the DecisionEngine's instrumentation)
+//   --threads N  decide disclosures on N worker threads (0 = one per core);
+//                reports are byte-identical for every value
+// Without a scenario file a built-in demonstration scenario is used.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "core/report.h"
 #include "core/scenario.h"
@@ -31,15 +38,24 @@ prior subcube-knowledge
 audit bob_hiv
 )";
 
-int run(std::istream& in) {
+struct CliOptions {
+  bool stats = false;
+  epi::AuditorOptions auditor;
+  const char* scenario_path = nullptr;
+};
+
+int run(std::istream& in, const CliOptions& cli) {
   using namespace epi;
   try {
-    const ScenarioResult result = run_scenario(in);
+    const ScenarioResult result = run_scenario(in, cli.auditor);
     for (const std::string& line : result.query_trace) {
       std::printf("[log] %s\n", line.c_str());
     }
     for (const AuditReport& report : result.reports) {
       std::printf("\n%s", format_report(report).c_str());
+      if (cli.stats) {
+        std::printf("\n%s", format_stage_stats(report).c_str());
+      }
     }
     if (result.reports.empty()) {
       std::printf("(scenario contained no `audit` directive)\n");
@@ -54,15 +70,36 @@ int run(std::istream& in) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      cli.stats = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads needs a count\n");
+        return 1;
+      }
+      cli.auditor.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\n"
+                   "usage: audit_cli [--stats] [--threads N] [scenario-file]\n",
+                   argv[i]);
+      return 1;
+    } else {
+      cli.scenario_path = argv[i];
+    }
+  }
+
+  if (cli.scenario_path != nullptr) {
+    std::ifstream file(cli.scenario_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open scenario file '%s'\n", argv[1]);
+      std::fprintf(stderr, "cannot open scenario file '%s'\n", cli.scenario_path);
       return 1;
     }
-    return run(file);
+    return run(file, cli);
   }
   std::printf("(no scenario file given; running the built-in demonstration)\n\n");
   std::istringstream demo{std::string(kDemoScenario)};
-  return run(demo);
+  return run(demo, cli);
 }

@@ -1,14 +1,29 @@
 #include "core/audit_log.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "db/parser.h"
 
 namespace epi {
+namespace {
+
+std::atomic<std::size_t> g_disclosed_set_calls{0};
+
+}  // namespace
 
 WorldSet Disclosure::disclosed_set(const RecordUniverse& universe) const {
+  g_disclosed_set_calls.fetch_add(1, std::memory_order_relaxed);
   const WorldSet satisfying = query->compile(universe);
   return answer ? satisfying : ~satisfying;
+}
+
+std::size_t disclosed_set_call_count() {
+  return g_disclosed_set_calls.load(std::memory_order_relaxed);
+}
+
+void reset_disclosed_set_call_count() {
+  g_disclosed_set_calls.store(0, std::memory_order_relaxed);
 }
 
 bool AuditLog::record(const std::string& user, const std::string& query_text,

@@ -24,6 +24,13 @@ struct Disclosure {
   WorldSet disclosed_set(const RecordUniverse& universe) const;
 };
 
+/// Instrumentation: process-wide number of Disclosure::disclosed_set calls
+/// (i.e. query compilations). Batch audits cache each disclosure's compiled
+/// set, so one audit() compiles each distinct (query, answer) exactly once —
+/// tests assert this here.
+std::size_t disclosed_set_call_count();
+void reset_disclosed_set_call_count();
+
 /// Append-only log of disclosures.
 class AuditLog {
  public:

@@ -1,57 +1,55 @@
 #include "core/auditor.h"
 
-#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
 
-#include "criteria/pipeline.h"
 #include "db/parser.h"
-#include "possibilistic/safe.h"
 #include "possibilistic/subcubes.h"
 #include "worlds/finite_set.h"
 
 namespace epi {
 namespace {
 
-std::string describe_product_witness(const ProductDistribution& p) {
-  std::ostringstream os;
-  os << "product prior with p = (";
-  for (unsigned i = 0; i < p.n(); ++i) {
-    os << (i ? ", " : "") << p.param(i);
-  }
-  os << ")";
-  return os.str();
+/// Cache key for a disclosure's compiled WorldSet: same query text answered
+/// the same way discloses the same set, whoever asked.
+std::string disclosure_key(const Disclosure& d) {
+  return d.query_text + (d.answer ? "\x1f+" : "\x1f-");
+}
+
+AuditFinding to_finding(const EngineDecision& d) {
+  AuditFinding f;
+  f.verdict = d.verdict;
+  f.method = d.method;
+  f.certified = d.certified;
+  f.numeric_gap = d.numeric_gap;
+  f.detail = d.detail;
+  return f;
 }
 
 }  // namespace
 
-std::string to_string(PriorAssumption prior) {
-  switch (prior) {
-    case PriorAssumption::kUnrestricted:
-      return "unrestricted";
-    case PriorAssumption::kProduct:
-      return "product";
-    case PriorAssumption::kLogSupermodular:
-      return "log-supermodular";
-    case PriorAssumption::kSubcubeKnowledge:
-      return "subcube-knowledge";
-  }
-  return "?";
-}
-
-std::size_t AuditReport::count(Verdict v) const {
+std::size_t AuditReport::count(Verdict v, Section section) const {
   std::size_t c = 0;
-  for (const AuditFinding& f : per_disclosure) c += f.verdict == v;
+  if (section != Section::kPerUser) {
+    for (const AuditFinding& f : per_disclosure) c += f.verdict == v;
+  }
+  if (section != Section::kPerDisclosure) {
+    for (const AuditFinding& f : per_user_cumulative) c += f.verdict == v;
+  }
   return c;
 }
 
 Auditor::Auditor(RecordUniverse universe, PriorAssumption prior,
                  AuditorOptions options)
-    : universe_(std::move(universe)), prior_(prior), options_(options) {
+    : universe_(std::move(universe)),
+      engine_(static_cast<unsigned>(universe_.size()), prior, options) {
   if (universe_.empty()) {
     throw std::invalid_argument("Auditor: empty record universe");
   }
 }
 
 void Auditor::ensure_subcube_oracle() const {
+  std::lock_guard<std::mutex> lock(lazy_mutex_);
   if (!subcube_oracle_) {
     auto family = std::make_shared<SubcubeSigma>(universe_.size());
     subcube_oracle_ = std::make_shared<IntervalOracle>(
@@ -59,111 +57,140 @@ void Auditor::ensure_subcube_oracle() const {
   }
 }
 
-AuditFinding Auditor::audit_sets(const WorldSet& a, const WorldSet& b) const {
-  AuditFinding f;
-  switch (prior_) {
-    case PriorAssumption::kUnrestricted: {
-      const PipelineResult r = decide_unrestricted_safety(a, b);
-      f.verdict = r.verdict;
-      f.method = r.criterion;
-      f.certified = true;
-      if (r.witness_distribution) {
-        f.detail = "two-point prior on " + r.witness_distribution->support().to_string();
-      }
-      break;
-    }
-    case PriorAssumption::kProduct: {
-      const bool sos = options_.enable_sos && a.n() <= options_.max_sos_records;
-      const FullDecision d =
-          decide_product_safety_complete(a, b, options_.ascent, sos);
-      f.verdict = d.verdict;
-      f.method = d.method;
-      f.certified = d.certified;
-      f.numeric_gap = d.numeric_gap;
-      if (d.witness) f.detail = describe_product_witness(*d.witness);
-      break;
-    }
-    case PriorAssumption::kSubcubeKnowledge: {
-      ensure_subcube_oracle();
-      const bool safe =
-          subcube_oracle_->safe_minimal_intervals(to_finite(a), to_finite(b));
-      f.verdict = safe ? Verdict::kSafe : Verdict::kUnsafe;
-      f.method = "subcube-intervals";
-      f.certified = true;
-      if (!safe) {
-        f.detail = "a user knowing some records' exact contents learns A";
-      }
-      break;
-    }
-    case PriorAssumption::kLogSupermodular: {
-      const PipelineResult r = decide_supermodular_safety(a, b);
-      f.verdict = r.verdict;
-      f.method = r.criterion;
-      f.certified = r.verdict != Verdict::kUnknown;
-      if (r.witness_distribution) {
-        f.detail = "log-supermodular prior on " +
-                   r.witness_distribution->support().to_string();
-      } else if (r.witness_product) {
-        f.detail = describe_product_witness(*r.witness_product);
-      }
-      break;
-    }
+ThreadPool& Auditor::pool() const {
+  std::lock_guard<std::mutex> lock(lazy_mutex_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(engine_.options().threads);
+  return *pool_;
+}
+
+void Auditor::decide_pairs(const WorldSet& a,
+                           const std::vector<const WorldSet*>& bs,
+                           AuditContext& ctx,
+                           std::vector<EngineDecision>& out) const {
+  const std::size_t start = out.size();
+  out.resize(start + bs.size());
+  auto decide_one = [&](std::size_t i) {
+    out[start + i] = engine_.decide(a, *bs[i], ctx);
+  };
+  if (engine_.options().threads == 1 || bs.size() <= 1) {
+    for (std::size_t i = 0; i < bs.size(); ++i) decide_one(i);
+  } else {
+    pool().parallel_for(bs.size(), decide_one);
   }
-  return f;
+}
+
+AuditFinding Auditor::audit_sets(const WorldSet& a, const WorldSet& b) const {
+  AuditContext ctx;
+  if (engine_.prior() == PriorAssumption::kSubcubeKnowledge) {
+    ensure_subcube_oracle();
+    ctx.set_interval_oracle(subcube_oracle_);
+  }
+  return to_finding(engine_.decide(a, b, ctx));
 }
 
 AuditReport Auditor::audit(const AuditLog& log,
                            const std::string& audit_query_text) const {
   AuditReport report;
   report.audit_query = audit_query_text;
-  report.prior = prior_;
+  report.prior = engine_.prior();
   const WorldSet a = parse_query(audit_query_text)->compile(universe_);
 
-  // Possibilistic assumption: precompute the Delta classes for A once and
-  // reuse them for every disclosure (the Prop. 4.1 amortization, experiment
-  // E7 measures 30-200x).
-  std::optional<IntervalOracle::PreparedAudit> prepared;
-  if (prior_ == PriorAssumption::kSubcubeKnowledge) {
+  AuditContext ctx;
+  ctx.reset_stages(engine_.stage_names());
+  if (engine_.prior() == PriorAssumption::kSubcubeKnowledge) {
     ensure_subcube_oracle();
-    prepared = subcube_oracle_->prepare(to_finite(a));
+    ctx.set_interval_oracle(subcube_oracle_);
+    // Precompute the Delta classes for A once and reuse them for every
+    // disclosure (the Prop. 4.1 amortization, experiment E7 measures
+    // 30-200x).
+    ctx.prepare_subcube(a);
   }
 
-  for (const Disclosure& d : log.entries()) {
-    const WorldSet b = d.disclosed_set(universe_);
-    AuditFinding f;
-    if (prepared) {
-      const bool safe = prepared->safe(to_finite(b));
-      f.verdict = safe ? Verdict::kSafe : Verdict::kUnsafe;
-      f.method = "subcube-intervals(prepared)";
-      f.certified = true;
-      if (!safe) {
-        f.detail = "a user knowing some records' exact contents learns A";
-      }
-    } else {
-      f = audit_sets(a, b);
+  // Phase 1 (serial): compile each disclosure's set once, cached by
+  // (query text, answer) — the per-user conjunction loop below reuses these
+  // instead of re-compiling per user.
+  const std::vector<Disclosure>& entries = log.entries();
+  std::vector<const WorldSet*> disclosure_sets;
+  disclosure_sets.reserve(entries.size());
+  for (const Disclosure& d : entries) {
+    disclosure_sets.push_back(&ctx.compiled(
+        disclosure_key(d), [&] { return d.disclosed_set(universe_); }));
+  }
+
+  // Phase 2: decide each *distinct* disclosed set once, fanning out across
+  // the pool. Deduplication keeps stage counters (and wall clock) identical
+  // for every thread count.
+  std::vector<const WorldSet*> unique_bs;
+  std::vector<std::size_t> entry_slot(entries.size());
+  {
+    std::unordered_map<std::string, std::size_t> slot_of;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      auto [it, inserted] =
+          slot_of.emplace(disclosure_key(entries[i]), unique_bs.size());
+      if (inserted) unique_bs.push_back(disclosure_sets[i]);
+      entry_slot[i] = it->second;
     }
-    f.user = d.user;
-    f.query_text = d.query_text;
-    f.answer = d.answer;
+  }
+  std::vector<EngineDecision> decisions;
+  decide_pairs(a, unique_bs, ctx, decisions);
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    AuditFinding f = to_finding(decisions[entry_slot[i]]);
+    f.user = entries[i].user;
+    f.query_text = entries[i].query_text;
+    f.answer = entries[i].answer;
     report.per_disclosure.push_back(std::move(f));
   }
 
-  // Section 3.3: a user who received answers B1, ..., Bk knows B1 ∩ ... ∩ Bk.
-  for (const std::string& user : log.users()) {
-    WorldSet conjunction = WorldSet::universe(universe_.size());
+  // Phase 3: Section 3.3 — a user who received answers B1, ..., Bk knows
+  // B1 ∩ ... ∩ Bk. Conjunctions are cheap bitset ANDs over the cached sets;
+  // distinct conjunctions are decided in parallel, identical ones (and ones
+  // matching a phase-2 pair) come from the memo.
+  const std::vector<std::string> users = log.users();
+  std::vector<WorldSet> conjunctions;
+  std::vector<std::size_t> answered_counts;
+  conjunctions.reserve(users.size());
+  for (const std::string& user : users) {
+    WorldSet conjunction = WorldSet::universe(static_cast<unsigned>(universe_.size()));
     std::size_t answered = 0;
-    for (const Disclosure& d : log.entries()) {
-      if (d.user != user) continue;
-      conjunction &= d.disclosed_set(universe_);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].user != user) continue;
+      conjunction &= *disclosure_sets[i];
       ++answered;
     }
-    AuditFinding f = audit_sets(a, conjunction);
-    f.user = user;
-    f.query_text =
-        "<conjunction of " + std::to_string(answered) + " answered queries>";
+    conjunctions.push_back(std::move(conjunction));
+    answered_counts.push_back(answered);
+  }
+
+  std::vector<const WorldSet*> unique_conjunctions;
+  std::vector<std::size_t> user_slot(users.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    std::size_t slot = unique_conjunctions.size();
+    for (std::size_t v = 0; v < unique_conjunctions.size(); ++v) {
+      if (*unique_conjunctions[v] == conjunctions[u]) {
+        slot = v;
+        break;
+      }
+    }
+    if (slot == unique_conjunctions.size()) {
+      unique_conjunctions.push_back(&conjunctions[u]);
+    }
+    user_slot[u] = slot;
+  }
+  std::vector<EngineDecision> conjunction_decisions;
+  decide_pairs(a, unique_conjunctions, ctx, conjunction_decisions);
+
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    AuditFinding f = to_finding(conjunction_decisions[user_slot[u]]);
+    f.user = users[u];
+    f.query_text = "<conjunction of " + std::to_string(answered_counts[u]) +
+                   " answered queries>";
     f.answer = true;
     report.per_user_cumulative.push_back(std::move(f));
   }
+
+  report.stage_stats = ctx.stage_stats();
+  report.memo_hits = ctx.memo_hits();
   return report;
 }
 

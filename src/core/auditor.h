@@ -4,32 +4,26 @@
 // user could have *gained* confidence in A (Definitions 3.1 / 3.4), and
 // additionally audits each user's accumulated disclosures (Section 3.3:
 // acquiring B1 then B2 equals acquiring B1 ∩ B2).
+//
+// Decisions run through the staged DecisionEngine (src/engine/): an ordered
+// cascade of CriterionStage objects per prior assumption, with a per-audit
+// AuditContext caching compiled disclosure sets, memoizing (A, B)-pair
+// verdicts and amortizing the subcube interval machinery. Batch audits fan
+// disclosures out across a thread pool with deterministic, log-order output.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
-#include <memory>
-#include <optional>
-
 #include "core/audit_log.h"
 #include "criteria/verdict.h"
-#include "optimize/emptiness.h"
+#include "engine/decision_engine.h"
+#include "engine/thread_pool.h"
 #include "possibilistic/intervals.h"
 
 namespace epi {
-
-/// The auditor's assumption about users' prior knowledge.
-enum class PriorAssumption {
-  kUnrestricted,      ///< any prior (Theorem 3.11 — exact and instant)
-  kProduct,           ///< record-wise independence, Pi_m0 (Section 5.1)
-  kLogSupermodular,   ///< no negative correlations, Pi_m+ (Section 5)
-  /// Possibilistic: the user knows the exact contents of some subset of
-  /// records (the subcube family; Section 4.1 machinery, always definite).
-  kSubcubeKnowledge,
-};
-
-std::string to_string(PriorAssumption prior);
 
 /// The verdict for one disclosure (or one user's accumulated disclosures).
 struct AuditFinding {
@@ -50,14 +44,19 @@ struct AuditReport {
   std::vector<AuditFinding> per_disclosure;
   std::vector<AuditFinding> per_user_cumulative;
 
-  std::size_t count(Verdict v) const;
-};
+  /// Per-stage decision counters and wall time, in engine cascade order.
+  std::vector<StageStats> stage_stats;
+  /// (A, B)-pair verdicts served from the per-audit memo (e.g. a one-query
+  /// user's conjunction equals their single disclosure).
+  std::size_t memo_hits = 0;
 
-/// Tuning knobs for the auditor's decision stages.
-struct AuditorOptions {
-  bool enable_sos = true;        ///< SOS certificate stage (product prior)
-  unsigned max_sos_records = 4;  ///< skip SOS above this many records
-  AscentOptions ascent;          ///< optimizer budget (product prior)
+  /// Which findings count() aggregates over.
+  enum class Section { kPerDisclosure, kPerUser, kAll };
+
+  /// Number of findings with verdict `v` in the chosen section(s). Counts
+  /// BOTH the per-disclosure and the per-user cumulative sections unless a
+  /// narrower section is requested.
+  std::size_t count(Verdict v, Section section = Section::kAll) const;
 };
 
 /// Offline auditor over a fixed record universe.
@@ -67,10 +66,17 @@ class Auditor {
           AuditorOptions options = {});
 
   const RecordUniverse& universe() const { return universe_; }
-  PriorAssumption prior() const { return prior_; }
+  PriorAssumption prior() const { return engine_.prior(); }
+
+  /// The decision cascade; exposed so applications can register custom
+  /// CriterionStages (setup time only — see docs/extending.md).
+  DecisionEngine& engine() { return engine_; }
+  const DecisionEngine& engine() const { return engine_; }
 
   /// Audits every disclosure in the log, plus each user's conjunction,
-  /// against the sensitive property given as query text.
+  /// against the sensitive property given as query text. Disclosures are
+  /// decided in parallel across AuditorOptions::threads workers; the report
+  /// is byte-identical for every thread count.
   AuditReport audit(const AuditLog& log, const std::string& audit_query_text) const;
 
   /// One A-vs-B decision under the configured prior assumption.
@@ -78,13 +84,19 @@ class Auditor {
 
  private:
   RecordUniverse universe_;
-  PriorAssumption prior_;
-  AuditorOptions options_;
+  DecisionEngine engine_;
   void ensure_subcube_oracle() const;
+  ThreadPool& pool() const;
+  void decide_pairs(const WorldSet& a, const std::vector<const WorldSet*>& bs,
+                    AuditContext& ctx, std::vector<EngineDecision>& out) const;
 
   /// Lazily-built subcube interval oracle (kSubcubeKnowledge only); shared
   /// across audits so interval memoization is amortized over the log.
   mutable std::shared_ptr<IntervalOracle> subcube_oracle_;
+
+  /// Lazily-spawned worker pool, reused across audit() calls.
+  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex lazy_mutex_;
 };
 
 }  // namespace epi

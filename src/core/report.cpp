@@ -18,20 +18,45 @@ void append_rows(std::ostringstream& os, const std::vector<AuditFinding>& rows) 
   }
 }
 
+void append_verdict_mix(std::ostringstream& os, const AuditReport& report,
+                        AuditReport::Section section) {
+  os << report.count(Verdict::kUnsafe, section) << " unsafe, "
+     << report.count(Verdict::kSafe, section) << " safe, "
+     << report.count(Verdict::kUnknown, section) << " unknown";
+}
+
 }  // namespace
 
 std::string format_report(const AuditReport& report) {
   std::ostringstream os;
   os << "Audit query  : " << report.audit_query << "\n";
   os << "Prior family : " << to_string(report.prior) << "\n";
-  os << "Disclosures  : " << report.per_disclosure.size() << " ("
-     << report.count(Verdict::kUnsafe) << " unsafe, "
-     << report.count(Verdict::kSafe) << " safe, "
-     << report.count(Verdict::kUnknown) << " unknown)\n";
+  os << "Disclosures  : " << report.per_disclosure.size() << " (";
+  append_verdict_mix(os, report, AuditReport::Section::kPerDisclosure);
+  os << ")\n";
+  os << "Cumulative   : " << report.per_user_cumulative.size() << " users (";
+  append_verdict_mix(os, report, AuditReport::Section::kPerUser);
+  os << ")\n";
   os << "\nPer disclosure:\n";
   append_rows(os, report.per_disclosure);
   os << "\nPer user (accumulated knowledge, Section 3.3):\n";
   append_rows(os, report.per_user_cumulative);
+  return os.str();
+}
+
+std::string format_stage_stats(const AuditReport& report) {
+  std::ostringstream os;
+  os << "Decision stages (" << to_string(report.prior) << "):\n";
+  os << "  " << std::left << std::setw(28) << "stage" << std::right
+     << std::setw(8) << "runs" << std::setw(10) << "decided" << std::setw(12)
+     << "wall-ms" << "\n";
+  for (const StageStats& s : report.stage_stats) {
+    os << "  " << std::left << std::setw(28) << s.name << std::right
+       << std::setw(8) << s.invocations << std::setw(10) << s.decisions
+       << std::setw(12) << std::fixed << std::setprecision(3)
+       << s.wall_seconds * 1e3 << "\n";
+  }
+  os << "  memo hits: " << report.memo_hits << "\n";
   return os.str();
 }
 

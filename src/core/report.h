@@ -11,4 +11,9 @@ namespace epi {
 /// a per-user cumulative section.
 std::string format_report(const AuditReport& report);
 
+/// Renders the decision-path instrumentation: one row per engine stage with
+/// invocation / decision counts and cumulative wall time, plus the pair-memo
+/// hit count. Counts are deterministic; wall times are wall times.
+std::string format_stage_stats(const AuditReport& report);
+
 }  // namespace epi

@@ -9,6 +9,98 @@
 #include "probabilistic/safe.h"
 
 namespace epi {
+namespace {
+
+CriterionOutcome safe_when(bool holds) {
+  CriterionOutcome o;
+  if (holds) o.verdict = Verdict::kSafe;
+  return o;
+}
+
+CriterionOutcome theorem_311(const WorldSet& a, const WorldSet& b) {
+  return safe_when(unconditionally_safe(a, b));
+}
+
+CriterionOutcome miklau_suciu(const WorldSet& a, const WorldSet& b) {
+  return safe_when(miklau_suciu_independent(a, b));
+}
+
+CriterionOutcome monotonicity(const WorldSet& a, const WorldSet& b) {
+  return safe_when(monotonicity_criterion(a, b));
+}
+
+CriterionOutcome cancellation(const WorldSet& a, const WorldSet& b) {
+  return safe_when(cancellation_criterion(a, b).holds);
+}
+
+CriterionOutcome box_necessary(const WorldSet& a, const WorldSet& b) {
+  CriterionOutcome o;
+  BoxNecessaryResult box = box_necessary_criterion(a, b);
+  if (!box.holds) {
+    o.verdict = Verdict::kUnsafe;
+    o.witness_product = std::move(box.witness);
+  }
+  return o;
+}
+
+CriterionOutcome four_functions(const WorldSet& a, const WorldSet& b) {
+  return safe_when(supermodular_sufficient(a, b));
+}
+
+CriterionOutcome supermodular_refutation(const WorldSet& a, const WorldSet& b) {
+  CriterionOutcome o;
+  if (auto witness = supermodular_necessary_witness(a, b)) {
+    o.verdict = Verdict::kUnsafe;
+    o.witness_distribution = std::move(witness);
+  }
+  return o;
+}
+
+// The 3^n box tables are memory-bound; above the TernaryTable limit the
+// stage is skipped rather than failing the whole cascade.
+constexpr unsigned kBoxTableMaxN = 14;
+
+PipelineResult run_cascade(const std::vector<NamedCriterion>& cascade,
+                           const WorldSet& a, const WorldSet& b,
+                           const char* exhausted_label) {
+  PipelineResult r;
+  for (const NamedCriterion& c : cascade) {
+    if (c.max_n != 0 && a.n() > c.max_n) continue;
+    CriterionOutcome o = c.test(a, b);
+    if (o.verdict == Verdict::kUnknown) continue;
+    r.verdict = o.verdict;
+    r.criterion = c.name;
+    r.witness_distribution = std::move(o.witness_distribution);
+    r.witness_product = std::move(o.witness_product);
+    return r;
+  }
+  r.verdict = Verdict::kUnknown;
+  r.criterion = exhausted_label;
+  return r;
+}
+
+}  // namespace
+
+const std::vector<NamedCriterion>& product_criteria() {
+  static const std::vector<NamedCriterion> kTable = {
+      {"theorem-3.11", 0, theorem_311},
+      {"miklau-suciu", 0, miklau_suciu},
+      {"monotonicity", 0, monotonicity},
+      {"cancellation", 0, cancellation},
+      {"box-necessary", kBoxTableMaxN, box_necessary},
+  };
+  return kTable;
+}
+
+const std::vector<NamedCriterion>& supermodular_criteria() {
+  static const std::vector<NamedCriterion> kTable = {
+      {"theorem-3.11", 0, theorem_311},
+      {"four-functions-sufficient", 0, four_functions},
+      {"supermodular-necessary", 0, supermodular_refutation},
+      {"box-necessary", kBoxTableMaxN, box_necessary},
+  };
+  return kTable;
+}
 
 PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b) {
   PipelineResult r;
@@ -24,78 +116,12 @@ PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b) 
 }
 
 PipelineResult decide_product_safety(const WorldSet& a, const WorldSet& b) {
-  PipelineResult r;
-  if (unconditionally_safe(a, b)) {
-    r.verdict = Verdict::kSafe;
-    r.criterion = "theorem-3.11";
-    return r;
-  }
-  if (miklau_suciu_independent(a, b)) {
-    r.verdict = Verdict::kSafe;
-    r.criterion = "miklau-suciu";
-    return r;
-  }
-  if (monotonicity_criterion(a, b)) {
-    r.verdict = Verdict::kSafe;
-    r.criterion = "monotonicity";
-    return r;
-  }
-  if (cancellation_criterion(a, b).holds) {
-    r.verdict = Verdict::kSafe;
-    r.criterion = "cancellation";
-    return r;
-  }
-  // The 3^n box tables are memory-bound; above the TernaryTable limit the
-  // stage is skipped rather than failing the whole pipeline.
-  if (a.n() <= 14) {
-    BoxNecessaryResult box = box_necessary_criterion(a, b);
-    if (!box.holds) {
-      r.verdict = Verdict::kUnsafe;
-      r.criterion = "box-necessary";
-      r.witness_product = box.witness;
-      return r;
-    }
-  }
-  r.verdict = Verdict::kUnknown;
-  r.criterion = "exhausted-combinatorial-criteria";
-  return r;
+  return run_cascade(product_criteria(), a, b, "exhausted-combinatorial-criteria");
 }
 
 PipelineResult decide_supermodular_safety(const WorldSet& a, const WorldSet& b) {
-  PipelineResult r;
-  if (unconditionally_safe(a, b)) {
-    r.verdict = Verdict::kSafe;
-    r.criterion = "theorem-3.11";
-    return r;
-  }
-  if (supermodular_sufficient(a, b)) {
-    r.verdict = Verdict::kSafe;
-    r.criterion = "four-functions-sufficient";
-    return r;
-  }
-  if (auto witness = supermodular_necessary_witness(a, b)) {
-    r.verdict = Verdict::kUnsafe;
-    r.criterion = "supermodular-necessary";
-    r.witness_distribution = std::move(witness);
-    return r;
-  }
-  // Product priors are log-supermodular (Pi_m0 ⊆ Pi_m+), so a product
-  // witness from the box criterion also refutes Pi_m+ safety.
-  if (a.n() > 14) {
-    r.verdict = Verdict::kUnknown;
-    r.criterion = "exhausted-supermodular-criteria";
-    return r;
-  }
-  BoxNecessaryResult box = box_necessary_criterion(a, b);
-  if (!box.holds) {
-    r.verdict = Verdict::kUnsafe;
-    r.criterion = "box-necessary";
-    r.witness_product = box.witness;
-    return r;
-  }
-  r.verdict = Verdict::kUnknown;
-  r.criterion = "exhausted-supermodular-criteria";
-  return r;
+  return run_cascade(supermodular_criteria(), a, b,
+                     "exhausted-supermodular-criteria");
 }
 
 }  // namespace epi

@@ -1,10 +1,16 @@
 // Staged decision procedures combining the paper's criteria. Cheap
 // combinatorial tests run first; every definite verdict carries the name of
 // the deciding criterion, and unsafe verdicts carry a witness prior.
+//
+// The criteria themselves are exposed as ordered tables of NamedCriterion so
+// that the DecisionEngine (src/engine/) and the legacy decide_* entry points
+// below run literally the same tests in the same order — decide_* are thin
+// compatibility wrappers over the tables.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "criteria/verdict.h"
 #include "probabilistic/distribution.h"
@@ -24,18 +30,40 @@ struct PipelineResult {
   std::optional<ProductDistribution> witness_product;
 };
 
+/// One criterion's answer: kUnknown passes the pair to the next entry.
+struct CriterionOutcome {
+  Verdict verdict = Verdict::kUnknown;
+  std::optional<Distribution> witness_distribution;
+  std::optional<ProductDistribution> witness_product;
+};
+
+/// A named, ordered entry of a decision cascade.
+struct NamedCriterion {
+  const char* name;
+  /// Skip the criterion when a.n() > max_n (0 = no limit). Used for the
+  /// memory-bound 3^n box tables.
+  unsigned max_n;
+  CriterionOutcome (*test)(const WorldSet& a, const WorldSet& b);
+};
+
+/// The product-prior cascade (Pi_m0): Theorem 3.11, Miklau-Suciu (Thm 5.7),
+/// monotonicity, cancellation (Prop 5.9) for "safe"; the box-count criterion
+/// (Prop 5.10, n <= 14) for "unsafe".
+const std::vector<NamedCriterion>& product_criteria();
+
+/// The log-supermodular cascade (Pi_m+): Theorem 3.11 and Proposition 5.4
+/// for "safe"; Proposition 5.2 (4-point witness) and — since Pi_m0 ⊆ Pi_m+ —
+/// the box-count criterion for "unsafe".
+const std::vector<NamedCriterion>& supermodular_criteria();
+
 /// Decides Safe over all priors (Theorem 3.11) — always definite.
 PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b);
 
-/// Decides Safe_{Pi_m0}(A,B) (product priors) via, in order: Theorem 3.11,
-/// Miklau-Suciu (Thm 5.7), monotonicity, cancellation (Prop 5.9) for "safe";
-/// the box-count criterion (Prop 5.10) for "unsafe"; otherwise unknown
-/// (escalate to the optimizer / algebraic layer).
+/// Runs product_criteria() in order; kUnknown means "escalate to the
+/// optimizer / algebraic layer".
 PipelineResult decide_product_safety(const WorldSet& a, const WorldSet& b);
 
-/// Decides Safe_{Pi_m+}(A,B) (log-supermodular priors) via Theorem 3.11 and
-/// Proposition 5.4 for "safe", Proposition 5.2 for "unsafe" (with a 4-point
-/// witness); otherwise unknown.
+/// Runs supermodular_criteria() in order; otherwise unknown.
 PipelineResult decide_supermodular_safety(const WorldSet& a, const WorldSet& b);
 
 }  // namespace epi

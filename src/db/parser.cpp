@@ -1,5 +1,6 @@
 #include "db/parser.h"
 
+#include <atomic>
 #include <cctype>
 #include <string>
 
@@ -144,8 +145,21 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+std::atomic<std::size_t> g_parse_query_calls{0};
+
 }  // namespace
 
-QueryPtr parse_query(const std::string& text) { return Parser(text).parse(); }
+QueryPtr parse_query(const std::string& text) {
+  g_parse_query_calls.fetch_add(1, std::memory_order_relaxed);
+  return Parser(text).parse();
+}
+
+std::size_t parse_query_call_count() {
+  return g_parse_query_calls.load(std::memory_order_relaxed);
+}
+
+void reset_parse_query_call_count() {
+  g_parse_query_calls.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace epi

@@ -22,4 +22,10 @@ class ParseError : public std::runtime_error {
 /// Parses the query grammar above.
 QueryPtr parse_query(const std::string& text);
 
+/// Instrumentation: process-wide number of parse_query calls. Lets tests
+/// (and telemetry) assert that batch audits parse each query exactly once
+/// instead of re-parsing per disclosure or per user.
+std::size_t parse_query_call_count();
+void reset_parse_query_call_count();
+
 }  // namespace epi

@@ -1,0 +1,90 @@
+#include "engine/audit_context.h"
+
+#include <stdexcept>
+
+#include "worlds/finite_set.h"
+
+namespace epi {
+
+const WorldSet& AuditContext::compiled(const std::string& key,
+                                       const std::function<WorldSet()>& make) {
+  {
+    std::lock_guard<std::mutex> lock(compiled_mutex_);
+    auto it = compiled_.find(key);
+    if (it != compiled_.end()) return it->second;
+  }
+  // Compile outside the lock (parses/compiles can be expensive); a racing
+  // duplicate compilation is benign — first insert wins.
+  WorldSet made = make();
+  std::lock_guard<std::mutex> lock(compiled_mutex_);
+  auto [it, inserted] = compiled_.emplace(key, std::move(made));
+  if (inserted) compile_count_.fetch_add(1);
+  return it->second;
+}
+
+std::optional<EngineDecision> AuditContext::find_memo(const WorldSet& a,
+                                                      const WorldSet& b) const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  auto it = memo_.find(PairKey{a, b});
+  if (it == memo_.end()) return std::nullopt;
+  memo_hits_.fetch_add(1);
+  return it->second;
+}
+
+void AuditContext::memoize(const WorldSet& a, const WorldSet& b,
+                           EngineDecision decision) {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  memo_.emplace(PairKey{a, b}, std::move(decision));
+}
+
+void AuditContext::set_interval_oracle(std::shared_ptr<IntervalOracle> oracle) {
+  oracle_ = std::move(oracle);
+}
+
+void AuditContext::prepare_subcube(const WorldSet& a) {
+  if (!oracle_) {
+    throw std::logic_error("AuditContext::prepare_subcube: no interval oracle");
+  }
+  prepared_a_ = a;
+  prepared_ = oracle_->prepare(to_finite(a));
+}
+
+const IntervalOracle::PreparedAudit* AuditContext::prepared_for(
+    const WorldSet& a) const {
+  if (!prepared_ || !prepared_a_ || *prepared_a_ != a) return nullptr;
+  return &*prepared_;
+}
+
+void AuditContext::reset_stages(const std::vector<std::string>& names) {
+  stage_names_ = names;
+  stage_slots_.clear();
+  stage_slots_.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    stage_slots_.push_back(std::make_unique<StageSlot>());
+  }
+}
+
+void AuditContext::record_stage(std::size_t index, bool decided,
+                                std::int64_t nanos) {
+  if (index >= stage_slots_.size()) return;  // unconfigured context: no stats
+  StageSlot& slot = *stage_slots_[index];
+  slot.invocations.fetch_add(1);
+  if (decided) slot.decisions.fetch_add(1);
+  slot.nanos.fetch_add(nanos);
+}
+
+std::vector<StageStats> AuditContext::stage_stats() const {
+  std::vector<StageStats> out;
+  out.reserve(stage_names_.size());
+  for (std::size_t i = 0; i < stage_names_.size(); ++i) {
+    StageStats s;
+    s.name = stage_names_[i];
+    s.invocations = stage_slots_[i]->invocations.load();
+    s.decisions = stage_slots_[i]->decisions.load();
+    s.wall_seconds = static_cast<double>(stage_slots_[i]->nanos.load()) * 1e-9;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace epi

@@ -1,0 +1,114 @@
+// Per-audit shared state: compiled-query caching, (A, B)-pair verdict
+// memoization, the prepared subcube interval oracle, and per-stage counters.
+// One AuditContext lives for the duration of one Auditor::audit() call and
+// is shared — thread-safely — by every worker deciding pairs for it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/criterion_stage.h"
+#include "possibilistic/intervals.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+/// Decision-path instrumentation for one engine stage, aggregated over an
+/// audit: how often the stage ran, how often it decided, and the cumulative
+/// wall time spent inside it.
+struct StageStats {
+  std::string name;
+  std::size_t invocations = 0;
+  std::size_t decisions = 0;
+  double wall_seconds = 0.0;
+};
+
+class AuditContext {
+ public:
+  AuditContext() = default;
+
+  AuditContext(const AuditContext&) = delete;
+  AuditContext& operator=(const AuditContext&) = delete;
+
+  // --- Compiled-set cache -------------------------------------------------
+  /// Returns the cached WorldSet under `key`, calling `make` on first use.
+  /// References stay valid for the context's lifetime. Keys are the
+  /// disclosure's (query text, answer) pair, so a query answered the same
+  /// way to many users compiles exactly once per audit.
+  const WorldSet& compiled(const std::string& key,
+                           const std::function<WorldSet()>& make);
+
+  /// Number of cache misses (i.e. actual compilations) so far.
+  std::size_t compile_count() const { return compile_count_.load(); }
+
+  // --- Pair-verdict memoization -------------------------------------------
+  /// The memoized decision for (a, b), if any.
+  std::optional<EngineDecision> find_memo(const WorldSet& a,
+                                          const WorldSet& b) const;
+  void memoize(const WorldSet& a, const WorldSet& b, EngineDecision decision);
+  /// Number of find_memo hits (cross-section reuse, e.g. a one-query user's
+  /// conjunction equals their single disclosure).
+  std::size_t memo_hits() const { return memo_hits_.load(); }
+
+  // --- Subcube interval machinery (kSubcubeKnowledge) ---------------------
+  void set_interval_oracle(std::shared_ptr<IntervalOracle> oracle);
+  const std::shared_ptr<IntervalOracle>& interval_oracle() const {
+    return oracle_;
+  }
+  /// Precomputes the Delta classes for audit query A (Prop. 4.1
+  /// amortization); requires an oracle.
+  void prepare_subcube(const WorldSet& a);
+  /// The prepared structure when one was built for exactly this A.
+  const IntervalOracle::PreparedAudit* prepared_for(const WorldSet& a) const;
+
+  // --- Per-stage counters --------------------------------------------------
+  /// Installs one counter slot per stage; must be called before decisions
+  /// run (not thread-safe against record_stage).
+  void reset_stages(const std::vector<std::string>& names);
+  /// Accumulates one stage invocation (thread-safe).
+  void record_stage(std::size_t index, bool decided, std::int64_t nanos);
+  std::vector<StageStats> stage_stats() const;
+
+ private:
+  struct PairKey {
+    WorldSet a;
+    WorldSet b;
+    bool operator==(const PairKey& o) const { return a == o.a && b == o.b; }
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const {
+      const std::size_t ha = k.a.hash();
+      return ha ^ (k.b.hash() + 0x9e3779b97f4a7c15ull + (ha << 6) + (ha >> 2));
+    }
+  };
+
+  struct StageSlot {
+    std::atomic<std::size_t> invocations{0};
+    std::atomic<std::size_t> decisions{0};
+    std::atomic<std::int64_t> nanos{0};
+  };
+
+  mutable std::mutex compiled_mutex_;
+  std::unordered_map<std::string, WorldSet> compiled_;
+  std::atomic<std::size_t> compile_count_{0};
+
+  mutable std::mutex memo_mutex_;
+  std::unordered_map<PairKey, EngineDecision, PairKeyHash> memo_;
+  mutable std::atomic<std::size_t> memo_hits_{0};
+
+  std::shared_ptr<IntervalOracle> oracle_;
+  std::optional<WorldSet> prepared_a_;
+  std::optional<IntervalOracle::PreparedAudit> prepared_;
+
+  std::vector<std::string> stage_names_;
+  std::vector<std::unique_ptr<StageSlot>> stage_slots_;
+};
+
+}  // namespace epi

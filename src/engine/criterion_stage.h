@@ -1,0 +1,74 @@
+// First-class decision stages for the DecisionEngine. Each stage wraps one
+// of the paper's criteria (or an escalation such as the optimizer / SOS
+// certificate) behind a uniform interface: a name for reporting, an
+// applicability predicate, and a decide() that either settles the (A, B)
+// pair or passes it down the cascade.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "criteria/verdict.h"
+#include "probabilistic/distribution.h"
+#include "probabilistic/product.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+
+class AuditContext;
+
+/// What one stage reports back. verdict == kUnknown means "cannot decide,
+/// cascade to the next stage"; numeric_gap is meaningful either way (the
+/// coordinate-ascent stage records its best gap even when it fails to find
+/// a violating prior).
+struct StageDecision {
+  Verdict verdict = Verdict::kUnknown;
+  std::string method;      ///< deciding criterion label (defaults to the stage name)
+  bool certified = false;  ///< proof-backed rather than numerics-only
+  double numeric_gap = 0.0;
+  /// Unsafe verdicts carry a witness prior: a product witness (lifted and
+  /// formatted by the engine, so projection-reduced stages stay oblivious)...
+  std::optional<ProductDistribution> witness_product;
+  /// ...or a general distribution, described by `detail` directly.
+  std::optional<Distribution> witness_distribution;
+  std::string detail;  ///< human-readable witness description
+};
+
+/// The engine's final answer for one (A, B) pair. The Auditor turns this
+/// into an AuditFinding by attaching the user / query provenance.
+struct EngineDecision {
+  Verdict verdict = Verdict::kUnknown;
+  std::string method;
+  bool certified = false;
+  double numeric_gap = 0.0;
+  std::string detail;
+};
+
+/// One stage of the decision cascade. Implementations must be safe to call
+/// concurrently from multiple worker threads: decide() is const and any
+/// shared mutable state (memo tables, oracles) must synchronize internally
+/// or live in the AuditContext.
+class CriterionStage {
+ public:
+  virtual ~CriterionStage() = default;
+
+  /// Stable label used in per-stage statistics and `method` strings.
+  virtual std::string_view name() const = 0;
+
+  /// Cheap gate evaluated before decide(); inapplicable stages are skipped
+  /// without counting an invocation (e.g. the 3^n box tables above n = 14).
+  virtual bool applicable(const WorldSet& a, const WorldSet& b,
+                          const AuditContext& ctx) const {
+    (void)a;
+    (void)b;
+    (void)ctx;
+    return true;
+  }
+
+  /// Decides Safe(A, B) or returns verdict kUnknown to cascade.
+  virtual StageDecision decide(const WorldSet& a, const WorldSet& b,
+                               AuditContext& ctx) const = 0;
+};
+
+}  // namespace epi

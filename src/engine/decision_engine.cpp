@@ -1,0 +1,162 @@
+#include "engine/decision_engine.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "criteria/projection.h"
+#include "engine/stages.h"
+
+namespace epi {
+namespace {
+
+std::string describe_product_witness(const ProductDistribution& p) {
+  std::ostringstream os;
+  os << "product prior with p = (";
+  for (unsigned i = 0; i < p.n(); ++i) {
+    os << (i ? ", " : "") << p.param(i);
+  }
+  os << ")";
+  return os.str();
+}
+
+/// Lifts a witness found in the projected space back to the full space:
+/// projected parameters on kept coordinates, 1/2 on the irrelevant ones (any
+/// value preserves the gap).
+ProductDistribution lift_witness(const ProjectedPair& projection,
+                                 const ProductDistribution& witness,
+                                 unsigned original_n) {
+  std::vector<double> params(original_n, 0.5);
+  for (std::size_t i = 0; i < projection.kept_coordinates.size(); ++i) {
+    params[projection.kept_coordinates[i]] =
+        witness.param(static_cast<unsigned>(i));
+  }
+  return ProductDistribution(params);
+}
+
+}  // namespace
+
+std::string to_string(PriorAssumption prior) {
+  switch (prior) {
+    case PriorAssumption::kUnrestricted:
+      return "unrestricted";
+    case PriorAssumption::kProduct:
+      return "product";
+    case PriorAssumption::kLogSupermodular:
+      return "log-supermodular";
+    case PriorAssumption::kSubcubeKnowledge:
+      return "subcube-knowledge";
+  }
+  return "?";
+}
+
+DecisionEngine::DecisionEngine(unsigned records, PriorAssumption prior,
+                               AuditorOptions options)
+    : records_(records), prior_(prior), options_(options) {
+  build_stages();
+}
+
+void DecisionEngine::build_stages() {
+  switch (prior_) {
+    case PriorAssumption::kUnrestricted:
+      stages_.push_back(make_unrestricted_stage());
+      exhausted_label_ = "exhausted-criteria";
+      break;
+    case PriorAssumption::kProduct:
+      for (const NamedCriterion& entry : product_criteria()) {
+        stages_.push_back(make_table_stage(entry, "product prior on "));
+      }
+      stages_.push_back(make_coordinate_ascent_stage(options_.ascent));
+      // The legacy gate evaluates on the original record count (projection
+      // may shrink the pair, but the enable decision predates it).
+      stages_.push_back(make_sos_certificate_stage(
+          options_.enable_sos && records_ <= options_.max_sos_records));
+      stages_.push_back(make_numeric_fallback_stage());
+      exhausted_label_ = "exhausted-combinatorial-criteria";
+      break;
+    case PriorAssumption::kLogSupermodular:
+      for (const NamedCriterion& entry : supermodular_criteria()) {
+        stages_.push_back(make_table_stage(entry, "log-supermodular prior on "));
+      }
+      exhausted_label_ = "exhausted-supermodular-criteria";
+      break;
+    case PriorAssumption::kSubcubeKnowledge:
+      stages_.push_back(make_subcube_interval_stage());
+      exhausted_label_ = "exhausted-interval-criteria";
+      break;
+  }
+}
+
+std::vector<std::string> DecisionEngine::stage_names() const {
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const auto& stage : stages_) names.emplace_back(stage->name());
+  return names;
+}
+
+void DecisionEngine::register_stage(std::unique_ptr<CriterionStage> stage,
+                                    std::size_t position) {
+  if (position > stages_.size()) position = stages_.size();
+  stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(position),
+                 std::move(stage));
+}
+
+EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
+                                      AuditContext& ctx) const {
+  if (std::optional<EngineDecision> memo = ctx.find_memo(a, b)) return *memo;
+
+  // Product-prior stage 0: drop non-critical coordinates (Section 6's
+  // "relevant worlds" argument) — product-family safety is invariant under
+  // marginalizing them, and every later stage gets exponentially cheaper.
+  const WorldSet* wa = &a;
+  const WorldSet* wb = &b;
+  std::string prefix;
+  std::optional<ProjectedPair> projection;
+  if (prior_ == PriorAssumption::kProduct) {
+    ProjectedPair p = project_to_critical(a, b);
+    if (p.kept_coordinates.size() < a.n()) {
+      prefix = "projected[" + std::to_string(p.kept_coordinates.size()) + "/" +
+               std::to_string(a.n()) + "]+";
+      projection = std::move(p);
+      wa = &projection->a;
+      wb = &projection->b;
+    }
+  }
+
+  EngineDecision result;
+  double numeric_gap = 0.0;
+  bool decided = false;
+  for (std::size_t i = 0; i < stages_.size() && !decided; ++i) {
+    const CriterionStage& stage = *stages_[i];
+    if (!stage.applicable(*wa, *wb, ctx)) continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    StageDecision d = stage.decide(*wa, *wb, ctx);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    ctx.record_stage(i, d.verdict != Verdict::kUnknown, elapsed);
+    if (d.numeric_gap > numeric_gap) numeric_gap = d.numeric_gap;
+    if (d.verdict == Verdict::kUnknown) continue;
+    decided = true;
+    result.verdict = d.verdict;
+    result.method = prefix + d.method;
+    result.certified = d.certified;
+    result.detail = std::move(d.detail);
+    if (d.witness_product) {
+      const ProductDistribution witness =
+          projection ? lift_witness(*projection, *d.witness_product, a.n())
+                     : *d.witness_product;
+      result.detail = describe_product_witness(witness);
+    }
+  }
+  if (!decided) {
+    result.verdict = Verdict::kUnknown;
+    result.method = exhausted_label_;
+    result.certified = false;
+  }
+  result.numeric_gap = numeric_gap;
+  ctx.memoize(a, b, result);
+  return result;
+}
+
+}  // namespace epi

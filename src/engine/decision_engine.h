@@ -1,0 +1,83 @@
+// The DecisionEngine: one ordered cascade of CriterionStage objects per
+// prior assumption, replacing the hard-coded switch the Auditor used to
+// carry. The engine owns the stage list, handles the product-prior
+// projection onto critical coordinates (Section 6's "relevant worlds"
+// argument, including witness lifting), memoizes (A, B)-pair verdicts in the
+// AuditContext, and accumulates per-stage statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/audit_context.h"
+#include "engine/criterion_stage.h"
+#include "optimize/emptiness.h"
+
+namespace epi {
+
+/// The auditor's assumption about users' prior knowledge.
+enum class PriorAssumption {
+  kUnrestricted,      ///< any prior (Theorem 3.11 — exact and instant)
+  kProduct,           ///< record-wise independence, Pi_m0 (Section 5.1)
+  kLogSupermodular,   ///< no negative correlations, Pi_m+ (Section 5)
+  /// Possibilistic: the user knows the exact contents of some subset of
+  /// records (the subcube family; Section 4.1 machinery, always definite).
+  kSubcubeKnowledge,
+};
+
+std::string to_string(PriorAssumption prior);
+
+/// Tuning knobs for the decision stages and the batch audit path.
+struct AuditorOptions {
+  bool enable_sos = true;        ///< SOS certificate stage (product prior)
+  unsigned max_sos_records = 4;  ///< skip SOS above this many records
+  AscentOptions ascent;          ///< optimizer budget (product prior)
+  /// Worker threads for Auditor::audit batch fan-out (0 = one per hardware
+  /// thread). Reports are deterministic for every value.
+  unsigned threads = 1;
+};
+
+/// Runs the per-prior stage cascade for (A, B) pairs. Construction is cheap;
+/// decide() is const and safe to call from many threads sharing one
+/// AuditContext. register_stage() is setup-time only — never call it while
+/// decisions are in flight.
+class DecisionEngine {
+ public:
+  /// `records` is the universe size |records| = n; it gates stages whose
+  /// cost scales with the unprojected space (e.g. SOS certificates).
+  DecisionEngine(unsigned records, PriorAssumption prior,
+                 AuditorOptions options = {});
+
+  PriorAssumption prior() const { return prior_; }
+  const AuditorOptions& options() const { return options_; }
+
+  const std::vector<std::unique_ptr<CriterionStage>>& stages() const {
+    return stages_;
+  }
+  /// Stage labels in cascade order (for AuditContext::reset_stages).
+  std::vector<std::string> stage_names() const;
+
+  /// Inserts a custom stage at `position` (clamped to the list size). Note
+  /// that terminal stages such as the product prior's "numeric-only"
+  /// fallback always decide, so stages appended after them never run.
+  void register_stage(std::unique_ptr<CriterionStage> stage,
+                      std::size_t position);
+
+  /// Decides one (A, B) pair: memo lookup, product-prior projection, then
+  /// the stage cascade. Per-stage counters land in `ctx` when its slots were
+  /// configured with stage_names().
+  EngineDecision decide(const WorldSet& a, const WorldSet& b,
+                        AuditContext& ctx) const;
+
+ private:
+  void build_stages();
+
+  unsigned records_;
+  PriorAssumption prior_;
+  AuditorOptions options_;
+  std::vector<std::unique_ptr<CriterionStage>> stages_;
+  std::string exhausted_label_;
+};
+
+}  // namespace epi

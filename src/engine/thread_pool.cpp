@@ -1,0 +1,113 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace epi {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // The caller participates in parallel_for, so a pool of size k needs only
+  // k - 1 background workers.
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+unsigned ThreadPool::size() const {
+  return static_cast<unsigned>(workers_.size()) + 1;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for: a work-stealing index, the first
+/// exception, and a count of drain loops still running.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::size_t count = 0;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t active_drains = 0;
+  std::exception_ptr error;
+
+  void drain(const std::function<void(std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        // Cancel unclaimed indices; in-flight ones run to completion.
+        next.store(count);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty() || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(), count);
+  state->active_drains = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.push([state, &fn] {
+        state->drain(fn);
+        {
+          std::lock_guard<std::mutex> inner(state->mutex);
+          --state->active_drains;
+        }
+        state->done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller drains too; fn's lifetime outlives every drain because we
+  // block here until all helper drains have exited.
+  state->drain(fn);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->active_drains == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace epi

@@ -1,0 +1,48 @@
+// A small fixed-size worker pool for fanning audit decisions out across
+// cores. Deliberately minimal: the only primitive is a blocking
+// parallel_for whose results the caller writes into pre-sized slots, which
+// keeps batch audits deterministic regardless of worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace epi {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks std::thread::hardware_concurrency().
+  /// A pool of size 1 spawns no workers at all — parallel_for then runs
+  /// inline on the caller, so single-threaded configurations pay nothing.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (>= 1; counts the caller for the inline case).
+  unsigned size() const;
+
+  /// Runs fn(0), ..., fn(count - 1), distributing indices over the workers
+  /// plus the calling thread, and blocks until every index has completed.
+  /// The first exception thrown by fn is rethrown on the caller after all
+  /// in-flight indices finish; remaining unclaimed indices are skipped.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace epi

@@ -20,9 +20,15 @@ std::optional<FiniteSet> IntervalOracle::interval(std::size_t w1, std::size_t w2
   // otherwise no pair (w1, S) belongs to K = C (x) Sigma.
   if (!c_.contains(w1)) return std::nullopt;
   const std::size_t key = w1 * c_.universe_size() + w2;
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock — a racing duplicate computation is benign and
+  // cheaper than serializing every sigma interval query.
   std::optional<FiniteSet> result = sigma_->interval(w1, w2);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   cache_.emplace(key, result);
   return result;
 }

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -17,7 +18,9 @@ namespace epi {
 ///
 /// All interval queries are memoized, so auditing many disclosures B_1..B_N
 /// against one audit query A reuses the computed structure (the amortization
-/// pointed out after Proposition 4.1).
+/// pointed out after Proposition 4.1). The memo is internally synchronized:
+/// every const member (and PreparedAudit::safe) may be called concurrently
+/// from multiple audit worker threads.
 class IntervalOracle {
  public:
   /// `sigma` must be intersection-closed; throws std::invalid_argument if the
@@ -82,6 +85,7 @@ class IntervalOracle {
  private:
   std::shared_ptr<const SigmaFamily> sigma_;
   FiniteSet c_;
+  mutable std::mutex cache_mutex_;
   mutable std::unordered_map<std::size_t, std::optional<FiniteSet>> cache_;
 };
 

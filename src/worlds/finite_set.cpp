@@ -65,6 +65,22 @@ void FiniteSet::erase(std::size_t e) {
   bits_[e / 64] &= ~(std::uint64_t{1} << (e % 64));
 }
 
+bool FiniteSet::is_empty() const {
+  for (std::uint64_t word : bits_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+bool FiniteSet::is_universe() const {
+  const std::size_t tail = m_ % 64;
+  const std::size_t full_words = bits_.size() - (tail != 0 ? 1 : 0);
+  for (std::size_t i = 0; i < full_words; ++i) {
+    if (bits_[i] != ~std::uint64_t{0}) return false;
+  }
+  return tail == 0 || bits_.back() == (std::uint64_t{1} << tail) - 1;
+}
+
 std::size_t FiniteSet::count() const {
   std::size_t c = 0;
   for (std::uint64_t word : bits_) c += static_cast<std::size_t>(std::popcount(word));

@@ -40,8 +40,9 @@ class FiniteSet {
   void erase(std::size_t e);
 
   std::size_t count() const;
-  bool is_empty() const { return count() == 0; }
-  bool is_universe() const { return count() == m_; }
+  /// Early-exit word scans — no full popcount.
+  bool is_empty() const;
+  bool is_universe() const;
 
   FiniteSet operator&(const FiniteSet& o) const;
   FiniteSet operator|(const FiniteSet& o) const;

@@ -110,6 +110,31 @@ std::size_t WorldSet::count() const {
   return c;
 }
 
+bool WorldSet::is_empty() const {
+  for (std::uint64_t word : bits_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+bool WorldSet::is_universe() const {
+  const unsigned tail = omega_size() % 64;
+  const std::size_t full_words = bits_.size() - (tail != 0 ? 1 : 0);
+  for (std::size_t i = 0; i < full_words; ++i) {
+    if (bits_[i] != ~std::uint64_t{0}) return false;
+  }
+  return tail == 0 || bits_.back() == (std::uint64_t{1} << tail) - 1;
+}
+
+std::size_t WorldSet::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ n_;
+  for (std::uint64_t word : bits_) {
+    h ^= word;
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
 void WorldSet::check_compatible(const WorldSet& o) const {
   if (n_ != o.n_) throw std::invalid_argument("WorldSet: mismatched n");
 }

@@ -50,8 +50,13 @@ class WorldSet {
 
   /// Number of worlds in the set.
   std::size_t count() const;
-  bool is_empty() const { return count() == 0; }
-  bool is_universe() const { return count() == omega_size(); }
+  /// Early-exit word scans — no full popcount.
+  bool is_empty() const;
+  bool is_universe() const;
+
+  /// FNV-1a over the bit words (and n); stable within a process run. Used
+  /// to key (A, B)-pair memo tables.
+  std::size_t hash() const;
 
   /// Set algebra. `operator-` is set difference, `operator~` complement in Omega.
   WorldSet operator&(const WorldSet& o) const;
@@ -101,6 +106,11 @@ class WorldSet {
 
   unsigned n_;
   std::vector<std::uint64_t> bits_;
+};
+
+/// Hash functor for unordered containers keyed by WorldSet.
+struct WorldSetHash {
+  std::size_t operator()(const WorldSet& s) const { return s.hash(); }
 };
 
 }  // namespace epi

@@ -53,7 +53,8 @@ TEST(Auditor, PaperSection11Example) {
   EXPECT_EQ(report.per_disclosure[0].verdict, Verdict::kSafe);
   EXPECT_EQ(report.per_disclosure[1].verdict, Verdict::kUnsafe);
   EXPECT_TRUE(report.per_disclosure[1].certified);
-  EXPECT_EQ(report.count(Verdict::kUnsafe), 1u);
+  EXPECT_EQ(report.count(Verdict::kUnsafe, AuditReport::Section::kPerDisclosure),
+            1u);
 }
 
 TEST(Auditor, ImplicationIsSafeUnderEveryPriorFamily) {

@@ -169,9 +169,15 @@ TEST(Integration, ReportCountsConsistent) {
   const AuditReport r = auditor.audit(log, "x");
   EXPECT_EQ(r.per_disclosure.size(), 3u);
   EXPECT_EQ(r.per_user_cumulative.size(), 2u);
+  constexpr auto kDisclosed = AuditReport::Section::kPerDisclosure;
+  EXPECT_EQ(r.count(Verdict::kSafe, kDisclosed) +
+                r.count(Verdict::kUnsafe, kDisclosed) +
+                r.count(Verdict::kUnknown, kDisclosed),
+            3u);
+  // The default section aggregates per-disclosure AND per-user findings.
   EXPECT_EQ(r.count(Verdict::kSafe) + r.count(Verdict::kUnsafe) +
                 r.count(Verdict::kUnknown),
-            3u);
+            5u);
 }
 
 }  // namespace
