@@ -6,12 +6,21 @@
 //      realistic query mix (complements E5/E12);
 //   2. worker threads (product prior, 200-disclosure log): the
 //      DecisionEngine batch path fanning disclosures out across the pool,
-//      reported as audits/sec and speedup over one thread.
+//      reported as audits/sec and speedup over one thread;
+//   3. tracing (product prior): the same workload with the span sink off
+//      versus installed, reporting the tracing overhead — the off row is
+//      the number the <2% no-op gate watches.
+//
+// `--rate-only` prints a single "rate=<audits/sec>" line (tracing off,
+// product prior) for CI to diff against an EPI_OBS_NOOP build.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "core/auditor.h"
 #include "core/workload.h"
+#include "obs/trace.h"
 
 using namespace epi;
 
@@ -44,9 +53,26 @@ double measure(const Workload& workload, const Auditor& auditor,
   return static_cast<double>(audited) / seconds;
 }
 
+Workload rate_workload() {
+  WorkloadOptions options;
+  options.patients = 8;
+  options.queries = 120;
+  options.seed = 0xAB5 + 8;
+  return make_hospital_workload(options);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--rate-only") == 0) {
+    const Workload workload = rate_workload();
+    Auditor auditor(workload.universe, PriorAssumption::kProduct,
+                    throughput_options(1));
+    measure(workload, auditor);  // warm-up: caches, allocator, frequency
+    std::printf("rate=%.0f\n", measure(workload, auditor));
+    return 0;
+  }
+
   std::printf("=== E13 (extension): offline audit throughput ===\n\n");
   std::printf("%9s %8s %18s %12s | %6s %7s %8s\n", "patients", "queries",
               "prior", "audits/sec", "safe", "unsafe", "unknown");
@@ -87,6 +113,21 @@ int main() {
     if (threads == 1) base_rate = rate;
     std::printf("%9u %12.0f %8.2fx\n", threads, rate, rate / base_rate);
   }
+
+  std::printf("\n--- tracing overhead: product prior, 8 patients ---\n\n");
+  const Workload traced_workload = rate_workload();
+  Auditor traced_auditor(traced_workload.universe, PriorAssumption::kProduct,
+                         throughput_options(1));
+  measure(traced_workload, traced_auditor);  // warm-up
+  const double rate_off = measure(traced_workload, traced_auditor);
+  auto trace = std::make_shared<obs::Trace>();
+  obs::install_trace(trace);
+  const double rate_on = measure(traced_workload, traced_auditor);
+  obs::install_trace(nullptr);
+  std::printf("%12s %12s\n", "tracing", "audits/sec");
+  std::printf("%12s %12.0f\n", "off", rate_off);
+  std::printf("%12s %12.0f   (%zu spans, %+.1f%%)\n", "on", rate_on,
+              trace->size(), (rate_off / rate_on - 1.0) * 100.0);
 
   std::printf(
       "\nReading: unrestricted-prior audits are instant (Theorem 3.11 is a\n"

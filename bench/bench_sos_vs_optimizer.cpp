@@ -64,7 +64,10 @@ int main() {
   for (int t = 0; t < 4000 && considered < 60; ++t) {
     WorldSet a = WorldSet::random(3, rng, 0.5);
     WorldSet b = WorldSet::random(3, rng, 0.5);
-    if (decide_product_safety(a, b).verdict != Verdict::kUnknown) continue;
+    if (run_criteria(product_criteria(), a, b, "exhausted").verdict !=
+        Verdict::kUnknown) {
+      continue;
+    }
     ++considered;
 
     auto t0 = std::chrono::steady_clock::now();

@@ -70,7 +70,7 @@ int main() {
   for (int t = 0; t < trials; ++t) {
     WorldSet a = WorldSet::random(n, rng, 0.4);
     WorldSet b = WorldSet::random(n, rng, 0.4);
-    switch (decide_supermodular_safety(a, b).verdict) {
+    switch (run_criteria(supermodular_criteria(), a, b, "exhausted").verdict) {
       case Verdict::kSafe:
         ++safe_v;
         break;

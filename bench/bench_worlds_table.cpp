@@ -60,13 +60,14 @@ int main() {
   std::printf("verdict comparison for the implication query:\n");
   std::printf("  perfect secrecy (Miklau-Suciu, shares critical record r1): %s\n",
               miklau_suciu_independent(a, b) ? "allows" : "REJECTS");
+  const PipelineResult unrestricted =
+      run_criteria(unrestricted_criteria(), a, b, "unreachable");
+  const PipelineResult product = run_criteria(
+      product_criteria(), a, b, "exhausted-combinatorial-criteria");
   std::printf("  epistemic privacy, unrestricted priors (Thm 3.11):         %s\n",
-              decide_unrestricted_safety(a, b).verdict == Verdict::kSafe
-                  ? "allows"
-                  : "rejects");
+              unrestricted.verdict == Verdict::kSafe ? "allows" : "rejects");
   std::printf("  epistemic privacy, product priors (pipeline):              %s (%s)\n",
-              decide_product_safety(a, b).verdict == Verdict::kSafe ? "allows"
-                                                                    : "rejects",
-              decide_product_safety(a, b).criterion.c_str());
+              product.verdict == Verdict::kSafe ? "allows" : "rejects",
+              product.criterion.c_str());
   return 0;
 }

@@ -3,21 +3,32 @@
 // of tool a DBA would run after a suspected leak. The script language is
 // documented in core/scenario.h.
 //
-// Usage: audit_cli [--stats] [--threads N] [scenario-file]
-//   --stats      after each report, print per-stage decision counters and
-//                wall time (the DecisionEngine's instrumentation)
-//   --threads N  decide disclosures on N worker threads (0 = one per core);
-//                reports are byte-identical for every value
+// Usage: audit_cli [--stats] [--metrics] [--trace=<file.json>] [--threads N]
+//                  [scenario-file]
+//   --stats            after each report, print per-stage decision counters
+//                      and wall time (the DecisionEngine's instrumentation)
+//   --metrics          after each report, print its full metrics snapshot,
+//                      then the process-wide registry (parser, oracle, pool)
+//   --trace=<file>     record a span trace of the whole run and write it as
+//                      JSON to <file> ("-" writes to stdout)
+//   --threads N        decide disclosures on N worker threads (0 = one per
+//                      core); reports are byte-identical for every value
 // Without a scenario file a built-in demonstration scenario is used.
+//
+// Errors are routed through epi::Status: bad input of any kind prints
+// Status::to_string() on stderr and exits nonzero — no uncaught throws.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "core/report.h"
 #include "core/scenario.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "util/status.h"
 
 namespace {
 
@@ -40,66 +51,134 @@ audit bob_hiv
 
 struct CliOptions {
   bool stats = false;
+  bool metrics = false;
+  const char* trace_path = nullptr;
   epi::AuditorOptions auditor;
   const char* scenario_path = nullptr;
 };
 
-int run(std::istream& in, const CliOptions& cli) {
-  using namespace epi;
-  try {
-    const ScenarioResult result = run_scenario(in, cli.auditor);
-    for (const std::string& line : result.query_trace) {
-      std::printf("[log] %s\n", line.c_str());
-    }
-    for (const AuditReport& report : result.reports) {
-      std::printf("\n%s", format_report(report).c_str());
-      if (cli.stats) {
-        std::printf("\n%s", format_stage_stats(report).c_str());
-      }
-    }
-    if (result.reports.empty()) {
-      std::printf("(scenario contained no `audit` directive)\n");
-    }
-    return 0;
-  } catch (const ScenarioError& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+epi::Status write_trace(const epi::obs::Trace& trace, const char* path) {
+  const std::string json = epi::obs::trace_to_json(trace);
+  if (std::strcmp(path, "-") == 0) {
+    std::printf("%s\n", json.c_str());
+    return epi::Status::Ok();
   }
+  std::ofstream out(path);
+  if (!out) {
+    return epi::Status::InvalidArgument(std::string("cannot open trace file '") +
+                                        path + "'");
+  }
+  out << json << "\n";
+  if (!out) {
+    return epi::Status::Internal(std::string("failed writing trace to '") +
+                                 path + "'");
+  }
+  return epi::Status::Ok();
+}
+
+epi::Status run(std::istream& in, const CliOptions& cli) {
+  using namespace epi;
+  std::shared_ptr<obs::Trace> trace;
+  if (cli.trace_path != nullptr) {
+    trace = std::make_shared<obs::Trace>();
+    obs::install_trace(trace);
+  }
+
+  ScenarioResult result;
+  const Status status = try_run_scenario(in, &result, cli.auditor);
+  if (trace) obs::install_trace(nullptr);
+  if (!status.ok()) return status;
+
+  for (const std::string& line : result.query_trace) {
+    std::printf("[log] %s\n", line.c_str());
+  }
+  for (const AuditReport& report : result.reports) {
+    std::printf("\n%s", format_report(report).c_str());
+    if (cli.stats) {
+      std::printf("\n%s", format_stage_stats(report).c_str());
+    }
+    if (cli.metrics) {
+      std::printf("\n%s", format_metrics(report).c_str());
+    }
+  }
+  if (result.reports.empty()) {
+    std::printf("(scenario contained no `audit` directive)\n");
+  }
+  if (cli.metrics) {
+    std::printf("\nProcess metrics (parser, oracle, pool):\n%s",
+                obs::metrics_to_text(obs::process_metrics().snapshot()).c_str());
+  }
+  if (trace) {
+    if (const Status ws = write_trace(*trace, cli.trace_path); !ws.ok()) {
+      return ws;
+    }
+    if (std::strcmp(cli.trace_path, "-") != 0) {
+      std::printf("\n[trace] %zu spans -> %s\n", trace->size(), cli.trace_path);
+    }
+  }
+  return Status::Ok();
+}
+
+epi::Status parse_args(int argc, char** argv, CliOptions* cli) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      cli->stats = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      cli->metrics = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      if (argv[i][8] == '\0') {
+        return epi::Status::InvalidArgument("--trace needs a file name");
+      }
+      cli->trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        return epi::Status::InvalidArgument("--threads needs a count");
+      }
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 0) {
+        return epi::Status::InvalidArgument("--threads must be >= 0");
+      }
+      cli->auditor.threads = static_cast<unsigned>(n);
+    } else if (argv[i][0] == '-') {
+      return epi::Status::InvalidArgument(
+          std::string("unknown flag '") + argv[i] +
+          "'\nusage: audit_cli [--stats] [--metrics] [--trace=<file.json>] "
+          "[--threads N] [scenario-file]");
+    } else {
+      cli->scenario_path = argv[i];
+    }
+  }
+  return epi::Status::Ok();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions cli;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats") == 0) {
-      cli.stats = true;
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--threads needs a count\n");
-        return 1;
+  epi::Status status = parse_args(argc, argv, &cli);
+  if (status.ok()) {
+    try {
+      if (cli.scenario_path != nullptr) {
+        std::ifstream file(cli.scenario_path);
+        if (!file) {
+          status = epi::Status::InvalidArgument(
+              std::string("cannot open scenario file '") + cli.scenario_path +
+              "'");
+        } else {
+          status = run(file, cli);
+        }
+      } else {
+        std::printf("(no scenario file given; running the built-in demonstration)\n\n");
+        std::istringstream demo{std::string(kDemoScenario)};
+        status = run(demo, cli);
       }
-      cli.auditor.threads = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else if (argv[i][0] == '-') {
-      std::fprintf(stderr,
-                   "unknown flag '%s'\n"
-                   "usage: audit_cli [--stats] [--threads N] [scenario-file]\n",
-                   argv[i]);
-      return 1;
-    } else {
-      cli.scenario_path = argv[i];
+    } catch (const std::exception& e) {
+      status = epi::Status::Internal(e.what());
     }
   }
-
-  if (cli.scenario_path != nullptr) {
-    std::ifstream file(cli.scenario_path);
-    if (!file) {
-      std::fprintf(stderr, "cannot open scenario file '%s'\n", cli.scenario_path);
-      return 1;
-    }
-    return run(file, cli);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 1;
   }
-  std::printf("(no scenario file given; running the built-in demonstration)\n\n");
-  std::istringstream demo{std::string(kDemoScenario)};
-  return run(demo, cli);
+  return 0;
 }

@@ -1,30 +1,33 @@
 #include "core/audit_log.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "db/parser.h"
+#include "obs/metrics.h"
 
 namespace epi {
 namespace {
 
-std::atomic<std::size_t> g_disclosed_set_calls{0};
+/// Registry-backed counter; the legacy accessors below are views over it.
+obs::Counter& disclosed_set_counter() {
+  static obs::Counter& counter =
+      obs::process_metrics().counter("audit_log.disclosed_set.calls");
+  return counter;
+}
 
 }  // namespace
 
 WorldSet Disclosure::disclosed_set(const RecordUniverse& universe) const {
-  g_disclosed_set_calls.fetch_add(1, std::memory_order_relaxed);
+  disclosed_set_counter().add(1);
   const WorldSet satisfying = query->compile(universe);
   return answer ? satisfying : ~satisfying;
 }
 
 std::size_t disclosed_set_call_count() {
-  return g_disclosed_set_calls.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(disclosed_set_counter().value());
 }
 
-void reset_disclosed_set_call_count() {
-  g_disclosed_set_calls.store(0, std::memory_order_relaxed);
-}
+void reset_disclosed_set_call_count() { disclosed_set_counter().set(0); }
 
 bool AuditLog::record(const std::string& user, const std::string& query_text,
                       const InMemoryDatabase& db, const std::string& timestamp) {

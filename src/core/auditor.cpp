@@ -1,9 +1,11 @@
 #include "core/auditor.h"
 
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 
 #include "db/parser.h"
+#include "obs/trace.h"
 #include "possibilistic/subcubes.h"
 #include "worlds/finite_set.h"
 
@@ -28,6 +30,45 @@ AuditFinding to_finding(const EngineDecision& d) {
 
 }  // namespace
 
+std::vector<StageStats> AuditReport::stage_stats() const {
+  // Reverse the AuditContext naming scheme: counters named
+  // `engine.stage.<idx>.<name>.<kind>` with kind in {invocations, decisions,
+  // nanos}. The snapshot is name-sorted and the index is zero-padded, so
+  // stages come back in cascade order with their three counters adjacent.
+  constexpr std::string_view kPrefix = "engine.stage.";
+  std::vector<StageStats> out;
+  std::string current_key;  // "<idx>.<name>" of out.back()
+  for (const obs::CounterSample& c : metrics.counters) {
+    std::string_view name = c.name;
+    if (name.substr(0, kPrefix.size()) != kPrefix) continue;
+    name.remove_prefix(kPrefix.size());
+    const std::size_t last_dot = name.rfind('.');
+    const std::size_t first_dot = name.find('.');
+    if (last_dot == std::string_view::npos || first_dot >= last_dot) continue;
+    const std::string_view kind = name.substr(last_dot + 1);
+    const std::string_view key = name.substr(0, last_dot);
+    if (out.empty() || current_key != key) {
+      current_key = std::string(key);
+      StageStats s;
+      s.name = std::string(name.substr(first_dot + 1, last_dot - first_dot - 1));
+      out.push_back(std::move(s));
+    }
+    StageStats& s = out.back();
+    if (kind == "invocations") {
+      s.invocations = static_cast<std::size_t>(c.value);
+    } else if (kind == "decisions") {
+      s.decisions = static_cast<std::size_t>(c.value);
+    } else if (kind == "nanos") {
+      s.wall_seconds = static_cast<double>(c.value) * 1e-9;
+    }
+  }
+  return out;
+}
+
+std::size_t AuditReport::memo_hits() const {
+  return static_cast<std::size_t>(metrics.counter("engine.memo.hits"));
+}
+
 std::size_t AuditReport::count(Verdict v, Section section) const {
   std::size_t c = 0;
   if (section != Section::kPerUser) {
@@ -46,6 +87,9 @@ Auditor::Auditor(RecordUniverse universe, PriorAssumption prior,
   if (universe_.empty()) {
     throw std::invalid_argument("Auditor: empty record universe");
   }
+  if (const Status s = options.validate(); !s.ok()) {
+    throw std::invalid_argument(s.to_string());
+  }
 }
 
 void Auditor::ensure_subcube_oracle() const {
@@ -59,7 +103,9 @@ void Auditor::ensure_subcube_oracle() const {
 
 ThreadPool& Auditor::pool() const {
   std::lock_guard<std::mutex> lock(lazy_mutex_);
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(engine_.options().threads);
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(engine_.options().resolved_threads());
+  }
   return *pool_;
 }
 
@@ -90,6 +136,13 @@ AuditFinding Auditor::audit_sets(const WorldSet& a, const WorldSet& b) const {
 
 AuditReport Auditor::audit(const AuditLog& log,
                            const std::string& audit_query_text) const {
+  obs::ScopedSpan span("audit.run");
+  if (span.live()) {
+    span.attr("query", audit_query_text);
+    span.attr("prior", to_string(engine_.prior()));
+    span.attr("disclosures", std::to_string(log.entries().size()));
+  }
+
   AuditReport report;
   report.audit_query = audit_query_text;
   report.prior = engine_.prior();
@@ -98,6 +151,7 @@ AuditReport Auditor::audit(const AuditLog& log,
   AuditContext ctx;
   ctx.reset_stages(engine_.stage_names());
   if (engine_.prior() == PriorAssumption::kSubcubeKnowledge) {
+    obs::ScopedSpan prepare_span("audit.prepare-oracle");
     ensure_subcube_oracle();
     ctx.set_interval_oracle(subcube_oracle_);
     // Precompute the Delta classes for A once and reuse them for every
@@ -112,9 +166,12 @@ AuditReport Auditor::audit(const AuditLog& log,
   const std::vector<Disclosure>& entries = log.entries();
   std::vector<const WorldSet*> disclosure_sets;
   disclosure_sets.reserve(entries.size());
-  for (const Disclosure& d : entries) {
-    disclosure_sets.push_back(&ctx.compiled(
-        disclosure_key(d), [&] { return d.disclosed_set(universe_); }));
+  {
+    obs::ScopedSpan compile_span("audit.compile-disclosures");
+    for (const Disclosure& d : entries) {
+      disclosure_sets.push_back(&ctx.compiled(
+          disclosure_key(d), [&] { return d.disclosed_set(universe_); }));
+    }
   }
 
   // Phase 2: decide each *distinct* disclosed set once, fanning out across
@@ -132,7 +189,13 @@ AuditReport Auditor::audit(const AuditLog& log,
     }
   }
   std::vector<EngineDecision> decisions;
-  decide_pairs(a, unique_bs, ctx, decisions);
+  {
+    obs::ScopedSpan decide_span("audit.decide-disclosures");
+    if (decide_span.live()) {
+      decide_span.attr("unique_pairs", std::to_string(unique_bs.size()));
+    }
+    decide_pairs(a, unique_bs, ctx, decisions);
+  }
 
   for (std::size_t i = 0; i < entries.size(); ++i) {
     AuditFinding f = to_finding(decisions[entry_slot[i]]);
@@ -178,7 +241,13 @@ AuditReport Auditor::audit(const AuditLog& log,
     user_slot[u] = slot;
   }
   std::vector<EngineDecision> conjunction_decisions;
-  decide_pairs(a, unique_conjunctions, ctx, conjunction_decisions);
+  {
+    obs::ScopedSpan decide_span("audit.decide-conjunctions");
+    if (decide_span.live()) {
+      decide_span.attr("unique_pairs", std::to_string(unique_conjunctions.size()));
+    }
+    decide_pairs(a, unique_conjunctions, ctx, conjunction_decisions);
+  }
 
   for (std::size_t u = 0; u < users.size(); ++u) {
     AuditFinding f = to_finding(conjunction_decisions[user_slot[u]]);
@@ -189,8 +258,7 @@ AuditReport Auditor::audit(const AuditLog& log,
     report.per_user_cumulative.push_back(std::move(f));
   }
 
-  report.stage_stats = ctx.stage_stats();
-  report.memo_hits = ctx.memo_hits();
+  report.metrics = ctx.metrics_snapshot();
   return report;
 }
 

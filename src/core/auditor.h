@@ -21,6 +21,7 @@
 #include "criteria/verdict.h"
 #include "engine/decision_engine.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
 #include "possibilistic/intervals.h"
 
 namespace epi {
@@ -44,11 +45,18 @@ struct AuditReport {
   std::vector<AuditFinding> per_disclosure;
   std::vector<AuditFinding> per_user_cumulative;
 
-  /// Per-stage decision counters and wall time, in engine cascade order.
-  std::vector<StageStats> stage_stats;
+  /// Snapshot of the audit's metrics registry (every `engine.*` counter the
+  /// AuditContext recorded). stage_stats() and memo_hits() are views over
+  /// this — there are no separately maintained statistics.
+  obs::MetricsSnapshot metrics;
+
+  /// Per-stage decision counters and wall time, in engine cascade order —
+  /// derived from the `engine.stage.<idx>.<name>.*` counters in `metrics`.
+  std::vector<StageStats> stage_stats() const;
   /// (A, B)-pair verdicts served from the per-audit memo (e.g. a one-query
-  /// user's conjunction equals their single disclosure).
-  std::size_t memo_hits = 0;
+  /// user's conjunction equals their single disclosure) — the
+  /// `engine.memo.hits` counter in `metrics`.
+  std::size_t memo_hits() const;
 
   /// Which findings count() aggregates over.
   enum class Section { kPerDisclosure, kPerUser, kAll };
@@ -62,6 +70,9 @@ struct AuditReport {
 /// Offline auditor over a fixed record universe.
 class Auditor {
  public:
+  /// Throws std::invalid_argument when the universe is empty or
+  /// AuditorOptions::validate() fails — option problems surface at
+  /// construction (with the Status message) instead of being clamped away.
   Auditor(RecordUniverse universe, PriorAssumption prior,
           AuditorOptions options = {});
 

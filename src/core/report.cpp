@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/export.h"
+
 namespace epi {
 namespace {
 
@@ -50,13 +52,21 @@ std::string format_stage_stats(const AuditReport& report) {
   os << "  " << std::left << std::setw(28) << "stage" << std::right
      << std::setw(8) << "runs" << std::setw(10) << "decided" << std::setw(12)
      << "wall-ms" << "\n";
-  for (const StageStats& s : report.stage_stats) {
+  for (const StageStats& s : report.stage_stats()) {
     os << "  " << std::left << std::setw(28) << s.name << std::right
        << std::setw(8) << s.invocations << std::setw(10) << s.decisions
        << std::setw(12) << std::fixed << std::setprecision(3)
        << s.wall_seconds * 1e3 << "\n";
   }
-  os << "  memo hits: " << report.memo_hits << "\n";
+  os << "  memo hits: " << report.memo_hits() << "\n";
+  return os.str();
+}
+
+std::string format_metrics(const AuditReport& report) {
+  std::ostringstream os;
+  os << "Audit metrics (" << report.audit_query << ", "
+     << to_string(report.prior) << "):\n";
+  os << obs::metrics_to_text(report.metrics);
   return os.str();
 }
 

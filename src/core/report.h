@@ -13,7 +13,12 @@ std::string format_report(const AuditReport& report);
 
 /// Renders the decision-path instrumentation: one row per engine stage with
 /// invocation / decision counts and cumulative wall time, plus the pair-memo
-/// hit count. Counts are deterministic; wall times are wall times.
+/// hit count — all views over the report's metrics snapshot. Counts are
+/// deterministic; wall times are wall times.
 std::string format_stage_stats(const AuditReport& report);
+
+/// Renders every metric in the report's snapshot (the raw registry view;
+/// format_stage_stats is the curated one).
+std::string format_metrics(const AuditReport& report);
 
 }  // namespace epi

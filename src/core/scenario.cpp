@@ -109,4 +109,22 @@ ScenarioResult run_scenario(const std::string& text, const AuditorOptions& optio
   return run_scenario(in, options);
 }
 
+Status try_run_scenario(std::istream& input, ScenarioResult* out,
+                        const AuditorOptions& options) {
+  try {
+    *out = run_scenario(input, options);
+    return Status::Ok();
+  } catch (const ScenarioError& e) {
+    return Status::InvalidArgument(std::string("scenario ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    return Status::InvalidArgument(e.what());
+  }
+}
+
+Status try_run_scenario(const std::string& text, ScenarioResult* out,
+                        const AuditorOptions& options) {
+  std::istringstream in(text);
+  return try_run_scenario(in, out, options);
+}
+
 }  // namespace epi

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/auditor.h"
+#include "util/status.h"
 
 namespace epi {
 
@@ -48,5 +49,13 @@ ScenarioResult run_scenario(std::istream& input,
 /// Convenience overload for in-memory scripts.
 ScenarioResult run_scenario(const std::string& text,
                             const AuditorOptions& options = {});
+
+/// Status-first variant: never throws. Malformed input (including parse
+/// errors inside query/audit directives) comes back as InvalidArgument
+/// naming the offending line; `*out` is left untouched on failure.
+Status try_run_scenario(std::istream& input, ScenarioResult* out,
+                        const AuditorOptions& options = {});
+Status try_run_scenario(const std::string& text, ScenarioResult* out,
+                        const AuditorOptions& options = {});
 
 }  // namespace epi

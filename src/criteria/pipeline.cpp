@@ -56,30 +56,31 @@ CriterionOutcome supermodular_refutation(const WorldSet& a, const WorldSet& b) {
   return o;
 }
 
+// Theorem 3.11 is complete over the unrestricted prior family: every pair is
+// decided, unsafe ones with an explicit witness prior.
+CriterionOutcome theorem_311_definite(const WorldSet& a, const WorldSet& b) {
+  CriterionOutcome o;
+  if (unconditionally_safe(a, b)) {
+    o.verdict = Verdict::kSafe;
+  } else {
+    o.verdict = Verdict::kUnsafe;
+    o.witness_distribution = unrestricted_witness(a, b);
+  }
+  return o;
+}
+
 // The 3^n box tables are memory-bound; above the TernaryTable limit the
 // stage is skipped rather than failing the whole cascade.
 constexpr unsigned kBoxTableMaxN = 14;
 
-PipelineResult run_cascade(const std::vector<NamedCriterion>& cascade,
-                           const WorldSet& a, const WorldSet& b,
-                           const char* exhausted_label) {
-  PipelineResult r;
-  for (const NamedCriterion& c : cascade) {
-    if (c.max_n != 0 && a.n() > c.max_n) continue;
-    CriterionOutcome o = c.test(a, b);
-    if (o.verdict == Verdict::kUnknown) continue;
-    r.verdict = o.verdict;
-    r.criterion = c.name;
-    r.witness_distribution = std::move(o.witness_distribution);
-    r.witness_product = std::move(o.witness_product);
-    return r;
-  }
-  r.verdict = Verdict::kUnknown;
-  r.criterion = exhausted_label;
-  return r;
-}
-
 }  // namespace
+
+const std::vector<NamedCriterion>& unrestricted_criteria() {
+  static const std::vector<NamedCriterion> kTable = {
+      {"theorem-3.11", 0, theorem_311_definite},
+  };
+  return kTable;
+}
 
 const std::vector<NamedCriterion>& product_criteria() {
   static const std::vector<NamedCriterion> kTable = {
@@ -102,26 +103,44 @@ const std::vector<NamedCriterion>& supermodular_criteria() {
   return kTable;
 }
 
-PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b) {
+PipelineResult run_criteria(const std::vector<NamedCriterion>& cascade,
+                            const WorldSet& a, const WorldSet& b,
+                            const char* exhausted_label) {
   PipelineResult r;
-  if (unconditionally_safe(a, b)) {
-    r.verdict = Verdict::kSafe;
-    r.criterion = "theorem-3.11";
-  } else {
-    r.verdict = Verdict::kUnsafe;
-    r.criterion = "theorem-3.11";
-    r.witness_distribution = unrestricted_witness(a, b);
+  for (const NamedCriterion& c : cascade) {
+    if (c.max_n != 0 && a.n() > c.max_n) continue;
+    CriterionOutcome o = c.test(a, b);
+    if (o.verdict == Verdict::kUnknown) continue;
+    r.verdict = o.verdict;
+    r.criterion = c.name;
+    r.witness_distribution = std::move(o.witness_distribution);
+    r.witness_product = std::move(o.witness_product);
+    return r;
   }
+  r.verdict = Verdict::kUnknown;
+  r.criterion = exhausted_label;
   return r;
 }
 
+// The deprecated wrappers forward to run_criteria; suppress the
+// self-referential warning their definitions would otherwise emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b) {
+  return run_criteria(unrestricted_criteria(), a, b, "unreachable");
+}
+
 PipelineResult decide_product_safety(const WorldSet& a, const WorldSet& b) {
-  return run_cascade(product_criteria(), a, b, "exhausted-combinatorial-criteria");
+  return run_criteria(product_criteria(), a, b,
+                      "exhausted-combinatorial-criteria");
 }
 
 PipelineResult decide_supermodular_safety(const WorldSet& a, const WorldSet& b) {
-  return run_cascade(supermodular_criteria(), a, b,
-                     "exhausted-supermodular-criteria");
+  return run_criteria(supermodular_criteria(), a, b,
+                      "exhausted-supermodular-criteria");
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace epi

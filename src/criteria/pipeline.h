@@ -2,10 +2,11 @@
 // combinatorial tests run first; every definite verdict carries the name of
 // the deciding criterion, and unsafe verdicts carry a witness prior.
 //
-// The criteria themselves are exposed as ordered tables of NamedCriterion so
-// that the DecisionEngine (src/engine/) and the legacy decide_* entry points
-// below run literally the same tests in the same order — decide_* are thin
-// compatibility wrappers over the tables.
+// The criteria themselves are exposed as ordered tables of NamedCriterion;
+// run_criteria() walks a table in order and is the single cascade runner the
+// DecisionEngine (src/engine/) builds on. The legacy decide_* entry points
+// are deprecated thin wrappers over run_criteria — call it (or the engine)
+// directly.
 #pragma once
 
 #include <optional>
@@ -46,6 +47,10 @@ struct NamedCriterion {
   CriterionOutcome (*test)(const WorldSet& a, const WorldSet& b);
 };
 
+/// The unrestricted cascade (all priors): Theorem 3.11 alone, and it always
+/// decides — safe or unsafe with a witness prior.
+const std::vector<NamedCriterion>& unrestricted_criteria();
+
 /// The product-prior cascade (Pi_m0): Theorem 3.11, Miklau-Suciu (Thm 5.7),
 /// monotonicity, cancellation (Prop 5.9) for "safe"; the box-count criterion
 /// (Prop 5.10, n <= 14) for "unsafe".
@@ -56,14 +61,28 @@ const std::vector<NamedCriterion>& product_criteria();
 /// the box-count criterion for "unsafe".
 const std::vector<NamedCriterion>& supermodular_criteria();
 
+/// Runs a cascade in order; the first definite verdict wins and carries the
+/// deciding criterion's name. When every entry passes (or is skipped by its
+/// max_n gate) the result is kUnknown labelled `exhausted_label` — the
+/// caller's cue to escalate to the optimizer / algebraic layer.
+PipelineResult run_criteria(const std::vector<NamedCriterion>& cascade,
+                            const WorldSet& a, const WorldSet& b,
+                            const char* exhausted_label);
+
 /// Decides Safe over all priors (Theorem 3.11) — always definite.
+[[deprecated(
+    "call run_criteria(unrestricted_criteria(), ...) or the DecisionEngine")]]
 PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b);
 
 /// Runs product_criteria() in order; kUnknown means "escalate to the
 /// optimizer / algebraic layer".
+[[deprecated(
+    "call run_criteria(product_criteria(), ...) or the DecisionEngine")]]
 PipelineResult decide_product_safety(const WorldSet& a, const WorldSet& b);
 
 /// Runs supermodular_criteria() in order; otherwise unknown.
+[[deprecated(
+    "call run_criteria(supermodular_criteria(), ...) or the DecisionEngine")]]
 PipelineResult decide_supermodular_safety(const WorldSet& a, const WorldSet& b);
 
 }  // namespace epi

@@ -1,8 +1,10 @@
 #include "db/parser.h"
 
-#include <atomic>
 #include <cctype>
 #include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace epi {
 namespace {
@@ -145,21 +147,38 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-std::atomic<std::size_t> g_parse_query_calls{0};
+/// Process-metrics counter backing parse_query_call_count() — the legacy
+/// accessors are views over the `parser.parse.calls` registry entry.
+obs::Counter& parse_calls_counter() {
+  static obs::Counter& counter =
+      obs::process_metrics().counter("parser.parse.calls");
+  return counter;
+}
 
 }  // namespace
 
 QueryPtr parse_query(const std::string& text) {
-  g_parse_query_calls.fetch_add(1, std::memory_order_relaxed);
+  parse_calls_counter().add(1);
+  obs::ScopedSpan span("parser.parse");
+  if (span.live()) span.attr("text", text);
   return Parser(text).parse();
 }
 
-std::size_t parse_query_call_count() {
-  return g_parse_query_calls.load(std::memory_order_relaxed);
+Status try_parse_query(const std::string& text, QueryPtr* out) {
+  try {
+    *out = parse_query(text);
+    return Status::Ok();
+  } catch (const ParseError& e) {
+    *out = nullptr;
+    return Status::InvalidArgument(std::string("query '") + text +
+                                   "': " + e.what());
+  }
 }
 
-void reset_parse_query_call_count() {
-  g_parse_query_calls.store(0, std::memory_order_relaxed);
+std::size_t parse_query_call_count() {
+  return static_cast<std::size_t>(parse_calls_counter().value());
 }
+
+void reset_parse_query_call_count() { parse_calls_counter().set(0); }
 
 }  // namespace epi

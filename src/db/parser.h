@@ -10,6 +10,7 @@
 #include <string>
 
 #include "db/query.h"
+#include "util/status.h"
 
 namespace epi {
 
@@ -19,10 +20,17 @@ class ParseError : public std::runtime_error {
   explicit ParseError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Parses the query grammar above.
+/// Parses the query grammar above; throws ParseError on malformed text.
 QueryPtr parse_query(const std::string& text);
 
-/// Instrumentation: process-wide number of parse_query calls. Lets tests
+/// Status-first variant for callers routing errors across module
+/// boundaries (the audit CLI, scenario scripts): never throws, returns
+/// InvalidArgument naming the query and the offending position. `*out` is
+/// null on failure.
+Status try_parse_query(const std::string& text, QueryPtr* out);
+
+/// Instrumentation: process-wide number of parse_query calls (a view over
+/// the `parser.parse.calls` counter in obs::process_metrics()). Lets tests
 /// (and telemetry) assert that batch audits parse each query exactly once
 /// instead of re-parsing per disclosure or per user.
 std::size_t parse_query_call_count();

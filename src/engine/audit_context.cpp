@@ -1,34 +1,70 @@
 #include "engine/audit_context.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "worlds/finite_set.h"
 
 namespace epi {
+namespace {
+
+/// `engine.stage.<idx>.<name>.<kind>` — the naming scheme AuditReport's
+/// stage_stats() view reverses (see docs/observability.md). The zero-padded
+/// index keeps snapshot ordering equal to cascade ordering.
+std::string stage_metric_name(std::size_t index, const std::string& stage,
+                              const char* kind) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "engine.stage.%02zu.", index);
+  return std::string(prefix) + stage + "." + kind;
+}
+
+}  // namespace
+
+AuditContext::AuditContext()
+    : compile_misses_(&metrics_.counter("engine.compile.misses")),
+      compile_hits_(&metrics_.counter("engine.compile.hits")),
+      memo_hits_c_(&metrics_.counter("engine.memo.hits")),
+      memo_lookups_(&metrics_.counter("engine.memo.lookups")) {}
 
 const WorldSet& AuditContext::compiled(const std::string& key,
                                        const std::function<WorldSet()>& make) {
   {
     std::lock_guard<std::mutex> lock(compiled_mutex_);
     auto it = compiled_.find(key);
-    if (it != compiled_.end()) return it->second;
+    if (it != compiled_.end()) {
+      compile_hits_->add(1);
+      return it->second;
+    }
   }
   // Compile outside the lock (parses/compiles can be expensive); a racing
   // duplicate compilation is benign — first insert wins.
   WorldSet made = make();
   std::lock_guard<std::mutex> lock(compiled_mutex_);
   auto [it, inserted] = compiled_.emplace(key, std::move(made));
-  if (inserted) compile_count_.fetch_add(1);
+  if (inserted) {
+    compile_misses_->add(1);
+  } else {
+    compile_hits_->add(1);
+  }
   return it->second;
+}
+
+std::size_t AuditContext::compile_count() const {
+  return static_cast<std::size_t>(compile_misses_->value());
 }
 
 std::optional<EngineDecision> AuditContext::find_memo(const WorldSet& a,
                                                       const WorldSet& b) const {
+  memo_lookups_->add(1);
   std::lock_guard<std::mutex> lock(memo_mutex_);
   auto it = memo_.find(PairKey{a, b});
   if (it == memo_.end()) return std::nullopt;
-  memo_hits_.fetch_add(1);
+  memo_hits_c_->add(1);
   return it->second;
+}
+
+std::size_t AuditContext::memo_hits() const {
+  return static_cast<std::size_t>(memo_hits_c_->value());
 }
 
 void AuditContext::memoize(const WorldSet& a, const WorldSet& b,
@@ -60,17 +96,23 @@ void AuditContext::reset_stages(const std::vector<std::string>& names) {
   stage_slots_.clear();
   stage_slots_.reserve(names.size());
   for (std::size_t i = 0; i < names.size(); ++i) {
-    stage_slots_.push_back(std::make_unique<StageSlot>());
+    StageSlot slot;
+    slot.invocations =
+        &metrics_.counter(stage_metric_name(i, names[i], "invocations"));
+    slot.decisions =
+        &metrics_.counter(stage_metric_name(i, names[i], "decisions"));
+    slot.nanos = &metrics_.counter(stage_metric_name(i, names[i], "nanos"));
+    stage_slots_.push_back(slot);
   }
 }
 
 void AuditContext::record_stage(std::size_t index, bool decided,
                                 std::int64_t nanos) {
   if (index >= stage_slots_.size()) return;  // unconfigured context: no stats
-  StageSlot& slot = *stage_slots_[index];
-  slot.invocations.fetch_add(1);
-  if (decided) slot.decisions.fetch_add(1);
-  slot.nanos.fetch_add(nanos);
+  const StageSlot& slot = stage_slots_[index];
+  slot.invocations->add(1);
+  if (decided) slot.decisions->add(1);
+  slot.nanos->add(nanos);
 }
 
 std::vector<StageStats> AuditContext::stage_stats() const {
@@ -79,9 +121,9 @@ std::vector<StageStats> AuditContext::stage_stats() const {
   for (std::size_t i = 0; i < stage_names_.size(); ++i) {
     StageStats s;
     s.name = stage_names_[i];
-    s.invocations = stage_slots_[i]->invocations.load();
-    s.decisions = stage_slots_[i]->decisions.load();
-    s.wall_seconds = static_cast<double>(stage_slots_[i]->nanos.load()) * 1e-9;
+    s.invocations = static_cast<std::size_t>(stage_slots_[i].invocations->value());
+    s.decisions = static_cast<std::size_t>(stage_slots_[i].decisions->value());
+    s.wall_seconds = static_cast<double>(stage_slots_[i].nanos->value()) * 1e-9;
     out.push_back(std::move(s));
   }
   return out;

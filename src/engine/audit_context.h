@@ -1,10 +1,10 @@
 // Per-audit shared state: compiled-query caching, (A, B)-pair verdict
-// memoization, the prepared subcube interval oracle, and per-stage counters.
-// One AuditContext lives for the duration of one Auditor::audit() call and
-// is shared — thread-safely — by every worker deciding pairs for it.
+// memoization, the prepared subcube interval oracle, and the per-audit
+// metrics registry every decision statistic is recorded into. One
+// AuditContext lives for the duration of one Auditor::audit() call and is
+// shared — thread-safely — by every worker deciding pairs for it.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/criterion_stage.h"
+#include "obs/metrics.h"
 #include "possibilistic/intervals.h"
 #include "worlds/world_set.h"
 
@@ -22,7 +23,8 @@ namespace epi {
 
 /// Decision-path instrumentation for one engine stage, aggregated over an
 /// audit: how often the stage ran, how often it decided, and the cumulative
-/// wall time spent inside it.
+/// wall time spent inside it. Derived from the audit's metrics registry
+/// (counters `engine.stage.<idx>.<name>.{invocations,decisions,nanos}`).
 struct StageStats {
   std::string name;
   std::size_t invocations = 0;
@@ -32,10 +34,16 @@ struct StageStats {
 
 class AuditContext {
  public:
-  AuditContext() = default;
+  AuditContext();
 
   AuditContext(const AuditContext&) = delete;
   AuditContext& operator=(const AuditContext&) = delete;
+
+  // --- Per-audit metrics ---------------------------------------------------
+  /// Every counter below lives here; AuditReport::metrics is a snapshot of
+  /// this registry, and stage_stats() / memo_hits() are views over it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
 
   // --- Compiled-set cache -------------------------------------------------
   /// Returns the cached WorldSet under `key`, calling `make` on first use.
@@ -45,8 +53,9 @@ class AuditContext {
   const WorldSet& compiled(const std::string& key,
                            const std::function<WorldSet()>& make);
 
-  /// Number of cache misses (i.e. actual compilations) so far.
-  std::size_t compile_count() const { return compile_count_.load(); }
+  /// Number of cache misses (i.e. actual compilations) so far — the
+  /// `engine.compile.misses` counter.
+  std::size_t compile_count() const;
 
   // --- Pair-verdict memoization -------------------------------------------
   /// The memoized decision for (a, b), if any.
@@ -54,8 +63,9 @@ class AuditContext {
                                           const WorldSet& b) const;
   void memoize(const WorldSet& a, const WorldSet& b, EngineDecision decision);
   /// Number of find_memo hits (cross-section reuse, e.g. a one-query user's
-  /// conjunction equals their single disclosure).
-  std::size_t memo_hits() const { return memo_hits_.load(); }
+  /// conjunction equals their single disclosure) — the `engine.memo.hits`
+  /// counter.
+  std::size_t memo_hits() const;
 
   // --- Subcube interval machinery (kSubcubeKnowledge) ---------------------
   void set_interval_oracle(std::shared_ptr<IntervalOracle> oracle);
@@ -69,8 +79,8 @@ class AuditContext {
   const IntervalOracle::PreparedAudit* prepared_for(const WorldSet& a) const;
 
   // --- Per-stage counters --------------------------------------------------
-  /// Installs one counter slot per stage; must be called before decisions
-  /// run (not thread-safe against record_stage).
+  /// Installs one counter triplet per stage in the metrics registry; must be
+  /// called before decisions run (not thread-safe against record_stage).
   void reset_stages(const std::vector<std::string>& names);
   /// Accumulates one stage invocation (thread-safe).
   void record_stage(std::size_t index, bool decided, std::int64_t nanos);
@@ -89,26 +99,32 @@ class AuditContext {
     }
   };
 
+  /// Registry counters backing one stage's statistics; resolved once in
+  /// reset_stages so record_stage stays a couple of relaxed atomic adds.
   struct StageSlot {
-    std::atomic<std::size_t> invocations{0};
-    std::atomic<std::size_t> decisions{0};
-    std::atomic<std::int64_t> nanos{0};
+    obs::Counter* invocations = nullptr;
+    obs::Counter* decisions = nullptr;
+    obs::Counter* nanos = nullptr;
   };
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter* compile_misses_;  // engine.compile.misses
+  obs::Counter* compile_hits_;    // engine.compile.hits
+  obs::Counter* memo_hits_c_;     // engine.memo.hits
+  obs::Counter* memo_lookups_;    // engine.memo.lookups
 
   mutable std::mutex compiled_mutex_;
   std::unordered_map<std::string, WorldSet> compiled_;
-  std::atomic<std::size_t> compile_count_{0};
 
   mutable std::mutex memo_mutex_;
   std::unordered_map<PairKey, EngineDecision, PairKeyHash> memo_;
-  mutable std::atomic<std::size_t> memo_hits_{0};
 
   std::shared_ptr<IntervalOracle> oracle_;
   std::optional<WorldSet> prepared_a_;
   std::optional<IntervalOracle::PreparedAudit> prepared_;
 
   std::vector<std::string> stage_names_;
-  std::vector<std::unique_ptr<StageSlot>> stage_slots_;
+  std::vector<StageSlot> stage_slots_;
 };
 
 }  // namespace epi

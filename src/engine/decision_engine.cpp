@@ -1,11 +1,14 @@
 #include "engine/decision_engine.h"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "criteria/projection.h"
 #include "engine/stages.h"
+#include "obs/trace.h"
 
 namespace epi {
 namespace {
@@ -35,6 +38,30 @@ ProductDistribution lift_witness(const ProjectedPair& projection,
 }
 
 }  // namespace
+
+Status AuditorOptions::validate() const {
+  if (enable_sos && max_sos_records == 0) {
+    return Status::InvalidArgument(
+        "AuditorOptions: enable_sos with max_sos_records == 0 gates the SOS "
+        "stage off for every universe; set enable_sos = false instead");
+  }
+  if (ascent.multistarts <= 0) {
+    return Status::InvalidArgument(
+        "AuditorOptions: ascent.multistarts must be >= 1 (a zero-budget "
+        "optimizer silently demotes open pairs to the numeric fallback)");
+  }
+  if (ascent.max_cycles <= 0) {
+    return Status::InvalidArgument(
+        "AuditorOptions: ascent.max_cycles must be >= 1");
+  }
+  return Status::Ok();
+}
+
+unsigned AuditorOptions::resolved_threads() const {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 std::string to_string(PriorAssumption prior) {
   switch (prior) {
@@ -103,7 +130,11 @@ void DecisionEngine::register_stage(std::unique_ptr<CriterionStage> stage,
 
 EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
                                       AuditContext& ctx) const {
-  if (std::optional<EngineDecision> memo = ctx.find_memo(a, b)) return *memo;
+  obs::ScopedSpan span("engine.decide");
+  if (std::optional<EngineDecision> memo = ctx.find_memo(a, b)) {
+    if (span.live()) span.attr("memo", "hit");
+    return *memo;
+  }
 
   // Product-prior stage 0: drop non-critical coordinates (Section 6's
   // "relevant worlds" argument) — product-family safety is invariant under
@@ -129,12 +160,22 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
   for (std::size_t i = 0; i < stages_.size() && !decided; ++i) {
     const CriterionStage& stage = *stages_[i];
     if (!stage.applicable(*wa, *wb, ctx)) continue;
+    // The span duplicates the counter's interval measurement, but only while
+    // tracing is on — the dormant ScopedSpan never reads the clock.
+    std::optional<obs::ScopedSpan> stage_span;
+    if (obs::tracing_enabled()) {
+      stage_span.emplace("engine.stage." + std::string(stage.name()));
+    }
     const auto t0 = std::chrono::steady_clock::now();
     StageDecision d = stage.decide(*wa, *wb, ctx);
     const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
     ctx.record_stage(i, d.verdict != Verdict::kUnknown, elapsed);
+    if (stage_span && stage_span->live()) {
+      stage_span->attr("decided",
+                       d.verdict != Verdict::kUnknown ? "true" : "false");
+    }
     if (d.numeric_gap > numeric_gap) numeric_gap = d.numeric_gap;
     if (d.verdict == Verdict::kUnknown) continue;
     decided = true;
@@ -155,6 +196,10 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
     result.certified = false;
   }
   result.numeric_gap = numeric_gap;
+  if (span.live()) {
+    span.attr("verdict", to_string(result.verdict));
+    span.attr("method", result.method);
+  }
   ctx.memoize(a, b, result);
   return result;
 }

@@ -13,6 +13,7 @@
 #include "engine/audit_context.h"
 #include "engine/criterion_stage.h"
 #include "optimize/emptiness.h"
+#include "util/status.h"
 
 namespace epi {
 
@@ -36,6 +37,18 @@ struct AuditorOptions {
   /// Worker threads for Auditor::audit batch fan-out (0 = one per hardware
   /// thread). Reports are deterministic for every value.
   unsigned threads = 1;
+
+  /// Rejects contradictory or degenerate settings: an enabled SOS stage that
+  /// max_sos_records == 0 gates off for every universe, and an optimizer
+  /// budget of zero multistarts or cycles (which would silently demote every
+  /// open product-prior pair to the numeric fallback). The Auditor
+  /// constructor surfaces the failure instead of clamping.
+  Status validate() const;
+
+  /// `threads` with 0 resolved to the hardware concurrency — always >= 1,
+  /// never 0. ThreadPool itself rejects 0, so resolve before constructing
+  /// one.
+  unsigned resolved_threads() const;
 };
 
 /// Runs the per-prior stage cascade for (A, B) pairs. Construction is cheap;

@@ -1,15 +1,46 @@
 #include "engine/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace epi {
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Pool metrics live in the process registry: pools outlive audits and are
+/// shared across them. Resolved once; afterwards each record is an atomic
+/// add.
+struct PoolMetrics {
+  obs::Counter& batches = obs::process_metrics().counter("pool.parallel_for.calls");
+  obs::Counter& tasks = obs::process_metrics().counter("pool.tasks");
+  obs::Histogram& queue_wait = obs::process_metrics().histogram("pool.queue_wait_ns");
+  obs::Histogram& run = obs::process_metrics().histogram("pool.task_run_ns");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* m = new PoolMetrics();  // never destroyed
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
+    throw std::invalid_argument(
+        "ThreadPool: thread count must be >= 1 (resolve 0 = one-per-core via "
+        "AuditorOptions::resolved_threads() before constructing the pool)");
   }
   // The caller participates in parallel_for, so a pool of size k needs only
   // k - 1 background workers.
@@ -83,6 +114,12 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
 
+  pool_metrics().batches.add(1);
+  // Pool tasks run on worker threads whose span context is empty; forward
+  // the calling thread's current span so they nest under the batch that
+  // scheduled them.
+  const std::uint64_t parent_span = obs::current_span();
+
   auto state = std::make_shared<ForState>();
   state->count = count;
   const std::size_t helpers = std::min<std::size_t>(workers_.size(), count);
@@ -90,8 +127,20 @@ void ThreadPool::parallel_for(std::size_t count,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t h = 0; h < helpers; ++h) {
-      tasks_.push([state, &fn] {
-        state->drain(fn);
+      const std::int64_t enqueue_ns = steady_ns();
+      tasks_.push([state, &fn, parent_span, enqueue_ns] {
+        const std::int64_t start_ns = steady_ns();
+        pool_metrics().tasks.add(1);
+        pool_metrics().queue_wait.record(start_ns - enqueue_ns);
+        {
+          obs::SpanContext context(parent_span);
+          obs::ScopedSpan span("pool.task");
+          if (span.live()) {
+            span.attr("queue_wait_ns", std::to_string(start_ns - enqueue_ns));
+          }
+          state->drain(fn);
+        }
+        pool_metrics().run.record(steady_ns() - start_ns);
         {
           std::lock_guard<std::mutex> inner(state->mutex);
           --state->active_drains;
@@ -104,7 +153,11 @@ void ThreadPool::parallel_for(std::size_t count,
 
   // The caller drains too; fn's lifetime outlives every drain because we
   // block here until all helper drains have exited.
-  state->drain(fn);
+  {
+    obs::ScopedSpan span("pool.task");
+    if (span.live()) span.attr("queue_wait_ns", "0");  // inline, never queued
+    state->drain(fn);
+  }
   std::unique_lock<std::mutex> lock(state->mutex);
   state->done_cv.wait(lock, [&] { return state->active_drains == 0; });
   if (state->error) std::rethrow_exception(state->error);

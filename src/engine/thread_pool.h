@@ -2,6 +2,12 @@
 // cores. Deliberately minimal: the only primitive is a blocking
 // parallel_for whose results the caller writes into pre-sized slots, which
 // keeps batch audits deterministic regardless of worker count.
+//
+// Observability: every helper task records its queue wait (enqueue to
+// first instruction) and run time into the process metrics registry
+// (`pool.queue_wait_ns` / `pool.task_run_ns` histograms), and — when
+// tracing is on — emits a `pool.task` span parented under the span that
+// called parallel_for, so pool work appears inside the audit's span tree.
 #pragma once
 
 #include <condition_variable>
@@ -16,10 +22,13 @@ namespace epi {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers; 0 picks std::thread::hardware_concurrency().
-  /// A pool of size 1 spawns no workers at all — parallel_for then runs
-  /// inline on the caller, so single-threaded configurations pay nothing.
-  explicit ThreadPool(unsigned threads = 0);
+  /// Spawns `threads` workers. `threads` must be >= 1 — resolve "one per
+  /// core" via AuditorOptions::resolved_threads() before constructing;
+  /// throws std::invalid_argument on 0 rather than silently substituting a
+  /// hardware-dependent value. A pool of size 1 spawns no workers at all —
+  /// parallel_for then runs inline on the caller, so single-threaded
+  /// configurations pay nothing.
+  explicit ThreadPool(unsigned threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

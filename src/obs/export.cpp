@@ -1,0 +1,407 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+namespace epi {
+namespace obs {
+namespace {
+
+// --- JSON writing ----------------------------------------------------------
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_span_json(std::ostringstream& os, const SpanRecord& s,
+                      const char* indent) {
+  os << indent << "{\"id\": " << s.id << ", \"parent\": " << s.parent
+     << ", \"name\": ";
+  append_json_string(os, s.name);
+  os << ", \"start_ns\": " << s.start_ns
+     << ", \"duration_ns\": " << s.duration_ns;
+  if (!s.attributes.empty()) {
+    os << ", \"attrs\": {";
+    bool first = true;
+    for (const auto& [key, value] : s.attributes) {
+      if (!first) os << ", ";
+      first = false;
+      append_json_string(os, key);
+      os << ": ";
+      append_json_string(os, value);
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+// --- JSON reading ----------------------------------------------------------
+
+/// Minimal recursive-descent reader for the exporter's own schema (objects,
+/// arrays, strings, integers). Positions in error messages are byte offsets.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Status error(const std::string& what) {
+    return Status::InvalidArgument("trace JSON, offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expect(char c) {
+    if (!consume(c)) return error(std::string("expected '") + c + "'");
+    return Status::Ok();
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  Status parse_string(std::string* out) {
+    if (Status s = expect('"'); !s.ok()) return s;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return error("bad \\u escape digit");
+          }
+          // The exporter only emits \u for control bytes; reject the rest
+          // rather than implementing UTF-16 surrogates.
+          if (code > 0x7F) return error("non-ASCII \\u escape unsupported");
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return error(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Status parse_int(std::int64_t* out) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return error("expected integer");
+    }
+    *out = std::stoll(text_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  /// Skips any value (used for unknown keys, keeping the reader forward
+  /// compatible with added fields).
+  Status skip_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return error("expected value");
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      skip_ws();
+      if (consume(close)) return Status::Ok();
+      for (;;) {
+        if (c == '{') {
+          std::string key;
+          if (Status s = parse_string(&key); !s.ok()) return s;
+          if (Status s = expect(':'); !s.ok()) return s;
+        }
+        if (Status s = skip_value(); !s.ok()) return s;
+        if (consume(close)) return Status::Ok();
+        if (Status s = expect(','); !s.ok()) return s;
+      }
+    }
+    // Bare literal: integer / true / false / null.
+    while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    return Status::Ok();
+  }
+
+  Status parse_attrs(std::vector<std::pair<std::string, std::string>>* out) {
+    if (Status s = expect('{'); !s.ok()) return s;
+    if (consume('}')) return Status::Ok();
+    for (;;) {
+      std::string key, value;
+      if (Status s = parse_string(&key); !s.ok()) return s;
+      if (Status s = expect(':'); !s.ok()) return s;
+      if (Status s = parse_string(&value); !s.ok()) return s;
+      out->emplace_back(std::move(key), std::move(value));
+      if (consume('}')) return Status::Ok();
+      if (Status s = expect(','); !s.ok()) return s;
+    }
+  }
+
+  Status parse_span(SpanRecord* span) {
+    if (Status s = expect('{'); !s.ok()) return s;
+    bool have_id = false, have_name = false;
+    if (!consume('}')) {
+      for (;;) {
+        std::string key;
+        if (Status s = parse_string(&key); !s.ok()) return s;
+        if (Status s = expect(':'); !s.ok()) return s;
+        std::int64_t n = 0;
+        if (key == "id") {
+          if (Status s = parse_int(&n); !s.ok()) return s;
+          span->id = static_cast<std::uint64_t>(n);
+          have_id = true;
+        } else if (key == "parent") {
+          if (Status s = parse_int(&n); !s.ok()) return s;
+          span->parent = static_cast<std::uint64_t>(n);
+        } else if (key == "name") {
+          if (Status s = parse_string(&span->name); !s.ok()) return s;
+          have_name = true;
+        } else if (key == "start_ns") {
+          if (Status s = parse_int(&span->start_ns); !s.ok()) return s;
+        } else if (key == "duration_ns") {
+          if (Status s = parse_int(&span->duration_ns); !s.ok()) return s;
+        } else if (key == "attrs") {
+          if (Status s = parse_attrs(&span->attributes); !s.ok()) return s;
+        } else {
+          if (Status s = skip_value(); !s.ok()) return s;
+        }
+        if (consume('}')) break;
+        if (Status s = expect(','); !s.ok()) return s;
+      }
+    }
+    if (!have_id) return error("span without \"id\"");
+    if (!have_name) return error("span without \"name\"");
+    return Status::Ok();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string spans_to_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "{\n  \"trace\": {\n    \"span_count\": " << spans.size()
+     << ",\n    \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    os << (i ? ",\n" : "\n");
+    append_span_json(os, spans[i], "      ");
+  }
+  os << (spans.empty() ? "]" : "\n    ]") << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string trace_to_json(const Trace& trace) {
+  return spans_to_json(trace.spans());
+}
+
+Status spans_from_json(const std::string& json, std::vector<SpanRecord>* out) {
+  out->clear();
+  JsonReader r(json);
+  if (Status s = r.expect('{'); !s.ok()) return s;
+  std::string key;
+  if (Status s = r.parse_string(&key); !s.ok()) return s;
+  if (key != "trace") return r.error("expected top-level \"trace\" object");
+  if (Status s = r.expect(':'); !s.ok()) return s;
+  if (Status s = r.expect('{'); !s.ok()) return s;
+  std::int64_t declared_count = -1;
+  if (!r.consume('}')) {
+    for (;;) {
+      if (Status s = r.parse_string(&key); !s.ok()) return s;
+      if (Status s = r.expect(':'); !s.ok()) return s;
+      if (key == "span_count") {
+        if (Status s = r.parse_int(&declared_count); !s.ok()) return s;
+      } else if (key == "spans") {
+        if (Status s = r.expect('['); !s.ok()) return s;
+        if (!r.consume(']')) {
+          for (;;) {
+            SpanRecord span;
+            if (Status s = r.parse_span(&span); !s.ok()) return s;
+            out->push_back(std::move(span));
+            if (r.consume(']')) break;
+            if (Status s = r.expect(','); !s.ok()) return s;
+          }
+        }
+      } else {
+        if (Status s = r.skip_value(); !s.ok()) return s;
+      }
+      if (r.consume('}')) break;
+      if (Status s = r.expect(','); !s.ok()) return s;
+    }
+  }
+  if (Status s = r.expect('}'); !s.ok()) return s;
+  if (!r.at_end()) return r.error("trailing content after trace object");
+  if (declared_count >= 0 &&
+      declared_count != static_cast<std::int64_t>(out->size())) {
+    return Status::InvalidArgument(
+        "trace JSON: span_count " + std::to_string(declared_count) +
+        " does not match " + std::to_string(out->size()) + " spans");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+void append_span_text(std::ostringstream& os, const SpanRecord& span,
+                      const std::unordered_map<std::uint64_t,
+                                               std::vector<const SpanRecord*>>& children,
+                      int depth) {
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << span.name
+     << "  [" << std::fixed << std::setprecision(3)
+     << static_cast<double>(span.duration_ns) * 1e-6 << " ms]";
+  for (const auto& [key, value] : span.attributes) {
+    os << " " << key << "=" << value;
+  }
+  os << "\n";
+  const auto it = children.find(span.id);
+  if (it == children.end()) return;
+  for (const SpanRecord* child : it->second) {
+    append_span_text(os, *child, children, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string spans_to_text(const std::vector<SpanRecord>& spans) {
+  std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans) by_id.emplace(s.id, &s);
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent != 0 && by_id.count(s.parent)) {
+      children[s.parent].push_back(&s);
+    } else {
+      roots.push_back(&s);
+    }
+  }
+  std::ostringstream os;
+  os << "trace: " << spans.size() << " spans\n";
+  for (const SpanRecord* root : roots) {
+    append_span_text(os, *root, children, 1);
+  }
+  return os.str();
+}
+
+std::string trace_to_text(const Trace& trace) {
+  return spans_to_text(trace.spans());
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"metrics\": {\n    \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i ? ",\n      " : "\n      ");
+    append_json_string(os, snapshot.counters[i].name);
+    os << ": " << snapshot.counters[i].value;
+  }
+  os << (snapshot.counters.empty() ? "}" : "\n    }")
+     << ",\n    \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    os << (i ? ",\n      " : "\n      ");
+    append_json_string(os, h.name);
+    os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"min\": " << h.min << ", \"max\": " << h.max << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "[" << h.buckets[b].first << ", "
+         << h.buckets[b].second << "]";
+    }
+    os << "]}";
+  }
+  os << (snapshot.histograms.empty() ? "}" : "\n    }") << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string metrics_to_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::size_t width = 8;
+  for (const CounterSample& c : snapshot.counters) {
+    width = std::max(width, c.name.size());
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    width = std::max(width, h.name.size());
+  }
+  for (const CounterSample& c : snapshot.counters) {
+    os << "  " << std::left << std::setw(static_cast<int>(width) + 2) << c.name
+       << std::right << std::setw(12) << c.value << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    os << "  " << std::left << std::setw(static_cast<int>(width) + 2) << h.name
+       << std::right << "count=" << h.count << " sum=" << h.sum
+       << " min=" << h.min << " max=" << h.max << "\n";
+  }
+  if (snapshot.empty()) os << "  (no metrics recorded)\n";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace epi

@@ -1,0 +1,48 @@
+// Exporters for the observability layer: machine-readable JSON and
+// human-readable text, for both span trees and metric registries, plus a
+// JSON importer so traces round-trip (tests and external tooling validate
+// emitted files by parsing them back).
+//
+// Trace JSON schema (stable; docs/observability.md):
+//   { "trace": { "span_count": N,
+//                "spans": [ { "id": 1, "parent": 0, "name": "...",
+//                             "start_ns": 0, "duration_ns": 0,
+//                             "attrs": { "key": "value", ... } }, ... ] } }
+// Metrics JSON schema:
+//   { "metrics": { "counters": { "name": value, ... },
+//                  "histograms": { "name": { "count": N, "sum": S,
+//                                            "min": m, "max": M,
+//                                            "buckets": [[i, n], ...] },
+//                                  ... } } }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace epi {
+namespace obs {
+
+/// Serializes the trace's finished spans (sorted by id).
+std::string trace_to_json(const Trace& trace);
+std::string spans_to_json(const std::vector<SpanRecord>& spans);
+
+/// Parses trace JSON back into span records. Accepts exactly the schema
+/// above; returns InvalidArgument naming the first offending construct.
+Status spans_from_json(const std::string& json, std::vector<SpanRecord>* out);
+
+/// Indented span tree with durations — the human-readable view. Orphan
+/// spans (parent not in the trace, e.g. emitted while their parent was
+/// still open) print at the root level.
+std::string trace_to_text(const Trace& trace);
+std::string spans_to_text(const std::vector<SpanRecord>& spans);
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+/// Aligned name/value table; histograms render count/sum/min/max.
+std::string metrics_to_text(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace epi

@@ -1,0 +1,96 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace epi {
+namespace obs {
+
+void Histogram::record(std::int64_t sample) {
+  if (sample < 0) sample = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  // log2 bucket: 0 for sample == 0, else bit width of the sample.
+  const std::size_t b =
+      sample == 0 ? 0
+                  : static_cast<std::size_t>(
+                        64 - __builtin_clzll(static_cast<std::uint64_t>(sample)));
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  // Lossy min/max races are acceptable: a concurrent tighter bound may win
+  // either way, never producing a value that was not observed.
+  std::int64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::min() const {
+  const std::int64_t m = min_.load(std::memory_order_relaxed);
+  return m == INT64_MAX ? 0 : m;
+}
+
+std::int64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const CounterSample& s, std::string_view n) { return s.name < n; });
+  if (it == counters.end() || it->name != name) return 0;
+  return it->value;
+}
+
+const HistogramSample* MetricsSnapshot::histogram(std::string_view name) const {
+  const auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const HistogramSample& s, std::string_view n) { return s.name < n; });
+  if (it == histograms.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back(CounterSample{name, c->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::int64_t n = h->bucket(b);
+      if (n != 0) s.buckets.emplace_back(b, n);
+    }
+    snap.histograms.push_back(std::move(s));
+  }
+  // std::map iteration is already name-sorted; keep the invariant explicit.
+  return snap;
+}
+
+MetricsRegistry& process_metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace epi

@@ -1,0 +1,124 @@
+// Named counters and histograms for the audit engine's observability layer.
+//
+// Two registries exist in practice: a process-wide one (process_metrics())
+// for subsystems whose state outlives any single audit (parser, interval
+// oracle, thread pool), and one per AuditContext for per-audit decision
+// statistics. Counter/Histogram handles returned by a registry are stable
+// for the registry's lifetime, so hot paths resolve a metric once and then
+// pay a single relaxed atomic add per event.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epi {
+namespace obs {
+
+/// A monotonically adjustable integer metric. All operations are thread-safe
+/// and wait-free; relaxed ordering is deliberate — metrics are reporting
+/// data, never synchronization.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Overwrites the value (used by legacy reset hooks, not by hot paths).
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A log2-bucketed histogram of non-negative samples (typically
+/// nanoseconds). Bucket i counts samples whose bit width is i, i.e. sample
+/// s lands in bucket floor(log2(s)) + 1 (bucket 0 holds s == 0), which
+/// keeps record() branch-free and lock-free.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::int64_t sample);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Minimum / maximum recorded sample; 0 when empty.
+  std::int64_t min() const;
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::int64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{0};
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time value of one counter.
+struct CounterSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// Point-in-time value of one histogram. `buckets` is sparse: (index, count)
+/// pairs for the non-empty log2 buckets only.
+struct HistogramSample {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::vector<std::pair<std::size_t, std::int64_t>> buckets;
+};
+
+/// A consistent-enough copy of a registry (each metric is read atomically;
+/// the set as a whole is not a snapshot isolation barrier — fine for
+/// reporting). Samples are sorted by name.
+class MetricsSnapshot {
+ public:
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+
+  /// The named counter's value, or 0 when absent.
+  std::int64_t counter(std::string_view name) const;
+  /// The named histogram, or nullptr when absent.
+  const HistogramSample* histogram(std::string_view name) const;
+  bool empty() const { return counters.empty() && histograms.empty(); }
+};
+
+/// Thread-safe name -> metric registry. find-or-create is mutex-guarded and
+/// intended for setup paths; hot paths hold onto the returned reference.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry (parser, oracle, pool metrics). Never reset in
+/// production code paths; audit_cli --metrics prints it on exit.
+MetricsRegistry& process_metrics();
+
+}  // namespace obs
+}  // namespace epi

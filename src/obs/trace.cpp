@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace epi {
+namespace obs {
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_trace_mutex;
+std::shared_ptr<Trace> g_trace;
+
+thread_local std::uint64_t t_current_span = 0;
+
+}  // namespace
+
+Trace::Trace() : epoch_ns_(steady_now_ns()) {}
+
+std::int64_t Trace::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+void Trace::append(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Trace::spans() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+#ifndef EPI_OBS_NOOP
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+#endif
+
+void install_trace(std::shared_ptr<Trace> trace) {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  g_trace = std::move(trace);
+  g_enabled.store(g_trace != nullptr, std::memory_order_relaxed);
+}
+
+std::shared_ptr<Trace> active_trace() {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  return g_trace;
+}
+
+std::uint64_t current_span() { return t_current_span; }
+
+SpanContext::SpanContext(std::uint64_t span_id) : saved_(t_current_span) {
+  t_current_span = span_id;
+}
+
+SpanContext::~SpanContext() { t_current_span = saved_; }
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!tracing_enabled()) return;
+  trace_ = active_trace();
+  if (!trace_) return;  // raced with uninstall; stay dormant
+  live_ = true;
+  name_ = std::string(name);
+  id_ = trace_->next_id();
+  parent_ = t_current_span;
+  t_current_span = id_;
+  start_ns_ = trace_->now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!live_) return;
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = std::move(name_);
+  record.start_ns = start_ns_;
+  record.duration_ns = trace_->now_ns() - start_ns_;
+  record.attributes = std::move(attributes_);
+  t_current_span = parent_;
+  trace_->append(std::move(record));
+}
+
+void ScopedSpan::attr(std::string_view key, std::string value) {
+  if (!live_) return;
+  attributes_.emplace_back(std::string(key), std::move(value));
+}
+
+}  // namespace obs
+}  // namespace epi

@@ -178,7 +178,8 @@ FullDecision decide_product_safety_complete(const WorldSet& a, const WorldSet& b
   }
 
   FullDecision d;
-  const PipelineResult pipeline = decide_product_safety(a, b);
+  const PipelineResult pipeline =
+      run_criteria(product_criteria(), a, b, "exhausted-combinatorial-criteria");
   if (pipeline.verdict != Verdict::kUnknown) {
     d.verdict = pipeline.verdict;
     d.method = pipeline.criterion;

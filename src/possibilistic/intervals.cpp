@@ -2,7 +2,28 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace epi {
+namespace {
+
+/// Process-wide oracle counters: one lookup per interval() call, one cache
+/// hit when the memo short-circuits the sigma-family computation. Resolved
+/// once; hot-path cost is a relaxed atomic add.
+obs::Counter& interval_lookups() {
+  static obs::Counter& counter =
+      obs::process_metrics().counter("oracle.interval.lookups");
+  return counter;
+}
+
+obs::Counter& interval_cache_hits() {
+  static obs::Counter& counter =
+      obs::process_metrics().counter("oracle.interval.cache_hits");
+  return counter;
+}
+
+}  // namespace
 
 IntervalOracle::IntervalOracle(std::shared_ptr<const SigmaFamily> sigma, FiniteSet c)
     : sigma_(std::move(sigma)), c_(std::move(c)) {
@@ -19,11 +40,15 @@ std::optional<FiniteSet> IntervalOracle::interval(std::size_t w1, std::size_t w2
   // Condition (14): w1 must be a possible world for the auditor (w1 in C) —
   // otherwise no pair (w1, S) belongs to K = C (x) Sigma.
   if (!c_.contains(w1)) return std::nullopt;
+  interval_lookups().add(1);
   const std::size_t key = w1 * c_.universe_size() + w2;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      interval_cache_hits().add(1);
+      return it->second;
+    }
   }
   // Compute outside the lock — a racing duplicate computation is benign and
   // cheaper than serializing every sigma interval query.
@@ -104,6 +129,7 @@ bool IntervalOracle::safe_all_intervals(const FiniteSet& a, const FiniteSet& b) 
 
 bool IntervalOracle::safe_minimal_intervals(const FiniteSet& a,
                                             const FiniteSet& b) const {
+  obs::ScopedSpan span("oracle.safe-minimal-intervals");
   const FiniteSet ab = a & b;
   const FiniteSet outside_a = ~a;
   const FiniteSet b_minus_a = b - a;
@@ -136,6 +162,7 @@ std::optional<std::vector<FiniteSet>> IntervalOracle::beta(const FiniteSet& a) c
 }
 
 IntervalOracle::PreparedAudit IntervalOracle::prepare(const FiniteSet& a) const {
+  obs::ScopedSpan span("oracle.prepare");
   PreparedAudit audit(a);
   const std::size_t m = c_.universe_size();
   const FiniteSet outside_a = ~a;
@@ -143,10 +170,14 @@ IntervalOracle::PreparedAudit IntervalOracle::prepare(const FiniteSet& a) const 
   a.for_each([&](std::size_t w1) {
     audit.classes_[w1] = delta_partition(outside_a, w1);
   });
+  if (span.live()) {
+    span.attr("classes", std::to_string(audit.class_count()));
+  }
   return audit;
 }
 
 bool IntervalOracle::PreparedAudit::safe(const FiniteSet& b) const {
+  obs::ScopedSpan span("oracle.prepared-safe");
   const FiniteSet ab = a_ & b;
   bool result = true;
   ab.for_each([&](std::size_t w1) {

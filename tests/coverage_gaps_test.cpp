@@ -58,15 +58,16 @@ TEST(ProductFamilyInWeights, ExactlyProductDistributions) {
 }
 
 TEST(Auditor, MaxSosRecordsGateSkipsSdp) {
-  // With max_sos_records = 0 the SOS stage is skipped even when enabled;
-  // verdicts must still be sound, only potentially uncertified safe.
+  // With the universe above max_sos_records the SOS stage is skipped even
+  // when enabled; verdicts must still be sound, only potentially
+  // uncertified safe.
   RecordUniverse u;
   u.add("a");
   u.add("b");
   u.add("c");
   AuditorOptions options;
   options.enable_sos = true;
-  options.max_sos_records = 0;
+  options.max_sos_records = 2;
   Auditor auditor(u, PriorAssumption::kProduct, options);
   Rng rng(7);
   for (int t = 0; t < 20; ++t) {
@@ -75,6 +76,19 @@ TEST(Auditor, MaxSosRecordsGateSkipsSdp) {
     const AuditFinding f = auditor.audit_sets(a, b);
     EXPECT_NE(f.method, "sos-certificate");
   }
+}
+
+TEST(Auditor, RejectsContradictorySosOptions) {
+  // enable_sos with max_sos_records == 0 gates SOS off for every universe —
+  // validate() names the contradiction instead of silently honoring it.
+  RecordUniverse u;
+  u.add("a");
+  AuditorOptions options;
+  options.enable_sos = true;
+  options.max_sos_records = 0;
+  EXPECT_FALSE(options.validate().ok());
+  EXPECT_THROW(Auditor(u, PriorAssumption::kProduct, options),
+               std::invalid_argument);
 }
 
 TEST(Report, NumericTagShownForUncertifiedVerdicts) {

@@ -346,7 +346,7 @@ TEST(Pipeline, UnrestrictedAlwaysDefinite) {
   for (int trial = 0; trial < 100; ++trial) {
     WorldSet a = WorldSet::random(n, rng, 0.5);
     WorldSet b = WorldSet::random(n, rng, 0.5);
-    auto r = decide_unrestricted_safety(a, b);
+    auto r = run_criteria(unrestricted_criteria(), a, b, "unreachable");
     EXPECT_NE(r.verdict, Verdict::kUnknown);
     if (r.verdict == Verdict::kUnsafe) {
       ASSERT_TRUE(r.witness_distribution.has_value());
@@ -362,7 +362,8 @@ TEST(Pipeline, ProductPipelineSound) {
   for (int trial = 0; trial < 150; ++trial) {
     WorldSet a = WorldSet::random(n, rng, 0.5);
     WorldSet b = WorldSet::random(n, rng, 0.5);
-    auto r = decide_product_safety(a, b);
+    auto r = run_criteria(product_criteria(), a, b,
+                          "exhausted-combinatorial-criteria");
     const double grid_max = max_gap_grid(a, b);
     switch (r.verdict) {
       case Verdict::kSafe:
@@ -391,7 +392,8 @@ TEST(Pipeline, SupermodularPipelineSound) {
   for (int trial = 0; trial < 150; ++trial) {
     WorldSet a = WorldSet::random(n, rng, 0.4);
     WorldSet b = WorldSet::random(n, rng, 0.4);
-    auto r = decide_supermodular_safety(a, b);
+    auto r = run_criteria(supermodular_criteria(), a, b,
+                          "exhausted-supermodular-criteria");
     if (r.verdict == Verdict::kSafe) {
       for (int i = 0; i < 10; ++i) {
         auto p = random_log_supermodular(n, rng);

@@ -45,7 +45,8 @@ AuditFinding legacy_audit_sets(PriorAssumption prior, const WorldSet& a,
   AuditFinding f;
   switch (prior) {
     case PriorAssumption::kUnrestricted: {
-      const PipelineResult r = decide_unrestricted_safety(a, b);
+      const PipelineResult r =
+          run_criteria(unrestricted_criteria(), a, b, "unreachable");
       f.verdict = r.verdict;
       f.method = r.criterion;
       f.certified = true;
@@ -77,7 +78,8 @@ AuditFinding legacy_audit_sets(PriorAssumption prior, const WorldSet& a,
       break;
     }
     case PriorAssumption::kLogSupermodular: {
-      const PipelineResult r = decide_supermodular_safety(a, b);
+      const PipelineResult r = run_criteria(supermodular_criteria(), a, b,
+                                            "exhausted-supermodular-criteria");
       f.verdict = r.verdict;
       f.method = r.criterion;
       f.certified = r.verdict != Verdict::kUnknown;
@@ -175,21 +177,21 @@ TEST(DecisionEngine, ReportsIdenticalAcrossThreadCounts) {
     Auditor auditor(workload.universe, PriorAssumption::kProduct, options);
     const AuditReport report = auditor.audit(workload.log, "p0_cond");
     const std::string text = format_report(report);
+    const std::vector<StageStats> stats = report.stage_stats();
     if (threads == 1) {
       reference_report = text;
-      reference_stats = report.stage_stats;
-      reference_memo_hits = report.memo_hits;
+      reference_stats = stats;
+      reference_memo_hits = report.memo_hits();
       continue;
     }
     EXPECT_EQ(text, reference_report) << threads << " threads";
-    EXPECT_EQ(report.memo_hits, reference_memo_hits) << threads << " threads";
-    ASSERT_EQ(report.stage_stats.size(), reference_stats.size());
+    EXPECT_EQ(report.memo_hits(), reference_memo_hits) << threads << " threads";
+    ASSERT_EQ(stats.size(), reference_stats.size());
     for (std::size_t i = 0; i < reference_stats.size(); ++i) {
-      EXPECT_EQ(report.stage_stats[i].name, reference_stats[i].name);
-      EXPECT_EQ(report.stage_stats[i].invocations,
-                reference_stats[i].invocations)
+      EXPECT_EQ(stats[i].name, reference_stats[i].name);
+      EXPECT_EQ(stats[i].invocations, reference_stats[i].invocations)
           << threads << " threads, stage " << reference_stats[i].name;
-      EXPECT_EQ(report.stage_stats[i].decisions, reference_stats[i].decisions)
+      EXPECT_EQ(stats[i].decisions, reference_stats[i].decisions)
           << threads << " threads, stage " << reference_stats[i].name;
     }
   }
@@ -220,7 +222,7 @@ TEST(Auditor, CompilesEachDistinctDisclosureOncePerAudit) {
   ASSERT_EQ(report.per_disclosure.size(), 4u);
   // u2's and u3's conjunctions both equal the "x"-true disclosure; they
   // dedupe to one pair which the phase-2 memo then answers: one memo hit.
-  EXPECT_EQ(report.memo_hits, 1u);
+  EXPECT_EQ(report.memo_hits(), 1u);
 }
 
 TEST(Auditor, StageStatsExposedInReport) {
@@ -233,10 +235,11 @@ TEST(Auditor, StageStatsExposedInReport) {
   Auditor auditor(u, PriorAssumption::kProduct);
   const AuditReport report = auditor.audit(log, "x");
 
-  ASSERT_FALSE(report.stage_stats.empty());
-  EXPECT_EQ(report.stage_stats[0].name, "theorem-3.11");
+  const std::vector<StageStats> stats = report.stage_stats();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats[0].name, "theorem-3.11");
   std::size_t decisions = 0;
-  for (const StageStats& s : report.stage_stats) decisions += s.decisions;
+  for (const StageStats& s : stats) decisions += s.decisions;
   // Every decided pair was decided by exactly one stage.
   EXPECT_GT(decisions, 0u);
   const std::string text = format_stage_stats(report);
@@ -295,9 +298,10 @@ TEST(DecisionEngine, RegisteredCustomStageRunsFirst) {
   // The engine's critical-coordinate projection prefixes the method ("y" is
   // irrelevant to "x" vs "x"); the stage label must still be the decider.
   EXPECT_EQ(report.per_disclosure[0].method, "projected[1/2]+custom-veto");
-  ASSERT_FALSE(report.stage_stats.empty());
-  EXPECT_EQ(report.stage_stats[0].name, "custom-veto");
-  EXPECT_GT(report.stage_stats[0].decisions, 0u);
+  const std::vector<StageStats> stats = report.stage_stats();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats[0].name, "custom-veto");
+  EXPECT_GT(stats[0].decisions, 0u);
 }
 
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {

@@ -1,0 +1,217 @@
+// The observability layer in isolation: counters, histograms, registry
+// snapshots, span collection with cross-thread parenting, and the JSON /
+// text exporters (including the JSON round-trip the CI smoke test relies
+// on).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace epi {
+namespace obs {
+namespace {
+
+// Span-collection tests are vacuous when the instrumentation is compiled
+// out; skip them there instead of asserting on an empty trace.
+#ifdef EPI_OBS_NOOP
+#define SKIP_WITHOUT_SPANS() GTEST_SKIP() << "tracing compiled out (EPI_OBS_NOOP)"
+#else
+#define SKIP_WITHOUT_SPANS()
+#endif
+
+/// Installs a fresh Trace for the test's scope and uninstalls on exit, so
+/// tests never leak an active sink into each other (or into other suites).
+class ScopedTrace {
+ public:
+  ScopedTrace() : trace_(std::make_shared<Trace>()) { install_trace(trace_); }
+  ~ScopedTrace() { install_trace(nullptr); }
+  Trace& operator*() { return *trace_; }
+  Trace* operator->() { return trace_.get(); }
+
+ private:
+  std::shared_ptr<Trace> trace_;
+};
+
+TEST(Metrics, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST(Metrics, HistogramBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);  // empty -> 0, not INT64_MAX
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(1024);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 1030);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1024);
+  EXPECT_EQ(h.bucket(0), 1);   // the 0 sample
+  EXPECT_EQ(h.bucket(1), 1);   // 1 has bit width 1
+  EXPECT_EQ(h.bucket(3), 1);   // 5 has bit width 3
+  EXPECT_EQ(h.bucket(11), 1);  // 1024 has bit width 11
+}
+
+TEST(Metrics, RegistryFindOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x").value(), 3);
+  registry.histogram("h").record(9);
+  EXPECT_EQ(registry.histogram("h").count(), 1);
+}
+
+TEST(Metrics, SnapshotIsSortedAndQueryable) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(2);
+  registry.histogram("m.hist").record(3);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[1].name, "z.last");
+  EXPECT_EQ(snap.counter("a.first"), 2);
+  EXPECT_EQ(snap.counter("missing"), 0);
+  ASSERT_NE(snap.histogram("m.hist"), nullptr);
+  EXPECT_EQ(snap.histogram("m.hist")->count, 1);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(Trace, SpansAreNoOpsWhileTracingIsOff) {
+  ASSERT_EQ(active_trace(), nullptr);
+  ScopedSpan span("should-not-record");
+  EXPECT_FALSE(span.live());
+  EXPECT_EQ(span.id(), 0u);
+  span.attr("k", "v");  // must be harmless
+}
+
+TEST(Trace, CollectsNestedSpans) {
+  SKIP_WITHOUT_SPANS();
+  ScopedTrace trace;
+  {
+    ScopedSpan outer("outer");
+    ASSERT_TRUE(outer.live());
+    outer.attr("key", "value");
+    {
+      ScopedSpan inner("inner");
+      ASSERT_TRUE(inner.live());
+      EXPECT_NE(inner.id(), outer.id());
+    }
+  }
+  const std::vector<SpanRecord> spans = trace->spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by id = construction order: outer first, but inner finished first.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, 0u);
+  ASSERT_EQ(spans[0].attributes.size(), 1u);
+  EXPECT_EQ(spans[0].attributes[0].first, "key");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+}
+
+TEST(Trace, SpanContextForwardsParentAcrossThreads) {
+  SKIP_WITHOUT_SPANS();
+  ScopedTrace trace;
+  std::uint64_t parent_id = 0;
+  {
+    ScopedSpan parent("scheduler");
+    parent_id = parent.id();
+    std::thread worker([&] {
+      SpanContext context(parent_id);
+      ScopedSpan task("task");
+      EXPECT_TRUE(task.live());
+    });
+    worker.join();
+    // The context must not leak into this thread.
+    EXPECT_EQ(current_span(), parent_id);
+  }
+  const std::vector<SpanRecord> spans = trace->spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].name, "task");
+  EXPECT_EQ(spans[1].parent, parent_id);
+}
+
+TEST(Export, TraceJsonRoundTrips) {
+  SKIP_WITHOUT_SPANS();
+  ScopedTrace trace;
+  {
+    ScopedSpan outer("outer");
+    outer.attr("quote", "say \"hi\"\n\tdone\\");
+    ScopedSpan inner("inner");
+    inner.attr("n", "42");
+  }
+  const std::vector<SpanRecord> original = trace->spans();
+  const std::string json = trace_to_json(*trace);
+
+  std::vector<SpanRecord> parsed;
+  const Status status = spans_from_json(json, &parsed);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, original[i].id);
+    EXPECT_EQ(parsed[i].parent, original[i].parent);
+    EXPECT_EQ(parsed[i].name, original[i].name);
+    EXPECT_EQ(parsed[i].start_ns, original[i].start_ns);
+    EXPECT_EQ(parsed[i].duration_ns, original[i].duration_ns);
+    EXPECT_EQ(parsed[i].attributes, original[i].attributes);
+  }
+}
+
+TEST(Export, MalformedTraceJsonIsRejected) {
+  std::vector<SpanRecord> out;
+  EXPECT_FALSE(spans_from_json("", &out).ok());
+  EXPECT_FALSE(spans_from_json("{}", &out).ok());
+  EXPECT_FALSE(spans_from_json("{\"trace\": {\"spans\": [", &out).ok());
+  // span_count contradicting the array length must be caught.
+  EXPECT_FALSE(
+      spans_from_json("{\"trace\": {\"span_count\": 2, \"spans\": []}}", &out)
+          .ok());
+  // Trailing garbage after the document must be caught.
+  EXPECT_FALSE(
+      spans_from_json("{\"trace\": {\"span_count\": 0, \"spans\": []}} x", &out)
+          .ok());
+}
+
+TEST(Export, TextRenderingIndentsChildren) {
+  SKIP_WITHOUT_SPANS();
+  ScopedTrace trace;
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+  }
+  const std::string text = trace_to_text(*trace);
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("  inner"), std::string::npos);
+}
+
+TEST(Export, MetricsJsonAndText) {
+  MetricsRegistry registry;
+  registry.counter("c.one").add(5);
+  registry.histogram("h.lat").record(128);
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string json = metrics_to_json(snap);
+  EXPECT_NE(json.find("\"c.one\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
+  const std::string text = metrics_to_text(snap);
+  EXPECT_NE(text.find("c.one"), std::string::npos);
+  EXPECT_NE(text.find("h.lat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace epi

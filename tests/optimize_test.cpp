@@ -81,7 +81,8 @@ TEST(CoordinateAscent, AgreesWithCombinatorialPipeline) {
   for (int trial = 0; trial < 60; ++trial) {
     WorldSet a = WorldSet::random(n, rng, 0.4);
     WorldSet b = WorldSet::random(n, rng, 0.4);
-    const PipelineResult pipeline = decide_product_safety(a, b);
+    const PipelineResult pipeline = run_criteria(
+        product_criteria(), a, b, "exhausted-combinatorial-criteria");
     if (pipeline.verdict == Verdict::kUnknown) continue;
     const NumericDecision numeric = decide_product_safety_numeric(a, b);
     EXPECT_EQ(numeric.verdict, pipeline.verdict)

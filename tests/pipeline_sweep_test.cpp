@@ -16,6 +16,20 @@ struct SweepParam {
   double density;
 };
 
+PipelineResult unrestricted_verdict(const WorldSet& a, const WorldSet& b) {
+  return run_criteria(unrestricted_criteria(), a, b, "unreachable");
+}
+
+PipelineResult product_verdict(const WorldSet& a, const WorldSet& b) {
+  return run_criteria(product_criteria(), a, b,
+                      "exhausted-combinatorial-criteria");
+}
+
+PipelineResult supermodular_verdict(const WorldSet& a, const WorldSet& b) {
+  return run_criteria(supermodular_criteria(), a, b,
+                      "exhausted-supermodular-criteria");
+}
+
 class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(PipelineSweep, ProductPipelineNeverContradictsOptimizer) {
@@ -25,7 +39,7 @@ TEST_P(PipelineSweep, ProductPipelineNeverContradictsOptimizer) {
   for (int t = 0; t < 60; ++t) {
     WorldSet a = WorldSet::random(n, rng, density);
     WorldSet b = WorldSet::random(n, rng, density);
-    const PipelineResult pipeline = decide_product_safety(a, b);
+    const PipelineResult pipeline = product_verdict(a, b);
     if (pipeline.verdict == Verdict::kUnknown) continue;
     ++definite;
     AscentOptions opts;
@@ -49,7 +63,7 @@ TEST_P(PipelineSweep, SupermodularVerdictsConsistentWithSampledIsingPriors) {
   for (int t = 0; t < 40; ++t) {
     WorldSet a = WorldSet::random(n, rng, density);
     WorldSet b = WorldSet::random(n, rng, density);
-    const PipelineResult r = decide_supermodular_safety(a, b);
+    const PipelineResult r = supermodular_verdict(a, b);
     if (r.verdict != Verdict::kSafe) continue;
     for (int i = 0; i < 8; ++i) {
       EXPECT_LE(random_log_supermodular(n, rng).safety_gap(a, b), 1e-9)
@@ -67,12 +81,12 @@ TEST_P(PipelineSweep, UnsafeVerdictsAgreeAcrossFamilies) {
   for (int t = 0; t < 60; ++t) {
     WorldSet a = WorldSet::random(n, rng, density);
     WorldSet b = WorldSet::random(n, rng, density);
-    if (decide_unrestricted_safety(a, b).verdict == Verdict::kSafe) {
-      EXPECT_NE(decide_supermodular_safety(a, b).verdict, Verdict::kUnsafe);
-      EXPECT_NE(decide_product_safety(a, b).verdict, Verdict::kUnsafe);
+    if (unrestricted_verdict(a, b).verdict == Verdict::kSafe) {
+      EXPECT_NE(supermodular_verdict(a, b).verdict, Verdict::kUnsafe);
+      EXPECT_NE(product_verdict(a, b).verdict, Verdict::kUnsafe);
     }
-    if (decide_supermodular_safety(a, b).verdict == Verdict::kSafe) {
-      EXPECT_NE(decide_product_safety(a, b).verdict, Verdict::kUnsafe)
+    if (supermodular_verdict(a, b).verdict == Verdict::kSafe) {
+      EXPECT_NE(product_verdict(a, b).verdict, Verdict::kUnsafe)
           << " A=" << a.to_string() << " B=" << b.to_string();
     }
   }

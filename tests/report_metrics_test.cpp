@@ -1,0 +1,255 @@
+// The metrics-backed report views and the Status-first API surface:
+// AuditReport::stage_stats()/memo_hits() derived from the metrics snapshot
+// must agree with the raw counters at every thread count, count() must
+// respect its Section argument, and the try_* / validate() entry points
+// must return Status instead of throwing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/scenario.h"
+#include "core/workload.h"
+#include "db/parser.h"
+#include "engine/decision_engine.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace epi {
+namespace {
+
+TEST(ReportMetrics, StageStatsAndMemoHitsAreViewsOverSnapshot) {
+  WorkloadOptions wl;
+  wl.patients = 5;
+  wl.queries = 40;
+  wl.seed = 0xD15C;
+  const Workload workload = make_hospital_workload(wl);
+
+  std::vector<StageStats> reference;
+  std::size_t reference_memo = 0;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    AuditorOptions options;
+    options.enable_sos = false;
+    options.ascent.multistarts = 8;
+    options.threads = threads;
+    Auditor auditor(workload.universe, PriorAssumption::kProduct, options);
+    const AuditReport report = auditor.audit(workload.log, "p0_cond");
+
+    const std::vector<StageStats> stats = report.stage_stats();
+    ASSERT_FALSE(stats.empty()) << threads << " threads";
+
+    // Each derived row must mirror the raw engine.stage.* counters it is a
+    // view over, keyed by zero-padded cascade index.
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      char prefix[64];
+      std::snprintf(prefix, sizeof(prefix), "engine.stage.%02zu.%s.", i,
+                    stats[i].name.c_str());
+      const std::string base(prefix);
+      EXPECT_EQ(static_cast<std::int64_t>(stats[i].invocations),
+                report.metrics.counter(base + "invocations"))
+          << base;
+      EXPECT_EQ(static_cast<std::int64_t>(stats[i].decisions),
+                report.metrics.counter(base + "decisions"))
+          << base;
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(report.memo_hits()),
+              report.metrics.counter("engine.memo.hits"));
+
+    // Counts are deterministic: identical across thread counts.
+    if (threads == 1) {
+      reference = stats;
+      reference_memo = report.memo_hits();
+      continue;
+    }
+    EXPECT_EQ(report.memo_hits(), reference_memo) << threads << " threads";
+    ASSERT_EQ(stats.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(stats[i].name, reference[i].name);
+      EXPECT_EQ(stats[i].invocations, reference[i].invocations)
+          << threads << " threads, stage " << reference[i].name;
+      EXPECT_EQ(stats[i].decisions, reference[i].decisions)
+          << threads << " threads, stage " << reference[i].name;
+    }
+  }
+}
+
+TEST(ReportMetrics, StageStatsPreservesCascadeOrder) {
+  RecordUniverse u;
+  u.add("x");
+  u.add("y");
+  AuditLog log;
+  log.record_with_answer("u1", "x | y", true);
+  Auditor auditor(u, PriorAssumption::kProduct);
+  const AuditReport report = auditor.audit(log, "x");
+
+  const std::vector<StageStats> stats = report.stage_stats();
+  ASSERT_FALSE(stats.empty());
+  // The derived rows come back in cascade order with no duplicates.
+  EXPECT_EQ(stats[0].name, auditor.engine().stage_names()[0]);
+  std::set<std::string> names;
+  for (const StageStats& s : stats) EXPECT_TRUE(names.insert(s.name).second);
+  // Invocations cascade downward: a later stage never runs more often than
+  // the first stage admits pairs.
+  for (const StageStats& s : stats) {
+    EXPECT_LE(s.invocations, stats[0].invocations) << s.name;
+    EXPECT_LE(s.decisions, s.invocations) << s.name;
+  }
+}
+
+TEST(ReportMetrics, CountHonorsSectionArgument) {
+  AuditReport report;
+  AuditFinding safe;
+  safe.verdict = Verdict::kSafe;
+  AuditFinding unsafe;
+  unsafe.verdict = Verdict::kUnsafe;
+  AuditFinding unknown;
+  unknown.verdict = Verdict::kUnknown;
+  report.per_disclosure = {safe, unsafe, unknown, safe};
+  report.per_user_cumulative = {unsafe, unknown};
+
+  using Section = AuditReport::Section;
+  EXPECT_EQ(report.count(Verdict::kSafe, Section::kPerDisclosure), 2u);
+  EXPECT_EQ(report.count(Verdict::kSafe, Section::kPerUser), 0u);
+  EXPECT_EQ(report.count(Verdict::kSafe), 2u);
+  EXPECT_EQ(report.count(Verdict::kUnsafe, Section::kPerDisclosure), 1u);
+  EXPECT_EQ(report.count(Verdict::kUnsafe, Section::kPerUser), 1u);
+  EXPECT_EQ(report.count(Verdict::kUnsafe), 2u);
+  EXPECT_EQ(report.count(Verdict::kUnknown, Section::kPerDisclosure), 1u);
+  EXPECT_EQ(report.count(Verdict::kUnknown, Section::kPerUser), 1u);
+  EXPECT_EQ(report.count(Verdict::kUnknown), 2u);
+}
+
+TEST(StatusApi, TryParseQuery) {
+  QueryPtr q;
+  const Status ok = try_parse_query("a & !b", &q);
+  EXPECT_TRUE(ok.ok()) << ok.to_string();
+  ASSERT_NE(q.get(), nullptr);
+
+  const Status bad = try_parse_query("a &&& b", &q);
+  EXPECT_EQ(bad.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(q.get(), nullptr);
+  // The message names the query and the position.
+  EXPECT_NE(bad.message().find("a &&& b"), std::string::npos);
+  EXPECT_NE(bad.message().find("position"), std::string::npos);
+}
+
+TEST(StatusApi, TryRunScenario) {
+  ScenarioResult result;
+  const Status ok = try_run_scenario(
+      "record x\ninsert x\nquery u1 x\naudit x\n", &result);
+  ASSERT_TRUE(ok.ok()) << ok.to_string();
+  EXPECT_EQ(result.reports.size(), 1u);
+
+  const Status bad = try_run_scenario("record x\nbogus directive\n", &result);
+  EXPECT_EQ(bad.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(bad.message().find("line 2"), std::string::npos);
+}
+
+TEST(StatusApi, AuditorOptionsValidate) {
+  AuditorOptions good;
+  EXPECT_TRUE(good.validate().ok());
+
+  AuditorOptions contradictory;
+  contradictory.enable_sos = true;
+  contradictory.max_sos_records = 0;
+  EXPECT_EQ(contradictory.validate().code(), Status::Code::kInvalidArgument);
+
+  AuditorOptions no_starts;
+  no_starts.ascent.multistarts = 0;
+  EXPECT_EQ(no_starts.validate().code(), Status::Code::kInvalidArgument);
+
+  AuditorOptions no_cycles;
+  no_cycles.ascent.max_cycles = 0;
+  EXPECT_EQ(no_cycles.validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(StatusApi, ResolvedThreadsNeverZero) {
+  AuditorOptions options;
+  options.threads = 0;
+  EXPECT_GE(options.resolved_threads(), 1u);
+  options.threads = 3;
+  EXPECT_EQ(options.resolved_threads(), 3u);
+}
+
+TEST(StatusApi, ThreadPoolRejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool{0}, std::invalid_argument);
+}
+
+TEST(Tracing, ParallelAuditEmitsWellFormedSpanTreeThatRoundTrips) {
+#ifdef EPI_OBS_NOOP
+  GTEST_SKIP() << "tracing compiled out (EPI_OBS_NOOP)";
+#endif
+  WorkloadOptions wl;
+  wl.patients = 5;
+  wl.queries = 40;
+  wl.seed = 0xD15C;
+  const Workload workload = make_hospital_workload(wl);
+
+  AuditorOptions options;
+  options.enable_sos = false;
+  options.ascent.multistarts = 8;
+  options.threads = 4;
+  Auditor auditor(workload.universe, PriorAssumption::kProduct, options);
+
+  auto trace = std::make_shared<obs::Trace>();
+  obs::install_trace(trace);
+  auditor.audit(workload.log, "p0_cond");
+  obs::install_trace(nullptr);
+
+  const std::vector<obs::SpanRecord> spans = trace->spans();
+  ASSERT_FALSE(spans.empty());
+  std::set<std::uint64_t> ids;
+  std::set<std::string> names;
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate id " << s.id;
+    names.insert(s.name);
+  }
+  // Parents resolve within the trace (audit.run closes last, so every
+  // recorded parent is present).
+  for (const obs::SpanRecord& s : spans) {
+    if (s.parent != 0) EXPECT_TRUE(ids.count(s.parent)) << s.name;
+  }
+  // The tree covers the engine stages and the pool dispatch.
+  EXPECT_TRUE(names.count("audit.run"));
+  EXPECT_TRUE(names.count("audit.decide-disclosures"));
+  EXPECT_TRUE(names.count("engine.decide"));
+  EXPECT_TRUE(names.count("pool.task"));
+  EXPECT_TRUE(names.count("engine.stage.theorem-3.11"));
+
+  // And it survives the JSON exporter round-trip field-for-field.
+  std::vector<obs::SpanRecord> parsed;
+  const Status status = obs::spans_from_json(obs::spans_to_json(spans), &parsed);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  ASSERT_EQ(parsed.size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, spans[i].id);
+    EXPECT_EQ(parsed[i].parent, spans[i].parent);
+    EXPECT_EQ(parsed[i].name, spans[i].name);
+    EXPECT_EQ(parsed[i].attributes, spans[i].attributes);
+  }
+}
+
+TEST(Tracing, OracleSpansAppearUnderSubcubeAudits) {
+#ifdef EPI_OBS_NOOP
+  GTEST_SKIP() << "tracing compiled out (EPI_OBS_NOOP)";
+#endif
+  ScenarioResult result;
+  auto trace = std::make_shared<obs::Trace>();
+  obs::install_trace(trace);
+  const Status status = try_run_scenario(
+      "record x\nrecord y\ninsert x\nquery u1 x | y\nquery u2 x\n"
+      "prior subcube-knowledge\naudit x\n",
+      &result);
+  obs::install_trace(nullptr);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+
+  std::set<std::string> names;
+  for (const obs::SpanRecord& s : trace->spans()) names.insert(s.name);
+  EXPECT_TRUE(names.count("audit.prepare-oracle"));
+  EXPECT_TRUE(names.count("oracle.prepare"));
+  EXPECT_TRUE(names.count("oracle.prepared-safe"));
+  EXPECT_TRUE(names.count("parser.parse"));
+}
+
+}  // namespace
+}  // namespace epi
