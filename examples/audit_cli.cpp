@@ -15,8 +15,12 @@
 //                      core); reports are byte-identical for every value
 // Without a scenario file a built-in demonstration scenario is used.
 //
-// Errors are routed through epi::Status: bad input of any kind prints
-// Status::to_string() on stderr and exits nonzero — no uncaught throws.
+// Errors are routed through epi::Status — no uncaught throws — and the exit
+// code tells scripts what went wrong (tests/audit_cli_exitcodes.sh pins it):
+//   0  success (including --help)
+//   1  runtime failure: unreadable scenario file, malformed scenario, ...
+//   2  command-line errors: unknown flag, missing flag value
+// Flag errors print the usage block on stderr; --help prints it on stdout.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -49,9 +53,20 @@ prior subcube-knowledge
 audit bob_hiv
 )";
 
+constexpr char kUsage[] =
+    "usage: audit_cli [--stats] [--metrics] [--trace=<file.json>] [--threads N]\n"
+    "                 [scenario-file]\n"
+    "  --stats          print per-stage decision counters after each report\n"
+    "  --metrics        print each report's metrics snapshot, then the\n"
+    "                   process-wide registry\n"
+    "  --trace=<file>   write a JSON span trace of the run ('-' = stdout)\n"
+    "  --threads N      decide disclosures on N threads (0 = one per core)\n"
+    "Without a scenario file the built-in demonstration scenario runs.\n";
+
 struct CliOptions {
   bool stats = false;
   bool metrics = false;
+  bool help = false;
   const char* trace_path = nullptr;
   epi::AuditorOptions auditor;
   const char* scenario_path = nullptr;
@@ -121,7 +136,9 @@ epi::Status run(std::istream& in, const CliOptions& cli) {
 
 epi::Status parse_args(int argc, char** argv, CliOptions* cli) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats") == 0) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      cli->help = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
       cli->stats = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       cli->metrics = true;
@@ -140,10 +157,8 @@ epi::Status parse_args(int argc, char** argv, CliOptions* cli) {
       }
       cli->auditor.threads = static_cast<unsigned>(n);
     } else if (argv[i][0] == '-') {
-      return epi::Status::InvalidArgument(
-          std::string("unknown flag '") + argv[i] +
-          "'\nusage: audit_cli [--stats] [--metrics] [--trace=<file.json>] "
-          "[--threads N] [scenario-file]");
+      return epi::Status::InvalidArgument(std::string("unknown flag '") +
+                                          argv[i] + "'");
     } else {
       cli->scenario_path = argv[i];
     }
@@ -155,26 +170,32 @@ epi::Status parse_args(int argc, char** argv, CliOptions* cli) {
 
 int main(int argc, char** argv) {
   CliOptions cli;
-  epi::Status status = parse_args(argc, argv, &cli);
-  if (status.ok()) {
-    try {
-      if (cli.scenario_path != nullptr) {
-        std::ifstream file(cli.scenario_path);
-        if (!file) {
-          status = epi::Status::InvalidArgument(
-              std::string("cannot open scenario file '") + cli.scenario_path +
-              "'");
-        } else {
-          status = run(file, cli);
-        }
+  if (const epi::Status s = parse_args(argc, argv, &cli); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.to_string().c_str(), kUsage);
+    return 2;
+  }
+  if (cli.help) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  epi::Status status = epi::Status::Ok();
+  try {
+    if (cli.scenario_path != nullptr) {
+      std::ifstream file(cli.scenario_path);
+      if (!file) {
+        status = epi::Status::InvalidArgument(
+            std::string("cannot open scenario file '") + cli.scenario_path +
+            "'");
       } else {
-        std::printf("(no scenario file given; running the built-in demonstration)\n\n");
-        std::istringstream demo{std::string(kDemoScenario)};
-        status = run(demo, cli);
+        status = run(file, cli);
       }
-    } catch (const std::exception& e) {
-      status = epi::Status::Internal(e.what());
+    } else {
+      std::printf("(no scenario file given; running the built-in demonstration)\n\n");
+      std::istringstream demo{std::string(kDemoScenario)};
+      status = run(demo, cli);
     }
+  } catch (const std::exception& e) {
+    status = epi::Status::Internal(e.what());
   }
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.to_string().c_str());

@@ -1,0 +1,401 @@
+// The audit service daemon: loads a scenario, boots an epi::service
+// AuditService and serves the JSON-lines wire protocol (src/service/
+// protocol.h) over a Unix-domain socket. Pair with audit_client, or talk to
+// it with anything that can write '\n'-framed JSON to a socket:
+//
+//   $ audit_server --socket /tmp/epi.sock --scenario hospital.scn &
+//   $ printf '{"op": "audit", "id": 1, "user": "alice", "query": "bob_hiv"}\n' \
+//       | socat - UNIX-CONNECT:/tmp/epi.sock
+//
+// Usage: audit_server [--socket PATH] [--scenario FILE] [--workers N]
+//                     [--queue-capacity N] [--cache-capacity N]
+//                     [--online truthful|simulatable] [--default-deadline-ms N]
+//
+// The scenario file (language: src/core/scenario.h) supplies the record
+// universe, the database state and — from its last `audit` directive — the
+// audited property and prior the service enforces. Without --scenario the
+// built-in demonstration scenario is used.
+//
+// Signals: SIGUSR1 dumps the service metrics registry to stderr; SIGINT /
+// SIGTERM (or a `shutdown` request) stop accepting connections, drain every
+// accepted request and exit 0. Errors print a Status on stderr: exit 2 for
+// bad flags, 1 for runtime failures.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.h"
+#include "obs/export.h"
+#include "service/audit_service.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_metrics = 0;
+
+void handle_stop(int) { g_stop = 1; }
+void handle_usr1(int) { g_dump_metrics = 1; }
+
+const char kDemoScenario[] = R"(# Built-in demonstration scenario
+record bob_hiv
+record bob_transfusion
+record bob_hepatitis
+insert bob_transfusion
+insert bob_hiv
+prior product
+audit bob_hiv
+)";
+
+constexpr char kUsage[] =
+    "usage: audit_server [--socket PATH] [--scenario FILE] [--workers N]\n"
+    "                    [--queue-capacity N] [--cache-capacity N]\n"
+    "                    [--online truthful|simulatable]\n"
+    "                    [--default-deadline-ms N]\n"
+    "  --socket PATH            Unix-domain socket to listen on\n"
+    "                           (default /tmp/epi_audit.sock)\n"
+    "  --scenario FILE          scenario script supplying records, state and\n"
+    "                           the audited property (default: built-in demo)\n"
+    "  --workers N              service worker threads (default 2)\n"
+    "  --queue-capacity N       bounded request queue; beyond it submissions\n"
+    "                           are rejected with ResourceExhausted\n"
+    "  --cache-capacity N       verdict cache entries (0 disables caching)\n"
+    "  --online STRATEGY        deny-unsafe online auditing: truthful leaks\n"
+    "                           through denials, simulatable does not\n"
+    "  --default-deadline-ms N  deadline for requests that carry none\n";
+
+struct ServerOptions {
+  std::string socket_path = "/tmp/epi_audit.sock";
+  const char* scenario_path = nullptr;
+  epi::service::ServiceOptions service;
+  bool help = false;
+};
+
+epi::Status parse_args(int argc, char** argv, ServerOptions* out) {
+  auto next_value = [&](int& i, const char* flag, const char** value) {
+    if (i + 1 >= argc) {
+      return epi::Status::InvalidArgument(std::string(flag) + " needs a value");
+    }
+    *value = argv[++i];
+    return epi::Status::Ok();
+  };
+  auto next_count = [&](int& i, const char* flag, long* value) {
+    const char* text = nullptr;
+    if (const epi::Status s = next_value(i, flag, &text); !s.ok()) return s;
+    char* end = nullptr;
+    *value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || *value < 0) {
+      return epi::Status::InvalidArgument(std::string(flag) +
+                                          " needs a non-negative integer");
+    }
+    return epi::Status::Ok();
+  };
+  for (int i = 1; i < argc; ++i) {
+    long n = 0;
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      out->help = true;
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      if (const epi::Status s = next_value(i, "--socket", &value); !s.ok()) return s;
+      out->socket_path = value;
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
+      if (const epi::Status s = next_value(i, "--scenario", &value); !s.ok()) return s;
+      out->scenario_path = value;
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      if (const epi::Status s = next_count(i, "--workers", &n); !s.ok()) return s;
+      out->service.workers = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
+      if (const epi::Status s = next_count(i, "--queue-capacity", &n); !s.ok()) return s;
+      out->service.queue_capacity = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
+      if (const epi::Status s = next_count(i, "--cache-capacity", &n); !s.ok()) return s;
+      out->service.cache_capacity = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--online") == 0) {
+      if (const epi::Status s = next_value(i, "--online", &value); !s.ok()) return s;
+      if (std::strcmp(value, "truthful") == 0) {
+        out->service.online_strategy = epi::OnlineStrategy::kTruthfulWhenSafe;
+      } else if (std::strcmp(value, "simulatable") == 0) {
+        out->service.online_strategy = epi::OnlineStrategy::kSimulatable;
+      } else {
+        return epi::Status::InvalidArgument(
+            "--online must be 'truthful' or 'simulatable'");
+      }
+    } else if (std::strcmp(argv[i], "--default-deadline-ms") == 0) {
+      if (const epi::Status s = next_count(i, "--default-deadline-ms", &n); !s.ok())
+        return s;
+      out->service.default_deadline = std::chrono::milliseconds(n);
+    } else {
+      return epi::Status::InvalidArgument(std::string("unknown flag '") +
+                                          argv[i] + "'");
+    }
+  }
+  return epi::Status::Ok();
+}
+
+/// Writes the whole buffer, riding out EINTR and partial writes. False when
+/// the peer is gone (EPIPE & friends) — the connection just ends.
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One request frame -> one response frame.
+epi::service::WireResponse dispatch(const epi::service::WireRequest& request,
+                                    epi::service::AuditService& service,
+                                    std::atomic<bool>& stop_requested) {
+  using epi::service::Op;
+  using epi::service::WireResponse;
+  WireResponse response;
+  response.id = request.id;
+  switch (request.op) {
+    case Op::kHello: {
+      response.ok = true;
+      response.audit_query = service.audit_query();
+      response.prior = epi::to_string(service.prior());
+      break;
+    }
+    case Op::kAudit: {
+      epi::service::AuditRequest audit;
+      audit.user = request.user;
+      audit.query_text = request.query;
+      audit.answer = request.answer;
+      if (request.deadline_ms > 0) {
+        audit.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(request.deadline_ms);
+      }
+      response = make_audit_response(request.id, service.process(std::move(audit)));
+      break;
+    }
+    case Op::kMetrics: {
+      response.ok = true;
+      response.metrics_json = epi::obs::metrics_to_json(service.metrics_snapshot());
+      break;
+    }
+    case Op::kResetSession: {
+      const epi::Status s = service.reset_session(request.user);
+      response.ok = s.ok();
+      if (!s.ok()) {
+        response.error = s.to_string();
+        response.code = epi::service::status_code_slug(s.code());
+      }
+      break;
+    }
+    case Op::kShutdown: {
+      response.ok = true;
+      stop_requested.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  return response;
+}
+
+/// Per-connection loop: line-framed requests in, line-framed responses out.
+/// A malformed frame gets an error response (id 0: the frame's id was
+/// unreadable); the connection stays up.
+void serve_connection(int fd, epi::service::AuditService& service,
+                      std::atomic<bool>& stop_requested) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // peer closed (or shutdown forced the read side)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      epi::service::WireRequest request;
+      epi::service::WireResponse response;
+      if (const epi::Status s = parse_request(line, &request); !s.ok()) {
+        response.ok = false;
+        response.error = s.to_string();
+        response.code = epi::service::status_code_slug(s.code());
+      } else {
+        response = dispatch(request, service, stop_requested);
+      }
+      if (!write_all(fd, serialize_response(response) + "\n")) {
+        ::close(fd);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+epi::Status load_scenario(const ServerOptions& options, epi::ScenarioResult* out) {
+  epi::AuditorOptions auditor = options.service.auditor;
+  auditor.threads = 1;
+  if (options.scenario_path != nullptr) {
+    std::ifstream file(options.scenario_path);
+    if (!file) {
+      return epi::Status::InvalidArgument(
+          std::string("cannot open scenario file '") + options.scenario_path + "'");
+    }
+    return epi::try_run_scenario(file, out, auditor);
+  }
+  std::istringstream demo{std::string(kDemoScenario)};
+  return epi::try_run_scenario(demo, out, auditor);
+}
+
+epi::Status run(const ServerOptions& options) {
+  // The scenario supplies the universe and database state; its last `audit`
+  // directive names the property (and prior) this service enforces.
+  epi::ScenarioResult scenario;
+  if (const epi::Status s = load_scenario(options, &scenario); !s.ok()) return s;
+  if (scenario.reports.empty()) {
+    return epi::Status::InvalidArgument(
+        "scenario has no `audit` directive; the service needs one to know "
+        "which property to enforce");
+  }
+  const epi::AuditReport& last = scenario.reports.back();
+
+  std::unique_ptr<epi::service::AuditService> service;
+  if (const epi::Status s = epi::service::AuditService::try_create(
+          scenario.universe, scenario.final_state, last.audit_query, last.prior,
+          options.service, &service);
+      !s.ok()) {
+    return s;
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return epi::Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd);
+    return epi::Status::InvalidArgument("socket path too long: " +
+                                        options.socket_path);
+  }
+  std::strncpy(addr.sun_path, options.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const epi::Status s = epi::Status::Internal(
+        "bind '" + options.socket_path + "': " + std::strerror(errno));
+    ::close(listen_fd);
+    return s;
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    const epi::Status s =
+        epi::Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return s;
+  }
+
+  std::printf("audit_server: enforcing \"%s\" under %s prior on %s\n",
+              last.audit_query.c_str(), epi::to_string(last.prior).c_str(),
+              options.socket_path.c_str());
+  std::fflush(stdout);
+
+  std::atomic<bool> stop_requested{false};
+  std::vector<std::thread> connections;
+  std::mutex fds_mutex;
+  std::vector<int> open_fds;
+
+  while (!g_stop && !stop_requested.load(std::memory_order_relaxed)) {
+    if (g_dump_metrics) {
+      g_dump_metrics = 0;
+      std::fprintf(stderr, "%s",
+                   epi::obs::metrics_to_text(service->metrics_snapshot()).c_str());
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(fds_mutex);
+      open_fds.push_back(fd);
+    }
+    connections.emplace_back([fd, &service, &stop_requested] {
+      serve_connection(fd, *service, stop_requested);
+    });
+  }
+
+  // Graceful drain: stop listening, nudge every open connection's read side
+  // so its thread unblocks, let the service resolve everything it accepted.
+  ::close(listen_fd);
+  ::unlink(options.socket_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(fds_mutex);
+    for (const int fd : open_fds) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& t : connections) t.join();
+  service->shutdown();
+  std::fprintf(stderr, "audit_server: drained and stopped\n%s",
+               epi::obs::metrics_to_text(service->metrics_snapshot()).c_str());
+  return epi::Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  if (const epi::Status s = parse_args(argc, argv, &options); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.to_string().c_str(), kUsage);
+    return 2;
+  }
+  if (options.help) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop;  // no SA_RESTART: poll/accept must see EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  sa.sa_handler = handle_usr1;
+  sigaction(SIGUSR1, &sa, nullptr);
+
+  epi::Status status = epi::Status::Ok();
+  try {
+    status = run(options);
+  } catch (const std::exception& e) {
+    status = epi::Status::Internal(e.what());
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,52 +1,83 @@
-// The introduction's online-auditing pitfall, simulated: Bob proactively
-// answers "I am HIV-negative" while it is true and refuses afterwards — and
-// a possibilistic Alice who knows the strategy infers his status from the
-// refusal. Offline auditing of the same history has no such self-disclosure
-// problem: the auditor's verdicts are never shown to users.
+// The introduction's online-auditing pitfall, simulated with the real
+// OnlineAuditSession machinery: Bob proactively answers "I am HIV-negative"
+// while it is true and refuses afterwards — and a possibilistic Alice who
+// knows the strategy infers his status from the refusal. The simulatable
+// strategy (Kenthapadi-Mishra-Nissim, the paper's [18]) denies in a way that
+// carries no information; offline auditing of the same history has no
+// self-disclosure problem at all: the auditor's verdicts are never shown to
+// users.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/audit_log.h"
 #include "core/auditor.h"
-#include "possibilistic/knowledge.h"
-#include "possibilistic/safe.h"
+#include "core/online.h"
+
+namespace {
+
+// Runs the two-query Alice interaction against one strategy and reports
+// what the strategy-aware agent ends up knowing.
+void run_strategy(epi::OnlineStrategy strategy) {
+  using namespace epi;
+
+  // Worlds over one record "bob_hiv_by_2007": world 0 = Bob stays negative,
+  // world 1 = Bob turns positive before 2007. The sensitive set A = {1}.
+  const WorldSet sensitive(1, {1});
+  const World actual = 1;  // Bob does turn positive
+
+  std::unique_ptr<OnlineAuditSession> session;
+  const Status created =
+      OnlineAuditSession::try_create(sensitive, actual, strategy, &session);
+  if (!created.ok()) {
+    std::printf("  could not create session: %s\n", created.to_string().c_str());
+    return;
+  }
+
+  std::printf("--- strategy: %s ---\n", to_string(strategy).c_str());
+  // Alice asks "is Bob HIV-positive?" in 2005 and again in 2007. Under this
+  // encoding the 2005 truthful answer is "no" in both worlds (query true-set
+  // empty: nobody is positive yet), the 2007 one is world-revealing ({1}).
+  const WorldSet query_2005 = WorldSet::empty(1);  // "positive already in 2005"
+  const WorldSet query_2007(1, {1});               // "positive by 2007"
+
+  const OnlineResponse r2005 = session->ask(query_2005);
+  std::printf("  2005: %s  -> Alice considers %s\n",
+              r2005.denied ? "REFUSED" : (r2005.answer ? "answer 'positive'"
+                                                       : "answer 'negative'"),
+              r2005.agent_knowledge.to_string().c_str());
+  const OnlineResponse r2007 = session->ask(query_2007);
+  std::printf("  2007: %s  -> Alice considers %s\n",
+              r2007.denied ? "REFUSED" : (r2007.answer ? "answer 'positive'"
+                                                       : "answer 'negative'"),
+              r2007.agent_knowledge.to_string().c_str());
+  std::printf("  denials: %d; Alice %s the sensitive fact\n\n",
+              session->denials(),
+              session->agent_knows_sensitive() ? "KNOWS" : "does not know");
+}
+
+}  // namespace
 
 int main() {
   using namespace epi;
 
-  // One relevant fact per year: "Bob is HIV-positive in year y".
-  // Worlds = subsets of {infected_by_2006}; we model the two years Alice
-  // asks in, with Omega = {negative_both_years, positive_in_2007}.
-  // World 0: Bob stays negative; world 1: Bob turns positive before 2007.
-  const std::size_t m = 2;
-
   std::printf("=== online (proactive) scenario ===\n");
-  std::printf("Bob's strategy: answer 'negative' while true, else refuse.\n\n");
+  std::printf(
+      "Bob's 'truthful-when-safe' strategy refuses exactly when the honest\n"
+      "answer would reveal A — so the refusal itself reveals A (intro,\n"
+      "Section 1). The simulatable strategy decides from the agent's\n"
+      "knowledge alone, so its denials leak nothing.\n\n");
+  run_strategy(OnlineStrategy::kTruthfulWhenSafe);
+  run_strategy(OnlineStrategy::kSimulatable);
 
-  // Alice's knowledge starts as 'anything possible'.
-  FiniteSet alice(m, {0, 1});
-  // 2005: Bob answers "I am HIV-negative". Consistent worlds: both (in world
-  // 1 he is still negative in 2005 under this encoding? we encode world 1 as
-  // positive from 2006) — the answer only rules nothing out yet.
-  std::printf("2005: Bob answers 'negative'. Alice considers: %s\n",
-              alice.to_string().c_str());
-  // 2007: Bob refuses. Under the known strategy, refusal happens exactly
-  // when he can no longer truthfully answer 'negative' — i.e. world 1.
-  FiniteSet refusal_consistent(m, {1});
-  alice &= refusal_consistent;
-  std::printf("2007: Bob refuses.   Alice considers: %s -> she KNOWS world 1\n",
-              alice.to_string().c_str());
-  std::printf("The refusal disclosed the sensitive fact (intro, Section 1).\n\n");
-
-  // Formally: with the strategy public, the 2007 'answer' partitions worlds
-  // into {refuse} = {1} and {negative} = {0}; disclosing B = {1} to an agent
-  // with S = {0,1} reveals A = {1}.
-  SecondLevelKnowledge k(m);
-  k.add(1, FiniteSet(m, {0, 1}));
-  const bool online_safe = safe_possibilistic(k, FiniteSet(m, {1}), FiniteSet(m, {1}));
-  std::printf("possibilistic Safe_K(A = positive, B = refusal): %s\n\n",
-              online_safe ? "safe" : "VIOLATION");
+  // try_create rejects a world outside the sensitive set's universe instead
+  // of throwing mid-construction — the Status names both sizes.
+  std::unique_ptr<OnlineAuditSession> bogus;
+  const Status bad = OnlineAuditSession::try_create(
+      WorldSet(1, {1}), /*actual=*/7, OnlineStrategy::kSimulatable, &bogus);
+  std::printf("try_create with out-of-universe world: %s\n\n",
+              bad.to_string().c_str());
 
   std::printf("=== offline (retroactive) scenario ===\n");
   RecordUniverse universe;

@@ -125,6 +125,12 @@ void Auditor::decide_pairs(const WorldSet& a,
   }
 }
 
+std::shared_ptr<IntervalOracle> Auditor::shared_subcube_oracle() const {
+  ensure_subcube_oracle();
+  std::lock_guard<std::mutex> lock(lazy_mutex_);
+  return subcube_oracle_;
+}
+
 AuditFinding Auditor::audit_sets(const WorldSet& a, const WorldSet& b) const {
   AuditContext ctx;
   if (engine_.prior() == PriorAssumption::kSubcubeKnowledge) {

@@ -93,6 +93,13 @@ class Auditor {
   /// One A-vs-B decision under the configured prior assumption.
   AuditFinding audit_sets(const WorldSet& a, const WorldSet& b) const;
 
+  /// The lazily-built subcube interval oracle (kSubcubeKnowledge only),
+  /// building it on first call. Long-lived callers that drive the engine
+  /// directly (the audit service) install this into their own AuditContexts
+  /// so interval memoization is amortized across requests, exactly as
+  /// audit() amortizes it across a log.
+  std::shared_ptr<IntervalOracle> shared_subcube_oracle() const;
+
  private:
   RecordUniverse universe_;
   DecisionEngine engine_;

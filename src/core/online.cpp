@@ -25,6 +25,21 @@ OnlineAuditSession::OnlineAuditSession(WorldSet sensitive, World actual,
   }
 }
 
+Status OnlineAuditSession::try_create(WorldSet sensitive, World actual,
+                                      OnlineStrategy strategy,
+                                      std::unique_ptr<OnlineAuditSession>* out) {
+  if (actual >= sensitive.omega_size()) {
+    return Status::InvalidArgument(
+        "OnlineAuditSession: actual world " + std::to_string(actual) +
+        " outside the sensitive set's universe {0,1}^" +
+        std::to_string(sensitive.n()) + " (|Omega| = " +
+        std::to_string(sensitive.omega_size()) + ")");
+  }
+  *out = std::unique_ptr<OnlineAuditSession>(
+      new OnlineAuditSession(std::move(sensitive), actual, strategy));
+  return Status::Ok();
+}
+
 bool OnlineAuditSession::would_deny(const WorldSet& query_true_set, World world,
                                     const WorldSet& knowledge) const {
   // The truthful answer in `world` discloses B_world = the answer's worlds.

@@ -20,9 +20,11 @@
 //    denials carry no information about the actual database.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "util/status.h"
 #include "worlds/world_set.h"
 
 namespace epi {
@@ -53,7 +55,18 @@ class OnlineAuditSession {
   /// `sensitive` is the audited set A; `actual` the real database omega*.
   /// Requires omega* in A or not — both are allowed; only knowledge of A is
   /// protected (a negative fact is disclosable, Section 3's asymmetry).
+  /// Throws std::invalid_argument when `actual` lies outside the sensitive
+  /// set's world space; callers that expect untrusted input should prefer
+  /// try_create.
   OnlineAuditSession(WorldSet sensitive, World actual, OnlineStrategy strategy);
+
+  /// Status-first factory: validates that `actual` is a world of the same
+  /// universe the sensitive set is defined over (actual < 2^n) and returns
+  /// InvalidArgument naming both sizes instead of throwing. `*out` is left
+  /// untouched on failure.
+  static Status try_create(WorldSet sensitive, World actual,
+                           OnlineStrategy strategy,
+                           std::unique_ptr<OnlineAuditSession>* out);
 
   /// Processes one query given as the set of worlds where it is true.
   /// Returns the response and advances the simulated agent's knowledge.

@@ -1,0 +1,477 @@
+#include "service/audit_service.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "db/parser.h"
+#include "obs/trace.h"
+
+namespace epi {
+namespace service {
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::chrono::steady_clock::time_point kNoDeadline{};
+
+/// Same cache key the offline auditor uses for compiled disclosure sets.
+std::string disclosure_key(const std::string& query_text, bool answer) {
+  return query_text + (answer ? "\x1f+" : "\x1f-");
+}
+
+AuditFinding to_finding(const EngineDecision& d, std::string user,
+                        std::string query_text, bool answer) {
+  AuditFinding f;
+  f.user = std::move(user);
+  f.query_text = std::move(query_text);
+  f.answer = answer;
+  f.verdict = d.verdict;
+  f.method = d.method;
+  f.certified = d.certified;
+  f.numeric_gap = d.numeric_gap;
+  f.detail = d.detail;
+  return f;
+}
+
+/// Shared by try_create and reload: the universe must be non-empty, the
+/// initial state a member of {0,1}^n, and the audit query well-formed.
+/// (RecordUniverse::add already caps n at kMaxCoordinates, so the shift is
+/// always in range.)
+Status validate_scenario_inputs(const RecordUniverse& universe,
+                                World initial_state,
+                                const std::string& audit_query_text) {
+  if (universe.empty()) {
+    return Status::InvalidArgument("AuditService: empty record universe");
+  }
+  if (initial_state >= (World{1} << universe.size())) {
+    return Status::InvalidArgument(
+        "AuditService: initial state " + std::to_string(initial_state) +
+        " outside {0,1}^" + std::to_string(universe.size()));
+  }
+  QueryPtr parsed;
+  return try_parse_query(audit_query_text, &parsed);
+}
+
+}  // namespace
+
+Status ServiceOptions::validate() const {
+  if (workers == 0) {
+    return Status::InvalidArgument("ServiceOptions: workers must be >= 1");
+  }
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions: queue_capacity must be >= 1");
+  }
+  if (cache_capacity > 0 && cache_shards == 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions: cache_shards must be >= 1 when the cache is on");
+  }
+  if (default_deadline.count() < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions: default_deadline must be >= 0");
+  }
+  return auditor.validate();
+}
+
+AuditService::Scenario::Scenario(RecordUniverse u, World state,
+                                 std::string query_text, PriorAssumption p,
+                                 const AuditorOptions& opts)
+    : universe(std::move(u)),
+      db(universe),
+      audit_query_text(std::move(query_text)),
+      prior(p),
+      auditor(universe, p, opts),
+      audit_set(parse_query(audit_query_text)->compile(universe)) {
+  db.set_state(state);
+}
+
+Status AuditService::try_create(RecordUniverse universe, World initial_state,
+                                const std::string& audit_query_text,
+                                PriorAssumption prior, ServiceOptions options,
+                                std::unique_ptr<AuditService>* out) {
+  if (const Status s = options.validate(); !s.ok()) return s;
+  if (const Status s = validate_scenario_inputs(universe, initial_state,
+                                                audit_query_text);
+      !s.ok()) {
+    return s;
+  }
+  // Decisions never fan out per pair; concurrency comes from the workers.
+  options.auditor.threads = 1;
+  std::shared_ptr<Scenario> scenario;
+  try {
+    scenario = std::make_shared<Scenario>(std::move(universe), initial_state,
+                                          audit_query_text, prior,
+                                          options.auditor);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("AuditService: ") + e.what());
+  }
+  scenario->generation = 1;
+  *out = std::unique_ptr<AuditService>(
+      new AuditService(std::move(scenario), std::move(options)));
+  return Status::Ok();
+}
+
+AuditService::AuditService(std::shared_ptr<Scenario> scenario,
+                           ServiceOptions options)
+    : options_(std::move(options)),
+      scenario_(std::move(scenario)),
+      next_generation_(2),
+      accepted_(&metrics_.counter("service.requests.accepted")),
+      rejected_(&metrics_.counter("service.requests.rejected")),
+      completed_(&metrics_.counter("service.requests.completed")),
+      deadline_expired_(&metrics_.counter("service.requests.deadline_expired")),
+      cancelled_count_(&metrics_.counter("service.requests.cancelled")),
+      denied_(&metrics_.counter("service.requests.denied")),
+      parse_errors_(&metrics_.counter("service.requests.parse_errors")),
+      queue_depth_(&metrics_.counter("service.queue.depth")),
+      sessions_created_(&metrics_.counter("service.sessions.created")),
+      reloads_(&metrics_.counter("service.reloads")),
+      queue_wait_ns_(&metrics_.histogram("service.request.queue_wait_ns")),
+      process_ns_(&metrics_.histogram("service.request.process_ns")) {
+  if (options_.cache_capacity > 0) {
+    VerdictCache::Options cache_options;
+    cache_options.capacity = options_.cache_capacity;
+    cache_options.shards = options_.cache_shards;
+    cache_ = std::make_unique<VerdictCache>(cache_options, metrics_);
+  }
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AuditService::~AuditService() { shutdown(); }
+
+Ticket AuditService::submit(AuditRequest request) {
+  auto pending = std::make_unique<Pending>();
+  pending->cancelled = std::make_shared<std::atomic<bool>>(false);
+  Ticket ticket;
+  ticket.cancelled_ = pending->cancelled;
+  ticket.response = pending->promise.get_future();
+
+  if (request.deadline != kNoDeadline) {
+    pending->deadline = request.deadline;
+  } else if (options_.default_deadline.count() > 0) {
+    pending->deadline =
+        std::chrono::steady_clock::now() + options_.default_deadline;
+  }
+  pending->request = std::move(request);
+  pending->enqueue_ns = now_ns();
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!accepting_) {
+      rejected_->add(1);
+      AuditResponse r;
+      r.status = Status::Unavailable("audit service is shutting down");
+      pending->promise.set_value(std::move(r));
+      return ticket;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_->add(1);
+      AuditResponse r;
+      r.status = Status::ResourceExhausted(
+          "audit service queue full (" +
+          std::to_string(options_.queue_capacity) + " waiting); retry later");
+      pending->promise.set_value(std::move(r));
+      return ticket;
+    }
+    accepted_->add(1);
+    queue_depth_->add(1);
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+AuditResponse AuditService::process(AuditRequest request) {
+  Ticket ticket = submit(std::move(request));
+  return ticket.response.get();
+}
+
+void AuditService::worker_loop() {
+  // The worker's engine context, rebuilt when reload() swaps the scenario
+  // (stage slots, subcube oracle and the prepared Delta classes for A all
+  // belong to one scenario generation).
+  std::unique_ptr<AuditContext> ctx;
+  std::uint64_t ctx_generation = 0;
+
+  for (;;) {
+    std::unique_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_->add(-1);
+    }
+    const std::int64_t start_ns = now_ns();
+    queue_wait_ns_->record(start_ns - pending->enqueue_ns);
+
+    std::shared_ptr<Scenario> scenario;
+    {
+      std::shared_lock<std::shared_mutex> lock(scenario_mutex_);
+      scenario = scenario_;
+    }
+    if (!ctx || ctx_generation != scenario->generation) {
+      ctx = std::make_unique<AuditContext>();
+      configure_context(*ctx, *scenario);
+      ctx_generation = scenario->generation;
+    }
+
+    AuditResponse response;
+    try {
+      response = handle(*pending, scenario, *ctx);
+    } catch (const std::invalid_argument& e) {
+      response.status = Status::InvalidArgument(e.what());
+    } catch (const std::exception& e) {
+      response.status = Status::Internal(e.what());
+    }
+    completed_->add(1);
+    process_ns_->record(now_ns() - start_ns);
+    pending->promise.set_value(std::move(response));
+  }
+}
+
+void AuditService::configure_context(AuditContext& ctx,
+                                     const Scenario& scenario) const {
+  ctx.reset_stages(scenario.auditor.engine().stage_names());
+  if (scenario.prior == PriorAssumption::kSubcubeKnowledge) {
+    ctx.set_interval_oracle(scenario.auditor.shared_subcube_oracle());
+    ctx.prepare_subcube(scenario.audit_set);
+  }
+}
+
+const WorldSet& AuditService::compiled_disclosure(Scenario& scenario,
+                                                  const std::string& query_text,
+                                                  bool answer, QueryPtr parsed) {
+  const std::string key = disclosure_key(query_text, answer);
+  std::lock_guard<std::mutex> lock(scenario.compiled_mutex);
+  const auto it = scenario.compiled.find(key);
+  if (it != scenario.compiled.end()) return it->second;
+  WorldSet satisfying = parsed->compile(scenario.universe);
+  WorldSet disclosed = answer ? std::move(satisfying) : ~satisfying;
+  return scenario.compiled.emplace(key, std::move(disclosed)).first->second;
+}
+
+EngineDecision AuditService::decide(const Scenario& scenario, const WorldSet& b,
+                                    AuditContext& ctx, bool* cached) {
+  *cached = false;
+  VerdictKey key;
+  if (cache_) {
+    key = VerdictCache::key_for(scenario.audit_set, b, scenario.prior);
+    if (std::optional<EngineDecision> hit =
+            cache_->lookup(key, scenario.audit_set, b)) {
+      *cached = true;
+      return *hit;
+    }
+  }
+  EngineDecision decision =
+      scenario.auditor.engine().decide(scenario.audit_set, b, ctx);
+  if (cache_) cache_->insert(key, scenario.audit_set, b, decision);
+  return decision;
+}
+
+Session& AuditService::session_for(const std::string& user,
+                                   const Scenario& scenario) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  auto it = sessions_.find(user);
+  if (it == sessions_.end()) {
+    auto session = std::make_unique<Session>(user, scenario.universe.size());
+    if (options_.online_strategy) {
+      std::unique_ptr<OnlineAuditSession> online;
+      const Status s = OnlineAuditSession::try_create(
+          scenario.audit_set, scenario.db.state(), *options_.online_strategy,
+          &online);
+      if (!s.ok()) {
+        // The scenario validated audit_set and state at construction, so
+        // this cannot happen; surface loudly if it ever does.
+        throw std::logic_error("AuditService: " + s.to_string());
+      }
+      session->attach_online(std::move(online));
+    }
+    sessions_created_->add(1);
+    it = sessions_.emplace(user, std::move(session)).first;
+  }
+  return *it->second;
+}
+
+AuditResponse AuditService::handle(Pending& pending,
+                                   const std::shared_ptr<Scenario>& scenario,
+                                   AuditContext& ctx) {
+  obs::ScopedSpan span("service.request");
+  if (span.live()) {
+    span.attr("user", pending.request.user);
+    span.attr("query", pending.request.query_text);
+  }
+
+  AuditResponse response;
+  auto expired = [&] {
+    return pending.deadline != kNoDeadline &&
+           std::chrono::steady_clock::now() > pending.deadline;
+  };
+  auto cancelled = [&] {
+    return pending.cancelled->load(std::memory_order_relaxed);
+  };
+  auto checkpoint = [&]() -> Status {
+    if (cancelled()) {
+      cancelled_count_->add(1);
+      return Status::Cancelled("request cancelled by caller");
+    }
+    if (expired()) {
+      deadline_expired_->add(1);
+      return Status::DeadlineExceeded("request deadline expired");
+    }
+    return Status::Ok();
+  };
+
+  if (Status s = checkpoint(); !s.ok()) {
+    response.status = std::move(s);
+    return response;
+  }
+  if (options_.test_hook_pre_decide) options_.test_hook_pre_decide();
+  if (Status s = checkpoint(); !s.ok()) {
+    response.status = std::move(s);
+    return response;
+  }
+
+  QueryPtr parsed;
+  if (const Status s = try_parse_query(pending.request.query_text, &parsed);
+      !s.ok()) {
+    parse_errors_->add(1);
+    response.status = s;
+    return response;
+  }
+
+  Session& session = session_for(pending.request.user, *scenario);
+  std::lock_guard<std::mutex> session_lock(session.mutex());
+
+  bool answer = false;
+  if (pending.request.answer.has_value()) {
+    // Replayed-log mode: the client tells us what the user saw.
+    answer = *pending.request.answer;
+  } else if (session.online() != nullptr) {
+    // Online mode with an allow/deny strategy: the strategy decides whether
+    // answering is simulatably safe before anything is disclosed.
+    const WorldSet& true_set = compiled_disclosure(
+        *scenario, pending.request.query_text, /*answer=*/true, parsed);
+    const OnlineResponse online = session.online()->ask(true_set);
+    if (online.denied) {
+      denied_->add(1);
+      response.denied = true;
+      response.sequence = session.disclosures();
+      return response;
+    }
+    answer = online.answer;
+  } else {
+    // Online mode without a strategy: evaluate against the actual database.
+    answer = scenario->db.answer(*parsed);
+  }
+  response.answer = answer;
+
+  const WorldSet& disclosed = compiled_disclosure(
+      *scenario, pending.request.query_text, answer, parsed);
+  const EngineDecision disclosure_decision =
+      decide(*scenario, disclosed, ctx, &response.disclosure_cached);
+  response.disclosure =
+      to_finding(disclosure_decision, pending.request.user,
+                 pending.request.query_text, answer);
+
+  if (Status s = checkpoint(); !s.ok()) {
+    // The per-disclosure verdict is already computed but the caller is gone;
+    // report the expiry and do not advance the session.
+    response.status = std::move(s);
+    return response;
+  }
+
+  response.sequence = session.absorb(disclosed);
+  const EngineDecision cumulative_decision = decide(
+      *scenario, session.accumulated(), ctx, &response.cumulative_cached);
+  response.cumulative = to_finding(
+      cumulative_decision, pending.request.user,
+      "<conjunction of " + std::to_string(response.sequence) +
+          " answered queries>",
+      /*answer=*/true);
+  return response;
+}
+
+Status AuditService::reload(RecordUniverse universe, World initial_state,
+                            const std::string& audit_query_text,
+                            PriorAssumption prior) {
+  if (const Status s = validate_scenario_inputs(universe, initial_state,
+                                                audit_query_text);
+      !s.ok()) {
+    return s;
+  }
+  std::shared_ptr<Scenario> fresh;
+  try {
+    fresh = std::make_shared<Scenario>(std::move(universe), initial_state,
+                                       audit_query_text, prior,
+                                       options_.auditor);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("AuditService: ") + e.what());
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(scenario_mutex_);
+    fresh->generation = next_generation_++;
+    scenario_ = std::move(fresh);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.clear();
+  }
+  // Old-generation verdicts must not be served against the new scenario.
+  if (cache_) cache_->invalidate_all();
+  reloads_->add(1);
+  return Status::Ok();
+}
+
+Status AuditService::reset_session(const std::string& user) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  sessions_.erase(user);
+  return Status::Ok();
+}
+
+void AuditService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool AuditService::accepting() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return accepting_;
+}
+
+std::size_t AuditService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+std::string AuditService::audit_query() const {
+  std::shared_lock<std::shared_mutex> lock(scenario_mutex_);
+  return scenario_->audit_query_text;
+}
+
+PriorAssumption AuditService::prior() const {
+  std::shared_lock<std::shared_mutex> lock(scenario_mutex_);
+  return scenario_->prior;
+}
+
+obs::MetricsSnapshot AuditService::metrics_snapshot() const {
+  return metrics_.snapshot();
+}
+
+}  // namespace service
+}  // namespace epi

@@ -1,0 +1,263 @@
+// The long-running concurrent audit service: the production front-end the
+// ROADMAP's "heavy traffic" north star asks for, layered on the existing
+// Auditor / DecisionEngine machinery so every verdict is byte-identical to
+// an offline Auditor::audit of the same log.
+//
+// Shape:
+//  * per-user Session objects track accumulated disclosures by intersection
+//    (Section 3.3 composition) and optionally drive an OnlineAuditSession
+//    allow/deny strategy;
+//  * a sharded LRU VerdictCache keyed by (hash(A), hash(B), prior) serves
+//    repeat decisions without touching the engine;
+//  * a bounded request queue with admission control: a full queue rejects
+//    with Status::ResourceExhausted (backpressure), each request carries a
+//    deadline and a cooperative cancellation flag, and shutdown() drains
+//    every accepted request before the workers exit;
+//  * the whole path is instrumented through the obs layer: a
+//    `service.request` span per request (engine decide spans nest under it),
+//    queue-depth / cache-hit counters and queue-wait / process-time
+//    histograms in the service's own MetricsRegistry.
+//
+// Threading: submit() is safe from any number of threads; `workers` service
+// threads process requests. Requests for the same user serialize on the
+// session mutex; distinct users proceed in parallel.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/auditor.h"
+#include "core/online.h"
+#include "service/session.h"
+#include "service/verdict_cache.h"
+#include "util/status.h"
+
+namespace epi {
+namespace service {
+
+/// Tuning knobs for the service. validate() gates construction.
+struct ServiceOptions {
+  /// Engine configuration (stage gating, SOS budget). `auditor.threads` is
+  /// forced to 1: concurrency comes from the service workers, and
+  /// single-pair decisions never fan out.
+  AuditorOptions auditor;
+  /// Request-processing threads (>= 1).
+  unsigned workers = 2;
+  /// Bounded queue: submissions beyond this many waiting requests are
+  /// rejected with ResourceExhausted (>= 1).
+  std::size_t queue_capacity = 256;
+  /// Verdict cache entry budget; 0 disables caching entirely.
+  std::size_t cache_capacity = 4096;
+  unsigned cache_shards = 8;
+  /// Applied to requests that carry no deadline of their own; zero means
+  /// "no deadline".
+  std::chrono::milliseconds default_deadline{0};
+  /// When set, each session drives an OnlineAuditSession with this strategy
+  /// and requests may be denied (AuditResponse::denied) before disclosing.
+  std::optional<OnlineStrategy> online_strategy;
+  /// Test-only: invoked by a worker thread right before it starts deciding a
+  /// request (after the deadline check). Lets tests hold a worker to fill
+  /// the queue deterministically. Never set in production code.
+  std::function<void()> test_hook_pre_decide;
+
+  Status validate() const;
+};
+
+/// One streamed disclosure to audit.
+struct AuditRequest {
+  std::string user;
+  std::string query_text;
+  /// The answer the user saw (replayed-log mode). When absent the service
+  /// evaluates the query against its own database state — and, in online
+  /// mode, lets the strategy decide whether to answer at all.
+  std::optional<bool> answer;
+  /// Absolute per-request deadline; the default (epoch) means "use the
+  /// service's default_deadline".
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// The verdict bundle for one request. `status` is Ok when the request was
+/// decided (even if unsafe); queue rejection, deadline expiry, cancellation
+/// and parse failures surface as non-Ok codes with empty findings.
+struct AuditResponse {
+  Status status = Status::Ok();
+  bool answer = false;  ///< the Boolean answer recorded for the disclosure
+  bool denied = false;  ///< online strategy refused to answer (no disclosure)
+  /// Safe(A, B) for this disclosure alone — identical to the offline
+  /// per-disclosure finding for the same (query, answer).
+  AuditFinding disclosure;
+  /// Safe(A, B1 ∩ ... ∩ Bk) for the user's accumulated knowledge after this
+  /// disclosure — identical to the offline per-user cumulative finding.
+  AuditFinding cumulative;
+  bool disclosure_cached = false;  ///< served from the verdict cache
+  bool cumulative_cached = false;
+  std::uint64_t sequence = 0;  ///< 1-based per-user disclosure number
+};
+
+/// Handle for a submitted request: the future plus cooperative cancellation.
+class Ticket {
+ public:
+  std::future<AuditResponse> response;
+
+  /// Requests cooperative cancellation: a worker that has not yet finished
+  /// the request resolves it with Status::Cancelled at its next checkpoint.
+  /// Safe to call at any time, including after completion.
+  void cancel() {
+    if (cancelled_) cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class AuditService;
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+class AuditService {
+ public:
+  /// Validates options, the universe, the initial database state and the
+  /// audit query (parse + compile) and spins up the workers. On failure
+  /// `*out` is untouched and the Status names the problem.
+  static Status try_create(RecordUniverse universe, World initial_state,
+                           const std::string& audit_query_text,
+                           PriorAssumption prior, ServiceOptions options,
+                           std::unique_ptr<AuditService>* out);
+
+  /// Drains and joins (shutdown()).
+  ~AuditService();
+
+  AuditService(const AuditService&) = delete;
+  AuditService& operator=(const AuditService&) = delete;
+
+  /// Enqueues a request. Admission control resolves the ticket immediately
+  /// with ResourceExhausted when the queue is full and Unavailable after
+  /// shutdown began; accepted requests always resolve eventually (graceful
+  /// shutdown drains them).
+  Ticket submit(AuditRequest request);
+
+  /// Blocking convenience wrapper around submit().
+  AuditResponse process(AuditRequest request);
+
+  /// Swaps the scenario under the service: new universe / state / audit
+  /// query / prior. Sessions reset and the verdict cache is invalidated
+  /// (verdicts produced under the old engine configuration must not leak
+  /// into the new one). In-flight requests finish against the state they
+  /// started with.
+  Status reload(RecordUniverse universe, World initial_state,
+                const std::string& audit_query_text, PriorAssumption prior);
+
+  /// Forgets one user's accumulated knowledge (their next request starts a
+  /// fresh session). Ok even when the user has no session yet.
+  Status reset_session(const std::string& user);
+
+  /// Stops admission, drains every accepted request and joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+  /// False once shutdown began.
+  bool accepting() const;
+
+  /// Requests accepted but not yet picked up by a worker.
+  std::size_t queue_depth() const;
+
+  /// The audited property / prior currently served.
+  std::string audit_query() const;
+  PriorAssumption prior() const;
+
+  /// Point-in-time view of every service metric (queue, cache, requests).
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// The service's metrics registry (cache counters live here too).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  /// Everything the verdicts depend on; swapped wholesale by reload() so
+  /// in-flight requests keep a coherent view via shared_ptr.
+  struct Scenario {
+    Scenario(RecordUniverse u, World state, std::string query_text,
+             PriorAssumption p, const AuditorOptions& opts);
+
+    RecordUniverse universe;
+    InMemoryDatabase db;
+    std::string audit_query_text;
+    PriorAssumption prior;
+    Auditor auditor;
+    WorldSet audit_set;  ///< the compiled sensitive property A
+    std::uint64_t generation = 0;
+
+    /// Compiled disclosure sets keyed by (query text, answer) — the service
+    /// analogue of AuditContext::compiled, shared across requests.
+    std::mutex compiled_mutex;
+    std::unordered_map<std::string, WorldSet> compiled;
+  };
+
+  struct Pending {
+    AuditRequest request;
+    std::promise<AuditResponse> promise;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+    std::chrono::steady_clock::time_point deadline{};  ///< epoch = none
+    std::int64_t enqueue_ns = 0;
+  };
+
+  AuditService(std::shared_ptr<Scenario> scenario, ServiceOptions options);
+
+  void worker_loop();
+  AuditResponse handle(Pending& pending, const std::shared_ptr<Scenario>& scenario,
+                       AuditContext& ctx);
+  /// Compiles the disclosed set for (query, answer), cached per scenario.
+  const WorldSet& compiled_disclosure(Scenario& scenario, const std::string& query_text,
+                                      bool answer, QueryPtr parsed);
+  /// Cache-or-engine decision for Safe(A, b).
+  EngineDecision decide(const Scenario& scenario, const WorldSet& b,
+                        AuditContext& ctx, bool* cached);
+  Session& session_for(const std::string& user, const Scenario& scenario);
+  /// Builds a worker's AuditContext for `scenario` (stage slots, subcube
+  /// oracle preparation).
+  void configure_context(AuditContext& ctx, const Scenario& scenario) const;
+
+  ServiceOptions options_;
+
+  mutable std::shared_mutex scenario_mutex_;
+  std::shared_ptr<Scenario> scenario_;
+  std::uint64_t next_generation_ = 1;
+
+  std::mutex sessions_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<VerdictCache> cache_;  ///< null when cache_capacity == 0
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+
+  // Metric handles (resolved once; hot paths pay relaxed atomic adds).
+  obs::Counter* accepted_;
+  obs::Counter* rejected_;
+  obs::Counter* completed_;
+  obs::Counter* deadline_expired_;
+  obs::Counter* cancelled_count_;
+  obs::Counter* denied_;
+  obs::Counter* parse_errors_;
+  obs::Counter* queue_depth_;
+  obs::Counter* sessions_created_;
+  obs::Counter* reloads_;
+  obs::Histogram* queue_wait_ns_;
+  obs::Histogram* process_ns_;
+};
+
+}  // namespace service
+}  // namespace epi

@@ -1,0 +1,21 @@
+#include "service/session.h"
+
+#include <utility>
+
+namespace epi {
+namespace service {
+
+Session::Session(std::string user, unsigned records)
+    : user_(std::move(user)), accumulated_(WorldSet::universe(records)) {}
+
+std::uint64_t Session::absorb(const WorldSet& disclosed) {
+  accumulated_ &= disclosed;
+  return ++disclosures_;
+}
+
+void Session::attach_online(std::unique_ptr<OnlineAuditSession> online) {
+  online_ = std::move(online);
+}
+
+}  // namespace service
+}  // namespace epi

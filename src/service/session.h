@@ -1,0 +1,65 @@
+// Per-user session state for the audit service. A session tracks the user's
+// accumulated disclosures as one WorldSet intersection — the paper's
+// Section 3.3 composition rule (acquiring B1 then B2 equals acquiring
+// B1 ∩ B2, Def. 3.9 / Prop. 3.10), so k streamed disclosures audit exactly
+// like the offline per-user conjunction — and optionally drives an
+// OnlineAuditSession whose strategy decides allow/deny before anything is
+// disclosed at all (Section 7's online direction).
+//
+// Sessions are mutated under their own mutex: the service serializes
+// requests per user (intersection is commutative, but sequence numbers and
+// the online strategy's agent model are order-sensitive) while distinct
+// users proceed in parallel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/online.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace service {
+
+class Session {
+ public:
+  /// A fresh session knows nothing: the accumulated set starts at the full
+  /// universe {0,1}^records.
+  Session(std::string user, unsigned records);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& user() const { return user_; }
+
+  /// B1 ∩ ... ∩ Bk over every disclosure absorbed so far (the universe when
+  /// k = 0). Read under the session mutex when workers are running.
+  const WorldSet& accumulated() const { return accumulated_; }
+
+  /// Number of disclosures absorbed.
+  std::uint64_t disclosures() const { return disclosures_; }
+
+  /// Intersects one disclosed set into the accumulated knowledge and
+  /// returns the 1-based sequence number of the disclosure.
+  std::uint64_t absorb(const WorldSet& disclosed);
+
+  /// Attaches the allow/deny strategy driver (online mode only).
+  void attach_online(std::unique_ptr<OnlineAuditSession> online);
+  OnlineAuditSession* online() { return online_.get(); }
+
+  /// Serializes per-user processing; the service holds this for the
+  /// absorb-and-decide step of each request.
+  std::mutex& mutex() { return mutex_; }
+
+ private:
+  std::string user_;
+  WorldSet accumulated_;
+  std::uint64_t disclosures_ = 0;
+  std::unique_ptr<OnlineAuditSession> online_;
+  std::mutex mutex_;
+};
+
+}  // namespace service
+}  // namespace epi

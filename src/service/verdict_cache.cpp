@@ -1,0 +1,111 @@
+#include "service/verdict_cache.h"
+
+#include <stdexcept>
+
+namespace epi {
+namespace service {
+
+VerdictCache::VerdictCache(Options options, obs::MetricsRegistry& metrics)
+    : options_(options),
+      hits_(&metrics.counter("service.cache.hits")),
+      misses_(&metrics.counter("service.cache.misses")),
+      evictions_(&metrics.counter("service.cache.evictions")),
+      collisions_(&metrics.counter("service.cache.collisions")),
+      invalidations_(&metrics.counter("service.cache.invalidations")) {
+  if (options_.capacity == 0) {
+    throw std::invalid_argument("VerdictCache: capacity must be >= 1");
+  }
+  if (options_.shards == 0) {
+    throw std::invalid_argument("VerdictCache: shards must be >= 1");
+  }
+  if (options_.shards > options_.capacity) {
+    options_.shards = static_cast<unsigned>(options_.capacity);
+  }
+  per_shard_capacity_ = options_.capacity / options_.shards;
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  shards_.reserve(options_.shards);
+  for (unsigned i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+VerdictKey VerdictCache::key_for(const WorldSet& a, const WorldSet& b,
+                                 PriorAssumption prior) {
+  VerdictKey key;
+  key.a_hash = static_cast<std::uint64_t>(a.hash());
+  key.b_hash = static_cast<std::uint64_t>(b.hash());
+  key.prior = static_cast<int>(prior);
+  return key;
+}
+
+VerdictCache::Shard& VerdictCache::shard_for(const VerdictKey& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::optional<EngineDecision> VerdictCache::lookup(const VerdictKey& key,
+                                                   const WorldSet& a,
+                                                   const WorldSet& b) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_->add(1);
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+  if (entry.a != a || entry.b != b) {
+    // Hash collision: the key matches but the verdict belongs to a different
+    // pair. Never serve it.
+    collisions_->add(1);
+    misses_->add(1);
+    return std::nullopt;
+  }
+  // Move to the front (most recently used).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_->add(1);
+  return entry.decision;
+}
+
+void VerdictCache::insert(const VerdictKey& key, const WorldSet& a,
+                          const WorldSet& b, const EngineDecision& decision) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh in place (also the collision-overwrite path: the newest
+    // verdict wins the slot).
+    it->second->a = a;
+    it->second->b = b;
+    it->second->decision = decision;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_->add(1);
+  }
+  shard.lru.push_front(Entry{key, a, b, decision});
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void VerdictCache::invalidate_all() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  invalidations_->add(1);
+}
+
+std::size_t VerdictCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace service
+}  // namespace epi

@@ -1,0 +1,120 @@
+// A process-wide sharded LRU cache of engine verdicts for the audit
+// service. Entries are keyed by (WorldSet::hash(A), WorldSet::hash(B),
+// prior) — engine decisions are pure functions of that triple — and every
+// hit re-verifies the stored (A, B) sets by equality, so a hash collision
+// degrades to a counted miss instead of serving a wrong verdict
+// (cache-poisoning safety; the avalanche hash makes collisions astronomically
+// rare, the equality check makes them harmless).
+//
+// Sharding: keys map to one of `shards` independently locked LRU lists, so
+// concurrent service workers contend only when they touch the same shard.
+// Metrics (`service.cache.{hits,misses,evictions,collisions,invalidations}`)
+// land in the registry handed to the constructor.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/criterion_stage.h"
+#include "engine/decision_engine.h"
+#include "obs/metrics.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace service {
+
+/// The cache key triple. Tests construct forged keys directly to exercise
+/// the collision path; production code goes through VerdictCache::key_for.
+struct VerdictKey {
+  std::uint64_t a_hash = 0;
+  std::uint64_t b_hash = 0;
+  int prior = 0;
+
+  bool operator==(const VerdictKey& o) const {
+    return a_hash == o.a_hash && b_hash == o.b_hash && prior == o.prior;
+  }
+};
+
+class VerdictCache {
+ public:
+  struct Options {
+    /// Total entry budget across all shards (>= 1; per-shard capacity is
+    /// capacity / shards, floored at 1).
+    std::size_t capacity = 4096;
+    unsigned shards = 8;
+  };
+
+  /// `metrics` receives the service.cache.* counters; it must outlive the
+  /// cache. Throws std::invalid_argument on a zero capacity or shard count.
+  VerdictCache(Options options, obs::MetricsRegistry& metrics);
+
+  static VerdictKey key_for(const WorldSet& a, const WorldSet& b,
+                            PriorAssumption prior);
+
+  /// The cached decision for `key`, verified against (a, b); nullopt on
+  /// miss. A key hit whose stored sets differ from (a, b) is a collision:
+  /// counted, treated as a miss, never served.
+  std::optional<EngineDecision> lookup(const VerdictKey& key, const WorldSet& a,
+                                       const WorldSet& b);
+
+  /// Inserts (or refreshes) the decision for `key`, evicting the shard's
+  /// least-recently-used entry when full.
+  void insert(const VerdictKey& key, const WorldSet& a, const WorldSet& b,
+              const EngineDecision& decision);
+
+  /// Drops every entry (scenario reload: the engine configuration behind
+  /// the verdicts changed). Counts one invalidation.
+  void invalidate_all();
+
+  /// Current entry count across shards (O(shards)).
+  std::size_t size() const;
+
+  std::size_t capacity() const { return options_.capacity; }
+
+ private:
+  struct Entry {
+    VerdictKey key;
+    WorldSet a;
+    WorldSet b;
+    EngineDecision decision;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const VerdictKey& k) const {
+      // The components are already avalanched; a cheap combine suffices.
+      std::uint64_t h = k.a_hash;
+      h ^= k.b_hash + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= static_cast<std::uint64_t>(k.prior) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// One independently locked LRU: list front = most recent; the map points
+  /// into the list.
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<VerdictKey, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  Shard& shard_for(const VerdictKey& key);
+
+  Options options_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* collisions_;
+  obs::Counter* invalidations_;
+};
+
+}  // namespace service
+}  // namespace epi

@@ -14,6 +14,14 @@ std::string Status::to_string() const {
       return "Internal: " + message_;
     case Code::kInconclusive:
       return "Inconclusive: " + message_;
+    case Code::kResourceExhausted:
+      return "ResourceExhausted: " + message_;
+    case Code::kDeadlineExceeded:
+      return "DeadlineExceeded: " + message_;
+    case Code::kCancelled:
+      return "Cancelled: " + message_;
+    case Code::kUnavailable:
+      return "Unavailable: " + message_;
   }
   return "Unknown";
 }

@@ -20,8 +20,28 @@ class Status {
   static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
   /// Algorithm could not reach a conclusion within its budget.
   static Status Inconclusive(std::string msg) { return Status(Code::kInconclusive, std::move(msg)); }
+  /// A bounded resource (queue slot, cache, worker) is full — retry later.
+  /// The audit service's admission-control backpressure signal.
+  static Status ResourceExhausted(std::string msg) { return Status(Code::kResourceExhausted, std::move(msg)); }
+  /// The request's deadline passed before a result was produced.
+  static Status DeadlineExceeded(std::string msg) { return Status(Code::kDeadlineExceeded, std::move(msg)); }
+  /// The caller cancelled the request cooperatively.
+  static Status Cancelled(std::string msg) { return Status(Code::kCancelled, std::move(msg)); }
+  /// The serving component is shutting down (or not yet up) — not retryable
+  /// on this instance, unlike ResourceExhausted.
+  static Status Unavailable(std::string msg) { return Status(Code::kUnavailable, std::move(msg)); }
 
-  enum class Code { kOk, kInvalidArgument, kOutOfRange, kInternal, kInconclusive };
+  enum class Code {
+    kOk,
+    kInvalidArgument,
+    kOutOfRange,
+    kInternal,
+    kInconclusive,
+    kResourceExhausted,
+    kDeadlineExceeded,
+    kCancelled,
+    kUnavailable,
+  };
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

@@ -126,13 +126,32 @@ bool WorldSet::is_universe() const {
   return tail == 0 || bits_.back() == (std::uint64_t{1} << tail) - 1;
 }
 
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix (every input bit flips
+/// each output bit with probability ~1/2).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 std::size_t WorldSet::hash() const {
-  std::uint64_t h = 0xcbf29ce484222325ull ^ n_;
+  // Each word is avalanched before combining, and the accumulator is
+  // finalized once more, so single-bit set differences spread over the whole
+  // 64-bit output. Plain FNV-1a (the previous scheme) left sparse sets
+  // clustered in the low bits, which the service verdict cache — keyed by
+  // (hash(A), hash(B), prior) — cannot afford.
+  std::uint64_t h = 0xcbf29ce484222325ull ^ (std::uint64_t{n_} << 32);
+  std::uint64_t position = 0;
   for (std::uint64_t word : bits_) {
-    h ^= word;
-    h *= 0x100000001b3ull;
+    h = (h ^ mix64(word ^ position)) * 0x100000001b3ull;
+    ++position;
   }
-  return static_cast<std::size_t>(h);
+  return static_cast<std::size_t>(mix64(h));
 }
 
 void WorldSet::check_compatible(const WorldSet& o) const {

@@ -54,8 +54,10 @@ class WorldSet {
   bool is_empty() const;
   bool is_universe() const;
 
-  /// FNV-1a over the bit words (and n); stable within a process run. Used
-  /// to key (A, B)-pair memo tables.
+  /// 64-bit avalanche hash over the bit words (and n): each word is passed
+  /// through a splitmix64 finalizer before combining, so single-world
+  /// differences flip ~half the output bits. Stable within a process run.
+  /// Keys (A, B)-pair memo tables and the service verdict cache.
   std::size_t hash() const;
 
   /// Set algebra. `operator-` is set difference, `operator~` complement in Omega.

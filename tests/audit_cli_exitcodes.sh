@@ -1,0 +1,58 @@
+#!/bin/sh
+# Pins audit_cli's exit-code contract (registered as CTest `audit_cli_exitcodes`):
+#   0  success, including --help
+#   1  runtime failures (unreadable file, malformed scenario)
+#   2  command-line errors (unknown flag, missing flag value)
+# Usage: audit_cli_exitcodes.sh <path-to-audit_cli>
+set -u
+
+cli="${1:?usage: audit_cli_exitcodes.sh <audit_cli>}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+expect_exit() {
+  want="$1"
+  got="$2"
+  what="$3"
+  [ "$got" -eq "$want" ] || fail "$what: expected exit $want, got $got"
+}
+
+# --help: exit 0, usage on stdout, nothing on stderr.
+"$cli" --help > "$tmp/out" 2> "$tmp/err"
+expect_exit 0 $? "--help"
+grep -q "^usage: audit_cli" "$tmp/out" || fail "--help did not print usage on stdout"
+[ -s "$tmp/err" ] && fail "--help wrote to stderr"
+
+# Unknown flag: exit 2, error + usage on stderr.
+"$cli" --no-such-flag > "$tmp/out" 2> "$tmp/err"
+expect_exit 2 $? "unknown flag"
+grep -q "unknown flag '--no-such-flag'" "$tmp/err" || fail "unknown flag not named on stderr"
+grep -q "^usage: audit_cli" "$tmp/err" || fail "unknown flag did not print usage on stderr"
+
+# Missing flag value: exit 2.
+"$cli" --threads > /dev/null 2> "$tmp/err"
+expect_exit 2 $? "--threads without a count"
+grep -q -- "--threads needs a count" "$tmp/err" || fail "--threads error not reported"
+
+# Unreadable scenario file: a runtime failure, exit 1.
+"$cli" "$tmp/does-not-exist.scn" > /dev/null 2> "$tmp/err"
+expect_exit 1 $? "missing scenario file"
+grep -q "cannot open scenario file" "$tmp/err" || fail "missing file not reported"
+
+# Malformed scenario: exit 1, offending line named.
+printf 'record a\nfrobnicate b\n' > "$tmp/bad.scn"
+"$cli" "$tmp/bad.scn" > /dev/null 2> "$tmp/err"
+expect_exit 1 $? "malformed scenario"
+grep -q "line 2" "$tmp/err" || fail "malformed scenario line not named"
+
+# The built-in demo runs clean.
+"$cli" > "$tmp/out" 2> "$tmp/err"
+expect_exit 0 $? "built-in demo"
+grep -q "Audit query" "$tmp/out" || fail "demo produced no report"
+
+echo "audit_cli exit codes OK"

@@ -1,0 +1,178 @@
+#!/bin/sh
+# End-to-end smoke test for the audit service (registered as CTest
+# `service_smoke`): boots audit_server on a Unix socket, fans out 8 concurrent
+# clients x 100 requests each, and checks that
+#   1. every client observes byte-identical verdict sequences,
+#   2. the verdicts (per-disclosure and cumulative) are byte-identical to the
+#      offline auditor's report for the same log (Prop. 3.10 parity),
+#   3. the repeated workload warms the verdict cache (hit count > 0),
+#   4. the server shuts down gracefully on the wire `shutdown` op (exit 0).
+# Usage: service_smoke.sh <audit_server> <audit_client> <audit_cli>
+set -u
+
+server="${1:?usage: service_smoke.sh <audit_server> <audit_client> <audit_cli>}"
+client="${2:?missing audit_client path}"
+cli="${3:?missing audit_cli path}"
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2> /dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  [ -f "$tmp/server.err" ] && sed 's/^/  server: /' "$tmp/server.err" >&2
+  exit 1
+}
+
+sock="$tmp/audit.sock"
+
+# No database changes between queries, so the server's (final-state) answers
+# equal the logged ones; the clients replay the logged answers regardless.
+cat > "$tmp/scenario.scn" <<'EOF'
+record bob_hiv
+record bob_transfusion
+record bob_hepatitis
+insert bob_transfusion
+insert bob_hiv
+query smoke bob_hiv
+query smoke bob_hiv -> bob_transfusion
+query smoke bob_hiv & bob_hepatitis
+query smoke atmost(0, bob_hepatitis)
+query smoke bob_transfusion
+prior product
+audit bob_hiv
+EOF
+
+# Offline ground truth.
+"$cli" "$tmp/scenario.scn" > "$tmp/offline.txt" 2> "$tmp/offline.err" \
+  || fail "offline audit_cli run failed"
+
+# Replay workload from the logged answers: `query<TAB>answer` per line.
+sed -n 's/^\[log\] smoke: \(.*\) -> \(true\)$/\1\t\2/p;s/^\[log\] smoke: \(.*\) -> \(false\)$/\1\t\2/p' \
+  "$tmp/offline.txt" > "$tmp/workload.tsv"
+[ "$(wc -l < "$tmp/workload.tsv")" -eq 5 ] || fail "expected 5 logged queries"
+
+# Offline finding rows: `section<TAB>answer<TAB>verdict<TAB>method` (section 1
+# = per-disclosure in log order, 2 = per-user cumulative).
+awk '
+  /^Per disclosure:/ { section = 1; next }
+  /^Per user/        { section = 2; next }
+  /witness:/         { next }
+  section && / = (true|false) / {
+    for (i = 1; i <= NF; i++) if ($i == "=") {
+      print section "\t" $(i + 1) "\t" $(i + 2) "\t" $(i + 3)
+      break
+    }
+  }' "$tmp/offline.txt" > "$tmp/offline_rows.tsv"
+[ "$(grep -c '^1	' "$tmp/offline_rows.tsv")" -eq 5 ] \
+  || fail "expected 5 offline per-disclosure rows"
+[ "$(grep -c '^2	' "$tmp/offline_rows.tsv")" -eq 1 ] \
+  || fail "expected 1 offline cumulative row"
+
+"$server" --socket "$sock" --scenario "$tmp/scenario.scn" \
+  > "$tmp/server.out" 2> "$tmp/server.err" &
+server_pid=$!
+
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "server socket never appeared"
+  kill -0 "$server_pid" 2> /dev/null || fail "server died during startup"
+  sleep 0.1
+done
+
+# 8 concurrent clients, 5 queries x 20 rounds = 100 requests each. Each
+# client owns one user so its cumulative sequence is self-contained.
+n=1
+while [ "$n" -le 8 ]; do
+  (
+    awk -v u="user$n" -F'\t' '{ print u "\t" $1 "\t" $2 }' "$tmp/workload.tsv" \
+      > "$tmp/workload.$n.tsv"
+    "$client" --socket "$sock" --query-file "$tmp/workload.$n.tsv" --repeat 20 \
+      > "$tmp/client.$n.out" 2> "$tmp/client.$n.err"
+    echo $? > "$tmp/client.$n.rc"
+  ) &
+  n=$((n + 1))
+done
+n=1
+while [ "$n" -le 8 ]; do
+  while [ ! -f "$tmp/client.$n.rc" ]; do sleep 0.1; done
+  [ "$(cat "$tmp/client.$n.rc")" -eq 0 ] \
+    || fail "client $n exited nonzero: $(cat "$tmp/client.$n.err")"
+  [ "$(wc -l < "$tmp/client.$n.out")" -eq 100 ] \
+    || fail "client $n produced $(wc -l < "$tmp/client.$n.out") lines, wanted 100"
+  n=$((n + 1))
+done
+
+# (1) Byte-identical verdicts across all 8 clients. The user column and the
+# cached/engine column are stripped first: which client warms the cache (and
+# which one hits it) depends on arrival order, but the verdicts served must
+# not.
+n=1
+while [ "$n" -le 8 ]; do
+  cut -f2-5,7- "$tmp/client.$n.out" > "$tmp/norm.$n"
+  n=$((n + 1))
+done
+n=2
+while [ "$n" -le 8 ]; do
+  diff -u "$tmp/norm.1" "$tmp/norm.$n" > /dev/null \
+    || fail "client $n verdicts differ from client 1"
+  n=$((n + 1))
+done
+
+# (2) Parity with the offline auditor. Raw client columns: user(1) query(2)
+# answer(3) verdict(4) method(5) cached(6) cum_verdict(7) cum_method(8)
+# sequence(9).
+k=1
+while [ "$k" -le 5 ]; do
+  offline_row="$(grep '^1	' "$tmp/offline_rows.tsv" | sed -n "${k}p")"
+  want_answer="$(printf '%s' "$offline_row" | cut -f2)"
+  want_verdict="$(printf '%s' "$offline_row" | cut -f3)"
+  want_method="$(printf '%s' "$offline_row" | cut -f4)"
+  line="$(sed -n "${k}p" "$tmp/client.1.out")"
+  got_answer="$(printf '%s' "$line" | cut -f3)"
+  got_verdict="$(printf '%s' "$line" | cut -f4)"
+  got_method="$(printf '%s' "$line" | cut -f5)"
+  [ "$got_answer" = "$want_answer" ] \
+    || fail "disclosure $k answer: got '$got_answer', offline '$want_answer'"
+  [ "$got_verdict" = "$want_verdict" ] \
+    || fail "disclosure $k verdict: got '$got_verdict', offline '$want_verdict'"
+  [ "$got_method" = "$want_method" ] \
+    || fail "disclosure $k method: got '$got_method', offline '$want_method'"
+  k=$((k + 1))
+done
+cumulative_row="$(grep '^2	' "$tmp/offline_rows.tsv")"
+want_verdict="$(printf '%s' "$cumulative_row" | cut -f3)"
+want_method="$(printf '%s' "$cumulative_row" | cut -f4)"
+line5="$(sed -n '5p' "$tmp/client.1.out")"
+got_verdict="$(printf '%s' "$line5" | cut -f7)"
+got_method="$(printf '%s' "$line5" | cut -f8)"
+[ "$got_verdict" = "$want_verdict" ] \
+  || fail "cumulative verdict: got '$got_verdict', offline '$want_verdict'"
+[ "$got_method" = "$want_method" ] \
+  || fail "cumulative method: got '$got_method', offline '$want_method'"
+
+# (3) The repeat workload must have warmed the verdict cache.
+"$client" --socket "$sock" --op metrics > "$tmp/metrics.json" \
+  || fail "metrics request failed"
+hits="$(sed -n 's/.*"service\.cache\.hits": \([0-9][0-9]*\).*/\1/p' "$tmp/metrics.json")"
+[ -n "$hits" ] || fail "service.cache.hits not found in metrics"
+[ "$hits" -gt 0 ] || fail "verdict cache saw no hits on a repeat workload"
+
+# (4) Graceful shutdown over the wire; the server drains and exits 0.
+"$client" --socket "$sock" --op shutdown > /dev/null || fail "shutdown op failed"
+i=0
+while kill -0 "$server_pid" 2> /dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "server did not exit after shutdown op"
+  sleep 0.1
+done
+grep -q "drained and stopped" "$tmp/server.err" \
+  || fail "server did not report a graceful drain"
+server_pid=""
+
+echo "service smoke OK (cache hits: $hits)"

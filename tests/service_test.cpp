@@ -1,0 +1,651 @@
+// Tests for the concurrent audit service (src/service/): Prop. 3.10 parity
+// between streamed sessions and the offline auditor, verdict-cache safety
+// (collisions, invalidation, LRU), admission control and backpressure,
+// deadlines and cancellation, graceful shutdown, and the wire protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "engine/criterion_stage.h"
+#include "obs/metrics.h"
+#include "service/audit_service.h"
+#include "service/protocol.h"
+#include "service/session.h"
+#include "service/verdict_cache.h"
+#include "util/status.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace service {
+namespace {
+
+RecordUniverse hospital_universe() {
+  RecordUniverse u;
+  u.add("bob_hiv");          // coordinate 0
+  u.add("bob_transfusion");  // coordinate 1
+  u.add("bob_hepatitis");    // coordinate 2
+  return u;
+}
+
+constexpr World kHivAndTransfusion = 0b011;
+
+ServiceOptions small_service_options() {
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 32;
+  options.cache_capacity = 64;
+  options.cache_shards = 4;
+  return options;
+}
+
+std::unique_ptr<AuditService> make_service(
+    ServiceOptions options = small_service_options(),
+    PriorAssumption prior = PriorAssumption::kProduct) {
+  std::unique_ptr<AuditService> service;
+  const Status s =
+      AuditService::try_create(hospital_universe(), kHivAndTransfusion,
+                               "bob_hiv", prior, std::move(options), &service);
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  return service;
+}
+
+void expect_same_finding(const AuditFinding& got, const AuditFinding& want) {
+  EXPECT_EQ(got.verdict, want.verdict);
+  EXPECT_EQ(got.method, want.method);
+  EXPECT_EQ(got.certified, want.certified);
+  EXPECT_EQ(got.detail, want.detail);
+  EXPECT_EQ(got.user, want.user);
+  EXPECT_EQ(got.query_text, want.query_text);
+  EXPECT_EQ(got.answer, want.answer);
+}
+
+// --- Prop. 3.10 / offline parity ------------------------------------------
+
+struct Replay {
+  std::string user;
+  std::string query;
+  bool answer;
+};
+
+const std::vector<Replay>& replay_log() {
+  static const std::vector<Replay> log = {
+      {"alice", "bob_hiv", true},
+      {"alice", "bob_hiv -> bob_transfusion", true},
+      {"cindy", "bob_hiv & bob_hepatitis", false},
+      {"alice", "atmost(0, bob_hepatitis)", true},
+      {"cindy", "bob_transfusion", true},
+  };
+  return log;
+}
+
+// Streaming k disclosures through per-user sessions must produce, at every
+// step, exactly the verdicts the offline Auditor computes for the same log:
+// per-disclosure findings match entry by entry, and the k-th cumulative
+// finding equals the offline per-user conjunction Safe(A, B1 cap ... cap Bk)
+// (Def. 3.9 / Prop. 3.10: acquiring B1, ..., Bk one at a time is acquiring
+// their intersection).
+TEST(ServiceParity, StreamedSessionsMatchOfflineAuditor) {
+  for (const PriorAssumption prior :
+       {PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+        PriorAssumption::kSubcubeKnowledge}) {
+    std::unique_ptr<AuditService> service =
+        make_service(small_service_options(), prior);
+    ASSERT_NE(service, nullptr);
+
+    std::vector<AuditResponse> responses;
+    for (const Replay& r : replay_log()) {
+      AuditRequest request;
+      request.user = r.user;
+      request.query_text = r.query;
+      request.answer = r.answer;  // replayed-log mode
+      responses.push_back(service->process(std::move(request)));
+      ASSERT_TRUE(responses.back().status.ok())
+          << responses.back().status.to_string();
+    }
+
+    AuditorOptions offline_options;
+    offline_options.threads = 1;
+    Auditor auditor(hospital_universe(), prior, offline_options);
+    AuditLog log;
+    for (const Replay& r : replay_log()) {
+      log.record_with_answer(r.user, r.query, r.answer);
+    }
+    const AuditReport offline = auditor.audit(log, "bob_hiv");
+
+    ASSERT_EQ(responses.size(), offline.per_disclosure.size());
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      expect_same_finding(responses[i].disclosure, offline.per_disclosure[i]);
+    }
+
+    // The last response per user carries that user's full conjunction.
+    ASSERT_EQ(offline.per_user_cumulative.size(), 2u);
+    expect_same_finding(responses[3].cumulative,
+                        offline.per_user_cumulative[0]);  // alice, k = 3
+    expect_same_finding(responses[4].cumulative,
+                        offline.per_user_cumulative[1]);  // cindy, k = 2
+    EXPECT_EQ(responses[3].sequence, 3u);
+    EXPECT_EQ(responses[4].sequence, 2u);
+  }
+}
+
+// Same log, concurrent submission: per-user verdict sequences must not
+// depend on scheduling (requests for one user serialize on the session).
+TEST(ServiceParity, ConcurrentUsersMatchOfflineAuditor) {
+  std::unique_ptr<AuditService> service = make_service();
+  ASSERT_NE(service, nullptr);
+
+  auto stream_user = [&](const std::string& user) {
+    std::vector<AuditResponse> out;
+    for (const Replay& r : replay_log()) {
+      if (r.user != user) continue;
+      AuditRequest request;
+      request.user = user;
+      request.query_text = r.query;
+      request.answer = r.answer;
+      out.push_back(service->process(request));
+    }
+    return out;
+  };
+  auto alice_future =
+      std::async(std::launch::async, stream_user, std::string("alice"));
+  const std::vector<AuditResponse> cindy = stream_user("cindy");
+  const std::vector<AuditResponse> alice = alice_future.get();
+
+  AuditorOptions offline_options;
+  offline_options.threads = 1;
+  Auditor auditor(hospital_universe(), PriorAssumption::kProduct,
+                  offline_options);
+  AuditLog log;
+  for (const Replay& r : replay_log()) {
+    log.record_with_answer(r.user, r.query, r.answer);
+  }
+  const AuditReport offline = auditor.audit(log, "bob_hiv");
+
+  ASSERT_EQ(alice.size(), 3u);
+  ASSERT_EQ(cindy.size(), 2u);
+  EXPECT_EQ(alice.back().cumulative.verdict,
+            offline.per_user_cumulative[0].verdict);
+  EXPECT_EQ(alice.back().cumulative.method,
+            offline.per_user_cumulative[0].method);
+  EXPECT_EQ(cindy.back().cumulative.verdict,
+            offline.per_user_cumulative[1].verdict);
+  EXPECT_EQ(cindy.back().cumulative.method,
+            offline.per_user_cumulative[1].method);
+}
+
+// Without a replayed answer the service evaluates against its own database.
+TEST(Service, EvaluatesQueriesAgainstDatabaseState) {
+  std::unique_ptr<AuditService> service = make_service();
+  ASSERT_NE(service, nullptr);
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv & bob_transfusion";
+  const AuditResponse response = service->process(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.to_string();
+  EXPECT_TRUE(response.answer);  // both records are in kHivAndTransfusion
+
+  AuditRequest negative;
+  negative.user = "alice";
+  negative.query_text = "bob_hepatitis";
+  EXPECT_FALSE(service->process(std::move(negative)).answer);
+}
+
+TEST(Service, MalformedQueryReturnsInvalidArgument) {
+  std::unique_ptr<AuditService> service = make_service();
+  ASSERT_NE(service, nullptr);
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv &&& nope";
+  const AuditResponse response = service->process(std::move(request));
+  EXPECT_EQ(response.status.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(service->metrics_snapshot().counter("service.requests.parse_errors"),
+            1);
+}
+
+// --- Construction / reload validation -------------------------------------
+
+TEST(Service, TryCreateRejectsBadInputs) {
+  std::unique_ptr<AuditService> service;
+  ServiceOptions options = small_service_options();
+
+  Status s = AuditService::try_create(RecordUniverse{}, 0, "x",
+                                      PriorAssumption::kProduct, options,
+                                      &service);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+
+  s = AuditService::try_create(hospital_universe(), /*initial_state=*/8,
+                               "bob_hiv", PriorAssumption::kProduct, options,
+                               &service);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+
+  s = AuditService::try_create(hospital_universe(), 0, "bob_hiv &&& nope",
+                               PriorAssumption::kProduct, options, &service);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+
+  options.workers = 0;
+  s = AuditService::try_create(hospital_universe(), 0, "bob_hiv",
+                               PriorAssumption::kProduct, options, &service);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+
+  EXPECT_EQ(service, nullptr);  // untouched throughout
+}
+
+TEST(Service, ReloadResetsSessionsAndInvalidatesCache) {
+  std::unique_ptr<AuditService> service = make_service();
+  ASSERT_NE(service, nullptr);
+
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.answer = true;
+  AuditResponse first = service->process(request);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.sequence, 1u);
+  EXPECT_FALSE(first.disclosure_cached);
+
+  AuditResponse repeat = service->process(request);
+  EXPECT_TRUE(repeat.disclosure_cached);
+  EXPECT_EQ(repeat.sequence, 2u);
+
+  const Status s = service->reload(hospital_universe(), kHivAndTransfusion,
+                                   "bob_hiv", PriorAssumption::kProduct);
+  ASSERT_TRUE(s.ok()) << s.to_string();
+
+  // Fresh session (sequence restarts) and cold cache (engine re-decides).
+  AuditResponse after = service->process(request);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.sequence, 1u);
+  EXPECT_FALSE(after.disclosure_cached);
+  const obs::MetricsSnapshot metrics = service->metrics_snapshot();
+  EXPECT_EQ(metrics.counter("service.cache.invalidations"), 1);
+  EXPECT_EQ(metrics.counter("service.reloads"), 1);
+
+  EXPECT_EQ(service
+                ->reload(hospital_universe(), /*initial_state=*/99, "bob_hiv",
+                         PriorAssumption::kProduct)
+                .code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(Service, ResetSessionForgetsAccumulatedKnowledge) {
+  std::unique_ptr<AuditService> service = make_service();
+  ASSERT_NE(service, nullptr);
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.answer = true;
+  EXPECT_EQ(service->process(request).sequence, 1u);
+  EXPECT_EQ(service->process(request).sequence, 2u);
+  ASSERT_TRUE(service->reset_session("alice").ok());
+  EXPECT_EQ(service->process(request).sequence, 1u);
+  EXPECT_TRUE(service->reset_session("nobody").ok());
+}
+
+// --- Deadlines, cancellation, backpressure, shutdown ----------------------
+
+TEST(Service, ExpiredDeadlineShortCircuits) {
+  std::unique_ptr<AuditService> service = make_service();
+  ASSERT_NE(service, nullptr);
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  const AuditResponse response = service->process(std::move(request));
+  EXPECT_EQ(response.status.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(
+      service->metrics_snapshot().counter("service.requests.deadline_expired"),
+      1);
+}
+
+TEST(Service, CancelledTicketResolvesWithCancelled) {
+  // One worker parked in the test hook; cancel the request it holds.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> entered{false};
+  ServiceOptions options = small_service_options();
+  options.workers = 1;
+  options.test_hook_pre_decide = [&] {
+    entered.store(true);
+    released.wait();
+  };
+  std::unique_ptr<AuditService> service = make_service(std::move(options));
+  ASSERT_NE(service, nullptr);
+
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  Ticket ticket = service->submit(std::move(request));
+  while (!entered.load()) std::this_thread::yield();
+  ticket.cancel();
+  release.set_value();
+  const AuditResponse response = ticket.response.get();
+  EXPECT_EQ(response.status.code(), Status::Code::kCancelled);
+  EXPECT_EQ(service->metrics_snapshot().counter("service.requests.cancelled"),
+            1);
+}
+
+TEST(Service, FullQueueRejectsWithResourceExhausted) {
+  // One worker parked in the test hook + capacity-1 queue: the first request
+  // occupies the worker, the second fills the queue, the third must bounce.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> entered{false};
+  ServiceOptions options = small_service_options();
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.test_hook_pre_decide = [&] {
+    entered.store(true);
+    released.wait();
+  };
+  std::unique_ptr<AuditService> service = make_service(std::move(options));
+  ASSERT_NE(service, nullptr);
+
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.answer = true;
+  Ticket first = service->submit(request);
+  while (!entered.load()) std::this_thread::yield();
+  Ticket second = service->submit(request);
+  EXPECT_EQ(service->queue_depth(), 1u);
+
+  Ticket third = service->submit(request);
+  const AuditResponse rejected = third.response.get();  // resolved immediately
+  EXPECT_EQ(rejected.status.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(service->metrics_snapshot().counter("service.requests.rejected"),
+            1);
+
+  release.set_value();
+  EXPECT_TRUE(first.response.get().status.ok());
+  EXPECT_TRUE(second.response.get().status.ok());
+}
+
+TEST(Service, GracefulShutdownDrainsAcceptedRequests) {
+  // Park the single worker, stack up two more requests, then shut down while
+  // they are still queued: shutdown must resolve both, not abandon them.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServiceOptions options = small_service_options();
+  options.workers = 1;
+  options.test_hook_pre_decide = [&] {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  std::unique_ptr<AuditService> service = make_service(std::move(options));
+  ASSERT_NE(service, nullptr);
+
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.answer = true;
+  std::vector<Ticket> tickets;
+  tickets.push_back(service->submit(request));
+  while (entered.load() == 0) std::this_thread::yield();
+  tickets.push_back(service->submit(request));
+  tickets.push_back(service->submit(request));
+  EXPECT_EQ(service->queue_depth(), 2u);
+
+  std::thread stopper([&] { service->shutdown(); });
+  while (service->accepting()) std::this_thread::yield();
+
+  // Admission is closed; new submissions resolve immediately as Unavailable.
+  Ticket late = service->submit(request);
+  EXPECT_EQ(late.response.get().status.code(), Status::Code::kUnavailable);
+
+  release.set_value();
+  stopper.join();
+  for (Ticket& ticket : tickets) {
+    const AuditResponse response = ticket.response.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+  }
+  service->shutdown();  // idempotent
+}
+
+// --- Online mode ----------------------------------------------------------
+
+TEST(ServiceOnline, StrategyDeniesUnsafeQueriesWithoutDisclosing) {
+  ServiceOptions options = small_service_options();
+  options.online_strategy = OnlineStrategy::kSimulatable;
+  std::unique_ptr<AuditService> service = make_service(std::move(options));
+  ASSERT_NE(service, nullptr);
+
+  // Asking for the sensitive record itself can never be simulatably safe.
+  AuditRequest unsafe;
+  unsafe.user = "mallory";
+  unsafe.query_text = "bob_hiv";
+  const AuditResponse denied = service->process(std::move(unsafe));
+  ASSERT_TRUE(denied.status.ok()) << denied.status.to_string();
+  EXPECT_TRUE(denied.denied);
+  EXPECT_EQ(denied.sequence, 0u);  // nothing was disclosed or absorbed
+
+  // A tautology discloses nothing and is always answerable.
+  AuditRequest safe;
+  safe.user = "mallory";
+  safe.query_text = "bob_hiv -> bob_hiv";
+  const AuditResponse answered = service->process(std::move(safe));
+  ASSERT_TRUE(answered.status.ok()) << answered.status.to_string();
+  EXPECT_FALSE(answered.denied);
+  EXPECT_TRUE(answered.answer);
+  EXPECT_EQ(answered.sequence, 1u);
+  EXPECT_EQ(service->metrics_snapshot().counter("service.requests.denied"), 1);
+}
+
+// --- Session --------------------------------------------------------------
+
+TEST(SessionTest, AbsorbIntersectsAndCounts) {
+  Session session("alice", 2);
+  EXPECT_EQ(session.accumulated(), WorldSet::universe(2));
+  EXPECT_EQ(session.disclosures(), 0u);
+  EXPECT_EQ(session.absorb(WorldSet(2, {1, 3})), 1u);
+  EXPECT_EQ(session.absorb(WorldSet(2, {2, 3})), 2u);
+  EXPECT_EQ(session.accumulated(), WorldSet(2, {3}));
+}
+
+// --- Verdict cache --------------------------------------------------------
+
+EngineDecision safe_decision(const std::string& method) {
+  EngineDecision d;
+  d.verdict = Verdict::kSafe;
+  d.method = method;
+  d.certified = true;
+  return d;
+}
+
+TEST(VerdictCacheTest, ForgedKeyCollisionIsDetectedNotServed) {
+  obs::MetricsRegistry metrics;
+  VerdictCache cache({/*capacity=*/8, /*shards=*/1}, metrics);
+  const WorldSet a(3, {1});
+  const WorldSet b(3, {1, 2});
+  const WorldSet other(3, {5});
+
+  const VerdictKey key = VerdictCache::key_for(a, b, PriorAssumption::kProduct);
+  cache.insert(key, a, b, safe_decision("theorem-3.11"));
+
+  // A forged request carrying the same key triple but different sets is a
+  // hash collision: the cache must refuse to serve the stored verdict.
+  EXPECT_FALSE(cache.lookup(key, a, other).has_value());
+  EXPECT_EQ(metrics.snapshot().counter("service.cache.collisions"), 1);
+
+  const std::optional<EngineDecision> hit = cache.lookup(key, a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->method, "theorem-3.11");
+  EXPECT_EQ(hit->verdict, Verdict::kSafe);
+
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.lookup(key, a, b).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(metrics.snapshot().counter("service.cache.invalidations"), 1);
+}
+
+TEST(VerdictCacheTest, EvictsLeastRecentlyUsed) {
+  obs::MetricsRegistry metrics;
+  VerdictCache cache({/*capacity=*/2, /*shards=*/1}, metrics);
+  const WorldSet a(3, {1});
+  std::vector<WorldSet> bs = {WorldSet(3, {0}), WorldSet(3, {2}),
+                              WorldSet(3, {4})};
+  std::vector<VerdictKey> keys;
+  for (const WorldSet& b : bs) {
+    keys.push_back(VerdictCache::key_for(a, b, PriorAssumption::kProduct));
+  }
+  cache.insert(keys[0], a, bs[0], safe_decision("m0"));
+  cache.insert(keys[1], a, bs[1], safe_decision("m1"));
+  // Touch key 0 so key 1 is the LRU victim when key 2 arrives.
+  EXPECT_TRUE(cache.lookup(keys[0], a, bs[0]).has_value());
+  cache.insert(keys[2], a, bs[2], safe_decision("m2"));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(keys[0], a, bs[0]).has_value());
+  EXPECT_FALSE(cache.lookup(keys[1], a, bs[1]).has_value());
+  EXPECT_TRUE(cache.lookup(keys[2], a, bs[2]).has_value());
+  EXPECT_EQ(metrics.snapshot().counter("service.cache.evictions"), 1);
+}
+
+TEST(VerdictCacheTest, DistinctPriorsDoNotShareEntries) {
+  obs::MetricsRegistry metrics;
+  VerdictCache cache({/*capacity=*/8, /*shards=*/2}, metrics);
+  const WorldSet a(3, {1});
+  const WorldSet b(3, {1, 2});
+  cache.insert(VerdictCache::key_for(a, b, PriorAssumption::kUnrestricted), a,
+               b, safe_decision("unrestricted"));
+  EXPECT_FALSE(
+      cache.lookup(VerdictCache::key_for(a, b, PriorAssumption::kProduct), a, b)
+          .has_value());
+}
+
+// --- Wire protocol --------------------------------------------------------
+
+TEST(Protocol, RequestRoundTrips) {
+  WireRequest request;
+  request.op = Op::kAudit;
+  request.id = 42;
+  request.user = "alice \"quoted\"";
+  request.query = "bob_hiv -> bob_transfusion";
+  request.answer = true;
+  request.deadline_ms = 250;
+
+  WireRequest parsed;
+  ASSERT_TRUE(parse_request(serialize_request(request), &parsed).ok());
+  EXPECT_EQ(parsed.op, Op::kAudit);
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_EQ(parsed.user, request.user);
+  EXPECT_EQ(parsed.query, request.query);
+  ASSERT_TRUE(parsed.answer.has_value());
+  EXPECT_TRUE(*parsed.answer);
+  EXPECT_EQ(parsed.deadline_ms, 250);
+
+  for (const Op op : {Op::kHello, Op::kMetrics, Op::kShutdown}) {
+    WireRequest control;
+    control.op = op;
+    control.id = 7;
+    WireRequest back;
+    ASSERT_TRUE(parse_request(serialize_request(control), &back).ok())
+        << to_string(op);
+    EXPECT_EQ(back.op, op);
+    EXPECT_FALSE(back.answer.has_value());
+  }
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  WireResponse response;
+  response.id = 9;
+  response.ok = true;
+  response.answer = true;
+  response.verdict = "unsafe";
+  response.method = "projected[1/3]+box-necessary";
+  response.certified = true;
+  response.cached = true;
+  response.cumulative_verdict = "unsafe";
+  response.cumulative_method = "projected[1/3]+box-necessary";
+  response.sequence = 3;
+
+  WireResponse parsed;
+  ASSERT_TRUE(parse_response(serialize_response(response), &parsed).ok());
+  EXPECT_EQ(parsed.id, 9u);
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_TRUE(parsed.answer);
+  EXPECT_EQ(parsed.verdict, "unsafe");
+  EXPECT_EQ(parsed.method, "projected[1/3]+box-necessary");
+  EXPECT_TRUE(parsed.certified);
+  EXPECT_TRUE(parsed.cached);
+  EXPECT_EQ(parsed.sequence, 3u);
+}
+
+TEST(Protocol, MalformedFramesAreInvalidArgument) {
+  WireRequest request;
+  const char* bad[] = {
+      "",                                      // not an object
+      "{\"op\": \"audit\"",                    // truncated
+      "{\"op\": \"explode\", \"id\": 1}",      // unknown op
+      "{\"op\": \"audit\", \"id\": 1}",        // audit without user/query
+      "{\"op\": {\"nested\": 1}, \"id\": 1}",  // nesting is rejected
+      "{\"op\": \"audit\", \"id\": 1, \"user\": \"u\", \"query\": \"q\","
+      " \"deadline_ms\": -5}",                 // negative deadline
+      "{\"op\": \"audit\", \"id\": \"one\", \"user\": \"u\","
+      " \"query\": \"q\"}",                    // wrong type for id
+  };
+  for (const char* line : bad) {
+    EXPECT_EQ(parse_request(line, &request).code(),
+              Status::Code::kInvalidArgument)
+        << line;
+  }
+}
+
+TEST(Protocol, MakeAuditResponseMapsStatusAndFindings) {
+  AuditResponse ok_response;
+  ok_response.status = Status::Ok();
+  ok_response.answer = true;
+  ok_response.disclosure.verdict = Verdict::kSafe;
+  ok_response.disclosure.method = "theorem-3.11";
+  ok_response.disclosure.certified = true;
+  ok_response.cumulative.verdict = Verdict::kUnsafe;
+  ok_response.cumulative.method = "box-necessary";
+  ok_response.disclosure_cached = true;
+  ok_response.sequence = 2;
+  const WireResponse wire = make_audit_response(5, ok_response);
+  EXPECT_TRUE(wire.ok);
+  EXPECT_EQ(wire.id, 5u);
+  EXPECT_EQ(wire.verdict, "safe");
+  EXPECT_EQ(wire.method, "theorem-3.11");
+  EXPECT_TRUE(wire.cached);
+  EXPECT_EQ(wire.cumulative_verdict, "unsafe");
+  EXPECT_EQ(wire.sequence, 2u);
+
+  AuditResponse failed;
+  failed.status = Status::ResourceExhausted("queue full");
+  const WireResponse rejected = make_audit_response(6, failed);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.code, "resource_exhausted");
+  EXPECT_NE(rejected.error.find("queue full"), std::string::npos);
+
+  AuditResponse denied;
+  denied.denied = true;
+  const WireResponse denial = make_audit_response(7, denied);
+  EXPECT_TRUE(denial.ok);
+  EXPECT_TRUE(denial.denied);
+  EXPECT_TRUE(denial.verdict.empty());
+}
+
+TEST(Protocol, StatusCodeSlugsAreStable) {
+  EXPECT_EQ(status_code_slug(Status::Code::kOk), "ok");
+  EXPECT_EQ(status_code_slug(Status::Code::kInvalidArgument),
+            "invalid_argument");
+  EXPECT_EQ(status_code_slug(Status::Code::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(status_code_slug(Status::Code::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(status_code_slug(Status::Code::kCancelled), "cancelled");
+  EXPECT_EQ(status_code_slug(Status::Code::kUnavailable), "unavailable");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace epi

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 
 #include "worlds/match_vector.h"
 #include "worlds/monotone.h"
@@ -153,6 +155,75 @@ TEST(WorldSet, RandomRespectsDensityRoughly) {
 TEST(WorldSet, ToStringRoundTrip) {
   WorldSet s(3, {0b110, 0b001});
   EXPECT_EQ(s.to_string(), "{100,011}");  // world 1 = "100", world 6 = "011"
+}
+
+TEST(WorldSetHash, AllSubsetsOfSmallUniverseDistinct) {
+  // Exhaustive: every one of the 256 subsets of {0,1}^3 hashes differently.
+  // The verdict cache keys entries by (hash(A), hash(B), prior), so any
+  // equal-hash pair of distinct sets is a potential cross-pair collision.
+  std::map<std::size_t, WorldSet> seen;
+  for (World mask = 0; mask < 256; ++mask) {
+    WorldSet s(3);
+    for (unsigned w = 0; w < 8; ++w) {
+      if ((mask >> w) & 1u) s.insert(w);
+    }
+    auto [it, inserted] = seen.emplace(s.hash(), s);
+    EXPECT_TRUE(inserted) << "collision: " << s.to_string() << " vs "
+                          << it->second.to_string();
+  }
+}
+
+TEST(WorldSetHash, NoCollisionsAcrossRandomMultiWordSets) {
+  // 4000 random sets over {0,1}^10 (16 words each): any collision among
+  // distinct sets fails. Expected collisions for a uniform 64-bit hash:
+  // ~4000^2 / 2^65 ≈ 4e-13.
+  Rng rng(7);
+  std::map<std::size_t, WorldSet> seen;
+  for (int i = 0; i < 4000; ++i) {
+    WorldSet s = WorldSet::random(10, rng, 0.5);
+    auto [it, inserted] = seen.emplace(s.hash(), s);
+    if (!inserted) {
+      EXPECT_EQ(it->second, s) << "distinct sets share hash " << s.hash();
+    }
+  }
+}
+
+TEST(WorldSetHash, SingleWorldFlipAvalanches) {
+  // Regression for the pre-avalanche FNV-1a scheme: toggling one world must
+  // flip roughly half of the 64 output bits (we accept [16, 48] on average),
+  // not just a low-bit cluster.
+  Rng rng(11);
+  double total_flipped = 0;
+  int samples = 0;
+  for (int i = 0; i < 200; ++i) {
+    WorldSet s = WorldSet::random(8, rng, 0.5);
+    const std::size_t before = s.hash();
+    const World w = static_cast<World>(i % s.omega_size());
+    if (s.contains(w)) {
+      s.erase(w);
+    } else {
+      s.insert(w);
+    }
+    const std::uint64_t diff = static_cast<std::uint64_t>(before ^ s.hash());
+    total_flipped += static_cast<double>(__builtin_popcountll(diff));
+    ++samples;
+    EXPECT_NE(diff, 0u);
+  }
+  const double mean = total_flipped / samples;
+  EXPECT_GE(mean, 16.0);
+  EXPECT_LE(mean, 48.0);
+}
+
+TEST(WorldSetHash, DependsOnWordPosition) {
+  // The same word pattern in different word positions must hash differently:
+  // {0} vs {64} vs {128} over a >2-word universe.
+  WorldSet a(8), b(8), c(8);
+  a.insert(0);
+  b.insert(64);
+  c.insert(128);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_NE(b.hash(), c.hash());
 }
 
 TEST(MatchVector, MatchPaperExample) {
