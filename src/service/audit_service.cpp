@@ -277,28 +277,42 @@ EngineDecision AuditService::decide(const Scenario& scenario, const WorldSet& b,
   return decision;
 }
 
-Session& AuditService::session_for(const std::string& user,
-                                   const Scenario& scenario) {
+std::shared_ptr<Session> AuditService::session_for(const std::string& user,
+                                                   const Scenario& scenario) {
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   auto it = sessions_.find(user);
-  if (it == sessions_.end()) {
-    auto session = std::make_unique<Session>(user, scenario.universe.size());
-    if (options_.online_strategy) {
-      std::unique_ptr<OnlineAuditSession> online;
-      const Status s = OnlineAuditSession::try_create(
-          scenario.audit_set, scenario.db.state(), *options_.online_strategy,
-          &online);
-      if (!s.ok()) {
-        // The scenario validated audit_set and state at construction, so
-        // this cannot happen; surface loudly if it ever does.
-        throw std::logic_error("AuditService: " + s.to_string());
-      }
-      session->attach_online(std::move(online));
-    }
-    sessions_created_->add(1);
-    it = sessions_.emplace(user, std::move(session)).first;
+  if (it != sessions_.end() &&
+      it->second->generation() == scenario.generation) {
+    return it->second;
   }
-  return *it->second;
+  // Missing, or built for a different scenario generation (a worker that
+  // raced reload() may have inserted a stale session after the map was
+  // cleared): build one matching the scenario serving this request.
+  auto session =
+      std::make_shared<Session>(user, scenario.universe.size(),
+                                scenario.generation);
+  if (options_.online_strategy) {
+    std::unique_ptr<OnlineAuditSession> online;
+    const Status s = OnlineAuditSession::try_create(
+        scenario.audit_set, scenario.db.state(), *options_.online_strategy,
+        &online);
+    if (!s.ok()) {
+      // The scenario validated audit_set and state at construction, so
+      // this cannot happen; surface loudly if it ever does.
+      throw std::logic_error("AuditService: " + s.to_string());
+    }
+    session->attach_online(std::move(online));
+  }
+  sessions_created_->add(1);
+  if (it != sessions_.end() && it->second->generation() > scenario.generation) {
+    // This worker is finishing an in-flight request admitted before a
+    // reload(); do not trample the newer session. Reload forgets everyone,
+    // so a detached fresh session is the correct old-scenario view.
+    return session;
+  }
+  if (it != sessions_.end()) sessions_.erase(it);
+  sessions_.emplace(user, session);
+  return session;
 }
 
 AuditResponse AuditService::handle(Pending& pending,
@@ -348,7 +362,11 @@ AuditResponse AuditService::handle(Pending& pending,
     return response;
   }
 
-  Session& session = session_for(pending.request.user, *scenario);
+  // Held for the whole request: a concurrent reset_session()/reload() only
+  // removes the map entry, never destroys the session under the worker.
+  const std::shared_ptr<Session> session_ptr =
+      session_for(pending.request.user, *scenario);
+  Session& session = *session_ptr;
   std::lock_guard<std::mutex> session_lock(session.mutex());
 
   bool answer = false;
@@ -382,9 +400,16 @@ AuditResponse AuditService::handle(Pending& pending,
       to_finding(disclosure_decision, pending.request.user,
                  pending.request.query_text, answer);
 
+  if (options_.test_hook_pre_absorb) options_.test_hook_pre_absorb();
   if (Status s = checkpoint(); !s.ok()) {
-    // The per-disclosure verdict is already computed but the caller is gone;
-    // report the expiry and do not advance the session.
+    // The per-disclosure verdict is already computed but the caller is gone.
+    // In replayed-log mode the log says the user did see this answer, so the
+    // session must still absorb it — otherwise the accumulated-knowledge set
+    // under-counts and later cumulative verdicts could falsely report safe.
+    // In live mode nothing was shown to the user, so nothing is absorbed.
+    if (pending.request.answer.has_value()) {
+      response.sequence = session.absorb(disclosed);
+    }
     response.status = std::move(s);
     return response;
   }

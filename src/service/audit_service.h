@@ -70,6 +70,11 @@ struct ServiceOptions {
   /// request (after the deadline check). Lets tests hold a worker to fill
   /// the queue deterministically. Never set in production code.
   std::function<void()> test_hook_pre_decide;
+  /// Test-only: invoked after the per-disclosure verdict, while the worker
+  /// holds the session, right before the absorb checkpoint. Lets tests race
+  /// reset_session()/reload() against an in-flight request and exercise the
+  /// deadline-after-decide path deterministically. Never set in production.
+  std::function<void()> test_hook_pre_absorb;
 
   Status validate() const;
 };
@@ -219,7 +224,14 @@ class AuditService {
   /// Cache-or-engine decision for Safe(A, b).
   EngineDecision decide(const Scenario& scenario, const WorldSet& b,
                         AuditContext& ctx, bool* cached);
-  Session& session_for(const std::string& user, const Scenario& scenario);
+  /// The session serving `user` under `scenario`. Workers hold the returned
+  /// shared_ptr for the whole request, so reset_session()/reload() erasing
+  /// the map entry never destroys a session out from under a worker. A
+  /// session whose generation predates the scenario is replaced; a worker
+  /// finishing an in-flight request from before a reload gets a detached
+  /// fresh session rather than trampling the newer one.
+  std::shared_ptr<Session> session_for(const std::string& user,
+                                       const Scenario& scenario);
   /// Builds a worker's AuditContext for `scenario` (stage slots, subcube
   /// oracle preparation).
   void configure_context(AuditContext& ctx, const Scenario& scenario) const;
@@ -231,7 +243,7 @@ class AuditService {
   std::uint64_t next_generation_ = 1;
 
   std::mutex sessions_mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
 
   obs::MetricsRegistry metrics_;
   std::unique_ptr<VerdictCache> cache_;  ///< null when cache_capacity == 0

@@ -1,6 +1,7 @@
 #include "service/protocol.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -73,6 +74,25 @@ class ObjectWriter {
 // --- reading ---------------------------------------------------------------
 
 using JsonValue = std::variant<std::string, std::int64_t, bool, std::nullptr_t>;
+
+/// Appends one Unicode code point as UTF-8.
+void append_utf8(std::string* out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
 
 /// Parses one flat JSON object (string/int/bool/null values only).
 class FlatObjectReader {
@@ -160,24 +180,30 @@ class FlatObjectReader {
         case 'b': out->push_back('\b'); break;
         case 'f': out->push_back('\f'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
           unsigned value = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            value <<= 4;
-            if (h >= '0' && h <= '9') {
-              value |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              value |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              value |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return error("bad \\u escape");
+          if (Status s = parse_hex4(&value); !s.ok()) return s;
+          std::uint32_t code_point = value;
+          if (value >= 0xD800 && value <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow, and the
+            // pair combines into one supplementary-plane code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return error("unpaired high surrogate in \\u escape");
             }
+            pos_ += 2;
+            unsigned low = 0;
+            if (Status s = parse_hex4(&low); !s.ok()) return s;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return error("unpaired high surrogate in \\u escape");
+            }
+            code_point =
+                0x10000 + ((value - 0xD800) << 10) + (low - 0xDC00);
+          } else if (value >= 0xDC00 && value <= 0xDFFF) {
+            return error("unpaired low surrogate in \\u escape");
           }
-          // Flat protocol strings are ASCII in practice; keep low code
-          // points literal and replace the rest.
-          out->push_back(value < 0x80 ? static_cast<char>(value) : '?');
+          // Session keys and query text round-trip losslessly: every escaped
+          // code point lands in the string as UTF-8.
+          append_utf8(out, code_point);
           break;
         }
         default:
@@ -185,6 +211,27 @@ class FlatObjectReader {
       }
     }
     return error("unterminated string");
+  }
+
+  /// Reads exactly four hex digits of a \u escape into `*out`.
+  Status parse_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      value <<= 4;
+      if (h >= '0' && h <= '9') {
+        value |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        value |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        value |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return error("bad \\u escape");
+      }
+    }
+    *out = value;
+    return Status::Ok();
   }
 
   Status parse_value(JsonValue* out) {
@@ -219,8 +266,18 @@ class FlatObjectReader {
       if (pos_ == start || (c == '-' && pos_ == start + 1)) {
         return error("bad number");
       }
-      *out = static_cast<std::int64_t>(
-          std::stoll(text_.substr(start, pos_ - start)));
+      // from_chars never throws: an arbitrarily long digit run from a
+      // hostile client yields InvalidArgument, not std::out_of_range
+      // escaping onto a connection thread.
+      std::int64_t value = 0;
+      const char* first = text_.data() + start;
+      const char* last = text_.data() + pos_;
+      const std::from_chars_result r = std::from_chars(first, last, value);
+      if (r.ec == std::errc::result_out_of_range) {
+        return error("number out of range");
+      }
+      if (r.ec != std::errc() || r.ptr != last) return error("bad number");
+      *out = value;
       return Status::Ok();
     }
     if (c == '{' || c == '[') {

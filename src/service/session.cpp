@@ -5,8 +5,10 @@
 namespace epi {
 namespace service {
 
-Session::Session(std::string user, unsigned records)
-    : user_(std::move(user)), accumulated_(WorldSet::universe(records)) {}
+Session::Session(std::string user, unsigned records, std::uint64_t generation)
+    : user_(std::move(user)),
+      generation_(generation),
+      accumulated_(WorldSet::universe(records)) {}
 
 std::uint64_t Session::absorb(const WorldSet& disclosed) {
   accumulated_ &= disclosed;

@@ -26,13 +26,19 @@ namespace service {
 class Session {
  public:
   /// A fresh session knows nothing: the accumulated set starts at the full
-  /// universe {0,1}^records.
-  Session(std::string user, unsigned records);
+  /// universe {0,1}^records. `generation` ties the session to the scenario
+  /// it was built for; the service recreates sessions whose generation does
+  /// not match the scenario serving the request, so a WorldSet from one
+  /// universe is never intersected into a session from another.
+  Session(std::string user, unsigned records, std::uint64_t generation = 0);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   const std::string& user() const { return user_; }
+
+  /// The scenario generation this session was built for.
+  std::uint64_t generation() const { return generation_; }
 
   /// B1 ∩ ... ∩ Bk over every disclosure absorbed so far (the universe when
   /// k = 0). Read under the session mutex when workers are running.
@@ -55,6 +61,7 @@ class Session {
 
  private:
   std::string user_;
+  std::uint64_t generation_;
   WorldSet accumulated_;
   std::uint64_t disclosures_ = 0;
   std::unique_ptr<OnlineAuditSession> online_;

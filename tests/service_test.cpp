@@ -275,6 +275,136 @@ TEST(Service, ReloadResetsSessionsAndInvalidatesCache) {
             Status::Code::kInvalidArgument);
 }
 
+// A reset_session (wire-exposed) racing an in-flight request for the same
+// user must not destroy the Session a worker is using: the worker holds a
+// shared_ptr, so the reset only removes the map entry and the next request
+// starts fresh.
+TEST(Service, ResetSessionDuringRequestIsSafe) {
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServiceOptions options = small_service_options();
+  options.workers = 1;
+  options.test_hook_pre_absorb = [&] {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  std::unique_ptr<AuditService> service = make_service(std::move(options));
+  ASSERT_NE(service, nullptr);
+
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.answer = true;
+  Ticket ticket = service->submit(request);
+  while (entered.load() == 0) std::this_thread::yield();
+  // The worker now holds alice's session (post-decide, pre-absorb).
+  ASSERT_TRUE(service->reset_session("alice").ok());
+  release.set_value();
+
+  const AuditResponse first = ticket.response.get();
+  ASSERT_TRUE(first.status.ok()) << first.status.to_string();
+  EXPECT_EQ(first.sequence, 1u);
+  // The reset took effect for subsequent requests: a fresh session.
+  EXPECT_EQ(service->process(request).sequence, 1u);
+}
+
+// A reload racing an in-flight request must not let a session built for the
+// old universe serve requests under the new scenario (absorb() would mix
+// WorldSets from different universes).
+TEST(Service, ReloadDuringRequestDoesNotLeakStaleSession) {
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServiceOptions options = small_service_options();
+  options.workers = 1;
+  options.test_hook_pre_decide = [&] {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  std::unique_ptr<AuditService> service = make_service(std::move(options));
+  ASSERT_NE(service, nullptr);
+
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.answer = true;
+  Ticket stale = service->submit(request);
+  while (entered.load() == 0) std::this_thread::yield();
+
+  // Swap to a *larger* universe while the worker is parked before
+  // session_for: the worker will re-insert an old-universe session after
+  // reload cleared the map — exactly the race under test.
+  RecordUniverse bigger = hospital_universe();
+  bigger.add("bob_diabetes");  // coordinate 3
+  ASSERT_TRUE(service
+                  ->reload(bigger, kHivAndTransfusion, "bob_hiv",
+                           PriorAssumption::kProduct)
+                  .ok());
+  release.set_value();
+
+  // The stale request completes coherently against the scenario it started
+  // with (reload's documented semantics).
+  const AuditResponse old_response = stale.response.get();
+  ASSERT_TRUE(old_response.status.ok()) << old_response.status.to_string();
+  EXPECT_EQ(old_response.sequence, 1u);
+
+  // A request under the new scenario must get a session built for the new
+  // universe (sequence restarts; no size-mismatch intersection).
+  AuditRequest fresh;
+  fresh.user = "alice";
+  fresh.query_text = "bob_diabetes";
+  fresh.answer = true;
+  const AuditResponse new_response = service->process(fresh);
+  ASSERT_TRUE(new_response.status.ok()) << new_response.status.to_string();
+  EXPECT_EQ(new_response.sequence, 1u);
+  EXPECT_EQ(service->process(fresh).sequence, 2u);
+}
+
+// In replayed-log mode the log says the user saw the answer, so a deadline
+// that expires after the disclosure verdict must still absorb it — the
+// accumulated-knowledge set may never under-count what the user knows.
+TEST(Service, ReplayModeAbsorbsDisclosureOnDeadlineExpiry) {
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServiceOptions options = small_service_options();
+  options.workers = 1;
+  options.test_hook_pre_absorb = [&] {
+    if (entered.fetch_add(1) == 0) released.wait();
+  };
+  std::unique_ptr<AuditService> service = make_service(std::move(options));
+  ASSERT_NE(service, nullptr);
+
+  // Wide enough that the worker reliably reaches the pre-absorb hook (where
+  // it parks) before the deadline can expire at an earlier checkpoint.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.answer = true;  // replayed-log mode
+  request.deadline = deadline;
+  Ticket ticket = service->submit(request);
+  while (entered.load() == 0) std::this_thread::yield();
+  // Let the deadline lapse while the worker sits between the disclosure
+  // verdict and the absorb checkpoint, then release it.
+  std::this_thread::sleep_until(deadline + std::chrono::milliseconds(5));
+  release.set_value();
+
+  const AuditResponse expired = ticket.response.get();
+  EXPECT_EQ(expired.status.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(expired.sequence, 1u);  // absorbed despite the expiry
+
+  // The next replayed disclosure continues the sequence: the expired one
+  // counts toward alice's accumulated knowledge.
+  AuditRequest next;
+  next.user = "alice";
+  next.query_text = "bob_transfusion";
+  next.answer = true;
+  const AuditResponse response = service->process(std::move(next));
+  ASSERT_TRUE(response.status.ok()) << response.status.to_string();
+  EXPECT_EQ(response.sequence, 2u);
+}
+
 TEST(Service, ResetSessionForgetsAccumulatedKnowledge) {
   std::unique_ptr<AuditService> service = make_service();
   ASSERT_NE(service, nullptr);
@@ -591,6 +721,84 @@ TEST(Protocol, MalformedFramesAreInvalidArgument) {
       " \"deadline_ms\": -5}",                 // negative deadline
       "{\"op\": \"audit\", \"id\": \"one\", \"user\": \"u\","
       " \"query\": \"q\"}",                    // wrong type for id
+  };
+  for (const char* line : bad) {
+    EXPECT_EQ(parse_request(line, &request).code(),
+              Status::Code::kInvalidArgument)
+        << line;
+  }
+}
+
+// A hostile digit run must come back as InvalidArgument, never as a thrown
+// std::out_of_range escaping onto a connection thread (process-killing DoS).
+TEST(Protocol, NumberOutOfRangeIsStatusNotThrow) {
+  WireRequest request;
+  const char* bad[] = {
+      "{\"op\": \"audit\", \"id\": 99999999999999999999999,"
+      " \"user\": \"u\", \"query\": \"q\"}",
+      "{\"op\": \"audit\", \"id\": -99999999999999999999999,"
+      " \"user\": \"u\", \"query\": \"q\"}",
+  };
+  for (const char* line : bad) {
+    const Status s = parse_request(line, &request);
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument) << line;
+    EXPECT_NE(s.to_string().find("out of range"), std::string::npos) << line;
+  }
+  // A 4096-digit run is still just InvalidArgument.
+  const std::string huge =
+      "{\"op\": \"audit\", \"id\": " + std::string(4096, '9') +
+      ", \"user\": \"u\", \"query\": \"q\"}";
+  EXPECT_EQ(parse_request(huge, &request).code(),
+            Status::Code::kInvalidArgument);
+  // int64 extremes still parse.
+  WireRequest ok;
+  ASSERT_TRUE(parse_request("{\"op\": \"audit\", \"id\": 9223372036854775807,"
+                            " \"user\": \"u\", \"query\": \"q\"}",
+                            &ok)
+                  .ok());
+  EXPECT_EQ(ok.id, 9223372036854775807u);
+}
+
+// \u escapes decode to UTF-8 (surrogate pairs included), so non-ASCII user
+// names round-trip instead of collapsing to '?' — two distinct users must
+// never merge into one session key.
+TEST(Protocol, UnicodeEscapesDecodeToUtf8) {
+  WireRequest request;
+  ASSERT_TRUE(parse_request("{\"op\": \"reset_session\", \"id\": 1,"
+                            " \"user\": \"Ren\\u00e9e\"}",
+                            &request)
+                  .ok());
+  EXPECT_EQ(request.user, "Ren\xc3\xa9\x65");  // René + e, é as UTF-8
+
+  ASSERT_TRUE(parse_request("{\"op\": \"reset_session\", \"id\": 2,"
+                            " \"user\": \"\\ud83d\\ude00\"}",  // U+1F600
+                            &request)
+                  .ok());
+  EXPECT_EQ(request.user, "\xf0\x9f\x98\x80");
+
+  // Distinct escaped users stay distinct.
+  WireRequest other;
+  ASSERT_TRUE(parse_request("{\"op\": \"reset_session\", \"id\": 3,"
+                            " \"user\": \"\\u4e16\"}",
+                            &other)
+                  .ok());
+  EXPECT_NE(other.user, request.user);
+
+  // Raw UTF-8 written by our serializer survives a round-trip.
+  WireRequest original;
+  original.op = Op::kResetSession;
+  original.id = 4;
+  original.user = "\xc3\xa9\xe4\xb8\x96\xf0\x9f\x98\x80";
+  WireRequest back;
+  ASSERT_TRUE(parse_request(serialize_request(original), &back).ok());
+  EXPECT_EQ(back.user, original.user);
+
+  // Unpaired surrogates are malformed, not silently substituted.
+  const char* bad[] = {
+      "{\"op\": \"hello\", \"id\": 1, \"user\": \"\\ud83d\"}",
+      "{\"op\": \"hello\", \"id\": 1, \"user\": \"\\ud83dx\"}",
+      "{\"op\": \"hello\", \"id\": 1, \"user\": \"\\ud83d\\u0041\"}",
+      "{\"op\": \"hello\", \"id\": 1, \"user\": \"\\ude00\"}",
   };
   for (const char* line : bad) {
     EXPECT_EQ(parse_request(line, &request).code(),
