@@ -62,7 +62,7 @@ int main() {
 
   std::printf("\nDelta_K(A-bar, omega1) classes (hatched cells of Figure 1):\n");
   for (const FiniteSet& cls : oracle.delta_partition(a_bar, omega1)) {
-    cls.for_each([&](std::size_t w) {
+    cls.visit([&](std::size_t w) {
       std::printf("  (%zu,%zu)\n", grid.x_of(w), grid.y_of(w));
     });
   }

@@ -66,12 +66,12 @@ int main() {
         }
         if (check_poss && pair_counter++ % poss_stride == 0) {
           FiniteSet fa(size), fb(size);
-          a.for_each([&](World w) { fa.insert(w); });
-          b.for_each([&](World w) { fb.insert(w); });
+          a.visit([&](World w) { fa.insert(w); });
+          b.visit([&](World w) { fb.insert(w); });
           ++poss_total;
           poss_agree += safe_possibilistic(full_poss, fa, fb) == safe;
           // Known-world variant, for every omega* in B.
-          b.for_each([&](World wstar) {
+          b.visit([&](World wstar) {
             ++known_total;
             PowerSetSigma power(size);
             auto k = SecondLevelKnowledge::product(

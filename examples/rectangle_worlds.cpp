@@ -40,7 +40,7 @@ int main() {
 
   std::printf("Delta classes (each must meet any safe disclosure B):\n");
   for (const FiniteSet& cls : oracle.delta_partition(a_bar, omega1)) {
-    cls.for_each([&](std::size_t w) {
+    cls.visit([&](std::size_t w) {
       std::printf("  pixel (%zu, %zu)\n", grid.x_of(w), grid.y_of(w));
     });
   }

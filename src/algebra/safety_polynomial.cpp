@@ -5,7 +5,7 @@ namespace epi {
 Polynomial event_probability_in_params(const WorldSet& x) {
   const unsigned n = x.n();
   Polynomial result(n);
-  x.for_each([&](World w) {
+  x.visit([&](World w) {
     Polynomial term = Polynomial::constant(n, 1.0);
     for (unsigned i = 0; i < n; ++i) {
       const Polynomial pi = Polynomial::variable(n, i);
@@ -38,7 +38,7 @@ Polynomial product_safety_margin_factored(const WorldSet& a, const WorldSet& b) 
 Polynomial event_probability_in_weights(const WorldSet& x) {
   const std::size_t nvars = x.omega_size();
   Polynomial result(nvars);
-  x.for_each([&](World w) { result += Polynomial::variable(nvars, w); });
+  x.visit([&](World w) { result += Polynomial::variable(nvars, w); });
   return result;
 }
 

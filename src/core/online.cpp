@@ -58,7 +58,7 @@ bool OnlineAuditSession::would_deny(const WorldSet& query_true_set, World world,
       // Deny iff ANY world the agent considers possible would force a
       // revealing answer — computable without looking at the actual world.
       bool deny = false;
-      knowledge.for_each([&](World w) { deny = deny || reveals(w); });
+      knowledge.visit([&](World w) { deny = deny || reveals(w); });
       return deny;
     }
   }
@@ -76,7 +76,7 @@ OnlineResponse OnlineAuditSession::ask(const WorldSet& query_true_set) {
     // A strategy-aware agent learns from the denial: only worlds in which
     // the strategy would also deny remain possible.
     WorldSet deny_worlds(sensitive_.n());
-    agent_knowledge_.for_each([&](World w) {
+    agent_knowledge_.visit([&](World w) {
       if (would_deny(query_true_set, w, agent_knowledge_)) deny_worlds.insert(w);
     });
     agent_knowledge_ &= deny_worlds;

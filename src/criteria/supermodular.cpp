@@ -17,13 +17,14 @@ std::optional<Distribution> supermodular_necessary_witness(const WorldSet& a,
 
 bool supermodular_sufficient(const WorldSet& a, const WorldSet& b) {
   if (a.n() != b.n()) throw std::invalid_argument("supermodular: mismatched n");
-  const WorldSet ab = a & b;
-  const WorldSet neither = ~(a | b);
-  if (ab.is_empty() || neither.is_empty()) {
-    // Unconditionally safe (Theorem 3.11); the setwise conditions below
-    // hold vacuously as well.
+  if (a.disjoint_with(b) || union_is_universe(a, b)) {
+    // Unconditionally safe (Theorem 3.11), detected by the fused scans
+    // before any intermediate set is allocated; the setwise conditions
+    // below hold vacuously as well.
     return true;
   }
+  const WorldSet ab = a & b;
+  const WorldSet neither = ~(a | b);
   const WorldSet meet = ab.setwise_meet(neither);
   const WorldSet join = ab.setwise_join(neither);
   const WorldSet a_minus_b = a - b;

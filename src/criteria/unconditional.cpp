@@ -3,7 +3,9 @@
 namespace epi {
 
 bool unconditionally_safe(const WorldSet& a, const WorldSet& b) {
-  return a.disjoint_with(b) || (a | b).is_universe();
+  // Thm. 3.11: A∩B = ∅ or A∪B = Omega. union_is_universe is a fused
+  // early-exit word scan — no A∪B is allocated.
+  return a.disjoint_with(b) || union_is_universe(a, b);
 }
 
 bool unconditionally_safe_known_world(const WorldSet& a, const WorldSet& b,

@@ -94,8 +94,10 @@ class AuditContext {
   };
   struct PairKeyHash {
     std::size_t operator()(const PairKey& k) const {
-      const std::size_t ha = k.a.hash();
-      return ha ^ (k.b.hash() + 0x9e3779b97f4a7c15ull + (ha << 6) + (ha >> 2));
+      // Avalanche-combine the two set hashes via the shared kernel so pairs
+      // differing only in B still spread over the whole table.
+      return static_cast<std::size_t>(
+          bits::hash_combine(k.a.hash(), k.b.hash()));
     }
   };
 

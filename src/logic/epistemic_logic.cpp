@@ -68,7 +68,7 @@ class Knows : public EpistemicFormula {
 
   bool holds(std::size_t, const FiniteSet& s) const override {
     bool all = true;
-    s.for_each([&](std::size_t w2) {
+    s.visit([&](std::size_t w2) {
       if (all && !inner_->holds(w2, s)) all = false;
     });
     return all;

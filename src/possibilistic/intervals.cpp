@@ -61,14 +61,13 @@ std::optional<FiniteSet> IntervalOracle::interval(std::size_t w1, std::size_t w2
 std::vector<FiniteSet> IntervalOracle::minimal_intervals(std::size_t w1,
                                                          const FiniteSet& x) const {
   std::vector<FiniteSet> result;
-  x.for_each([&](std::size_t w2) {
+  x.visit([&](std::size_t w2) {
     std::optional<FiniteSet> iv = interval(w1, w2);
     if (!iv) return;
     // Definition 4.7: minimal iff every x-world inside the interval induces
-    // the very same interval.
+    // the very same interval. Fused scan over iv ∩ x — no materialized set.
     bool minimal = true;
-    const FiniteSet inside = *iv & x;
-    inside.for_each([&](std::size_t w2p) {
+    visit_intersection(*iv, x, [&](std::size_t w2p) {
       if (!minimal) return;
       std::optional<FiniteSet> ivp = interval(w1, w2p);
       if (!ivp || *ivp != *iv) minimal = false;
@@ -99,7 +98,7 @@ bool IntervalOracle::has_tight_intervals() const {
       std::optional<FiniteSet> iv = interval(w1, w2);
       if (!iv) continue;
       bool tight = true;
-      iv->for_each([&](std::size_t w2p) {
+      iv->visit([&](std::size_t w2p) {
         if (!tight || w2p == w2) return;
         std::optional<FiniteSet> ivp = interval(w1, w2p);
         // ivp exists because w2p lies in a family member containing w1.
@@ -112,13 +111,12 @@ bool IntervalOracle::has_tight_intervals() const {
 }
 
 bool IntervalOracle::safe_all_intervals(const FiniteSet& a, const FiniteSet& b) const {
-  const FiniteSet ab = a & b;
   const FiniteSet outside_a = ~a;
   const FiniteSet b_minus_a = b - a;
   bool safe = true;
-  ab.for_each([&](std::size_t w1) {
+  visit_intersection(a, b, [&](std::size_t w1) {
     if (!safe) return;
-    outside_a.for_each([&](std::size_t w2) {
+    outside_a.visit([&](std::size_t w2) {
       if (!safe) return;
       std::optional<FiniteSet> iv = interval(w1, w2);
       if (iv && iv->disjoint_with(b_minus_a)) safe = false;
@@ -130,11 +128,10 @@ bool IntervalOracle::safe_all_intervals(const FiniteSet& a, const FiniteSet& b) 
 bool IntervalOracle::safe_minimal_intervals(const FiniteSet& a,
                                             const FiniteSet& b) const {
   obs::ScopedSpan span("oracle.safe-minimal-intervals");
-  const FiniteSet ab = a & b;
   const FiniteSet outside_a = ~a;
   const FiniteSet b_minus_a = b - a;
   bool safe = true;
-  ab.for_each([&](std::size_t w1) {
+  visit_intersection(a, b, [&](std::size_t w1) {
     if (!safe) return;
     for (const FiniteSet& iv : minimal_intervals(w1, outside_a)) {
       if (iv.disjoint_with(b_minus_a)) {
@@ -151,7 +148,7 @@ std::optional<std::vector<FiniteSet>> IntervalOracle::beta(const FiniteSet& a) c
   const std::size_t m = c_.universe_size();
   const FiniteSet outside_a = ~a;
   std::vector<FiniteSet> result(m, FiniteSet(m));
-  a.for_each([&](std::size_t w1) {
+  a.visit([&](std::size_t w1) {
     // With tight intervals every Delta class is a singleton (Cor. 4.14), so
     // beta(w1) is simply the union of the classes.
     for (const FiniteSet& cls : delta_partition(outside_a, w1)) {
@@ -167,7 +164,7 @@ IntervalOracle::PreparedAudit IntervalOracle::prepare(const FiniteSet& a) const 
   const std::size_t m = c_.universe_size();
   const FiniteSet outside_a = ~a;
   audit.classes_.assign(m, {});
-  a.for_each([&](std::size_t w1) {
+  a.visit([&](std::size_t w1) {
     audit.classes_[w1] = delta_partition(outside_a, w1);
   });
   if (span.live()) {
@@ -178,9 +175,8 @@ IntervalOracle::PreparedAudit IntervalOracle::prepare(const FiniteSet& a) const 
 
 bool IntervalOracle::PreparedAudit::safe(const FiniteSet& b) const {
   obs::ScopedSpan span("oracle.prepared-safe");
-  const FiniteSet ab = a_ & b;
   bool result = true;
-  ab.for_each([&](std::size_t w1) {
+  visit_intersection(a_, b, [&](std::size_t w1) {
     if (!result) return;
     for (const FiniteSet& cls : classes_[w1]) {
       if (cls.disjoint_with(b)) {

@@ -20,7 +20,7 @@ SecondLevelKnowledge SecondLevelKnowledge::product(
     if (s.universe_size() != c.universe_size()) {
       throw std::invalid_argument("product: mismatched universes");
     }
-    c.for_each([&](std::size_t w) {
+    c.visit([&](std::size_t w) {
       if (s.contains(w)) k.add(w, s);
     });
   }

@@ -59,7 +59,7 @@ bool RectangleSigma::contains(const FiniteSet& s) const {
   if (s.universe_size() != grid_.size() || s.is_empty()) return false;
   std::size_t min_x = grid_.width() + 1, max_x = 0;
   std::size_t min_y = grid_.height() + 1, max_y = 0;
-  s.for_each([&](std::size_t w) {
+  s.visit([&](std::size_t w) {
     min_x = std::min(min_x, grid_.x_of(w));
     max_x = std::max(max_x, grid_.x_of(w));
     min_y = std::min(min_y, grid_.y_of(w));

@@ -6,8 +6,8 @@ std::optional<KnowledgeWorld> find_possibilistic_violation(
     const SecondLevelKnowledge& k, const FiniteSet& a, const FiniteSet& b) {
   for (const KnowledgeWorld& kw : k.pairs()) {
     if (!b.contains(kw.world)) continue;  // inconsistent with the disclosure
-    const FiniteSet sb = kw.knowledge & b;
-    if (sb.subset_of(a) && !kw.knowledge.subset_of(a)) {
+    // Fused Def. 3.1 test: (S∩B) ⊆ A without materializing S∩B.
+    if (intersection_subset_of(kw.knowledge, b, a) && !kw.knowledge.subset_of(a)) {
       return kw;  // this agent gains knowledge of A
     }
   }
@@ -22,15 +22,15 @@ bool safe_possibilistic(const SecondLevelKnowledge& k, const FiniteSet& a,
 bool safe_c_sigma(const FiniteSet& c, const SigmaFamily& sigma, const FiniteSet& a,
                   const FiniteSet& b) {
   for (const FiniteSet& s : sigma.enumerate()) {
-    const FiniteSet sb = s & b;
-    if ((sb & c).is_empty()) continue;
-    if (sb.subset_of(a) && !s.subset_of(a)) return false;
+    if (intersection_disjoint(s, b, c)) continue;  // S∩B∩C = ∅, one word scan
+    if (intersection_subset_of(s, b, a) && !s.subset_of(a)) return false;
   }
   return true;
 }
 
 bool safe_unrestricted(const FiniteSet& a, const FiniteSet& b) {
-  return a.disjoint_with(b) || (a | b).is_universe();
+  // Thm. 3.11: A∩B = ∅ or A∪B = Omega, both fused word scans.
+  return a.disjoint_with(b) || union_is_universe(a, b);
 }
 
 bool safe_unrestricted_known_world(const FiniteSet& a, const FiniteSet& b,

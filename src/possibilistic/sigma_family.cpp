@@ -22,9 +22,10 @@ bool ExplicitSigma::contains(const FiniteSet& s) const {
 bool ExplicitSigma::is_intersection_closed() const {
   for (std::size_t i = 0; i < sets_.size(); ++i) {
     for (std::size_t j = i + 1; j < sets_.size(); ++j) {
-      const FiniteSet inter = sets_[i] & sets_[j];
-      if (inter.is_empty()) continue;  // only pairs sharing a world matter for K
-      if (!contains(inter)) return false;
+      // Only pairs sharing a world matter for K; the fused disjointness scan
+      // rejects them before allocating the intersection.
+      if (sets_[i].disjoint_with(sets_[j])) continue;
+      if (!contains(sets_[i] & sets_[j])) return false;
     }
   }
   return true;
@@ -54,8 +55,8 @@ ExplicitSigma ExplicitSigma::intersection_closure() const {
     const std::size_t count = closed.size();
     for (std::size_t i = 0; i < count; ++i) {
       for (std::size_t j = i + 1; j < count; ++j) {
+        if (closed[i].disjoint_with(closed[j])) continue;
         FiniteSet inter = closed[i] & closed[j];
-        if (inter.is_empty()) continue;
         if (!member(inter)) {
           closed.push_back(std::move(inter));
           changed = true;

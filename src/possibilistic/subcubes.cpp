@@ -25,7 +25,7 @@ bool SubcubeSigma::contains(const FiniteSet& s) const {
   // fixed, the rest are stars; s is a subcube iff it equals its bounding box.
   World and_all = ~World{0};
   World or_all = 0;
-  s.for_each([&](std::size_t v) {
+  s.visit([&](std::size_t v) {
     and_all &= static_cast<World>(v);
     or_all |= static_cast<World>(v);
   });

@@ -45,7 +45,7 @@ Distribution Distribution::uniform_on(const WorldSet& support) {
   }
   std::vector<double> weights(support.omega_size(), 0.0);
   const double p = 1.0 / static_cast<double>(support.count());
-  support.for_each([&](World w) { weights[w] = p; });
+  support.visit([&](World w) { weights[w] = p; });
   return Distribution(support.n(), std::move(weights));
 }
 
@@ -64,22 +64,27 @@ Distribution Distribution::random(unsigned n, Rng& rng) {
 
 double Distribution::prob(const WorldSet& a) const {
   if (a.n() != n_) throw std::invalid_argument("prob: mismatched n");
-  double sum = 0.0;
-  a.for_each([&](World w) { sum += weights_[w]; });
-  return sum;
+  return masked_weight_sum(a, weights_.data());
+}
+
+double Distribution::prob_intersection(const WorldSet& a, const WorldSet& b) const {
+  if (a.n() != n_ || b.n() != n_) {
+    throw std::invalid_argument("prob_intersection: mismatched n");
+  }
+  return intersection_weight_sum(a, b, weights_.data());
 }
 
 double Distribution::conditional(const WorldSet& a, const WorldSet& b) const {
   const double pb = prob(b);
   if (pb <= 0.0) throw std::domain_error("conditional: P[B] == 0");
-  return prob(a & b) / pb;
+  return prob_intersection(a, b) / pb;
 }
 
 Distribution Distribution::conditioned_on(const WorldSet& b) const {
   const double pb = prob(b);
   if (pb <= 0.0) throw std::domain_error("conditioned_on: P[B] == 0");
   std::vector<double> weights(weights_.size(), 0.0);
-  b.for_each([&](World w) { weights[w] = weights_[w] / pb; });
+  b.visit([&](World w) { weights[w] = weights_[w] / pb; });
   return Distribution(n_, std::move(weights), /*normalize=*/true);
 }
 
@@ -92,7 +97,10 @@ WorldSet Distribution::support() const {
 }
 
 double Distribution::safety_gap(const WorldSet& a, const WorldSet& b) const {
-  return prob(a & b) - prob(a) * prob(b);
+  // P[A∩B] via the fused kernel scan: no intermediate WorldSet, and the
+  // ascending-world accumulation order matches the old prob(a & b) exactly,
+  // so the double is bit-identical.
+  return prob_intersection(a, b) - prob(a) * prob(b);
 }
 
 }  // namespace epi

@@ -33,6 +33,11 @@ class Distribution {
   /// P[A] = sum of member weights.
   double prob(const WorldSet& a) const;
 
+  /// P[A∩B] in one fused word scan — no intermediate WorldSet. Accumulates
+  /// in ascending world order, so the result is bit-identical to
+  /// prob(a & b).
+  double prob_intersection(const WorldSet& a, const WorldSet& b) const;
+
   /// P[A | B]; throws std::domain_error when P[B] == 0.
   double conditional(const WorldSet& a, const WorldSet& b) const;
 

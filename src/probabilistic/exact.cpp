@@ -31,7 +31,7 @@ ExactDistribution ExactDistribution::uniform_on(const WorldSet& support) {
   }
   std::vector<Rational> weights(support.omega_size());
   const Rational w(1, static_cast<std::int64_t>(support.count()));
-  support.for_each([&](World world) { weights[world] = w; });
+  support.visit([&](World world) { weights[world] = w; });
   return ExactDistribution(support.n(), std::move(weights));
 }
 
@@ -58,26 +58,36 @@ ExactDistribution ExactDistribution::product(const std::vector<Rational>& params
 Rational ExactDistribution::prob(const WorldSet& a) const {
   if (a.n() != n_) throw std::invalid_argument("prob: mismatched n");
   Rational sum;
-  a.for_each([&](World w) { sum += weights_[w]; });
+  a.visit([&](World w) { sum += weights_[w]; });
+  return sum;
+}
+
+Rational ExactDistribution::prob_intersection(const WorldSet& a,
+                                              const WorldSet& b) const {
+  if (a.n() != n_ || b.n() != n_) {
+    throw std::invalid_argument("prob_intersection: mismatched n");
+  }
+  Rational sum;
+  visit_intersection(a, b, [&](World w) { sum += weights_[w]; });
   return sum;
 }
 
 Rational ExactDistribution::conditional(const WorldSet& a, const WorldSet& b) const {
   const Rational pb = prob(b);
   if (pb.is_zero()) throw std::domain_error("conditional: P[B] = 0");
-  return prob(a & b) / pb;
+  return prob_intersection(a, b) / pb;
 }
 
 ExactDistribution ExactDistribution::conditioned_on(const WorldSet& b) const {
   const Rational pb = prob(b);
   if (pb.is_zero()) throw std::domain_error("conditioned_on: P[B] = 0");
   std::vector<Rational> weights(weights_.size());
-  b.for_each([&](World w) { weights[w] = weights_[w] / pb; });
+  b.visit([&](World w) { weights[w] = weights_[w] / pb; });
   return ExactDistribution(n_, std::move(weights));
 }
 
 Rational ExactDistribution::safety_gap(const WorldSet& a, const WorldSet& b) const {
-  return prob(a & b) - prob(a) * prob(b);
+  return prob_intersection(a, b) - prob(a) * prob(b);
 }
 
 bool ExactDistribution::is_log_supermodular() const {

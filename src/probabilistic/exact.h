@@ -30,6 +30,9 @@ class ExactDistribution {
   Rational prob(World w) const { return weights_[w]; }
   Rational prob(const WorldSet& a) const;
 
+  /// P[A∩B] via the fused intersection scan — no intermediate WorldSet.
+  Rational prob_intersection(const WorldSet& a, const WorldSet& b) const;
+
   /// P[A | B]; throws std::domain_error when P[B] = 0.
   Rational conditional(const WorldSet& a, const WorldSet& b) const;
 

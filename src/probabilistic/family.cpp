@@ -18,7 +18,7 @@ ProbSecondLevelKnowledge ProbSecondLevelKnowledge::product(
   ProbSecondLevelKnowledge k(c.n());
   for (const Distribution& p : pi) {
     if (p.n() != c.n()) throw std::invalid_argument("product: mismatched n");
-    c.for_each([&](World w) {
+    c.visit([&](World w) {
       if (p.prob(w) > 0.0) k.add(w, p);
     });
   }

@@ -44,12 +44,17 @@ double ProductDistribution::prob(World w) const {
 double ProductDistribution::prob(const WorldSet& a) const {
   if (a.n() != n()) throw std::invalid_argument("prob: mismatched n");
   double sum = 0.0;
-  a.for_each([&](World w) { sum += prob(w); });
+  a.visit([&](World w) { sum += prob(w); });
   return sum;
 }
 
 double ProductDistribution::safety_gap(const WorldSet& a, const WorldSet& b) const {
-  return prob(a & b) - prob(a) * prob(b);
+  // Fused P[A∩B]: per-world weights are recomputed either way, but the scan
+  // skips the intermediate WorldSet allocation. Ascending order keeps the
+  // accumulated double bit-identical to prob(a & b).
+  double pab = 0.0;
+  visit_intersection(a, b, [&](World w) { pab += prob(w); });
+  return pab - prob(a) * prob(b);
 }
 
 Distribution ProductDistribution::to_distribution() const {

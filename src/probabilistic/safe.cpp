@@ -20,9 +20,8 @@ bool safe_probabilistic(const ProbSecondLevelKnowledge& k, const WorldSet& a,
 
 bool safe_family(const std::vector<Distribution>& pi, const WorldSet& c,
                  const WorldSet& a, const WorldSet& b) {
-  const WorldSet bc = b & c;
   for (const Distribution& p : pi) {
-    if (p.prob(bc) <= 0.0) continue;
+    if (p.prob_intersection(b, c) <= 0.0) continue;  // P[B∩C], fused
     if (p.safety_gap(a, b) > kSafetyTolerance) return false;
   }
   return true;
@@ -37,7 +36,8 @@ bool safe_family_lifted(const std::vector<Distribution>& pi, const WorldSet& a,
 }
 
 bool safe_unrestricted_prob(const WorldSet& a, const WorldSet& b) {
-  return a.disjoint_with(b) || (a | b).is_universe();
+  // Thm. 3.11, both disjuncts as fused word scans.
+  return a.disjoint_with(b) || union_is_universe(a, b);
 }
 
 std::optional<Distribution> unrestricted_witness(const WorldSet& a,

@@ -4,13 +4,12 @@ namespace epi {
 
 std::optional<Distribution> supermodular_witness(const WorldSet& a,
                                                  const WorldSet& b) {
-  const WorldSet ab = a & b;
   const WorldSet outside = ~(a | b);
   const WorldSet sym_diff = a ^ b;  // (A-B) ∪ (B-A)
   std::optional<Distribution> result;
-  ab.for_each([&](World w1) {
+  visit_intersection(a, b, [&](World w1) {
     if (result) return;
-    outside.for_each([&](World w2) {
+    outside.visit([&](World w2) {
       if (result) return;
       const World meet = world_meet(w1, w2);
       const World join = world_join(w1, w2);

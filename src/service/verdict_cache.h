@@ -86,12 +86,12 @@ class VerdictCache {
 
   struct KeyHash {
     std::size_t operator()(const VerdictKey& k) const {
-      // The components are already avalanched; a cheap combine suffices.
-      std::uint64_t h = k.a_hash;
-      h ^= k.b_hash + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-      h ^= static_cast<std::uint64_t>(k.prior) + 0x9e3779b97f4a7c15ull +
-           (h << 6) + (h >> 2);
-      return static_cast<std::size_t>(h);
+      // The set hashes are already avalanched by the shared kernel; combine
+      // them (and the prior) with the kernel's avalanche combine so shard
+      // selection stays uniform.
+      return static_cast<std::size_t>(bits::hash_combine(
+          bits::hash_combine(k.a_hash, k.b_hash),
+          static_cast<std::uint64_t>(k.prior)));
     }
   };
 

@@ -1,18 +1,12 @@
 #include "worlds/finite_set.h"
 
-#include <bit>
 #include <stdexcept>
 
 #include "worlds/world_set.h"
 
 namespace epi {
-namespace {
 
-std::size_t words_for(std::size_t m) { return (m + 63) / 64; }
-
-}  // namespace
-
-FiniteSet::FiniteSet(std::size_t m) : m_(m), bits_(words_for(m), 0) {
+FiniteSet::FiniteSet(std::size_t m) : m_(m), bits_(bits::words_for(m), 0) {
   if (m == 0) throw std::invalid_argument("FiniteSet: empty universe");
 }
 
@@ -28,9 +22,7 @@ FiniteSet::FiniteSet(std::size_t m, const std::vector<std::size_t>& elements)
 
 FiniteSet FiniteSet::universe(std::size_t m) {
   FiniteSet s(m);
-  for (auto& word : s.bits_) word = ~std::uint64_t{0};
-  const std::size_t tail = m % 64;
-  if (tail != 0) s.bits_.back() = (std::uint64_t{1} << tail) - 1;
+  bits::fill_universe(s.bits_.data(), s.bits_.size(), m);
   return s;
 }
 
@@ -50,41 +42,14 @@ FiniteSet FiniteSet::random(std::size_t m, Rng& rng, double density) {
   return s;
 }
 
-bool FiniteSet::contains(std::size_t e) const {
-  if (e >= m_) return false;
-  return (bits_[e / 64] >> (e % 64)) & 1u;
-}
-
 void FiniteSet::insert(std::size_t e) {
   if (e >= m_) throw std::out_of_range("FiniteSet::insert out of range");
-  bits_[e / 64] |= std::uint64_t{1} << (e % 64);
+  bits::set(bits_.data(), e);
 }
 
 void FiniteSet::erase(std::size_t e) {
   if (e >= m_) throw std::out_of_range("FiniteSet::erase out of range");
-  bits_[e / 64] &= ~(std::uint64_t{1} << (e % 64));
-}
-
-bool FiniteSet::is_empty() const {
-  for (std::uint64_t word : bits_) {
-    if (word != 0) return false;
-  }
-  return true;
-}
-
-bool FiniteSet::is_universe() const {
-  const std::size_t tail = m_ % 64;
-  const std::size_t full_words = bits_.size() - (tail != 0 ? 1 : 0);
-  for (std::size_t i = 0; i < full_words; ++i) {
-    if (bits_[i] != ~std::uint64_t{0}) return false;
-  }
-  return tail == 0 || bits_.back() == (std::uint64_t{1} << tail) - 1;
-}
-
-std::size_t FiniteSet::count() const {
-  std::size_t c = 0;
-  for (std::uint64_t word : bits_) c += static_cast<std::size_t>(std::popcount(word));
-  return c;
+  bits::reset(bits_.data(), e);
 }
 
 void FiniteSet::check_compatible(const FiniteSet& o) const {
@@ -110,82 +75,62 @@ FiniteSet FiniteSet::operator^(const FiniteSet& o) const {
 
 FiniteSet FiniteSet::operator~() const {
   FiniteSet r(m_);
-  const FiniteSet u = universe(m_);
-  for (std::size_t i = 0; i < bits_.size(); ++i) r.bits_[i] = u.bits_[i] & ~bits_[i];
+  bits::complement(r.bits_.data(), bits_.data(), bits_.size(), m_);
   return r;
 }
 
 FiniteSet& FiniteSet::operator&=(const FiniteSet& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= o.bits_[i];
+  bits::and_assign(bits_.data(), o.bits_.data(), bits_.size());
   return *this;
 }
 FiniteSet& FiniteSet::operator|=(const FiniteSet& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= o.bits_[i];
+  bits::or_assign(bits_.data(), o.bits_.data(), bits_.size());
   return *this;
 }
 FiniteSet& FiniteSet::operator-=(const FiniteSet& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~o.bits_[i];
+  bits::and_not_assign(bits_.data(), o.bits_.data(), bits_.size());
   return *this;
 }
 FiniteSet& FiniteSet::operator^=(const FiniteSet& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] ^= o.bits_[i];
+  bits::xor_assign(bits_.data(), o.bits_.data(), bits_.size());
   return *this;
-}
-
-bool FiniteSet::operator==(const FiniteSet& o) const {
-  return m_ == o.m_ && bits_ == o.bits_;
 }
 
 bool FiniteSet::subset_of(const FiniteSet& o) const {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i] & ~o.bits_[i]) return false;
-  }
-  return true;
+  return bits::subset_of(bits_.data(), o.bits_.data(), bits_.size());
 }
 
 bool FiniteSet::disjoint_with(const FiniteSet& o) const {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i] & o.bits_[i]) return false;
-  }
-  return true;
+  return bits::disjoint(bits_.data(), o.bits_.data(), bits_.size());
 }
 
 std::size_t FiniteSet::min_element() const {
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i] != 0) {
-      return i * 64 + static_cast<std::size_t>(std::countr_zero(bits_[i]));
-    }
-  }
-  throw std::logic_error("min_element of empty FiniteSet");
+  const std::size_t first = bits::find_first(bits_.data(), bits_.size());
+  if (first == bits::npos) throw std::logic_error("min_element of empty FiniteSet");
+  return first;
 }
 
 std::vector<std::size_t> FiniteSet::to_vector() const {
   std::vector<std::size_t> v;
   v.reserve(count());
-  for_each([&v](std::size_t e) { v.push_back(e); });
+  visit([&v](std::size_t e) { v.push_back(e); });
   return v;
 }
 
 void FiniteSet::for_each(const std::function<void(std::size_t)>& fn) const {
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    std::uint64_t word = bits_[i];
-    while (word != 0) {
-      fn(i * 64 + static_cast<std::size_t>(std::countr_zero(word)));
-      word &= word - 1;
-    }
-  }
+  visit(fn);
 }
 
 std::string FiniteSet::to_string() const {
   std::string s = "{";
   bool first = true;
-  for_each([&](std::size_t e) {
+  visit([&](std::size_t e) {
     if (!first) s += ",";
     first = false;
     s += std::to_string(e);
@@ -193,9 +138,44 @@ std::string FiniteSet::to_string() const {
   return s + "}";
 }
 
+bool intersection_subset_of(const FiniteSet& s, const FiniteSet& b,
+                            const FiniteSet& a) {
+  if (s.universe_size() != b.universe_size() ||
+      s.universe_size() != a.universe_size()) {
+    throw std::invalid_argument("intersection_subset_of: mismatched universes");
+  }
+  return bits::intersection_subset_of(s.word_data(), b.word_data(), a.word_data(),
+                                      s.word_count());
+}
+
+std::size_t intersection_count(const FiniteSet& x, const FiniteSet& y) {
+  if (x.universe_size() != y.universe_size()) {
+    throw std::invalid_argument("intersection_count: mismatched universes");
+  }
+  return bits::intersection_count(x.word_data(), y.word_data(), x.word_count());
+}
+
+bool intersection_disjoint(const FiniteSet& x, const FiniteSet& y,
+                           const FiniteSet& z) {
+  if (x.universe_size() != y.universe_size() ||
+      x.universe_size() != z.universe_size()) {
+    throw std::invalid_argument("intersection_disjoint: mismatched universes");
+  }
+  return bits::intersection3_empty(x.word_data(), y.word_data(), z.word_data(),
+                                   x.word_count());
+}
+
+bool union_is_universe(const FiniteSet& x, const FiniteSet& y) {
+  if (x.universe_size() != y.universe_size()) {
+    throw std::invalid_argument("union_is_universe: mismatched universes");
+  }
+  return bits::union_is_universe(x.word_data(), y.word_data(), x.word_count(),
+                                 x.universe_size());
+}
+
 FiniteSet to_finite(const WorldSet& ws) {
   FiniteSet fs(ws.omega_size());
-  ws.for_each([&fs](World w) { fs.insert(w); });
+  ws.visit([&fs](World w) { fs.insert(w); });
   return fs;
 }
 
@@ -204,7 +184,7 @@ WorldSet to_world_set(const FiniteSet& fs, unsigned n) {
     throw std::invalid_argument("to_world_set: universe size is not 2^n");
   }
   WorldSet ws(n);
-  fs.for_each([&ws](std::size_t e) { ws.insert(static_cast<World>(e)); });
+  fs.visit([&ws](std::size_t e) { ws.insert(static_cast<World>(e)); });
   return ws;
 }
 

@@ -2,16 +2,22 @@
 // of the paper work over an abstract finite Omega (e.g. the pixel grid of
 // Example 4.9), so the possibilistic machinery is written against FiniteSet;
 // the hypercube-specific WorldSet converts losslessly (universe size 2^n).
+//
+// Like WorldSet, FiniteSet is a thin typed wrapper over the shared word-level
+// kernel in worlds/dense_bits.h — the Boolean algebra, scans, hashing and
+// fused predicates have exactly one implementation.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/rng.h"
+#include "worlds/dense_bits.h"
 
 namespace epi {
 
@@ -35,14 +41,25 @@ class FiniteSet {
   /// Size m of the universe (not of the subset).
   std::size_t universe_size() const { return m_; }
 
-  bool contains(std::size_t e) const;
+  bool contains(std::size_t e) const { return e < m_ && bits::test(bits_.data(), e); }
   void insert(std::size_t e);
   void erase(std::size_t e);
 
-  std::size_t count() const;
+  std::size_t count() const { return bits::count(bits_.data(), bits_.size()); }
   /// Early-exit word scans — no full popcount.
-  bool is_empty() const;
-  bool is_universe() const;
+  bool is_empty() const { return bits::is_empty(bits_.data(), bits_.size()); }
+  bool is_universe() const {
+    return bits::is_universe(bits_.data(), bits_.size(), m_);
+  }
+
+  /// 64-bit avalanche hash over the bit words (and m) via the shared kernel —
+  /// the same splitmix64-finalized scheme WorldSet::hash uses, so FiniteSet
+  /// can key memo tables (e.g. Section-4 interval computations) with the
+  /// same collision guarantees. Stable within a process run.
+  std::size_t hash() const {
+    return bits::hash(bits_.data(), bits_.size(),
+                      bits::mix64(static_cast<bits::Word>(m_)));
+  }
 
   FiniteSet operator&(const FiniteSet& o) const;
   FiniteSet operator|(const FiniteSet& o) const;
@@ -55,7 +72,9 @@ class FiniteSet {
   FiniteSet& operator-=(const FiniteSet& o);
   FiniteSet& operator^=(const FiniteSet& o);
 
-  bool operator==(const FiniteSet& o) const;
+  bool operator==(const FiniteSet& o) const {
+    return m_ == o.m_ && bits::equal(bits_.data(), o.bits_.data(), bits_.size());
+  }
   bool operator!=(const FiniteSet& o) const { return !(*this == o); }
 
   bool subset_of(const FiniteSet& o) const;
@@ -65,10 +84,28 @@ class FiniteSet {
   std::size_t min_element() const;
 
   std::vector<std::size_t> to_vector() const;
+
+  /// Calls fn(e) for every member in increasing order. The callback inlines
+  /// into the kernel word scan — use this (not for_each) in hot paths.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    bits::for_each_bit(bits_.data(), bits_.size(), fn);
+  }
+
+  /// Deprecated std::function shim kept for one release: it pays a
+  /// type-erased indirect call per element. Use visit() instead.
+  [[deprecated("use FiniteSet::visit(fn) — the templated visitor inlines into "
+               "the word scan")]]
   void for_each(const std::function<void(std::size_t)>& fn) const;
 
   /// "{0,3,7}".
   std::string to_string() const;
+
+  /// Kernel escape hatch: the backing words (words_for(m) of them, tail bits
+  /// zero). For fused multi-set scans and benchmarks; prefer the named
+  /// predicates below.
+  const std::uint64_t* word_data() const { return bits_.data(); }
+  std::size_t word_count() const { return bits_.size(); }
 
  private:
   void check_compatible(const FiniteSet& o) const;
@@ -76,6 +113,37 @@ class FiniteSet {
   std::size_t m_;
   std::vector<std::uint64_t> bits_;
 };
+
+/// Hash functor for unordered containers keyed by FiniteSet.
+struct FiniteSetHash {
+  std::size_t operator()(const FiniteSet& s) const { return s.hash(); }
+};
+
+// --- Fused predicates (one word scan, no intermediate FiniteSet) ------------
+
+/// (s ∩ b) ⊆ a — Def. 3.1 without materializing S∩B.
+bool intersection_subset_of(const FiniteSet& s, const FiniteSet& b,
+                            const FiniteSet& a);
+
+/// |x ∩ y|.
+std::size_t intersection_count(const FiniteSet& x, const FiniteSet& y);
+
+/// x ∩ y ∩ z = ∅.
+bool intersection_disjoint(const FiniteSet& x, const FiniteSet& y,
+                           const FiniteSet& z);
+
+/// x ∪ y = {0, ..., m-1}.
+bool union_is_universe(const FiniteSet& x, const FiniteSet& y);
+
+/// Calls fn(e) for every element of x ∩ y in increasing order, without
+/// materializing the intersection.
+template <typename Fn>
+void visit_intersection(const FiniteSet& x, const FiniteSet& y, Fn&& fn) {
+  if (x.universe_size() != y.universe_size()) {
+    throw std::invalid_argument("visit_intersection: mismatched universes");
+  }
+  bits::for_each_bit_and(x.word_data(), y.word_data(), x.word_count(), fn);
+}
 
 /// Views a WorldSet (subset of {0,1}^n) as a FiniteSet over 2^n elements.
 FiniteSet to_finite(const WorldSet& ws);

@@ -86,7 +86,7 @@ MatchVector TernaryTable::vector_of(std::size_t code) const {
 TernaryTable TernaryTable::box_counts(const WorldSet& x) {
   TernaryTable t(x.n());
   // Seed the star-free entries with the set indicator.
-  x.for_each([&t](World w) {
+  x.visit([&t](World w) {
     MatchVector mv;
     mv.values = w;
     t.values_[t.code_of(mv)] = 1;

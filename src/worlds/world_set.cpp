@@ -1,15 +1,11 @@
 #include "worlds/world_set.h"
 
-#include <bit>
 #include <stdexcept>
+
+#include "worlds/monotone.h"
 
 namespace epi {
 namespace {
-
-std::size_t words_for(unsigned n) {
-  const std::size_t size = std::size_t{1} << n;
-  return (size + 63) / 64;
-}
 
 void check_n(unsigned n) {
   if (n == 0 || n > kMaxCoordinates) {
@@ -43,7 +39,10 @@ World world_from_string(const std::string& bits) {
   return w;
 }
 
-WorldSet::WorldSet(unsigned n) : n_(n), bits_(words_for(n), 0) { check_n(n); }
+WorldSet::WorldSet(unsigned n)
+    : n_(n), bits_(bits::words_for(std::size_t{1} << (n <= kMaxCoordinates ? n : 0)), 0) {
+  check_n(n);
+}
 
 WorldSet::WorldSet(unsigned n, std::initializer_list<World> worlds) : WorldSet(n) {
   for (World w : worlds) insert(w);
@@ -55,11 +54,7 @@ WorldSet::WorldSet(unsigned n, const std::vector<World>& worlds) : WorldSet(n) {
 
 WorldSet WorldSet::universe(unsigned n) {
   WorldSet s(n);
-  const std::size_t size = s.omega_size();
-  for (std::size_t i = 0; i < s.bits_.size(); ++i) s.bits_[i] = ~std::uint64_t{0};
-  // Clear bits beyond 2^n in the last word (only possible when n < 6).
-  const unsigned tail = size % 64;
-  if (tail != 0) s.bits_.back() = (std::uint64_t{1} << tail) - 1;
+  bits::fill_universe(s.bits_.data(), s.bits_.size(), s.omega_size());
   return s;
 }
 
@@ -89,69 +84,14 @@ WorldSet WorldSet::from_strings(unsigned n, const std::vector<std::string>& worl
   return s;
 }
 
-bool WorldSet::contains(World w) const {
-  if (w >= omega_size()) return false;
-  return (bits_[w / 64] >> (w % 64)) & 1u;
-}
-
 void WorldSet::insert(World w) {
   if (w >= omega_size()) throw std::out_of_range("WorldSet::insert: world out of range");
-  bits_[w / 64] |= std::uint64_t{1} << (w % 64);
+  bits::set(bits_.data(), w);
 }
 
 void WorldSet::erase(World w) {
   if (w >= omega_size()) throw std::out_of_range("WorldSet::erase: world out of range");
-  bits_[w / 64] &= ~(std::uint64_t{1} << (w % 64));
-}
-
-std::size_t WorldSet::count() const {
-  std::size_t c = 0;
-  for (std::uint64_t word : bits_) c += static_cast<std::size_t>(std::popcount(word));
-  return c;
-}
-
-bool WorldSet::is_empty() const {
-  for (std::uint64_t word : bits_) {
-    if (word != 0) return false;
-  }
-  return true;
-}
-
-bool WorldSet::is_universe() const {
-  const unsigned tail = omega_size() % 64;
-  const std::size_t full_words = bits_.size() - (tail != 0 ? 1 : 0);
-  for (std::size_t i = 0; i < full_words; ++i) {
-    if (bits_[i] != ~std::uint64_t{0}) return false;
-  }
-  return tail == 0 || bits_.back() == (std::uint64_t{1} << tail) - 1;
-}
-
-namespace {
-
-/// splitmix64 finalizer: a full-avalanche 64-bit mix (every input bit flips
-/// each output bit with probability ~1/2).
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
-std::size_t WorldSet::hash() const {
-  // Each word is avalanched before combining, and the accumulator is
-  // finalized once more, so single-bit set differences spread over the whole
-  // 64-bit output. Plain FNV-1a (the previous scheme) left sparse sets
-  // clustered in the low bits, which the service verdict cache — keyed by
-  // (hash(A), hash(B), prior) — cannot afford.
-  std::uint64_t h = 0xcbf29ce484222325ull ^ (std::uint64_t{n_} << 32);
-  std::uint64_t position = 0;
-  for (std::uint64_t word : bits_) {
-    h = (h ^ mix64(word ^ position)) * 0x100000001b3ull;
-    ++position;
-  }
-  return static_cast<std::size_t>(mix64(h));
+  bits::reset(bits_.data(), w);
 }
 
 void WorldSet::check_compatible(const WorldSet& o) const {
@@ -177,82 +117,59 @@ WorldSet WorldSet::operator^(const WorldSet& o) const {
 
 WorldSet WorldSet::operator~() const {
   WorldSet r(n_);
-  const WorldSet u = universe(n_);
-  for (std::size_t i = 0; i < bits_.size(); ++i) r.bits_[i] = u.bits_[i] & ~bits_[i];
+  bits::complement(r.bits_.data(), bits_.data(), bits_.size(), omega_size());
   return r;
 }
 
 WorldSet& WorldSet::operator&=(const WorldSet& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= o.bits_[i];
+  bits::and_assign(bits_.data(), o.bits_.data(), bits_.size());
   return *this;
 }
 WorldSet& WorldSet::operator|=(const WorldSet& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= o.bits_[i];
+  bits::or_assign(bits_.data(), o.bits_.data(), bits_.size());
   return *this;
 }
 WorldSet& WorldSet::operator-=(const WorldSet& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~o.bits_[i];
+  bits::and_not_assign(bits_.data(), o.bits_.data(), bits_.size());
   return *this;
 }
 WorldSet& WorldSet::operator^=(const WorldSet& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] ^= o.bits_[i];
+  bits::xor_assign(bits_.data(), o.bits_.data(), bits_.size());
   return *this;
-}
-
-bool WorldSet::operator==(const WorldSet& o) const {
-  return n_ == o.n_ && bits_ == o.bits_;
 }
 
 bool WorldSet::subset_of(const WorldSet& o) const {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i] & ~o.bits_[i]) return false;
-  }
-  return true;
+  return bits::subset_of(bits_.data(), o.bits_.data(), bits_.size());
 }
 
 bool WorldSet::disjoint_with(const WorldSet& o) const {
   check_compatible(o);
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i] & o.bits_[i]) return false;
-  }
-  return true;
+  return bits::disjoint(bits_.data(), o.bits_.data(), bits_.size());
 }
 
 World WorldSet::min_world() const {
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i] != 0) {
-      return static_cast<World>(i * 64 + static_cast<unsigned>(std::countr_zero(bits_[i])));
-    }
-  }
-  throw std::logic_error("min_world of empty WorldSet");
+  const std::size_t first = bits::find_first(bits_.data(), bits_.size());
+  if (first == bits::npos) throw std::logic_error("min_world of empty WorldSet");
+  return static_cast<World>(first);
 }
 
 std::vector<World> WorldSet::to_vector() const {
   std::vector<World> v;
   v.reserve(count());
-  for_each([&v](World w) { v.push_back(w); });
+  visit([&v](World w) { v.push_back(w); });
   return v;
 }
 
-void WorldSet::for_each(const std::function<void(World)>& fn) const {
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    std::uint64_t word = bits_[i];
-    while (word != 0) {
-      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
-      fn(static_cast<World>(i * 64 + bit));
-      word &= word - 1;
-    }
-  }
-}
+void WorldSet::for_each(const std::function<void(World)>& fn) const { visit(fn); }
 
 WorldSet WorldSet::xor_with(World mask) const {
   WorldSet r(n_);
-  for_each([&r, mask](World w) { r.insert(w ^ mask); });
+  visit([&r, mask](World w) { r.insert(w ^ mask); });
   return r;
 }
 
@@ -262,28 +179,70 @@ WorldSet WorldSet::flip_coordinate(unsigned i) const {
 
 WorldSet WorldSet::setwise_meet(const WorldSet& o) const {
   check_compatible(o);
+  // Thm. 5.3 early exits: an empty operand yields the empty set; meeting
+  // with the full universe yields every u ∧ v = every subset of a member,
+  // i.e. the down closure — both avoid the O(|A|·|B|) pairwise loop.
+  if (is_empty() || o.is_empty()) return WorldSet(n_);
+  if (is_universe()) return down_closure(o);
+  if (o.is_universe()) return down_closure(*this);
   WorldSet r(n_);
-  for_each([&](World u) { o.for_each([&](World v) { r.insert(u & v); }); });
+  visit([&](World u) { o.visit([&](World v) { r.insert(u & v); }); });
   return r;
 }
 
 WorldSet WorldSet::setwise_join(const WorldSet& o) const {
   check_compatible(o);
+  if (is_empty() || o.is_empty()) return WorldSet(n_);
+  if (is_universe()) return up_closure(o);
+  if (o.is_universe()) return up_closure(*this);
   WorldSet r(n_);
-  for_each([&](World u) { o.for_each([&](World v) { r.insert(u | v); }); });
+  visit([&](World u) { o.visit([&](World v) { r.insert(u | v); }); });
   return r;
 }
 
 std::string WorldSet::to_string() const {
   std::string s = "{";
   bool first = true;
-  for_each([&](World w) {
+  visit([&](World w) {
     if (!first) s += ",";
     first = false;
     s += world_to_string(w, n_);
   });
   s += "}";
   return s;
+}
+
+bool intersection_subset_of(const WorldSet& s, const WorldSet& b,
+                            const WorldSet& a) {
+  if (s.n() != b.n() || s.n() != a.n()) {
+    throw std::invalid_argument("intersection_subset_of: mismatched n");
+  }
+  return bits::intersection_subset_of(s.word_data(), b.word_data(), a.word_data(),
+                                      s.word_count());
+}
+
+std::size_t intersection_count(const WorldSet& x, const WorldSet& y) {
+  if (x.n() != y.n()) throw std::invalid_argument("intersection_count: mismatched n");
+  return bits::intersection_count(x.word_data(), y.word_data(), x.word_count());
+}
+
+bool union_is_universe(const WorldSet& x, const WorldSet& y) {
+  if (x.n() != y.n()) throw std::invalid_argument("union_is_universe: mismatched n");
+  return bits::union_is_universe(x.word_data(), y.word_data(), x.word_count(),
+                                 x.omega_size());
+}
+
+double masked_weight_sum(const WorldSet& s, const double* weights) {
+  return bits::masked_weight_sum(s.word_data(), s.word_count(), weights);
+}
+
+double intersection_weight_sum(const WorldSet& x, const WorldSet& y,
+                               const double* weights) {
+  if (x.n() != y.n()) {
+    throw std::invalid_argument("intersection_weight_sum: mismatched n");
+  }
+  return bits::intersection_weight_sum(x.word_data(), y.word_data(),
+                                       x.word_count(), weights);
 }
 
 }  // namespace epi

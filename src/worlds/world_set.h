@@ -1,16 +1,25 @@
 // Dense sets of worlds (subsets of Omega = {0,1}^n) with full Boolean set
 // algebra. Knowledge sets, audited properties A and disclosed properties B
 // are all WorldSets.
+//
+// WorldSet is a thin typed wrapper over the shared word-level kernel in
+// worlds/dense_bits.h: every scan, Boolean operation, hash and fused
+// predicate delegates to the single kernel implementation FiniteSet also
+// wraps. Hot loops should use the templated visit() (the callback inlines
+// into the word scan) or the fused free functions below; the
+// std::function-based for_each survives one release as a deprecated shim.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/rng.h"
+#include "worlds/dense_bits.h"
 #include "worlds/world.h"
 
 namespace epi {
@@ -44,21 +53,27 @@ class WorldSet {
   /// |Omega| = 2^n.
   std::size_t omega_size() const { return std::size_t{1} << n_; }
 
-  bool contains(World w) const;
+  bool contains(World w) const {
+    return w < omega_size() && bits::test(bits_.data(), w);
+  }
   void insert(World w);
   void erase(World w);
 
   /// Number of worlds in the set.
-  std::size_t count() const;
+  std::size_t count() const { return bits::count(bits_.data(), bits_.size()); }
   /// Early-exit word scans — no full popcount.
-  bool is_empty() const;
-  bool is_universe() const;
+  bool is_empty() const { return bits::is_empty(bits_.data(), bits_.size()); }
+  bool is_universe() const {
+    return bits::is_universe(bits_.data(), bits_.size(), omega_size());
+  }
 
-  /// 64-bit avalanche hash over the bit words (and n): each word is passed
-  /// through a splitmix64 finalizer before combining, so single-world
-  /// differences flip ~half the output bits. Stable within a process run.
-  /// Keys (A, B)-pair memo tables and the service verdict cache.
-  std::size_t hash() const;
+  /// 64-bit avalanche hash over the bit words (and n) via the shared kernel:
+  /// each word is passed through a splitmix64 finalizer before combining, so
+  /// single-world differences flip ~half the output bits. Stable within a
+  /// process run. Keys (A, B)-pair memo tables and the service verdict cache.
+  std::size_t hash() const {
+    return bits::hash(bits_.data(), bits_.size(), bits::Word{n_} << 32);
+  }
 
   /// Set algebra. `operator-` is set difference, `operator~` complement in Omega.
   WorldSet operator&(const WorldSet& o) const;
@@ -72,7 +87,9 @@ class WorldSet {
   WorldSet& operator-=(const WorldSet& o);
   WorldSet& operator^=(const WorldSet& o);
 
-  bool operator==(const WorldSet& o) const;
+  bool operator==(const WorldSet& o) const {
+    return n_ == o.n_ && bits::equal(bits_.data(), o.bits_.data(), bits_.size());
+  }
   bool operator!=(const WorldSet& o) const { return !(*this == o); }
 
   /// True when *this is a subset of `o`.
@@ -86,7 +103,19 @@ class WorldSet {
   /// All member worlds in increasing order.
   std::vector<World> to_vector() const;
 
-  /// Calls fn(w) for every member world in increasing order.
+  /// Calls fn(w) for every member world in increasing order. The callback
+  /// inlines into the kernel word scan — use this (not for_each) in hot
+  /// paths.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    bits::for_each_bit(bits_.data(), bits_.size(),
+                       [&fn](std::size_t w) { fn(static_cast<World>(w)); });
+  }
+
+  /// Deprecated std::function shim kept for one release: it pays a
+  /// type-erased indirect call per world. Use visit() instead.
+  [[deprecated("use WorldSet::visit(fn) — the templated visitor inlines into "
+               "the word scan")]]
   void for_each(const std::function<void(World)>& fn) const;
 
   /// Image of the set under XOR with `mask` (the paper's z ^ A transform).
@@ -96,12 +125,22 @@ class WorldSet {
   WorldSet flip_coordinate(unsigned i) const;
 
   /// {u /\ v : u in *this, v in o} — the setwise meet A /\ B of Theorem 5.3.
+  /// Early-exits on empty operands (result is empty) and on a universe
+  /// operand (the result is the other operand's down closure) instead of
+  /// running the O(|A|·|B|) pairwise loop.
   WorldSet setwise_meet(const WorldSet& o) const;
   /// {u \/ v : u in *this, v in o} — the setwise join A \/ B of Theorem 5.3.
+  /// Early-exits symmetrically (universe operand: up closure).
   WorldSet setwise_join(const WorldSet& o) const;
 
   /// Comma-separated 0/1 strings, e.g. "{011,100}".
   std::string to_string() const;
+
+  /// Kernel escape hatch: the backing words (words_for(2^n) of them, tail
+  /// bits zero). For fused multi-set scans and benchmarks; prefer the named
+  /// predicates below.
+  const std::uint64_t* word_data() const { return bits_.data(); }
+  std::size_t word_count() const { return bits_.size(); }
 
  private:
   void check_compatible(const WorldSet& o) const;
@@ -114,5 +153,40 @@ class WorldSet {
 struct WorldSetHash {
   std::size_t operator()(const WorldSet& s) const { return s.hash(); }
 };
+
+// --- Fused predicates -------------------------------------------------------
+// Each answers a question about a derived set (S∩B, A∪B) in one word scan,
+// with no intermediate WorldSet allocated. All throw std::invalid_argument
+// on mismatched n (same contract as the binary operators).
+
+/// (s ∩ b) ⊆ a — Def. 3.1 without materializing S∩B.
+bool intersection_subset_of(const WorldSet& s, const WorldSet& b,
+                            const WorldSet& a);
+
+/// |x ∩ y|.
+std::size_t intersection_count(const WorldSet& x, const WorldSet& y);
+
+/// x ∪ y = Omega — the second disjunct of Theorem 3.11.
+bool union_is_universe(const WorldSet& x, const WorldSet& y);
+
+/// Sum of weights[w] over member worlds, in increasing world order (so
+/// floating-point accumulation is bit-identical to a per-world loop).
+/// `weights` must have at least omega_size() entries.
+double masked_weight_sum(const WorldSet& s, const double* weights);
+
+/// Sum of weights[w] over x ∩ y — P[A∩B] without materializing A∩B.
+double intersection_weight_sum(const WorldSet& x, const WorldSet& y,
+                               const double* weights);
+
+/// Calls fn(w) for every world of x ∩ y in increasing order, without
+/// materializing the intersection.
+template <typename Fn>
+void visit_intersection(const WorldSet& x, const WorldSet& y, Fn&& fn) {
+  if (x.n() != y.n() || x.word_count() != y.word_count()) {
+    throw std::invalid_argument("visit_intersection: mismatched n");
+  }
+  bits::for_each_bit_and(x.word_data(), y.word_data(), x.word_count(),
+                         [&fn](std::size_t w) { fn(static_cast<World>(w)); });
+}
 
 }  // namespace epi

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Byte-identical report parity (registered as CTest `audit_report_parity`):
+# audit_cli's output on the scenario corpus must match the golden reports
+# captured before the dense_bits kernel refactor, byte for byte — the
+# kernel's fused predicates and visitors must not change visiting order or
+# floating-point accumulation anywhere in the audit path. Run twice (1 and 4
+# worker threads) to pin thread-count determinism at the same time.
+# Usage: audit_report_parity.sh <path-to-audit_cli> <scenario-dir> <golden-dir>
+set -u
+
+cli="${1:?usage: audit_report_parity.sh <audit_cli> <scenario-dir> <golden-dir>}"
+scenarios="${2:?missing scenario dir}"
+golden="${3:?missing golden dir}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+check() {
+  name="$1"
+  shift
+  ref="$golden/$name.report.txt"
+  [ -f "$ref" ] || fail "missing golden report $ref"
+  for threads in 1 4; do
+    "$cli" --threads "$threads" "$@" > "$tmp/$name.$threads.txt" 2>&1 \
+      || fail "$name (--threads $threads) exited nonzero"
+    if ! cmp -s "$tmp/$name.$threads.txt" "$ref"; then
+      diff "$ref" "$tmp/$name.$threads.txt" | head -20 >&2
+      fail "$name (--threads $threads) differs from golden report"
+    fi
+  done
+  echo "  $name: byte-identical (threads 1, 4)"
+}
+
+check builtin
+check hospital "$scenarios/hospital.audit"
+check collusion "$scenarios/collusion.audit"
+
+echo "audit report parity OK"

@@ -123,7 +123,7 @@ TEST(Figure1, DeltaClassesAreDisjoint) {
   // Proposition 4.10: distinct classes are disjoint.
   Figure1 fig;
   IntervalOracle oracle(make_rect_family(fig.grid), FiniteSet::universe(fig.grid.size()));
-  fig.a.for_each([&](std::size_t w1) {
+  fig.a.visit([&](std::size_t w1) {
     auto classes = oracle.delta_partition(fig.a_bar, w1);
     for (std::size_t i = 0; i < classes.size(); ++i) {
       for (std::size_t j = i + 1; j < classes.size(); ++j) {
@@ -233,7 +233,7 @@ TEST(IntervalOracle, BetaCharacterizesSafetyOnRectangles) {
   for (int trial = 0; trial < 40; ++trial) {
     FiniteSet b = FiniteSet::random(g.size(), rng, 0.5);
     bool beta_safe = true;
-    (a & b).for_each([&](std::size_t w1) {
+    (a & b).visit([&](std::size_t w1) {
       if (!(*beta)[w1].subset_of(b)) beta_safe = false;
     });
     EXPECT_EQ(beta_safe, safe_possibilistic(k, a, b)) << "trial " << trial;

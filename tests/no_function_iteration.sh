@@ -1,0 +1,27 @@
+#!/bin/sh
+# Lint gate (registered as CTest `no_function_iteration`): hot paths must not
+# iterate sets through the deprecated std::function-based for_each — the
+# templated visit()/visit_intersection inline into the kernel word scan, and
+# the whole point of the dense_bits refactor is that no per-element
+# type-erased call survives in src/, bench/, or examples/. The shim
+# definitions in the two wrappers (and their one coverage test in tests/)
+# are the only allowed appearances.
+# Usage: no_function_iteration.sh <repo-root>
+set -u
+
+root="${1:?usage: no_function_iteration.sh <repo-root>}"
+
+bad=$(grep -rn -e '\.for_each(' -e '->for_each(' \
+  "$root/src" "$root/bench" "$root/examples" \
+  | grep -v 'src/worlds/world_set\.\(h\|cpp\)' \
+  | grep -v 'src/worlds/finite_set\.\(h\|cpp\)' \
+  || true)
+
+if [ -n "$bad" ]; then
+  echo "FAIL: std::function-based for_each iteration in hot paths:" >&2
+  echo "$bad" >&2
+  echo "use visit()/visit_intersection instead" >&2
+  exit 1
+fi
+
+echo "no std::function set iteration outside the deprecated shims OK"

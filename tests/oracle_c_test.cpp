@@ -34,7 +34,7 @@ TEST(OracleC, SmallerCIsMorePermissive) {
     if (big_c.is_empty()) big_c.insert(0);
     FiniteSet small_c = big_c;
     // Drop roughly half of big C (keep at least one world).
-    big_c.for_each([&](std::size_t w) {
+    big_c.visit([&](std::size_t w) {
       if (rng.next_bool() && small_c.count() > 1) small_c.erase(w);
     });
     IntervalOracle big(sigma, big_c);

@@ -231,7 +231,7 @@ TEST(UnrestrictedPrior, Theorem311KnownWorldPossibilistic) {
         if ((am >> e) & 1) a.insert(e);
         if ((bm >> e) & 1) b.insert(e);
       }
-      b.for_each([&](std::size_t actual) {  // omega* must satisfy B
+      b.visit([&](std::size_t actual) {  // omega* must satisfy B
         FiniteSet c = FiniteSet::singleton(m, actual);
         auto k = SecondLevelKnowledge::product(c, power.enumerate());
         EXPECT_EQ(safe_possibilistic(k, a, b),

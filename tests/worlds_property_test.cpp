@@ -86,10 +86,10 @@ TEST_P(WorldSetLaws, SetwiseMeetJoinMonotone) {
     const WorldSet join = a.setwise_join(b);
     // Element-wise verification is cubic; keep it to small universes.
     if (n() <= 5) {
-      meet.for_each([&](World m) {
+      meet.visit([&](World m) {
         bool ok = false;
-        a.for_each([&](World x) {
-          b.for_each([&](World y) { ok |= (x & y) == m; });
+        a.visit([&](World x) {
+          b.visit([&](World y) { ok |= (x & y) == m; });
         });
         EXPECT_TRUE(ok);
       });
@@ -160,6 +160,57 @@ INSTANTIATE_TEST_SUITE_P(Sizes, FiniteSetLaws,
                          ::testing::Values(std::size_t{1}, std::size_t{7},
                                            std::size_t{64}, std::size_t{65},
                                            std::size_t{200}));
+
+// Both set types wrap the same dense_bits kernel, so converting between them
+// must be lossless and must commute with every binary operation.
+class ConversionLaws : public ::testing::TestWithParam<unsigned> {
+ protected:
+  unsigned n() const { return GetParam(); }
+};
+
+TEST_P(ConversionLaws, RoundTripIsLossless) {
+  Rng rng(1100 + n());
+  for (int t = 0; t < 20; ++t) {
+    const WorldSet ws = WorldSet::random(n(), rng, 0.5);
+    const FiniteSet fs = to_finite(ws);
+    EXPECT_EQ(fs.universe_size(), ws.omega_size());
+    EXPECT_EQ(fs.count(), ws.count());
+    EXPECT_EQ(to_world_set(fs, n()), ws);
+    // And the other direction, starting from a FiniteSet.
+    const FiniteSet fs2 = FiniteSet::random(std::size_t{1} << n(), rng, 0.5);
+    EXPECT_EQ(to_finite(to_world_set(fs2, n())), fs2);
+  }
+}
+
+TEST_P(ConversionLaws, BinaryOpsCommuteWithConversion) {
+  Rng rng(1200 + n());
+  for (int t = 0; t < 20; ++t) {
+    const WorldSet a = WorldSet::random(n(), rng, 0.5);
+    const WorldSet b = WorldSet::random(n(), rng, 0.5);
+    const FiniteSet fa = to_finite(a);
+    const FiniteSet fb = to_finite(b);
+    EXPECT_EQ(to_finite(a & b), fa & fb);
+    EXPECT_EQ(to_finite(a | b), fa | fb);
+    EXPECT_EQ(to_finite(a - b), fa - fb);
+    EXPECT_EQ(to_finite(a ^ b), fa ^ fb);
+    EXPECT_EQ(to_finite(~a), ~fa);
+    // Predicates agree across the conversion too — same kernel underneath.
+    EXPECT_EQ(a.subset_of(b), fa.subset_of(fb));
+    EXPECT_EQ(a.disjoint_with(b), fa.disjoint_with(fb));
+    EXPECT_EQ(union_is_universe(a, b), union_is_universe(fa, fb));
+    EXPECT_EQ(intersection_count(a, b), intersection_count(fa, fb));
+  }
+}
+
+TEST_P(ConversionLaws, ConversionRejectsNonPowerOfTwoUniverse) {
+  if (n() >= 2) {
+    const FiniteSet odd((std::size_t{1} << n()) - 1);
+    EXPECT_THROW(to_world_set(odd, n()), std::invalid_argument);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllN, ConversionLaws,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 10u));
 
 }  // namespace
 }  // namespace epi

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 
+#include "worlds/finite_set.h"
 #include "worlds/match_vector.h"
 #include "worlds/monotone.h"
 #include "worlds/world.h"
@@ -278,7 +279,7 @@ TEST(TernaryTable, BoxCountsAgreeWithDirectEnumeration) {
     for (std::size_t code = 0; code < t.size(); ++code) {
       const MatchVector w = t.vector_of(code);
       std::int64_t direct = 0;
-      s.for_each([&](World v) { direct += refines(v, w); });
+      s.visit([&](World v) { direct += refines(v, w); });
       ASSERT_EQ(t.at(code), direct) << "w=" << w.to_string(5);
     }
   }
@@ -345,9 +346,9 @@ TEST(Monotone, ClosureIsIdempotentAndMinimal) {
     EXPECT_TRUE(s.subset_of(up));
     EXPECT_EQ(up_closure(up), up);
     // Minimality: every element of the closure dominates some element of s.
-    up.for_each([&](World w) {
+    up.visit([&](World w) {
       bool dominated = false;
-      s.for_each([&](World v) { dominated |= world_leq(v, w); });
+      s.visit([&](World v) { dominated |= world_leq(v, w); });
       EXPECT_TRUE(dominated);
     });
   }
@@ -378,6 +379,192 @@ TEST(Monotone, CoordinateDirections) {
   EXPECT_FALSE(d0.increasing);
   auto d1 = coordinate_direction(a, 1);
   EXPECT_TRUE(d1.constant());
+}
+
+// FiniteSet::hash goes through the same dense_bits kernel as WorldSet::hash;
+// the four suites below mirror the WorldSetHash coverage so both wrappers
+// carry the same collision guarantees.
+
+TEST(FiniteSetHash, AllSubsetsOfSmallUniverseDistinct) {
+  // Exhaustive: every one of the 256 subsets of an 8-element universe hashes
+  // differently.
+  std::map<std::size_t, FiniteSet> seen;
+  for (unsigned mask = 0; mask < 256; ++mask) {
+    FiniteSet s(8);
+    for (std::size_t e = 0; e < 8; ++e) {
+      if ((mask >> e) & 1u) s.insert(e);
+    }
+    auto [it, inserted] = seen.emplace(s.hash(), s);
+    EXPECT_TRUE(inserted) << "collision: " << s.to_string() << " vs "
+                          << it->second.to_string();
+  }
+}
+
+TEST(FiniteSetHash, NoCollisionsAcrossRandomMultiWordSets) {
+  // 4000 random sets over a 1024-element universe (16 words each).
+  Rng rng(7);
+  std::map<std::size_t, FiniteSet> seen;
+  for (int i = 0; i < 4000; ++i) {
+    FiniteSet s = FiniteSet::random(1024, rng, 0.5);
+    auto [it, inserted] = seen.emplace(s.hash(), s);
+    if (!inserted) {
+      EXPECT_EQ(it->second, s) << "distinct sets share hash " << s.hash();
+    }
+  }
+}
+
+TEST(FiniteSetHash, SingleElementFlipAvalanches) {
+  // Toggling one element must flip roughly half of the 64 output bits
+  // ([16, 48] on average), not just a low-bit cluster.
+  Rng rng(11);
+  double total_flipped = 0;
+  int samples = 0;
+  for (int i = 0; i < 200; ++i) {
+    FiniteSet s = FiniteSet::random(256, rng, 0.5);
+    const std::size_t before = s.hash();
+    const std::size_t e = static_cast<std::size_t>(i) % s.universe_size();
+    if (s.contains(e)) {
+      s.erase(e);
+    } else {
+      s.insert(e);
+    }
+    const std::uint64_t diff = static_cast<std::uint64_t>(before ^ s.hash());
+    total_flipped += static_cast<double>(__builtin_popcountll(diff));
+    ++samples;
+    EXPECT_NE(diff, 0u);
+  }
+  const double mean = total_flipped / samples;
+  EXPECT_GE(mean, 16.0);
+  EXPECT_LE(mean, 48.0);
+}
+
+TEST(FiniteSetHash, DependsOnWordPositionAndUniverse) {
+  // The same word pattern in different word positions must hash differently,
+  // and the universe size salts the seed: {0} over m=256 differs from {0}
+  // over m=257.
+  FiniteSet a(256), b(256), c(256);
+  a.insert(0);
+  b.insert(64);
+  c.insert(128);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_NE(b.hash(), c.hash());
+  FiniteSet d(257);
+  d.insert(0);
+  EXPECT_NE(a.hash(), d.hash());
+}
+
+TEST(FiniteSetHash, FunctorMatchesMethod) {
+  FiniteSet s(64, {3, 17, 42});
+  EXPECT_EQ(FiniteSetHash{}(s), s.hash());
+  WorldSet w(6, {3, 17, 42});
+  EXPECT_EQ(WorldSetHash{}(w), w.hash());
+}
+
+// --- Fused predicates vs their compositional definitions --------------------
+
+TEST(FusedPredicates, WorldSetAgreesWithComposition) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    const WorldSet s = WorldSet::random(7, rng);
+    const WorldSet b = WorldSet::random(7, rng);
+    const WorldSet a = WorldSet::random(7, rng, 0.7);
+    EXPECT_EQ(intersection_subset_of(s, b, a), (s & b).subset_of(a));
+    EXPECT_EQ(intersection_count(s, b), (s & b).count());
+    EXPECT_EQ(union_is_universe(s, b), (s | b).is_universe());
+    std::vector<World> fused, materialized;
+    visit_intersection(s, b, [&](World w) { fused.push_back(w); });
+    (s & b).visit([&](World w) { materialized.push_back(w); });
+    EXPECT_EQ(fused, materialized);
+  }
+}
+
+TEST(FusedPredicates, FiniteSetAgreesWithComposition) {
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) {
+    const FiniteSet s = FiniteSet::random(100, rng);
+    const FiniteSet b = FiniteSet::random(100, rng);
+    const FiniteSet a = FiniteSet::random(100, rng, 0.7);
+    EXPECT_EQ(intersection_subset_of(s, b, a), (s & b).subset_of(a));
+    EXPECT_EQ(intersection_count(s, b), (s & b).count());
+    EXPECT_EQ(intersection_disjoint(s, b, a), ((s & b) & a).is_empty());
+    EXPECT_EQ(union_is_universe(s, b), (s | b).is_universe());
+  }
+}
+
+TEST(FusedPredicates, MismatchedUniversesThrow) {
+  const WorldSet a(3), b(4);
+  EXPECT_THROW(intersection_subset_of(a, a, b), std::invalid_argument);
+  EXPECT_THROW(intersection_count(a, b), std::invalid_argument);
+  EXPECT_THROW(union_is_universe(a, b), std::invalid_argument);
+  const FiniteSet f(8), g(9);
+  EXPECT_THROW(intersection_subset_of(f, f, g), std::invalid_argument);
+  EXPECT_THROW(intersection_disjoint(f, g, f), std::invalid_argument);
+}
+
+TEST(FusedPredicates, WeightSumsBitIdenticalToPerWorldLoop) {
+  Rng rng(31);
+  const WorldSet a = WorldSet::random(8, rng);
+  const WorldSet b = WorldSet::random(8, rng);
+  std::vector<double> weights(a.omega_size());
+  for (double& w : weights) w = rng.next_double();
+  double direct = 0.0;
+  a.visit([&](World w) { direct += weights[w]; });
+  EXPECT_EQ(masked_weight_sum(a, weights.data()), direct);
+  double inter = 0.0;
+  (a & b).visit([&](World w) { inter += weights[w]; });
+  EXPECT_EQ(intersection_weight_sum(a, b, weights.data()), inter);
+}
+
+// --- Deprecated for_each shim ----------------------------------------------
+
+TEST(DeprecatedForEach, ShimStillVisitsInOrder) {
+  // The std::function shims survive one release for out-of-tree callers;
+  // they must keep visiting in increasing order.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  WorldSet s(4, {1, 9, 14});
+  std::vector<World> ws;
+  s.for_each([&](World w) { ws.push_back(w); });
+  EXPECT_EQ(ws, (std::vector<World>{1, 9, 14}));
+  FiniteSet f(20, {0, 7, 19});
+  std::vector<std::size_t> es;
+  f.for_each([&](std::size_t e) { es.push_back(e); });
+  EXPECT_EQ(es, (std::vector<std::size_t>{0, 7, 19}));
+#pragma GCC diagnostic pop
+}
+
+// --- Setwise meet/join early exits (Thm. 5.3) -------------------------------
+
+TEST(WorldSet, SetwiseMeetJoinEmptyOperand) {
+  const WorldSet empty(3);
+  const WorldSet b(3, {0b011, 0b101});
+  EXPECT_TRUE(empty.setwise_meet(b).is_empty());
+  EXPECT_TRUE(b.setwise_meet(empty).is_empty());
+  EXPECT_TRUE(empty.setwise_join(b).is_empty());
+  EXPECT_TRUE(b.setwise_join(empty).is_empty());
+}
+
+TEST(WorldSet, SetwiseMeetJoinUniverseOperandMatchesPairwise) {
+  // The universe early exit (down/up closure) must agree with the pairwise
+  // definition {u op v}. Compute the reference by brute force.
+  Rng rng(37);
+  for (int i = 0; i < 20; ++i) {
+    const WorldSet b = WorldSet::random(4, rng, 0.4);
+    if (b.is_empty()) continue;
+    const WorldSet omega = WorldSet::universe(4);
+    WorldSet meet_ref(4), join_ref(4);
+    omega.visit([&](World u) {
+      b.visit([&](World v) {
+        meet_ref.insert(u & v);
+        join_ref.insert(u | v);
+      });
+    });
+    EXPECT_EQ(omega.setwise_meet(b), meet_ref);
+    EXPECT_EQ(b.setwise_meet(omega), meet_ref);
+    EXPECT_EQ(omega.setwise_join(b), join_ref);
+    EXPECT_EQ(b.setwise_join(omega), join_ref);
+  }
 }
 
 }  // namespace
