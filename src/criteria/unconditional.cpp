@@ -11,7 +11,11 @@ bool unconditionally_safe(const WorldSet& a, const WorldSet& b) {
 bool unconditionally_safe_known_world(const WorldSet& a, const WorldSet& b,
                                       World actual_world) {
   if (unconditionally_safe(a, b)) return true;
-  return b.contains(actual_world) && !a.contains(actual_world);
+  // Safe iff omega* is not in A ∩ B: "omega* in B - A" covers the truthful
+  // disclosures the paper presumes, and omega* outside B makes Definition
+  // 3.1 vacuous (no admissible pair has its world in B). Found by the model
+  // checker — see the matching fix in possibilistic/safe.cpp.
+  return !(a.contains(actual_world) && b.contains(actual_world));
 }
 
 }  // namespace epi

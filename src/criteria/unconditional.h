@@ -15,7 +15,8 @@ bool unconditionally_safe(const WorldSet& a, const WorldSet& b);
 
 /// Theorem 3.11, second part: possibilistic privacy when the auditor knows
 /// the actual world (K = {omega*} (x) P(Omega)): additionally safe when
-/// omega* in B - A.
+/// omega* is not in A ∩ B — "omega* in B - A" for the truthful disclosures
+/// the paper presumes, and vacuously for omega* outside B.
 bool unconditionally_safe_known_world(const WorldSet& a, const WorldSet& b,
                                       World actual_world);
 

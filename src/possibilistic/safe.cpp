@@ -36,7 +36,13 @@ bool safe_unrestricted(const FiniteSet& a, const FiniteSet& b) {
 bool safe_unrestricted_known_world(const FiniteSet& a, const FiniteSet& b,
                                    std::size_t actual_world) {
   if (safe_unrestricted(a, b)) return true;
-  return b.contains(actual_world) && !a.contains(actual_world);
+  // Safe iff omega* is not in A ∩ B. The paper's statement lists the
+  // disjunct "omega* in B - A" under the implicit truthful-disclosure
+  // assumption omega* in B; when omega* is outside B entirely, no admissible
+  // pair (omega*, S) has its world in B and Definition 3.1 holds vacuously.
+  // (Found by the model checker: the original `omega* in B - A` test claimed
+  // unsafe for omega* outside B.)
+  return !(a.contains(actual_world) && b.contains(actual_world));
 }
 
 }  // namespace epi

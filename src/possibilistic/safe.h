@@ -32,7 +32,10 @@ bool safe_c_sigma(const FiniteSet& c, const SigmaFamily& sigma, const FiniteSet&
 bool safe_unrestricted(const FiniteSet& a, const FiniteSet& b);
 
 /// Theorem 3.11, second part: Safe_K(A,B) for K = {omega*} (x) P(Omega) iff
-/// A ∩ B = {}, or A ∪ B = Omega, or omega* in B - A.
+/// A ∩ B = {}, or A ∪ B = Omega, or omega* not in A ∩ B. (The paper writes
+/// the last disjunct as "omega* in B - A" under the truthful-disclosure
+/// assumption omega* in B; for omega* outside B Definition 3.1 is vacuous,
+/// hence safe.)
 bool safe_unrestricted_known_world(const FiniteSet& a, const FiniteSet& b,
                                    std::size_t actual_world);
 

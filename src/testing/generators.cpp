@@ -1,0 +1,262 @@
+#include "testing/generators.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epi {
+namespace testing {
+namespace {
+
+/// Shared density palette: the first entries are the exact corners the
+/// uniform sampler essentially never hits.
+enum class SetShape {
+  kEmpty,
+  kUniverse,
+  kSingleton,
+  kCoSingleton,
+  kBernoulli,  // density drawn from {0.1, 0.3, 0.5, 0.7, 0.9}
+};
+
+SetShape random_shape(Rng& rng) {
+  switch (rng.next_below(10)) {
+    case 0: return SetShape::kEmpty;
+    case 1: return SetShape::kUniverse;
+    case 2: return SetShape::kSingleton;
+    case 3: return SetShape::kCoSingleton;
+    default: return SetShape::kBernoulli;
+  }
+}
+
+double random_density(Rng& rng) {
+  static constexpr double kDensities[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+  return kDensities[rng.next_below(5)];
+}
+
+}  // namespace
+
+FiniteSet random_finite_set(Rng& rng, std::size_t m) {
+  switch (random_shape(rng)) {
+    case SetShape::kEmpty: return FiniteSet::empty(m);
+    case SetShape::kUniverse: return FiniteSet::universe(m);
+    case SetShape::kSingleton: return FiniteSet::singleton(m, rng.next_below(m));
+    case SetShape::kCoSingleton: {
+      FiniteSet s = FiniteSet::universe(m);
+      s.erase(rng.next_below(m));
+      return s;
+    }
+    case SetShape::kBernoulli: break;
+  }
+  return FiniteSet::random(m, rng, random_density(rng));
+}
+
+WorldSet random_world_set(Rng& rng, unsigned n) {
+  switch (random_shape(rng)) {
+    case SetShape::kEmpty: return WorldSet::empty(n);
+    case SetShape::kUniverse: return WorldSet::universe(n);
+    case SetShape::kSingleton:
+      return WorldSet::singleton(
+          n, static_cast<World>(rng.next_below(std::size_t{1} << n)));
+    case SetShape::kCoSingleton: {
+      WorldSet s = WorldSet::universe(n);
+      s.erase(static_cast<World>(rng.next_below(std::size_t{1} << n)));
+      return s;
+    }
+    case SetShape::kBernoulli: break;
+  }
+  return WorldSet::random(n, rng, random_density(rng));
+}
+
+std::vector<FiniteSet> random_closed_family(Rng& rng, std::size_t m) {
+  std::vector<FiniteSet> members;
+  members.push_back(FiniteSet::universe(m));
+  const std::size_t extra = 1 + rng.next_below(5);
+  for (std::size_t i = 0; i < extra; ++i) {
+    FiniteSet s = random_finite_set(rng, m);
+    if (s.is_empty()) continue;  // empty knowledge is inconsistent (Rem. 2.3)
+    if (std::find(members.begin(), members.end(), s) == members.end()) {
+      members.push_back(std::move(s));
+    }
+  }
+  // Close under pairwise intersection (fixpoint): Definition 4.3's property,
+  // constructed rather than assumed.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    const std::size_t count = members.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t j = i + 1; j < count; ++j) {
+        FiniteSet meet = members[i] & members[j];
+        if (meet.is_empty()) continue;
+        if (std::find(members.begin(), members.end(), meet) == members.end()) {
+          members.push_back(std::move(meet));
+          grew = true;
+        }
+      }
+    }
+  }
+  return members;
+}
+
+namespace {
+
+void split_group(LaminarSigma& tree, LaminarSigma::NodeId node,
+                 const FiniteSet& members, Rng& rng) {
+  const std::size_t count = members.count();
+  if (count <= 1) return;
+  if (rng.next_below(4) == 0) return;  // stop early with probability 1/4
+  // Partition the members into two non-empty halves at a random pivot.
+  const std::vector<std::size_t> elements = members.to_vector();
+  const std::size_t pivot = 1 + rng.next_below(count - 1);
+  FiniteSet left(members.universe_size());
+  FiniteSet right(members.universe_size());
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    (i < pivot ? left : right).insert(elements[i]);
+  }
+  const auto left_id = tree.add_group(node, left);
+  const auto right_id = tree.add_group(node, right);
+  split_group(tree, left_id, left, rng);
+  split_group(tree, right_id, right, rng);
+}
+
+}  // namespace
+
+LaminarSigma random_laminar(Rng& rng, std::size_t m) {
+  LaminarSigma tree(m);
+  split_group(tree, LaminarSigma::kRoot, FiniteSet::universe(m), rng);
+  return tree;
+}
+
+ExactDistribution random_exact_distribution(Rng& rng, unsigned n) {
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<std::int64_t> numerators(size);
+  std::int64_t total = 0;
+  for (std::int64_t& v : numerators) {
+    v = static_cast<std::int64_t>(rng.next_below(17));
+    total += v;
+  }
+  if (total == 0) {
+    numerators[rng.next_below(size)] = 1;
+    total = 1;
+  }
+  std::vector<Rational> weights;
+  weights.reserve(size);
+  for (const std::int64_t v : numerators) weights.emplace_back(v, total);
+  return ExactDistribution(n, std::move(weights));
+}
+
+std::vector<Rational> random_rational_params(Rng& rng, unsigned n) {
+  std::vector<Rational> params;
+  params.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    params.emplace_back(static_cast<std::int64_t>(rng.next_below(9)), 8);
+  }
+  return params;
+}
+
+ExactDistribution random_exact_product(Rng& rng, unsigned n) {
+  return ExactDistribution::product(random_rational_params(rng, n));
+}
+
+ExactDistribution random_exact_log_supermodular(Rng& rng, unsigned n) {
+  if (n > 5) {
+    throw std::invalid_argument(
+        "random_exact_log_supermodular: n > 5 risks rational overflow");
+  }
+  // Fields f_i in {1/2, 1, 3/2, 2}; couplings g_ij in {1, 3/2, 2} (>= 1,
+  // which is what makes log w supermodular).
+  static const Rational kFields[] = {Rational(1, 2), Rational(1),
+                                     Rational(3, 2), Rational(2)};
+  static const Rational kCouplings[] = {Rational(1), Rational(3, 2),
+                                        Rational(2)};
+  std::vector<Rational> f(n);
+  for (Rational& v : f) v = kFields[rng.next_below(4)];
+  std::vector<std::vector<Rational>> g(n, std::vector<Rational>(n, Rational(1)));
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) {
+      g[i][j] = kCouplings[rng.next_below(3)];
+    }
+  }
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<Rational> weights(size, Rational(1));
+  Rational total;
+  for (std::size_t w = 0; w < size; ++w) {
+    for (unsigned i = 0; i < n; ++i) {
+      if (!world_bit(static_cast<World>(w), i)) continue;
+      weights[w] *= f[i];
+      for (unsigned j = i + 1; j < n; ++j) {
+        if (world_bit(static_cast<World>(w), j)) weights[w] *= g[i][j];
+      }
+    }
+    total += weights[w];
+  }
+  for (Rational& v : weights) v /= total;
+  return ExactDistribution(n, std::move(weights));
+}
+
+std::string random_query_text(Rng& rng, const std::vector<std::string>& records,
+                              unsigned depth) {
+  if (records.empty()) {
+    throw std::invalid_argument("random_query_text: no records");
+  }
+  // Leaves: atoms dominate, with the occasional constant and counting query.
+  if (depth == 0 || rng.next_below(3) == 0) {
+    switch (rng.next_below(8)) {
+      case 0: return "true";
+      case 1: return "false";
+      case 2:
+      case 3: {
+        // atleast/atmost over a random non-empty prefix-shuffled subset.
+        const bool least = rng.next_bool();
+        const std::size_t count = 1 + rng.next_below(records.size());
+        const std::vector<std::size_t> perm = rng.permutation(records.size());
+        std::string text = least ? "atleast(" : "atmost(";
+        text += std::to_string(rng.next_below(count + 1));
+        for (std::size_t i = 0; i < count; ++i) {
+          text += ", " + records[perm[i]];
+        }
+        return text + ")";
+      }
+      default: return records[rng.next_below(records.size())];
+    }
+  }
+  switch (rng.next_below(4)) {
+    case 0: return "!" + random_query_text(rng, records, depth - 1);
+    case 1:
+      return "(" + random_query_text(rng, records, depth - 1) + " & " +
+             random_query_text(rng, records, depth - 1) + ")";
+    case 2:
+      return "(" + random_query_text(rng, records, depth - 1) + " | " +
+             random_query_text(rng, records, depth - 1) + ")";
+    default:
+      return "(" + random_query_text(rng, records, depth - 1) + " -> " +
+             random_query_text(rng, records, depth - 1) + ")";
+  }
+}
+
+FiniteSet drop_world(const FiniteSet& s, std::size_t dropped) {
+  if (s.universe_size() < 2 || dropped >= s.universe_size()) {
+    throw std::invalid_argument("drop_world: bad universe or element");
+  }
+  FiniteSet out(s.universe_size() - 1);
+  for (std::size_t e = 0; e < s.universe_size(); ++e) {
+    if (e == dropped || !s.contains(e)) continue;
+    out.insert(e < dropped ? e : e - 1);
+  }
+  return out;
+}
+
+WorldSet restrict_coordinate(const WorldSet& s, unsigned i) {
+  if (s.n() < 2 || i >= s.n()) {
+    throw std::invalid_argument("restrict_coordinate: bad n or coordinate");
+  }
+  WorldSet out(s.n() - 1);
+  const World low_mask = (World{1} << i) - 1;
+  s.visit([&](World w) {
+    if (world_bit(w, i)) return;  // keep the coordinate-0 slice only
+    out.insert((w & low_mask) | ((w >> (i + 1)) << i));
+  });
+  return out;
+}
+
+}  // namespace testing
+}  // namespace epi

@@ -1,0 +1,160 @@
+// Seeded random scenario generators for the model-checking harness, plus the
+// deterministic shrinker that reduces a failing case to a minimal
+// counterexample. Everything is a pure function of the epi::Rng handed in,
+// so a (seed, case) pair replays bit-identically across runs and platforms
+// (docs/testing.md shows the CLI repro workflow).
+//
+// The generators deliberately over-sample the degenerate corners (empty set,
+// full universe, singletons, complements) where quantifier slips in the
+// criteria hide: a uniform-density sampler almost never produces A ∪ B =
+// Omega, which is half of Theorem 3.11.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "possibilistic/laminar.h"
+#include "probabilistic/exact.h"
+#include "util/rng.h"
+#include "worlds/finite_set.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace testing {
+
+// --- Random sets ------------------------------------------------------------
+
+/// A random subset of {0,...,m-1} drawn from a palette of densities that
+/// includes the exact corners: empty, universe, singleton, co-singleton, and
+/// Bernoulli densities {0.1, 0.3, 0.5, 0.7, 0.9}.
+FiniteSet random_finite_set(Rng& rng, std::size_t m);
+
+/// Same palette over Omega = {0,1}^n.
+WorldSet random_world_set(Rng& rng, unsigned n);
+
+// --- Random knowledge families ---------------------------------------------
+
+/// A random intersection-closed explicit family over {0,...,m-1}: a handful
+/// of random member sets (universe always included, so every world has at
+/// least one admissible knowledge set), closed under pairwise intersection.
+std::vector<FiniteSet> random_closed_family(Rng& rng, std::size_t m);
+
+/// A random laminar hierarchy over {0,...,m-1}: recursively partitions
+/// random groups until they reach singleton size or the coin says stop.
+LaminarSigma random_laminar(Rng& rng, std::size_t m);
+
+// --- Random exact-rational priors -------------------------------------------
+
+/// A random exact distribution over {0,1}^n: integer weights in [0, 16]
+/// (at least one positive) over denominator = their sum.
+ExactDistribution random_exact_distribution(Rng& rng, unsigned n);
+
+/// Random Bernoulli parameters in {0, 1/8, ..., 8/8} for a product prior.
+std::vector<Rational> random_rational_params(Rng& rng, unsigned n);
+
+/// A random member of Pi_m0: the exact product prior over
+/// random_rational_params.
+ExactDistribution random_exact_product(Rng& rng, unsigned n);
+
+/// A random member of Pi_m+ with exact rational weights: a multiplicative
+/// Ising model w(omega) = prod_i f_i^{omega_i} * prod_{i<j} g_ij^{omega_i
+/// omega_j} with rational f_i > 0 and couplings g_ij >= 1, normalized
+/// exactly. log w is supermodular because every pairwise coupling is
+/// nonneg., so the distribution is log-supermodular (Definition 5.1); the
+/// modelcheck suite re-verifies via ExactDistribution::is_log_supermodular.
+/// Requires n <= 5 to keep the 64-bit rationals far from overflow.
+ExactDistribution random_exact_log_supermodular(Rng& rng, unsigned n);
+
+// --- Random queries ---------------------------------------------------------
+
+/// A random query string over the given record names, drawn from the
+/// db/parser.h grammar (atoms, !, &, |, ->, true/false, atleast/atmost).
+/// Always parseable; depth is bounded by `depth`.
+std::string random_query_text(Rng& rng, const std::vector<std::string>& records,
+                              unsigned depth = 3);
+
+// --- Deterministic shrinking ------------------------------------------------
+
+/// Greedily removes elements from (a, b) while `still_fails(a, b)` holds,
+/// lowest elements first, until no single-element removal keeps the failure
+/// alive. Deterministic: the result depends only on the inputs. SetT is
+/// FiniteSet or WorldSet (anything with to_vector / erase / contains).
+template <typename SetT, typename Pred>
+std::pair<SetT, SetT> shrink_pair(SetT a, SetT b, Pred&& still_fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (SetT* side : {&a, &b}) {
+      for (const auto e : side->to_vector()) {
+        SetT saved = *side;
+        side->erase(e);
+        if (still_fails(a, b)) {
+          progress = true;  // keep the smaller set
+        } else {
+          *side = std::move(saved);
+        }
+      }
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+/// Re-indexes `s` into a universe with element `dropped` removed (elements
+/// above shift down by one). Helper for shrink_universe.
+FiniteSet drop_world(const FiniteSet& s, std::size_t dropped);
+
+/// The half of Omega = {0,1}^n with coordinate `i` equal to 0, re-indexed
+/// into {0,1}^(n-1). Helper for shrink_coordinates.
+WorldSet restrict_coordinate(const WorldSet& s, unsigned i);
+
+/// Shrinks the *universe* of a failing FiniteSet pair: repeatedly drops any
+/// single world whose removal keeps `still_fails(a', b')` true (highest
+/// world first, deterministic). The predicate must accept pairs over any
+/// universe size.
+template <typename Pred>
+std::pair<FiniteSet, FiniteSet> shrink_universe(FiniteSet a, FiniteSet b,
+                                                Pred&& still_fails) {
+  bool progress = true;
+  while (progress && a.universe_size() > 1) {
+    progress = false;
+    for (std::size_t e = a.universe_size(); e-- > 0;) {
+      FiniteSet na = drop_world(a, e);
+      FiniteSet nb = drop_world(b, e);
+      if (still_fails(na, nb)) {
+        a = std::move(na);
+        b = std::move(nb);
+        progress = true;
+        break;  // universe size changed; restart the scan
+      }
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+/// Shrinks the *dimension* of a failing WorldSet pair: repeatedly projects
+/// out any coordinate (fixing it to 0) whose removal keeps the failure
+/// alive. The predicate must accept pairs of any n >= 1.
+template <typename Pred>
+std::pair<WorldSet, WorldSet> shrink_coordinates(WorldSet a, WorldSet b,
+                                                 Pred&& still_fails) {
+  bool progress = true;
+  while (progress && a.n() > 1) {
+    progress = false;
+    for (unsigned i = a.n(); i-- > 0;) {
+      WorldSet na = restrict_coordinate(a, i);
+      WorldSet nb = restrict_coordinate(b, i);
+      if (still_fails(na, nb)) {
+        a = std::move(na);
+        b = std::move(nb);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace testing
+}  // namespace epi

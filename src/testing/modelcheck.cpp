@@ -1,0 +1,799 @@
+#include "testing/modelcheck.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "criteria/pipeline.h"
+#include "criteria/unconditional.h"
+#include "db/parser.h"
+#include "possibilistic/intervals.h"
+#include "possibilistic/laminar.h"
+#include "possibilistic/rectangles.h"
+#include "possibilistic/safe.h"
+#include "possibilistic/subcubes.h"
+#include "probabilistic/modularity.h"
+#include "probabilistic/safe.h"
+#include "service/audit_service.h"
+#include "testing/generators.h"
+#include "testing/oracle.h"
+#include "worlds/dense_bits.h"
+
+namespace epi {
+namespace testing {
+namespace {
+
+// --- Case plumbing ----------------------------------------------------------
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (; *s; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 1099511628211ull;
+  return h;
+}
+
+/// Every (seed, check, case) triple gets its own Rng, so one case replays
+/// identically whether the whole suite or just that case runs.
+Rng case_rng(std::uint64_t seed, const char* check, std::uint64_t case_index) {
+  return Rng(bits::hash_combine(bits::hash_combine(seed, fnv1a(check)),
+                                case_index));
+}
+
+/// One scenario's verdicts. Each check function appends a description per
+/// disagreement; the driver attaches the repro command line.
+using Failures = std::vector<std::string>;
+
+std::string verdict_name(Verdict v) { return to_string(v); }
+
+std::string pair_text(const FiniteSet& a, const FiniteSet& b) {
+  std::ostringstream os;
+  os << "m=" << a.universe_size() << " A=" << a.to_string()
+     << " B=" << b.to_string();
+  return os.str();
+}
+
+std::string pair_text(const WorldSet& a, const WorldSet& b) {
+  std::ostringstream os;
+  os << "n=" << a.n() << " A=" << a.to_string() << " B=" << b.to_string();
+  return os.str();
+}
+
+// --- Check 1: possibilistic-unrestricted (Def. 3.1 vs Theorem 3.11) ---------
+
+void check_possibilistic_unrestricted(Rng& rng, const ModelCheckOptions& opt,
+                                      Failures& out) {
+  const std::size_t m = 1 + rng.next_below(opt.max_m);
+  FiniteSet a = random_finite_set(rng, m);
+  FiniteSet b = random_finite_set(rng, m);
+
+  const PossOracleResult oracle = oracle_possibilistic_full(a, b);
+  if (safe_unrestricted(a, b) != oracle.safe) {
+    auto disagrees = [](const FiniteSet& na, const FiniteSet& nb) {
+      return safe_unrestricted(na, nb) != oracle_possibilistic_full(na, nb).safe;
+    };
+    auto [ua, ub] = shrink_universe(a, b, disagrees);
+    auto [sa, sb] = shrink_pair(ua, ub, disagrees);
+    std::ostringstream os;
+    os << "safe_unrestricted=" << !oracle.safe << " but Def. 3.1 oracle says "
+       << (oracle.safe ? "safe" : "unsafe") << "; " << pair_text(a, b)
+       << "; shrunk: " << pair_text(sa, sb);
+    out.push_back(os.str());
+  }
+
+  // The library's general Def. 3.1 evaluator over the explicit full K must
+  // agree with the oracle's own enumeration, and its violation witness must
+  // actually violate (m <= 7 keeps the materialized K small).
+  if (m <= 7) {
+    const SecondLevelKnowledge k = SecondLevelKnowledge::full(m);
+    if (safe_possibilistic(k, a, b) != oracle.safe) {
+      out.push_back("safe_possibilistic(full K) disagrees with oracle; " +
+                    pair_text(a, b));
+    }
+    if (const auto v = find_possibilistic_violation(k, a, b)) {
+      bool s_subset_a = true, s_cap_b_subset_a = true;
+      for (std::size_t e = 0; e < m; ++e) {
+        if (!v->knowledge.contains(e) || a.contains(e)) continue;
+        s_subset_a = false;
+        if (b.contains(e)) s_cap_b_subset_a = false;
+      }
+      if (!(b.contains(v->world) && s_cap_b_subset_a && !s_subset_a)) {
+        out.push_back("find_possibilistic_violation returned a non-violating "
+                      "pair; " + pair_text(a, b));
+      }
+    } else if (!oracle.safe) {
+      out.push_back("oracle found a violation but "
+                    "find_possibilistic_violation did not; " + pair_text(a, b));
+    }
+  }
+
+  // Known-world variant (Theorem 3.11, second part) on a few sampled worlds.
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t w = rng.next_below(m);
+    if (safe_unrestricted_known_world(a, b, w) !=
+        oracle_possibilistic_known_world(a, b, w).safe) {
+      std::ostringstream os;
+      os << "safe_unrestricted_known_world disagrees with the Def. 3.1 "
+            "oracle at world " << w << "; " << pair_text(a, b);
+      out.push_back(os.str());
+      break;
+    }
+  }
+}
+
+// --- Check 2: probabilistic-unrestricted (Def. 3.4 vs Theorem 3.11) ---------
+
+void check_probabilistic_unrestricted(Rng& rng, const ModelCheckOptions& opt,
+                                      Failures& out) {
+  const unsigned n = 1 + static_cast<unsigned>(rng.next_below(opt.max_n));
+  WorldSet a = random_world_set(rng, n);
+  WorldSet b = random_world_set(rng, n);
+
+  const UnrestrictedProbOracleResult oracle = oracle_unrestricted_prob(a, b);
+  auto shrunk_text = [&](auto&& disagrees) {
+    auto [ca, cb] = shrink_coordinates(a, b, disagrees);
+    auto [sa, sb] = shrink_pair(ca, cb, disagrees);
+    return pair_text(sa, sb);
+  };
+
+  if (unconditionally_safe(a, b) != oracle.safe) {
+    auto bad = [](const WorldSet& x, const WorldSet& y) {
+      return unconditionally_safe(x, y) != oracle_unrestricted_prob(x, y).safe;
+    };
+    out.push_back("unconditionally_safe disagrees with the two-point-prior "
+                  "oracle; " + pair_text(a, b) + "; shrunk: " +
+                  shrunk_text(bad));
+  }
+  if (safe_unrestricted_prob(a, b) != oracle.safe) {
+    out.push_back("safe_unrestricted_prob disagrees with the oracle; " +
+                  pair_text(a, b));
+  }
+
+  // The unrestricted cascade is exact: always definite, matching, and its
+  // Unsafe witness priors must have a strictly positive gap.
+  const PipelineResult r =
+      run_criteria(unrestricted_criteria(), a, b, "exhausted");
+  if (r.verdict == Verdict::kUnknown ||
+      (r.verdict == Verdict::kSafe) != oracle.safe) {
+    out.push_back("unrestricted_criteria verdict " + verdict_name(r.verdict) +
+                  " vs oracle " + (oracle.safe ? "safe" : "unsafe") + "; " +
+                  pair_text(a, b));
+  }
+  if (r.verdict == Verdict::kUnsafe) {
+    if (!r.witness_distribution) {
+      out.push_back("unrestricted Unsafe verdict without a witness prior; " +
+                    pair_text(a, b));
+    } else if (oracle_double_gap(*r.witness_distribution, a, b) <= 0.0) {
+      out.push_back("unrestricted Unsafe witness prior has non-positive "
+                    "gap; " + pair_text(a, b));
+    }
+  }
+  const std::optional<Distribution> w = unrestricted_witness(a, b);
+  if (w.has_value() == oracle.safe) {
+    out.push_back("unrestricted_witness presence contradicts the oracle; " +
+                  pair_text(a, b));
+  } else if (w && oracle_double_gap(*w, a, b) <= 0.0) {
+    out.push_back("unrestricted_witness gap is not positive; " +
+                  pair_text(a, b));
+  }
+
+  // Theorem 3.11 equates the possibilistic and probabilistic unrestricted
+  // predicates; cross-check the two *oracles* against each other (n <= 3
+  // keeps the 2^(2^n) possibilistic enumeration small).
+  if (n <= 3) {
+    const FiniteSet fa = to_finite(a), fb = to_finite(b);
+    if (oracle_possibilistic_full(fa, fb).safe != oracle.safe) {
+      out.push_back("possibilistic and probabilistic oracles disagree on an "
+                    "unrestricted pair; " + pair_text(a, b));
+    }
+    const World star = static_cast<World>(rng.next_below(a.omega_size()));
+    if (unconditionally_safe_known_world(a, b, star) !=
+        oracle_possibilistic_known_world(fa, fb, star).safe) {
+      std::ostringstream os;
+      os << "unconditionally_safe_known_world disagrees with the oracle at "
+            "world " << star << "; " << pair_text(a, b);
+      out.push_back(os.str());
+    }
+  }
+}
+
+// --- Check 3: sigma-intervals (Section 4.1 vs Def. 3.1 over C x Sigma) ------
+
+void check_sigma_intervals(Rng& rng, const ModelCheckOptions& opt,
+                           Failures& out) {
+  // Draw a knowledge family: explicit intersection-closed, laminar hierarchy,
+  // the full power set, or Example 4.9's integer-rectangle grid.
+  std::shared_ptr<const SigmaFamily> family;
+  const char* kind;
+  std::size_t m;
+  switch (rng.next_below(4)) {
+    case 0: {
+      m = 2 + rng.next_below(opt.max_m - 1);
+      family = std::make_shared<ExplicitSigma>(random_closed_family(rng, m));
+      kind = "explicit-closure";
+      break;
+    }
+    case 1: {
+      m = 2 + rng.next_below(opt.max_m - 1);
+      family = std::make_shared<LaminarSigma>(random_laminar(rng, m));
+      kind = "laminar";
+      break;
+    }
+    case 2: {
+      m = 2 + rng.next_below(opt.max_m - 1);
+      family = std::make_shared<PowerSetSigma>(m);
+      kind = "powerset";
+      break;
+    }
+    default: {
+      const std::size_t w = 1 + rng.next_below(3);
+      const std::size_t h = 1 + rng.next_below(3);
+      m = w * h;
+      family = std::make_shared<RectangleSigma>(GridDomain(w, h));
+      kind = "rectangles";
+      break;
+    }
+  }
+  const FiniteSet c = random_finite_set(rng, m);
+  FiniteSet a = random_finite_set(rng, m);
+  FiniteSet b = random_finite_set(rng, m);
+
+  // Ground truth: Def. 3.1 over the materialized K = C (x) Sigma.
+  const std::vector<FiniteSet> sets = family->enumerate();
+  const SecondLevelKnowledge k = SecondLevelKnowledge::product(c, sets);
+  const bool truth = oracle_possibilistic(k, a, b).safe;
+
+  auto complain = [&](const char* what, bool got) {
+    if (got == truth) return;
+    // The family and C stay fixed; shrink A and B against the full chain.
+    auto bad = [&](const FiniteSet& x, const FiniteSet& y) {
+      const bool o = oracle_possibilistic(k, x, y).safe;
+      IntervalOracle io(family, c);
+      return safe_possibilistic(k, x, y) != o ||
+             safe_c_sigma(c, *family, x, y) != o ||
+             io.safe_all_intervals(x, y) != o ||
+             io.safe_minimal_intervals(x, y) != o ||
+             io.prepare(x).safe(y) != o;
+    };
+    auto [sa, sb] = shrink_pair(a, b, bad);
+    std::ostringstream os;
+    os << what << " says " << (got ? "safe" : "unsafe") << " but Def. 3.1 over "
+       << kind << " K says " << (truth ? "safe" : "unsafe") << "; C="
+       << c.to_string() << " " << pair_text(a, b) << "; shrunk: "
+       << pair_text(sa, sb);
+    out.push_back(os.str());
+  };
+
+  complain("safe_possibilistic", safe_possibilistic(k, a, b));
+  complain("safe_c_sigma (Prop. 3.3)", safe_c_sigma(c, *family, a, b));
+
+  IntervalOracle io(family, c);
+  complain("safe_all_intervals (Prop. 4.5)", io.safe_all_intervals(a, b));
+  complain("safe_minimal_intervals (Cor. 4.12)",
+           io.safe_minimal_intervals(a, b));
+  complain("PreparedAudit::safe (Cor. 4.12, amortized)", io.prepare(a).safe(b));
+
+  // Corollary 4.14 where the family is tight: Safe iff beta(w1) subseteq B
+  // for every w1 in A cap B.
+  if (io.has_tight_intervals()) {
+    const auto beta = io.beta(a);
+    if (!beta) {
+      out.push_back(std::string("tight intervals but no beta map (") + kind +
+                    "); " + pair_text(a, b));
+    } else {
+      bool via_beta = true;
+      for (std::size_t w1 = 0; w1 < m && via_beta; ++w1) {
+        if (a.contains(w1) && b.contains(w1) &&
+            !(*beta)[w1].subset_of(b)) {
+          via_beta = false;
+        }
+      }
+      complain("beta margin (Cor. 4.14)", via_beta);
+    }
+  }
+}
+
+// --- Checks 4/5 shared: sampled-family refutation of a Safe verdict ---------
+
+/// A Safe verdict over a prior family is refuted by any sampled member with
+/// an exactly positive gap. Returns the violating sample's index.
+std::optional<std::size_t> refute_safe(const std::vector<ExactDistribution>& pi,
+                                       const WorldSet& a, const WorldSet& b) {
+  const ProbOracleResult r = oracle_family(pi, a, b);
+  return r.violating_prior;
+}
+
+std::vector<ExactDistribution> sample_products(Rng& rng, unsigned n,
+                                               std::size_t count) {
+  std::vector<ExactDistribution> pi;
+  pi.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pi.push_back(random_exact_product(rng, n));
+  }
+  // For tiny n, the full {0, 1/2, 1}^n parameter grid is cheap and covers
+  // every corner the random draw misses.
+  if (n <= 3) {
+    std::vector<Rational> params(n);
+    std::size_t total = 1;
+    for (unsigned i = 0; i < n; ++i) total *= 3;
+    for (std::size_t q = 0; q < total; ++q) {
+      std::size_t rest = q;
+      for (unsigned i = 0; i < n; ++i) {
+        params[i] = Rational(static_cast<std::int64_t>(rest % 3), 2);
+        rest /= 3;
+      }
+      pi.push_back(ExactDistribution::product(params));
+    }
+  }
+  return pi;
+}
+
+// --- Check 4: product-cascade (Pi_m0) ---------------------------------------
+
+void check_product_cascade(Rng& rng, const ModelCheckOptions& opt,
+                           Failures& out) {
+  const unsigned n = 1 + static_cast<unsigned>(rng.next_below(opt.max_n));
+  WorldSet a = random_world_set(rng, n);
+  WorldSet b = random_world_set(rng, n);
+  const std::uint64_t sample_seed = rng.next_u64();
+
+  const PipelineResult r = run_criteria(product_criteria(), a, b, "exhausted");
+  if (r.verdict == Verdict::kSafe) {
+    Rng srng(sample_seed);
+    const auto pi = sample_products(srng, n, opt.prior_samples);
+    if (const auto bad = refute_safe(pi, a, b)) {
+      // Shrink against "cascade Safe but some sampled product violates",
+      // regenerating the samples at each candidate size from the same seed.
+      auto still = [&](const WorldSet& x, const WorldSet& y) {
+        if (run_criteria(product_criteria(), x, y, "exhausted").verdict !=
+            Verdict::kSafe) {
+          return false;
+        }
+        Rng r2(sample_seed);
+        return refute_safe(sample_products(r2, x.n(), opt.prior_samples), x, y)
+            .has_value();
+      };
+      auto [ca, cb] = shrink_coordinates(a, b, still);
+      auto [sa, sb] = shrink_pair(ca, cb, still);
+      std::ostringstream os;
+      os << "product cascade (" << r.criterion << ") claims Safe but exact "
+            "product prior #" << *bad << " gains confidence; " << pair_text(a, b)
+         << "; shrunk: " << pair_text(sa, sb);
+      out.push_back(os.str());
+    }
+  } else if (r.verdict == Verdict::kUnsafe) {
+    // Necessary side: the verdict must come with a witness that really lies
+    // in Pi_m0 and really has a positive gap.
+    if (r.witness_product) {
+      for (const double p : r.witness_product->params()) {
+        if (p < 0.0 || p > 1.0) {
+          out.push_back("product witness parameter outside [0,1]; " +
+                        pair_text(a, b));
+          break;
+        }
+      }
+      if (r.witness_product->safety_gap(a, b) <= 0.0) {
+        out.push_back("product cascade (" + r.criterion +
+                      ") Unsafe witness has non-positive gap; " +
+                      pair_text(a, b));
+      }
+    } else if (r.witness_distribution) {
+      if (!is_product(*r.witness_distribution)) {
+        out.push_back("product cascade Unsafe witness is not a product "
+                      "prior; " + pair_text(a, b));
+      } else if (oracle_double_gap(*r.witness_distribution, a, b) <= 0.0) {
+        out.push_back("product cascade Unsafe witness has non-positive "
+                      "gap; " + pair_text(a, b));
+      }
+    } else {
+      out.push_back("product cascade (" + r.criterion +
+                    ") Unsafe without a witness; " + pair_text(a, b));
+    }
+  }
+}
+
+// --- Check 5: supermodular-cascade (Pi_m+) ----------------------------------
+
+void check_supermodular_cascade(Rng& rng, const ModelCheckOptions& opt,
+                                Failures& out) {
+  const unsigned n =
+      1 + static_cast<unsigned>(rng.next_below(std::min(opt.max_n, 4u)));
+  WorldSet a = random_world_set(rng, n);
+  WorldSet b = random_world_set(rng, n);
+  const std::uint64_t sample_seed = rng.next_u64();
+
+  // Pi_m0 subseteq Pi_m+ (Equation (18)): sample both kinds, and self-check
+  // the Ising generator against the exact Definition 5.1 test.
+  auto sample_family = [&](Rng& srng, unsigned dim) {
+    std::vector<ExactDistribution> pi;
+    for (std::size_t i = 0; i < opt.prior_samples / 2; ++i) {
+      pi.push_back(random_exact_log_supermodular(srng, dim));
+      pi.push_back(random_exact_product(srng, dim));
+    }
+    return pi;
+  };
+  {
+    Rng srng(sample_seed);
+    for (const ExactDistribution& p : sample_family(srng, n)) {
+      if (!p.is_log_supermodular()) {
+        out.push_back("generator produced a prior outside Pi_m+ at n=" +
+                      std::to_string(n));
+        return;  // the generator is broken; scenario verdicts are meaningless
+      }
+    }
+  }
+
+  const PipelineResult sup =
+      run_criteria(supermodular_criteria(), a, b, "exhausted");
+  const PipelineResult prod =
+      run_criteria(product_criteria(), a, b, "exhausted");
+
+  if (sup.verdict == Verdict::kSafe) {
+    Rng srng(sample_seed);
+    if (const auto bad = refute_safe(sample_family(srng, n), a, b)) {
+      auto still = [&](const WorldSet& x, const WorldSet& y) {
+        if (run_criteria(supermodular_criteria(), x, y, "exhausted").verdict !=
+            Verdict::kSafe) {
+          return false;
+        }
+        Rng r2(sample_seed);
+        return refute_safe(sample_family(r2, x.n()), x, y).has_value();
+      };
+      auto [ca, cb] = shrink_coordinates(a, b, still);
+      auto [sa, sb] = shrink_pair(ca, cb, still);
+      std::ostringstream os;
+      os << "supermodular cascade (" << sup.criterion << ") claims Safe but "
+            "sampled Pi_m+ prior #" << *bad << " gains confidence; "
+         << pair_text(a, b) << "; shrunk: " << pair_text(sa, sb);
+      out.push_back(os.str());
+    }
+    // Pi_m0 subseteq Pi_m+: Safe over the superset family implies Safe over
+    // products, so a *verified* product-side Unsafe witness is a
+    // contradiction.
+    if (prod.verdict == Verdict::kUnsafe && prod.witness_product &&
+        prod.witness_product->safety_gap(a, b) > 0.0) {
+      out.push_back("supermodular cascade Safe but the product cascade holds "
+                    "a verified violating product prior (Pi_m0 subseteq "
+                    "Pi_m+ broken); " + pair_text(a, b));
+    }
+  } else if (sup.verdict == Verdict::kUnsafe) {
+    if (sup.witness_distribution) {
+      if (oracle_double_gap(*sup.witness_distribution, a, b) <= 0.0) {
+        out.push_back("supermodular cascade (" + sup.criterion +
+                      ") Unsafe witness has non-positive gap; " +
+                      pair_text(a, b));
+      } else if (!is_log_supermodular(*sup.witness_distribution, 1e-9)) {
+        out.push_back("supermodular cascade Unsafe witness lies outside "
+                      "Pi_m+; " + pair_text(a, b));
+      }
+    } else if (sup.witness_product) {
+      // Product priors are log-supermodular by Equation (18).
+      if (sup.witness_product->safety_gap(a, b) <= 0.0) {
+        out.push_back("supermodular cascade (" + sup.criterion +
+                      ") Unsafe product witness has non-positive gap; " +
+                      pair_text(a, b));
+      }
+    } else {
+      out.push_back("supermodular cascade (" + sup.criterion +
+                    ") Unsafe without a witness; " + pair_text(a, b));
+    }
+  }
+}
+
+// --- Check 6: engine-parity -------------------------------------------------
+
+RecordUniverse make_universe(unsigned n) {
+  RecordUniverse u;
+  for (unsigned i = 0; i < n; ++i) u.add("r" + std::to_string(i));
+  return u;
+}
+
+void check_engine_parity(Rng& rng, const ModelCheckOptions& opt,
+                         Failures& out) {
+  static constexpr PriorAssumption kPriors[] = {
+      PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+      PriorAssumption::kLogSupermodular, PriorAssumption::kSubcubeKnowledge};
+  const PriorAssumption prior = kPriors[rng.next_below(4)];
+  const unsigned n = 1 + static_cast<unsigned>(rng.next_below(opt.max_n));
+  const WorldSet a = random_world_set(rng, n);
+  const WorldSet b = random_world_set(rng, n);
+
+  const Auditor auditor(make_universe(n), prior);
+  const AuditFinding d1 = auditor.audit_sets(a, b);
+  const AuditFinding d2 = auditor.audit_sets(a, b);
+  if (d1.verdict != d2.verdict || d1.method != d2.method ||
+      d1.certified != d2.certified) {
+    out.push_back("engine decision not deterministic under " +
+                  to_string(prior) + "; " + pair_text(a, b));
+    return;
+  }
+
+  switch (prior) {
+    case PriorAssumption::kUnrestricted: {
+      const bool safe = oracle_unrestricted_prob(a, b).safe;
+      if (!d1.certified || (d1.verdict == Verdict::kSafe) != safe ||
+          d1.verdict == Verdict::kUnknown) {
+        out.push_back("engine (unrestricted) verdict " +
+                      verdict_name(d1.verdict) + " vs oracle " +
+                      (safe ? "safe" : "unsafe") + "; " + pair_text(a, b));
+      }
+      break;
+    }
+    case PriorAssumption::kProduct:
+    case PriorAssumption::kLogSupermodular: {
+      // The engine (with projection, SOS, optimizer) and the raw criterion
+      // table are independent paths; certified verdicts must never cross.
+      const auto& table = prior == PriorAssumption::kProduct
+                              ? product_criteria()
+                              : supermodular_criteria();
+      const PipelineResult r = run_criteria(table, a, b, "exhausted");
+      if (r.verdict != Verdict::kUnknown && d1.certified &&
+          d1.verdict != Verdict::kUnknown && d1.verdict != r.verdict) {
+        out.push_back("engine (" + to_string(prior) + ", " + d1.method +
+                      ") says " + verdict_name(d1.verdict) +
+                      " but the criterion table (" + r.criterion + ") says " +
+                      verdict_name(r.verdict) + "; " + pair_text(a, b));
+      }
+      // Any certified Safe must survive sampled exact members of the family.
+      if (d1.certified && d1.verdict == Verdict::kSafe) {
+        Rng srng(bits::hash_combine(fnv1a("engine-samples"), rng.next_u64()));
+        std::vector<ExactDistribution> pi =
+            sample_products(srng, n, opt.prior_samples);
+        if (prior == PriorAssumption::kLogSupermodular) {
+          for (std::size_t i = 0; i < opt.prior_samples && n <= 5; ++i) {
+            pi.push_back(random_exact_log_supermodular(srng, n));
+          }
+        }
+        if (refute_safe(pi, a, b)) {
+          out.push_back("engine (" + to_string(prior) + ", " + d1.method +
+                        ") certified Safe refuted by a sampled exact "
+                        "prior; " + pair_text(a, b));
+        }
+      }
+      break;
+    }
+    case PriorAssumption::kSubcubeKnowledge: {
+      // Ground truth from Def. 3.1 over the materialized subcube family
+      // (3^n knowledge sets, C = Omega).
+      const SubcubeSigma sigma(n);
+      const SecondLevelKnowledge k = SecondLevelKnowledge::product(
+          FiniteSet::universe(sigma.universe_size()), sigma.enumerate());
+      const bool safe =
+          oracle_possibilistic(k, to_finite(a), to_finite(b)).safe;
+      if (d1.verdict == Verdict::kUnknown ||
+          (d1.verdict == Verdict::kSafe) != safe) {
+        out.push_back("engine (subcube-knowledge, " + d1.method + ") says " +
+                      verdict_name(d1.verdict) + " but Def. 3.1 over the "
+                      "subcube family says " + (safe ? "safe" : "unsafe") +
+                      "; " + pair_text(a, b));
+      }
+      break;
+    }
+  }
+}
+
+// --- Check 7: service-composition (Def. 3.9 / Prop. 3.10) -------------------
+
+void check_service_composition(Rng& rng, const ModelCheckOptions& opt,
+                               Failures& out) {
+  (void)opt;
+  static constexpr PriorAssumption kPriors[] = {
+      PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+      PriorAssumption::kLogSupermodular, PriorAssumption::kSubcubeKnowledge};
+  const PriorAssumption prior = kPriors[rng.next_below(4)];
+  const unsigned n = 2 + static_cast<unsigned>(rng.next_below(2));
+  const RecordUniverse universe = make_universe(n);
+  const std::vector<std::string> names = universe.names();
+  const std::string audit_query = random_query_text(rng, names, 2);
+  const World initial_state =
+      static_cast<World>(rng.next_bits(static_cast<unsigned>(n)));
+
+  // A short replayed log for two users.
+  static const char* kUsers[] = {"alice", "bob"};
+  AuditLog log;
+  const std::size_t disclosures = 1 + rng.next_below(5);
+  for (std::size_t i = 0; i < disclosures; ++i) {
+    log.record_with_answer(kUsers[rng.next_below(2)],
+                           random_query_text(rng, names, 2), rng.next_bool());
+  }
+
+  // Offline reference: one Auditor over the whole log.
+  AuditorOptions options;
+  options.threads = 1;
+  const Auditor auditor(universe, prior, options);
+  const AuditReport report = auditor.audit(log, audit_query);
+
+  // Online: the same log replayed through an AuditService session.
+  service::ServiceOptions service_options;
+  service_options.auditor = options;
+  service_options.workers = 2;
+  std::unique_ptr<service::AuditService> svc;
+  const Status created = service::AuditService::try_create(
+      universe, initial_state, audit_query, prior, service_options, &svc);
+  if (!created.ok()) {
+    out.push_back("AuditService::try_create rejected a well-formed "
+                  "scenario: " + created.to_string() + "; audit query \"" +
+                  audit_query + "\"");
+    return;
+  }
+
+  auto mismatch = [&](const char* which, std::size_t index,
+                      const AuditFinding& got, const AuditFinding& want) {
+    if (got.verdict == want.verdict && got.method == want.method &&
+        got.certified == want.certified && got.detail == want.detail) {
+      return;
+    }
+    std::ostringstream os;
+    os << which << " finding #" << index << " diverges from the offline "
+       << "auditor under " << to_string(prior) << ": service=("
+       << verdict_name(got.verdict) << ", " << got.method << ") offline=("
+       << verdict_name(want.verdict) << ", " << want.method
+       << "); audit query \"" << audit_query << "\"";
+    out.push_back(os.str());
+  };
+
+  std::unordered_map<std::string, AuditFinding> last_cumulative;
+  for (std::size_t i = 0; i < log.entries().size(); ++i) {
+    const Disclosure& entry = log.entries()[i];
+    service::AuditRequest request;
+    request.user = entry.user;
+    request.query_text = entry.query_text;
+    request.answer = entry.answer;
+    const service::AuditResponse response = svc->process(std::move(request));
+    if (!response.status.ok()) {
+      out.push_back("service rejected replayed disclosure #" +
+                    std::to_string(i) + ": " + response.status.to_string());
+      return;
+    }
+    mismatch("per-disclosure", i, response.disclosure,
+             report.per_disclosure[i]);
+    last_cumulative[entry.user] = response.cumulative;
+  }
+
+  // Prop. 3.10: the session's final cumulative verdict per user must equal
+  // the offline per-user conjunction finding...
+  for (const AuditFinding& want : report.per_user_cumulative) {
+    mismatch("cumulative", 0, last_cumulative.at(want.user), want);
+  }
+  // ...and, structurally, deciding Safe(A, B1 cap ... cap Bk) directly.
+  const WorldSet audit_set = parse_query(audit_query)->compile(universe);
+  for (const char* user : kUsers) {
+    const auto it = last_cumulative.find(user);
+    if (it == last_cumulative.end()) continue;
+    WorldSet acc = WorldSet::universe(n);
+    for (const Disclosure& entry : log.entries()) {
+      if (entry.user == user) acc &= entry.disclosed_set(universe);
+    }
+    const AuditFinding direct = auditor.audit_sets(audit_set, acc);
+    if (direct.verdict != it->second.verdict) {
+      out.push_back(std::string("cumulative verdict for ") + user +
+                    " differs from a direct decision of the intersected "
+                    "disclosures (Prop. 3.10); audit query \"" + audit_query +
+                    "\"");
+    }
+  }
+}
+
+// --- Check 8: fused-kernels -------------------------------------------------
+
+void check_fused_kernels(Rng& rng, const ModelCheckOptions& opt,
+                         Failures& out) {
+  (void)opt;
+  // Universe sizes straddle the 64-bit word boundary on the FiniteSet side.
+  const std::size_t m = 1 + rng.next_below(80);
+  const FiniteSet s = random_finite_set(rng, m);
+  const FiniteSet fb = random_finite_set(rng, m);
+  const FiniteSet fa = random_finite_set(rng, m);
+
+  bool subset = true, inter_subset = true, disjoint = true, cover = true;
+  std::size_t inter_count = 0;
+  for (std::size_t e = 0; e < m; ++e) {
+    const bool in_s = s.contains(e), in_a = fa.contains(e),
+               in_b = fb.contains(e);
+    if (in_s && !in_a) subset = false;
+    if (in_s && in_b && !in_a) inter_subset = false;
+    if (in_s && in_b && in_a) disjoint = false;
+    if (in_s && in_b) ++inter_count;
+    if (!in_s && !in_b) cover = false;
+  }
+  if (s.subset_of(fa) != subset ||
+      intersection_subset_of(s, fb, fa) != inter_subset ||
+      intersection_count(s, fb) != inter_count ||
+      intersection_disjoint(s, fb, fa) != disjoint ||
+      union_is_universe(s, fb) != cover) {
+    out.push_back("a FiniteSet fused kernel disagrees with the per-element "
+                  "loop; m=" + std::to_string(m) + " S=" + s.to_string() +
+                  " B=" + fb.to_string() + " A=" + fa.to_string());
+  }
+
+  const unsigned n = 1 + static_cast<unsigned>(rng.next_below(6));
+  const WorldSet ws = random_world_set(rng, n);
+  const WorldSet wb = random_world_set(rng, n);
+  const WorldSet wa = random_world_set(rng, n);
+  bool w_inter_subset = true, w_cover = true;
+  std::size_t w_count = 0;
+  for (std::size_t w = 0; w < ws.omega_size(); ++w) {
+    const World world = static_cast<World>(w);
+    const bool in_s = ws.contains(world), in_a = wa.contains(world),
+               in_b = wb.contains(world);
+    if (in_s && in_b && !in_a) w_inter_subset = false;
+    if (in_s && in_b) ++w_count;
+    if (!in_s && !in_b) w_cover = false;
+  }
+  if (intersection_subset_of(ws, wb, wa) != w_inter_subset ||
+      intersection_count(ws, wb) != w_count ||
+      union_is_universe(ws, wb) != w_cover) {
+    out.push_back("a WorldSet fused kernel disagrees with the per-element "
+                  "loop; " + pair_text(ws, wb));
+  }
+}
+
+// --- Driver -----------------------------------------------------------------
+
+struct Check {
+  const char* name;
+  void (*fn)(Rng&, const ModelCheckOptions&, Failures&);
+};
+
+constexpr Check kChecks[] = {
+    {"possibilistic-unrestricted", check_possibilistic_unrestricted},
+    {"probabilistic-unrestricted", check_probabilistic_unrestricted},
+    {"sigma-intervals", check_sigma_intervals},
+    {"product-cascade", check_product_cascade},
+    {"supermodular-cascade", check_supermodular_cascade},
+    {"engine-parity", check_engine_parity},
+    {"service-composition", check_service_composition},
+    {"fused-kernels", check_fused_kernels},
+};
+
+}  // namespace
+
+std::vector<std::string> check_names() {
+  std::vector<std::string> names;
+  for (const Check& c : kChecks) names.emplace_back(c.name);
+  return names;
+}
+
+ModelCheckReport run_model_check(const ModelCheckOptions& options,
+                                 std::ostream* progress) {
+  ModelCheckReport report;
+  for (const Check& check : kChecks) {
+    if (!options.only_check.empty() && options.only_check != check.name) {
+      continue;
+    }
+    CheckSummary summary;
+    summary.name = check.name;
+    const std::uint64_t first = options.only_case.value_or(0);
+    const std::uint64_t last =
+        options.only_case ? *options.only_case + 1 : options.cases_per_check;
+    for (std::uint64_t i = first; i < last; ++i) {
+      Rng rng = case_rng(options.seed, check.name, i);
+      Failures failures;
+      check.fn(rng, options, failures);
+      ++summary.cases;
+      for (std::string& description : failures) {
+        ++summary.failures;
+        CheckFailure failure;
+        failure.check = check.name;
+        failure.case_index = i;
+        failure.description =
+            std::move(description) + "; repro: epi_modelcheck --seed=" +
+            std::to_string(options.seed) + " --check=" + check.name +
+            " --case=" + std::to_string(i);
+        report.failures.push_back(std::move(failure));
+      }
+      if (summary.failures >= options.max_failures_per_check) break;
+    }
+    report.total_cases += summary.cases;
+    if (progress) {
+      *progress << check.name << ": " << summary.cases << " cases, "
+                << summary.failures << " failures" << std::endl;
+    }
+    report.summaries.push_back(std::move(summary));
+  }
+  return report;
+}
+
+}  // namespace testing
+}  // namespace epi

@@ -1,0 +1,82 @@
+// The differential model checker: seeded random scenarios (generators.h)
+// decided twice — once by the production criteria / engine / service paths,
+// once by the brute-force definition oracles (oracle.h) — with any
+// disagreement shrunk to a minimal counterexample and reported with a
+// reproduction command line.
+//
+// The checks assert the paper's implication structure, not blanket equality:
+// sufficient criteria must never claim Safe when the oracle says unsafe,
+// necessary criteria must never claim Unsafe when the oracle says safe,
+// exact criteria (Theorem 3.11, the Section 4.1 interval tests) must match
+// the oracle bit for bit, and every Unsafe verdict's attached witness must
+// actually violate safety inside its claimed prior family.
+//
+// Entry points: the `epi_modelcheck` CLI (tools/modelcheck_main.cpp) and
+// tests/modelcheck_test.cpp. docs/testing.md documents the repro workflow.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace epi {
+namespace testing {
+
+struct ModelCheckOptions {
+  /// Master seed; every (check, case) derives its own Rng from it, so one
+  /// case replays identically regardless of which other checks ran.
+  std::uint64_t seed = 2008;
+  /// Scenarios per check. The default across the 8 checks totals 10,000.
+  std::uint64_t cases_per_check = 1250;
+  /// When non-empty, run only the named check (see check_names()).
+  std::string only_check;
+  /// When set, run only this case index (for reproducing one failure).
+  std::optional<std::uint64_t> only_case;
+  /// Largest finite universe |Omega| for possibilistic scenarios.
+  unsigned max_m = 9;
+  /// Largest hypercube dimension n for probabilistic scenarios.
+  unsigned max_n = 4;
+  /// Exact-rational priors sampled per Safe verdict in the family checks.
+  std::size_t prior_samples = 12;
+  /// Failures recorded per check before it stops early (avoids a single
+  /// systematic bug flooding the report).
+  std::size_t max_failures_per_check = 5;
+};
+
+/// One oracle disagreement (or witness/implication violation), shrunk.
+struct CheckFailure {
+  std::string check;
+  std::uint64_t case_index = 0;
+  /// Human-readable description: what disagreed, the (shrunk) scenario, and
+  /// the `epi_modelcheck --seed=... --check=... --case=...` repro line.
+  std::string description;
+};
+
+/// Per-check aggregate.
+struct CheckSummary {
+  std::string name;
+  std::uint64_t cases = 0;
+  std::uint64_t failures = 0;
+};
+
+struct ModelCheckReport {
+  std::vector<CheckSummary> summaries;
+  std::vector<CheckFailure> failures;
+  std::uint64_t total_cases = 0;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Names of all checks, in execution order: possibilistic-unrestricted,
+/// probabilistic-unrestricted, sigma-intervals, product-cascade,
+/// supermodular-cascade, engine-parity, service-composition, fused-kernels.
+std::vector<std::string> check_names();
+
+/// Runs the configured checks; when `progress` is non-null, one line per
+/// check is streamed to it as the run advances.
+ModelCheckReport run_model_check(const ModelCheckOptions& options,
+                                 std::ostream* progress = nullptr);
+
+}  // namespace testing
+}  // namespace epi

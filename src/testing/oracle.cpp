@@ -1,0 +1,183 @@
+#include "testing/oracle.h"
+
+#include <stdexcept>
+
+namespace epi {
+namespace testing {
+namespace {
+
+/// Def. 3.1's per-pair test, written as plain element loops so the oracle
+/// shares nothing with the fused intersection_subset_of kernel it checks:
+/// omega in B, (S ∩ B) ⊆ A, and S ⊄ A.
+bool pair_violates(std::size_t world, const FiniteSet& s, const FiniteSet& a,
+                   const FiniteSet& b) {
+  if (!b.contains(world)) return false;
+  const std::size_t m = s.universe_size();
+  bool s_subset_a = true;
+  bool s_cap_b_subset_a = true;
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!s.contains(e)) continue;
+    if (!a.contains(e)) {
+      s_subset_a = false;
+      if (b.contains(e)) s_cap_b_subset_a = false;
+    }
+  }
+  return s_cap_b_subset_a && !s_subset_a;
+}
+
+void check_universe(const FiniteSet& a, const FiniteSet& b) {
+  if (a.universe_size() != b.universe_size()) {
+    throw std::invalid_argument("oracle: mismatched universes");
+  }
+  if (a.universe_size() > kMaxOracleUniverse) {
+    throw std::invalid_argument("oracle: universe too large for enumeration");
+  }
+}
+
+FiniteSet set_from_mask(std::size_t m, std::uint32_t mask) {
+  FiniteSet s(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    if ((mask >> e) & 1u) s.insert(e);
+  }
+  return s;
+}
+
+}  // namespace
+
+PossOracleResult oracle_possibilistic(const SecondLevelKnowledge& k,
+                                      const FiniteSet& a, const FiniteSet& b) {
+  PossOracleResult r;
+  for (const KnowledgeWorld& kw : k.pairs()) {
+    if (pair_violates(kw.world, kw.knowledge, a, b)) {
+      r.safe = false;
+      r.violation = kw;
+      return r;
+    }
+  }
+  return r;
+}
+
+PossOracleResult oracle_possibilistic_full(const FiniteSet& a,
+                                           const FiniteSet& b) {
+  check_universe(a, b);
+  const std::size_t m = a.universe_size();
+  PossOracleResult r;
+  const std::uint32_t masks = static_cast<std::uint32_t>((1u << m) - 1u);
+  // Every (omega, S) with omega in S: S runs over all non-empty subsets.
+  for (std::uint32_t mask = 1; mask <= masks; ++mask) {
+    const FiniteSet s = set_from_mask(m, mask);
+    for (std::size_t world = 0; world < m; ++world) {
+      if (!s.contains(world)) continue;
+      if (pair_violates(world, s, a, b)) {
+        r.safe = false;
+        r.violation = KnowledgeWorld(world, s);
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+PossOracleResult oracle_possibilistic_known_world(const FiniteSet& a,
+                                                  const FiniteSet& b,
+                                                  std::size_t actual_world) {
+  check_universe(a, b);
+  const std::size_t m = a.universe_size();
+  if (actual_world >= m) {
+    throw std::invalid_argument("oracle: actual world outside the universe");
+  }
+  PossOracleResult r;
+  const std::uint32_t masks = static_cast<std::uint32_t>((1u << m) - 1u);
+  for (std::uint32_t mask = 1; mask <= masks; ++mask) {
+    const FiniteSet s = set_from_mask(m, mask);
+    if (!s.contains(actual_world)) continue;
+    if (pair_violates(actual_world, s, a, b)) {
+      r.safe = false;
+      r.violation = KnowledgeWorld(actual_world, s);
+      return r;
+    }
+  }
+  return r;
+}
+
+Rational oracle_exact_gap(const ExactDistribution& p, const WorldSet& a,
+                          const WorldSet& b) {
+  if (p.n() != a.n() || a.n() != b.n()) {
+    throw std::invalid_argument("oracle_exact_gap: mismatched n");
+  }
+  Rational pa, pb, pab;
+  const std::size_t size = p.omega_size();
+  for (std::size_t w = 0; w < size; ++w) {
+    const World world = static_cast<World>(w);
+    const Rational weight = p.prob(world);
+    if (weight.is_zero()) continue;
+    const bool in_a = a.contains(world);
+    const bool in_b = b.contains(world);
+    if (in_a) pa += weight;
+    if (in_b) pb += weight;
+    if (in_a && in_b) pab += weight;
+  }
+  return pab - pa * pb;
+}
+
+double oracle_double_gap(const Distribution& p, const WorldSet& a,
+                         const WorldSet& b) {
+  if (p.n() != a.n() || a.n() != b.n()) {
+    throw std::invalid_argument("oracle_double_gap: mismatched n");
+  }
+  double pa = 0.0, pb = 0.0, pab = 0.0;
+  const std::size_t size = p.omega_size();
+  for (std::size_t w = 0; w < size; ++w) {
+    const World world = static_cast<World>(w);
+    const double weight = p.prob(world);
+    const bool in_a = a.contains(world);
+    const bool in_b = b.contains(world);
+    if (in_a) pa += weight;
+    if (in_b) pb += weight;
+    if (in_a && in_b) pab += weight;
+  }
+  return pab - pa * pb;
+}
+
+ProbOracleResult oracle_family(const std::vector<ExactDistribution>& pi,
+                               const WorldSet& a, const WorldSet& b) {
+  ProbOracleResult r;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const Rational gap = oracle_exact_gap(pi[i], a, b);
+    if (gap.is_positive()) {
+      r.safe = false;
+      r.violating_prior = i;
+      r.gap = gap;
+      return r;
+    }
+  }
+  return r;
+}
+
+UnrestrictedProbOracleResult oracle_unrestricted_prob(const WorldSet& a,
+                                                      const WorldSet& b) {
+  if (a.n() != b.n()) {
+    throw std::invalid_argument("oracle_unrestricted_prob: mismatched n");
+  }
+  UnrestrictedProbOracleResult r;
+  // See the header: the gap maximum over the whole simplex is attained by a
+  // uniform two-point prior on one world of A∩B and one outside A∪B, so
+  // searching those two regions decides safety over ALL priors exactly.
+  const std::size_t size = a.omega_size();
+  for (std::size_t w = 0; w < size && !(r.inside && r.outside); ++w) {
+    const World world = static_cast<World>(w);
+    const bool in_a = a.contains(world);
+    const bool in_b = b.contains(world);
+    if (in_a && in_b && !r.inside) r.inside = world;
+    if (!in_a && !in_b && !r.outside) r.outside = world;
+  }
+  r.safe = !(r.inside && r.outside);
+  if (r.safe) {
+    r.inside.reset();
+    r.outside.reset();
+  }
+  return r;
+}
+
+}  // namespace testing
+}  // namespace epi

@@ -1,0 +1,110 @@
+// Brute-force reference oracles for the model-checking harness: privacy
+// decided directly from the paper's definitions (Def. 3.1 possibilistic,
+// Def. 3.4 / Prop. 3.6 probabilistic) by exhaustive enumeration, with exact
+// rational arithmetic on the probabilistic side so no verdict hinges on a
+// floating-point tolerance.
+//
+// These implementations are deliberately naive: per-element contains() loops
+// instead of the fused word-scan kernels, full enumeration of knowledge
+// worlds instead of interval machinery, exact rationals instead of doubles.
+// Every fast path in src/criteria/, src/possibilistic/, src/probabilistic/
+// and src/engine/ is differentially tested against them (src/testing/
+// modelcheck.cpp), so the oracle must share no code with the paths it
+// checks. Never call these in production paths — they are exponential.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "possibilistic/knowledge.h"
+#include "probabilistic/exact.h"
+#include "util/rational.h"
+#include "worlds/finite_set.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace testing {
+
+/// Largest finite universe the full possibilistic enumeration accepts
+/// (2^m knowledge sets, each scanned element-wise: m = 16 is ~1M pairs).
+inline constexpr std::size_t kMaxOracleUniverse = 16;
+
+// --- Possibilistic (Definition 3.1) -----------------------------------------
+
+/// Outcome of a possibilistic oracle run; on "unsafe" `violation` holds a
+/// knowledge world (omega, S) witnessing the leak: omega in B, S ∩ B ⊆ A,
+/// S ⊄ A — an admissible agent who did not know A and learns it from B.
+struct PossOracleResult {
+  bool safe = true;
+  std::optional<KnowledgeWorld> violation;
+};
+
+/// Definition 3.1 over an explicit second-level knowledge set K, decided by
+/// a per-pair, per-element loop (no fused predicates).
+PossOracleResult oracle_possibilistic(const SecondLevelKnowledge& k,
+                                      const FiniteSet& a, const FiniteSet& b);
+
+/// Definition 3.1 over the full Omega_poss = { (omega, S) : omega in S }:
+/// enumerates all 2^m knowledge sets. Throws std::invalid_argument when the
+/// universe exceeds kMaxOracleUniverse. The reference point for
+/// Theorem 3.11's unrestricted criterion.
+PossOracleResult oracle_possibilistic_full(const FiniteSet& a,
+                                           const FiniteSet& b);
+
+/// Definition 3.1 over K = {omega*} (x) P(Omega) (auditor knows the actual
+/// world): enumerates all S containing omega*. Reference for the second part
+/// of Theorem 3.11.
+PossOracleResult oracle_possibilistic_known_world(const FiniteSet& a,
+                                                  const FiniteSet& b,
+                                                  std::size_t actual_world);
+
+// --- Probabilistic (Definition 3.4 / Proposition 3.6) -----------------------
+
+/// P[A∩B] - P[A]·P[B], exactly, by a naive per-world contains() loop
+/// (deliberately not ExactDistribution::safety_gap, which rides the fused
+/// kernel scans under test).
+Rational oracle_exact_gap(const ExactDistribution& p, const WorldSet& a,
+                          const WorldSet& b);
+
+/// Same naive region accumulation on a double-weight prior — used to verify
+/// the witnesses criteria attach to "unsafe" verdicts.
+double oracle_double_gap(const Distribution& p, const WorldSet& a,
+                         const WorldSet& b);
+
+/// Outcome of a family oracle run; on "unsafe" `violating_prior` indexes the
+/// member of Pi whose exact gap `gap` is positive.
+struct ProbOracleResult {
+  bool safe = true;
+  std::optional<std::size_t> violating_prior;
+  Rational gap;
+};
+
+/// Equation (11) (the C-lifted family form of Prop. 3.6): Safe_Pi(A,B) iff
+/// every P in Pi has P[AB] <= P[A]·P[B], decided exactly.
+ProbOracleResult oracle_family(const std::vector<ExactDistribution>& pi,
+                               const WorldSet& a, const WorldSet& b);
+
+/// Outcome of the unrestricted-prior probabilistic oracle; on "unsafe" the
+/// two-point witness prior is uniform on {inside, outside}.
+struct UnrestrictedProbOracleResult {
+  bool safe = true;
+  std::optional<World> inside;   ///< a world of A ∩ B
+  std::optional<World> outside;  ///< a world of Omega - (A ∪ B)
+};
+
+/// Safety over ALL priors (K = Omega_prob), decided exactly by maximizing
+/// the gap over two-point priors. This is complete, not just sound: the gap
+/// P[AB] - P[A]·P[B] depends on P only through the masses (x, y, z) it
+/// places on the regions A∩B, A-B, B-A, and equals x - (x+y)(x+z); since
+/// df/dy = -(x+z) <= 0 and df/dz = -(x+y) <= 0, the maximum over the
+/// simplex puts y = z = 0, i.e. all non-x mass outside A∪B, giving
+/// x - x^2 — positive iff some mass can sit in A∩B (A∩B != {}) AND the
+/// remainder can avoid A∪B (A∪B != Omega). The uniform two-point prior on
+/// one world of each region attains gap 1/4. This rederives Theorem 3.11
+/// from Def. 3.4 without touching src/criteria/.
+UnrestrictedProbOracleResult oracle_unrestricted_prob(const WorldSet& a,
+                                                      const WorldSet& b);
+
+}  // namespace testing
+}  // namespace epi

@@ -123,10 +123,6 @@ std::vector<std::size_t> FiniteSet::to_vector() const {
   return v;
 }
 
-void FiniteSet::for_each(const std::function<void(std::size_t)>& fn) const {
-  visit(fn);
-}
-
 std::string FiniteSet::to_string() const {
   std::string s = "{";
   bool first = true;

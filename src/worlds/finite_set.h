@@ -10,7 +10,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <initializer_list>
 #include <stdexcept>
 #include <string>
@@ -86,17 +85,11 @@ class FiniteSet {
   std::vector<std::size_t> to_vector() const;
 
   /// Calls fn(e) for every member in increasing order. The callback inlines
-  /// into the kernel word scan — use this (not for_each) in hot paths.
+  /// into the kernel word scan.
   template <typename Fn>
   void visit(Fn&& fn) const {
     bits::for_each_bit(bits_.data(), bits_.size(), fn);
   }
-
-  /// Deprecated std::function shim kept for one release: it pays a
-  /// type-erased indirect call per element. Use visit() instead.
-  [[deprecated("use FiniteSet::visit(fn) — the templated visitor inlines into "
-               "the word scan")]]
-  void for_each(const std::function<void(std::size_t)>& fn) const;
 
   /// "{0,3,7}".
   std::string to_string() const;

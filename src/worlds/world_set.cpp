@@ -165,8 +165,6 @@ std::vector<World> WorldSet::to_vector() const {
   return v;
 }
 
-void WorldSet::for_each(const std::function<void(World)>& fn) const { visit(fn); }
-
 WorldSet WorldSet::xor_with(World mask) const {
   WorldSet r(n_);
   visit([&r, mask](World w) { r.insert(w ^ mask); });

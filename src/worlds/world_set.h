@@ -6,13 +6,13 @@
 // worlds/dense_bits.h: every scan, Boolean operation, hash and fused
 // predicate delegates to the single kernel implementation FiniteSet also
 // wraps. Hot loops should use the templated visit() (the callback inlines
-// into the word scan) or the fused free functions below; the
-// std::function-based for_each survives one release as a deprecated shim.
+// into the word scan) or the fused free functions below; no type-erased
+// per-element call survives anywhere (enforced by the no_function_iteration
+// lint gate).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <initializer_list>
 #include <stdexcept>
 #include <string>
@@ -104,19 +104,12 @@ class WorldSet {
   std::vector<World> to_vector() const;
 
   /// Calls fn(w) for every member world in increasing order. The callback
-  /// inlines into the kernel word scan — use this (not for_each) in hot
-  /// paths.
+  /// inlines into the kernel word scan.
   template <typename Fn>
   void visit(Fn&& fn) const {
     bits::for_each_bit(bits_.data(), bits_.size(),
                        [&fn](std::size_t w) { fn(static_cast<World>(w)); });
   }
-
-  /// Deprecated std::function shim kept for one release: it pays a
-  /// type-erased indirect call per world. Use visit() instead.
-  [[deprecated("use WorldSet::visit(fn) — the templated visitor inlines into "
-               "the word scan")]]
-  void for_each(const std::function<void(World)>& fn) const;
 
   /// Image of the set under XOR with `mask` (the paper's z ^ A transform).
   WorldSet xor_with(World mask) const;

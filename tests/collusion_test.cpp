@@ -113,6 +113,52 @@ TEST(Collusion, MatchesIntersectionClosedAuditing) {
   }
 }
 
+TEST(Collusion, SingletonUniverseAndEmptySensitiveSet) {
+  // Singleton Omega: the only consistent knowledge is {0}, which reveals
+  // A = Omega but can never be inside an empty sensitive set (the audit
+  // skips empty joints, so A = {} is never flagged).
+  CollusionUser solo{"solo", {FiniteSet::universe(1)}, {FiniteSet::universe(1)}};
+  std::vector<CoalitionFinding> findings =
+      audit_coalitions({solo}, FiniteSet::universe(1), 0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].knows_sensitive);
+  findings = audit_coalitions({solo}, FiniteSet(1), 0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].knows_sensitive);
+}
+
+TEST(Collusion, UniverseDisclosureIsVacuous) {
+  // B = Omega rules nothing out: the posterior family is the prior family
+  // (all priors here contain the actual world, so none is filtered).
+  CollusionUser u{"u",
+                  {FiniteSet(4, {0, 1}), FiniteSet(4, {0, 2, 3})},
+                  {FiniteSet::universe(4)}};
+  EXPECT_EQ(posterior_family(u, 0), u.prior_family);
+}
+
+TEST(Collusion, SensitiveUniverseBreachedByAnyConsistentKnowledge) {
+  // A = Omega: every nonempty joint knowledge is a subset of A, so the
+  // coalition trivially "knows" the sensitive set.
+  CollusionUser u{"u", {FiniteSet(3, {0, 1})}, {}};
+  const std::vector<CoalitionFinding> findings =
+      audit_coalitions({u}, FiniteSet::universe(3), 0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].knows_sensitive);
+}
+
+TEST(Collusion, InconsistentPriorsYieldEmptyPosterior) {
+  // Every prior excludes the actual world: all histories are inconsistent
+  // (Remark 2.3), so the posterior and coalition families are empty and
+  // nothing is breached — not even A = Omega.
+  CollusionUser u{"u", {FiniteSet(3, {1, 2})}, {}};
+  EXPECT_TRUE(posterior_family(u, 0).empty());
+  EXPECT_TRUE(coalition_family({u}, 0).empty());
+  const std::vector<CoalitionFinding> findings =
+      audit_coalitions({u}, FiniteSet::universe(3), 0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].knows_sensitive);
+}
+
 TEST(Collusion, ValidatesInput) {
   EXPECT_THROW(coalition_family({}, 0), std::invalid_argument);
   std::vector<CollusionUser> too_many(17);

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Line-coverage ratchet (CI `coverage` job, also runnable locally).
+
+Aggregates gcov JSON output from a --coverage build and fails when any
+subtree listed in the ratchet file drops below its floor. The floors only
+go UP: when a PR raises coverage meaningfully, raise the floor to match so
+the next regression is caught.
+
+Usage: coverage_ratchet.py <build-dir> <repo-root> <ratchet-file>
+
+Ratchet file: one `<path-prefix> <min-line-percent>` pair per line,
+`#` comments allowed. Prefixes are repo-relative (e.g. `src/criteria/`).
+
+Only needs the stock `gcov` from the gcc toolchain — no gcovr/lcov. Every
+.gcda in the build tree is exported with `gcov --json-format`; executed
+lines are unioned across translation units (a header inlined into ten TUs
+counts as covered if ANY of them ran it).
+"""
+
+import collections
+import glob
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_gcov(build_dir, scratch):
+    gcda = glob.glob(os.path.join(build_dir, "**", "*.gcda"), recursive=True)
+    if not gcda:
+        sys.exit(f"no .gcda files under {build_dir}; "
+                 "build with --coverage and run the tests first")
+    for batch_start in range(0, len(gcda), 64):
+        batch = gcda[batch_start:batch_start + 64]
+        subprocess.run(["gcov", "--json-format"] + batch, cwd=scratch,
+                       check=True, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+    return glob.glob(os.path.join(scratch, "*.gcov.json.gz"))
+
+
+def collect_lines(json_files, repo_root):
+    """{repo-relative source: {line-number: max-count}} across all TUs."""
+    lines = collections.defaultdict(dict)
+    for path in json_files:
+        with gzip.open(path, "rt") as f:
+            doc = json.load(f)
+        for unit in doc.get("files", []):
+            src = os.path.normpath(
+                os.path.join(doc.get("current_working_directory", ""),
+                             unit["file"]))
+            src = os.path.relpath(os.path.realpath(src),
+                                  os.path.realpath(repo_root))
+            if src.startswith(".."):
+                continue  # system header
+            per_line = lines[src]
+            for ln in unit["lines"]:
+                n = ln["line_number"]
+                per_line[n] = max(per_line.get(n, 0), ln["count"])
+    return lines
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    build_dir, repo_root, ratchet_file = sys.argv[1:4]
+
+    floors = []
+    with open(ratchet_file) as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            prefix, floor = line.split()
+            floors.append((prefix, float(floor)))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        lines = collect_lines(run_gcov(build_dir, scratch), repo_root)
+
+    failed = False
+    for prefix, floor in floors:
+        total = hit = 0
+        for src, per_line in lines.items():
+            if not src.startswith(prefix):
+                continue
+            total += len(per_line)
+            hit += sum(1 for count in per_line.values() if count > 0)
+        if total == 0:
+            print(f"FAIL {prefix}: no instrumented lines found")
+            failed = True
+            continue
+        percent = 100.0 * hit / total
+        status = "ok  " if percent >= floor else "FAIL"
+        if percent < floor:
+            failed = True
+        print(f"{status} {prefix}: {percent:.1f}% line coverage "
+              f"({hit}/{total} lines, floor {floor:.1f}%)")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

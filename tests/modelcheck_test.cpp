@@ -1,0 +1,189 @@
+// Tier-2 differential model checking (src/testing/): unit tests for the
+// brute-force oracles, the seeded generators and the shrinker, a regression
+// suite for bugs the harness has already flushed out, and a reduced-budget
+// run of the full differential harness (the 10,000-scenario budget runs in
+// CI via epi_modelcheck; see docs/testing.md for reproducing failures).
+#include <gtest/gtest.h>
+
+#include "criteria/unconditional.h"
+#include "db/parser.h"
+#include "possibilistic/safe.h"
+#include "possibilistic/sigma_family.h"
+#include "probabilistic/exact.h"
+#include "testing/generators.h"
+#include "testing/modelcheck.h"
+#include "testing/oracle.h"
+
+namespace epi {
+namespace testing {
+namespace {
+
+// --- Oracle unit tests ------------------------------------------------------
+
+TEST(Oracle, PossibilisticMatchesTheorem311Corners) {
+  // A ∩ B = {}: safe.
+  EXPECT_TRUE(oracle_possibilistic_full(FiniteSet(3, {0}), FiniteSet(3, {1}))
+                  .safe);
+  // A ∪ B = Omega: safe.
+  EXPECT_TRUE(
+      oracle_possibilistic_full(FiniteSet(3, {0, 1}), FiniteSet(3, {1, 2}))
+          .safe);
+  // Overlap without cover: unsafe, with a consistent violation witness.
+  const PossOracleResult r =
+      oracle_possibilistic_full(FiniteSet(3, {0, 1}), FiniteSet(3, {1}));
+  ASSERT_FALSE(r.safe);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_TRUE(r.violation->knowledge.contains(r.violation->world));
+}
+
+TEST(Oracle, UnrestrictedProbWitnessRegions) {
+  const WorldSet a(2, {0, 1});
+  const WorldSet b(2, {1, 2});
+  const UnrestrictedProbOracleResult r = oracle_unrestricted_prob(a, b);
+  ASSERT_FALSE(r.safe);
+  ASSERT_TRUE(r.inside && r.outside);
+  EXPECT_TRUE(a.contains(*r.inside) && b.contains(*r.inside));
+  EXPECT_TRUE(!a.contains(*r.outside) && !b.contains(*r.outside));
+  // The two-point uniform prior on those worlds attains gap 1/4.
+  const ExactDistribution two_point =
+      ExactDistribution::uniform_on(WorldSet(2, {*r.inside, *r.outside}));
+  EXPECT_EQ(two_point.safety_gap(a, b), Rational(1, 4));
+}
+
+TEST(Oracle, ExactGapAgreesWithExactDistribution) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const unsigned n = 1 + static_cast<unsigned>(rng.next_below(4));
+    const ExactDistribution p = random_exact_distribution(rng, n);
+    const WorldSet a = random_world_set(rng, n);
+    const WorldSet b = random_world_set(rng, n);
+    EXPECT_EQ(oracle_exact_gap(p, a, b), p.safety_gap(a, b));
+  }
+}
+
+// --- Generator determinism and palette coverage -----------------------------
+
+TEST(Generators, SameSeedSameScenario) {
+  Rng r1(42), r2(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(random_finite_set(r1, 8), random_finite_set(r2, 8));
+    EXPECT_EQ(random_world_set(r1, 4), random_world_set(r2, 4));
+    EXPECT_EQ(random_query_text(r1, {"a", "b"}, 3),
+              random_query_text(r2, {"a", "b"}, 3));
+  }
+}
+
+TEST(Generators, ClosedFamilyIsIntersectionClosed) {
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    ExplicitSigma sigma(random_closed_family(rng, 6));
+    EXPECT_TRUE(sigma.is_intersection_closed());
+  }
+}
+
+TEST(Generators, ExactPriorsAreDistributions) {
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const ExactDistribution p = random_exact_distribution(rng, 3);
+    Rational total;
+    for (World w = 0; w < 8; ++w) total += p.prob(w);
+    EXPECT_EQ(total, Rational(1));
+    EXPECT_TRUE(random_exact_log_supermodular(rng, 3).is_log_supermodular());
+  }
+}
+
+TEST(Generators, QueryTextAlwaysParses) {
+  Rng rng(5);
+  const std::vector<std::string> names = {"r0", "r1", "r2"};
+  for (int i = 0; i < 200; ++i) {
+    QueryPtr q;
+    const std::string text = random_query_text(rng, names, 3);
+    EXPECT_TRUE(try_parse_query(text, &q).ok()) << text;
+  }
+}
+
+// --- Shrinker ----------------------------------------------------------------
+
+TEST(Shrinker, ReducesToMinimalWitnessPair) {
+  // Failure predicate: "A and B intersect" — minimal failing pair is a
+  // single shared element.
+  FiniteSet a(8, {1, 3, 5, 7});
+  FiniteSet b(8, {3, 4, 5});
+  auto fails = [](const FiniteSet& x, const FiniteSet& y) {
+    return intersection_count(x, y) > 0;
+  };
+  auto [sa, sb] = shrink_pair(a, b, fails);
+  EXPECT_EQ(sa.count(), 1u);
+  EXPECT_EQ(sb.count(), 1u);
+  EXPECT_TRUE(fails(sa, sb));
+}
+
+TEST(Shrinker, UniverseShrinkKeepsPredicate) {
+  FiniteSet a(9, {2, 6});
+  FiniteSet b(9, {6, 8});
+  auto fails = [](const FiniteSet& x, const FiniteSet& y) {
+    return intersection_count(x, y) > 0;
+  };
+  auto [sa, sb] = shrink_universe(a, b, fails);
+  EXPECT_TRUE(fails(sa, sb));
+  EXPECT_EQ(sa.universe_size(), 1u);  // one world suffices to intersect
+}
+
+TEST(Shrinker, CoordinateProjectionPreservesDimensionInvariant) {
+  WorldSet a(4, {0b0001, 0b1001});
+  WorldSet b(4, {0b0001});
+  auto fails = [](const WorldSet& x, const WorldSet& y) {
+    return intersection_count(x, y) > 0 && !union_is_universe(x, y);
+  };
+  auto [sa, sb] = shrink_coordinates(a, b, fails);
+  EXPECT_TRUE(fails(sa, sb));
+  EXPECT_EQ(sa.n(), 1u);
+}
+
+// --- Regression: bugs the model checker found -------------------------------
+
+// The Theorem 3.11 known-world criteria claimed "unsafe" for an actual world
+// outside B, where Definition 3.1 is vacuous (shrunk counterexample: m=2,
+// A = B = {1}, omega* = 0). Found by possibilistic-unrestricted case 27 and
+// probabilistic-unrestricted case 19 of seed 2008.
+TEST(ModelCheckRegression, KnownWorldOutsideBIsVacuouslySafe) {
+  const FiniteSet a(2, {1}), b(2, {1});
+  EXPECT_TRUE(oracle_possibilistic_known_world(a, b, 0).safe);
+  EXPECT_TRUE(safe_unrestricted_known_world(a, b, 0));
+  // The genuinely unsafe known world (omega* in A ∩ B) stays unsafe.
+  EXPECT_FALSE(oracle_possibilistic_known_world(a, b, 1).safe);
+  EXPECT_FALSE(safe_unrestricted_known_world(a, b, 1));
+
+  const WorldSet wa(3, {7}), wb(3, {3, 7});
+  EXPECT_TRUE(unconditionally_safe_known_world(wa, wb, 0));   // outside B
+  EXPECT_TRUE(unconditionally_safe_known_world(wa, wb, 3));   // B - A
+  EXPECT_FALSE(unconditionally_safe_known_world(wa, wb, 7));  // A ∩ B
+}
+
+// --- Reduced-budget differential run ----------------------------------------
+
+TEST(ModelCheck, AllChecksAgreeWithTheOracles) {
+  ModelCheckOptions options;
+  options.cases_per_check = 150;  // 1,200 scenarios; CI runs the full 10k
+  const ModelCheckReport report = run_model_check(options);
+  EXPECT_EQ(report.total_cases, 150u * check_names().size());
+  for (const CheckFailure& f : report.failures) {
+    ADD_FAILURE() << "[" << f.check << " #" << f.case_index << "] "
+                  << f.description;
+  }
+}
+
+TEST(ModelCheck, SingleCaseReproRunsExactlyOneCase) {
+  ModelCheckOptions options;
+  options.only_check = "sigma-intervals";
+  options.only_case = 47;
+  const ModelCheckReport report = run_model_check(options);
+  EXPECT_EQ(report.total_cases, 1u);
+  ASSERT_EQ(report.summaries.size(), 1u);
+  EXPECT_EQ(report.summaries[0].name, "sigma-intervals");
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace epi

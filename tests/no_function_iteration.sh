@@ -1,11 +1,10 @@
 #!/bin/sh
-# Lint gate (registered as CTest `no_function_iteration`): hot paths must not
-# iterate sets through the deprecated std::function-based for_each — the
-# templated visit()/visit_intersection inline into the kernel word scan, and
-# the whole point of the dense_bits refactor is that no per-element
-# type-erased call survives in src/, bench/, or examples/. The shim
-# definitions in the two wrappers (and their one coverage test in tests/)
-# are the only allowed appearances.
+# Lint gate (registered as CTest `no_function_iteration`): set iteration must
+# go through the templated visit()/visit_intersection (which inline into the
+# kernel word scan) — the whole point of the dense_bits refactor is that no
+# per-element type-erased call survives in src/, bench/, or examples/. The
+# deprecated std::function-based for_each shims have been removed, so there
+# are no allowed appearances at all.
 # Usage: no_function_iteration.sh <repo-root>
 set -u
 
@@ -13,8 +12,6 @@ root="${1:?usage: no_function_iteration.sh <repo-root>}"
 
 bad=$(grep -rn -e '\.for_each(' -e '->for_each(' \
   "$root/src" "$root/bench" "$root/examples" \
-  | grep -v 'src/worlds/world_set\.\(h\|cpp\)' \
-  | grep -v 'src/worlds/finite_set\.\(h\|cpp\)' \
   || true)
 
 if [ -n "$bad" ]; then
@@ -24,4 +21,4 @@ if [ -n "$bad" ]; then
   exit 1
 fi
 
-echo "no std::function set iteration outside the deprecated shims OK"
+echo "no std::function set iteration OK"

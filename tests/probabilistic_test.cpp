@@ -141,6 +141,36 @@ TEST(Modularity, CoupledIsingIsNotProduct) {
   EXPECT_GT(non_product, 5);
 }
 
+TEST(Modularity, DegenerateUniversesAreTriviallyModular) {
+  // n = 1 — the smallest universe Distribution admits — has no incomparable
+  // world pairs (0 < 1 is a chain), so Definition 5.1 quantifies over an
+  // empty set and every distribution is supermodular, submodular, and a
+  // product at once, even a point mass.
+  const Distribution biased(1, {0.9, 0.1});
+  EXPECT_TRUE(is_log_supermodular(biased));
+  EXPECT_TRUE(is_log_submodular(biased));
+  EXPECT_TRUE(is_product(biased));
+  const Distribution point = Distribution::point_mass(1, 1);
+  EXPECT_TRUE(is_log_supermodular(point));
+  EXPECT_TRUE(is_log_submodular(point));
+  EXPECT_TRUE(is_product(point));
+}
+
+TEST(Modularity, ZeroMassWorldsDecideTheInequalityStrictly) {
+  // Mass only on the incomparable pair {01, 10}: the meet/join side of
+  // Definition 5.1 is 0, so P is strictly submodular and not a product.
+  const Distribution anti(2, {0.0, 0.5, 0.5, 0.0});
+  EXPECT_FALSE(is_log_supermodular(anti));
+  EXPECT_TRUE(is_log_submodular(anti));
+  EXPECT_FALSE(is_product(anti));
+  // Mass only on the chain {00, 11}: the incomparable side is 0, so P is
+  // strictly supermodular and again not a product.
+  const Distribution chain(2, {0.5, 0.0, 0.0, 0.5});
+  EXPECT_TRUE(is_log_supermodular(chain));
+  EXPECT_FALSE(is_log_submodular(chain));
+  EXPECT_FALSE(is_product(chain));
+}
+
 TEST(Modularity, FourFunctionsConsequence) {
   // Theorem 5.3 with alpha=beta=gamma=delta=P: for log-supermodular P,
   // P[X] P[Y] <= P[X \/ Y] P[X /\ Y] for all sets X, Y.

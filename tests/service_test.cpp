@@ -21,6 +21,7 @@
 #include "service/session.h"
 #include "service/verdict_cache.h"
 #include "util/status.h"
+#include "worlds/dense_bits.h"
 #include "worlds/world_set.h"
 
 namespace epi {
@@ -649,6 +650,75 @@ TEST(VerdictCacheTest, DistinctPriorsDoNotShareEntries) {
   EXPECT_FALSE(
       cache.lookup(VerdictCache::key_for(a, b, PriorAssumption::kProduct), a, b)
           .has_value());
+}
+
+// Mirrors VerdictCache::KeyHash so the test can steer keys into a chosen
+// shard of an 8-shard cache.
+std::size_t shard_index(const VerdictKey& key, unsigned shards) {
+  return static_cast<std::size_t>(bits::hash_combine(
+             bits::hash_combine(key.a_hash, key.b_hash),
+             static_cast<std::uint64_t>(key.prior))) %
+         shards;
+}
+
+TEST(VerdictCacheTest, SameShardSlotCollisionIsCountedNeverServed) {
+  constexpr unsigned kShards = 8;
+  obs::MetricsRegistry metrics;
+  VerdictCache cache({/*capacity=*/32, /*shards=*/kShards}, metrics);
+
+  // Search real (A, B) pairs until two DISTINCT key triples land in the
+  // same shard (pigeonhole: at most kShards+1 of the 16 candidate B's).
+  const WorldSet a(3, {1, 2});
+  std::vector<std::pair<VerdictKey, WorldSet>> probes;
+  std::optional<std::pair<std::size_t, std::size_t>> same_shard;
+  for (World w = 0; w < 16 && !same_shard; ++w) {
+    const WorldSet b = w < 8 ? WorldSet(3, {w})
+                             : WorldSet(3, {static_cast<World>(w - 8),
+                                            static_cast<World>((w - 7) % 8)});
+    const VerdictKey key = VerdictCache::key_for(a, b, PriorAssumption::kProduct);
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      if (shard_index(probes[j].first, kShards) == shard_index(key, kShards)) {
+        same_shard = {j, probes.size()};
+        break;
+      }
+    }
+    probes.emplace_back(key, b);
+  }
+  ASSERT_TRUE(same_shard.has_value()) << "no shard pair among 16 probes";
+  const auto& [k1, b1] = probes[same_shard->first];
+  const auto& [k2, b2] = probes[same_shard->second];
+  ASSERT_FALSE(k1 == k2);
+
+  // Distinct keys in one shard are independent slots: both hit, no
+  // collision is counted.
+  cache.insert(k1, a, b1, safe_decision("slot-1"));
+  cache.insert(k2, a, b2, safe_decision("slot-2"));
+  EXPECT_EQ(cache.lookup(k1, a, b1)->method, "slot-1");
+  EXPECT_EQ(cache.lookup(k2, a, b2)->method, "slot-2");
+  EXPECT_EQ(metrics.snapshot().counter("service.cache.collisions"), 0);
+
+  // Now force a true hash collision INSIDE that slot: the pair (a, b2)
+  // arriving under k1's key triple (as a full 128-bit WorldSet::hash
+  // collision would). The lookup must degrade to a counted miss — slot-1's
+  // verdict is never served for (a, b2).
+  EXPECT_FALSE(cache.lookup(k1, a, b2).has_value());
+  EXPECT_EQ(metrics.snapshot().counter("service.cache.collisions"), 1);
+
+  // The collision-overwrite path: the newest verdict wins the slot, after
+  // which the ORIGINAL pair misses with another counted collision rather
+  // than receiving slot-1b's verdict.
+  EngineDecision d = safe_decision("slot-1b");
+  d.verdict = Verdict::kUnsafe;
+  cache.insert(k1, a, b2, d);
+  const std::optional<EngineDecision> refreshed = cache.lookup(k1, a, b2);
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_EQ(refreshed->method, "slot-1b");
+  EXPECT_EQ(refreshed->verdict, Verdict::kUnsafe);
+  EXPECT_FALSE(cache.lookup(k1, a, b1).has_value());
+  EXPECT_EQ(metrics.snapshot().counter("service.cache.collisions"), 2);
+
+  // The neighbouring slot in the same shard was never disturbed.
+  EXPECT_EQ(cache.lookup(k2, a, b2)->method, "slot-2");
 }
 
 // --- Wire protocol --------------------------------------------------------

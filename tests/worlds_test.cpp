@@ -516,24 +516,6 @@ TEST(FusedPredicates, WeightSumsBitIdenticalToPerWorldLoop) {
   EXPECT_EQ(intersection_weight_sum(a, b, weights.data()), inter);
 }
 
-// --- Deprecated for_each shim ----------------------------------------------
-
-TEST(DeprecatedForEach, ShimStillVisitsInOrder) {
-  // The std::function shims survive one release for out-of-tree callers;
-  // they must keep visiting in increasing order.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  WorldSet s(4, {1, 9, 14});
-  std::vector<World> ws;
-  s.for_each([&](World w) { ws.push_back(w); });
-  EXPECT_EQ(ws, (std::vector<World>{1, 9, 14}));
-  FiniteSet f(20, {0, 7, 19});
-  std::vector<std::size_t> es;
-  f.for_each([&](std::size_t e) { es.push_back(e); });
-  EXPECT_EQ(es, (std::vector<std::size_t>{0, 7, 19}));
-#pragma GCC diagnostic pop
-}
-
 // --- Setwise meet/join early exits (Thm. 5.3) -------------------------------
 
 TEST(WorldSet, SetwiseMeetJoinEmptyOperand) {

@@ -1,0 +1,66 @@
+// libFuzzer harness for the audit service's JSON-lines wire protocol
+// (service/protocol.h). Feeds arbitrary bytes to both parsers and asserts
+// the round-trip invariant on every accepted frame: parse -> serialize ->
+// parse must succeed and agree field by field. Parsing is Status-first, so
+// ANY crash, sanitizer report or exception is a finding.
+//
+// With clang this links against -fsanitize=fuzzer; elsewhere
+// fuzz_replay_main.cpp replays the checked-in corpus (tests/fuzz/protocol)
+// so the smoke test runs under every toolchain.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    // abort() so both libFuzzer and the replay driver flag the input.
+    std::fprintf(stderr, "fuzz_protocol invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+void fuzz_request(const std::string& line) {
+  epi::service::WireRequest request;
+  if (!epi::service::parse_request(line, &request).ok()) return;
+  const std::string wire = epi::service::serialize_request(request);
+  epi::service::WireRequest again;
+  check(epi::service::parse_request(wire, &again).ok(),
+        "serialized request failed to re-parse");
+  check(again.op == request.op && again.id == request.id &&
+            again.user == request.user && again.query == request.query &&
+            again.answer == request.answer &&
+            again.deadline_ms == request.deadline_ms,
+        "request round-trip changed a field");
+}
+
+void fuzz_response(const std::string& line) {
+  epi::service::WireResponse response;
+  if (!epi::service::parse_response(line, &response).ok()) return;
+  const std::string wire = epi::service::serialize_response(response);
+  epi::service::WireResponse again;
+  check(epi::service::parse_response(wire, &again).ok(),
+        "serialized response failed to re-parse");
+  check(again.id == response.id && again.ok == response.ok &&
+            again.verdict == response.verdict &&
+            again.method == response.method &&
+            again.cumulative_verdict == response.cumulative_verdict &&
+            again.metrics_json == response.metrics_json &&
+            again.sequence == response.sequence,
+        "response round-trip changed a field");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  fuzz_request(line);
+  fuzz_response(line);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Corpus-replay driver for the fuzz harnesses on toolchains without
+// libFuzzer (the repo's gcc builds). Accepts the same command line shape as
+// a libFuzzer binary — file and directory arguments are inputs, dash
+// arguments are ignored — so the fuzz-smoke CTest entry is identical under
+// both toolchains. Compiled in only when EPI_FUZZER_ENGINE is off
+// (tools/CMakeLists.txt); with clang the real -fsanitize=fuzzer main links
+// instead.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz replay: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer-style flags
+    const std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(path);
+    }
+  }
+  int failures = 0;
+  for (const auto& path : inputs) failures += replay_file(path);
+  std::printf("fuzz replay: %zu inputs, %d unreadable\n", inputs.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// epi_modelcheck: the differential model-checking CLI. Runs seeded random
+// scenarios through every criterion / the engine / the audit service and
+// cross-checks them against the brute-force definition oracles.
+//
+//   epi_modelcheck                         # full run (10,000 scenarios)
+//   epi_modelcheck --cases=200             # quick sweep (200 per check)
+//   epi_modelcheck --seed=7 --check=sigma-intervals --case=143   # repro
+//
+// Exit codes: 0 all checks agree, 1 disagreement found, 2 usage error.
+// docs/testing.md documents the repro workflow from a CI log.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "testing/modelcheck.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: epi_modelcheck [options]\n"
+        "  --seed=<u64>     master seed (default 2008)\n"
+        "  --cases=<u64>    scenarios per check (default 1250; 8 checks)\n"
+        "  --check=<name>   run a single check (see --list)\n"
+        "  --case=<u64>     run a single case index (repro mode)\n"
+        "  --max-m=<n>      largest finite universe (default 9)\n"
+        "  --max-n=<n>      largest hypercube dimension (default 4)\n"
+        "  --samples=<n>    exact priors sampled per Safe verdict (default 12)\n"
+        "  --list           print check names and exit\n"
+        "  --quiet          suppress per-check progress lines\n";
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  epi::testing::ModelCheckOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    std::uint64_t u = 0;
+    if (key == "--list") {
+      for (const std::string& name : epi::testing::check_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (key == "--quiet") {
+      quiet = true;
+    } else if (key == "--help" || key == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (key == "--seed" && parse_u64(value, &u)) {
+      options.seed = u;
+    } else if (key == "--cases" && parse_u64(value, &u)) {
+      options.cases_per_check = u;
+    } else if (key == "--check" && !value.empty()) {
+      options.only_check = value;
+    } else if (key == "--case" && parse_u64(value, &u)) {
+      options.only_case = u;
+    } else if (key == "--max-m" && parse_u64(value, &u)) {
+      options.max_m = static_cast<unsigned>(u);
+    } else if (key == "--max-n" && parse_u64(value, &u)) {
+      options.max_n = static_cast<unsigned>(u);
+    } else if (key == "--samples" && parse_u64(value, &u)) {
+      options.prior_samples = u;
+    } else {
+      std::cerr << "epi_modelcheck: bad argument '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (!options.only_check.empty()) {
+    bool known = false;
+    for (const std::string& name : epi::testing::check_names()) {
+      known = known || name == options.only_check;
+    }
+    if (!known) {
+      std::cerr << "epi_modelcheck: unknown check '" << options.only_check
+                << "' (see --list)\n";
+      return 2;
+    }
+  }
+
+  const epi::testing::ModelCheckReport report =
+      epi::testing::run_model_check(options, quiet ? nullptr : &std::cout);
+
+  std::cout << report.total_cases << " scenarios, " << report.failures.size()
+            << " failures (seed " << options.seed << ")\n";
+  for (const epi::testing::CheckFailure& f : report.failures) {
+    std::cout << "FAIL [" << f.check << " #" << f.case_index << "] "
+              << f.description << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
