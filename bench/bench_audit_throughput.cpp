@@ -13,10 +13,15 @@
 //
 // `--rate-only` prints a single "rate=<audits/sec>" line (tracing off,
 // product prior) for CI to diff against an EPI_OBS_NOOP build.
+//
+// `--json` replaces the text report with a machine-readable JSON document
+// covering all four axes; BENCH_audit.json at the repo root is a checked-in
+// snapshot of that output.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/auditor.h"
@@ -63,6 +68,60 @@ Workload rate_workload() {
   return make_hospital_workload(options);
 }
 
+/// Accumulates every measurement so `--json` can emit the whole report as
+/// one document after the runs finish.
+struct JsonReport {
+  struct PriorRow {
+    unsigned patients;
+    int queries;
+    std::string prior;
+    double rate;
+    std::size_t safe, unsafe_count, unknown;
+  };
+  struct ThreadRow {
+    unsigned threads;
+    double rate;
+    double speedup;
+  };
+  std::vector<PriorRow> priors;
+  std::vector<ThreadRow> threads;
+  double fused_naive_rate = 0.0, fused_rate = 0.0;
+  double tracing_off_rate = 0.0, tracing_on_rate = 0.0;
+  std::size_t tracing_spans = 0;
+
+  void print() const {
+    std::printf("{\n  \"bench\": \"audit_throughput\",\n");
+    std::printf("  \"prior_families\": [\n");
+    for (std::size_t i = 0; i < priors.size(); ++i) {
+      const PriorRow& r = priors[i];
+      std::printf(
+          "    {\"patients\": %u, \"queries\": %d, \"prior\": \"%s\", "
+          "\"audits_per_sec\": %.0f, \"safe\": %zu, \"unsafe\": %zu, "
+          "\"unknown\": %zu}%s\n",
+          r.patients, r.queries, r.prior.c_str(), r.rate, r.safe,
+          r.unsafe_count, r.unknown, i + 1 < priors.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"thread_scaling\": [\n");
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      const ThreadRow& r = threads[i];
+      std::printf(
+          "    {\"threads\": %u, \"audits_per_sec\": %.0f, "
+          "\"speedup\": %.2f}%s\n",
+          r.threads, r.rate, r.speedup, i + 1 < threads.size() ? "," : "");
+    }
+    std::printf(
+        "  ],\n  \"fused_kernels\": {\"naive_checks_per_sec\": %.0f, "
+        "\"fused_checks_per_sec\": %.0f, \"speedup\": %.2f},\n",
+        fused_naive_rate, fused_rate, fused_rate / fused_naive_rate);
+    std::printf(
+        "  \"tracing\": {\"off_audits_per_sec\": %.0f, "
+        "\"on_audits_per_sec\": %.0f, \"spans\": %zu, "
+        "\"overhead_pct\": %.1f}\n}\n",
+        tracing_off_rate, tracing_on_rate, tracing_spans,
+        (tracing_off_rate / tracing_on_rate - 1.0) * 100.0);
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,10 +133,14 @@ int main(int argc, char** argv) {
     std::printf("rate=%.0f\n", measure(workload, auditor));
     return 0;
   }
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  JsonReport report;
 
-  std::printf("=== E13 (extension): offline audit throughput ===\n\n");
-  std::printf("%9s %8s %18s %12s | %6s %7s %8s\n", "patients", "queries",
-              "prior", "audits/sec", "safe", "unsafe", "unknown");
+  if (!json) {
+    std::printf("=== E13 (extension): offline audit throughput ===\n\n");
+    std::printf("%9s %8s %18s %12s | %6s %7s %8s\n", "patients", "queries",
+                "prior", "audits/sec", "safe", "unsafe", "unknown");
+  }
 
   for (unsigned patients : {4u, 6u, 8u}) {
     WorkloadOptions options;
@@ -92,32 +155,44 @@ int main(int argc, char** argv) {
       Auditor auditor(workload.universe, prior, throughput_options(1));
       std::size_t safe = 0, unsafe = 0, unknown = 0;
       const double rate = measure(workload, auditor, &safe, &unsafe, &unknown);
-      std::printf("%9u %8d %18s %12.0f | %6zu %7zu %8zu\n", patients,
-                  options.queries, to_string(prior).c_str(), rate, safe, unsafe,
-                  unknown);
+      if (!json) {
+        std::printf("%9u %8d %18s %12.0f | %6zu %7zu %8zu\n", patients,
+                    options.queries, to_string(prior).c_str(), rate, safe,
+                    unsafe, unknown);
+      }
+      report.priors.push_back({patients, options.queries, to_string(prior),
+                               rate, safe, unsafe, unknown});
     }
   }
 
-  std::printf(
-      "\n--- thread scaling: product prior, 200-disclosure log ---\n\n");
+  if (!json) {
+    std::printf(
+        "\n--- thread scaling: product prior, 200-disclosure log ---\n\n");
+  }
   WorkloadOptions scaling;
   scaling.patients = 8;
   scaling.queries = 200;
   scaling.seed = 0xAB5;
   Workload workload = make_hospital_workload(scaling);
 
-  std::printf("%9s %12s %9s\n", "threads", "audits/sec", "speedup");
+  if (!json) std::printf("%9s %12s %9s\n", "threads", "audits/sec", "speedup");
   double base_rate = 0.0;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     Auditor auditor(workload.universe, PriorAssumption::kProduct,
                     throughput_options(threads));
     const double rate = measure(workload, auditor);
     if (threads == 1) base_rate = rate;
-    std::printf("%9u %12.0f %8.2fx\n", threads, rate, rate / base_rate);
+    if (!json) {
+      std::printf("%9u %12.0f %8.2fx\n", threads, rate, rate / base_rate);
+    }
+    report.threads.push_back({threads, rate, rate / base_rate});
   }
 
-  std::printf(
-      "\n--- fused kernel axis: Thm. 3.11 checks on audit-sized sets ---\n\n");
+  if (!json) {
+    std::printf(
+        "\n--- fused kernel axis: Thm. 3.11 checks on audit-sized sets "
+        "---\n\n");
+  }
   {
     // The unrestricted-prior fast path is one disjointness scan plus one
     // union_is_universe scan per (A, B) pair; before the dense_bits kernel
@@ -150,13 +225,19 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     const double total = static_cast<double>(rounds) * as.size();
-    std::printf("%12s %14s\n", "variant", "checks/sec");
-    std::printf("%12s %14.0f\n", "naive", total / naive_s);
-    std::printf("%12s %14.0f   (%.2fx, sink=%d)\n", "fused", total / fused_s,
-                naive_s / fused_s, sink ? 1 : 0);
+    report.fused_naive_rate = total / naive_s;
+    report.fused_rate = total / fused_s;
+    if (!json) {
+      std::printf("%12s %14s\n", "variant", "checks/sec");
+      std::printf("%12s %14.0f\n", "naive", total / naive_s);
+      std::printf("%12s %14.0f   (%.2fx, sink=%d)\n", "fused", total / fused_s,
+                  naive_s / fused_s, sink ? 1 : 0);
+    }
   }
 
-  std::printf("\n--- tracing overhead: product prior, 8 patients ---\n\n");
+  if (!json) {
+    std::printf("\n--- tracing overhead: product prior, 8 patients ---\n\n");
+  }
   const Workload traced_workload = rate_workload();
   Auditor traced_auditor(traced_workload.universe, PriorAssumption::kProduct,
                          throughput_options(1));
@@ -166,6 +247,15 @@ int main(int argc, char** argv) {
   obs::install_trace(trace);
   const double rate_on = measure(traced_workload, traced_auditor);
   obs::install_trace(nullptr);
+  report.tracing_off_rate = rate_off;
+  report.tracing_on_rate = rate_on;
+  report.tracing_spans = trace->size();
+
+  if (json) {
+    report.print();
+    return 0;
+  }
+
   std::printf("%12s %12s\n", "tracing", "audits/sec");
   std::printf("%12s %12.0f\n", "off", rate_off);
   std::printf("%12s %12.0f   (%zu spans, %+.1f%%)\n", "on", rate_on,

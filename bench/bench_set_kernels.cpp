@@ -13,10 +13,15 @@
 // Inputs are constructed so the fused predicates cannot early-exit (the
 // subset relation holds, so every word is scanned): the measured gap is the
 // fusion win, not an early-out artifact.
+//
+// `--json` replaces the text report with a machine-readable JSON document
+// (one result object per (n, kernel) pair); BENCH_kernels.json at the repo
+// root is a checked-in snapshot of that output.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -56,10 +61,34 @@ void print_row(const Row& r) {
               r.fused_ns, r.naive_ns / r.fused_ns);
 }
 
+struct Result {
+  unsigned n;
+  Row row;
+};
+
+void print_json(const std::vector<Result>& results) {
+  std::printf("{\n  \"bench\": \"set_kernels\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::printf(
+        "    {\"n\": %u, \"kernel\": \"%s\", \"naive_ns\": %.0f, "
+        "\"fused_ns\": %.0f, \"speedup\": %.2f}%s\n",
+        r.n, r.row.kernel, r.row.naive_ns, r.row.fused_ns,
+        r.row.naive_ns / r.row.fused_ns, i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
 }  // namespace
 
-int main() {
-  std::printf("=== E14 (extension): fused set kernels vs allocate-then-test ===\n");
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  std::vector<Result> results;
+
+  if (!json) {
+    std::printf(
+        "=== E14 (extension): fused set kernels vs allocate-then-test ===\n");
+  }
 
   for (unsigned n : {16u, 18u, 20u}) {
     Rng rng(0xE14 + n);
@@ -71,10 +100,12 @@ int main() {
     const Distribution p = Distribution::random(n, rng);
     const int reps = n >= 20 ? 200 : 2000;
 
-    std::printf("\n-- n = %u (|Omega| = %zu, %zu words) --\n", n,
-                s.omega_size(), s.word_count());
-    std::printf("  %-26s %12s %12s %9s\n", "kernel", "naive ns", "fused ns",
-                "speedup");
+    if (!json) {
+      std::printf("\n-- n = %u (|Omega| = %zu, %zu words) --\n", n,
+                  s.omega_size(), s.word_count());
+      std::printf("  %-26s %12s %12s %9s\n", "kernel", "naive ns", "fused ns",
+                  "speedup");
+    }
 
     // (s ∩ b) ⊆ a: naive materializes s & b, then runs subset_of.
     bool sink = false;
@@ -91,7 +122,8 @@ int main() {
                     benchmark::DoNotOptimize(sink);
                   }),
     };
-    print_row(subset);
+    if (!json) print_row(subset);
+    results.push_back({n, subset});
 
     // P[A]: naive drives the accumulation through a type-erased
     // std::function per world (the pre-kernel for_each idiom); fused is the
@@ -112,7 +144,8 @@ int main() {
                     benchmark::DoNotOptimize(sum);
                   }),
     };
-    print_row(weight);
+    if (!json) print_row(weight);
+    results.push_back({n, weight});
 
     // P[A∩B]: naive materializes a & b and sums through std::function.
     const Row inter_weight{
@@ -130,7 +163,8 @@ int main() {
                     benchmark::DoNotOptimize(sum);
                   }),
     };
-    print_row(inter_weight);
+    if (!json) print_row(inter_weight);
+    results.push_back({n, inter_weight});
 
     // A∪B = Omega: naive allocates the union, then scans it again.
     const Row universe{
@@ -146,7 +180,13 @@ int main() {
                     benchmark::DoNotOptimize(sink);
                   }),
     };
-    print_row(universe);
+    if (!json) print_row(universe);
+    results.push_back({n, universe});
+  }
+
+  if (json) {
+    print_json(results);
+    return 0;
   }
 
   std::printf(

@@ -4,7 +4,7 @@
 // documented in core/scenario.h.
 //
 // Usage: audit_cli [--stats] [--metrics] [--trace=<file.json>] [--threads N]
-//                  [scenario-file]
+//                  [--backend=dense|symbolic|auto] [scenario-file]
 //   --stats            after each report, print per-stage decision counters
 //                      and wall time (the DecisionEngine's instrumentation)
 //   --metrics          after each report, print its full metrics snapshot,
@@ -13,6 +13,10 @@
 //                      JSON to <file> ("-" writes to stdout)
 //   --threads N        decide disclosures on N worker threads (0 = one per
 //                      core); reports are byte-identical for every value
+//   --backend=B        compiled-set representation: dense bitsets, symbolic
+//                      subcube covers, or auto (default: dense up to 26
+//                      records, symbolic above — the only way past 2^26
+//                      bits per set)
 // Without a scenario file a built-in demonstration scenario is used.
 //
 // Errors are routed through epi::Status — no uncaught throws — and the exit
@@ -26,6 +30,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/report.h"
@@ -61,6 +66,8 @@ constexpr char kUsage[] =
     "                   process-wide registry\n"
     "  --trace=<file>   write a JSON span trace of the run ('-' = stdout)\n"
     "  --threads N      decide disclosures on N threads (0 = one per core)\n"
+    "  --backend=B      world-set representation: dense, symbolic or auto\n"
+    "                   (auto = dense up to 26 records, symbolic above)\n"
     "Without a scenario file the built-in demonstration scenario runs.\n";
 
 struct CliOptions {
@@ -156,6 +163,12 @@ epi::Status parse_args(int argc, char** argv, CliOptions* cli) {
         return epi::Status::InvalidArgument("--threads must be >= 0");
       }
       cli->auditor.threads = static_cast<unsigned>(n);
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      try {
+        cli->auditor.backend = epi::parse_backend(argv[i] + 10);
+      } catch (const std::invalid_argument& e) {
+        return epi::Status::InvalidArgument(e.what());
+      }
     } else if (argv[i][0] == '-') {
       return epi::Status::InvalidArgument(std::string("unknown flag '") +
                                           argv[i] + "'");

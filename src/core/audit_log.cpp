@@ -17,9 +17,10 @@ obs::Counter& disclosed_set_counter() {
 
 }  // namespace
 
-WorldSet Disclosure::disclosed_set(const RecordUniverse& universe) const {
+WorldSet Disclosure::disclosed_set(const RecordUniverse& universe,
+                                   SetBackend backend) const {
   disclosed_set_counter().add(1);
-  const WorldSet satisfying = query->compile(universe);
+  const WorldSet satisfying = query->compile(universe, backend);
   return answer ? satisfying : ~satisfying;
 }
 

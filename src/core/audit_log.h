@@ -20,8 +20,10 @@ struct Disclosure {
   std::string timestamp;   ///< free-form (e.g. "2005-03-02")
 
   /// The disclosed world set: satisfying worlds when the answer was "true",
-  /// their complement otherwise.
-  WorldSet disclosed_set(const RecordUniverse& universe) const;
+  /// their complement otherwise. `backend` picks the compiled
+  /// representation (kAuto: dense up to kMaxCoordinates).
+  WorldSet disclosed_set(const RecordUniverse& universe,
+                         SetBackend backend = SetBackend::kAuto) const;
 };
 
 /// Instrumentation: process-wide number of Disclosure::disclosed_set calls

@@ -90,6 +90,25 @@ Auditor::Auditor(RecordUniverse universe, PriorAssumption prior,
   if (const Status s = options.validate(); !s.ok()) {
     throw std::invalid_argument(s.to_string());
   }
+  const unsigned n = static_cast<unsigned>(universe_.size());
+  if (options.backend == SetBackend::kDense && n > kMaxCoordinates) {
+    throw std::invalid_argument(
+        "Auditor: " + std::to_string(n) + " records exceed the dense cap of " +
+        std::to_string(kMaxCoordinates) + "; use the symbolic backend");
+  }
+  if (resolved_backend() == SetBackend::kSymbolic && n > kMaxCoordinates &&
+      prior != PriorAssumption::kUnrestricted) {
+    throw std::invalid_argument(
+        "Auditor: the " + to_string(prior) +
+        " prior needs dense sets per pair, which cap at " +
+        std::to_string(kMaxCoordinates) +
+        " records; only the unrestricted prior audits symbolically beyond");
+  }
+}
+
+SetBackend Auditor::resolved_backend() const {
+  return resolve_backend(engine_.options().backend,
+                         static_cast<unsigned>(universe_.size()));
 }
 
 void Auditor::ensure_subcube_oracle() const {
@@ -152,7 +171,8 @@ AuditReport Auditor::audit(const AuditLog& log,
   AuditReport report;
   report.audit_query = audit_query_text;
   report.prior = engine_.prior();
-  const WorldSet a = parse_query(audit_query_text)->compile(universe_);
+  const SetBackend backend = resolved_backend();
+  const WorldSet a = parse_query(audit_query_text)->compile(universe_, backend);
 
   AuditContext ctx;
   ctx.reset_stages(engine_.stage_names());
@@ -176,7 +196,7 @@ AuditReport Auditor::audit(const AuditLog& log,
     obs::ScopedSpan compile_span("audit.compile-disclosures");
     for (const Disclosure& d : entries) {
       disclosure_sets.push_back(&ctx.compiled(
-          disclosure_key(d), [&] { return d.disclosed_set(universe_); }));
+          disclosure_key(d), [&] { return d.disclosed_set(universe_, backend); }));
     }
   }
 
@@ -220,7 +240,8 @@ AuditReport Auditor::audit(const AuditLog& log,
   std::vector<std::size_t> answered_counts;
   conjunctions.reserve(users.size());
   for (const std::string& user : users) {
-    WorldSet conjunction = WorldSet::universe(static_cast<unsigned>(universe_.size()));
+    WorldSet conjunction =
+        WorldSet::universe(static_cast<unsigned>(universe_.size()), backend);
     std::size_t answered = 0;
     for (std::size_t i = 0; i < entries.size(); ++i) {
       if (entries[i].user != user) continue;

@@ -78,6 +78,9 @@ class Auditor {
 
   const RecordUniverse& universe() const { return universe_; }
   PriorAssumption prior() const { return engine_.prior(); }
+  /// The compiled-set representation in use: AuditorOptions::backend with
+  /// kAuto resolved against the universe size (never returns kAuto).
+  SetBackend resolved_backend() const;
 
   /// The decision cascade; exposed so applications can register custom
   /// CriterionStages (setup time only — see docs/extending.md).

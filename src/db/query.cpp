@@ -1,9 +1,48 @@
 #include "db/query.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace epi {
 namespace {
+
+/// Appends one cube per j-subset of `coords`, fixing the chosen coordinates
+/// to `value` (1 or 0) and starring everything else. Guarded by the caller.
+void emit_threshold_cubes(const std::vector<unsigned>& coords, unsigned j,
+                          bool value, unsigned n,
+                          std::vector<MatchVector>& out) {
+  // Iterative combination walk (lexicographic) to keep stack depth flat.
+  std::vector<std::size_t> idx(j);
+  for (unsigned i = 0; i < j; ++i) idx[i] = i;
+  while (true) {
+    MatchVector cube;
+    cube.stars = coordinate_mask(n);
+    for (std::size_t i : idx) {
+      const World bit = World{1} << coords[i];
+      cube.stars &= ~bit;
+      if (value) cube.values |= bit;
+    }
+    out.push_back(cube);
+    // Advance to the next combination.
+    std::size_t pos = j;
+    while (pos > 0 && idx[pos - 1] == coords.size() - (j - (pos - 1))) --pos;
+    if (pos == 0) break;
+    ++idx[pos - 1];
+    for (std::size_t i = pos; i < j; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+/// C(m, j), capped: returns kMaxCubes + 1 as soon as the count exceeds it.
+std::size_t capped_binomial(std::size_t m, std::size_t j) {
+  if (j > m) return 0;
+  j = std::min(j, m - j);
+  unsigned long long c = 1;
+  for (std::size_t i = 0; i < j; ++i) {
+    c = c * (m - i) / (i + 1);
+    if (c > SubcubeCover::kMaxCubes) return SubcubeCover::kMaxCubes + 1;
+  }
+  return static_cast<std::size_t>(c);
+}
 
 class AtomQuery : public Query {
  public:
@@ -22,6 +61,14 @@ class AtomQuery : public Query {
       if (world_bit(w, i)) s.insert(w);
     }
     return s;
+  }
+
+  SubcubeCover compile_cover(const RecordUniverse& universe) const override {
+    // The same cylinder as a single cube: coordinate i fixed to 1.
+    const unsigned n = universe.size();
+    const World bit = World{1} << coordinate(universe);
+    return SubcubeCover::cube(
+        n, MatchVector{coordinate_mask(n) & ~bit, bit});
   }
 
   std::string to_string() const override { return name_; }
@@ -45,6 +92,10 @@ class ConstQuery : public Query {
   WorldSet compile(const RecordUniverse& universe) const override {
     return value_ ? WorldSet::universe(universe.size()) : WorldSet(universe.size());
   }
+  SubcubeCover compile_cover(const RecordUniverse& universe) const override {
+    return value_ ? SubcubeCover::universe(universe.size())
+                  : SubcubeCover::empty(universe.size());
+  }
   std::string to_string() const override { return value_ ? "true" : "false"; }
 
  private:
@@ -59,6 +110,9 @@ class NotQuery : public Query {
   }
   WorldSet compile(const RecordUniverse& u) const override {
     return ~inner_->compile(u);
+  }
+  SubcubeCover compile_cover(const RecordUniverse& u) const override {
+    return inner_->compile_cover(u).complement();
   }
   std::string to_string() const override { return "!" + inner_->to_string(); }
 
@@ -85,6 +139,48 @@ class CountQuery : public Query {
       present += world_bit(w, *coord);
     }
     return at_least_ ? present >= k_ : present <= k_;
+  }
+
+  SubcubeCover compile_cover(const RecordUniverse& universe) const override {
+    const unsigned n = universe.size();
+    std::vector<unsigned> coords;
+    coords.reserve(names_.size());
+    for (const std::string& name : names_) {
+      const auto coord = universe.coordinate_of(name);
+      if (!coord) {
+        throw std::invalid_argument("query references unknown record '" + name + "'");
+      }
+      coords.push_back(*coord);
+    }
+    std::sort(coords.begin(), coords.end());
+    if (std::adjacent_find(coords.begin(), coords.end()) != coords.end()) {
+      // A repeated record counts twice in evaluate(); the threshold-cube
+      // expansion below assumes distinct coordinates, so defer to the
+      // densify-and-convert fallback (valid up to the dense cap).
+      return Query::compile_cover(universe);
+    }
+    const unsigned m = static_cast<unsigned>(coords.size());
+    // "at least k of m present" = union of cubes fixing some k coordinates
+    // to 1; "at most k present" = "at least m - k absent", fixing m - k
+    // coordinates to 0. Everything else is starred.
+    const bool value = at_least_;
+    unsigned j;
+    if (at_least_) {
+      if (k_ == 0) return SubcubeCover::universe(n);
+      if (k_ > m) return SubcubeCover::empty(n);
+      j = k_;
+    } else {
+      if (k_ >= m) return SubcubeCover::universe(n);
+      j = m - k_;
+    }
+    if (capped_binomial(m, j) > SubcubeCover::kMaxCubes) {
+      throw std::invalid_argument(
+          "counting query over " + std::to_string(m) +
+          " records is too wide for the symbolic backend (C(m, k) cubes)");
+    }
+    std::vector<MatchVector> cubes;
+    emit_threshold_cubes(coords, j, value, n, cubes);
+    return SubcubeCover::from_cubes(n, std::move(cubes));
   }
 
   std::string to_string() const override {
@@ -133,6 +229,20 @@ class BinaryQuery : public Query {
     return lhs;
   }
 
+  SubcubeCover compile_cover(const RecordUniverse& u) const override {
+    const SubcubeCover lhs = lhs_->compile_cover(u);
+    const SubcubeCover rhs = rhs_->compile_cover(u);
+    switch (op_) {
+      case BinaryOp::kAnd:
+        return lhs.intersect(rhs);
+      case BinaryOp::kOr:
+        return lhs.unite(rhs);
+      case BinaryOp::kImplies:
+        return lhs.complement().unite(rhs);
+    }
+    return lhs;
+  }
+
   std::string to_string() const override {
     const char* symbol = op_ == BinaryOp::kAnd ? " & "
                          : op_ == BinaryOp::kOr ? " | "
@@ -158,6 +268,32 @@ WorldSet Query::compile(const RecordUniverse& universe) const {
     if (evaluate(universe, w)) result.insert(w);
   }
   return result;
+}
+
+SubcubeCover Query::compile_cover(const RecordUniverse& universe) const {
+  if (universe.empty()) {
+    throw std::invalid_argument("Query::compile_cover: empty record universe");
+  }
+  if (universe.size() > kMaxCoordinates) {
+    throw std::invalid_argument(
+        "Query::compile_cover: query shape '" + to_string() +
+        "' has no native symbolic compilation and the universe is too large "
+        "to densify first");
+  }
+  const WorldSet dense = compile(universe);
+  return SubcubeCover::from_dense(dense.word_data(), dense.word_count(),
+                                  universe.size());
+}
+
+WorldSet Query::compile(const RecordUniverse& universe,
+                        SetBackend backend) const {
+  if (universe.empty()) {
+    throw std::invalid_argument("Query::compile: empty record universe");
+  }
+  if (resolve_backend(backend, universe.size()) == SetBackend::kDense) {
+    return compile(universe);
+  }
+  return WorldSet::from_cover(compile_cover(universe));
 }
 
 QueryPtr atom(std::string record_name) {

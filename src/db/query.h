@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "db/record.h"
+#include "worlds/subcube_cover.h"
 #include "worlds/world_set.h"
 
 namespace epi {
@@ -28,6 +29,17 @@ class Query {
   /// algebra on their children (word-parallel); only leaf shapes that truly
   /// depend on counting fall back to a per-world scan.
   virtual WorldSet compile(const RecordUniverse& universe) const;
+
+  /// The same set as a symbolic subcube cover, built without ever touching a
+  /// 2^n bitset: atoms are single cylinders, connectives combine child
+  /// covers, counting queries expand into their C(m, k) threshold cubes.
+  /// The base-class fallback densifies and converts — valid only up to
+  /// kMaxCoordinates, so shapes reachable at n > 26 all override.
+  virtual SubcubeCover compile_cover(const RecordUniverse& universe) const;
+
+  /// Backend-dispatching compile: dense (exact current behavior) or the
+  /// symbolic cover path, with kAuto resolved against the universe size.
+  WorldSet compile(const RecordUniverse& universe, SetBackend backend) const;
 };
 
 using QueryPtr = std::shared_ptr<const Query>;

@@ -12,8 +12,10 @@ unsigned RecordUniverse::add(Record record) {
     throw std::invalid_argument("RecordUniverse::add: duplicate record '" +
                                 record.name + "'");
   }
-  if (records_.size() >= kMaxCoordinates) {
-    throw std::invalid_argument("RecordUniverse::add: too many relevant records");
+  if (records_.size() >= kMaxSymbolicCoordinates) {
+    throw std::invalid_argument(
+        "RecordUniverse::add: too many relevant records (max " +
+        std::to_string(kMaxSymbolicCoordinates) + ")");
   }
   const unsigned coordinate = static_cast<unsigned>(records_.size());
   index_.emplace(record.name, coordinate);

@@ -136,15 +136,30 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
     return *memo;
   }
 
+  const WorldSet* wa = &a;
+  const WorldSet* wb = &b;
+
+  // Symbolic pairs: the unrestricted cascade (Theorem 3.11) runs natively on
+  // subcube covers; every other prior's stages walk worlds or per-world
+  // weights, so the pair is densified first — exact, and within reach
+  // whenever n <= kMaxCoordinates (past that, WorldSet::densified throws:
+  // those priors genuinely need the dense machinery). The memo below still
+  // keys the original sets.
+  std::optional<std::pair<WorldSet, WorldSet>> densified;
+  if (prior_ != PriorAssumption::kUnrestricted &&
+      (a.symbolic() || b.symbolic())) {
+    densified.emplace(a.densified(), b.densified());
+    wa = &densified->first;
+    wb = &densified->second;
+  }
+
   // Product-prior stage 0: drop non-critical coordinates (Section 6's
   // "relevant worlds" argument) — product-family safety is invariant under
   // marginalizing them, and every later stage gets exponentially cheaper.
-  const WorldSet* wa = &a;
-  const WorldSet* wb = &b;
   std::string prefix;
   std::optional<ProjectedPair> projection;
   if (prior_ == PriorAssumption::kProduct) {
-    ProjectedPair p = project_to_critical(a, b);
+    ProjectedPair p = project_to_critical(*wa, *wb);
     if (p.kept_coordinates.size() < a.n()) {
       prefix = "projected[" + std::to_string(p.kept_coordinates.size()) + "/" +
                std::to_string(a.n()) + "]+";

@@ -37,6 +37,14 @@ struct AuditorOptions {
   /// Worker threads for Auditor::audit batch fan-out (0 = one per hardware
   /// thread). Reports are deterministic for every value.
   unsigned threads = 1;
+  /// Representation for compiled world sets. kAuto keeps every universe up
+  /// to kMaxCoordinates on the dense bitset path (byte-identical to the
+  /// pre-backend behavior) and switches to symbolic subcube covers above.
+  /// kSymbolic forces covers everywhere (the unrestricted cascade runs
+  /// natively on them; other priors densify per pair, so they still cap at
+  /// kMaxCoordinates). kDense forces bitsets and therefore rejects
+  /// universes past the dense cap.
+  SetBackend backend = SetBackend::kAuto;
 
   /// Rejects contradictory or degenerate settings: an enabled SOS stage that
   /// max_sos_records == 0 gates off for every universe, and an optimizer

@@ -55,6 +55,18 @@ class UnrestrictedStage : public CriterionStage {
     d.certified = true;
     if (unconditionally_safe(a, b)) {
       d.verdict = Verdict::kSafe;
+    } else if (a.symbolic() || b.symbolic()) {
+      // Same two-point witness as below, but Distribution is a dense 2^n
+      // vector — at symbolic scale only the two support worlds are named.
+      // The detail string is built to match the dense branch byte for byte
+      // (worlds in increasing order, same format), which the backend-parity
+      // model check pins.
+      d.verdict = Verdict::kUnsafe;
+      World w1 = (a & b).min_world();
+      World w2 = (~(a | b)).min_world();
+      if (w2 < w1) std::swap(w1, w2);
+      d.detail = "two-point prior on {" + world_to_string(w1, a.n()) + "," +
+                 world_to_string(w2, a.n()) + "}";
     } else {
       d.verdict = Verdict::kUnsafe;
       d.witness_distribution = unrestricted_witness(a, b);

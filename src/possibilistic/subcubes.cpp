@@ -5,8 +5,12 @@
 namespace epi {
 
 SubcubeSigma::SubcubeSigma(unsigned n) : n_(n) {
-  if (n == 0 || n > 13) {
-    throw std::invalid_argument("SubcubeSigma: n must be in [1,13]");
+  if (n == 0 || n > kMaxSubcubeEnumerationCoordinates) {
+    throw std::invalid_argument(
+        "SubcubeSigma: n must be in [1, " +
+        std::to_string(kMaxSubcubeEnumerationCoordinates) +
+        "] — enumerate() walks all 3^n subcubes and box() materializes "
+        "2^n-element sets, which is intractable beyond that");
   }
 }
 

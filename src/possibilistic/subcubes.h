@@ -13,11 +13,22 @@
 
 namespace epi {
 
+/// Enumeration bound for SubcubeSigma: box() materializes a 2^n-element
+/// FiniteSet per cube and enumerate() walks all 3^n match vectors, so
+/// 3^13 ≈ 1.6M sets of 2^13 bits each (~1.6 GB transient) is already the
+/// practical ceiling — and 3^n overflows nothing below n = 40 but thrashes
+/// long before. The constructor throws std::invalid_argument past this
+/// bound instead of letting the sweep run away. (This is an *enumeration*
+/// bound only: symbolic SubcubeCover sets handle cubes up to
+/// kMaxSymbolicCoordinates = 32 without ever enumerating.)
+inline constexpr unsigned kMaxSubcubeEnumerationCoordinates = 13;
+
 /// All subcubes of {0,1}^n as a SigmaFamily over the 2^n-element universe
 /// (FiniteSet encoding: element id = world id).
 class SubcubeSigma : public SigmaFamily {
  public:
-  /// n <= 13 keeps enumerate() (3^n sets) and oracle sweeps tractable.
+  /// Throws std::invalid_argument unless
+  /// 1 <= n <= kMaxSubcubeEnumerationCoordinates (see above).
   explicit SubcubeSigma(unsigned n);
 
   unsigned n() const { return n_; }

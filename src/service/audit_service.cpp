@@ -85,7 +85,8 @@ AuditService::Scenario::Scenario(RecordUniverse u, World state,
       audit_query_text(std::move(query_text)),
       prior(p),
       auditor(universe, p, opts),
-      audit_set(parse_query(audit_query_text)->compile(universe)) {
+      audit_set(parse_query(audit_query_text)
+                    ->compile(universe, auditor.resolved_backend())) {
   db.set_state(state);
 }
 
@@ -254,7 +255,8 @@ const WorldSet& AuditService::compiled_disclosure(Scenario& scenario,
   std::lock_guard<std::mutex> lock(scenario.compiled_mutex);
   const auto it = scenario.compiled.find(key);
   if (it != scenario.compiled.end()) return it->second;
-  WorldSet satisfying = parsed->compile(scenario.universe);
+  WorldSet satisfying =
+      parsed->compile(scenario.universe, scenario.auditor.resolved_backend());
   WorldSet disclosed = answer ? std::move(satisfying) : ~satisfying;
   return scenario.compiled.emplace(key, std::move(disclosed)).first->second;
 }

@@ -6,6 +6,13 @@
 // (cache-poisoning safety; the avalanche hash makes collisions astronomically
 // rare, the equality check makes them harmless).
 //
+// Backend note: WorldSet::hash is representation-dependent — a dense set and
+// its symbolized copy hash differently, while two syntactically different
+// symbolic covers of the same set hash the same (semantic probe signature).
+// A service instance compiles every set through one backend, so keys are
+// consistent within a scenario; the equality re-verification above is what
+// makes even cross-representation lookups merely a miss, never a wrong hit.
+//
 // Sharding: keys map to one of `shards` independently locked LRU lists, so
 // concurrent service workers contend only when they touch the same shard.
 // Metrics (`service.cache.{hits,misses,evictions,collisions,invalidations}`)

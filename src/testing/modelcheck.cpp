@@ -729,6 +729,78 @@ void check_fused_kernels(Rng& rng, const ModelCheckOptions& opt,
   }
 }
 
+void check_backend_parity(Rng& rng, const ModelCheckOptions& opt,
+                          Failures& out) {
+  // The symbolic subcube-cover backend must be observationally identical to
+  // the dense bitset backend: same set algebra, same fused predicates, same
+  // engine verdicts (method and detail strings included — the auditor's
+  // reports must not depend on the representation).
+  const unsigned n = 1 + static_cast<unsigned>(rng.next_below(opt.max_n));
+  const WorldSet a = random_world_set(rng, n);
+  const WorldSet b = random_world_set(rng, n);
+  const WorldSet c = random_world_set(rng, n);
+  const WorldSet sa = a.symbolized();
+  const WorldSet sb = b.symbolized();
+  const WorldSet sc = c.symbolized();
+
+  if (sa.densified() != a || sb.densified() != b) {
+    out.push_back("dense -> symbolic -> dense round-trip lost worlds; " +
+                  pair_text(a, b));
+    return;
+  }
+  if (sa.count() != a.count() || sa.is_empty() != a.is_empty() ||
+      sa.is_universe() != a.is_universe() ||
+      (!a.is_empty() && sa.min_world() != a.min_world())) {
+    out.push_back("symbolic cardinality/extrema disagree with dense; " +
+                  pair_text(a, b));
+    return;
+  }
+  if ((sa & sb) != (a & b) || (sa | sb) != (a | b) || (sa - sb) != (a - b) ||
+      (sa ^ sb) != (a ^ b) || ~sa != ~a) {
+    out.push_back("symbolic Boolean algebra disagrees with dense; " +
+                  pair_text(a, b));
+    return;
+  }
+  if (sa.subset_of(sb) != a.subset_of(b) ||
+      sa.disjoint_with(sb) != a.disjoint_with(b) || (sa == sb) != (a == b)) {
+    out.push_back("symbolic comparisons disagree with dense; " + pair_text(a, b));
+    return;
+  }
+  if (intersection_subset_of(sa, sb, sc) != intersection_subset_of(a, b, c) ||
+      intersection_count(sa, sb) != intersection_count(a, b) ||
+      intersection3_empty(sa, sb, sc) != intersection3_empty(a, b, c) ||
+      union_is_universe(sa, sb) != union_is_universe(a, b)) {
+    out.push_back("a fused predicate disagrees across backends; " +
+                  pair_text(a, b));
+    return;
+  }
+  if (sa.hash() != (a.symbolized()).hash() ||
+      sa.hash() != WorldSet::from_cover(sa.cover()).hash()) {
+    out.push_back("symbolic hash not stable across copies; " + pair_text(a, b));
+    return;
+  }
+
+  // Engine parity: one prior per case, like check_engine_parity. Every
+  // prior accepts symbolic inputs (non-unrestricted ones densify at this n).
+  static constexpr PriorAssumption kPriors[] = {
+      PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+      PriorAssumption::kLogSupermodular, PriorAssumption::kSubcubeKnowledge};
+  const PriorAssumption prior = kPriors[rng.next_below(4)];
+  const Auditor auditor(make_universe(n), prior);
+  const AuditFinding dense = auditor.audit_sets(a, b);
+  const AuditFinding symbolic = auditor.audit_sets(sa, sb);
+  if (dense.verdict != symbolic.verdict || dense.method != symbolic.method ||
+      dense.certified != symbolic.certified ||
+      dense.detail != symbolic.detail) {
+    out.push_back(
+        "engine (" + to_string(prior) + ") verdicts diverge across backends: "
+        "dense " + verdict_name(dense.verdict) + "/" + dense.method +
+        " [" + dense.detail + "] vs symbolic " +
+        verdict_name(symbolic.verdict) + "/" + symbolic.method + " [" +
+        symbolic.detail + "]; " + pair_text(a, b));
+  }
+}
+
 // --- Driver -----------------------------------------------------------------
 
 struct Check {
@@ -745,6 +817,7 @@ constexpr Check kChecks[] = {
     {"engine-parity", check_engine_parity},
     {"service-composition", check_service_composition},
     {"fused-kernels", check_fused_kernels},
+    {"backend-parity", check_backend_parity},
 };
 
 }  // namespace

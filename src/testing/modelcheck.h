@@ -70,7 +70,8 @@ struct ModelCheckReport {
 
 /// Names of all checks, in execution order: possibilistic-unrestricted,
 /// probabilistic-unrestricted, sigma-intervals, product-cascade,
-/// supermodular-cascade, engine-parity, service-composition, fused-kernels.
+/// supermodular-cascade, engine-parity, service-composition, fused-kernels,
+/// backend-parity (dense vs symbolic subcube-cover representation).
 std::vector<std::string> check_names();
 
 /// Runs the configured checks; when `progress` is non-null, one line per

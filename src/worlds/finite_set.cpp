@@ -170,6 +170,9 @@ bool union_is_universe(const FiniteSet& x, const FiniteSet& y) {
 }
 
 FiniteSet to_finite(const WorldSet& ws) {
+  // FiniteSet is inherently dense (2^n elements), so a symbolic WorldSet is
+  // densified first — which throws past the dense cap, as it must.
+  if (ws.symbolic()) return to_finite(ws.densified());
   FiniteSet fs(ws.omega_size());
   ws.visit([&fs](World w) { fs.insert(w); });
   return fs;

@@ -17,7 +17,9 @@ std::string MatchVector::to_string(unsigned n) const {
 }
 
 MatchVector MatchVector::from_string(const std::string& s) {
-  if (s.size() > kMaxCoordinates) throw std::invalid_argument("match vector too long");
+  if (s.size() > kMaxSymbolicCoordinates) {
+    throw std::invalid_argument("match vector too long");
+  }
   MatchVector w;
   for (std::size_t i = 0; i < s.size(); ++i) {
     switch (s[i]) {

@@ -33,7 +33,9 @@ struct MatchVector {
   /// Renders e.g. "01**1" (coordinate 0 first).
   std::string to_string(unsigned n) const;
 
-  /// Parses a string over {0,1,*}; throws std::invalid_argument otherwise.
+  /// Parses a string over {0,1,*}; throws std::invalid_argument on other
+  /// characters or length > kMaxSymbolicCoordinates (= 32, the packing
+  /// limit of the two 32-bit fields above).
   static MatchVector from_string(const std::string& s);
 };
 
@@ -46,7 +48,10 @@ MatchVector match(World u, World v);
 bool refines(World v, const MatchVector& w);
 
 /// A dense table indexed by {0,1,*}^n (size 3^n). Used to hold |X ∩ Box(w)|
-/// for all w at once. Guarded to n <= 14 (3^n memory).
+/// for all w at once. The constructor throws std::invalid_argument outside
+/// n in [1, 14]: 3^14 int64 entries is ~38 MB and every further coordinate
+/// triples it, so enumeration-style consumers (this table, SubcubeSigma)
+/// stop well below the n = 32 ceiling of the symbolic SubcubeCover backend.
 class TernaryTable {
  public:
   explicit TernaryTable(unsigned n);

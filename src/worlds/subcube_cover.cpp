@@ -1,0 +1,459 @@
+#include "worlds/subcube_cover.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "worlds/dense_bits.h"
+
+namespace epi {
+namespace {
+
+void check_symbolic_n(unsigned n) {
+  if (n == 0 || n > kMaxSymbolicCoordinates) {
+    throw std::invalid_argument("SubcubeCover: n must be in [1, " +
+                                std::to_string(kMaxSymbolicCoordinates) + "]");
+  }
+}
+
+void check_cube_bounds(unsigned n, const MatchVector& c) {
+  const World mask = coordinate_mask(n);
+  if ((c.stars & ~mask) != 0 || (c.values & ~mask) != 0) {
+    throw std::invalid_argument("SubcubeCover: cube uses coordinates >= n");
+  }
+  if ((c.values & c.stars) != 0) {
+    throw std::invalid_argument("SubcubeCover: cube has values on starred coordinates");
+  }
+}
+
+void check_cover_budget(std::size_t size) {
+  if (size > SubcubeCover::kMaxCubes) {
+    throw std::length_error(
+        "SubcubeCover: cover exceeded " + std::to_string(SubcubeCover::kMaxCubes) +
+        " cubes; the set has no compact subcube structure");
+  }
+}
+
+bool key_less(const MatchVector& a, const MatchVector& b) {
+  return a.key() < b.key();
+}
+
+/// cur := cur \ Box(d), keeping the pieces pairwise disjoint if they were.
+void subtract_cube_from_all(std::vector<MatchVector>& cur, const MatchVector& d) {
+  std::vector<MatchVector> next;
+  next.reserve(cur.size());
+  for (const MatchVector& c : cur) cube_subtract(c, d, next);
+  check_cover_budget(next.size());
+  cur = std::move(next);
+}
+
+/// True when Box(c) is covered by the union of `cubes`.
+bool cube_covered_by(const MatchVector& c, const std::vector<MatchVector>& cubes) {
+  std::vector<MatchVector> pieces{c};
+  for (const MatchVector& d : cubes) {
+    subtract_cube_from_all(pieces, d);
+    if (pieces.empty()) return true;
+  }
+  return pieces.empty();
+}
+
+/// Merges the canonical covers of the two halves of a set split on
+/// coordinate `coord` (lo: coord = 0, hi: coord = 1) into the canonical
+/// cover of the whole: cubes present in both halves get a '*' on `coord`.
+/// Inputs are sorted by key with unique keys; so is the output.
+std::vector<MatchVector> merge_halves(const std::vector<MatchVector>& lo,
+                                      const std::vector<MatchVector>& hi,
+                                      World coord_bit) {
+  std::vector<MatchVector> out;
+  out.reserve(lo.size() + hi.size());
+  std::size_t i = 0, j = 0;
+  while (i < lo.size() || j < hi.size()) {
+    if (j == hi.size() || (i < lo.size() && lo[i].key() < hi[j].key())) {
+      out.push_back(lo[i++]);  // coord fixed to 0: bits already clear
+    } else if (i == lo.size() || hi[j].key() < lo[i].key()) {
+      MatchVector c = hi[j++];
+      c.values |= coord_bit;  // coord fixed to 1
+      out.push_back(c);
+    } else {
+      MatchVector c = lo[i];
+      c.stars |= coord_bit;  // in both halves: coord is free
+      out.push_back(c);
+      ++i, ++j;
+    }
+  }
+  std::sort(out.begin(), out.end(), key_less);
+  return out;
+}
+
+/// Canonical cover of the low 2^m bits of `word`, m <= 6.
+std::vector<MatchVector> extract_from_word(std::uint64_t word, unsigned m) {
+  if (m == 0) {
+    if (word & 1u) return {MatchVector{}};
+    return {};
+  }
+  const unsigned half_bits = 1u << (m - 1);
+  const std::uint64_t half_mask =
+      half_bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << half_bits) - 1u;
+  const auto lo = extract_from_word(word & half_mask, m - 1);
+  const auto hi = extract_from_word((word >> half_bits) & half_mask, m - 1);
+  return merge_halves(lo, hi, World{1} << (m - 1));
+}
+
+/// Canonical cover of the set held in words[0 .. words_for(2^m)), m >= 1.
+std::vector<MatchVector> extract_from_words(const std::uint64_t* words, unsigned m) {
+  if (m <= 6) return extract_from_word(words[0], m);
+  const std::size_t half_words = std::size_t{1} << (m - 7);
+  const auto lo = extract_from_words(words, m - 1);
+  const auto hi = extract_from_words(words + half_words, m - 1);
+  return merge_halves(lo, hi, World{1} << (m - 1));
+}
+
+}  // namespace
+
+void cube_subtract(const MatchVector& c, const MatchVector& d,
+                   std::vector<MatchVector>& out) {
+  if (!cubes_intersect(c, d)) {
+    out.push_back(c);
+    return;
+  }
+  // Coordinates where c still has freedom that d constrains. When there are
+  // none, c ⊆ d (they intersect and d fixes nothing c leaves open).
+  World free = c.stars & ~d.stars;
+  MatchVector prefix = c;
+  while (free != 0) {
+    const World bit = free & (~free + 1u);  // lowest remaining coordinate
+    free &= free - 1u;
+    MatchVector piece = prefix;  // pin this coordinate to the flip of d's value
+    piece.stars &= ~bit;
+    piece.values |= ~d.values & bit;
+    out.push_back(piece);
+    prefix.stars &= ~bit;  // continue inside d on this coordinate
+    prefix.values |= d.values & bit;
+  }
+}
+
+SubcubeCover::SubcubeCover(unsigned n) : n_(n) { check_symbolic_n(n); }
+
+SubcubeCover::SubcubeCover(unsigned n, std::vector<MatchVector> cubes)
+    : n_(n), cubes_(std::move(cubes)) {
+  check_symbolic_n(n);
+}
+
+SubcubeCover::SubcubeCover(const SubcubeCover& o)
+    : n_(o.n_),
+      cubes_(o.cubes_),
+      hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)),
+      count_cache_(o.count_cache_.load(std::memory_order_relaxed)) {}
+
+SubcubeCover::SubcubeCover(SubcubeCover&& o) noexcept
+    : n_(o.n_),
+      cubes_(std::move(o.cubes_)),
+      hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)),
+      count_cache_(o.count_cache_.load(std::memory_order_relaxed)) {}
+
+SubcubeCover& SubcubeCover::operator=(const SubcubeCover& o) {
+  if (this != &o) {
+    n_ = o.n_;
+    cubes_ = o.cubes_;
+    hash_cache_.store(o.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    count_cache_.store(o.count_cache_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+SubcubeCover& SubcubeCover::operator=(SubcubeCover&& o) noexcept {
+  if (this != &o) {
+    n_ = o.n_;
+    cubes_ = std::move(o.cubes_);
+    hash_cache_.store(o.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    count_cache_.store(o.count_cache_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+SubcubeCover SubcubeCover::empty(unsigned n) { return SubcubeCover(n); }
+
+SubcubeCover SubcubeCover::universe(unsigned n) {
+  return cube(n, MatchVector{coordinate_mask(n), 0});
+}
+
+SubcubeCover SubcubeCover::singleton(unsigned n, World w) {
+  check_symbolic_n(n);
+  if ((w & ~coordinate_mask(n)) != 0) {
+    throw std::out_of_range("SubcubeCover::singleton: world out of range");
+  }
+  return cube(n, MatchVector{0, w});
+}
+
+SubcubeCover SubcubeCover::cube(unsigned n, MatchVector c) {
+  check_symbolic_n(n);
+  check_cube_bounds(n, c);
+  SubcubeCover s(n);
+  s.cubes_.push_back(c);
+  return s;
+}
+
+SubcubeCover SubcubeCover::from_cubes(unsigned n, std::vector<MatchVector> cubes) {
+  check_symbolic_n(n);
+  for (const MatchVector& c : cubes) check_cube_bounds(n, c);
+  SubcubeCover s(n, std::move(cubes));
+  s.canonicalize();
+  return s;
+}
+
+SubcubeCover SubcubeCover::from_dense(const std::uint64_t* words,
+                                      std::size_t word_count, unsigned n) {
+  check_symbolic_n(n);
+  if (n > kMaxCoordinates) {
+    throw std::invalid_argument("SubcubeCover::from_dense: n exceeds the dense cap");
+  }
+  if (word_count != bits::words_for(std::size_t{1} << n)) {
+    throw std::invalid_argument("SubcubeCover::from_dense: wrong word count");
+  }
+  SubcubeCover s(n, extract_from_words(words, n));
+  s.canonicalize();  // Shannon extraction is already sorted; absorption only
+  return s;
+}
+
+void SubcubeCover::invalidate_caches() {
+  hash_cache_.store(0, std::memory_order_relaxed);
+  count_cache_.store(kNoCount, std::memory_order_relaxed);
+}
+
+void SubcubeCover::canonicalize() {
+  invalidate_caches();
+  check_cover_budget(cubes_.size());
+  std::sort(cubes_.begin(), cubes_.end(), key_less);
+  cubes_.erase(std::unique(cubes_.begin(), cubes_.end()), cubes_.end());
+  if (cubes_.size() > kAbsorptionLimit) return;
+  // Absorption: drop any cube contained in another. A cube can only be
+  // contained in one with at least as many stars, but the O(k^2) scan is
+  // simplest and k is capped above.
+  std::vector<MatchVector> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool absorbed = false;
+    for (std::size_t j = 0; j < cubes_.size() && !absorbed; ++j) {
+      if (i == j) continue;
+      // On ties (identical cubes are already deduplicated) containment is
+      // strict, so mutual absorption cannot drop both.
+      if (cube_subset(cubes_[i], cubes_[j])) absorbed = true;
+    }
+    if (!absorbed) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+bool SubcubeCover::contains(World w) const {
+  if ((w & ~coordinate_mask(n_)) != 0) return false;
+  for (const MatchVector& c : cubes_) {
+    if (refines(w, c)) return true;
+  }
+  return false;
+}
+
+bool SubcubeCover::is_universe() const {
+  if (cubes_.empty()) return false;
+  return cube_covered_by(MatchVector{coordinate_mask(n_), 0}, cubes_);
+}
+
+std::uint64_t SubcubeCover::count() const {
+  const std::uint64_t cached = count_cache_.load(std::memory_order_acquire);
+  if (cached != kNoCount) return cached;
+  std::uint64_t total = 0;
+  for (const MatchVector& c : disjoint_cubes()) {
+    total += std::uint64_t{1} << c.star_count();
+  }
+  count_cache_.store(total, std::memory_order_release);
+  return total;
+}
+
+World SubcubeCover::min_world() const {
+  if (cubes_.empty()) throw std::logic_error("min_world of empty SubcubeCover");
+  // The least world of Box(c) sets every starred coordinate to 0, i.e. it is
+  // c.values itself.
+  World best = cubes_.front().values;
+  for (const MatchVector& c : cubes_) best = std::min(best, c.values);
+  return best;
+}
+
+void SubcubeCover::insert(World w) {
+  if ((w & ~coordinate_mask(n_)) != 0) {
+    throw std::out_of_range("SubcubeCover::insert: world out of range");
+  }
+  if (contains(w)) return;
+  cubes_.push_back(MatchVector{0, w});
+  canonicalize();
+}
+
+void SubcubeCover::erase(World w) {
+  if ((w & ~coordinate_mask(n_)) != 0) {
+    throw std::out_of_range("SubcubeCover::erase: world out of range");
+  }
+  if (!contains(w)) return;
+  *this = subtract(singleton(n_, w));
+}
+
+SubcubeCover SubcubeCover::intersect(const SubcubeCover& o) const {
+  if (n_ != o.n_) throw std::invalid_argument("SubcubeCover: mismatched n");
+  std::vector<MatchVector> out;
+  for (const MatchVector& c : cubes_) {
+    for (const MatchVector& d : o.cubes_) {
+      if (cubes_intersect(c, d)) out.push_back(cube_meet(c, d));
+    }
+    check_cover_budget(out.size());
+  }
+  SubcubeCover r(n_, std::move(out));
+  r.canonicalize();
+  return r;
+}
+
+SubcubeCover SubcubeCover::unite(const SubcubeCover& o) const {
+  if (n_ != o.n_) throw std::invalid_argument("SubcubeCover: mismatched n");
+  std::vector<MatchVector> out = cubes_;
+  out.insert(out.end(), o.cubes_.begin(), o.cubes_.end());
+  SubcubeCover r(n_, std::move(out));
+  r.canonicalize();
+  return r;
+}
+
+SubcubeCover SubcubeCover::subtract(const SubcubeCover& o) const {
+  if (n_ != o.n_) throw std::invalid_argument("SubcubeCover: mismatched n");
+  std::vector<MatchVector> cur = cubes_;
+  for (const MatchVector& d : o.cubes_) {
+    if (cur.empty()) break;
+    subtract_cube_from_all(cur, d);
+  }
+  SubcubeCover r(n_, std::move(cur));
+  r.canonicalize();
+  return r;
+}
+
+SubcubeCover SubcubeCover::exclusive_or(const SubcubeCover& o) const {
+  return subtract(o).unite(o.subtract(*this));
+}
+
+SubcubeCover SubcubeCover::complement() const {
+  return universe(n_).subtract(*this);
+}
+
+SubcubeCover SubcubeCover::xor_with(World mask) const {
+  if ((mask & ~coordinate_mask(n_)) != 0) {
+    throw std::out_of_range("SubcubeCover::xor_with: mask out of range");
+  }
+  std::vector<MatchVector> out = cubes_;
+  for (MatchVector& c : out) c.values ^= mask & ~c.stars;
+  SubcubeCover r(n_, std::move(out));
+  r.canonicalize();
+  return r;
+}
+
+bool SubcubeCover::subset_of(const SubcubeCover& o) const {
+  if (n_ != o.n_) throw std::invalid_argument("SubcubeCover: mismatched n");
+  for (const MatchVector& c : cubes_) {
+    if (!cube_covered_by(c, o.cubes_)) return false;
+  }
+  return true;
+}
+
+bool SubcubeCover::disjoint_with(const SubcubeCover& o) const {
+  if (n_ != o.n_) throw std::invalid_argument("SubcubeCover: mismatched n");
+  for (const MatchVector& c : cubes_) {
+    for (const MatchVector& d : o.cubes_) {
+      if (cubes_intersect(c, d)) return false;
+    }
+  }
+  return true;
+}
+
+bool SubcubeCover::equals(const SubcubeCover& o) const {
+  if (n_ != o.n_) return false;
+  if (cubes_ == o.cubes_) return true;  // canonical forms often coincide
+  return subset_of(o) && o.subset_of(*this);
+}
+
+std::uint64_t SubcubeCover::semantic_hash() const {
+  const std::uint64_t cached = hash_cache_.load(std::memory_order_acquire);
+  if (cached != 0) return cached;
+  // Signature = (n, |S|, membership of 64 fixed pseudo-random probes). Equal
+  // sets agree on all three regardless of cover syntax.
+  std::uint64_t h = bits::mix64(0x53756263756265ull ^ (std::uint64_t{n_} << 32));
+  h = bits::hash_combine(h, count());
+  std::uint64_t membership = 0;
+  for (unsigned j = 0; j < 64; ++j) {
+    const World probe =
+        static_cast<World>(bits::mix64(0x9e3779b97f4a7c15ull * (j + 1) ^ n_)) &
+        coordinate_mask(n_);
+    membership |= std::uint64_t{contains(probe) ? 1u : 0u} << j;
+  }
+  h = bits::hash_combine(h, membership);
+  if (h == 0) h = 1;  // 0 is the "unset" sentinel
+  hash_cache_.store(h, std::memory_order_release);
+  return h;
+}
+
+std::vector<MatchVector> SubcubeCover::disjoint_cubes() const {
+  std::vector<MatchVector> out;
+  out.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    std::vector<MatchVector> pieces{cubes_[i]};
+    for (std::size_t j = 0; j < i && !pieces.empty(); ++j) {
+      subtract_cube_from_all(pieces, cubes_[j]);
+    }
+    out.insert(out.end(), pieces.begin(), pieces.end());
+    check_cover_budget(out.size());
+  }
+  return out;
+}
+
+double SubcubeCover::product_weight(const double* probs) const {
+  double total = 0.0;
+  for (const MatchVector& c : disjoint_cubes()) {
+    double mass = 1.0;
+    for (unsigned i = 0; i < n_; ++i) {
+      const World bit = World{1} << i;
+      if (c.stars & bit) continue;  // both values summed: factor 1
+      mass *= (c.values & bit) ? probs[i] : 1.0 - probs[i];
+    }
+    total += mass;
+  }
+  return total;
+}
+
+void SubcubeCover::write_dense(std::uint64_t* words, std::size_t word_count) const {
+  if (n_ > kMaxCoordinates) {
+    throw std::invalid_argument(
+        "SubcubeCover::write_dense: n = " + std::to_string(n_) +
+        " exceeds the dense cap of " + std::to_string(kMaxCoordinates));
+  }
+  if (word_count != bits::words_for(std::size_t{1} << n_)) {
+    throw std::invalid_argument("SubcubeCover::write_dense: wrong word count");
+  }
+  bits::clear_all(words, word_count);
+  for (const MatchVector& c : cubes_) {
+    // Enumerate Box(c): all submasks of the star set, added to the fixed values.
+    World sub = 0;
+    while (true) {
+      bits::set(words, c.values | sub);
+      if (sub == c.stars) break;
+      sub = (sub - c.stars) & c.stars;  // next submask in increasing order
+    }
+  }
+}
+
+std::string SubcubeCover::to_string() const {
+  std::string s = "cover{";
+  bool first = true;
+  for (const MatchVector& c : cubes_) {
+    if (!first) s += ",";
+    first = false;
+    s += c.to_string(n_);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace epi

@@ -12,8 +12,14 @@ namespace epi {
 /// a 32-bit integer (bit i of the value = coordinate omega[i]).
 using World = std::uint32_t;
 
-/// Maximum number of coordinates supported by the dense representation.
+/// Maximum number of coordinates supported by the dense representation
+/// (a 2^26-bit bitset is 8 MiB; beyond that the dense path stops paying).
 inline constexpr unsigned kMaxCoordinates = 26;
+
+/// Maximum number of coordinates supported by the symbolic subcube-cover
+/// representation. Hard ceiling: MatchVector packs stars/values into one
+/// 32-bit World each, so a cube over {0,1,*}^n needs n <= 32.
+inline constexpr unsigned kMaxSymbolicCoordinates = 32;
 
 /// Bit i of omega (coordinate value omega[i]).
 inline bool world_bit(World w, unsigned i) { return (w >> i) & 1u; }
@@ -44,7 +50,7 @@ inline unsigned world_weight(World w) { return static_cast<unsigned>(__builtin_p
 std::string world_to_string(World w, unsigned n);
 
 /// Parses a 0/1 string in the same order; throws std::invalid_argument on
-/// non-binary characters or length > kMaxCoordinates.
+/// non-binary characters or length > kMaxSymbolicCoordinates.
 World world_from_string(const std::string& bits);
 
 }  // namespace epi

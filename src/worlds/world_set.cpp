@@ -1,20 +1,66 @@
 #include "worlds/world_set.h"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "worlds/monotone.h"
+#include "worlds/subcube_cover.h"
 
 namespace epi {
 namespace {
 
-void check_n(unsigned n) {
+void check_dense_n(unsigned n) {
   if (n == 0 || n > kMaxCoordinates) {
-    throw std::invalid_argument("WorldSet: n must be in [1, " +
-                                std::to_string(kMaxCoordinates) + "]");
+    throw std::invalid_argument("WorldSet: dense backend needs n in [1, " +
+                                std::to_string(kMaxCoordinates) +
+                                "]; use SetBackend::kSymbolic above");
   }
 }
 
+void check_any_n(unsigned n) {
+  if (n == 0 || n > kMaxSymbolicCoordinates) {
+    throw std::invalid_argument("WorldSet: n must be in [1, " +
+                                std::to_string(kMaxSymbolicCoordinates) + "]");
+  }
+}
+
+/// View of a set as a cover: a reference to its own cover when symbolic,
+/// otherwise a conversion materialized into `storage`.
+const SubcubeCover& cover_view(const WorldSet& s,
+                               std::optional<SubcubeCover>& storage) {
+  if (s.symbolic()) return s.cover();
+  storage.emplace(
+      SubcubeCover::from_dense(s.word_data(), s.word_count(), s.n()));
+  return *storage;
+}
+
 }  // namespace
+
+std::string to_string(SetBackend backend) {
+  switch (backend) {
+    case SetBackend::kAuto:
+      return "auto";
+    case SetBackend::kDense:
+      return "dense";
+    case SetBackend::kSymbolic:
+      return "symbolic";
+  }
+  return "unknown";
+}
+
+SetBackend parse_backend(const std::string& name) {
+  if (name == "auto") return SetBackend::kAuto;
+  if (name == "dense") return SetBackend::kDense;
+  if (name == "symbolic") return SetBackend::kSymbolic;
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (expected auto, dense or symbolic)");
+}
+
+SetBackend resolve_backend(SetBackend requested, unsigned n) {
+  if (requested != SetBackend::kAuto) return requested;
+  return n <= kMaxCoordinates ? SetBackend::kDense : SetBackend::kSymbolic;
+}
 
 std::string world_to_string(World w, unsigned n) {
   std::string s(n, '0');
@@ -25,7 +71,7 @@ std::string world_to_string(World w, unsigned n) {
 }
 
 World world_from_string(const std::string& bits) {
-  if (bits.size() > kMaxCoordinates) {
+  if (bits.size() > kMaxSymbolicCoordinates) {
     throw std::invalid_argument("world string too long");
   }
   World w = 0;
@@ -39,9 +85,14 @@ World world_from_string(const std::string& bits) {
   return w;
 }
 
-WorldSet::WorldSet(unsigned n)
-    : n_(n), bits_(bits::words_for(std::size_t{1} << (n <= kMaxCoordinates ? n : 0)), 0) {
-  check_n(n);
+WorldSet::WorldSet(unsigned n, SetBackend backend) : n_(n) {
+  check_any_n(n);
+  if (resolve_backend(backend, n) == SetBackend::kDense) {
+    check_dense_n(n);
+    bits_.assign(bits::words_for(std::size_t{1} << n), 0);
+  } else {
+    cover_ = std::make_unique<SubcubeCover>(n);
+  }
 }
 
 WorldSet::WorldSet(unsigned n, std::initializer_list<World> worlds) : WorldSet(n) {
@@ -52,22 +103,48 @@ WorldSet::WorldSet(unsigned n, const std::vector<World>& worlds) : WorldSet(n) {
   for (World w : worlds) insert(w);
 }
 
-WorldSet WorldSet::universe(unsigned n) {
-  WorldSet s(n);
-  bits::fill_universe(s.bits_.data(), s.bits_.size(), s.omega_size());
+WorldSet::WorldSet(const WorldSet& o)
+    : n_(o.n_),
+      bits_(o.bits_),
+      cover_(o.cover_ ? std::make_unique<SubcubeCover>(*o.cover_) : nullptr) {}
+
+WorldSet::WorldSet(WorldSet&& o) noexcept = default;
+
+WorldSet& WorldSet::operator=(const WorldSet& o) {
+  if (this != &o) {
+    n_ = o.n_;
+    bits_ = o.bits_;
+    cover_ = o.cover_ ? std::make_unique<SubcubeCover>(*o.cover_) : nullptr;
+  }
+  return *this;
+}
+
+WorldSet& WorldSet::operator=(WorldSet&& o) noexcept = default;
+
+WorldSet::~WorldSet() = default;
+
+WorldSet WorldSet::universe(unsigned n, SetBackend backend) {
+  WorldSet s(n, backend);
+  if (s.cover_) {
+    *s.cover_ = SubcubeCover::universe(n);
+  } else {
+    bits::fill_universe(s.bits_.data(), s.bits_.size(), s.omega_size());
+  }
   return s;
 }
 
-WorldSet WorldSet::empty(unsigned n) { return WorldSet(n); }
+WorldSet WorldSet::empty(unsigned n, SetBackend backend) {
+  return WorldSet(n, backend);
+}
 
-WorldSet WorldSet::singleton(unsigned n, World w) {
-  WorldSet s(n);
+WorldSet WorldSet::singleton(unsigned n, World w, SetBackend backend) {
+  WorldSet s(n, backend);
   s.insert(w);
   return s;
 }
 
 WorldSet WorldSet::random(unsigned n, Rng& rng, double density) {
-  WorldSet s(n);
+  WorldSet s(n, SetBackend::kDense);
   const std::size_t size = s.omega_size();
   for (std::size_t w = 0; w < size; ++w) {
     if (rng.next_bool(density)) s.insert(static_cast<World>(w));
@@ -75,8 +152,9 @@ WorldSet WorldSet::random(unsigned n, Rng& rng, double density) {
   return s;
 }
 
-WorldSet WorldSet::from_strings(unsigned n, const std::vector<std::string>& worlds) {
-  WorldSet s(n);
+WorldSet WorldSet::from_strings(unsigned n, const std::vector<std::string>& worlds,
+                                SetBackend backend) {
+  WorldSet s(n, backend);
   for (const auto& str : worlds) {
     if (str.size() != n) throw std::invalid_argument("world string length != n");
     s.insert(world_from_string(str));
@@ -84,14 +162,67 @@ WorldSet WorldSet::from_strings(unsigned n, const std::vector<std::string>& worl
   return s;
 }
 
+WorldSet WorldSet::from_cover(SubcubeCover cover) {
+  WorldSet s(cover.n(), SetBackend::kSymbolic);
+  *s.cover_ = std::move(cover);
+  return s;
+}
+
+const SubcubeCover& WorldSet::cover() const {
+  if (!cover_) throw std::logic_error("WorldSet::cover: set is dense");
+  return *cover_;
+}
+
+WorldSet WorldSet::densified() const {
+  if (!cover_) return *this;
+  check_dense_n(n_);
+  WorldSet s(n_, SetBackend::kDense);
+  cover_->write_dense(s.bits_.data(), s.bits_.size());
+  return s;
+}
+
+WorldSet WorldSet::symbolized() const {
+  if (cover_) return *this;
+  return from_cover(SubcubeCover::from_dense(bits_.data(), bits_.size(), n_));
+}
+
+void WorldSet::adopt(SubcubeCover cover) {
+  cover_ = std::make_unique<SubcubeCover>(std::move(cover));
+  bits_.clear();
+  bits_.shrink_to_fit();
+}
+
+void WorldSet::throw_symbolic(const char* op) {
+  throw std::logic_error(std::string("WorldSet::") + op +
+                         ": dense-only operation on a symbolic set");
+}
+
+bool WorldSet::symbolic_contains(World w) const { return cover_->contains(w); }
+std::size_t WorldSet::symbolic_count() const {
+  return static_cast<std::size_t>(cover_->count());
+}
+bool WorldSet::symbolic_is_empty() const { return cover_->is_empty(); }
+bool WorldSet::symbolic_is_universe() const { return cover_->is_universe(); }
+std::size_t WorldSet::symbolic_hash() const {
+  return static_cast<std::size_t>(cover_->semantic_hash());
+}
+
 void WorldSet::insert(World w) {
   if (w >= omega_size()) throw std::out_of_range("WorldSet::insert: world out of range");
-  bits::set(bits_.data(), w);
+  if (cover_) {
+    cover_->insert(w);
+  } else {
+    bits::set(bits_.data(), w);
+  }
 }
 
 void WorldSet::erase(World w) {
   if (w >= omega_size()) throw std::out_of_range("WorldSet::erase: world out of range");
-  bits::reset(bits_.data(), w);
+  if (cover_) {
+    cover_->erase(w);
+  } else {
+    bits::reset(bits_.data(), w);
+  }
 }
 
 void WorldSet::check_compatible(const WorldSet& o) const {
@@ -116,49 +247,94 @@ WorldSet WorldSet::operator^(const WorldSet& o) const {
 }
 
 WorldSet WorldSet::operator~() const {
-  WorldSet r(n_);
+  if (cover_) return from_cover(cover_->complement());
+  WorldSet r(n_, SetBackend::kDense);
   bits::complement(r.bits_.data(), bits_.data(), bits_.size(), omega_size());
   return r;
 }
 
 WorldSet& WorldSet::operator&=(const WorldSet& o) {
   check_compatible(o);
-  bits::and_assign(bits_.data(), o.bits_.data(), bits_.size());
+  if (!cover_ && !o.cover_) {
+    bits::and_assign(bits_.data(), o.bits_.data(), bits_.size());
+    return *this;
+  }
+  std::optional<SubcubeCover> mine, theirs;
+  adopt(cover_view(*this, mine).intersect(cover_view(o, theirs)));
   return *this;
 }
 WorldSet& WorldSet::operator|=(const WorldSet& o) {
   check_compatible(o);
-  bits::or_assign(bits_.data(), o.bits_.data(), bits_.size());
+  if (!cover_ && !o.cover_) {
+    bits::or_assign(bits_.data(), o.bits_.data(), bits_.size());
+    return *this;
+  }
+  std::optional<SubcubeCover> mine, theirs;
+  adopt(cover_view(*this, mine).unite(cover_view(o, theirs)));
   return *this;
 }
 WorldSet& WorldSet::operator-=(const WorldSet& o) {
   check_compatible(o);
-  bits::and_not_assign(bits_.data(), o.bits_.data(), bits_.size());
+  if (!cover_ && !o.cover_) {
+    bits::and_not_assign(bits_.data(), o.bits_.data(), bits_.size());
+    return *this;
+  }
+  std::optional<SubcubeCover> mine, theirs;
+  adopt(cover_view(*this, mine).subtract(cover_view(o, theirs)));
   return *this;
 }
 WorldSet& WorldSet::operator^=(const WorldSet& o) {
   check_compatible(o);
-  bits::xor_assign(bits_.data(), o.bits_.data(), bits_.size());
+  if (!cover_ && !o.cover_) {
+    bits::xor_assign(bits_.data(), o.bits_.data(), bits_.size());
+    return *this;
+  }
+  std::optional<SubcubeCover> mine, theirs;
+  adopt(cover_view(*this, mine).exclusive_or(cover_view(o, theirs)));
   return *this;
+}
+
+bool WorldSet::operator==(const WorldSet& o) const {
+  if (n_ != o.n_) return false;
+  if (!cover_ && !o.cover_) {
+    return bits::equal(bits_.data(), o.bits_.data(), bits_.size());
+  }
+  if (cover_ && o.cover_) return cover_->equals(*o.cover_);
+  // Mixed: a dense operand proves n <= kMaxCoordinates, so densify the
+  // symbolic side and compare words exactly.
+  return cover_ ? (densified() == o) : (*this == o.densified());
 }
 
 bool WorldSet::subset_of(const WorldSet& o) const {
   check_compatible(o);
-  return bits::subset_of(bits_.data(), o.bits_.data(), bits_.size());
+  if (!cover_ && !o.cover_) {
+    return bits::subset_of(bits_.data(), o.bits_.data(), bits_.size());
+  }
+  if (cover_ && o.cover_) return cover_->subset_of(*o.cover_);
+  return cover_ ? densified().subset_of(o) : subset_of(o.densified());
 }
 
 bool WorldSet::disjoint_with(const WorldSet& o) const {
   check_compatible(o);
-  return bits::disjoint(bits_.data(), o.bits_.data(), bits_.size());
+  if (!cover_ && !o.cover_) {
+    return bits::disjoint(bits_.data(), o.bits_.data(), bits_.size());
+  }
+  std::optional<SubcubeCover> mine, theirs;
+  return cover_view(*this, mine).disjoint_with(cover_view(o, theirs));
 }
 
 World WorldSet::min_world() const {
+  if (cover_) {
+    if (cover_->is_empty()) throw std::logic_error("min_world of empty WorldSet");
+    return cover_->min_world();
+  }
   const std::size_t first = bits::find_first(bits_.data(), bits_.size());
   if (first == bits::npos) throw std::logic_error("min_world of empty WorldSet");
   return static_cast<World>(first);
 }
 
 std::vector<World> WorldSet::to_vector() const {
+  if (cover_) throw_symbolic("to_vector");
   std::vector<World> v;
   v.reserve(count());
   visit([&v](World w) { v.push_back(w); });
@@ -166,7 +342,8 @@ std::vector<World> WorldSet::to_vector() const {
 }
 
 WorldSet WorldSet::xor_with(World mask) const {
-  WorldSet r(n_);
+  if (cover_) return from_cover(cover_->xor_with(mask));
+  WorldSet r(n_, SetBackend::kDense);
   visit([&r, mask](World w) { r.insert(w ^ mask); });
   return r;
 }
@@ -177,6 +354,7 @@ WorldSet WorldSet::flip_coordinate(unsigned i) const {
 
 WorldSet WorldSet::setwise_meet(const WorldSet& o) const {
   check_compatible(o);
+  if (cover_ || o.cover_) throw_symbolic("setwise_meet");
   // Thm. 5.3 early exits: an empty operand yields the empty set; meeting
   // with the full universe yields every u ∧ v = every subset of a member,
   // i.e. the down closure — both avoid the O(|A|·|B|) pairwise loop.
@@ -190,6 +368,7 @@ WorldSet WorldSet::setwise_meet(const WorldSet& o) const {
 
 WorldSet WorldSet::setwise_join(const WorldSet& o) const {
   check_compatible(o);
+  if (cover_ || o.cover_) throw_symbolic("setwise_join");
   if (is_empty() || o.is_empty()) return WorldSet(n_);
   if (is_universe()) return up_closure(o);
   if (o.is_universe()) return up_closure(*this);
@@ -199,6 +378,7 @@ WorldSet WorldSet::setwise_join(const WorldSet& o) const {
 }
 
 std::string WorldSet::to_string() const {
+  if (cover_) return cover_->to_string();
   std::string s = "{";
   bool first = true;
   visit([&](World w) {
@@ -215,22 +395,60 @@ bool intersection_subset_of(const WorldSet& s, const WorldSet& b,
   if (s.n() != b.n() || s.n() != a.n()) {
     throw std::invalid_argument("intersection_subset_of: mismatched n");
   }
-  return bits::intersection_subset_of(s.word_data(), b.word_data(), a.word_data(),
-                                      s.word_count());
+  if (!s.symbolic() && !b.symbolic() && !a.symbolic()) {
+    return bits::intersection_subset_of(s.word_data(), b.word_data(), a.word_data(),
+                                        s.word_count());
+  }
+  // (s ∩ b) ⊆ a  ⇔  (s ∩ b) \ a = ∅, all at the cover level.
+  std::optional<SubcubeCover> cs, cb, ca;
+  return cover_view(s, cs)
+      .intersect(cover_view(b, cb))
+      .subtract(cover_view(a, ca))
+      .is_empty();
 }
 
 std::size_t intersection_count(const WorldSet& x, const WorldSet& y) {
   if (x.n() != y.n()) throw std::invalid_argument("intersection_count: mismatched n");
-  return bits::intersection_count(x.word_data(), y.word_data(), x.word_count());
+  if (!x.symbolic() && !y.symbolic()) {
+    return bits::intersection_count(x.word_data(), y.word_data(), x.word_count());
+  }
+  std::optional<SubcubeCover> cx, cy;
+  return static_cast<std::size_t>(
+      cover_view(x, cx).intersect(cover_view(y, cy)).count());
+}
+
+bool intersection3_empty(const WorldSet& x, const WorldSet& y,
+                         const WorldSet& z) {
+  if (x.n() != y.n() || x.n() != z.n()) {
+    throw std::invalid_argument("intersection3_empty: mismatched n");
+  }
+  if (!x.symbolic() && !y.symbolic() && !z.symbolic()) {
+    return bits::intersection3_empty(x.word_data(), y.word_data(), z.word_data(),
+                                     x.word_count());
+  }
+  std::optional<SubcubeCover> cx, cy, cz;
+  return cover_view(x, cx)
+      .intersect(cover_view(y, cy))
+      .intersect(cover_view(z, cz))
+      .is_empty();
 }
 
 bool union_is_universe(const WorldSet& x, const WorldSet& y) {
   if (x.n() != y.n()) throw std::invalid_argument("union_is_universe: mismatched n");
-  return bits::union_is_universe(x.word_data(), y.word_data(), x.word_count(),
-                                 x.omega_size());
+  if (!x.symbolic() && !y.symbolic()) {
+    return bits::union_is_universe(x.word_data(), y.word_data(), x.word_count(),
+                                   x.omega_size());
+  }
+  std::optional<SubcubeCover> cx, cy;
+  return cover_view(x, cx).unite(cover_view(y, cy)).is_universe();
 }
 
 double masked_weight_sum(const WorldSet& s, const double* weights) {
+  if (s.symbolic()) {
+    throw std::invalid_argument(
+        "masked_weight_sum: dense-only (per-world weight tables are 2^n); "
+        "symbolic sets take product_weight_sum");
+  }
   return bits::masked_weight_sum(s.word_data(), s.word_count(), weights);
 }
 
@@ -239,8 +457,27 @@ double intersection_weight_sum(const WorldSet& x, const WorldSet& y,
   if (x.n() != y.n()) {
     throw std::invalid_argument("intersection_weight_sum: mismatched n");
   }
+  if (x.symbolic() || y.symbolic()) {
+    throw std::invalid_argument(
+        "intersection_weight_sum: dense-only (per-world weight tables are "
+        "2^n); symbolic sets take product_weight_sum");
+  }
   return bits::intersection_weight_sum(x.word_data(), y.word_data(),
                                        x.word_count(), weights);
+}
+
+double product_weight_sum(const WorldSet& s, const double* probs) {
+  if (s.symbolic()) return s.cover().product_weight(probs);
+  const unsigned n = s.n();
+  double total = 0.0;
+  s.visit([&](World w) {
+    double mass = 1.0;
+    for (unsigned i = 0; i < n; ++i) {
+      mass *= world_bit(w, i) ? probs[i] : 1.0 - probs[i];
+    }
+    total += mass;
+  });
+  return total;
 }
 
 }  // namespace epi

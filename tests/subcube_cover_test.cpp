@@ -1,0 +1,402 @@
+// The symbolic world-set backend: cube-level primitives checked exhaustively
+// against brute-force box membership, cover algebra differentially against
+// the dense kernel, the canonical Shannon extraction (round trips at every
+// corner the conversion has), closed-form product weights, the n = 32
+// regime the dense backend cannot reach, and the enumeration guards that
+// keep 3^n machinery (SubcubeSigma, TernaryTable) away from symbolic-scale n.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "possibilistic/subcubes.h"
+#include "util/rng.h"
+#include "worlds/match_vector.h"
+#include "worlds/subcube_cover.h"
+#include "worlds/world_set.h"
+
+namespace epi {
+namespace {
+
+// --- brute-force helpers over small n --------------------------------------
+
+/// Membership mask of Box(c) inside {0,1}^n (n small): bit w set iff
+/// w refines c.
+std::uint64_t box_mask(const MatchVector& c, unsigned n) {
+  std::uint64_t mask = 0;
+  for (World w = 0; w < (World{1} << n); ++w) {
+    if (refines(w, c)) mask |= std::uint64_t{1} << w;
+  }
+  return mask;
+}
+
+/// All 3^n match vectors over n coordinates.
+std::vector<MatchVector> all_cubes(unsigned n) {
+  std::size_t total = 1;
+  for (unsigned i = 0; i < n; ++i) total *= 3;
+  std::vector<MatchVector> out;
+  out.reserve(total);
+  for (std::size_t code = 0; code < total; ++code) {
+    MatchVector c;
+    std::size_t rest = code;
+    for (unsigned i = 0; i < n; ++i) {
+      const unsigned digit = rest % 3;
+      rest /= 3;
+      if (digit == 2) {
+        c.stars |= World{1} << i;
+      } else if (digit == 1) {
+        c.values |= World{1} << i;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t cover_mask(const SubcubeCover& s) {
+  std::uint64_t mask = 0;
+  for (World w = 0; w < (World{1} << s.n()); ++w) {
+    if (s.contains(w)) mask |= std::uint64_t{1} << w;
+  }
+  return mask;
+}
+
+WorldSet random_symbolic(unsigned n, Rng& rng, double density = 0.5) {
+  return WorldSet::random(n, rng, density).symbolized();
+}
+
+// --- cube-level primitives ---------------------------------------------------
+
+TEST(CubePrimitives, CoordinateMask) {
+  EXPECT_EQ(coordinate_mask(1), 0x1u);
+  EXPECT_EQ(coordinate_mask(5), 0x1Fu);
+  EXPECT_EQ(coordinate_mask(31), 0x7FFFFFFFu);
+  EXPECT_EQ(coordinate_mask(32), 0xFFFFFFFFu);  // no UB shift at the ceiling
+}
+
+TEST(CubePrimitives, IntersectMeetSubsetExhaustive) {
+  // Every pair of cubes over n = 3 (27 x 27), against brute-force masks.
+  const unsigned n = 3;
+  const std::vector<MatchVector> cubes = all_cubes(n);
+  for (const MatchVector& c : cubes) {
+    const std::uint64_t mc = box_mask(c, n);
+    for (const MatchVector& d : cubes) {
+      const std::uint64_t md = box_mask(d, n);
+      EXPECT_EQ(cubes_intersect(c, d), (mc & md) != 0);
+      EXPECT_EQ(cube_subset(c, d), (mc & ~md) == 0);
+      if (cubes_intersect(c, d)) {
+        EXPECT_EQ(box_mask(cube_meet(c, d), n), mc & md);
+      }
+    }
+  }
+}
+
+TEST(CubePrimitives, SubtractIsDisjointAndExact) {
+  // Box(c) \ Box(d) over every pair at n = 3: the orthogonal-sharp pieces
+  // are pairwise disjoint, live inside Box(c), and union to the difference.
+  const unsigned n = 3;
+  const std::vector<MatchVector> cubes = all_cubes(n);
+  for (const MatchVector& c : cubes) {
+    const std::uint64_t mc = box_mask(c, n);
+    for (const MatchVector& d : cubes) {
+      const std::uint64_t md = box_mask(d, n);
+      std::vector<MatchVector> pieces;
+      cube_subtract(c, d, pieces);
+      std::uint64_t got = 0;
+      for (const MatchVector& p : pieces) {
+        const std::uint64_t mp = box_mask(p, n);
+        EXPECT_EQ(got & mp, 0u) << "pieces overlap";
+        EXPECT_EQ(mp & ~mc, 0u) << "piece escapes Box(c)";
+        got |= mp;
+      }
+      EXPECT_EQ(got, mc & ~md);
+    }
+  }
+}
+
+// --- cover construction and canonical form ----------------------------------
+
+TEST(SubcubeCover, ConstructorsAndPointQueries) {
+  const SubcubeCover e = SubcubeCover::empty(4);
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e.count(), 0u);
+  EXPECT_EQ(e.cube_count(), 0u);
+
+  const SubcubeCover u = SubcubeCover::universe(4);
+  EXPECT_TRUE(u.is_universe());
+  EXPECT_EQ(u.count(), 16u);
+  EXPECT_EQ(u.cube_count(), 1u);  // one all-star cube
+
+  const SubcubeCover s = SubcubeCover::singleton(4, 0b1010);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.contains(0b1010));
+  EXPECT_FALSE(s.contains(0b1011));
+  EXPECT_EQ(s.min_world(), World{0b1010});
+
+  const SubcubeCover c =
+      SubcubeCover::cube(4, MatchVector::from_string("01**"));
+  EXPECT_EQ(c.count(), 4u);  // two starred coordinates
+  for (World w = 0; w < 16; ++w) {
+    EXPECT_EQ(c.contains(w), refines(w, MatchVector::from_string("01**")));
+  }
+  EXPECT_EQ(c.to_string(), "cover{01**}");
+
+  EXPECT_THROW(SubcubeCover::empty(4).min_world(), std::logic_error);
+}
+
+TEST(SubcubeCover, BoundsAreEnforced) {
+  EXPECT_THROW(SubcubeCover{0}, std::invalid_argument);
+  EXPECT_THROW(SubcubeCover{kMaxSymbolicCoordinates + 1},
+               std::invalid_argument);
+  EXPECT_NO_THROW(SubcubeCover{kMaxSymbolicCoordinates});
+  // Star/value bits above coordinate n are rejected, not silently masked.
+  EXPECT_THROW(SubcubeCover::cube(3, MatchVector{/*stars=*/0b1000, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(SubcubeCover::cube(3, MatchVector{0, /*values=*/0b1000}),
+               std::invalid_argument);
+  EXPECT_THROW(SubcubeCover::singleton(3, 8), std::out_of_range);
+  // Mismatched n on a binary operation.
+  EXPECT_THROW(SubcubeCover::empty(3).unite(SubcubeCover::empty(4)),
+               std::invalid_argument);
+}
+
+TEST(SubcubeCover, CanonicalizationDeduplicatesAndAbsorbs) {
+  // Duplicates collapse; a cube contained in another is absorbed.
+  const MatchVector big = MatchVector::from_string("0***");
+  const MatchVector small = MatchVector::from_string("001*");
+  const SubcubeCover cover = SubcubeCover::from_cubes(4, {small, big, big});
+  EXPECT_EQ(cover.cube_count(), 1u);
+  EXPECT_EQ(cover.cubes()[0], big);
+  EXPECT_EQ(cover.count(), 8u);
+}
+
+TEST(SubcubeCover, SemanticEqualityAndHashAcrossSyntacticForms) {
+  // {0**, 1**} and {***} denote the same set; so do two different splits of
+  // the even worlds. equals() and semantic_hash() must agree on both pairs.
+  const SubcubeCover whole = SubcubeCover::universe(3);
+  const SubcubeCover split = SubcubeCover::from_cubes(
+      3, {MatchVector::from_string("0**"), MatchVector::from_string("1**")});
+  EXPECT_TRUE(whole.equals(split));
+  EXPECT_EQ(whole.semantic_hash(), split.semantic_hash());
+
+  const SubcubeCover evens =
+      SubcubeCover::cube(3, MatchVector::from_string("0**"));
+  const SubcubeCover evens_split = SubcubeCover::from_cubes(
+      3, {MatchVector::from_string("00*"), MatchVector::from_string("01*")});
+  EXPECT_TRUE(evens.equals(evens_split));
+  EXPECT_EQ(evens.semantic_hash(), evens_split.semantic_hash());
+  EXPECT_FALSE(evens.equals(whole));
+}
+
+TEST(SubcubeCover, DisjointCubesPartitionTheCover) {
+  Rng rng(0x5CC);
+  for (int t = 0; t < 20; ++t) {
+    // box_mask/cover_mask pack membership into one 64-bit word: n <= 6 only.
+    const unsigned n = 2 + static_cast<unsigned>(t % 5);
+    const SubcubeCover s =
+        random_symbolic(n, rng, 0.4).cover();
+    const std::vector<MatchVector> pieces = s.disjoint_cubes();
+    std::uint64_t mask = 0, total = 0;
+    for (const MatchVector& p : pieces) {
+      const std::uint64_t mp = box_mask(p, n);
+      EXPECT_EQ(mask & mp, 0u);
+      mask |= mp;
+      total += std::uint64_t{1} << p.star_count();
+    }
+    EXPECT_EQ(mask, cover_mask(s));
+    EXPECT_EQ(total, s.count());
+  }
+}
+
+// --- differential algebra against the dense kernel ---------------------------
+
+class CoverAlgebra : public ::testing::TestWithParam<unsigned> {
+ protected:
+  unsigned n() const { return GetParam(); }
+};
+
+TEST_P(CoverAlgebra, MatchesDenseKernel) {
+  Rng rng(0xC0FE + n());
+  for (int t = 0; t < 15; ++t) {
+    const WorldSet a = WorldSet::random(n(), rng, 0.5);
+    const WorldSet b = WorldSet::random(n(), rng, 0.5);
+    const SubcubeCover sa = a.symbolized().cover();
+    const SubcubeCover sb = b.symbolized().cover();
+
+    EXPECT_EQ(cover_mask(sa.intersect(sb)), cover_mask(sa) & cover_mask(sb));
+    EXPECT_EQ(cover_mask(sa.unite(sb)), cover_mask(sa) | cover_mask(sb));
+    EXPECT_EQ(cover_mask(sa.subtract(sb)), cover_mask(sa) & ~cover_mask(sb));
+    EXPECT_EQ(cover_mask(sa.exclusive_or(sb)),
+              cover_mask(sa) ^ cover_mask(sb));
+    EXPECT_EQ(sa.complement().count(), a.omega_size() - a.count());
+
+    EXPECT_EQ(sa.count(), a.count());
+    EXPECT_EQ(sa.subset_of(sb), a.subset_of(b));
+    EXPECT_EQ(sa.disjoint_with(sb), a.disjoint_with(b));
+    EXPECT_EQ(sa.equals(sb), a == b);
+    if (!a.is_empty()) {
+      EXPECT_EQ(sa.min_world(), a.min_world());
+    }
+
+    const World mask = static_cast<World>(rng.next_bits(n()));
+    EXPECT_EQ(WorldSet::from_cover(sa.xor_with(mask)), a.xor_with(mask));
+  }
+}
+
+TEST_P(CoverAlgebra, InsertEraseMatchDense) {
+  Rng rng(0xADD + n());
+  WorldSet dense = WorldSet::random(n(), rng, 0.3);
+  SubcubeCover cover = dense.symbolized().cover();
+  for (int t = 0; t < 30; ++t) {
+    const World w = static_cast<World>(rng.next_bits(n()));
+    if (t % 2 == 0) {
+      dense.insert(w);
+      cover.insert(w);
+    } else {
+      dense.erase(w);
+      cover.erase(w);
+    }
+    EXPECT_EQ(WorldSet::from_cover(cover), dense);
+  }
+}
+
+TEST_P(CoverAlgebra, ProductWeightMatchesDenseSum) {
+  Rng rng(0xBEEF + n());
+  for (int t = 0; t < 10; ++t) {
+    std::vector<double> probs(n());
+    for (double& p : probs) p = rng.next_double();
+    const WorldSet dense = WorldSet::random(n(), rng, 0.5);
+    const SubcubeCover cover = dense.symbolized().cover();
+
+    // Per-world reference sum.
+    double expected = 0.0;
+    dense.visit([&](World w) {
+      double mass = 1.0;
+      for (unsigned i = 0; i < n(); ++i) {
+        mass *= (w >> i) & 1u ? probs[i] : 1.0 - probs[i];
+      }
+      expected += mass;
+    });
+    EXPECT_NEAR(cover.product_weight(probs.data()), expected, 1e-12);
+    // And through the WorldSet-level fused entry point, both backends.
+    EXPECT_NEAR(product_weight_sum(dense, probs.data()), expected, 1e-12);
+    EXPECT_NEAR(product_weight_sum(dense.symbolized(), probs.data()),
+                expected, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllN, CoverAlgebra,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// --- dense <-> symbolic round trips at the corners ---------------------------
+
+TEST(CoverConversion, RoundTripAtEveryCorner) {
+  const unsigned n = 5;
+  std::vector<WorldSet> corners;
+  corners.push_back(WorldSet::empty(n));                     // empty
+  corners.push_back(WorldSet::universe(n));                  // universe
+  corners.push_back(WorldSet::singleton(n, 13));             // singleton
+  corners.push_back(~WorldSet::singleton(n, 13));            // co-singleton
+  corners.push_back(                                         // single cube
+      WorldSet::from_cover(SubcubeCover::cube(n, MatchVector::from_string(
+                                                     "1*0**")))
+          .densified());
+  corners.push_back(                                         // overlapping cubes
+      WorldSet::from_cover(SubcubeCover::from_cubes(
+                               n, {MatchVector::from_string("1****"),
+                                   MatchVector::from_string("**11*")}))
+          .densified());
+
+  for (const WorldSet& dense : corners) {
+    const WorldSet symbolic = dense.symbolized();
+    EXPECT_TRUE(symbolic.symbolic());
+    EXPECT_EQ(symbolic.count(), dense.count());
+    EXPECT_EQ(symbolic.is_empty(), dense.is_empty());
+    EXPECT_EQ(symbolic.is_universe(), dense.is_universe());
+    EXPECT_EQ(symbolic.densified(), dense);  // lossless round trip
+    EXPECT_EQ(symbolic, dense);              // cross-backend semantic equality
+  }
+
+  // The canonical corner covers themselves.
+  EXPECT_EQ(WorldSet::empty(n).symbolized().cover().cube_count(), 0u);
+  EXPECT_EQ(WorldSet::universe(n).symbolized().cover().cube_count(), 1u);
+  EXPECT_EQ(WorldSet::singleton(n, 13).symbolized().cover().cube_count(), 1u);
+}
+
+TEST(CoverConversion, ShannonExtractionIsCanonical) {
+  // from_dense is a function of the set alone: the same worlds inserted in
+  // different orders (or reached through different set algebra) extract to
+  // syntactically identical covers.
+  Rng rng(0x5A11);
+  for (int t = 0; t < 20; ++t) {
+    const unsigned n = 2 + static_cast<unsigned>(t % 7);
+    const WorldSet a = WorldSet::random(n, rng, 0.5);
+    WorldSet reordered(n);
+    std::vector<World> worlds = a.to_vector();
+    for (std::size_t i = worlds.size(); i > 0; --i) {
+      reordered.insert(worlds[i - 1]);
+    }
+    EXPECT_EQ(a.symbolized().cover().cubes(),
+              reordered.symbolized().cover().cubes());
+  }
+}
+
+// --- past the dense wall: n up to 32 ----------------------------------------
+
+TEST(SymbolicAtScale, BasicAlgebraAtN32) {
+  const unsigned n = kMaxSymbolicCoordinates;
+  const WorldSet universe = WorldSet::universe(n);  // auto resolves symbolic
+  EXPECT_TRUE(universe.symbolic());
+  EXPECT_EQ(universe.count(), std::size_t{1} << 32);
+
+  WorldSet a = WorldSet::empty(n);
+  a.insert(0);
+  a.insert(0xFFFFFFFFu);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ((~a).count(), (std::size_t{1} << 32) - 2);
+  EXPECT_EQ(a.min_world(), 0u);
+
+  // Theorem 3.11 at full width: {0, all-ones} vs its complement is disjoint
+  // and jointly exhaustive — safe under the unrestricted prior.
+  EXPECT_TRUE(a.disjoint_with(~a));
+  EXPECT_TRUE(union_is_universe(a, ~a));
+  EXPECT_TRUE(intersection3_empty(a, ~a, universe));
+
+  // A wide cube keeps O(#cubes) space: half of 2^32 worlds, one cube.
+  const WorldSet half = WorldSet::from_cover(
+      SubcubeCover::cube(n, MatchVector{coordinate_mask(31), 0x80000000u}));
+  EXPECT_EQ(half.count(), std::size_t{1} << 31);
+  EXPECT_EQ((half & a).count(), 1u);  // only the all-ones world
+  EXPECT_EQ((half | ~half), universe);
+}
+
+TEST(SymbolicAtScale, DenseOnlyOperationsThrowPastTheWall) {
+  const WorldSet wide = WorldSet::universe(27);
+  EXPECT_TRUE(wide.symbolic());
+  EXPECT_THROW(wide.densified(), std::invalid_argument);
+  EXPECT_THROW(wide.visit([](World) {}), std::logic_error);
+  EXPECT_THROW(wide.to_vector(), std::logic_error);
+  EXPECT_THROW(WorldSet::universe(5).cover(), std::logic_error);
+}
+
+// --- enumeration guards (the 3^n machinery stops well below n = 32) ----------
+
+TEST(EnumerationGuards, SubcubeSigmaBound) {
+  EXPECT_THROW(SubcubeSigma(0), std::invalid_argument);
+  EXPECT_THROW(SubcubeSigma(kMaxSubcubeEnumerationCoordinates + 1),
+               std::invalid_argument);
+  EXPECT_NO_THROW(SubcubeSigma(1));
+  EXPECT_NO_THROW(SubcubeSigma(6));
+}
+
+TEST(EnumerationGuards, TernaryTableBound) {
+  EXPECT_THROW(TernaryTable(0), std::invalid_argument);
+  EXPECT_THROW(TernaryTable(15), std::invalid_argument);
+  EXPECT_NO_THROW(TernaryTable(1));
+  EXPECT_EQ(TernaryTable(6).size(), std::size_t{729});
+}
+
+}  // namespace
+}  // namespace epi

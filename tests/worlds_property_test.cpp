@@ -209,6 +209,67 @@ TEST_P(ConversionLaws, ConversionRejectsNonPowerOfTwoUniverse) {
   }
 }
 
+// The same laws across the dense / symbolic backend boundary: symbolizing is
+// lossless, commutes with every operation, and mixed-backend operands agree
+// with both pure-backend forms.
+TEST_P(ConversionLaws, SymbolicRoundTripIsLossless) {
+  Rng rng(1300 + n());
+  for (int t = 0; t < 20; ++t) {
+    const WorldSet ws = WorldSet::random(n(), rng, 0.5);
+    const WorldSet sym = ws.symbolized();
+    EXPECT_EQ(sym.backend(), SetBackend::kSymbolic);
+    EXPECT_EQ(sym.count(), ws.count());
+    EXPECT_EQ(sym.densified(), ws);
+    EXPECT_EQ(sym, ws);  // semantic equality crosses the backend boundary
+    EXPECT_EQ(sym.symbolized(), ws);  // idempotent
+    // FiniteSet conversion densifies transparently.
+    EXPECT_EQ(to_finite(sym), to_finite(ws));
+  }
+}
+
+TEST_P(ConversionLaws, BinaryOpsCommuteWithSymbolization) {
+  Rng rng(1400 + n());
+  for (int t = 0; t < 15; ++t) {
+    const WorldSet a = WorldSet::random(n(), rng, 0.5);
+    const WorldSet b = WorldSet::random(n(), rng, 0.5);
+    const WorldSet sa = a.symbolized();
+    const WorldSet sb = b.symbolized();
+    EXPECT_EQ((sa & sb).densified(), a & b);
+    EXPECT_EQ((sa | sb).densified(), a | b);
+    EXPECT_EQ((sa - sb).densified(), a - b);
+    EXPECT_EQ((sa ^ sb).densified(), a ^ b);
+    EXPECT_EQ((~sa).densified(), ~a);
+    // Mixed-backend operands produce the same set (symbolically).
+    EXPECT_EQ(a & sb, a & b);
+    EXPECT_TRUE((sa | b).symbolic());
+    EXPECT_EQ(sa | b, a | b);
+    // Predicates and fused kernels agree across backends.
+    EXPECT_EQ(sa.subset_of(sb), a.subset_of(b));
+    EXPECT_EQ(sa.disjoint_with(b), a.disjoint_with(b));
+    EXPECT_EQ(union_is_universe(sa, sb), union_is_universe(a, b));
+    EXPECT_EQ(intersection_subset_of(sa, sb, sa),
+              intersection_subset_of(a, b, a));
+    EXPECT_EQ(intersection_count(sa, sb), intersection_count(a, b));
+    EXPECT_EQ(intersection3_empty(sa, sb, ~sa),
+              intersection3_empty(a, b, ~a));
+  }
+}
+
+TEST_P(ConversionLaws, SymbolicRoundTripAtCorners) {
+  const World last = static_cast<World>((std::uint64_t{1} << n()) - 1);
+  const std::vector<WorldSet> corners = {
+      WorldSet::empty(n()),
+      WorldSet::universe(n()),
+      WorldSet::singleton(n(), last),
+      ~WorldSet::singleton(n(), 0),
+  };
+  for (const WorldSet& ws : corners) {
+    EXPECT_EQ(ws.symbolized().densified(), ws);
+    EXPECT_EQ(ws.symbolized().is_empty(), ws.is_empty());
+    EXPECT_EQ(ws.symbolized().is_universe(), ws.is_universe());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllN, ConversionLaws,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 10u));
 

@@ -78,7 +78,13 @@ TEST(WorldSet, InsertEraseContains) {
 
 TEST(WorldSet, NOutOfRangeRejected) {
   EXPECT_THROW(WorldSet(0), std::invalid_argument);
-  EXPECT_THROW(WorldSet(kMaxCoordinates + 1), std::invalid_argument);
+  EXPECT_THROW(WorldSet(kMaxSymbolicCoordinates + 1), std::invalid_argument);
+  // Past the dense cap a forced-dense set is rejected; kAuto switches to the
+  // symbolic backend instead.
+  EXPECT_THROW(WorldSet(kMaxCoordinates + 1, SetBackend::kDense),
+               std::invalid_argument);
+  EXPECT_EQ(WorldSet(kMaxCoordinates + 1).backend(), SetBackend::kSymbolic);
+  EXPECT_EQ(WorldSet(kMaxCoordinates).backend(), SetBackend::kDense);
 }
 
 TEST(WorldSet, SetAlgebra) {
