@@ -7,7 +7,11 @@
 //   2. worker threads (product prior, 200-disclosure log): the
 //      DecisionEngine batch path fanning disclosures out across the pool,
 //      reported as audits/sec and speedup over one thread;
-//   3. tracing (product prior): the same workload with the span sink off
+//   3. batch sweep: Auditor::audit_many versus a loop of single audit()
+//      calls over the same property batch — the one-log-many-properties
+//      shape (policy streams, aggregate-query audits) where the batch API
+//      amortizes disclosure compilation; reported per batch size and prior;
+//   4. tracing (product prior): the same workload with the span sink off
 //      versus installed, reporting the tracing overhead — the off row is
 //      the number the <2% no-op gate watches.
 //
@@ -15,8 +19,10 @@
 // product prior) for CI to diff against an EPI_OBS_NOOP build.
 //
 // `--json` replaces the text report with a machine-readable JSON document
-// covering all four axes; BENCH_audit.json at the repo root is a checked-in
-// snapshot of that output.
+// covering all five axes in the shared bench_json.h schema; BENCH_audit.json
+// at the repo root is the checked-in baseline the CI perf gate diffs
+// against (see tools/bench_compare.py).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/auditor.h"
 #include "core/workload.h"
 #include "obs/trace.h"
@@ -68,59 +75,18 @@ Workload rate_workload() {
   return make_hospital_workload(options);
 }
 
-/// Accumulates every measurement so `--json` can emit the whole report as
-/// one document after the runs finish.
-struct JsonReport {
-  struct PriorRow {
-    unsigned patients;
-    int queries;
-    std::string prior;
-    double rate;
-    std::size_t safe, unsafe_count, unknown;
-  };
-  struct ThreadRow {
-    unsigned threads;
-    double rate;
-    double speedup;
-  };
-  std::vector<PriorRow> priors;
-  std::vector<ThreadRow> threads;
-  double fused_naive_rate = 0.0, fused_rate = 0.0;
-  double tracing_off_rate = 0.0, tracing_on_rate = 0.0;
-  std::size_t tracing_spans = 0;
-
-  void print() const {
-    std::printf("{\n  \"bench\": \"audit_throughput\",\n");
-    std::printf("  \"prior_families\": [\n");
-    for (std::size_t i = 0; i < priors.size(); ++i) {
-      const PriorRow& r = priors[i];
-      std::printf(
-          "    {\"patients\": %u, \"queries\": %d, \"prior\": \"%s\", "
-          "\"audits_per_sec\": %.0f, \"safe\": %zu, \"unsafe\": %zu, "
-          "\"unknown\": %zu}%s\n",
-          r.patients, r.queries, r.prior.c_str(), r.rate, r.safe,
-          r.unsafe_count, r.unknown, i + 1 < priors.size() ? "," : "");
-    }
-    std::printf("  ],\n  \"thread_scaling\": [\n");
-    for (std::size_t i = 0; i < threads.size(); ++i) {
-      const ThreadRow& r = threads[i];
-      std::printf(
-          "    {\"threads\": %u, \"audits_per_sec\": %.0f, "
-          "\"speedup\": %.2f}%s\n",
-          r.threads, r.rate, r.speedup, i + 1 < threads.size() ? "," : "");
-    }
-    std::printf(
-        "  ],\n  \"fused_kernels\": {\"naive_checks_per_sec\": %.0f, "
-        "\"fused_checks_per_sec\": %.0f, \"speedup\": %.2f},\n",
-        fused_naive_rate, fused_rate, fused_rate / fused_naive_rate);
-    std::printf(
-        "  \"tracing\": {\"off_audits_per_sec\": %.0f, "
-        "\"on_audits_per_sec\": %.0f, \"spans\": %zu, "
-        "\"overhead_pct\": %.1f}\n}\n",
-        tracing_off_rate, tracing_on_rate, tracing_spans,
-        (tracing_off_rate / tracing_on_rate - 1.0) * 100.0);
+/// Cycles the workload's audit candidates (negating every third) into a
+/// batch of `count` distinct-looking sensitive properties.
+std::vector<std::string> property_batch(const Workload& workload,
+                                        std::size_t count) {
+  std::vector<std::string> queries;
+  const std::vector<std::string>& base = workload.audit_candidates;
+  for (std::size_t i = 0; queries.size() < count; ++i) {
+    const std::string& q = base[i % base.size()];
+    queries.push_back(i % 3 == 2 ? "!(" + q + ")" : q);
   }
-};
+  return queries;
+}
 
 }  // namespace
 
@@ -134,7 +100,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
-  JsonReport report;
+  bench::JsonReport report("audit_throughput");
 
   if (!json) {
     std::printf("=== E13 (extension): offline audit throughput ===\n\n");
@@ -160,8 +126,14 @@ int main(int argc, char** argv) {
                     options.queries, to_string(prior).c_str(), rate, safe,
                     unsafe, unknown);
       }
-      report.priors.push_back({patients, options.queries, to_string(prior),
-                               rate, safe, unsafe, unknown});
+      report.row("prior_families")
+          .field("patients", patients)
+          .field("queries", options.queries)
+          .field("prior", to_string(prior))
+          .field("audits_per_sec", rate, 0)
+          .field("safe", safe)
+          .field("unsafe", unsafe)
+          .field("unknown", unknown);
     }
   }
 
@@ -185,7 +157,66 @@ int main(int argc, char** argv) {
     if (!json) {
       std::printf("%9u %12.0f %8.2fx\n", threads, rate, rate / base_rate);
     }
-    report.threads.push_back({threads, rate, rate / base_rate});
+    report.row("thread_scaling")
+        .field("threads", threads)
+        .field("audits_per_sec", rate, 0)
+        .field("speedup", rate / base_rate);
+  }
+
+  if (!json) {
+    std::printf(
+        "\n--- batch sweep: audit_many vs single-audit loop, one log, N "
+        "properties ---\n\n");
+    std::printf("%18s %6s %14s %14s %9s\n", "prior", "batch", "loop aud/s",
+                "batch aud/s", "speedup");
+  }
+  for (PriorAssumption prior :
+       {PriorAssumption::kUnrestricted, PriorAssumption::kProduct}) {
+    Auditor auditor(workload.universe, prior, throughput_options(1));
+    for (std::size_t batch : {8u, 64u, 256u}) {
+      const std::vector<std::string> properties =
+          property_batch(workload, batch);
+      // Warm-up pass (allocator, compile caches live only per call, but the
+      // first pass still settles frequency and page faults).
+      auditor.audit_many(workload.log, properties);
+
+      // Best of three timed passes per side: a single quarter-second pass
+      // swings >10% on shared runners, which is exactly the perf-gate
+      // tolerance. The minimum is the least-interfered measurement.
+      double loop_s = 1e30;
+      double batch_s = 1e30;
+      std::size_t n_reports = 0;
+      for (int pass = 0; pass < 3; ++pass) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (const std::string& q : properties) auditor.audit(workload.log, q);
+        loop_s = std::min(
+            loop_s,
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count());
+
+        t0 = std::chrono::steady_clock::now();
+        const std::vector<AuditReport> reports =
+            auditor.audit_many(workload.log, properties);
+        batch_s = std::min(
+            batch_s,
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count());
+        n_reports = reports.size();
+      }
+
+      const double n = static_cast<double>(n_reports);
+      if (!json) {
+        std::printf("%18s %6zu %14.0f %14.0f %8.2fx\n",
+                    to_string(prior).c_str(), batch, n / loop_s, n / batch_s,
+                    batch_s > 0 ? loop_s / batch_s : 0.0);
+      }
+      report.row("batch_sweep")
+          .field("prior", to_string(prior))
+          .field("batch", batch)
+          .field("single_audits_per_sec", n / loop_s, 0)
+          .field("batch_audits_per_sec", n / batch_s, 0)
+          .field("speedup", loop_s / batch_s);
+    }
   }
 
   if (!json) {
@@ -225,8 +256,10 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     const double total = static_cast<double>(rounds) * as.size();
-    report.fused_naive_rate = total / naive_s;
-    report.fused_rate = total / fused_s;
+    report.row("fused_kernels")
+        .field("naive_checks_per_sec", total / naive_s, 0)
+        .field("fused_checks_per_sec", total / fused_s, 0)
+        .field("speedup", naive_s / fused_s);
     if (!json) {
       std::printf("%12s %14s\n", "variant", "checks/sec");
       std::printf("%12s %14.0f\n", "naive", total / naive_s);
@@ -247,9 +280,11 @@ int main(int argc, char** argv) {
   obs::install_trace(trace);
   const double rate_on = measure(traced_workload, traced_auditor);
   obs::install_trace(nullptr);
-  report.tracing_off_rate = rate_off;
-  report.tracing_on_rate = rate_on;
-  report.tracing_spans = trace->size();
+  report.row("tracing")
+      .field("off_audits_per_sec", rate_off, 0)
+      .field("on_audits_per_sec", rate_on, 0)
+      .field("spans", trace->size())
+      .field("overhead_pct", (rate_off / rate_on - 1.0) * 100.0, 1);
 
   if (json) {
     report.print();

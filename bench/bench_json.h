@@ -1,0 +1,99 @@
+// One machine-readable schema for every bench's `--json` mode, so the CI
+// perf gate (tools/bench_compare.py) can diff any snapshot without
+// per-bench parsing:
+//
+//   {
+//     "bench": "<name>",
+//     "results": [
+//       {"axis": "<table>", "<dim>": ..., "<metric>": ...},
+//       ...
+//     ]
+//   }
+//
+// Each row is one measurement: string/integer fields are dimensions (they
+// key the row), floating-point fields are metrics (they get compared).
+// Metric names carry their direction — `*_per_sec` and `speedup*` are
+// higher-is-better, `*_ns` lower-is-better; anything else is informational.
+//
+// Header-only and allocation-light on purpose: benches printf their text
+// tables, and this builder only runs in `--json` mode.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace epi {
+namespace bench {
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Starts a new result row on the given axis (the table it belongs to).
+  JsonReport& row(const char* axis) {
+    rows_.emplace_back();
+    return field(axis_key(), axis);
+  }
+
+  JsonReport& field(const char* key, const char* value) {
+    std::string quoted;
+    quoted.reserve(std::char_traits<char>::length(value) + 2);
+    quoted += '"';
+    quoted += value;
+    quoted += '"';
+    rows_.back().emplace_back(key, std::move(quoted));
+    return *this;
+  }
+  JsonReport& field(const char* key, const std::string& value) {
+    return field(key, value.c_str());
+  }
+  JsonReport& field(const char* key, std::int64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& field(const char* key, std::size_t value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonReport& field(const char* key, unsigned value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonReport& field(const char* key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  /// Metrics: rates print integral (they are large), ratios keep 2 places.
+  JsonReport& field(const char* key, double value, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+
+  /// Emits the whole document to stdout.
+  void print() const {
+    std::printf("{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                bench_name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::printf("    {");
+      for (std::size_t f = 0; f < rows_[i].size(); ++f) {
+        std::printf("%s\"%s\": %s", f == 0 ? "" : ", ",
+                    rows_[i][f].first.c_str(), rows_[i][f].second.c_str());
+      }
+      std::printf("}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  }
+
+ private:
+  static const char* axis_key() { return "axis"; }
+
+  using Row = std::vector<std::pair<std::string, std::string>>;
+  std::string bench_name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bench
+}  // namespace epi

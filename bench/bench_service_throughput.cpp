@@ -8,8 +8,16 @@
 //      engine, the second is the steady state a long-running service sees,
 //      with the measured hit-rate alongside.
 //
+//   3. batch admission — submit_many/process_many of the whole log versus
+//      a per-request process() loop from one client (queueing amortized,
+//      same verdicts).
+//
 // `--rate-only` prints a single "rate=<requests/sec>" line (warm cache,
 // 4 client threads) for CI trend lines and A/B runs.
+//
+// `--json` replaces the text report with the shared bench_json.h schema;
+// BENCH_service.json at the repo root is the checked-in baseline the CI
+// perf gate diffs (tools/bench_compare.py).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/workload.h"
 #include "service/audit_service.h"
 
@@ -92,6 +101,20 @@ double hit_rate_delta(const obs::MetricsSnapshot& before,
   return hits + misses > 0 ? hits / (hits + misses) : 0.0;
 }
 
+/// The whole log as one request batch (replayed-log mode, one client).
+std::vector<service::AuditRequest> log_batch(const Workload& workload) {
+  std::vector<service::AuditRequest> requests;
+  requests.reserve(workload.log.size());
+  for (const Disclosure& entry : workload.log.entries()) {
+    service::AuditRequest request;
+    request.user = entry.user;
+    request.query_text = entry.query_text;
+    request.answer = entry.answer;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,13 +128,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("=== E14 (extension): audit service throughput ===\n\n");
-  std::printf("workload: %u records, %zu logged queries, audit query \"%s\",\n"
-              "product prior, 2 service workers\n\n",
-              workload.universe.size(), workload.log.size(),
-              workload.audit_candidates.front().c_str());
-  std::printf("%8s %9s %12s %12s %14s\n", "clients", "requests", "cold req/s",
-              "warm req/s", "warm hit-rate");
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  bench::JsonReport report("service_throughput");
+
+  if (!json) {
+    std::printf("=== E14 (extension): audit service throughput ===\n\n");
+    std::printf("workload: %u records, %zu logged queries, audit query \"%s\",\n"
+                "product prior, 2 service workers\n\n",
+                workload.universe.size(), workload.log.size(),
+                workload.audit_candidates.front().c_str());
+    std::printf("%8s %9s %12s %12s %14s\n", "clients", "requests",
+                "cold req/s", "warm req/s", "warm hit-rate");
+  }
 
   for (unsigned clients : {1u, 2u, 4u, 8u}) {
     std::unique_ptr<service::AuditService> svc = make_service(workload, 2);
@@ -119,10 +147,61 @@ int main(int argc, char** argv) {
     const obs::MetricsSnapshot before = svc->metrics_snapshot();
     const double warm = run_pass(*svc, workload, clients);
     const obs::MetricsSnapshot after = svc->metrics_snapshot();
-    std::printf("%8u %9zu %12.0f %12.0f %13.1f%%\n", clients,
-                static_cast<std::size_t>(clients) * workload.log.size(), cold,
-                warm, hit_rate_delta(before, after) * 100.0);
+    if (!json) {
+      std::printf("%8u %9zu %12.0f %12.0f %13.1f%%\n", clients,
+                  static_cast<std::size_t>(clients) * workload.log.size(),
+                  cold, warm, hit_rate_delta(before, after) * 100.0);
+    }
+    report.row("client_scaling")
+        .field("clients", clients)
+        .field("requests",
+               static_cast<std::size_t>(clients) * workload.log.size())
+        .field("cold_requests_per_sec", cold, 0)
+        .field("warm_requests_per_sec", warm, 0)
+        .field("warm_hit_rate_pct", hit_rate_delta(before, after) * 100.0, 1);
     svc->shutdown();
+  }
+
+  // --- batch admission: process_many vs a per-request loop, one client ----
+  {
+    std::unique_ptr<service::AuditService> svc = make_service(workload, 2);
+    run_pass(*svc, workload, 1);  // warm cache and allocator
+
+    std::vector<service::AuditRequest> requests = log_batch(workload);
+    auto t0 = std::chrono::steady_clock::now();
+    for (service::AuditRequest& request : requests) {
+      svc->process(request);
+    }
+    const double loop_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    t0 = std::chrono::steady_clock::now();
+    const std::vector<service::AuditResponse> responses =
+        svc->process_many(std::move(requests));
+    const double batch_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    svc->shutdown();
+
+    const double n = static_cast<double>(responses.size());
+    if (!json) {
+      std::printf(
+          "\n--- batch admission: %zu-request log, warm cache ---\n\n"
+          "%12s %14s\n%12s %14.0f\n%12s %14.0f   (%.2fx)\n",
+          responses.size(), "mode", "requests/sec", "loop", n / loop_s,
+          "batch", n / batch_s, loop_s / batch_s);
+    }
+    report.row("batch_admission")
+        .field("requests", responses.size())
+        .field("loop_requests_per_sec", n / loop_s, 0)
+        .field("batch_requests_per_sec", n / batch_s, 0)
+        .field("speedup", loop_s / batch_s);
+  }
+
+  if (json) {
+    report.print();
+    return 0;
   }
 
   std::printf(

@@ -14,9 +14,15 @@
 // subset relation holds, so every word is scanned): the measured gap is the
 // fusion win, not an early-out artifact.
 //
+// A second axis sweeps the ISA dispatch tiers (scalar word loop, AVX2,
+// AVX-512 where the host supports them) over the same fused kernels via
+// bits::force_isa, pinning the SIMD win per tier; tiers the host lacks are
+// skipped.
+//
 // `--json` replaces the text report with a machine-readable JSON document
-// (one result object per (n, kernel) pair); BENCH_kernels.json at the repo
-// root is a checked-in snapshot of that output.
+// in the shared bench_json.h schema (one row per (n, kernel) pair, plus one
+// per (tier, kernel)); BENCH_kernels.json at the repo root is the
+// checked-in baseline the CI perf gate diffs (tools/bench_compare.py).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -25,8 +31,10 @@
 #include <functional>
 #include <vector>
 
+#include "bench_json.h"
 #include "probabilistic/distribution.h"
 #include "util/rng.h"
+#include "worlds/dense_bits.h"
 #include "worlds/world_set.h"
 
 using namespace epi;
@@ -61,29 +69,20 @@ void print_row(const Row& r) {
               r.fused_ns, r.naive_ns / r.fused_ns);
 }
 
-struct Result {
-  unsigned n;
-  Row row;
-};
-
-void print_json(const std::vector<Result>& results) {
-  std::printf("{\n  \"bench\": \"set_kernels\",\n  \"results\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    std::printf(
-        "    {\"n\": %u, \"kernel\": \"%s\", \"naive_ns\": %.0f, "
-        "\"fused_ns\": %.0f, \"speedup\": %.2f}%s\n",
-        r.n, r.row.kernel, r.row.naive_ns, r.row.fused_ns,
-        r.row.naive_ns / r.row.fused_ns, i + 1 < results.size() ? "," : "");
-  }
-  std::printf("  ]\n}\n");
+void add_row(bench::JsonReport& report, unsigned n, const Row& r) {
+  report.row("kernels")
+      .field("n", n)
+      .field("kernel", r.kernel)
+      .field("naive_ns", r.naive_ns, 0)
+      .field("fused_ns", r.fused_ns, 0)
+      .field("speedup", r.naive_ns / r.fused_ns);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
-  std::vector<Result> results;
+  bench::JsonReport report("set_kernels");
 
   if (!json) {
     std::printf(
@@ -123,7 +122,7 @@ int main(int argc, char** argv) {
                   }),
     };
     if (!json) print_row(subset);
-    results.push_back({n, subset});
+    add_row(report, n, subset);
 
     // P[A]: naive drives the accumulation through a type-erased
     // std::function per world (the pre-kernel for_each idiom); fused is the
@@ -145,7 +144,7 @@ int main(int argc, char** argv) {
                   }),
     };
     if (!json) print_row(weight);
-    results.push_back({n, weight});
+    add_row(report, n, weight);
 
     // P[A∩B]: naive materializes a & b and sums through std::function.
     const Row inter_weight{
@@ -164,7 +163,7 @@ int main(int argc, char** argv) {
                   }),
     };
     if (!json) print_row(inter_weight);
-    results.push_back({n, inter_weight});
+    add_row(report, n, inter_weight);
 
     // A∪B = Omega: naive allocates the union, then scans it again.
     const Row universe{
@@ -181,11 +180,77 @@ int main(int argc, char** argv) {
                   }),
     };
     if (!json) print_row(universe);
-    results.push_back({n, universe});
+    add_row(report, n, universe);
+  }
+
+  // --- ISA dispatch axis: the same fused kernels, per forced tier --------
+  {
+    const unsigned n = 20;
+    Rng rng(0xE14 + n);
+    const WorldSet s = WorldSet::random(n, rng);
+    const WorldSet b = WorldSet::random(n, rng);
+    const WorldSet a = (s & b) | WorldSet::random(n, rng, 0.25);
+    const Distribution p = Distribution::random(n, rng);
+    const int reps = 400;
+
+    if (!json) {
+      std::printf(
+          "\n-- ISA dispatch tiers (n = %u, dispatched fused kernels) --\n",
+          n);
+      std::printf("  %-10s %-26s %12s\n", "tier", "kernel", "ns/op");
+    }
+    for (const bits::IsaTier tier :
+         {bits::IsaTier::kScalar, bits::IsaTier::kAvx2,
+          bits::IsaTier::kAvx512}) {
+      if (!bits::force_isa(tier)) continue;  // host lacks this tier
+      const char* tier_name = bits::to_string(tier);
+      struct Kernel {
+        const char* name;
+        double ns;
+      };
+      bool sink = false;
+      const Kernel kernels[] = {
+          {"intersection_subset_of", ns_per_op(reps,
+                                               [&] {
+                                                 sink ^= intersection_subset_of(
+                                                     s, b, a);
+                                                 benchmark::DoNotOptimize(sink);
+                                               })},
+          {"masked_weight_sum",
+           ns_per_op(reps,
+                     [&] {
+                       double sum = masked_weight_sum(a, p.weights().data());
+                       benchmark::DoNotOptimize(sum);
+                     })},
+          {"intersection_weight_sum",
+           ns_per_op(reps,
+                     [&] {
+                       double sum =
+                           intersection_weight_sum(a, b, p.weights().data());
+                       benchmark::DoNotOptimize(sum);
+                     })},
+          {"union_is_universe", ns_per_op(reps,
+                                          [&] {
+                                            sink ^= union_is_universe(a, b);
+                                            benchmark::DoNotOptimize(sink);
+                                          })},
+      };
+      for (const Kernel& k : kernels) {
+        if (!json) {
+          std::printf("  %-10s %-26s %12.1f\n", tier_name, k.name, k.ns);
+        }
+        report.row("isa")
+            .field("tier", tier_name)
+            .field("n", n)
+            .field("kernel", k.name)
+            .field("dispatched_ns", k.ns, 1);
+      }
+    }
+    bits::reset_isa();  // back to the CPUID choice
   }
 
   if (json) {
-    print_json(results);
+    report.print();
     return 0;
   }
 

@@ -3,10 +3,13 @@
 // of tool a DBA would run after a suspected leak. The script language is
 // documented in core/scenario.h.
 //
-// Usage: audit_cli [--stats] [--metrics] [--trace=<file.json>] [--threads N]
-//                  [--backend=dense|symbolic|auto] [scenario-file]
+// Usage: audit_cli [--stats] [--metrics] [--batch] [--trace=<file.json>]
+//                  [--threads N] [--backend=dense|symbolic|auto] [scenario-file]
 //   --stats            after each report, print per-stage decision counters
 //                      and wall time (the DecisionEngine's instrumentation)
+//   --batch            group consecutive `audit` directives into one
+//                      Auditor::audit_many sweep (same reports, byte for
+//                      byte; disclosure compilation amortized across them)
 //   --metrics          after each report, print its full metrics snapshot,
 //                      then the process-wide registry (parser, oracle, pool)
 //   --trace=<file>     record a span trace of the whole run and write it as
@@ -59,11 +62,13 @@ audit bob_hiv
 )";
 
 constexpr char kUsage[] =
-    "usage: audit_cli [--stats] [--metrics] [--trace=<file.json>] [--threads N]\n"
-    "                 [scenario-file]\n"
+    "usage: audit_cli [--stats] [--metrics] [--batch] [--trace=<file.json>]\n"
+    "                 [--threads N] [scenario-file]\n"
     "  --stats          print per-stage decision counters after each report\n"
     "  --metrics        print each report's metrics snapshot, then the\n"
     "                   process-wide registry\n"
+    "  --batch          run consecutive audit directives as one batch\n"
+    "                   (identical reports, amortized disclosure compilation)\n"
     "  --trace=<file>   write a JSON span trace of the run ('-' = stdout)\n"
     "  --threads N      decide disclosures on N threads (0 = one per core)\n"
     "  --backend=B      world-set representation: dense, symbolic or auto\n"
@@ -75,7 +80,7 @@ struct CliOptions {
   bool metrics = false;
   bool help = false;
   const char* trace_path = nullptr;
-  epi::AuditorOptions auditor;
+  epi::ScenarioOptions scenario;
   const char* scenario_path = nullptr;
 };
 
@@ -107,7 +112,7 @@ epi::Status run(std::istream& in, const CliOptions& cli) {
   }
 
   ScenarioResult result;
-  const Status status = try_run_scenario(in, &result, cli.auditor);
+  const Status status = try_run_scenario(in, &result, cli.scenario);
   if (trace) obs::install_trace(nullptr);
   if (!status.ok()) return status;
 
@@ -149,6 +154,8 @@ epi::Status parse_args(int argc, char** argv, CliOptions* cli) {
       cli->stats = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       cli->metrics = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      cli->scenario.batch_audits = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       if (argv[i][8] == '\0') {
         return epi::Status::InvalidArgument("--trace needs a file name");
@@ -162,10 +169,10 @@ epi::Status parse_args(int argc, char** argv, CliOptions* cli) {
       if (n < 0) {
         return epi::Status::InvalidArgument("--threads must be >= 0");
       }
-      cli->auditor.threads = static_cast<unsigned>(n);
+      cli->scenario.auditor.threads = static_cast<unsigned>(n);
     } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       try {
-        cli->auditor.backend = epi::parse_backend(argv[i] + 10);
+        cli->scenario.auditor.backend = epi::parse_backend(argv[i] + 10);
       } catch (const std::invalid_argument& e) {
         return epi::Status::InvalidArgument(e.what());
       }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "db/parser.h"
 #include "obs/trace.h"
@@ -129,19 +130,14 @@ ThreadPool& Auditor::pool() const {
 }
 
 void Auditor::decide_pairs(const WorldSet& a,
-                           const std::vector<const WorldSet*>& bs,
+                           std::span<const WorldSet* const> bs,
                            AuditContext& ctx,
                            std::vector<EngineDecision>& out) const {
-  const std::size_t start = out.size();
-  out.resize(start + bs.size());
-  auto decide_one = [&](std::size_t i) {
-    out[start + i] = engine_.decide(a, *bs[i], ctx);
-  };
-  if (engine_.options().threads == 1 || bs.size() <= 1) {
-    for (std::size_t i = 0; i < bs.size(); ++i) decide_one(i);
-  } else {
-    pool().parallel_for(bs.size(), decide_one);
-  }
+  ThreadPool* fan_out =
+      (engine_.options().threads == 1 || bs.size() <= 1) ? nullptr : &pool();
+  std::vector<EngineDecision> decisions = engine_.decide_many(a, bs, ctx, fan_out);
+  out.insert(out.end(), std::make_move_iterator(decisions.begin()),
+             std::make_move_iterator(decisions.end()));
 }
 
 std::shared_ptr<IntervalOracle> Auditor::shared_subcube_oracle() const {
@@ -159,17 +155,109 @@ AuditFinding Auditor::audit_sets(const WorldSet& a, const WorldSet& b) const {
   return to_finding(engine_.decide(a, b, ctx));
 }
 
-AuditReport Auditor::audit(const AuditLog& log,
-                           const std::string& audit_query_text) const {
+// The A-independent half of an audit. Everything here depends only on the
+// log and the universe, so a batch computes it exactly once and every
+// audited property reuses it: the compiled disclosed sets (the expensive
+// per-world query evaluations), the per-entry pointers and deduplicated
+// decision list, and the Section 3.3 per-user conjunctions.
+struct Auditor::BatchShared {
+  /// Owns one compiled WorldSet per distinct (query text, answer) pair.
+  /// unordered_map node stability keeps every pointer below valid.
+  std::unordered_map<std::string, WorldSet> sets;
+  std::vector<std::string> entry_keys;           ///< disclosure_key per entry
+  std::vector<const WorldSet*> disclosure_sets;  ///< per entry, into `sets`
+  std::vector<const WorldSet*> unique_bs;        ///< deduplicated, log order
+  std::vector<std::size_t> entry_slot;           ///< entry -> unique_bs index
+  std::vector<std::string> users;
+  std::vector<WorldSet> conjunctions;            ///< per user, Section 3.3
+  std::vector<std::size_t> answered_counts;
+  std::vector<const WorldSet*> unique_conjunctions;
+  std::vector<std::size_t> user_slot;
+};
+
+Auditor::BatchShared Auditor::build_shared(const AuditLog& log) const {
+  BatchShared shared;
+  const SetBackend backend = resolved_backend();
+  const std::vector<Disclosure>& entries = log.entries();
+
+  // Compile each disclosure's set once, keyed by (query text, answer) — the
+  // same query answered the same way discloses the same set, whoever asked.
+  shared.entry_keys.reserve(entries.size());
+  shared.disclosure_sets.reserve(entries.size());
+  {
+    obs::ScopedSpan compile_span("audit.compile-disclosures");
+    for (const Disclosure& d : entries) {
+      std::string key = disclosure_key(d);
+      auto it = shared.sets.find(key);
+      if (it == shared.sets.end()) {
+        it = shared.sets.emplace(key, d.disclosed_set(universe_, backend)).first;
+      }
+      shared.disclosure_sets.push_back(&it->second);
+      shared.entry_keys.push_back(std::move(key));
+    }
+  }
+
+  // Deduplicate for the decision sweep: each *distinct* disclosed set is
+  // decided once per audited property, in log order.
+  shared.entry_slot.resize(entries.size());
+  {
+    std::unordered_map<std::string_view, std::size_t> slot_of;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      auto [it, inserted] =
+          slot_of.emplace(shared.entry_keys[i], shared.unique_bs.size());
+      if (inserted) shared.unique_bs.push_back(shared.disclosure_sets[i]);
+      shared.entry_slot[i] = it->second;
+    }
+  }
+
+  // Section 3.3 — a user who received answers B1, ..., Bk knows
+  // B1 ∩ ... ∩ Bk. Conjunctions are cheap bitset ANDs over the compiled
+  // sets, and like them are independent of the audited property.
+  shared.users = log.users();
+  shared.conjunctions.reserve(shared.users.size());
+  shared.answered_counts.reserve(shared.users.size());
+  for (const std::string& user : shared.users) {
+    WorldSet conjunction =
+        WorldSet::universe(static_cast<unsigned>(universe_.size()), backend);
+    std::size_t answered = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].user != user) continue;
+      conjunction &= *shared.disclosure_sets[i];
+      ++answered;
+    }
+    shared.conjunctions.push_back(std::move(conjunction));
+    shared.answered_counts.push_back(answered);
+  }
+
+  shared.user_slot.resize(shared.users.size());
+  for (std::size_t u = 0; u < shared.users.size(); ++u) {
+    std::size_t slot = shared.unique_conjunctions.size();
+    for (std::size_t v = 0; v < shared.unique_conjunctions.size(); ++v) {
+      if (*shared.unique_conjunctions[v] == shared.conjunctions[u]) {
+        slot = v;
+        break;
+      }
+    }
+    if (slot == shared.unique_conjunctions.size()) {
+      shared.unique_conjunctions.push_back(&shared.conjunctions[u]);
+    }
+    shared.user_slot[u] = slot;
+  }
+  return shared;
+}
+
+AuditReport Auditor::audit_one(const AuditLog& log,
+                               std::string_view audit_query_text,
+                               const BatchShared& shared) const {
   obs::ScopedSpan span("audit.run");
   if (span.live()) {
-    span.attr("query", audit_query_text);
+    span.attr("query", std::string(audit_query_text));
     span.attr("prior", to_string(engine_.prior()));
     span.attr("disclosures", std::to_string(log.entries().size()));
   }
 
   AuditReport report;
-  report.audit_query = audit_query_text;
+  report.audit_query = std::string(audit_query_text);
   report.prior = engine_.prior();
   const SetBackend backend = resolved_backend();
   const WorldSet a = parse_query(audit_query_text)->compile(universe_, backend);
@@ -186,100 +274,59 @@ AuditReport Auditor::audit(const AuditLog& log,
     ctx.prepare_subcube(a);
   }
 
-  // Phase 1 (serial): compile each disclosure's set once, cached by
-  // (query text, answer) — the per-user conjunction loop below reuses these
-  // instead of re-compiling per user.
-  const std::vector<Disclosure>& entries = log.entries();
-  std::vector<const WorldSet*> disclosure_sets;
-  disclosure_sets.reserve(entries.size());
+  // Per-report compile accounting: the sets were compiled once for the
+  // whole batch, but each report's counters state what *its* audit
+  // required — first use of a key is a miss, repeats are hits — exactly
+  // like a standalone audit's context. The batch amortization shows up in
+  // wall time, not in doctored counters.
   {
-    obs::ScopedSpan compile_span("audit.compile-disclosures");
-    for (const Disclosure& d : entries) {
-      disclosure_sets.push_back(&ctx.compiled(
-          disclosure_key(d), [&] { return d.disclosed_set(universe_, backend); }));
+    obs::Counter& misses = ctx.metrics().counter("engine.compile.misses");
+    obs::Counter& hits = ctx.metrics().counter("engine.compile.hits");
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(shared.sets.size());
+    for (const std::string& key : shared.entry_keys) {
+      (seen.insert(key).second ? misses : hits).add(1);
     }
   }
 
-  // Phase 2: decide each *distinct* disclosed set once, fanning out across
-  // the pool. Deduplication keeps stage counters (and wall clock) identical
-  // for every thread count.
-  std::vector<const WorldSet*> unique_bs;
-  std::vector<std::size_t> entry_slot(entries.size());
-  {
-    std::unordered_map<std::string, std::size_t> slot_of;
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-      auto [it, inserted] =
-          slot_of.emplace(disclosure_key(entries[i]), unique_bs.size());
-      if (inserted) unique_bs.push_back(disclosure_sets[i]);
-      entry_slot[i] = it->second;
-    }
-  }
+  // Decide each distinct disclosed set, fanning out across the pool.
+  // Deduplication keeps stage counters (and wall clock) identical for every
+  // thread count.
   std::vector<EngineDecision> decisions;
   {
     obs::ScopedSpan decide_span("audit.decide-disclosures");
     if (decide_span.live()) {
-      decide_span.attr("unique_pairs", std::to_string(unique_bs.size()));
+      decide_span.attr("unique_pairs", std::to_string(shared.unique_bs.size()));
     }
-    decide_pairs(a, unique_bs, ctx, decisions);
+    decide_pairs(a, shared.unique_bs, ctx, decisions);
   }
 
+  const std::vector<Disclosure>& entries = log.entries();
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    AuditFinding f = to_finding(decisions[entry_slot[i]]);
+    AuditFinding f = to_finding(decisions[shared.entry_slot[i]]);
     f.user = entries[i].user;
     f.query_text = entries[i].query_text;
     f.answer = entries[i].answer;
     report.per_disclosure.push_back(std::move(f));
   }
 
-  // Phase 3: Section 3.3 — a user who received answers B1, ..., Bk knows
-  // B1 ∩ ... ∩ Bk. Conjunctions are cheap bitset ANDs over the cached sets;
-  // distinct conjunctions are decided in parallel, identical ones (and ones
-  // matching a phase-2 pair) come from the memo.
-  const std::vector<std::string> users = log.users();
-  std::vector<WorldSet> conjunctions;
-  std::vector<std::size_t> answered_counts;
-  conjunctions.reserve(users.size());
-  for (const std::string& user : users) {
-    WorldSet conjunction =
-        WorldSet::universe(static_cast<unsigned>(universe_.size()), backend);
-    std::size_t answered = 0;
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-      if (entries[i].user != user) continue;
-      conjunction &= *disclosure_sets[i];
-      ++answered;
-    }
-    conjunctions.push_back(std::move(conjunction));
-    answered_counts.push_back(answered);
-  }
-
-  std::vector<const WorldSet*> unique_conjunctions;
-  std::vector<std::size_t> user_slot(users.size());
-  for (std::size_t u = 0; u < users.size(); ++u) {
-    std::size_t slot = unique_conjunctions.size();
-    for (std::size_t v = 0; v < unique_conjunctions.size(); ++v) {
-      if (*unique_conjunctions[v] == conjunctions[u]) {
-        slot = v;
-        break;
-      }
-    }
-    if (slot == unique_conjunctions.size()) {
-      unique_conjunctions.push_back(&conjunctions[u]);
-    }
-    user_slot[u] = slot;
-  }
+  // Distinct conjunctions are decided in parallel; identical ones (and ones
+  // matching a disclosure pair) come from the per-report memo.
   std::vector<EngineDecision> conjunction_decisions;
   {
     obs::ScopedSpan decide_span("audit.decide-conjunctions");
     if (decide_span.live()) {
-      decide_span.attr("unique_pairs", std::to_string(unique_conjunctions.size()));
+      decide_span.attr("unique_pairs",
+                       std::to_string(shared.unique_conjunctions.size()));
     }
-    decide_pairs(a, unique_conjunctions, ctx, conjunction_decisions);
+    decide_pairs(a, shared.unique_conjunctions, ctx, conjunction_decisions);
   }
 
-  for (std::size_t u = 0; u < users.size(); ++u) {
-    AuditFinding f = to_finding(conjunction_decisions[user_slot[u]]);
-    f.user = users[u];
-    f.query_text = "<conjunction of " + std::to_string(answered_counts[u]) +
+  for (std::size_t u = 0; u < shared.users.size(); ++u) {
+    AuditFinding f = to_finding(conjunction_decisions[shared.user_slot[u]]);
+    f.user = shared.users[u];
+    f.query_text = "<conjunction of " +
+                   std::to_string(shared.answered_counts[u]) +
                    " answered queries>";
     f.answer = true;
     report.per_user_cumulative.push_back(std::move(f));
@@ -287,6 +334,45 @@ AuditReport Auditor::audit(const AuditLog& log,
 
   report.metrics = ctx.metrics_snapshot();
   return report;
+}
+
+std::vector<AuditReport> Auditor::audit_many(
+    const AuditLog& log, std::span<const std::string> audit_queries) const {
+  const BatchShared shared = build_shared(log);
+  std::vector<AuditReport> reports;
+  reports.reserve(audit_queries.size());
+  for (const std::string& query : audit_queries) {
+    reports.push_back(audit_one(log, query, shared));
+  }
+  return reports;
+}
+
+Status Auditor::try_audit_many(const AuditLog& log,
+                               std::span<const std::string> audit_queries,
+                               std::vector<AuditReport>* out) const {
+  try {
+    const BatchShared shared = build_shared(log);
+    std::vector<AuditReport> reports;
+    reports.reserve(audit_queries.size());
+    for (const std::string& query : audit_queries) {
+      try {
+        reports.push_back(audit_one(log, query, shared));
+      } catch (const std::exception& e) {
+        return Status::InvalidArgument("audit query '" + query +
+                                       "': " + e.what());
+      }
+    }
+    *out = std::move(reports);
+    return Status::Ok();
+  } catch (const std::exception& e) {
+    // Disclosed-set compilation failed — a log problem, not a query problem.
+    return Status::InvalidArgument(e.what());
+  }
+}
+
+AuditReport Auditor::audit(const AuditLog& log,
+                           std::string_view audit_query_text) const {
+  return audit_one(log, audit_query_text, build_shared(log));
 }
 
 }  // namespace epi

@@ -3,6 +3,8 @@
 #include <memory>
 #include <sstream>
 
+#include "db/parser.h"
+
 namespace epi {
 namespace {
 
@@ -23,12 +25,19 @@ std::string trim(const std::string& s) {
 
 }  // namespace
 
-ScenarioResult run_scenario(std::istream& input, const AuditorOptions& options) {
+ScenarioResult run_scenario(std::istream& input, const ScenarioOptions& options) {
   ScenarioResult result;
   PriorAssumption prior = PriorAssumption::kUnrestricted;
   std::unique_ptr<InMemoryDatabase> db;
   int line_number = 0;
   std::string line;
+
+  // batch_audits mode: consecutive `audit` directives queue here and run as
+  // one Auditor::audit_many sweep. Any other directive flushes first (it may
+  // change the database, the log, or the prior), so each batch sees exactly
+  // the state the unbatched run would — reports come out byte-identical.
+  std::vector<std::string> pending_audits;
+  int first_pending_line = 0;
 
   auto ensure_db = [&]() -> InMemoryDatabase& {
     if (!db) {
@@ -40,12 +49,30 @@ ScenarioResult run_scenario(std::istream& input, const AuditorOptions& options) 
     return *db;
   };
 
+  auto flush_audits = [&]() {
+    if (pending_audits.empty()) return;
+    Auditor auditor(result.universe, prior, options.auditor);
+    try {
+      std::vector<AuditReport> reports =
+          auditor.audit_many(result.log, pending_audits);
+      for (AuditReport& report : reports) {
+        result.reports.push_back(std::move(report));
+      }
+    } catch (const std::exception& e) {
+      // Parse errors were caught at queue time; anything left (e.g. a
+      // compile failure) is attributed to the batch's first audit line.
+      throw ScenarioError(first_pending_line, e.what());
+    }
+    pending_audits.clear();
+  };
+
   while (std::getline(input, line)) {
     ++line_number;
     std::istringstream ls(line);
     std::string directive;
     if (!(ls >> directive) || directive[0] == '#') continue;
     try {
+      if (directive != "audit") flush_audits();
       if (directive == "record") {
         std::string name;
         if (!(ls >> name)) throw ScenarioError(line_number, "record needs a name");
@@ -89,8 +116,20 @@ ScenarioResult run_scenario(std::istream& input, const AuditorOptions& options) 
         audit_query = trim(audit_query);
         if (audit_query.empty()) throw ScenarioError(line_number, "empty audit query");
         ensure_db();
-        Auditor auditor(result.universe, prior, options);
-        result.reports.push_back(auditor.audit(result.log, audit_query));
+        if (options.batch_audits) {
+          // Validate now so a malformed query names its own line, not the
+          // batch flush point.
+          QueryPtr parsed;
+          if (const Status status = try_parse_query(audit_query, &parsed);
+              !status.ok()) {
+            throw ScenarioError(line_number, status.message());
+          }
+          if (pending_audits.empty()) first_pending_line = line_number;
+          pending_audits.push_back(std::move(audit_query));
+        } else {
+          Auditor auditor(result.universe, prior, options.auditor);
+          result.reports.push_back(auditor.audit(result.log, audit_query));
+        }
       } else {
         throw ScenarioError(line_number, "unknown directive '" + directive + "'");
       }
@@ -100,17 +139,18 @@ ScenarioResult run_scenario(std::istream& input, const AuditorOptions& options) 
       throw ScenarioError(line_number, e.what());
     }
   }
+  flush_audits();
   result.final_state = db ? db->state() : 0;
   return result;
 }
 
-ScenarioResult run_scenario(const std::string& text, const AuditorOptions& options) {
+ScenarioResult run_scenario(const std::string& text, const ScenarioOptions& options) {
   std::istringstream in(text);
   return run_scenario(in, options);
 }
 
 Status try_run_scenario(std::istream& input, ScenarioResult* out,
-                        const AuditorOptions& options) {
+                        const ScenarioOptions& options) {
   try {
     *out = run_scenario(input, options);
     return Status::Ok();
@@ -122,7 +162,7 @@ Status try_run_scenario(std::istream& input, ScenarioResult* out,
 }
 
 Status try_run_scenario(const std::string& text, ScenarioResult* out,
-                        const AuditorOptions& options) {
+                        const ScenarioOptions& options) {
   std::istringstream in(text);
   return try_run_scenario(in, out, options);
 }

@@ -42,20 +42,39 @@ struct ScenarioResult {
   std::vector<std::string> query_trace;      ///< "user query -> answer" lines
 };
 
+/// Execution knobs for a scenario run. Implicitly constructible from
+/// AuditorOptions so call sites tuning only the auditor keep their shape.
+struct ScenarioOptions {
+  ScenarioOptions() = default;
+  ScenarioOptions(const AuditorOptions& auditor_options)  // NOLINT(runtime/explicit)
+      : auditor(auditor_options) {}
+
+  AuditorOptions auditor;
+
+  /// Groups consecutive `audit` directives into one Auditor::audit_many
+  /// batch, flushed by any other directive (which may change the database,
+  /// log, or prior) or by end of input — so directive semantics are
+  /// unchanged and reports stay byte-identical to the unbatched run; only
+  /// throughput changes. Audit-query parse errors are still attributed to
+  /// their own line; later compile failures surface at the batch's first
+  /// audit line.
+  bool batch_audits = false;
+};
+
 /// Executes a scenario script. Throws ScenarioError on bad input.
 ScenarioResult run_scenario(std::istream& input,
-                            const AuditorOptions& options = {});
+                            const ScenarioOptions& options = {});
 
 /// Convenience overload for in-memory scripts.
 ScenarioResult run_scenario(const std::string& text,
-                            const AuditorOptions& options = {});
+                            const ScenarioOptions& options = {});
 
 /// Status-first variant: never throws. Malformed input (including parse
 /// errors inside query/audit directives) comes back as InvalidArgument
 /// naming the offending line; `*out` is left untouched on failure.
 Status try_run_scenario(std::istream& input, ScenarioResult* out,
-                        const AuditorOptions& options = {});
+                        const ScenarioOptions& options = {});
 Status try_run_scenario(const std::string& text, ScenarioResult* out,
-                        const AuditorOptions& options = {});
+                        const ScenarioOptions& options = {});
 
 }  // namespace epi

@@ -122,25 +122,4 @@ PipelineResult run_criteria(const std::vector<NamedCriterion>& cascade,
   return r;
 }
 
-// The deprecated wrappers forward to run_criteria; suppress the
-// self-referential warning their definitions would otherwise emit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b) {
-  return run_criteria(unrestricted_criteria(), a, b, "unreachable");
-}
-
-PipelineResult decide_product_safety(const WorldSet& a, const WorldSet& b) {
-  return run_criteria(product_criteria(), a, b,
-                      "exhausted-combinatorial-criteria");
-}
-
-PipelineResult decide_supermodular_safety(const WorldSet& a, const WorldSet& b) {
-  return run_criteria(supermodular_criteria(), a, b,
-                      "exhausted-supermodular-criteria");
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace epi

@@ -4,9 +4,9 @@
 //
 // The criteria themselves are exposed as ordered tables of NamedCriterion;
 // run_criteria() walks a table in order and is the single cascade runner the
-// DecisionEngine (src/engine/) builds on. The legacy decide_* entry points
-// are deprecated thin wrappers over run_criteria — call it (or the engine)
-// directly.
+// DecisionEngine (src/engine/) builds on — there is exactly one way to run a
+// cascade. (The legacy decide_*_safety wrappers are gone; callers go through
+// run_criteria or the engine.)
 #pragma once
 
 #include <optional>
@@ -68,21 +68,5 @@ const std::vector<NamedCriterion>& supermodular_criteria();
 PipelineResult run_criteria(const std::vector<NamedCriterion>& cascade,
                             const WorldSet& a, const WorldSet& b,
                             const char* exhausted_label);
-
-/// Decides Safe over all priors (Theorem 3.11) — always definite.
-[[deprecated(
-    "call run_criteria(unrestricted_criteria(), ...) or the DecisionEngine")]]
-PipelineResult decide_unrestricted_safety(const WorldSet& a, const WorldSet& b);
-
-/// Runs product_criteria() in order; kUnknown means "escalate to the
-/// optimizer / algebraic layer".
-[[deprecated(
-    "call run_criteria(product_criteria(), ...) or the DecisionEngine")]]
-PipelineResult decide_product_safety(const WorldSet& a, const WorldSet& b);
-
-/// Runs supermodular_criteria() in order; otherwise unknown.
-[[deprecated(
-    "call run_criteria(supermodular_criteria(), ...) or the DecisionEngine")]]
-PipelineResult decide_supermodular_safety(const WorldSet& a, const WorldSet& b);
 
 }  // namespace epi

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -11,7 +12,7 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  explicit Parser(std::string_view text) : text_(text) {}
 
   QueryPtr parse() {
     QueryPtr q = parse_implied();
@@ -34,7 +35,7 @@ class Parser {
     }
   }
 
-  bool consume(const std::string& token) {
+  bool consume(std::string_view token) {
     skip_spaces();
     if (text_.compare(pos_, token.size(), token) == 0) {
       pos_ += token.size();
@@ -91,7 +92,7 @@ class Parser {
     }
     if (pos_ == digits_start) fail("expected a count");
     const unsigned k = static_cast<unsigned>(
-        std::stoul(text_.substr(digits_start, pos_ - digits_start)));
+        std::stoul(std::string(text_.substr(digits_start, pos_ - digits_start))));
     std::vector<std::string> names;
     while (consume(",")) {
       skip_spaces();
@@ -102,7 +103,7 @@ class Parser {
         ++pos_;
       }
       if (pos_ == start) fail("expected a record name");
-      names.push_back(text_.substr(start, pos_ - start));
+      names.emplace_back(text_.substr(start, pos_ - start));
     }
     skip_spaces();
     if (pos_ >= text_.size() || text_[pos_] != ')') fail("expected ')'");
@@ -134,7 +135,7 @@ class Parser {
               text_[pos_] == '_')) {
         ++pos_;
       }
-      const std::string name = text_.substr(start, pos_ - start);
+      const std::string name(text_.substr(start, pos_ - start));
       if (name == "true") return constant(true);
       if (name == "false") return constant(false);
       if (name == "atleast" || name == "atmost") return parse_count(name == "atleast");
@@ -143,7 +144,7 @@ class Parser {
     fail(std::string("unexpected character '") + c + "'");
   }
 
-  const std::string& text_;
+  std::string_view text_;
   std::size_t pos_ = 0;
 };
 
@@ -157,20 +158,20 @@ obs::Counter& parse_calls_counter() {
 
 }  // namespace
 
-QueryPtr parse_query(const std::string& text) {
+QueryPtr parse_query(std::string_view text) {
   parse_calls_counter().add(1);
   obs::ScopedSpan span("parser.parse");
-  if (span.live()) span.attr("text", text);
+  if (span.live()) span.attr("text", std::string(text));
   return Parser(text).parse();
 }
 
-Status try_parse_query(const std::string& text, QueryPtr* out) {
+Status try_parse_query(std::string_view text, QueryPtr* out) {
   try {
     *out = parse_query(text);
     return Status::Ok();
   } catch (const ParseError& e) {
     *out = nullptr;
-    return Status::InvalidArgument(std::string("query '") + text +
+    return Status::InvalidArgument("query '" + std::string(text) +
                                    "': " + e.what());
   }
 }

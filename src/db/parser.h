@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "db/query.h"
 #include "util/status.h"
@@ -21,13 +22,15 @@ class ParseError : public std::runtime_error {
 };
 
 /// Parses the query grammar above; throws ParseError on malformed text.
-QueryPtr parse_query(const std::string& text);
+/// Takes a view — callers batch-auditing spans of query texts (or slicing
+/// scenario scripts) parse without materializing a std::string per call.
+QueryPtr parse_query(std::string_view text);
 
 /// Status-first variant for callers routing errors across module
 /// boundaries (the audit CLI, scenario scripts): never throws, returns
 /// InvalidArgument naming the query and the offending position. `*out` is
 /// null on failure.
-Status try_parse_query(const std::string& text, QueryPtr* out);
+Status try_parse_query(std::string_view text, QueryPtr* out);
 
 /// Instrumentation: process-wide number of parse_query calls (a view over
 /// the `parser.parse.calls` counter in obs::process_metrics()). Lets tests

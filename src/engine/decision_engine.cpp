@@ -219,4 +219,17 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
   return result;
 }
 
+std::vector<EngineDecision> DecisionEngine::decide_many(
+    const WorldSet& a, std::span<const WorldSet* const> bs, AuditContext& ctx,
+    ThreadPool* pool) const {
+  std::vector<EngineDecision> out(bs.size());
+  auto decide_one = [&](std::size_t i) { out[i] = decide(a, *bs[i], ctx); };
+  if (pool == nullptr || bs.size() <= 1) {
+    for (std::size_t i = 0; i < bs.size(); ++i) decide_one(i);
+  } else {
+    pool->parallel_for(bs.size(), decide_one);
+  }
+  return out;
+}
+
 }  // namespace epi

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "engine/audit_context.h"
 #include "engine/criterion_stage.h"
+#include "engine/thread_pool.h"
 #include "optimize/emptiness.h"
 #include "util/status.h"
 
@@ -90,6 +92,16 @@ class DecisionEngine {
   /// configured with stage_names().
   EngineDecision decide(const WorldSet& a, const WorldSet& b,
                         AuditContext& ctx) const;
+
+  /// Batch sweep: decides A against every set in `bs` in one pass, writing
+  /// decisions[i] for bs[i]. With a pool the pairs fan out across its
+  /// workers (index-slot writes, so results — and, because decide() memoizes
+  /// through the shared ctx, every counter except wall time — are identical
+  /// at any worker count); without one they run inline in index order.
+  std::vector<EngineDecision> decide_many(const WorldSet& a,
+                                          std::span<const WorldSet* const> bs,
+                                          AuditContext& ctx,
+                                          ThreadPool* pool = nullptr) const;
 
  private:
   void build_stages();

@@ -147,12 +147,12 @@ AuditService::AuditService(std::shared_ptr<Scenario> scenario,
 
 AuditService::~AuditService() { shutdown(); }
 
-Ticket AuditService::submit(AuditRequest request) {
+std::unique_ptr<AuditService::Pending> AuditService::make_pending(
+    AuditRequest request, Ticket* ticket) {
   auto pending = std::make_unique<Pending>();
   pending->cancelled = std::make_shared<std::atomic<bool>>(false);
-  Ticket ticket;
-  ticket.cancelled_ = pending->cancelled;
-  ticket.response = pending->promise.get_future();
+  ticket->cancelled_ = pending->cancelled;
+  ticket->response = pending->promise.get_future();
 
   if (request.deadline != kNoDeadline) {
     pending->deadline = request.deadline;
@@ -162,6 +162,12 @@ Ticket AuditService::submit(AuditRequest request) {
   }
   pending->request = std::move(request);
   pending->enqueue_ns = now_ns();
+  return pending;
+}
+
+Ticket AuditService::submit(AuditRequest request) {
+  Ticket ticket;
+  std::unique_ptr<Pending> pending = make_pending(std::move(request), &ticket);
 
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -192,6 +198,59 @@ Ticket AuditService::submit(AuditRequest request) {
 AuditResponse AuditService::process(AuditRequest request) {
   Ticket ticket = submit(std::move(request));
   return ticket.response.get();
+}
+
+std::vector<Ticket> AuditService::submit_many(
+    std::vector<AuditRequest> requests) {
+  std::vector<Ticket> tickets(requests.size());
+  std::vector<std::unique_ptr<Pending>> batch;
+  batch.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    batch.push_back(make_pending(std::move(requests[i]), &tickets[i]));
+  }
+
+  auto reject_all = [&](const Status& status) {
+    rejected_->add(static_cast<std::int64_t>(batch.size()));
+    for (std::unique_ptr<Pending>& pending : batch) {
+      AuditResponse r;
+      r.status = status;
+      pending->promise.set_value(std::move(r));
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!accepting_) {
+      reject_all(Status::Unavailable("audit service is shutting down"));
+      return tickets;
+    }
+    if (queue_.size() + batch.size() > options_.queue_capacity) {
+      reject_all(Status::ResourceExhausted(
+          "audit service queue cannot admit batch of " +
+          std::to_string(batch.size()) + " (" +
+          std::to_string(options_.queue_capacity - queue_.size()) +
+          " slots free); retry later"));
+      return tickets;
+    }
+    accepted_->add(static_cast<std::int64_t>(batch.size()));
+    queue_depth_->add(static_cast<std::int64_t>(batch.size()));
+    for (std::unique_ptr<Pending>& pending : batch) {
+      queue_.push_back(std::move(pending));
+    }
+  }
+  queue_cv_.notify_all();
+  return tickets;
+}
+
+std::vector<AuditResponse> AuditService::process_many(
+    std::vector<AuditRequest> requests) {
+  std::vector<Ticket> tickets = submit_many(std::move(requests));
+  std::vector<AuditResponse> responses;
+  responses.reserve(tickets.size());
+  for (Ticket& ticket : tickets) {
+    responses.push_back(ticket.response.get());
+  }
+  return responses;
 }
 
 void AuditService::worker_loop() {

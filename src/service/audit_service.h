@@ -152,6 +152,18 @@ class AuditService {
   /// Blocking convenience wrapper around submit().
   AuditResponse process(AuditRequest request);
 
+  /// Batch admission: enqueues the whole span atomically — either every
+  /// request is accepted (one lock acquisition, queue order preserved, so
+  /// same-user requests still serialize in submission order) or none is and
+  /// every ticket resolves with the same ResourceExhausted / Unavailable
+  /// status. All-or-nothing keeps batch semantics simple for callers
+  /// sweeping a policy stream: no partially-admitted sweep to unpick.
+  std::vector<Ticket> submit_many(std::vector<AuditRequest> requests);
+
+  /// Blocking convenience wrapper around submit_many(); responses[i]
+  /// corresponds to requests[i].
+  std::vector<AuditResponse> process_many(std::vector<AuditRequest> requests);
+
   /// Swaps the scenario under the service: new universe / state / audit
   /// query / prior. Sessions reset and the verdict cache is invalidated
   /// (verdicts produced under the old engine configuration must not leak
@@ -214,6 +226,10 @@ class AuditService {
   };
 
   AuditService(std::shared_ptr<Scenario> scenario, ServiceOptions options);
+
+  /// Builds the Pending record and its Ticket (deadline defaulting,
+  /// enqueue timestamp) without touching the queue.
+  std::unique_ptr<Pending> make_pending(AuditRequest request, Ticket* ticket);
 
   void worker_loop();
   AuditResponse handle(Pending& pending, const std::shared_ptr<Scenario>& scenario,

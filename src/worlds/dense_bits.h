@@ -19,8 +19,20 @@
 // the hot path of every privacy criterion: Def. 3.1 possibilistic safety is
 // `(S∩B ⊆ A) ⇒ (S ⊆ A)`, Prop. 3.6/3.8 probabilistic safety compares
 // P[A∩B] against P[A]·P[B], and Thm. 3.11 tests A∩B = ∅ or A∪B = Omega.
+//
+// ISA dispatch: the fused predicates and popcount scans additionally have
+// runtime-dispatched AVX2 and AVX-512 implementations (dense_bits_isa.cpp)
+// behind the `Isa` function-pointer table below, selected once per process
+// from CPUID (overridable with the EPI_FORCE_ISA environment variable).
+// Every tier is bit-identical to the scalar reference in `bits::scalar`:
+// the Boolean/popcount kernels are integer-exact by construction, and the
+// weight sums keep the ascending-order scalar accumulation (SIMD only skips
+// all-zero word blocks), so doubles come out bit-for-bit equal. Sets smaller
+// than kIsaDispatchWords skip the indirect call and run the scalar loop
+// inline — vectors cannot help below one SIMD register of words anyway.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -80,29 +92,9 @@ inline bool is_universe(const Word* w, std::size_t nw, std::size_t m) {
   return w[nw - 1] == tail_mask(m);
 }
 
-inline std::size_t count(const Word* w, std::size_t nw) {
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < nw; ++i) c += static_cast<std::size_t>(std::popcount(w[i]));
-  return c;
-}
-
 inline bool equal(const Word* x, const Word* y, std::size_t nw) {
   for (std::size_t i = 0; i < nw; ++i) {
     if (x[i] != y[i]) return false;
-  }
-  return true;
-}
-
-inline bool subset_of(const Word* x, const Word* y, std::size_t nw) {
-  for (std::size_t i = 0; i < nw; ++i) {
-    if (x[i] & ~y[i]) return false;
-  }
-  return true;
-}
-
-inline bool disjoint(const Word* x, const Word* y, std::size_t nw) {
-  for (std::size_t i = 0; i < nw; ++i) {
-    if (x[i] & y[i]) return false;
   }
   return true;
 }
@@ -163,7 +155,67 @@ inline void complement(Word* out, const Word* x, std::size_t nw, std::size_t m) 
   out[nw - 1] = ~x[nw - 1] & tail_mask(m);
 }
 
-// --- Fused predicates (no intermediate set is materialized) -----------------
+// --- Visitors ---------------------------------------------------------------
+//
+// The templated replacements for the old std::function-based for_each: the
+// callback inlines into the word scan, so visiting a member costs a
+// countr_zero and a blsr-style clear, not a type-erased indirect call.
+// Members are visited in increasing index order (the order every report
+// and floating-point accumulation in the repo is defined against).
+
+template <typename Fn>
+inline void for_each_bit(const Word* w, std::size_t nw, Fn&& fn) {
+  for (std::size_t i = 0; i < nw; ++i) {
+    Word word = w[i];
+    while (word != 0) {
+      fn(i * kWordBits + static_cast<std::size_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+/// Visits the members of x ∩ y without materializing it.
+template <typename Fn>
+inline void for_each_bit_and(const Word* x, const Word* y, std::size_t nw,
+                             Fn&& fn) {
+  for (std::size_t i = 0; i < nw; ++i) {
+    Word word = x[i] & y[i];
+    while (word != 0) {
+      fn(i * kWordBits + static_cast<std::size_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+// --- Scalar reference kernels -----------------------------------------------
+//
+// The portable implementations of every ISA-dispatched kernel. These are the
+// semantic reference: the AVX2/AVX-512 tiers must return bit-identical
+// results (the `fused-kernels` model check and tests/simd_dispatch_test.cpp
+// sweep that contract). They stay inline so small-set call sites — and
+// non-x86 builds, where they are the only tier — pay no indirection.
+
+namespace scalar {
+
+inline std::size_t count(const Word* w, std::size_t nw) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < nw; ++i) c += static_cast<std::size_t>(std::popcount(w[i]));
+  return c;
+}
+
+inline bool subset_of(const Word* x, const Word* y, std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i) {
+    if (x[i] & ~y[i]) return false;
+  }
+  return true;
+}
+
+inline bool disjoint(const Word* x, const Word* y, std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i) {
+    if (x[i] & y[i]) return false;
+  }
+  return true;
+}
 
 /// (s ∩ b) ⊆ a — Def. 3.1's "the disclosure pins the agent inside A" test
 /// without building S∩B. Scanned in 4-word blocks with one OR-accumulated
@@ -213,38 +265,6 @@ inline bool union_is_universe(const Word* x, const Word* y, std::size_t nw,
   return (x[nw - 1] | y[nw - 1]) == tail_mask(m);
 }
 
-// --- Visitors ---------------------------------------------------------------
-//
-// The templated replacements for the old std::function-based for_each: the
-// callback inlines into the word scan, so visiting a member costs a
-// countr_zero and a blsr-style clear, not a type-erased indirect call.
-// Members are visited in increasing index order (the order every report
-// and floating-point accumulation in the repo is defined against).
-
-template <typename Fn>
-inline void for_each_bit(const Word* w, std::size_t nw, Fn&& fn) {
-  for (std::size_t i = 0; i < nw; ++i) {
-    Word word = w[i];
-    while (word != 0) {
-      fn(i * kWordBits + static_cast<std::size_t>(std::countr_zero(word)));
-      word &= word - 1;
-    }
-  }
-}
-
-/// Visits the members of x ∩ y without materializing it.
-template <typename Fn>
-inline void for_each_bit_and(const Word* x, const Word* y, std::size_t nw,
-                             Fn&& fn) {
-  for (std::size_t i = 0; i < nw; ++i) {
-    Word word = x[i] & y[i];
-    while (word != 0) {
-      fn(i * kWordBits + static_cast<std::size_t>(std::countr_zero(word)));
-      word &= word - 1;
-    }
-  }
-}
-
 /// Sum of weights[e] over the members of the set — Distribution::prob's
 /// P[A] accumulation as one word scan (ascending order, so floating-point
 /// sums are bit-identical to a per-member loop).
@@ -261,6 +281,132 @@ inline double intersection_weight_sum(const Word* x, const Word* y,
   double sum = 0.0;
   for_each_bit_and(x, y, nw, [&](std::size_t e) { sum += weights[e]; });
   return sum;
+}
+
+}  // namespace scalar
+
+// --- ISA dispatch table -----------------------------------------------------
+
+/// The instruction-set tiers a kernel implementation can target. Higher
+/// tiers subsume lower ones; kScalar is always available.
+enum class IsaTier { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// "scalar" / "avx2" / "avx512".
+const char* to_string(IsaTier tier);
+
+/// One tier's implementations of the dispatched kernels. All entries are
+/// non-null and bit-identical to the `scalar` reference.
+struct Isa {
+  const char* name;
+  IsaTier tier;
+  std::size_t (*count)(const Word*, std::size_t);
+  bool (*subset_of)(const Word*, const Word*, std::size_t);
+  bool (*disjoint)(const Word*, const Word*, std::size_t);
+  bool (*intersection_subset_of)(const Word*, const Word*, const Word*,
+                                 std::size_t);
+  std::size_t (*intersection_count)(const Word*, const Word*, std::size_t);
+  bool (*intersection3_empty)(const Word*, const Word*, const Word*,
+                              std::size_t);
+  bool (*union_is_universe)(const Word*, const Word*, std::size_t, std::size_t);
+  double (*masked_weight_sum)(const Word*, std::size_t, const double*);
+  double (*intersection_weight_sum)(const Word*, const Word*, std::size_t,
+                                    const double*);
+};
+
+/// The table for `tier`, or nullptr when this build/host cannot run it
+/// (e.g. kAvx2 on non-x86, kAvx512 on an AVX2-only CPU). kScalar is never
+/// null. Parity tests iterate tiers through this accessor so every SIMD
+/// path on the host is diffed against the scalar reference.
+const Isa* isa_for(IsaTier tier);
+
+/// Installs `tier` as the active table. Returns false (and leaves the
+/// active table unchanged) when the tier is not available on this host.
+/// Test hook — production code selects once at startup via active_isa().
+bool force_isa(IsaTier tier);
+
+/// Drops the active selection so the next active_isa() re-resolves from
+/// CPUID and EPI_FORCE_ISA (test hook, pairs with setenv).
+void reset_isa();
+
+namespace detail {
+/// Zero before first use (constant-initialized, so no static-init-order
+/// hazard); set by resolve_active_isa() / force_isa().
+extern std::atomic<const Isa*> g_active_isa;
+/// Resolves from CPUID, capped by EPI_FORCE_ISA when set ("scalar", "avx2",
+/// "avx512": the selection never exceeds the named tier, so forcing is
+/// meaningful on any host). Stores and returns the table.
+const Isa* resolve_active_isa();
+}  // namespace detail
+
+/// The process-wide active tier: best CPUID-supported tier, capped by
+/// EPI_FORCE_ISA. Resolved once on first use.
+inline const Isa& active_isa() {
+  const Isa* isa = detail::g_active_isa.load(std::memory_order_acquire);
+  return isa != nullptr ? *isa : *detail::resolve_active_isa();
+}
+
+/// Sets at or above this many words take the dispatched (possibly SIMD)
+/// path; smaller ones inline the scalar loop — below one AVX2 register of
+/// words, vectorization cannot win and the indirect call would only add
+/// latency to the FiniteSet-heavy interval machinery.
+inline constexpr std::size_t kIsaDispatchWords = 4;
+
+// --- Dispatched kernels -----------------------------------------------------
+// Public entry points keep their historical names and contracts; they route
+// to the active tier for multi-register sets and to the scalar reference
+// below the dispatch threshold. Results are identical either way.
+
+inline std::size_t count(const Word* w, std::size_t nw) {
+  if (nw < kIsaDispatchWords) return scalar::count(w, nw);
+  return active_isa().count(w, nw);
+}
+
+inline bool subset_of(const Word* x, const Word* y, std::size_t nw) {
+  if (nw < kIsaDispatchWords) return scalar::subset_of(x, y, nw);
+  return active_isa().subset_of(x, y, nw);
+}
+
+inline bool disjoint(const Word* x, const Word* y, std::size_t nw) {
+  if (nw < kIsaDispatchWords) return scalar::disjoint(x, y, nw);
+  return active_isa().disjoint(x, y, nw);
+}
+
+inline bool intersection_subset_of(const Word* s, const Word* b, const Word* a,
+                                   std::size_t nw) {
+  if (nw < kIsaDispatchWords) return scalar::intersection_subset_of(s, b, a, nw);
+  return active_isa().intersection_subset_of(s, b, a, nw);
+}
+
+inline std::size_t intersection_count(const Word* x, const Word* y,
+                                      std::size_t nw) {
+  if (nw < kIsaDispatchWords) return scalar::intersection_count(x, y, nw);
+  return active_isa().intersection_count(x, y, nw);
+}
+
+inline bool intersection3_empty(const Word* x, const Word* y, const Word* z,
+                                std::size_t nw) {
+  if (nw < kIsaDispatchWords) return scalar::intersection3_empty(x, y, z, nw);
+  return active_isa().intersection3_empty(x, y, z, nw);
+}
+
+inline bool union_is_universe(const Word* x, const Word* y, std::size_t nw,
+                              std::size_t m) {
+  if (nw < kIsaDispatchWords) return scalar::union_is_universe(x, y, nw, m);
+  return active_isa().union_is_universe(x, y, nw, m);
+}
+
+inline double masked_weight_sum(const Word* w, std::size_t nw,
+                                const double* weights) {
+  if (nw < kIsaDispatchWords) return scalar::masked_weight_sum(w, nw, weights);
+  return active_isa().masked_weight_sum(w, nw, weights);
+}
+
+inline double intersection_weight_sum(const Word* x, const Word* y,
+                                      std::size_t nw, const double* weights) {
+  if (nw < kIsaDispatchWords) {
+    return scalar::intersection_weight_sum(x, y, nw, weights);
+  }
+  return active_isa().intersection_weight_sum(x, y, nw, weights);
 }
 
 }  // namespace bits

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Byte-identical `--batch` parity (registered as CTest `batch_cli_parity`):
+# audit_cli with --batch must print exactly what the unbatched run prints on
+# every corpus scenario — batching consecutive audit directives through
+# Auditor::audit_many is a throughput decision, never an output decision.
+# Checked at 1 and 4 worker threads so the batched sweep's thread fan-out is
+# pinned deterministic at the same time.
+# Usage: batch_cli_parity.sh <path-to-audit_cli> <scenario-dir>
+set -u
+
+cli="${1:?usage: batch_cli_parity.sh <audit_cli> <scenario-dir>}"
+scenarios="${2:?missing scenario dir}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+check() {
+  name="$1"
+  shift
+  for threads in 1 4; do
+    "$cli" --threads "$threads" "$@" > "$tmp/$name.plain.txt" 2>&1 \
+      || fail "$name (--threads $threads) exited nonzero"
+    "$cli" --batch --threads "$threads" "$@" > "$tmp/$name.batch.txt" 2>&1 \
+      || fail "$name (--batch --threads $threads) exited nonzero"
+    if ! cmp -s "$tmp/$name.batch.txt" "$tmp/$name.plain.txt"; then
+      diff "$tmp/$name.plain.txt" "$tmp/$name.batch.txt" | head -20 >&2
+      fail "$name (--threads $threads): --batch output differs"
+    fi
+  done
+  echo "  $name: --batch byte-identical (threads 1, 4)"
+}
+
+check builtin
+for scenario in "$scenarios"/*.audit; do
+  check "$(basename "$scenario" .audit)" "$scenario"
+done
+
+echo "batch CLI parity OK"

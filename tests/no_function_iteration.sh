@@ -21,4 +21,24 @@ if [ -n "$bad" ]; then
   exit 1
 fi
 
+# The legacy decide_*_safety cascade wrappers were removed with the batch
+# API redesign; run_criteria (or the DecisionEngine) is the only cascade
+# entry point. The trailing '(' keeps the live, differently-suffixed
+# decide_product_safety_complete / decide_product_safety_numeric out of the
+# match.
+bad=$(grep -rn \
+  -e 'decide_unrestricted_safety(' \
+  -e 'decide_product_safety(' \
+  -e 'decide_supermodular_safety(' \
+  "$root/src" "$root/bench" "$root/examples" "$root/tests" \
+  --include='*.cpp' --include='*.h' \
+  || true)
+
+if [ -n "$bad" ]; then
+  echo "FAIL: removed decide_*_safety wrapper referenced:" >&2
+  echo "$bad" >&2
+  echo "use run_criteria(<family>_criteria(), ...) or the DecisionEngine" >&2
+  exit 1
+fi
+
 echo "no std::function set iteration OK"

@@ -1,6 +1,7 @@
 // Tests for the scenario script interpreter.
 #include <gtest/gtest.h>
 
+#include "core/report.h"
 #include "core/scenario.h"
 
 namespace epi {
@@ -114,6 +115,57 @@ TEST(Scenario, CommentsAndBlankLinesIgnored) {
   const ScenarioResult r = run_scenario("# nothing\n\nrecord r1\n# more\n");
   EXPECT_EQ(r.universe.size(), 1u);
   EXPECT_TRUE(r.reports.empty());
+}
+
+// A scenario whose audit runs straddle a database change: batching must
+// flush at the `insert`, so both batches see exactly the state the
+// unbatched run would.
+const char kBatchScenario[] = R"(
+record bob_hiv
+record bob_transfusion
+insert bob_transfusion
+query alice bob_hiv
+query dave bob_hiv -> bob_transfusion
+prior product
+audit bob_hiv
+audit !bob_hiv
+audit bob_transfusion
+insert bob_hiv
+query mallory bob_hiv
+audit bob_hiv
+audit bob_hiv & bob_transfusion
+)";
+
+TEST(Scenario, BatchedAuditsMatchUnbatchedRun) {
+  AuditorOptions auditor;
+  auditor.enable_sos = false;
+  ScenarioOptions batched(auditor);
+  batched.batch_audits = true;
+
+  const ScenarioResult plain = run_scenario(kBatchScenario, auditor);
+  const ScenarioResult batch = run_scenario(kBatchScenario, batched);
+  ASSERT_EQ(plain.reports.size(), 5u);
+  ASSERT_EQ(batch.reports.size(), plain.reports.size());
+  EXPECT_EQ(batch.final_state, plain.final_state);
+  EXPECT_EQ(batch.query_trace, plain.query_trace);
+  for (std::size_t i = 0; i < plain.reports.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "report[" << i << "]");
+    EXPECT_EQ(batch.reports[i].audit_query, plain.reports[i].audit_query);
+    EXPECT_EQ(batch.reports[i].prior, plain.reports[i].prior);
+    EXPECT_EQ(format_report(batch.reports[i]),
+              format_report(plain.reports[i]));
+  }
+}
+
+TEST(Scenario, BatchedAuditParseErrorNamesItsOwnLine) {
+  ScenarioOptions options;
+  options.batch_audits = true;
+  try {
+    run_scenario("record r1\ninsert r1\naudit r1\naudit r1 &&& r1\n", options);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.line(), 4);  // the malformed audit, not the flush point
+  }
 }
 
 }  // namespace

@@ -500,6 +500,82 @@ TEST(Service, FullQueueRejectsWithResourceExhausted) {
   EXPECT_TRUE(second.response.get().status.ok());
 }
 
+TEST(Service, ProcessManyMatchesSequentialProcess) {
+  // Batch admission is a queueing optimization only: responses[i] must carry
+  // the verdicts a sequential submit loop would produce for the same stream
+  // (same-user requests keep their submission order through the queue).
+  std::vector<AuditRequest> requests;
+  for (const Replay& entry : replay_log()) {
+    AuditRequest request;
+    request.user = entry.user;
+    request.query_text = entry.query;
+    request.answer = entry.answer;
+    requests.push_back(std::move(request));
+  }
+
+  std::unique_ptr<AuditService> batched = make_service();
+  ASSERT_NE(batched, nullptr);
+  const std::vector<AuditResponse> batch = batched->process_many(requests);
+
+  std::unique_ptr<AuditService> sequential = make_service();
+  ASSERT_NE(sequential, nullptr);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "request[" << i << "]");
+    const AuditResponse want = sequential->process(requests[i]);
+    ASSERT_TRUE(batch[i].status.ok()) << batch[i].status.to_string();
+    ASSERT_TRUE(want.status.ok()) << want.status.to_string();
+    EXPECT_EQ(batch[i].answer, want.answer);
+    EXPECT_EQ(batch[i].sequence, want.sequence);
+    expect_same_finding(batch[i].disclosure, want.disclosure);
+    expect_same_finding(batch[i].cumulative, want.cumulative);
+  }
+}
+
+TEST(Service, SubmitManyIsAllOrNothing) {
+  // A batch that cannot fit entirely must admit nothing: every ticket
+  // resolves ResourceExhausted and the queue stays available for smaller
+  // submissions (no partially-admitted sweep).
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> entered{false};
+  ServiceOptions options = small_service_options();
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.test_hook_pre_decide = [&] {
+    entered.store(true);
+    released.wait();
+  };
+  std::unique_ptr<AuditService> service = make_service(std::move(options));
+  ASSERT_NE(service, nullptr);
+
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv";
+  request.answer = true;
+  Ticket parked = service->submit(request);
+  while (!entered.load()) std::this_thread::yield();
+
+  // Queue has 2 free slots; a batch of 3 must bounce in full.
+  std::vector<Ticket> tickets =
+      service->submit_many({request, request, request});
+  ASSERT_EQ(tickets.size(), 3u);
+  for (Ticket& ticket : tickets) {
+    const AuditResponse r = ticket.response.get();
+    EXPECT_EQ(r.status.code(), Status::Code::kResourceExhausted);
+  }
+  EXPECT_EQ(service->queue_depth(), 0u);
+
+  // A batch that fits is admitted whole.
+  std::vector<Ticket> admitted = service->submit_many({request, request});
+  EXPECT_EQ(service->queue_depth(), 2u);
+  release.set_value();
+  EXPECT_TRUE(parked.response.get().status.ok());
+  for (Ticket& ticket : admitted) {
+    EXPECT_TRUE(ticket.response.get().status.ok());
+  }
+}
+
 TEST(Service, GracefulShutdownDrainsAcceptedRequests) {
   // Park the single worker, stack up two more requests, then shut down while
   // they are still queued: shutdown must resolve both, not abandon them.
