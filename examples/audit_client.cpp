@@ -1,11 +1,18 @@
-// Command-line client for audit_server: connects to the Unix-domain socket,
-// speaks the JSON-lines wire protocol (src/service/protocol.h) and prints
-// one tab-separated line per verdict — stable output made for diffing, which
-// is exactly what tests/service_smoke.sh does against the offline auditor.
+// Command-line client for audit_server / shard_router: connects over a Unix
+// or TCP socket, speaks the JSON-lines wire protocol (src/service/
+// protocol.h) and prints one tab-separated line per verdict — stable output
+// made for diffing, which is exactly what tests/service_smoke.sh and
+// tests/shard_smoke.sh do against the offline auditor.
 //
-// Usage: audit_client --socket PATH [--user NAME] [--query TEXT]...
-//                     [--query-file FILE] [--repeat N] [--deadline-ms N]
-//                     [--op hello|metrics|reset_session|shutdown]
+// Usage: audit_client --connect unix:PATH|tcp:HOST:PORT [--user NAME]
+//                     [--query TEXT]... [--query-file FILE] [--repeat N]
+//                     [--deadline-ms N] [--addr WORKER]
+//                     [--op hello|metrics|reset_session|shutdown
+//                         |add_worker|remove_worker]
+//
+// --socket PATH stays as the legacy spelling of --connect unix:PATH. The
+// add_worker / remove_worker ops are shard_router admin (--addr names the
+// worker's listen address); a plain audit_server rejects them.
 //
 // --query-file lines are `user<TAB>query[<TAB>true|false]`; the optional
 // third field replays a logged answer instead of letting the server evaluate
@@ -17,7 +24,6 @@
 // Exit 0 when every response was ok, 1 on any error response or transport
 // failure, 2 on bad flags.
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -27,16 +33,20 @@
 #include <string>
 #include <vector>
 
+#include "net/address.h"
 #include "service/protocol.h"
 #include "util/status.h"
 
 namespace {
 
 constexpr char kUsage[] =
-    "usage: audit_client --socket PATH [--user NAME] [--query TEXT]...\n"
-    "                    [--query-file FILE] [--repeat N] [--deadline-ms N]\n"
-    "                    [--op hello|metrics|reset_session|shutdown]\n"
-    "  --socket PATH       the audit_server Unix-domain socket (required)\n"
+    "usage: audit_client --connect unix:PATH|tcp:HOST:PORT [--user NAME]\n"
+    "                    [--query TEXT]... [--query-file FILE] [--repeat N]\n"
+    "                    [--deadline-ms N] [--addr WORKER]\n"
+    "                    [--op hello|metrics|reset_session|shutdown\n"
+    "                        |add_worker|remove_worker]\n"
+    "  --connect ADDR      server address (unix:PATH or tcp:HOST:PORT)\n"
+    "  --socket PATH       legacy alias for --connect unix:PATH\n"
     "  --user NAME         user for --query queries and reset_session\n"
     "                      (default 'client')\n"
     "  --query TEXT        audit one query (repeatable, sent in order)\n"
@@ -44,7 +54,8 @@ constexpr char kUsage[] =
     "                      user<TAB>query[<TAB>true|false]\n"
     "  --repeat N          send the whole query list N times (default 1)\n"
     "  --deadline-ms N     per-request deadline, relative\n"
-    "  --op OP             send a control request instead of audits\n";
+    "  --op OP             send a control request instead of audits\n"
+    "  --addr WORKER       worker address for add_worker / remove_worker\n";
 
 struct QueryItem {
   std::string user;
@@ -53,8 +64,9 @@ struct QueryItem {
 };
 
 struct ClientOptions {
-  std::string socket_path;
+  std::string connect_spec;
   std::string user = "client";
+  std::string worker_addr;
   std::vector<QueryItem> queries;         ///< --query items (user filled later)
   const char* query_file = nullptr;
   long repeat = 1;
@@ -77,7 +89,13 @@ epi::Status parse_args(int argc, char** argv, ClientOptions* out) {
       out->help = true;
     } else if (std::strcmp(argv[i], "--socket") == 0) {
       if (const epi::Status s = next_value(i, "--socket", &value); !s.ok()) return s;
-      out->socket_path = value;
+      out->connect_spec = std::string("unix:") + value;
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      if (const epi::Status s = next_value(i, "--connect", &value); !s.ok()) return s;
+      out->connect_spec = value;
+    } else if (std::strcmp(argv[i], "--addr") == 0) {
+      if (const epi::Status s = next_value(i, "--addr", &value); !s.ok()) return s;
+      out->worker_addr = value;
     } else if (std::strcmp(argv[i], "--user") == 0) {
       if (const epi::Status s = next_value(i, "--user", &value); !s.ok()) return s;
       out->user = value;
@@ -109,8 +127,8 @@ epi::Status parse_args(int argc, char** argv, ClientOptions* out) {
                                           argv[i] + "'");
     }
   }
-  if (!out->help && out->socket_path.empty()) {
-    return epi::Status::InvalidArgument("--socket is required");
+  if (!out->help && out->connect_spec.empty()) {
+    return epi::Status::InvalidArgument("--connect (or --socket) is required");
   }
   return epi::Status::Ok();
 }
@@ -161,29 +179,20 @@ epi::Status load_query_file(const char* path, const std::string& default_user,
   return epi::Status::Ok();
 }
 
-/// Connection with one-line-at-a-time request/response exchange.
+/// Connection with one-line-at-a-time request/response exchange, framed by
+/// the same service::LineFramer the server side uses.
 class Connection {
  public:
   ~Connection() {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  epi::Status open(const std::string& path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-      return epi::Status::Internal(std::string("socket: ") + std::strerror(errno));
+  epi::Status open(const std::string& spec) {
+    epi::net::Address addr;
+    if (const epi::Status s = epi::net::parse_address(spec, &addr); !s.ok()) {
+      return s;
     }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-      return epi::Status::InvalidArgument("socket path too long: " + path);
-    }
-    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-      return epi::Status::Unavailable("connect '" + path +
-                                      "': " + std::strerror(errno));
-    }
-    return epi::Status::Ok();
+    return epi::net::connect_to(addr, &fd_);
   }
 
   epi::Status roundtrip(const epi::service::WireRequest& request,
@@ -191,21 +200,17 @@ class Connection {
     const std::string frame = serialize_request(request) + "\n";
     std::size_t sent = 0;
     while (sent < frame.size()) {
-      const ssize_t n = ::write(fd_, frame.data() + sent, frame.size() - sent);
+      const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                               MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
-        return epi::Status::Unavailable(std::string("write: ") +
+        return epi::Status::Unavailable(std::string("send: ") +
                                         std::strerror(errno));
       }
       sent += static_cast<std::size_t>(n);
     }
-    for (;;) {
-      const std::size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        const std::string line = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return parse_response(line, response);
-      }
+    std::string line;
+    while (!framer_.next(&line)) {
       char chunk[4096];
       const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
       if (n < 0) {
@@ -216,13 +221,18 @@ class Connection {
       if (n == 0) {
         return epi::Status::Unavailable("server closed the connection");
       }
-      buffer_.append(chunk, static_cast<std::size_t>(n));
+      if (const epi::Status s =
+              framer_.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+          !s.ok()) {
+        return s;
+      }
     }
+    return parse_response(line, response);
   }
 
  private:
   int fd_ = -1;
-  std::string buffer_;
+  epi::service::LineFramer framer_;
 };
 
 void print_audit_line(const QueryItem& item,
@@ -247,7 +257,7 @@ void print_audit_line(const QueryItem& item,
 
 epi::Status run(const ClientOptions& options, bool* any_failed) {
   Connection connection;
-  if (const epi::Status s = connection.open(options.socket_path); !s.ok()) return s;
+  if (const epi::Status s = connection.open(options.connect_spec); !s.ok()) return s;
 
   std::uint64_t next_id = 1;
   if (options.op != nullptr) {
@@ -262,6 +272,12 @@ epi::Status run(const ClientOptions& options, bool* any_failed) {
       request.op = epi::service::Op::kResetSession;
     } else if (std::strcmp(options.op, "shutdown") == 0) {
       request.op = epi::service::Op::kShutdown;
+    } else if (std::strcmp(options.op, "add_worker") == 0) {
+      request.op = epi::service::Op::kAddWorker;
+      request.addr = options.worker_addr;
+    } else if (std::strcmp(options.op, "remove_worker") == 0) {
+      request.op = epi::service::Op::kRemoveWorker;
+      request.addr = options.worker_addr;
     } else {
       return epi::Status::InvalidArgument(std::string("unknown --op '") +
                                           options.op + "'");

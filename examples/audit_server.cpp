@@ -1,15 +1,24 @@
 // The audit service daemon: loads a scenario, boots an epi::service
 // AuditService and serves the JSON-lines wire protocol (src/service/
-// protocol.h) over a Unix-domain socket. Pair with audit_client, or talk to
-// it with anything that can write '\n'-framed JSON to a socket:
+// protocol.h) over any mix of Unix-domain and TCP listeners, multiplexed by
+// one epoll event loop (src/net/). Pair with audit_client, put a
+// shard_router in front of N of these, or talk to it with anything that can
+// write '\n'-framed JSON to a socket:
 //
-//   $ audit_server --socket /tmp/epi.sock --scenario hospital.scn &
-//   $ printf '{"op": "audit", "id": 1, "user": "alice", "query": "bob_hiv"}\n' \
-//       | socat - UNIX-CONNECT:/tmp/epi.sock
+//   $ audit_server --listen unix:/tmp/epi.sock --listen tcp:127.0.0.1:7171 &
+//   $ printf '{"op": "audit", "id": 1, "user": "alice", "query": "bob_hiv"}\n' |
+//       socat - UNIX-CONNECT:/tmp/epi.sock
 //
-// Usage: audit_server [--socket PATH] [--scenario FILE] [--workers N]
-//                     [--queue-capacity N] [--cache-capacity N]
-//                     [--online truthful|simulatable] [--default-deadline-ms N]
+// Usage: audit_server [--listen unix:PATH|tcp:HOST:PORT]... [--socket PATH]
+//                     [--scenario FILE] [--workers N] [--queue-capacity N]
+//                     [--cache-capacity N] [--online truthful|simulatable]
+//                     [--default-deadline-ms N] [--idle-timeout-ms N]
+//
+// --listen repeats; every listener serves simultaneously. `tcp:HOST:0` gets
+// a kernel-assigned port, printed as `audit_server: listening on ...` so
+// scripts can scrape the dialable address. --socket PATH is the legacy
+// spelling of --listen unix:PATH. A stale Unix socket file left by a crash
+// is probed and unlinked; a live server on it is a startup error.
 //
 // The scenario file (language: src/core/scenario.h) supplies the record
 // universe, the database state and — from its last `audit` directive — the
@@ -20,29 +29,22 @@
 // SIGTERM (or a `shutdown` request) stop accepting connections, drain every
 // accepted request and exit 0. Errors print a Status on stderr: exit 2 for
 // bad flags, 1 for runtime failures.
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <atomic>
-#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/scenario.h"
+#include "net/address.h"
+#include "net/service_server.h"
 #include "obs/export.h"
 #include "service/audit_service.h"
-#include "service/protocol.h"
 #include "util/status.h"
 
 namespace {
@@ -64,12 +66,16 @@ audit bob_hiv
 )";
 
 constexpr char kUsage[] =
-    "usage: audit_server [--socket PATH] [--scenario FILE] [--workers N]\n"
-    "                    [--queue-capacity N] [--cache-capacity N]\n"
+    "usage: audit_server [--listen unix:PATH|tcp:HOST:PORT]... [--socket PATH]\n"
+    "                    [--scenario FILE] [--workers N] [--queue-capacity N]\n"
+    "                    [--cache-capacity N]\n"
     "                    [--online truthful|simulatable]\n"
-    "                    [--default-deadline-ms N]\n"
-    "  --socket PATH            Unix-domain socket to listen on\n"
-    "                           (default /tmp/epi_audit.sock)\n"
+    "                    [--default-deadline-ms N] [--idle-timeout-ms N]\n"
+    "  --listen ADDR            listen address (repeatable; unix: and tcp:\n"
+    "                           listeners serve simultaneously; tcp HOST:0\n"
+    "                           picks a free port, printed on startup).\n"
+    "                           Default unix:/tmp/epi_audit.sock\n"
+    "  --socket PATH            legacy alias for --listen unix:PATH\n"
     "  --scenario FILE          scenario script supplying records, state and\n"
     "                           the audited property (default: built-in demo)\n"
     "  --workers N              service worker threads (default 2)\n"
@@ -78,11 +84,13 @@ constexpr char kUsage[] =
     "  --cache-capacity N       verdict cache entries (0 disables caching)\n"
     "  --online STRATEGY        deny-unsafe online auditing: truthful leaks\n"
     "                           through denials, simulatable does not\n"
-    "  --default-deadline-ms N  deadline for requests that carry none\n";
+    "  --default-deadline-ms N  deadline for requests that carry none\n"
+    "  --idle-timeout-ms N      drop connections idle this long (0 = never)\n";
 
 struct ServerOptions {
-  std::string socket_path = "/tmp/epi_audit.sock";
+  std::vector<std::string> listen_specs;
   const char* scenario_path = nullptr;
+  long idle_timeout_ms = 0;
   epi::service::ServiceOptions service;
   bool help = false;
 };
@@ -111,9 +119,12 @@ epi::Status parse_args(int argc, char** argv, ServerOptions* out) {
     const char* value = nullptr;
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       out->help = true;
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      if (const epi::Status s = next_value(i, "--listen", &value); !s.ok()) return s;
+      out->listen_specs.push_back(value);
     } else if (std::strcmp(argv[i], "--socket") == 0) {
       if (const epi::Status s = next_value(i, "--socket", &value); !s.ok()) return s;
-      out->socket_path = value;
+      out->listen_specs.push_back(std::string("unix:") + value);
     } else if (std::strcmp(argv[i], "--scenario") == 0) {
       if (const epi::Status s = next_value(i, "--scenario", &value); !s.ok()) return s;
       out->scenario_path = value;
@@ -140,117 +151,19 @@ epi::Status parse_args(int argc, char** argv, ServerOptions* out) {
       if (const epi::Status s = next_count(i, "--default-deadline-ms", &n); !s.ok())
         return s;
       out->service.default_deadline = std::chrono::milliseconds(n);
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      if (const epi::Status s = next_count(i, "--idle-timeout-ms", &n); !s.ok())
+        return s;
+      out->idle_timeout_ms = n;
     } else {
       return epi::Status::InvalidArgument(std::string("unknown flag '") +
                                           argv[i] + "'");
     }
   }
+  if (out->listen_specs.empty()) {
+    out->listen_specs.push_back("unix:/tmp/epi_audit.sock");
+  }
   return epi::Status::Ok();
-}
-
-/// Writes the whole buffer, riding out EINTR and partial writes. False when
-/// the peer is gone (EPIPE & friends) — the connection just ends.
-bool write_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// One request frame -> one response frame.
-epi::service::WireResponse dispatch(const epi::service::WireRequest& request,
-                                    epi::service::AuditService& service,
-                                    std::atomic<bool>& stop_requested) {
-  using epi::service::Op;
-  using epi::service::WireResponse;
-  WireResponse response;
-  response.id = request.id;
-  switch (request.op) {
-    case Op::kHello: {
-      response.ok = true;
-      response.audit_query = service.audit_query();
-      response.prior = epi::to_string(service.prior());
-      break;
-    }
-    case Op::kAudit: {
-      epi::service::AuditRequest audit;
-      audit.user = request.user;
-      audit.query_text = request.query;
-      audit.answer = request.answer;
-      if (request.deadline_ms > 0) {
-        audit.deadline = std::chrono::steady_clock::now() +
-                         std::chrono::milliseconds(request.deadline_ms);
-      }
-      response = make_audit_response(request.id, service.process(std::move(audit)));
-      break;
-    }
-    case Op::kMetrics: {
-      response.ok = true;
-      response.metrics_json = epi::obs::metrics_to_json(service.metrics_snapshot());
-      break;
-    }
-    case Op::kResetSession: {
-      const epi::Status s = service.reset_session(request.user);
-      response.ok = s.ok();
-      if (!s.ok()) {
-        response.error = s.to_string();
-        response.code = epi::service::status_code_slug(s.code());
-      }
-      break;
-    }
-    case Op::kShutdown: {
-      response.ok = true;
-      stop_requested.store(true, std::memory_order_relaxed);
-      break;
-    }
-  }
-  return response;
-}
-
-/// Per-connection loop: line-framed requests in, line-framed responses out.
-/// A malformed frame gets an error response (id 0: the frame's id was
-/// unreadable); the connection stays up.
-void serve_connection(int fd, epi::service::AuditService& service,
-                      std::atomic<bool>& stop_requested) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;  // peer closed (or shutdown forced the read side)
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
-      const std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (line.empty()) continue;
-      epi::service::WireRequest request;
-      epi::service::WireResponse response;
-      if (const epi::Status s = parse_request(line, &request); !s.ok()) {
-        response.ok = false;
-        response.error = s.to_string();
-        response.code = epi::service::status_code_slug(s.code());
-      } else {
-        response = dispatch(request, service, stop_requested);
-      }
-      if (!write_all(fd, serialize_response(response) + "\n")) {
-        ::close(fd);
-        return;
-      }
-    }
-    buffer.erase(0, start);
-  }
-  ::close(fd);
 }
 
 epi::Status load_scenario(const ServerOptions& options, epi::ScenarioResult* out) {
@@ -288,83 +201,52 @@ epi::Status run(const ServerOptions& options) {
     return s;
   }
 
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    return epi::Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(listen_fd);
-    return epi::Status::InvalidArgument("socket path too long: " +
-                                        options.socket_path);
-  }
-  std::strncpy(addr.sun_path, options.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  ::unlink(options.socket_path.c_str());
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const epi::Status s = epi::Status::Internal(
-        "bind '" + options.socket_path + "': " + std::strerror(errno));
-    ::close(listen_fd);
-    return s;
-  }
-  if (::listen(listen_fd, 64) < 0) {
-    const epi::Status s =
-        epi::Status::Internal(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd);
+  epi::net::EventLoop::Options loop_options;
+  loop_options.idle_timeout = std::chrono::milliseconds(options.idle_timeout_ms);
+  std::unique_ptr<epi::net::ServiceServer> server;
+  if (const epi::Status s = epi::net::ServiceServer::try_create(
+          service.get(), loop_options, &server);
+      !s.ok()) {
     return s;
   }
 
-  std::printf("audit_server: enforcing \"%s\" under %s prior on %s\n",
-              last.audit_query.c_str(), epi::to_string(last.prior).c_str(),
-              options.socket_path.c_str());
+  for (const std::string& spec : options.listen_specs) {
+    epi::net::Address addr;
+    if (epi::Status s = epi::net::parse_address(spec, &addr); !s.ok()) return s;
+    if (epi::Status s = server->add_listener(&addr); !s.ok()) return s;
+    // The resolved form: a tcp:HOST:0 listener prints its real port.
+    std::printf("audit_server: listening on %s\n", addr.to_string().c_str());
+  }
+  std::printf("audit_server: enforcing \"%s\" under %s prior\n",
+              last.audit_query.c_str(), epi::to_string(last.prior).c_str());
   std::fflush(stdout);
 
-  std::atomic<bool> stop_requested{false};
-  std::vector<std::thread> connections;
-  std::mutex fds_mutex;
-  std::vector<int> open_fds;
-
-  while (!g_stop && !stop_requested.load(std::memory_order_relaxed)) {
+  // Signal pump: a self-rescheduling 200 ms timer turns the async-signal
+  // flags into loop-thread actions (epoll_wait wakes on EINTR because the
+  // handlers install without SA_RESTART).
+  auto pump = std::make_shared<std::function<void()>>();
+  epi::net::ServiceServer* server_ptr = server.get();
+  epi::service::AuditService* service_ptr = service.get();
+  *pump = [server_ptr, service_ptr, pump] {
     if (g_dump_metrics) {
       g_dump_metrics = 0;
-      std::fprintf(stderr, "%s",
-                   epi::obs::metrics_to_text(service->metrics_snapshot()).c_str());
+      std::fprintf(
+          stderr, "%s",
+          epi::obs::metrics_to_text(service_ptr->metrics_snapshot()).c_str());
     }
-    pollfd pfd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    {
-      std::lock_guard<std::mutex> lock(fds_mutex);
-      open_fds.push_back(fd);
-    }
-    connections.emplace_back([fd, &service, &stop_requested] {
-      serve_connection(fd, *service, stop_requested);
-    });
-  }
+    if (g_stop) server_ptr->begin_shutdown();
+    if (server_ptr->draining()) return;  // the loop is on its way out
+    server_ptr->loop().post_at(
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200),
+        *pump);
+  };
+  server->loop().post_at(std::chrono::steady_clock::now(), *pump);
 
-  // Graceful drain: stop listening, nudge every open connection's read side
-  // so its thread unblocks, let the service resolve everything it accepted.
-  ::close(listen_fd);
-  ::unlink(options.socket_path.c_str());
-  {
-    std::lock_guard<std::mutex> lock(fds_mutex);
-    for (const int fd : open_fds) ::shutdown(fd, SHUT_RD);
-  }
-  for (std::thread& t : connections) t.join();
+  const epi::Status status = server->run();
   service->shutdown();
   std::fprintf(stderr, "audit_server: drained and stopped\n%s",
                epi::obs::metrics_to_text(service->metrics_snapshot()).c_str());
-  return epi::Status::Ok();
+  return status;
 }
 
 }  // namespace
@@ -379,9 +261,9 @@ int main(int argc, char** argv) {
     std::printf("%s", kUsage);
     return 0;
   }
-  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGPIPE, SIG_IGN);  // belt; every net/ send is MSG_NOSIGNAL
   struct sigaction sa{};
-  sa.sa_handler = handle_stop;  // no SA_RESTART: poll/accept must see EINTR
+  sa.sa_handler = handle_stop;  // no SA_RESTART: epoll_wait must see EINTR
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
   sa.sa_handler = handle_usr1;

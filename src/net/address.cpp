@@ -1,0 +1,216 @@
+#include "net/address.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace epi {
+namespace net {
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status fill_sockaddr_un(const Address& addr, sockaddr_un* out) {
+  *out = sockaddr_un{};
+  out->sun_family = AF_UNIX;
+  if (addr.path.size() >= sizeof(out->sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + addr.path);
+  }
+  std::strncpy(out->sun_path, addr.path.c_str(), sizeof(out->sun_path) - 1);
+  return Status::Ok();
+}
+
+/// getaddrinfo for the numeric-or-name host; first result wins.
+Status resolve_tcp(const Address& addr, sockaddr_storage* storage,
+                   socklen_t* len) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string port = std::to_string(addr.port);
+  const int rc = ::getaddrinfo(addr.host.c_str(), port.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    return Status::InvalidArgument("cannot resolve '" + addr.host +
+                                   "': " + ::gai_strerror(rc));
+  }
+  std::memcpy(storage, results->ai_addr, results->ai_addrlen);
+  *len = results->ai_addrlen;
+  ::freeaddrinfo(results);
+  return Status::Ok();
+}
+
+/// True when something is accept()ing on the Unix socket file.
+bool unix_socket_alive(const Address& addr) {
+  sockaddr_un sun{};
+  if (!fill_sockaddr_un(addr, &sun).ok()) return false;
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe < 0) return false;
+  const bool alive =
+      ::connect(probe, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) == 0;
+  ::close(probe);
+  return alive;
+}
+
+}  // namespace
+
+std::string Address::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Status parse_address(const std::string& spec, Address* out) {
+  *out = Address{};
+  if (spec.rfind("unix:", 0) == 0) {
+    out->kind = Address::Kind::kUnix;
+    out->path = spec.substr(5);
+    if (out->path.empty()) {
+      return Status::InvalidArgument("unix address needs a path: '" + spec +
+                                     "'");
+    }
+    return Status::Ok();
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    out->kind = Address::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      return Status::InvalidArgument("tcp address must be tcp:HOST:PORT: '" +
+                                     spec + "'");
+    }
+    out->host = rest.substr(0, colon);
+    const char* first = rest.data() + colon + 1;
+    const char* last = rest.data() + rest.size();
+    unsigned port = 0;
+    const std::from_chars_result r = std::from_chars(first, last, port);
+    if (r.ec != std::errc() || r.ptr != last || port > 65535) {
+      return Status::InvalidArgument("bad tcp port in '" + spec + "'");
+    }
+    out->port = static_cast<std::uint16_t>(port);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      "address must start with unix: or tcp: — got '" + spec + "'");
+}
+
+Status set_non_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return errno_status("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+Status listen_on(Address* addr, int* listen_fd) {
+  int fd = -1;
+  if (addr->kind == Address::Kind::kUnix) {
+    // A leftover socket file from a crashed server would make bind() fail
+    // with EADDRINUSE forever; probe it so only a *live* server blocks us.
+    if (::access(addr->path.c_str(), F_OK) == 0) {
+      if (unix_socket_alive(*addr)) {
+        return Status::Unavailable("address in use: a live server is "
+                                   "accepting on " +
+                                   addr->to_string());
+      }
+      ::unlink(addr->path.c_str());
+    }
+    sockaddr_un sun{};
+    if (const Status s = fill_sockaddr_un(*addr, &sun); !s.ok()) return s;
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return errno_status("socket");
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) < 0) {
+      const Status s = errno_status("bind '" + addr->to_string() + "'");
+      ::close(fd);
+      return s;
+    }
+  } else {
+    sockaddr_storage storage{};
+    socklen_t len = 0;
+    if (const Status s = resolve_tcp(*addr, &storage, &len); !s.ok()) return s;
+    fd = ::socket(storage.ss_family, SOCK_STREAM, 0);
+    if (fd < 0) return errno_status("socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&storage), len) < 0) {
+      const Status s = errno_status("bind '" + addr->to_string() + "'");
+      ::close(fd);
+      return s;
+    }
+    // Resolve a kernel-assigned port so callers can print a dialable
+    // address (tests listen on tcp:127.0.0.1:0 to avoid port races).
+    sockaddr_storage bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+        0) {
+      if (bound.ss_family == AF_INET) {
+        addr->port =
+            ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        addr->port =
+            ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status s = errno_status("listen '" + addr->to_string() + "'");
+    ::close(fd);
+    if (addr->kind == Address::Kind::kUnix) ::unlink(addr->path.c_str());
+    return s;
+  }
+  if (const Status s = set_non_blocking(fd); !s.ok()) {
+    ::close(fd);
+    if (addr->kind == Address::Kind::kUnix) ::unlink(addr->path.c_str());
+    return s;
+  }
+  *listen_fd = fd;
+  return Status::Ok();
+}
+
+Status connect_to(const Address& addr, int* fd) {
+  int sock = -1;
+  if (addr.kind == Address::Kind::kUnix) {
+    sockaddr_un sun{};
+    if (const Status s = fill_sockaddr_un(addr, &sun); !s.ok()) return s;
+    sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (sock < 0) return errno_status("socket");
+    if (::connect(sock, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) < 0) {
+      const Status s = Status::Unavailable("connect '" + addr.to_string() +
+                                           "': " + std::strerror(errno));
+      ::close(sock);
+      return s;
+    }
+  } else {
+    sockaddr_storage storage{};
+    socklen_t len = 0;
+    if (const Status s = resolve_tcp(addr, &storage, &len); !s.ok()) return s;
+    sock = ::socket(storage.ss_family, SOCK_STREAM, 0);
+    if (sock < 0) return errno_status("socket");
+    if (::connect(sock, reinterpret_cast<sockaddr*>(&storage), len) < 0) {
+      const Status s = Status::Unavailable("connect '" + addr.to_string() +
+                                           "': " + std::strerror(errno));
+      ::close(sock);
+      return s;
+    }
+    // The protocol is tiny '\n'-framed lines; Nagle would add 40 ms stalls
+    // between a request burst and its responses.
+    const int one = 1;
+    ::setsockopt(sock, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  *fd = sock;
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace epi

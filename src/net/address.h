@@ -1,0 +1,56 @@
+// Listen/connect addresses for the serving layer: `unix:PATH` Unix-domain
+// sockets and `tcp:HOST:PORT` TCP sockets, parsed from the one string form
+// every binary flag (`--listen`, `--connect`, `--worker`) shares.
+//
+// All socket creation here is Status-first and SIGPIPE-proof by
+// construction: the fds come back non-blocking where asked, listeners get
+// SO_REUSEADDR (TCP) or the stale-socket-file probe (Unix), and every write
+// in src/net/ uses MSG_NOSIGNAL, so a dying peer surfaces as EPIPE instead
+// of killing the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace epi {
+namespace net {
+
+struct Address {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< unix: socket file path
+  std::string host;  ///< tcp: numeric IPv4/IPv6 address or name
+  std::uint16_t port = 0;
+
+  /// The canonical `unix:PATH` / `tcp:HOST:PORT` spelling.
+  std::string to_string() const;
+};
+
+/// Parses `unix:PATH` or `tcp:HOST:PORT` (port 0 = kernel-assigned, resolved
+/// by listen_on). A spec without a scheme is rejected so flag typos fail
+/// loudly instead of becoming a relative socket path.
+Status parse_address(const std::string& spec, Address* out);
+
+/// Opens a non-blocking listening socket for `addr`. For Unix addresses a
+/// leftover socket file is probed with a connect() first: a live server
+/// answers the probe and listen_on fails with "address in use", a dead one
+/// refuses it and the stale file is unlinked — so restarting after a crash
+/// just works while double-starts stay an error. For TCP, SO_REUSEADDR is
+/// set and a kernel-assigned port (`tcp:HOST:0`) is resolved into `*addr`
+/// so callers can print the address a client must dial.
+Status listen_on(Address* addr, int* listen_fd);
+
+/// Blocking connect to `addr`; the returned fd stays blocking (callers that
+/// want event-loop semantics hand it to EventLoop::adopt, which flips it
+/// non-blocking). Local serving-tier dials resolve in microseconds, so a
+/// blocking connect keeps the router's reconnect path simple.
+Status connect_to(const Address& addr, int* fd);
+
+/// Marks `fd` non-blocking (O_NONBLOCK).
+Status set_non_blocking(int fd);
+
+}  // namespace net
+}  // namespace epi

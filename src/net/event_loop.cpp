@@ -1,0 +1,391 @@
+#include "net/event_loop.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <limits>
+
+namespace epi {
+namespace net {
+namespace {
+
+constexpr std::uint64_t kWakeTag = 0;
+
+Status errno_status(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void EventLoop::Handler::on_overflow(ConnId conn, const Status& why) {
+  (void)why;
+  // Default policy: the peer is misbehaving; drop it. ServiceServer
+  // overrides this to send a final error frame first.
+  (void)conn;
+}
+
+Status EventLoop::try_create(Handler* handler, Options options,
+                             std::unique_ptr<EventLoop>* out) {
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return errno_status("epoll_create1");
+  const int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    const Status s = errno_status("eventfd");
+    ::close(epoll_fd);
+    return s;
+  }
+  std::unique_ptr<EventLoop> loop(
+      new EventLoop(handler, options, epoll_fd, wake_fd));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) < 0) {
+    return errno_status("epoll_ctl(wake)");
+  }
+  *out = std::move(loop);
+  return Status::Ok();
+}
+
+EventLoop::EventLoop(Handler* handler, Options options, int epoll_fd,
+                     int wake_fd)
+    : handler_(handler),
+      options_(options),
+      epoll_fd_(epoll_fd),
+      wake_fd_(wake_fd) {}
+
+EventLoop::~EventLoop() {
+  for (auto& [id, conn] : conns_) ::close(conn.fd);
+  close_listeners();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+Status EventLoop::register_fd(int fd, std::uint64_t tag, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return errno_status("epoll_ctl(add)");
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::add_listener(Address* addr) {
+  int fd = -1;
+  if (const Status s = listen_on(addr, &fd); !s.ok()) return s;
+  const std::uint64_t tag = next_id_++;
+  if (const Status s = register_fd(fd, tag, /*want_write=*/false); !s.ok()) {
+    ::close(fd);
+    if (addr->kind == Address::Kind::kUnix) ::unlink(addr->path.c_str());
+    return s;
+  }
+  listeners_.emplace(tag, Listener{fd, *addr});
+  return Status::Ok();
+}
+
+void EventLoop::close_listeners() {
+  for (auto& [tag, listener] : listeners_) {
+    ::close(listener.fd);
+    if (listener.addr.kind == Address::Kind::kUnix) {
+      ::unlink(listener.addr.path.c_str());
+    }
+  }
+  listeners_.clear();
+}
+
+Status EventLoop::adopt(int fd, ConnId* conn) {
+  if (const Status s = set_non_blocking(fd); !s.ok()) return s;
+  const ConnId id = next_id_++;
+  if (const Status s = register_fd(fd, id, /*want_write=*/false); !s.ok()) {
+    return s;
+  }
+  conns_.emplace(id, Conn(fd, options_.max_line_bytes,
+                          std::chrono::steady_clock::now()));
+  *conn = id;
+  handler_->on_open(id);
+  return Status::Ok();
+}
+
+void EventLoop::handle_accept(Listener& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error: try again next wakeup
+    }
+    if (!set_non_blocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    if (listener.addr.kind == Address::Kind::kTcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    const ConnId id = next_id_++;
+    if (!register_fd(fd, id, /*want_write=*/false).ok()) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, Conn(fd, options_.max_line_bytes,
+                            std::chrono::steady_clock::now()));
+    handler_->on_open(id);
+  }
+}
+
+void EventLoop::handle_readable(ConnId id) {
+  char chunk[65536];
+  for (;;) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // a callback closed it mid-read
+    Conn& conn = it->second;
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      destroy_connection(id, errno_status("recv"));
+      return;
+    }
+    if (n == 0) {
+      destroy_connection(id, Status::Ok());  // peer closed
+      return;
+    }
+    conn.last_activity = std::chrono::steady_clock::now();
+    const Status fed =
+        conn.framer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    // Hand out the lines via a local batch: on_line may close this
+    // connection (destroying the framer) at any point.
+    std::vector<std::string> lines;
+    for (std::string line; conn.framer.next(&line);) {
+      lines.push_back(std::move(line));
+    }
+    for (std::string& line : lines) {
+      if (conns_.find(id) == conns_.end()) return;
+      handler_->on_line(id, std::move(line));
+    }
+    if (!fed.ok()) {
+      if (conns_.find(id) == conns_.end()) return;
+      handler_->on_overflow(id, fed);
+      // Whatever the handler queued still flushes; no more reads happen.
+      auto again = conns_.find(id);
+      if (again != conns_.end()) {
+        again->second.close_after_flush = true;
+        flush(id, again->second);
+      }
+      return;
+    }
+    if (static_cast<std::size_t>(n) < sizeof(chunk)) return;  // drained
+  }
+}
+
+void EventLoop::send_line(ConnId id, std::string_view line) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.close_after_flush) return;  // already ending; drop late frames
+  conn.out.append(line.data(), line.size());
+  conn.out.push_back('\n');
+  if (conn.out.size() - conn.out_off > options_.max_write_buffer_bytes) {
+    destroy_connection(
+        id, Status::ResourceExhausted("peer not reading: write buffer over " +
+                                      std::to_string(
+                                          options_.max_write_buffer_bytes) +
+                                      " bytes"));
+    return;
+  }
+  flush(id, conn);
+}
+
+void EventLoop::flush(ConnId id, Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      destroy_connection(id, errno_status("send"));
+      return;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+    conn.last_activity = std::chrono::steady_clock::now();
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+    if (conn.close_after_flush) {
+      destroy_connection(id, Status::Ok());
+      return;
+    }
+  } else if (conn.out_off > (1u << 16) && conn.out_off * 2 > conn.out.size()) {
+    // Reclaim the consumed prefix once it dominates the buffer.
+    conn.out.erase(0, conn.out_off);
+    conn.out_off = 0;
+  }
+  update_interest(id, conn);
+}
+
+void EventLoop::update_interest(std::uint64_t tag, Conn& conn) {
+  const bool want_write = conn.out_off < conn.out.size();
+  if (want_write == conn.want_write) return;
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = tag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void EventLoop::handle_writable(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  flush(id, it->second);
+}
+
+void EventLoop::close_connection(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.out_off == conn.out.size()) {
+    destroy_connection(id, Status::Ok());
+    return;
+  }
+  conn.close_after_flush = true;
+  flush(id, conn);
+}
+
+void EventLoop::destroy_connection(ConnId id, const Status& why) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  const int fd = it->second.fd;
+  conns_.erase(it);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  handler_->on_close(id, why);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  // The eventfd is non-blocking; a full counter still leaves it readable,
+  // so a dropped write cannot lose the wakeup.
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::post_at(TimePoint when, std::function<void()> fn) {
+  timers_.push(Timer{when, timer_seq_++, std::move(fn)});
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    stop_requested_ = true;
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_wakeups() {
+  std::uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::run_due_timers() {
+  const TimePoint now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.top().when <= now) {
+    // priority_queue::top is const; the timer is copied out before pop.
+    std::function<void()> fn = timers_.top().fn;
+    timers_.pop();
+    fn();
+  }
+}
+
+void EventLoop::sweep_idle() {
+  if (options_.idle_timeout.count() <= 0) return;
+  const TimePoint now = std::chrono::steady_clock::now();
+  std::vector<ConnId> idle;
+  for (const auto& [id, conn] : conns_) {
+    if (now - conn.last_activity >= options_.idle_timeout) idle.push_back(id);
+  }
+  for (const ConnId id : idle) {
+    destroy_connection(id,
+                       Status::DeadlineExceeded("idle connection timeout"));
+  }
+}
+
+int EventLoop::wait_timeout_ms() const {
+  using std::chrono::ceil;
+  using std::chrono::milliseconds;
+  const TimePoint now = std::chrono::steady_clock::now();
+  std::int64_t wait = -1;  // block until an event
+  if (!timers_.empty()) {
+    wait = std::max<std::int64_t>(
+        0, ceil<milliseconds>(timers_.top().when - now).count());
+  }
+  if (options_.idle_timeout.count() > 0) {
+    // Sweep cadence: half the timeout bounds the overshoot without a
+    // dedicated timer per connection.
+    const std::int64_t sweep =
+        std::max<std::int64_t>(1, options_.idle_timeout.count() / 2);
+    wait = wait < 0 ? sweep : std::min(wait, sweep);
+  }
+  return static_cast<int>(std::min<std::int64_t>(
+      wait < 0 ? -1 : wait, std::numeric_limits<int>::max()));
+}
+
+Status EventLoop::run() {
+  epoll_event events[128];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(posted_mutex_);
+      if (stop_requested_) return Status::Ok();
+    }
+    run_due_timers();
+    sweep_idle();
+    const int n =
+        ::epoll_wait(epoll_fd_, events, std::size(events), wait_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        drain_wakeups();
+        std::vector<std::function<void()>> work;
+        {
+          std::lock_guard<std::mutex> lock(posted_mutex_);
+          work.swap(posted_);
+        }
+        for (std::function<void()>& fn : work) fn();
+        continue;
+      }
+      if (auto listener = listeners_.find(tag); listener != listeners_.end()) {
+        handle_accept(listener->second);
+        continue;
+      }
+      const auto flags = events[i].events;
+      if (flags & (EPOLLHUP | EPOLLERR)) {
+        // Drain what the peer sent before it went away; recv reports the
+        // close/EPIPE and destroys the connection.
+        handle_readable(tag);
+        continue;
+      }
+      if (flags & EPOLLOUT) handle_writable(tag);
+      if (flags & EPOLLIN) handle_readable(tag);
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace epi

@@ -1,0 +1,178 @@
+// The serving tier's epoll event loop: one thread multiplexing any number
+// of listeners (Unix + TCP simultaneously) and connections, replacing the
+// thread-per-connection model in examples/audit_server.
+//
+// Everything is edge-level non-blocking (level-triggered epoll):
+//  * accept loops until EAGAIN; accepted fds are made non-blocking and, for
+//    TCP, get TCP_NODELAY;
+//  * reads drain until EAGAIN and feed a per-connection service::LineFramer,
+//    so a '\n'-framed JSON request split across any number of partial reads
+//    reassembles exactly once, in order;
+//  * writes go straight to the socket and only spill into the per-connection
+//    write buffer on a short write, arming EPOLLOUT until it drains; every
+//    send uses MSG_NOSIGNAL so a vanishing peer is an EPIPE, not a SIGPIPE;
+//  * idle connections (no bytes either way for Options::idle_timeout) are
+//    closed on a periodic sweep;
+//  * timers (post_at) and cross-thread work (post) ride an eventfd wakeup,
+//    which is how service completions re-enter the loop thread.
+//
+// Threading: everything except post()/stop() must be called on the loop
+// thread (the thread inside run()); Handler callbacks already are.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace epi {
+namespace net {
+
+class EventLoop {
+ public:
+  using ConnId = std::uint64_t;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// Connection callbacks. All run on the loop thread; they may call
+  /// send_line / close_connection / post_at freely (including on the
+  /// connection they were invoked for).
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    /// One complete '\n'-framed line (terminator stripped).
+    virtual void on_line(ConnId conn, std::string line) = 0;
+    virtual void on_open(ConnId conn) { (void)conn; }
+    /// The connection is gone (peer closed, error, idle timeout, overflow
+    /// or close_connection). `why` is Ok for a plain peer close.
+    virtual void on_close(ConnId conn, const Status& why) {
+      (void)conn;
+      (void)why;
+    }
+    /// A line exceeded max_line_bytes. Default: close immediately. An
+    /// override may send a final error frame first and then
+    /// close_connection (which flushes before closing).
+    virtual void on_overflow(ConnId conn, const Status& why);
+  };
+
+  struct Options {
+    /// Close connections with no traffic either way for this long;
+    /// zero disables the sweep.
+    std::chrono::milliseconds idle_timeout{0};
+    /// Per-connection line cap (service::LineFramer overflow).
+    std::size_t max_line_bytes = service::LineFramer::kDefaultMaxLineBytes;
+    /// A peer that stops reading cannot grow the write buffer past this.
+    std::size_t max_write_buffer_bytes = 32u << 20;
+  };
+
+  /// Fails when the epoll/eventfd plumbing cannot be created.
+  static Status try_create(Handler* handler, Options options,
+                           std::unique_ptr<EventLoop>* out);
+
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Opens a listener (any mix of unix/tcp, repeatable). `*addr` gets a
+  /// kernel-assigned TCP port resolved so callers can print it.
+  Status add_listener(Address* addr);
+
+  /// Stops accepting new connections (existing ones keep running).
+  void close_listeners();
+
+  /// Adopts an externally connected fd (client dials, socketpair tests) as
+  /// a loop connection; flips it non-blocking.
+  Status adopt(int fd, ConnId* conn);
+
+  /// Queues one protocol line (the '\n' is appended here) and flushes as
+  /// much as the socket accepts. Unknown ids are ignored (the connection
+  /// raced shut).
+  void send_line(ConnId conn, std::string_view line);
+
+  /// Flushes buffered output, then closes. Unknown ids are ignored.
+  void close_connection(ConnId conn);
+
+  /// Thread-safe: runs `fn` on the loop thread at its next wakeup.
+  void post(std::function<void()> fn);
+
+  /// Loop-thread only: runs `fn` once `when` passes.
+  void post_at(TimePoint when, std::function<void()> fn);
+
+  /// Serves until stop(). Returns the first fatal loop error, Ok on stop().
+  Status run();
+
+  /// Thread-safe; run() returns soon after.
+  void stop();
+
+  std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    service::LineFramer framer;
+    std::string out;            ///< unflushed bytes
+    std::size_t out_off = 0;    ///< consumed prefix of `out`
+    TimePoint last_activity{};
+    bool want_write = false;
+    bool close_after_flush = false;
+    Conn(int f, std::size_t max_line, TimePoint now)
+        : fd(f), framer(max_line), last_activity(now) {}
+  };
+
+  struct Listener {
+    int fd = -1;
+    Address addr;
+  };
+
+  struct Timer {
+    TimePoint when;
+    std::uint64_t seq;  ///< FIFO among equal deadlines
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  EventLoop(Handler* handler, Options options, int epoll_fd, int wake_fd);
+
+  Status register_fd(int fd, std::uint64_t tag, bool want_write);
+  void update_interest(std::uint64_t tag, Conn& conn);
+  void handle_accept(Listener& listener);
+  void handle_readable(ConnId id);
+  void handle_writable(ConnId id);
+  /// Pushes pending bytes into the socket; arms/disarms EPOLLOUT.
+  void flush(ConnId id, Conn& conn);
+  void destroy_connection(ConnId id, const Status& why);
+  void run_due_timers();
+  void sweep_idle();
+  int wait_timeout_ms() const;
+  void drain_wakeups();
+
+  Handler* handler_;
+  Options options_;
+  int epoll_fd_;
+  int wake_fd_;  ///< eventfd for post()/stop()
+
+  std::uint64_t next_id_ = 1;  ///< 0 is the wake eventfd's tag
+  std::unordered_map<std::uint64_t, Listener> listeners_;
+  std::unordered_map<ConnId, Conn> conns_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::uint64_t timer_seq_ = 0;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_requested_ = false;  ///< guarded by posted_mutex_
+};
+
+}  // namespace net
+}  // namespace epi

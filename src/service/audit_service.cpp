@@ -200,6 +200,36 @@ AuditResponse AuditService::process(AuditRequest request) {
   return ticket.response.get();
 }
 
+void AuditService::submit_async(AuditRequest request,
+                                std::function<void(AuditResponse)> done) {
+  Ticket ticket;  // the promise/future pair goes unused on this path
+  std::unique_ptr<Pending> pending = make_pending(std::move(request), &ticket);
+  pending->done = std::move(done);
+
+  AuditResponse rejection;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!accepting_) {
+      rejected_->add(1);
+      rejection.status = Status::Unavailable("audit service is shutting down");
+    } else if (queue_.size() >= options_.queue_capacity) {
+      rejected_->add(1);
+      rejection.status = Status::ResourceExhausted(
+          "audit service queue full (" +
+          std::to_string(options_.queue_capacity) + " waiting); retry later");
+    } else {
+      accepted_->add(1);
+      queue_depth_->add(1);
+      queue_.push_back(std::move(pending));
+    }
+  }
+  if (pending) {  // rejected: resolve inline, outside the queue lock
+    pending->resolve(std::move(rejection));
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
 std::vector<Ticket> AuditService::submit_many(
     std::vector<AuditRequest> requests) {
   std::vector<Ticket> tickets(requests.size());
@@ -294,7 +324,7 @@ void AuditService::worker_loop() {
     }
     completed_->add(1);
     process_ns_->record(now_ns() - start_ns);
-    pending->promise.set_value(std::move(response));
+    pending->resolve(std::move(response));
   }
 }
 

@@ -152,6 +152,14 @@ class AuditService {
   /// Blocking convenience wrapper around submit().
   AuditResponse process(AuditRequest request);
 
+  /// Callback-style submission for event-loop callers (src/net/): `done`
+  /// runs exactly once with the response — on a service worker thread when
+  /// the request was admitted, or inline on the submitting thread when
+  /// admission rejects it (queue full / shutting down). The callback must
+  /// not block; the net layer posts the response back onto its loop.
+  void submit_async(AuditRequest request,
+                    std::function<void(AuditResponse)> done);
+
   /// Batch admission: enqueues the whole span atomically — either every
   /// request is accepted (one lock acquisition, queue order preserved, so
   /// same-user requests still serialize in submission order) or none is and
@@ -220,9 +228,19 @@ class AuditService {
   struct Pending {
     AuditRequest request;
     std::promise<AuditResponse> promise;
+    /// When set (submit_async), resolves the request instead of the promise.
+    std::function<void(AuditResponse)> done;
     std::shared_ptr<std::atomic<bool>> cancelled;
     std::chrono::steady_clock::time_point deadline{};  ///< epoch = none
     std::int64_t enqueue_ns = 0;
+
+    void resolve(AuditResponse response) {
+      if (done) {
+        done(std::move(response));
+      } else {
+        promise.set_value(std::move(response));
+      }
+    }
   };
 
   AuditService(std::shared_ptr<Scenario> scenario, ServiceOptions options);

@@ -351,6 +351,40 @@ class Fields {
 
 }  // namespace
 
+Status LineFramer::feed(std::string_view bytes) {
+  if (!status_.ok()) return status_;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) break;
+    partial_.append(bytes.data() + start, nl - start);
+    start = nl + 1;
+    if (partial_.size() > max_line_bytes_) {
+      status_ = Status::ResourceExhausted(
+          "protocol line exceeds " + std::to_string(max_line_bytes_) +
+          " bytes");
+      partial_.clear(); // discard the oversized line: deterministic post-
+      return status_;   // overflow state no matter how the bytes arrived
+    }
+    ready_.push_back(std::move(partial_));
+    partial_.clear();
+  }
+  partial_.append(bytes.data() + start, bytes.size() - start);
+  if (partial_.size() > max_line_bytes_) {
+    status_ = Status::ResourceExhausted(
+        "protocol line exceeds " + std::to_string(max_line_bytes_) + " bytes");
+    partial_.clear();
+  }
+  return status_;
+}
+
+bool LineFramer::next(std::string* line) {
+  if (ready_.empty()) return false;
+  *line = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
 std::string to_string(Op op) {
   switch (op) {
     case Op::kHello: return "hello";
@@ -358,6 +392,8 @@ std::string to_string(Op op) {
     case Op::kMetrics: return "metrics";
     case Op::kResetSession: return "reset_session";
     case Op::kShutdown: return "shutdown";
+    case Op::kAddWorker: return "add_worker";
+    case Op::kRemoveWorker: return "remove_worker";
   }
   return "?";
 }
@@ -386,6 +422,7 @@ std::string serialize_request(const WireRequest& request) {
   if (!request.query.empty()) w.field("query", request.query);
   if (request.answer.has_value()) w.field("answer", *request.answer);
   if (request.deadline_ms != 0) w.field("deadline_ms", request.deadline_ms);
+  if (!request.addr.empty()) w.field("addr", request.addr);
   w.finish();
   return os.str();
 }
@@ -446,6 +483,10 @@ Status parse_request(const std::string& line, WireRequest* out) {
     out->op = Op::kResetSession;
   } else if (op == "shutdown") {
     out->op = Op::kShutdown;
+  } else if (op == "add_worker") {
+    out->op = Op::kAddWorker;
+  } else if (op == "remove_worker") {
+    out->op = Op::kRemoveWorker;
   } else {
     return Status::InvalidArgument("protocol frame: unknown op '" + op + "'");
   }
@@ -480,6 +521,11 @@ Status parse_request(const std::string& line, WireRequest* out) {
   }
   if (out->deadline_ms < 0) {
     return Status::InvalidArgument("protocol frame: deadline_ms must be >= 0");
+  }
+  const bool needs_addr =
+      out->op == Op::kAddWorker || out->op == Op::kRemoveWorker;
+  if (Status s = fields.get_string("addr", &out->addr, needs_addr); !s.ok()) {
+    return s;
   }
   return Status::Ok();
 }

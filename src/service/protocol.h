@@ -34,8 +34,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "service/audit_service.h"
 #include "util/status.h"
@@ -43,7 +45,57 @@
 namespace epi {
 namespace service {
 
-enum class Op { kHello, kAudit, kMetrics, kResetSession, kShutdown };
+/// Incremental '\n' framing over a byte stream, shared by the server's event
+/// loop, the shard router and the client: feed() bytes as they arrive
+/// (partial reads, one byte at a time, whole pipelined bursts — any split),
+/// next() yields each complete line exactly once, in order, without the
+/// terminator. A line longer than `max_line_bytes` (complete or still
+/// partial) trips a sticky ResourceExhausted: feed() keeps returning it (and
+/// drops the oversized bytes, so buffered() is 0 regardless of how the bytes
+/// were chunked), next() keeps returning lines framed before the overflow,
+/// and the owner is expected to answer with an error frame and close the
+/// connection.
+class LineFramer {
+ public:
+  /// Requests are small; the cap mostly bounds a hostile peer streaming an
+  /// endless unterminated line into server memory. Metrics responses are the
+  /// largest legitimate frames, still far under this.
+  static constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;
+
+  explicit LineFramer(std::size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends bytes and frames any lines they complete. Returns the sticky
+  /// overflow status (Ok until the cap is exceeded).
+  Status feed(std::string_view bytes);
+
+  /// Pops the next complete line into `*line`; false when none is ready.
+  bool next(std::string* line);
+
+  /// Bytes of the still-unterminated trailing line.
+  std::size_t buffered() const { return partial_.size(); }
+
+  /// Ok, or the sticky ResourceExhausted once a line exceeded the cap.
+  const Status& status() const { return status_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string partial_;           ///< bytes after the last '\n' seen
+  std::deque<std::string> ready_; ///< framed, not yet handed out
+  Status status_ = Status::Ok();
+};
+
+enum class Op {
+  kHello,
+  kAudit,
+  kMetrics,
+  kResetSession,
+  kShutdown,
+  // Router-admin ops (shard_router membership; a plain worker answers them
+  // with InvalidArgument). `addr` carries the worker listen address.
+  kAddWorker,
+  kRemoveWorker,
+};
 
 std::string to_string(Op op);
 
@@ -54,6 +106,7 @@ struct WireRequest {
   std::string query;
   std::optional<bool> answer;   ///< present = replayed-log mode
   std::int64_t deadline_ms = 0; ///< relative; 0 = server default
+  std::string addr;             ///< add_worker / remove_worker target
 };
 
 struct WireResponse {

@@ -1,18 +1,23 @@
 #!/bin/sh
 # End-to-end smoke test for the audit service (registered as CTest
-# `service_smoke`): boots audit_server on a Unix socket, fans out 8 concurrent
-# clients x 100 requests each, and checks that
+# `service_smoke_unix` / `service_smoke_tcp`): boots audit_server on the
+# requested transport, fans out 8 concurrent clients x 100 requests each,
+# and checks that
 #   1. every client observes byte-identical verdict sequences,
 #   2. the verdicts (per-disclosure and cumulative) are byte-identical to the
 #      offline auditor's report for the same log (Prop. 3.10 parity),
 #   3. the repeated workload warms the verdict cache (hit count > 0),
 #   4. the server shuts down gracefully on the wire `shutdown` op (exit 0).
-# Usage: service_smoke.sh <audit_server> <audit_client> <audit_cli>
+# Usage: service_smoke.sh <audit_server> <audit_client> <audit_cli> [unix|tcp]
 set -u
 
-server="${1:?usage: service_smoke.sh <audit_server> <audit_client> <audit_cli>}"
+server="${1:?usage: service_smoke.sh <audit_server> <audit_client> <audit_cli> [unix|tcp]}"
 client="${2:?missing audit_client path}"
 cli="${3:?missing audit_cli path}"
+transport="${4:-unix}"
+case "$transport" in unix|tcp) ;; *)
+  echo "FAIL: transport must be unix or tcp, got '$transport'" >&2; exit 1 ;;
+esac
 
 tmp="$(mktemp -d)"
 server_pid=""
@@ -73,17 +78,32 @@ awk '
 [ "$(grep -c '^2	' "$tmp/offline_rows.tsv")" -eq 1 ] \
   || fail "expected 1 offline cumulative row"
 
-"$server" --socket "$sock" --scenario "$tmp/scenario.scn" \
+# unix binds a socket in $tmp; tcp binds port 0 and the resolved port is
+# scraped from the server's "listening on tcp:..." startup line.
+if [ "$transport" = unix ]; then
+  listen="unix:$sock"
+else
+  listen="tcp:127.0.0.1:0"
+fi
+"$server" --listen "$listen" --scenario "$tmp/scenario.scn" \
   > "$tmp/server.out" 2> "$tmp/server.err" &
 server_pid=$!
 
 i=0
-while [ ! -S "$sock" ]; do
+while ! grep -q "listening on" "$tmp/server.out" 2> /dev/null; do
   i=$((i + 1))
-  [ "$i" -gt 100 ] && fail "server socket never appeared"
+  [ "$i" -gt 100 ] && fail "server never reported its listener"
   kill -0 "$server_pid" 2> /dev/null || fail "server died during startup"
   sleep 0.1
 done
+if [ "$transport" = unix ]; then
+  [ -S "$sock" ] || fail "server socket never appeared"
+  connect="unix:$sock"
+else
+  connect="$(sed -n 's/^audit_server: listening on \(tcp:.*\)$/\1/p' \
+    "$tmp/server.out" | head -n 1)"
+  [ -n "$connect" ] || fail "could not scrape the resolved tcp port"
+fi
 
 # 8 concurrent clients, 5 queries x 20 rounds = 100 requests each. Each
 # client owns one user so its cumulative sequence is self-contained.
@@ -92,7 +112,7 @@ while [ "$n" -le 8 ]; do
   (
     awk -v u="user$n" -F'\t' '{ print u "\t" $1 "\t" $2 }' "$tmp/workload.tsv" \
       > "$tmp/workload.$n.tsv"
-    "$client" --socket "$sock" --query-file "$tmp/workload.$n.tsv" --repeat 20 \
+    "$client" --connect "$connect" --query-file "$tmp/workload.$n.tsv" --repeat 20 \
       > "$tmp/client.$n.out" 2> "$tmp/client.$n.err"
     echo $? > "$tmp/client.$n.rc"
   ) &
@@ -157,14 +177,14 @@ got_method="$(printf '%s' "$line5" | cut -f8)"
   || fail "cumulative method: got '$got_method', offline '$want_method'"
 
 # (3) The repeat workload must have warmed the verdict cache.
-"$client" --socket "$sock" --op metrics > "$tmp/metrics.json" \
+"$client" --connect "$connect" --op metrics > "$tmp/metrics.json" \
   || fail "metrics request failed"
 hits="$(sed -n 's/.*"service\.cache\.hits": \([0-9][0-9]*\).*/\1/p' "$tmp/metrics.json")"
 [ -n "$hits" ] || fail "service.cache.hits not found in metrics"
 [ "$hits" -gt 0 ] || fail "verdict cache saw no hits on a repeat workload"
 
 # (4) Graceful shutdown over the wire; the server drains and exits 0.
-"$client" --socket "$sock" --op shutdown > /dev/null || fail "shutdown op failed"
+"$client" --connect "$connect" --op shutdown > /dev/null || fail "shutdown op failed"
 i=0
 while kill -0 "$server_pid" 2> /dev/null; do
   i=$((i + 1))
@@ -175,4 +195,4 @@ grep -q "drained and stopped" "$tmp/server.err" \
   || fail "server did not report a graceful drain"
 server_pid=""
 
-echo "service smoke OK (cache hits: $hits)"
+echo "service smoke OK over $transport (cache hits: $hits)"

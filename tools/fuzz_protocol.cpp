@@ -7,11 +7,14 @@
 // With clang this links against -fsanitize=fuzzer; elsewhere
 // fuzz_replay_main.cpp replays the checked-in corpus (tests/fuzz/protocol)
 // so the smoke test runs under every toolchain.
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "service/protocol.h"
 
@@ -35,8 +38,62 @@ void fuzz_request(const std::string& line) {
   check(again.op == request.op && again.id == request.id &&
             again.user == request.user && again.query == request.query &&
             again.answer == request.answer &&
-            again.deadline_ms == request.deadline_ms,
+            again.deadline_ms == request.deadline_ms &&
+            again.addr == request.addr,
         "request round-trip changed a field");
+}
+
+/// splitmix64: derives deterministic-but-arbitrary chunk sizes from the
+/// input itself, so the corpus explores split points too.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Feeds the same bytes through LineFramer twice — once whole, once cut at
+/// input-derived split points (including 1-byte chunks) — and asserts the
+/// framed lines, the sticky overflow status and the residual byte count all
+/// agree. A small cap makes the ResourceExhausted path reachable from
+/// ordinary corpus entries.
+void fuzz_framer(const std::string& bytes) {
+  constexpr std::size_t kCap = 64;
+  epi::service::LineFramer whole(kCap);
+  (void)whole.feed(bytes);
+  std::vector<std::string> expect;
+  for (std::string line; whole.next(&line);) expect.push_back(line);
+
+  epi::service::LineFramer split(kCap);
+  std::uint64_t state = mix64(bytes.size() + 1);
+  for (const char c : bytes) state = mix64(state ^ static_cast<unsigned char>(c));
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    state = mix64(state);
+    // Chunk sizes 1..17: plenty of single-byte deliveries plus short bursts.
+    const std::size_t len =
+        std::min<std::size_t>(1 + state % 17, bytes.size() - pos);
+    (void)split.feed(std::string_view(bytes).substr(pos, len));
+    pos += len;
+  }
+  std::vector<std::string> got;
+  for (std::string line; split.next(&line);) got.push_back(line);
+
+  check(got == expect, "framed lines depend on the split points");
+  check(split.status().ok() == whole.status().ok(),
+        "overflow status depends on the split points");
+  check(split.buffered() == whole.buffered(),
+        "residual byte count depends on the split points");
+  // Every line the framer yields must frame exactly the bytes between
+  // terminators: re-joining reproduces the consumed prefix.
+  std::size_t consumed = 0;
+  for (const std::string& line : expect) {
+    check(bytes.compare(consumed, line.size(), line) == 0 &&
+              bytes.size() > consumed + line.size() &&
+              bytes[consumed + line.size()] == '\n',
+          "framed line does not match the input bytes");
+    consumed += line.size() + 1;
+  }
 }
 
 void fuzz_response(const std::string& line) {
@@ -62,5 +119,6 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   const std::string line(reinterpret_cast<const char*>(data), size);
   fuzz_request(line);
   fuzz_response(line);
+  fuzz_framer(line);
   return 0;
 }

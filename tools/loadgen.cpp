@@ -1,0 +1,401 @@
+// Open-loop load generator for audit_server / shard_router: sends audit
+// requests on a fixed wall-clock cadence (`--rate` per second) regardless of
+// how fast responses come back, and measures each latency from the request's
+// *intended* send time — the coordinated-omission-safe convention. A server
+// that stalls cannot slow the generator down and thereby hide the stall from
+// the percentiles: queued-behind requests keep their original schedule, so
+// the backlog shows up as tail latency, exactly as real open-loop traffic
+// would experience it.
+//
+// Usage: loadgen --connect unix:PATH|tcp:HOST:PORT [--rate N] [--duration-s N]
+//               [--warmup-s N] [--connections C] [--users U]
+//               [--user-prefix TEXT] [--query TEXT]... [--drain-timeout-s N]
+//               [--json]
+//
+// Each user is pinned to one connection (user index mod C), so per-user
+// disclosure order is preserved end to end — the property the sharded
+// serving tier guarantees — while responses on one connection may interleave
+// across users (a router talks to many workers); matching is by request id,
+// never by arrival order.
+//
+// Text mode prints a percentile table; --json emits the shared
+// bench_json.h schema (axis "loadgen") consumed by tools/bench_compare.py:
+// goodput_per_sec and p50_ns gate in CI, tail percentiles ride along
+// informationally (see TAIL_METRICS in bench_compare.py).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "net/address.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr char kUsage[] =
+    "usage: loadgen --connect unix:PATH|tcp:HOST:PORT [--rate N]\n"
+    "              [--duration-s N] [--warmup-s N] [--connections C]\n"
+    "              [--users U] [--user-prefix TEXT] [--query TEXT]...\n"
+    "              [--drain-timeout-s N]\n"
+    "              [--json]\n"
+    "  --connect ADDR       server or router address (required)\n"
+    "  --rate N             target requests per second (default 1000)\n"
+    "  --duration-s N       measured window in seconds (default 10)\n"
+    "  --warmup-s N         unmeasured warm-up seconds at the same rate\n"
+    "                       (default 1)\n"
+    "  --connections C      client connections (default 2)\n"
+    "  --users U            distinct session keys, pinned to connections\n"
+    "                       (default 8)\n"
+    "  --user-prefix TEXT   session-key prefix (default 'user'; keys are\n"
+    "                       <prefix>0 .. <prefix>U-1)\n"
+    "  --query TEXT         audit query (repeatable, cycled; default\n"
+    "                       'bob_hiv' for the built-in demo scenario)\n"
+    "  --drain-timeout-s N  wait this long after the last send for\n"
+    "                       straggler responses (default 10)\n"
+    "  --json               emit the bench_json.h schema instead of text\n";
+
+struct Options {
+  std::string connect_spec;
+  long rate = 1000;
+  long duration_s = 10;
+  long warmup_s = 1;
+  long connections = 2;
+  long users = 8;
+  std::string user_prefix = "user";
+  long drain_timeout_s = 10;
+  std::vector<std::string> queries;
+  bool json = false;
+  bool help = false;
+};
+
+epi::Status parse_args(int argc, char** argv, Options* out) {
+  auto next_value = [&](int& i, const char* flag, const char** value) {
+    if (i + 1 >= argc) {
+      return epi::Status::InvalidArgument(std::string(flag) + " needs a value");
+    }
+    *value = argv[++i];
+    return epi::Status::Ok();
+  };
+  auto next_count = [&](int& i, const char* flag, long* value, long min) {
+    const char* text = nullptr;
+    if (const epi::Status s = next_value(i, flag, &text); !s.ok()) return s;
+    char* end = nullptr;
+    *value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || *value < min) {
+      return epi::Status::InvalidArgument(std::string(flag) +
+                                          " needs an integer >= " +
+                                          std::to_string(min));
+    }
+    return epi::Status::Ok();
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      out->help = true;
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      if (const epi::Status s = next_value(i, "--connect", &value); !s.ok())
+        return s;
+      out->connect_spec = value;
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      if (const epi::Status s = next_count(i, "--rate", &out->rate, 1); !s.ok())
+        return s;
+    } else if (std::strcmp(argv[i], "--duration-s") == 0) {
+      if (const epi::Status s = next_count(i, "--duration-s", &out->duration_s, 1);
+          !s.ok())
+        return s;
+    } else if (std::strcmp(argv[i], "--warmup-s") == 0) {
+      if (const epi::Status s = next_count(i, "--warmup-s", &out->warmup_s, 0);
+          !s.ok())
+        return s;
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      if (const epi::Status s =
+              next_count(i, "--connections", &out->connections, 1);
+          !s.ok())
+        return s;
+    } else if (std::strcmp(argv[i], "--users") == 0) {
+      if (const epi::Status s = next_count(i, "--users", &out->users, 1); !s.ok())
+        return s;
+    } else if (std::strcmp(argv[i], "--user-prefix") == 0) {
+      if (const epi::Status s = next_value(i, "--user-prefix", &value); !s.ok())
+        return s;
+      out->user_prefix = value;
+    } else if (std::strcmp(argv[i], "--drain-timeout-s") == 0) {
+      if (const epi::Status s =
+              next_count(i, "--drain-timeout-s", &out->drain_timeout_s, 1);
+          !s.ok())
+        return s;
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      if (const epi::Status s = next_value(i, "--query", &value); !s.ok())
+        return s;
+      out->queries.push_back(value);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      out->json = true;
+    } else {
+      return epi::Status::InvalidArgument(std::string("unknown flag '") +
+                                          argv[i] + "'");
+    }
+  }
+  if (!out->help && out->connect_spec.empty()) {
+    return epi::Status::InvalidArgument("--connect is required");
+  }
+  if (out->queries.empty()) out->queries.push_back("bob_hiv");
+  return epi::Status::Ok();
+}
+
+/// One client connection: the sender records each request's intended time
+/// under the mutex; the reader matches responses by id (a router interleaves
+/// users on one connection, so arrival order proves nothing).
+struct Conn {
+  int fd = -1;
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, Clock::time_point> intended;
+  std::thread reader;
+};
+
+struct Tally {
+  std::mutex mu;
+  std::vector<std::int64_t> latencies_ns;  ///< measured-window ok responses
+  std::uint64_t errors = 0;                ///< measured-window !ok responses
+  std::atomic<std::uint64_t> completed{0};  ///< all responses, any window
+  std::condition_variable all_done;
+};
+
+void reader_loop(Conn* conn, Tally* tally, std::uint64_t measure_start_id,
+                 std::uint64_t expected_total) {
+  epi::service::LineFramer framer;
+  char chunk[65536];
+  std::string line;
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) return;  // server closed (or main shut the socket down)
+    if (!framer.feed(std::string_view(chunk, static_cast<std::size_t>(n))).ok())
+      return;
+    while (framer.next(&line)) {
+      const Clock::time_point now = Clock::now();
+      epi::service::WireResponse response;
+      if (!parse_response(line, &response).ok()) continue;
+      Clock::time_point intended;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        auto it = conn->intended.find(response.id);
+        if (it == conn->intended.end()) continue;  // duplicate / unknown id
+        intended = it->second;
+        conn->intended.erase(it);
+      }
+      if (response.id >= measure_start_id) {
+        std::lock_guard<std::mutex> lock(tally->mu);
+        if (response.ok) {
+          tally->latencies_ns.push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                   intended)
+                  .count());
+        } else {
+          ++tally->errors;
+        }
+      }
+      if (tally->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          expected_total) {
+        tally->all_done.notify_all();
+      }
+    }
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::int64_t percentile(const std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+epi::Status run(const Options& options, int* exit_code) {
+  epi::net::Address addr;
+  if (const epi::Status s = epi::net::parse_address(options.connect_spec, &addr);
+      !s.ok()) {
+    return s;
+  }
+
+  const std::uint64_t warmup_total =
+      static_cast<std::uint64_t>(options.rate) *
+      static_cast<std::uint64_t>(options.warmup_s);
+  const std::uint64_t measured_total =
+      static_cast<std::uint64_t>(options.rate) *
+      static_cast<std::uint64_t>(options.duration_s);
+  const std::uint64_t total = warmup_total + measured_total;
+  const std::uint64_t measure_start_id = warmup_total + 1;  // ids are 1-based
+
+  std::vector<std::unique_ptr<Conn>> conns;
+  Tally tally;
+  for (long c = 0; c < options.connections; ++c) {
+    auto conn = std::make_unique<Conn>();
+    if (const epi::Status s = epi::net::connect_to(addr, &conn->fd); !s.ok()) {
+      for (auto& open : conns) ::shutdown(open->fd, SHUT_RDWR);
+      for (auto& open : conns) {
+        if (open->reader.joinable()) open->reader.join();
+        ::close(open->fd);
+      }
+      return s;
+    }
+    conn->reader = std::thread(reader_loop, conn.get(), &tally,
+                               measure_start_id, total);
+    conns.push_back(std::move(conn));
+  }
+
+  // The open loop: request k's intended time is t0 + k/rate, independent of
+  // every response. Falling behind (a blocking send under backpressure) is
+  // never "made up" by rescheduling — late sends inherit late latencies.
+  const Clock::time_point t0 = Clock::now();
+  const std::chrono::nanoseconds step{1000000000ll / options.rate};
+  bool transport_ok = true;
+  for (std::uint64_t k = 0; k < total && transport_ok; ++k) {
+    const Clock::time_point intended = t0 + step * k;
+    std::this_thread::sleep_until(intended);
+    const std::uint64_t user_idx =
+        k % static_cast<std::uint64_t>(options.users);
+    Conn& conn =
+        *conns[user_idx % static_cast<std::uint64_t>(options.connections)];
+    epi::service::WireRequest request;
+    request.op = epi::service::Op::kAudit;
+    request.id = k + 1;
+    request.user = options.user_prefix + std::to_string(user_idx);
+    request.query = options.queries[k % options.queries.size()];
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      conn.intended.emplace(request.id, intended);
+    }
+    transport_ok = send_all(conn.fd, serialize_request(request) + "\n");
+  }
+
+  // Drain stragglers, then unblock the readers.
+  {
+    std::mutex wait_mu;
+    std::unique_lock<std::mutex> lock(wait_mu);
+    tally.all_done.wait_for(
+        lock, std::chrono::seconds(options.drain_timeout_s), [&] {
+          return tally.completed.load(std::memory_order_acquire) >= total;
+        });
+  }
+  for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+  for (auto& conn : conns) {
+    conn->reader.join();
+    ::close(conn->fd);
+  }
+  if (!transport_ok) {
+    return epi::Status::Unavailable("transport failed mid-run (server gone?)");
+  }
+
+  std::vector<std::int64_t> latencies;
+  std::uint64_t errors = 0;
+  {
+    std::lock_guard<std::mutex> lock(tally.mu);
+    latencies = std::move(tally.latencies_ns);
+    errors = tally.errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::uint64_t lost = measured_total - latencies.size() - errors;
+  const double goodput = static_cast<double>(latencies.size()) /
+                         static_cast<double>(options.duration_s);
+  const double error_pct =
+      100.0 * static_cast<double>(errors + lost) /
+      static_cast<double>(measured_total ? measured_total : 1);
+  const std::int64_t p50 = percentile(latencies, 0.50);
+  const std::int64_t p95 = percentile(latencies, 0.95);
+  const std::int64_t p99 = percentile(latencies, 0.99);
+  const std::int64_t p999 = percentile(latencies, 0.999);
+  const char* transport =
+      addr.kind == epi::net::Address::Kind::kUnix ? "unix" : "tcp";
+
+  if (options.json) {
+    epi::bench::JsonReport report("loadgen");
+    report.row("loadgen")
+        .field("transport", transport)
+        .field("connections", static_cast<std::int64_t>(options.connections))
+        .field("users", static_cast<std::int64_t>(options.users))
+        .field("target_rate", static_cast<std::int64_t>(options.rate))
+        .field("goodput_per_sec", goodput, 0)
+        .field("p50_ns", static_cast<double>(p50), 0)
+        .field("p95_ns", static_cast<double>(p95), 0)
+        .field("p99_ns", static_cast<double>(p99), 0)
+        .field("p999_ns", static_cast<double>(p999), 0)
+        .field("error_pct", error_pct);
+    report.print();
+  } else {
+    std::printf("loadgen: %s, %ld conns, %ld users, target %ld req/s for %lds "
+                "(+%lds warmup)\n",
+                options.connect_spec.c_str(), options.connections,
+                options.users, options.rate, options.duration_s,
+                options.warmup_s);
+    std::printf("  goodput   %10.0f req/s\n", goodput);
+    std::printf("  p50       %10.3f ms\n", static_cast<double>(p50) / 1e6);
+    std::printf("  p95       %10.3f ms\n", static_cast<double>(p95) / 1e6);
+    std::printf("  p99       %10.3f ms\n", static_cast<double>(p99) / 1e6);
+    std::printf("  p99.9     %10.3f ms\n", static_cast<double>(p999) / 1e6);
+    std::printf("  errors    %10llu  lost %llu  (%.2f%%)\n",
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(lost), error_pct);
+  }
+  // Lost responses mean the measurement is untrustworthy, not just slow.
+  *exit_code = lost > 0 ? 1 : 0;
+  return epi::Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (const epi::Status s = parse_args(argc, argv, &options); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.to_string().c_str(), kUsage);
+    return 2;
+  }
+  if (options.help) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  int exit_code = 0;
+  epi::Status status = epi::Status::Ok();
+  try {
+    status = run(options, &exit_code);
+  } catch (const std::exception& e) {
+    status = epi::Status::Internal(e.what());
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 1;
+  }
+  return exit_code;
+}
