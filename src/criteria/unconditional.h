@@ -11,6 +11,13 @@ namespace epi {
 /// probabilistic case), A is private given B iff A ∩ B = {} or A ∪ B = Omega.
 /// Remark 3.12: when omega* in A∩B (the practically interesting case), this
 /// reduces to testing whether "A or B" is a tautology.
+///
+/// The two disjuncts behave differently under session composition
+/// (Prop. 3.10, B only shrinks): A ∩ B = {} survives every further
+/// intersection of B, while A ∪ B = Omega can stop holding. The engine's
+/// UnrestrictedStage tests them separately so the first can pin the
+/// session-long Safe verdict (DESIGN.md §11); this combined form stays the
+/// single-audit surface.
 bool unconditionally_safe(const WorldSet& a, const WorldSet& b);
 
 /// Theorem 3.11, second part: possibilistic privacy when the auditor knows

@@ -82,13 +82,20 @@ void AuditContext::prepare_subcube(const WorldSet& a) {
     throw std::logic_error("AuditContext::prepare_subcube: no interval oracle");
   }
   prepared_a_ = a;
-  prepared_ = oracle_->prepare(to_finite(a));
+  prepared_ = std::make_shared<const IntervalOracle::PreparedAudit>(
+      oracle_->prepare(to_finite(a)));
 }
 
 const IntervalOracle::PreparedAudit* AuditContext::prepared_for(
     const WorldSet& a) const {
   if (!prepared_ || !prepared_a_ || *prepared_a_ != a) return nullptr;
-  return &*prepared_;
+  return prepared_.get();
+}
+
+std::shared_ptr<const IntervalOracle::PreparedAudit>
+AuditContext::shared_prepared_for(const WorldSet& a) const {
+  if (!prepared_ || !prepared_a_ || *prepared_a_ != a) return nullptr;
+  return prepared_;
 }
 
 void AuditContext::reset_stages(const std::vector<std::string>& names) {

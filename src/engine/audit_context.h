@@ -77,6 +77,12 @@ class AuditContext {
   void prepare_subcube(const WorldSet& a);
   /// The prepared structure when one was built for exactly this A.
   const IntervalOracle::PreparedAudit* prepared_for(const WorldSet& a) const;
+  /// Owning variant of prepared_for, for state that must outlive this
+  /// context (per-session incremental stage state survives worker-context
+  /// rebuilds; see engine/incremental.h). Null on mismatch, like
+  /// prepared_for.
+  std::shared_ptr<const IntervalOracle::PreparedAudit> shared_prepared_for(
+      const WorldSet& a) const;
 
   // --- Per-stage counters --------------------------------------------------
   /// Installs one counter triplet per stage in the metrics registry; must be
@@ -123,7 +129,7 @@ class AuditContext {
 
   std::shared_ptr<IntervalOracle> oracle_;
   std::optional<WorldSet> prepared_a_;
-  std::optional<IntervalOracle::PreparedAudit> prepared_;
+  std::shared_ptr<const IntervalOracle::PreparedAudit> prepared_;
 
   std::vector<std::string> stage_names_;
   std::vector<StageSlot> stage_slots_;

@@ -5,6 +5,7 @@
 // pair or passes it down the cascade.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,6 +18,18 @@
 namespace epi {
 
 class AuditContext;
+
+/// Opaque per-(session, stage) state for delta-evaluation. A stage that can
+/// re-derive its machinery incrementally under shrinking disclosure sets
+/// (Def. 3.9 composition only ever intersects) returns one of these from
+/// make_incremental_state() and updates it in decide_delta(). The engine
+/// stores the state in the caller's IncrementalContext; it is only ever
+/// touched under the owning session's mutex, so implementations need no
+/// internal synchronization.
+class StageIncrementalState {
+ public:
+  virtual ~StageIncrementalState() = default;
+};
 
 /// What one stage reports back. verdict == kUnknown means "cannot decide,
 /// cascade to the next stage"; numeric_gap is meaningful either way (the
@@ -33,6 +46,13 @@ struct StageDecision {
   /// ...or a general distribution, described by `detail` directly.
   std::optional<Distribution> witness_distribution;
   std::string detail;  ///< human-readable witness description
+  /// Monotone under disclosure composition: the decision (verdict, method,
+  /// certified, detail — every byte) is guaranteed to recur for (A, B') for
+  /// every B' ⊆ B. Example: once A ∩ B = ∅, any further intersection keeps
+  /// A ∩ B' = ∅, so Theorem 3.11 keeps answering Safe the same way. The
+  /// engine uses this to pin a session's verdict so later disclosures cost
+  /// O(1); stages must only set it when the byte-identity guarantee is real.
+  bool monotone = false;
 };
 
 /// The engine's final answer for one (A, B) pair. The Auditor turns this
@@ -69,6 +89,30 @@ class CriterionStage {
   /// Decides Safe(A, B) or returns verdict kUnknown to cascade.
   virtual StageDecision decide(const WorldSet& a, const WorldSet& b,
                                AuditContext& ctx) const = 0;
+
+  /// Delta-evaluation opt-in. A stage that can maintain its derived
+  /// structures across a session's shrinking disclosure sets returns a
+  /// fresh state here; the default (nullptr) keeps the stage on the plain
+  /// decide() path. Called lazily, at most once per (session, stage), with
+  /// the same (projected / densified) sets decide() would see.
+  virtual std::unique_ptr<StageIncrementalState> make_incremental_state(
+      const WorldSet& a, const WorldSet& b, AuditContext& ctx) const {
+    (void)a;
+    (void)b;
+    (void)ctx;
+    return nullptr;
+  }
+
+  /// Decides Safe(A, B) updating `state` from the previous disclosure set to
+  /// B (which, on the session path, only ever shrinks). Must return exactly
+  /// the bytes decide() would — decide_delta is an optimization, never a
+  /// semantic fork. Only called with a state this stage created.
+  virtual StageDecision decide_delta(const WorldSet& a, const WorldSet& b,
+                                     StageIncrementalState& state,
+                                     AuditContext& ctx) const {
+    (void)state;
+    return decide(a, b, ctx);
+  }
 };
 
 }  // namespace epi

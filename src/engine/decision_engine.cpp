@@ -135,7 +135,55 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
     if (span.live()) span.attr("memo", "hit");
     return *memo;
   }
+  CascadeResult r = run_cascade(a, b, ctx, /*inc=*/nullptr);
+  if (span.live()) {
+    span.attr("verdict", to_string(r.decision.verdict));
+    span.attr("method", r.decision.method);
+  }
+  ctx.memoize(a, b, r.decision);
+  return r.decision;
+}
 
+EngineDecision DecisionEngine::decide_incremental(const WorldSet& a,
+                                                  const WorldSet& s,
+                                                  IncrementalContext& inc,
+                                                  AuditContext& ctx) const {
+  obs::ScopedSpan span("engine.decide.incremental");
+  if (inc.valid && inc.pinned) {
+    inc.last_mode = IncrementalContext::Mode::kPinned;
+    ++inc.served_pinned;
+    if (span.live()) span.attr("mode", "pinned");
+    return inc.last;
+  }
+  if (inc.valid && !inc.dirty) {
+    inc.last_mode = IncrementalContext::Mode::kUnchanged;
+    ++inc.served_unchanged;
+    if (span.live()) span.attr("mode", "unchanged");
+    return inc.last;
+  }
+  if (inc.stage_states.size() != stages_.size()) {
+    inc.stage_states.clear();
+    inc.stage_states.resize(stages_.size());
+    inc.probed.assign(stages_.size(), false);
+  }
+  CascadeResult r = run_cascade(a, s, ctx, &inc);
+  inc.last = r.decision;
+  inc.valid = true;
+  inc.dirty = false;
+  inc.pinned = r.monotone;
+  inc.last_mode = IncrementalContext::Mode::kEvaluated;
+  ++inc.evaluations;
+  if (span.live()) {
+    span.attr("mode", "evaluated");
+    span.attr("verdict", to_string(inc.last.verdict));
+    span.attr("method", inc.last.method);
+  }
+  return inc.last;
+}
+
+DecisionEngine::CascadeResult DecisionEngine::run_cascade(
+    const WorldSet& a, const WorldSet& b, AuditContext& ctx,
+    IncrementalContext* inc) const {
   const WorldSet* wa = &a;
   const WorldSet* wb = &b;
 
@@ -169,9 +217,11 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
     }
   }
 
-  EngineDecision result;
+  CascadeResult out;
+  EngineDecision& result = out.decision;
   double numeric_gap = 0.0;
   bool decided = false;
+  bool invoked_before = false;
   for (std::size_t i = 0; i < stages_.size() && !decided; ++i) {
     const CriterionStage& stage = *stages_[i];
     if (!stage.applicable(*wa, *wb, ctx)) continue;
@@ -182,7 +232,16 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
       stage_span.emplace("engine.stage." + std::string(stage.name()));
     }
     const auto t0 = std::chrono::steady_clock::now();
-    StageDecision d = stage.decide(*wa, *wb, ctx);
+    StageIncrementalState* state = nullptr;
+    if (inc != nullptr) {
+      if (!inc->probed[i]) {
+        inc->probed[i] = true;
+        inc->stage_states[i] = stage.make_incremental_state(*wa, *wb, ctx);
+      }
+      state = inc->stage_states[i].get();
+    }
+    StageDecision d = state ? stage.decide_delta(*wa, *wb, *state, ctx)
+                            : stage.decide(*wa, *wb, ctx);
     const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
@@ -192,8 +251,15 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
                        d.verdict != Verdict::kUnknown ? "true" : "false");
     }
     if (d.numeric_gap > numeric_gap) numeric_gap = d.numeric_gap;
-    if (d.verdict == Verdict::kUnknown) continue;
+    if (d.verdict == Verdict::kUnknown) {
+      invoked_before = true;
+      continue;
+    }
     decided = true;
+    // A monotone decision may only be pinned when no earlier stage was
+    // invoked (an earlier kUnknown might decide differently for a smaller S)
+    // and no projection prefix ties the method string to this S.
+    out.monotone = d.monotone && !invoked_before && prefix.empty();
     result.verdict = d.verdict;
     result.method = prefix + d.method;
     result.certified = d.certified;
@@ -211,12 +277,7 @@ EngineDecision DecisionEngine::decide(const WorldSet& a, const WorldSet& b,
     result.certified = false;
   }
   result.numeric_gap = numeric_gap;
-  if (span.live()) {
-    span.attr("verdict", to_string(result.verdict));
-    span.attr("method", result.method);
-  }
-  ctx.memoize(a, b, result);
-  return result;
+  return out;
 }
 
 std::vector<EngineDecision> DecisionEngine::decide_many(

@@ -13,6 +13,7 @@
 
 #include "engine/audit_context.h"
 #include "engine/criterion_stage.h"
+#include "engine/incremental.h"
 #include "engine/thread_pool.h"
 #include "optimize/emptiness.h"
 #include "util/status.h"
@@ -93,6 +94,21 @@ class DecisionEngine {
   EngineDecision decide(const WorldSet& a, const WorldSet& b,
                         AuditContext& ctx) const;
 
+  /// Streaming-session variant of decide(): decides Safe(A, S) for the
+  /// session's accumulated set S, serving or updating the per-session
+  /// `inc` state (see engine/incremental.h). Three tiers, cheapest first:
+  /// a pinned monotone decision is returned untouched; an unchanged S
+  /// (inc.dirty false) returns the recorded decision; otherwise the cascade
+  /// runs with delta-evaluation for stages that support it, and the result
+  /// is recorded (and pinned when the deciding stage reported monotone and
+  /// ran first). Decisions are byte-identical to decide() for the same
+  /// (A, S); this path skips the (A, B)-pair memo and its hashing — the
+  /// session state *is* the memo. `inc` must be externally serialized (the
+  /// service holds the session mutex).
+  EngineDecision decide_incremental(const WorldSet& a, const WorldSet& s,
+                                    IncrementalContext& inc,
+                                    AuditContext& ctx) const;
+
   /// Batch sweep: decides A against every set in `bs` in one pass, writing
   /// decisions[i] for bs[i]. With a pool the pairs fan out across its
   /// workers (index-slot writes, so results — and, because decide() memoizes
@@ -104,7 +120,22 @@ class DecisionEngine {
                                           ThreadPool* pool = nullptr) const;
 
  private:
+  /// run_cascade's answer plus whether it may be pinned for every S' ⊆ S.
+  struct CascadeResult {
+    EngineDecision decision;
+    /// The deciding stage reported StageDecision::monotone, no earlier
+    /// stage was invoked (an earlier kUnknown could flip for smaller S),
+    /// and no projection prefix depends on S.
+    bool monotone = false;
+  };
+
   void build_stages();
+
+  /// The shared densify → project → stage-loop body behind decide() and
+  /// decide_incremental() — one code path so the two stay byte-identical by
+  /// construction. With `inc` set, stages may carry per-session delta state.
+  CascadeResult run_cascade(const WorldSet& a, const WorldSet& b,
+                            AuditContext& ctx, IncrementalContext* inc) const;
 
   unsigned records_;
   PriorAssumption prior_;

@@ -1,0 +1,15 @@
+#include "engine/incremental.h"
+
+namespace epi {
+
+void IncrementalContext::invalidate() {
+  valid = false;
+  dirty = false;
+  pinned = false;
+  last = EngineDecision{};
+  stage_states.clear();
+  probed.clear();
+  last_mode = Mode::kNone;
+}
+
+}  // namespace epi

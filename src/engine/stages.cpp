@@ -53,7 +53,14 @@ class UnrestrictedStage : public CriterionStage {
     StageDecision d;
     d.method = "theorem-3.11";
     d.certified = true;
-    if (unconditionally_safe(a, b)) {
+    // unconditionally_safe(a, b) split into its two Thm. 3.11 disjuncts so
+    // the first can be flagged monotone: A ∩ B = ∅ survives any further
+    // intersection of B (Prop. 3.10 composition), while A ∪ B = Ω does not.
+    // Same tests, same order, identical decisions.
+    if (a.disjoint_with(b)) {
+      d.verdict = Verdict::kSafe;
+      d.monotone = true;
+    } else if (union_is_universe(a, b)) {
       d.verdict = Verdict::kSafe;
     } else if (a.symbolic() || b.symbolic()) {
       // Same two-point witness as below, but Distribution is a dense 2^n
@@ -161,6 +168,47 @@ class SubcubeIntervalStage : public CriterionStage {
     if (!safe) {
       d.detail = "a user knowing some records' exact contents learns A";
     }
+    return d;
+  }
+
+  /// Session state: the Δ-class counters of Corollary 4.12, maintained
+  /// incrementally as S shrinks (see IntervalOracle::IncrementalSafe).
+  /// Only offered when the context has Delta classes prepared for exactly
+  /// this A — the shared_ptr keeps them alive across worker-context
+  /// rebuilds — so the delta path reproduces the "(prepared)" method
+  /// string byte for byte.
+  struct State : StageIncrementalState {
+    explicit State(std::shared_ptr<const IntervalOracle::PreparedAudit> p)
+        : index(std::move(p)) {}
+    IntervalOracle::IncrementalSafe index;
+  };
+
+  std::unique_ptr<StageIncrementalState> make_incremental_state(
+      const WorldSet& a, const WorldSet&, AuditContext& ctx) const override {
+    std::shared_ptr<const IntervalOracle::PreparedAudit> prepared =
+        ctx.shared_prepared_for(a);
+    if (!prepared) return nullptr;
+    return std::make_unique<State>(std::move(prepared));
+  }
+
+  StageDecision decide_delta(const WorldSet&, const WorldSet& b,
+                             StageIncrementalState& state,
+                             AuditContext&) const override {
+    IntervalOracle::IncrementalSafe& index =
+        static_cast<State&>(state).index;
+    const FiniteSet s = to_finite(b);
+    if (!index.initialized() || !index.shrink_to(s)) index.reset(s);
+    StageDecision d;
+    d.certified = true;
+    d.method = "subcube-intervals(prepared)";
+    const bool safe = index.safe();
+    d.verdict = safe ? Verdict::kSafe : Verdict::kUnsafe;
+    if (!safe) {
+      d.detail = "a user knowing some records' exact contents learns A";
+    }
+    // A ∩ S = ∅ is absorbing under composition: Cor. 4.12 quantifies over
+    // w1 ∈ A ∩ S, so the Safe decision is byte-identical for every S' ⊆ S.
+    d.monotone = safe && index.active_empty();
     return d;
   }
 };

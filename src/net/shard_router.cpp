@@ -257,13 +257,9 @@ void ShardRouter::start_replay(const std::string& user, SessionState& state,
   f.user = user;
   up->fifo.push_back(f);
 
-  for (const auto& [query, answer] : state.log) {
-    WireRequest audit;
-    audit.op = Op::kAudit;
-    audit.user = user;
-    audit.query = query;
-    audit.answer = answer;  // replayed-log mode: the recorded disclosure
-    loop_->send_line(up->conn, serialize_request(audit));
+  for (const LogEntry& entry : state.log) {
+    // Serialized once at ack time; replay is a verbatim byte send.
+    loop_->send_line(up->conn, entry.replay_frame);
     up->fifo.push_back(f);
   }
 }
@@ -468,8 +464,19 @@ void ShardRouter::handle_upstream_line(Upstream& upstream,
         if (f.kind == Forward::Kind::kReset) {
           s.log.clear();
         } else if (!response.denied) {
-          // An acked successful disclosure: this is the replay script.
-          s.log.emplace_back(f.request.query, response.answer);
+          // An acked successful disclosure: this is the replay script. The
+          // replayed-log frame is built and serialized here, once, so every
+          // future rebalance replays it as stored bytes.
+          LogEntry entry;
+          entry.query = f.request.query;
+          entry.answer = response.answer;
+          WireRequest replay;
+          replay.op = Op::kAudit;
+          replay.user = f.user;
+          replay.query = entry.query;
+          replay.answer = entry.answer;
+          entry.replay_frame = serialize_request(replay);
+          s.log.push_back(std::move(entry));
         }
       }
       if (s.rebalance_pending && s.in_flight == 0) {

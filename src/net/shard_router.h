@@ -121,11 +121,23 @@ class ShardRouter : public EventLoop::Handler {
     service::WireRequest request;
   };
 
+  /// One acked successful disclosure in a session's replay script. The
+  /// replayed-log frame (reset-free audit with the recorded answer) is
+  /// serialized exactly once, at ack time: a membership change used to
+  /// rebuild and re-serialize every logged query per rebalance, so a hot
+  /// ring paid O(log length) serializations per move — now replay is a
+  /// verbatim byte send per entry.
+  struct LogEntry {
+    std::string query;
+    bool answer = false;
+    std::string replay_frame;  ///< serialize_request of the replay WireRequest
+  };
+
   /// Everything the router knows about one user's session.
   struct SessionState {
     std::string owner;  ///< upstream key; empty = unassigned
     /// Acked successful disclosures, in order: the replay script.
-    std::vector<std::pair<std::string, bool>> log;
+    std::vector<LogEntry> log;
     std::size_t in_flight = 0;  ///< un-acked client jobs at `owner`
     bool replaying = false;
     std::size_t replay_outstanding = 0;

@@ -194,4 +194,82 @@ std::size_t IntervalOracle::PreparedAudit::class_count() const {
   return total;
 }
 
+IntervalOracle::IncrementalSafe::IncrementalSafe(
+    std::shared_ptr<const PreparedAudit> prepared)
+    : prepared_(std::move(prepared)) {
+  if (!prepared_) {
+    throw std::invalid_argument("IncrementalSafe: null prepared audit");
+  }
+  const FiniteSet& a = prepared_->audit_set();
+  const std::size_t m = a.universe_size();
+  first_class_.assign(m, 0);
+  class_count_.assign(m, 0);
+  inverted_.assign(m, {});
+  a.visit([&](std::size_t w1) {
+    first_class_[w1] = owner_.size();
+    const std::vector<FiniteSet>& classes = prepared_->classes(w1);
+    class_count_[w1] = classes.size();
+    for (const FiniteSet& cls : classes) {
+      const std::size_t c = owner_.size();
+      owner_.push_back(w1);
+      cls.visit([&](std::size_t e) {
+        inverted_[e].push_back(static_cast<std::uint32_t>(c));
+      });
+    }
+  });
+}
+
+void IntervalOracle::IncrementalSafe::reset(const FiniteSet& s) {
+  const FiniteSet& a = prepared_->audit_set();
+  if (s.universe_size() != a.universe_size()) {
+    throw std::invalid_argument("IncrementalSafe: mismatched universes");
+  }
+  counts_.assign(owner_.size(), 0);
+  zero_classes_.assign(a.universe_size(), 0);
+  active_.assign(a.universe_size(), 0);
+  active_count_ = 0;
+  violating_ = 0;
+  a.visit([&](std::size_t w1) {
+    if (s.contains(w1)) {
+      active_[w1] = 1;
+      ++active_count_;
+    }
+    const std::vector<FiniteSet>& classes = prepared_->classes(w1);
+    for (std::size_t k = 0; k < classes.size(); ++k) {
+      const std::size_t c = first_class_[w1] + k;
+      counts_[c] = intersection_count(classes[k], s);
+      if (counts_[c] == 0) ++zero_classes_[w1];
+    }
+    if (active_[w1] && zero_classes_[w1] > 0) ++violating_;
+  });
+  current_ = s;
+}
+
+bool IntervalOracle::IncrementalSafe::shrink_to(const FiniteSet& s) {
+  if (!current_ || !s.subset_of(*current_)) return false;
+  if (s == *current_) return true;
+  const FiniteSet& a = prepared_->audit_set();
+  const FiniteSet removed = *current_ - s;
+  removed.visit([&](std::size_t e) {
+    // e left S. Delta classes live in Omega − A and activity tracks A ∩ S,
+    // so exactly one of the two branches applies.
+    if (a.contains(e)) {
+      if (active_[e]) {
+        active_[e] = 0;
+        --active_count_;
+        if (zero_classes_[e] > 0) --violating_;
+      }
+      return;
+    }
+    for (const std::uint32_t c : inverted_[e]) {
+      if (--counts_[c] == 0) {
+        const std::size_t w1 = owner_[c];
+        if (++zero_classes_[w1] == 1 && active_[w1]) ++violating_;
+      }
+    }
+  });
+  current_ = s;
+  return true;
+}
+
 }  // namespace epi

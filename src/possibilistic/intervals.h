@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -71,6 +72,13 @@ class IntervalOracle {
     /// Total number of stored equivalence classes (for reporting).
     std::size_t class_count() const;
 
+    /// The audit query the structure was prepared for.
+    const FiniteSet& audit_set() const { return a_; }
+    /// Delta_K(Omega − A, w) for w ∈ A (empty for worlds outside A).
+    const std::vector<FiniteSet>& classes(std::size_t w) const {
+      return classes_[w];
+    }
+
    private:
     friend class IntervalOracle;
     explicit PreparedAudit(FiniteSet a) : a_(std::move(a)) {}
@@ -81,6 +89,66 @@ class IntervalOracle {
 
   /// Builds the precomputed audit structure for audit query A.
   PreparedAudit prepare(const FiniteSet& a) const;
+
+  /// Incrementally-maintained Corollary 4.12 test against a *shrinking*
+  /// disclosure set — the streaming-session shape, where each absorbed
+  /// disclosure only intersects S (Prop. 3.10). Where PreparedAudit::safe
+  /// rescans every w1 ∈ A ∩ S and every Δ-class per call, this keeps
+  ///
+  ///   counts[c]       = |Δ-class c ∩ S|        (flattened over all w1)
+  ///   zero_classes[w] = #{classes of w1=w with empty intersection}
+  ///   violating       = #{w1 ∈ A ∩ S with zero_classes > 0}
+  ///
+  /// and updates them from an inverted world → classes index in
+  /// O(|S − S'| × degree) per shrink. safe() is then O(1):
+  /// Safe_K(A, S) ⇔ violating == 0 (some active w1 has a class disjoint
+  /// with S exactly when it is counted in `violating`). Δ-classes live in
+  /// Ω − A while activity tracks A ∩ S, so the two update paths never
+  /// interact. Not thread-safe; callers serialize (the service does, under
+  /// the session mutex).
+  class IncrementalSafe {
+   public:
+    /// Keeps `prepared` alive for the index's lifetime.
+    explicit IncrementalSafe(
+        std::shared_ptr<const PreparedAudit> prepared);
+
+    /// Re-derives every counter for disclosure set `s` from scratch —
+    /// O(total class size). Used on first sight of a session's S and as
+    /// the fallback when shrink_to is handed a non-subset.
+    void reset(const FiniteSet& s);
+
+    /// Updates the counters from the current set to `s`. Requires s ⊆
+    /// current (returns false without touching anything otherwise — the
+    /// caller then reset()s); cost is linear in the removed worlds times
+    /// their class degree.
+    bool shrink_to(const FiniteSet& s);
+
+    bool initialized() const { return current_.has_value(); }
+    const FiniteSet& current() const { return *current_; }
+
+    /// Corollary 4.12 for (A, current): true iff no active w1 has a
+    /// Δ-class disjoint with the current set.
+    bool safe() const { return violating_ == 0; }
+    /// |A ∩ current| == 0 — the absorbing case: once A and S are disjoint
+    /// they stay disjoint under further intersection, so safe() is pinned.
+    bool active_empty() const { return active_count_ == 0; }
+
+   private:
+    std::shared_ptr<const PreparedAudit> prepared_;
+    /// Flattened class layout: class c belongs to world owner_[c]; the
+    /// inverted index lists, per world e ∈ Ω − A, every class containing e.
+    std::vector<std::size_t> owner_;
+    std::vector<std::vector<std::uint32_t>> inverted_;
+    std::vector<std::size_t> first_class_;  ///< per-world flat range start
+    std::vector<std::size_t> class_count_;  ///< per-world class count
+
+    std::optional<FiniteSet> current_;
+    std::vector<std::size_t> counts_;        ///< |class ∩ current|
+    std::vector<std::size_t> zero_classes_;  ///< per w1 ∈ A
+    std::vector<char> active_;               ///< w1 ∈ A ∩ current
+    std::size_t active_count_ = 0;
+    std::size_t violating_ = 0;
+  };
 
  private:
   std::shared_ptr<const SigmaFamily> sigma_;

@@ -131,6 +131,12 @@ AuditService::AuditService(std::shared_ptr<Scenario> scenario,
       queue_depth_(&metrics_.counter("service.queue.depth")),
       sessions_created_(&metrics_.counter("service.sessions.created")),
       reloads_(&metrics_.counter("service.reloads")),
+      incremental_pinned_(&metrics_.counter("service.incremental.pinned")),
+      incremental_unchanged_(
+          &metrics_.counter("service.incremental.unchanged")),
+      incremental_evaluated_(
+          &metrics_.counter("service.incremental.evaluated")),
+      parse_skips_(&metrics_.counter("service.requests.parse_skips")),
       queue_wait_ns_(&metrics_.histogram("service.request.queue_wait_ns")),
       process_ns_(&metrics_.histogram("service.request.process_ns")) {
   if (options_.cache_capacity > 0) {
@@ -350,6 +356,15 @@ const WorldSet& AuditService::compiled_disclosure(Scenario& scenario,
   return scenario.compiled.emplace(key, std::move(disclosed)).first->second;
 }
 
+const WorldSet* AuditService::find_compiled(Scenario& scenario,
+                                            const std::string& query_text,
+                                            bool answer) {
+  const std::string key = disclosure_key(query_text, answer);
+  std::lock_guard<std::mutex> lock(scenario.compiled_mutex);
+  const auto it = scenario.compiled.find(key);
+  return it == scenario.compiled.end() ? nullptr : &it->second;
+}
+
 EngineDecision AuditService::decide(const Scenario& scenario, const WorldSet& b,
                                     AuditContext& ctx, bool* cached) {
   *cached = false;
@@ -445,12 +460,24 @@ AuditResponse AuditService::handle(Pending& pending,
     return response;
   }
 
+  // Replayed-log requests name a (query, answer) pair the scenario may have
+  // compiled already — e.g. a router rebalance replaying a whole session —
+  // in which case the parse is skipped outright (parse-once). Live requests
+  // always parse: the database / online strategy needs the Query tree.
   QueryPtr parsed;
-  if (const Status s = try_parse_query(pending.request.query_text, &parsed);
-      !s.ok()) {
-    parse_errors_->add(1);
-    response.status = s;
-    return response;
+  const WorldSet* known = nullptr;
+  if (pending.request.answer.has_value()) {
+    known = find_compiled(*scenario, pending.request.query_text,
+                          *pending.request.answer);
+    if (known != nullptr) parse_skips_->add(1);
+  }
+  if (known == nullptr) {
+    if (const Status s = try_parse_query(pending.request.query_text, &parsed);
+        !s.ok()) {
+      parse_errors_->add(1);
+      response.status = s;
+      return response;
+    }
   }
 
   // Held for the whole request: a concurrent reset_session()/reload() only
@@ -483,8 +510,11 @@ AuditResponse AuditService::handle(Pending& pending,
   }
   response.answer = answer;
 
-  const WorldSet& disclosed = compiled_disclosure(
-      *scenario, pending.request.query_text, answer, parsed);
+  const WorldSet& disclosed =
+      known != nullptr
+          ? *known
+          : compiled_disclosure(*scenario, pending.request.query_text, answer,
+                                parsed);
   const EngineDecision disclosure_decision =
       decide(*scenario, disclosed, ctx, &response.disclosure_cached);
   response.disclosure =
@@ -506,8 +536,31 @@ AuditResponse AuditService::handle(Pending& pending,
   }
 
   response.sequence = session.absorb(disclosed);
-  const EngineDecision cumulative_decision = decide(
-      *scenario, session.accumulated(), ctx, &response.cumulative_cached);
+  EngineDecision cumulative_decision;
+  if (options_.incremental_sessions) {
+    // Delta-evaluation against the session's persistent state; byte-identical
+    // to the recompute branch below (service-composition model check). This
+    // path does not consult the VerdictCache — the session state plays that
+    // role without hashing the accumulated set — so cumulative_cached stays
+    // false; the incremental counters say how the verdict was served.
+    IncrementalContext& inc = session.incremental();
+    cumulative_decision = scenario->auditor.engine().decide_incremental(
+        scenario->audit_set, session.accumulated(), inc, ctx);
+    switch (inc.last_mode) {
+      case IncrementalContext::Mode::kPinned:
+        incremental_pinned_->add(1);
+        break;
+      case IncrementalContext::Mode::kUnchanged:
+        incremental_unchanged_->add(1);
+        break;
+      default:
+        incremental_evaluated_->add(1);
+        break;
+    }
+  } else {
+    cumulative_decision = decide(*scenario, session.accumulated(), ctx,
+                                 &response.cumulative_cached);
+  }
   response.cumulative = to_finding(
       cumulative_decision, pending.request.user,
       "<conjunction of " + std::to_string(response.sequence) +

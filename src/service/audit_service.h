@@ -66,6 +66,17 @@ struct ServiceOptions {
   /// When set, each session drives an OnlineAuditSession with this strategy
   /// and requests may be denied (AuditResponse::denied) before disclosing.
   std::optional<OnlineStrategy> online_strategy;
+  /// Delta-evaluate the cumulative verdict against each session's
+  /// persistent IncrementalContext (engine/incremental.h): repeat
+  /// disclosures and pinned monotone facts are served in O(1) and changed
+  /// sets re-derive only what the change touched, instead of re-running the
+  /// full cascade (plus verdict-cache hashing) per request. Verdicts,
+  /// details and sequence numbers are byte-identical to the recompute path
+  /// — the `service-composition` model check diffs the two at every step.
+  /// The per-disclosure verdict keeps using the VerdictCache either way.
+  /// Off restores the PR 3 recompute-every-request behavior (and the
+  /// cumulative_cached flag's verdict-cache meaning).
+  bool incremental_sessions = true;
   /// Test-only: invoked by a worker thread right before it starts deciding a
   /// request (after the deadline check). Lets tests hold a worker to fill
   /// the queue deterministically. Never set in production code.
@@ -255,6 +266,14 @@ class AuditService {
   /// Compiles the disclosed set for (query, answer), cached per scenario.
   const WorldSet& compiled_disclosure(Scenario& scenario, const std::string& query_text,
                                       bool answer, QueryPtr parsed);
+  /// Lookup-only variant: the already-compiled set for (query, answer), or
+  /// null. Lets replayed-log requests skip re-parsing query text the
+  /// scenario has compiled before (replay storms after a rebalance hit this
+  /// path hard); a miss falls back to the parse-then-compile path, so parse
+  /// errors surface exactly as before (malformed queries never enter the
+  /// cache).
+  const WorldSet* find_compiled(Scenario& scenario,
+                                const std::string& query_text, bool answer);
   /// Cache-or-engine decision for Safe(A, b).
   EngineDecision decide(const Scenario& scenario, const WorldSet& b,
                         AuditContext& ctx, bool* cached);
@@ -301,6 +320,10 @@ class AuditService {
   obs::Counter* queue_depth_;
   obs::Counter* sessions_created_;
   obs::Counter* reloads_;
+  obs::Counter* incremental_pinned_;     ///< cumulative served from a pin
+  obs::Counter* incremental_unchanged_;  ///< cumulative served, S unchanged
+  obs::Counter* incremental_evaluated_;  ///< cumulative re-evaluated
+  obs::Counter* parse_skips_;            ///< replays served parse-free
   obs::Histogram* queue_wait_ns_;
   obs::Histogram* process_ns_;
 };

@@ -11,7 +11,13 @@ Session::Session(std::string user, unsigned records, std::uint64_t generation)
       accumulated_(WorldSet::universe(records)) {}
 
 std::uint64_t Session::absorb(const WorldSet& disclosed) {
-  accumulated_ &= disclosed;
+  // accumulated ⊆ disclosed makes the intersection the identity: skip the
+  // write and keep the incremental state serveable. The subset test is the
+  // same early-exit word scan the intersection would pay anyway.
+  if (!accumulated_.subset_of(disclosed)) {
+    accumulated_ &= disclosed;
+    incremental_.dirty = true;
+  }
   return ++disclosures_;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/online.h"
+#include "engine/incremental.h"
 #include "worlds/world_set.h"
 
 namespace epi {
@@ -48,8 +49,20 @@ class Session {
   std::uint64_t disclosures() const { return disclosures_; }
 
   /// Intersects one disclosed set into the accumulated knowledge and
-  /// returns the 1-based sequence number of the disclosure.
+  /// returns the 1-based sequence number of the disclosure. Skips the
+  /// intersection — and leaves the incremental state clean — when the
+  /// accumulated set is already a subset of `disclosed` (the intersection
+  /// would be the identity); otherwise marks the incremental state dirty so
+  /// the next cumulative decision re-evaluates.
   std::uint64_t absorb(const WorldSet& disclosed);
+
+  /// Per-session delta-evaluation state for the cumulative decision (see
+  /// engine/incremental.h). Mutated by absorb() and by
+  /// DecisionEngine::decide_incremental, both under the session mutex.
+  /// Dies with the session: reset_session()/reload() drop the whole Session
+  /// object, and router replay rebuilds into a fresh one, so stale deltas
+  /// can never survive an S that grows back.
+  IncrementalContext& incremental() { return incremental_; }
 
   /// Attaches the allow/deny strategy driver (online mode only).
   void attach_online(std::unique_ptr<OnlineAuditSession> online);
@@ -63,6 +76,7 @@ class Session {
   std::string user_;
   std::uint64_t generation_;
   WorldSet accumulated_;
+  IncrementalContext incremental_;
   std::uint64_t disclosures_ = 0;
   std::unique_ptr<OnlineAuditSession> online_;
   std::mutex mutex_;

@@ -673,6 +673,138 @@ void check_service_composition(Rng& rng, const ModelCheckOptions& opt,
                     "\"");
     }
   }
+
+  // --- Incremental vs full-recompute differential -------------------------
+  // Two services over the same scenario, one with per-session delta
+  // evaluation (the default) and one forced onto the PR 3
+  // recompute-every-request path, driven through a random interleaving of
+  // disclose / reset_session / replay ops. The contract is byte-identity at
+  // *every* step: verdicts, methods, certified flags, details and sequence
+  // numbers (cached flags excepted — the incremental path deliberately
+  // bypasses the cumulative verdict cache). The `replay` op mirrors a
+  // router rebalance: reset both sessions, then re-send the user's logged
+  // (query, answer) script, which must land both services back on
+  // byte-identical verdicts (Prop. 3.10 makes replay exact).
+  service::ServiceOptions recompute_options = service_options;
+  recompute_options.incremental_sessions = false;
+  std::unique_ptr<service::AuditService> inc_svc;
+  std::unique_ptr<service::AuditService> rec_svc;
+  if (!service::AuditService::try_create(universe, initial_state, audit_query,
+                                         prior, service_options, &inc_svc)
+           .ok() ||
+      !service::AuditService::try_create(universe, initial_state, audit_query,
+                                         prior, recompute_options, &rec_svc)
+           .ok()) {
+    out.push_back("AuditService::try_create rejected the differential pair; "
+                  "audit query \"" + audit_query + "\"");
+    return;
+  }
+
+  auto diff_step = [&](const char* op, std::size_t step,
+                       const service::AuditResponse& inc,
+                       const service::AuditResponse& rec) {
+    auto finding_equal = [](const AuditFinding& x, const AuditFinding& y) {
+      return x.verdict == y.verdict && x.method == y.method &&
+             x.certified == y.certified && x.detail == y.detail &&
+             x.numeric_gap == y.numeric_gap;
+    };
+    if (inc.status.code() == rec.status.code() && inc.answer == rec.answer &&
+        inc.denied == rec.denied && inc.sequence == rec.sequence &&
+        finding_equal(inc.disclosure, rec.disclosure) &&
+        finding_equal(inc.cumulative, rec.cumulative)) {
+      return;
+    }
+    std::ostringstream os;
+    os << "incremental/recompute divergence at " << op << " step " << step
+       << " under " << to_string(prior) << ": incremental=(cum "
+       << verdict_name(inc.cumulative.verdict) << ", " << inc.cumulative.method
+       << ", seq " << inc.sequence << ") recompute=(cum "
+       << verdict_name(rec.cumulative.verdict) << ", " << rec.cumulative.method
+       << ", seq " << rec.sequence << "); audit query \"" << audit_query
+       << "\"";
+    out.push_back(os.str());
+  };
+
+  auto send_both = [&](const char* op, std::size_t step,
+                       const service::AuditRequest& request) {
+    service::AuditRequest inc_request = request;
+    service::AuditRequest rec_request = request;
+    const service::AuditResponse inc_response =
+        inc_svc->process(std::move(inc_request));
+    const service::AuditResponse rec_response =
+        rec_svc->process(std::move(rec_request));
+    diff_step(op, step, inc_response, rec_response);
+    return inc_response;
+  };
+
+  std::unordered_map<std::string, std::vector<std::pair<std::string, bool>>>
+      scripts;
+  const std::size_t ops = 3 + rng.next_below(6);
+  for (std::size_t step = 0; step < ops; ++step) {
+    const std::string user = kUsers[rng.next_below(2)];
+    const std::uint64_t kind = rng.next_below(8);
+    if (kind < 5) {
+      // Disclose: replayed-log mode with a random recorded answer. Repeats
+      // of earlier queries are likely at this query size, exercising the
+      // unchanged-S fast path against recompute.
+      service::AuditRequest request;
+      request.user = user;
+      request.query_text = random_query_text(rng, names, 2);
+      request.answer = rng.next_bool();
+      const service::AuditResponse response =
+          send_both("disclose", step, request);
+      if (response.status.ok()) {
+        scripts[user].emplace_back(request.query_text, *request.answer);
+      }
+    } else if (kind < 6) {
+      // Reset: both sessions forget; incremental state must die with them.
+      inc_svc->reset_session(user);
+      rec_svc->reset_session(user);
+      scripts[user].clear();
+    } else {
+      // Replay: a rebalance in miniature — reset, then re-send the script.
+      inc_svc->reset_session(user);
+      rec_svc->reset_session(user);
+      const auto script = scripts[user];  // copy: send_both appends nothing
+      for (std::size_t k = 0; k < script.size(); ++k) {
+        service::AuditRequest request;
+        request.user = user;
+        request.query_text = script[k].first;
+        request.answer = script[k].second;
+        const service::AuditResponse response =
+            send_both("replay", step * 100 + k, request);
+        if (response.sequence != k + 1) {
+          out.push_back("replayed sequence numbers restarted wrong: got " +
+                        std::to_string(response.sequence) + " want " +
+                        std::to_string(k + 1) + "; audit query \"" +
+                        audit_query + "\"");
+        }
+      }
+    }
+  }
+
+  // Endgame: every user's cumulative verdict must equal a direct decision
+  // of their surviving script's intersection (Prop. 3.10), on both axes.
+  for (const char* user : kUsers) {
+    const auto it = scripts.find(user);
+    if (it == scripts.end() || it->second.empty()) continue;
+    WorldSet acc = WorldSet::universe(n);
+    for (const auto& [query_text, answer] : it->second) {
+      WorldSet satisfying = parse_query(query_text)->compile(universe);
+      acc &= answer ? satisfying : ~satisfying;
+    }
+    const AuditFinding direct = auditor.audit_sets(audit_set, acc);
+    service::AuditRequest probe;
+    probe.user = user;
+    probe.query_text = it->second.back().first;
+    probe.answer = it->second.back().second;
+    const service::AuditResponse last = send_both("endgame", 0, probe);
+    if (last.status.ok() && direct.verdict != last.cumulative.verdict) {
+      out.push_back(std::string("incremental cumulative verdict for ") + user +
+                    " differs from the direct Prop. 3.10 decision; audit "
+                    "query \"" + audit_query + "\"");
+    }
+  }
 }
 
 // --- Check 8: fused-kernels -------------------------------------------------

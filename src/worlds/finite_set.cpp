@@ -1,5 +1,6 @@
 #include "worlds/finite_set.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "worlds/world_set.h"
@@ -39,6 +40,16 @@ FiniteSet FiniteSet::random(std::size_t m, Rng& rng, double density) {
   for (std::size_t e = 0; e < m; ++e) {
     if (rng.next_bool(density)) s.insert(e);
   }
+  return s;
+}
+
+FiniteSet FiniteSet::from_words(std::size_t m, const std::uint64_t* words,
+                                std::size_t word_count) {
+  FiniteSet s(m);
+  if (word_count != s.bits_.size()) {
+    throw std::invalid_argument("FiniteSet::from_words: wrong word count");
+  }
+  std::copy(words, words + word_count, s.bits_.begin());
   return s;
 }
 
@@ -171,11 +182,13 @@ bool union_is_universe(const FiniteSet& x, const FiniteSet& y) {
 
 FiniteSet to_finite(const WorldSet& ws) {
   // FiniteSet is inherently dense (2^n elements), so a symbolic WorldSet is
-  // densified first — which throws past the dense cap, as it must.
+  // densified first — which throws past the dense cap, as it must. A dense
+  // WorldSet shares FiniteSet's exact word layout (words_for(2^n) words,
+  // tail zero), so the conversion is a word copy, not a per-world rebuild —
+  // it sits on the per-step path of incremental session evaluation.
   if (ws.symbolic()) return to_finite(ws.densified());
-  FiniteSet fs(ws.omega_size());
-  ws.visit([&fs](World w) { fs.insert(w); });
-  return fs;
+  return FiniteSet::from_words(ws.omega_size(), ws.word_data(),
+                               ws.word_count());
 }
 
 WorldSet to_world_set(const FiniteSet& fs, unsigned n) {

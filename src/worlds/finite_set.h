@@ -36,6 +36,11 @@ class FiniteSet {
   static FiniteSet singleton(std::size_t m, std::size_t e);
   /// Every element included independently with probability `density`.
   static FiniteSet random(std::size_t m, Rng& rng, double density = 0.5);
+  /// Adopts a copy of a raw word image: words_for(m) words, tail bits zero.
+  /// The word-level bridge from a dense WorldSet (identical layout), so
+  /// to_finite is a copy instead of a per-element rebuild.
+  static FiniteSet from_words(std::size_t m, const std::uint64_t* words,
+                              std::size_t word_count);
 
   /// Size m of the universe (not of the subset).
   std::size_t universe_size() const { return m_; }

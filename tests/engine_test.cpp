@@ -159,6 +159,95 @@ TEST(DecisionEngine, MemoizesPairVerdicts) {
   EXPECT_EQ(first.method, again.method);
 }
 
+// decide_incremental must be byte-identical to decide() at every step of a
+// shrinking session, across all three serve tiers: fresh evaluation, the
+// unchanged-S replay (dirty false), and the pinned monotone verdict once
+// A cap S empties.
+TEST(DecisionEngine, IncrementalMatchesDecideOnShrinkingSessions) {
+  const unsigned n = 4;
+  AuditorOptions options;
+  options.ascent.multistarts = 8;
+  options.ascent.max_cycles = 60;
+  auto family = std::make_shared<SubcubeSigma>(n);
+  auto oracle = std::make_shared<IntervalOracle>(
+      family, FiniteSet::universe(family->universe_size()));
+  Rng rng(0x1DE17A);
+
+  for (PriorAssumption prior :
+       {PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+        PriorAssumption::kSubcubeKnowledge}) {
+    const DecisionEngine engine(n, prior, options);
+    for (int session = 0; session < 8; ++session) {
+      const WorldSet a = WorldSet::random(n, rng);
+      AuditContext full_ctx;
+      AuditContext inc_ctx;
+      if (prior == PriorAssumption::kSubcubeKnowledge) {
+        for (AuditContext* ctx : {&full_ctx, &inc_ctx}) {
+          ctx->set_interval_oracle(oracle);
+          ctx->prepare_subcube(a);  // both prepared: same deciding method
+        }
+      }
+      IncrementalContext inc;
+      WorldSet s = WorldSet::universe(n);
+      const unsigned kill_step = 4 + rng.next_below(6);
+      for (unsigned step = 0; step < 12; ++step) {
+        const WorldSet prev = s;
+        if (step == kill_step) {
+          s &= ~a;  // empty A cap S: the monotone Safe verdict pins
+        } else if (rng.next_below(4) != 0) {
+          s &= WorldSet::random(n, rng, 0.8);
+        }
+        // Session::absorb marks the state dirty only on a real shrink.
+        if (step == 0 || s != prev) inc.dirty = true;
+        const EngineDecision want = engine.decide(a, s, full_ctx);
+        const EngineDecision got = engine.decide_incremental(a, s, inc, inc_ctx);
+        const std::string label = to_string(prior) + " session " +
+                                  std::to_string(session) + " step " +
+                                  std::to_string(step);
+        EXPECT_EQ(got.verdict, want.verdict) << label;
+        EXPECT_EQ(got.method, want.method) << label;
+        EXPECT_EQ(got.certified, want.certified) << label;
+        EXPECT_EQ(got.detail, want.detail) << label;
+        EXPECT_NEAR(got.numeric_gap, want.numeric_gap, 1e-12) << label;
+      }
+      // Every step was served by exactly one tier.
+      EXPECT_EQ(inc.evaluations + inc.served_unchanged + inc.served_pinned,
+                12u);
+      // The kill step pins Safe for the unrestricted and subcube cascades,
+      // whose first stage carries the monotone flag. The product cascade is
+      // built from legacy table criteria that never report monotone, so it
+      // re-evaluates (still byte-identically) instead of pinning.
+      if (prior != PriorAssumption::kProduct) {
+        EXPECT_GT(inc.served_pinned, 0u);
+      } else {
+        EXPECT_EQ(inc.served_pinned, 0u);
+      }
+    }
+  }
+}
+
+// The unchanged tier serves the recorded decision without rerunning the
+// cascade: stage invocation counters must not move.
+TEST(DecisionEngine, IncrementalUnchangedServesWithoutCascade) {
+  const unsigned n = 3;
+  const DecisionEngine engine(n, PriorAssumption::kUnrestricted, {});
+  Rng rng(0xCAFE);
+  const WorldSet a = WorldSet::random(n, rng);
+  const WorldSet s = WorldSet::random(n, rng, 0.8);
+  AuditContext ctx;
+  ctx.reset_stages(engine.stage_names());
+  IncrementalContext inc;
+  inc.dirty = true;
+  const EngineDecision first = engine.decide_incremental(a, s, inc, ctx);
+  const std::size_t invocations_after_first =
+      ctx.stage_stats().front().invocations;
+  const EngineDecision again = engine.decide_incremental(a, s, inc, ctx);
+  EXPECT_EQ(first.verdict, again.verdict);
+  EXPECT_EQ(first.method, again.method);
+  EXPECT_EQ(inc.served_unchanged, 1u);
+  EXPECT_EQ(ctx.stage_stats().front().invocations, invocations_after_first);
+}
+
 TEST(DecisionEngine, ReportsIdenticalAcrossThreadCounts) {
   WorkloadOptions wl;
   wl.patients = 5;

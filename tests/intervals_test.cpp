@@ -253,6 +253,67 @@ TEST(IntervalOracle, PreparedAuditMatchesDirect) {
   }
 }
 
+// The incremental Corollary 4.12 index must agree with the full
+// PreparedAudit rescan at every step of a shrinking chain — the streaming
+// session shape — including its O(1) active_empty pinning signal.
+TEST(IncrementalSafe, MatchesPreparedSafeOnShrinkingChains) {
+  GridDomain g(6, 4);
+  auto sigma = make_rect_family(g);
+  IntervalOracle oracle(sigma, FiniteSet::universe(g.size()));
+  Rng rng(127);
+  for (int chain = 0; chain < 20; ++chain) {
+    const FiniteSet a = FiniteSet::random(g.size(), rng, 0.3);
+    auto prepared =
+        std::make_shared<const IntervalOracle::PreparedAudit>(oracle.prepare(a));
+    IntervalOracle::IncrementalSafe index(prepared);
+    EXPECT_FALSE(index.initialized());
+    FiniteSet s = FiniteSet::universe(g.size());
+    index.reset(s);
+    for (int step = 0; step < 15; ++step) {
+      s = s & FiniteSet::random(g.size(), rng, 0.8);
+      ASSERT_TRUE(index.shrink_to(s)) << "chain " << chain << " step " << step;
+      EXPECT_EQ(index.safe(), prepared->safe(s))
+          << "chain " << chain << " step " << step;
+      EXPECT_EQ(index.active_empty(), (a & s).is_empty())
+          << "chain " << chain << " step " << step;
+    }
+  }
+}
+
+// shrink_to refuses a non-subset without touching the counters; reset()
+// re-derives them for the new set, matching the rescan again.
+TEST(IncrementalSafe, RejectsNonSubsetAndRecoversViaReset) {
+  GridDomain g(5, 3);
+  auto sigma = make_rect_family(g);
+  IntervalOracle oracle(sigma, FiniteSet::universe(g.size()));
+  Rng rng(131);
+  const FiniteSet a = FiniteSet::random(g.size(), rng, 0.4);
+  auto prepared =
+      std::make_shared<const IntervalOracle::PreparedAudit>(oracle.prepare(a));
+  IntervalOracle::IncrementalSafe index(prepared);
+
+  const FiniteSet small = FiniteSet::random(g.size(), rng, 0.3);
+  index.reset(small);
+  const bool was_safe = index.safe();
+
+  FiniteSet grown = small;
+  std::size_t extra = g.size();
+  for (std::size_t e = 0; e < g.size(); ++e) {
+    if (!small.contains(e)) {
+      extra = e;
+      break;
+    }
+  }
+  ASSERT_LT(extra, g.size());
+  grown.insert(extra);
+  EXPECT_FALSE(index.shrink_to(grown));  // not a subset: refused
+  EXPECT_EQ(index.safe(), was_safe);     // untouched
+  EXPECT_EQ(index.current(), small);
+
+  index.reset(grown);
+  EXPECT_EQ(index.safe(), prepared->safe(grown));
+}
+
 TEST(GridDomain, RenderAscii) {
   GridDomain g(3, 2);
   FiniteSet s(g.size(), {g.index(1, 1), g.index(3, 2)});

@@ -420,6 +420,138 @@ TEST(Service, ResetSessionForgetsAccumulatedKnowledge) {
   EXPECT_TRUE(service->reset_session("nobody").ok());
 }
 
+// --- Incremental session evaluation (DESIGN.md section 11) ----------------
+
+// The on/off contract: with incremental_sessions disabled the service
+// recomputes every cumulative verdict through the verdict cache; enabled, it
+// delta-evaluates per-session state. Every response field the client can see
+// must be byte-identical either way (cumulative_cached is the documented
+// exception: the incremental path bypasses the cache).
+TEST(ServiceIncremental, DisabledPathMatchesEnabledPath) {
+  for (const PriorAssumption prior :
+       {PriorAssumption::kUnrestricted, PriorAssumption::kProduct,
+        PriorAssumption::kSubcubeKnowledge}) {
+    std::unique_ptr<AuditService> incremental =
+        make_service(small_service_options(), prior);
+    ServiceOptions recompute_options = small_service_options();
+    recompute_options.incremental_sessions = false;
+    std::unique_ptr<AuditService> recompute =
+        make_service(std::move(recompute_options), prior);
+    ASSERT_NE(incremental, nullptr);
+    ASSERT_NE(recompute, nullptr);
+
+    for (const Replay& r : replay_log()) {
+      AuditRequest request;
+      request.user = r.user;
+      request.query_text = r.query;
+      request.answer = r.answer;
+      AuditRequest copy = request;
+      const AuditResponse got = incremental->process(std::move(request));
+      const AuditResponse want = recompute->process(std::move(copy));
+      ASSERT_EQ(got.status.code(), want.status.code());
+      EXPECT_EQ(got.sequence, want.sequence);
+      EXPECT_EQ(got.denied, want.denied);
+      expect_same_finding(got.disclosure, want.disclosure);
+      expect_same_finding(got.cumulative, want.cumulative);
+    }
+  }
+}
+
+// The three serve tiers, driven one by one: a first disclosure evaluates, a
+// repeat of known information serves the recorded verdict (S unchanged), and
+// once a disclosure empties A cap S the monotone Safe verdict pins — every
+// later verdict is served without touching the cascade.
+TEST(ServiceIncremental, CountersTrackServeTiers) {
+  std::unique_ptr<AuditService> service = make_service(
+      small_service_options(), PriorAssumption::kSubcubeKnowledge);
+  ASSERT_NE(service, nullptr);
+
+  auto replayed = [&](const std::string& query) {
+    AuditRequest request;
+    request.user = "alice";
+    request.query_text = query;
+    request.answer = true;
+    const AuditResponse response = service->process(std::move(request));
+    EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+    return response;
+  };
+
+  replayed("bob_transfusion");  // first verdict: evaluated
+  replayed("bob_transfusion");  // same knowledge again: S unchanged
+  replayed("!bob_hiv");         // empties A cap S: evaluated, then pinned
+  const AuditResponse pinned = replayed("bob_hepatitis");
+  EXPECT_EQ(pinned.cumulative.verdict, Verdict::kSafe);
+
+  const obs::MetricsSnapshot metrics = service->metrics_snapshot();
+  EXPECT_EQ(metrics.counter("service.incremental.evaluated"), 2);
+  EXPECT_EQ(metrics.counter("service.incremental.unchanged"), 1);
+  EXPECT_EQ(metrics.counter("service.incremental.pinned"), 1);
+}
+
+// Replayed-log disclosures are parsed once per distinct (query, answer):
+// re-sends hit the compiled map and skip try_parse_query entirely. Parse
+// errors are never cached — each malformed send fails afresh.
+TEST(ServiceIncremental, ReplayedDisclosuresParseOnce) {
+  std::unique_ptr<AuditService> service = make_service();
+  ASSERT_NE(service, nullptr);
+
+  AuditRequest request;
+  request.user = "alice";
+  request.query_text = "bob_hiv & bob_transfusion";
+  request.answer = true;
+  for (int i = 0; i < 3; ++i) {
+    AuditRequest copy = request;
+    ASSERT_TRUE(service->process(std::move(copy)).status.ok());
+  }
+  EXPECT_EQ(
+      service->metrics_snapshot().counter("service.requests.parse_skips"), 2);
+
+  AuditRequest malformed;
+  malformed.user = "alice";
+  malformed.query_text = "bob_hiv &";
+  malformed.answer = true;
+  for (int i = 0; i < 2; ++i) {
+    AuditRequest copy = malformed;
+    EXPECT_EQ(service->process(std::move(copy)).status.code(),
+              Status::Code::kInvalidArgument);
+  }
+  const obs::MetricsSnapshot metrics = service->metrics_snapshot();
+  EXPECT_EQ(metrics.counter("service.requests.parse_errors"), 2);
+  EXPECT_EQ(metrics.counter("service.requests.parse_skips"), 2);
+}
+
+// reset_session drops the per-session incremental state with the session:
+// a pinned verdict must not survive into the fresh session.
+TEST(ServiceIncremental, ResetSessionDropsPinnedState) {
+  std::unique_ptr<AuditService> service = make_service(
+      small_service_options(), PriorAssumption::kSubcubeKnowledge);
+  ASSERT_NE(service, nullptr);
+
+  auto replayed = [&](const std::string& query) {
+    AuditRequest request;
+    request.user = "alice";
+    request.query_text = query;
+    request.answer = true;
+    return service->process(std::move(request));
+  };
+
+  ASSERT_TRUE(replayed("!bob_hiv").status.ok());  // A cap S empty: pinned
+  ASSERT_EQ(replayed("bob_hiv").cumulative.verdict, Verdict::kSafe);
+  ASSERT_EQ(service->metrics_snapshot().counter("service.incremental.pinned"),
+            1);
+
+  ASSERT_TRUE(service->reset_session("alice").ok());
+
+  // Fresh session: "bob_hiv" alone makes the accumulated set A itself,
+  // which is unsafe — a leaked pin would have served Safe.
+  const AuditResponse fresh = replayed("bob_hiv");
+  ASSERT_TRUE(fresh.status.ok()) << fresh.status.to_string();
+  EXPECT_EQ(fresh.sequence, 1u);
+  EXPECT_EQ(fresh.cumulative.verdict, Verdict::kUnsafe);
+  EXPECT_EQ(service->metrics_snapshot().counter("service.incremental.pinned"),
+            1);
+}
+
 // --- Deadlines, cancellation, backpressure, shutdown ----------------------
 
 TEST(Service, ExpiredDeadlineShortCircuits) {

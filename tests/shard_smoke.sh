@@ -119,6 +119,15 @@ if [ -n "$loadgen" ]; then
       --duration-s 2 --warmup-s 1 > "$tmp/loadgen.txt" \
       || fail "loadgen lost responses"
   fi
+  # Long-session round: bounded monotone sessions (32 audits, then a
+  # reset_session in the same open-loop schedule) exercise the workers'
+  # per-session incremental state — build, delta steps, and reset
+  # invalidation — under routed concurrency. Any lost or errored response
+  # fails the round.
+  "$loadgen" --connect "$connect" --user-prefix lg_sess --rate 300 \
+    --duration-s 2 --warmup-s 1 --session-length 32 \
+    > "$tmp/loadgen_session.txt" \
+    || fail "long-session loadgen lost responses"
 fi
 
 # One phase = 4 concurrent clients (one user each) x 5 queries x N rounds.

@@ -67,6 +67,11 @@ constexpr char kUsage[] =
     "                       <prefix>0 .. <prefix>U-1)\n"
     "  --query TEXT         audit query (repeatable, cycled; default\n"
     "                       'bob_hiv' for the built-in demo scenario)\n"
+    "  --session-length N   monotone-session mode: after N audits a user's\n"
+    "                       next scheduled slot carries a reset_session, so\n"
+    "                       every session is a bounded shrinking run (the\n"
+    "                       incremental serving path's steady state);\n"
+    "                       default 0 = one endless session per user\n"
     "  --drain-timeout-s N  wait this long after the last send for\n"
     "                       straggler responses (default 10)\n"
     "  --json               emit the bench_json.h schema instead of text\n";
@@ -80,6 +85,7 @@ struct Options {
   long users = 8;
   std::string user_prefix = "user";
   long drain_timeout_s = 10;
+  long session_length = 0;  ///< 0 = endless sessions (no resets)
   std::vector<std::string> queries;
   bool json = false;
   bool help = false;
@@ -139,6 +145,11 @@ epi::Status parse_args(int argc, char** argv, Options* out) {
     } else if (std::strcmp(argv[i], "--drain-timeout-s") == 0) {
       if (const epi::Status s =
               next_count(i, "--drain-timeout-s", &out->drain_timeout_s, 1);
+          !s.ok())
+        return s;
+    } else if (std::strcmp(argv[i], "--session-length") == 0) {
+      if (const epi::Status s =
+              next_count(i, "--session-length", &out->session_length, 1);
           !s.ok())
         return s;
     } else if (std::strcmp(argv[i], "--query") == 0) {
@@ -280,6 +291,12 @@ epi::Status run(const Options& options, int* exit_code) {
   // never "made up" by rescheduling — late sends inherit late latencies.
   const Clock::time_point t0 = Clock::now();
   const std::chrono::nanoseconds step{1000000000ll / options.rate};
+  // Monotone-session mode: audits per user since their last reset. When a
+  // session reaches --session-length, the user's next scheduled slot sends
+  // reset_session instead of an audit — same cadence, same id accounting —
+  // so each session is a bounded shrinking run, as the incremental serving
+  // path sees in steady state.
+  std::vector<long> session_pos(static_cast<std::size_t>(options.users), 0);
   bool transport_ok = true;
   for (std::uint64_t k = 0; k < total && transport_ok; ++k) {
     const Clock::time_point intended = t0 + step * k;
@@ -289,10 +306,17 @@ epi::Status run(const Options& options, int* exit_code) {
     Conn& conn =
         *conns[user_idx % static_cast<std::uint64_t>(options.connections)];
     epi::service::WireRequest request;
-    request.op = epi::service::Op::kAudit;
     request.id = k + 1;
     request.user = options.user_prefix + std::to_string(user_idx);
-    request.query = options.queries[k % options.queries.size()];
+    if (options.session_length > 0 &&
+        session_pos[user_idx] >= options.session_length) {
+      request.op = epi::service::Op::kResetSession;
+      session_pos[user_idx] = 0;
+    } else {
+      request.op = epi::service::Op::kAudit;
+      request.query = options.queries[k % options.queries.size()];
+      ++session_pos[user_idx];
+    }
     {
       std::lock_guard<std::mutex> lock(conn.mu);
       conn.intended.emplace(request.id, intended);
@@ -345,8 +369,15 @@ epi::Status run(const Options& options, int* exit_code) {
         .field("transport", transport)
         .field("connections", static_cast<std::int64_t>(options.connections))
         .field("users", static_cast<std::int64_t>(options.users))
-        .field("target_rate", static_cast<std::int64_t>(options.rate))
-        .field("goodput_per_sec", goodput, 0)
+        .field("target_rate", static_cast<std::int64_t>(options.rate));
+    if (options.session_length > 0) {
+      // Dimension only in monotone-session mode so the default row's
+      // identity (and the checked-in BENCH_loadgen.json baseline) is
+      // unchanged.
+      report.field("session_length",
+                   static_cast<std::int64_t>(options.session_length));
+    }
+    report.field("goodput_per_sec", goodput, 0)
         .field("p50_ns", static_cast<double>(p50), 0)
         .field("p95_ns", static_cast<double>(p95), 0)
         .field("p99_ns", static_cast<double>(p99), 0)
@@ -359,6 +390,10 @@ epi::Status run(const Options& options, int* exit_code) {
                 options.connect_spec.c_str(), options.connections,
                 options.users, options.rate, options.duration_s,
                 options.warmup_s);
+    if (options.session_length > 0) {
+      std::printf("  sessions  %10ld audits, then reset_session\n",
+                  options.session_length);
+    }
     std::printf("  goodput   %10.0f req/s\n", goodput);
     std::printf("  p50       %10.3f ms\n", static_cast<double>(p50) / 1e6);
     std::printf("  p95       %10.3f ms\n", static_cast<double>(p95) / 1e6);
