@@ -34,6 +34,7 @@
 #include "core/auditor.h"
 #include "core/workload.h"
 #include "obs/trace.h"
+#include "workloads/family.h"
 #include "worlds/world_set.h"
 
 using namespace epi;
@@ -216,6 +217,73 @@ int main(int argc, char** argv) {
           .field("single_audits_per_sec", n / loop_s, 0)
           .field("batch_audits_per_sec", n / batch_s, 0)
           .field("speedup", loop_s / batch_s);
+    }
+  }
+
+  if (!json) {
+    std::printf(
+        "\n--- workload families: registry defaults, batch audit of each\n"
+        "    family's own sensitive properties under its own prior ---\n\n");
+    std::printf("%12s %8s %9s %18s %12s\n", "family", "records", "requests",
+                "prior", "audits/sec");
+  }
+  // One row per registered family at its default knobs (seeded away from the
+  // golden snapshots), plus a rectangles row at the 32-coordinate symbolic
+  // ceiling. The policy family is capped at 8 records so the subcube-prior
+  // interval oracle stays bench-sized; dense rectangles at 20 so the
+  // 2^n-bit sets don't dominate the whole bench (the symbolic row covers
+  // the large-n regime far faster than dense n=24 would).
+  {
+    struct FamilyPoint {
+      const char* family;
+      unsigned records;  // 0: the family default
+    };
+    const FamilyPoint points[] = {{"hospital", 0}, {"aggregate", 0},
+                                  {"policy", 8},   {"collusion", 0},
+                                  {"rectangles", 20}, {"rectangles", 32}};
+    for (const FamilyPoint& point : points) {
+      const workloads::WorkloadFamily* family =
+          workloads::find_family(point.family);
+      workloads::FamilyOptions family_options;
+      family_options.seed = 0xAB5;
+      family_options.records = point.records;
+      workloads::GeneratedWorkload generated;
+      if (family == nullptr ||
+          !family->generate(family_options, &generated).ok()) {
+        std::fprintf(stderr, "family generation failed: %s\n", point.family);
+        return 1;
+      }
+      Auditor auditor(generated.universe, generated.prior,
+                      throughput_options(1));
+      const AuditLog log = generated.to_log();
+      auditor.audit_many(log, generated.audit_queries);  // warm-up
+      double best_s = 1e30;
+      std::size_t audited = 0;
+      for (int pass = 0; pass < 3; ++pass) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<AuditReport> reports =
+            auditor.audit_many(log, generated.audit_queries);
+        best_s = std::min(
+            best_s,
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count());
+        audited = 0;
+        for (const AuditReport& r : reports) {
+          audited += r.per_disclosure.size() + r.per_user_cumulative.size();
+        }
+      }
+      const double rate = static_cast<double>(audited) / best_s;
+      if (!json) {
+        std::printf("%12s %8u %9zu %18s %12.0f\n", point.family,
+                    generated.universe.size(), log.size(),
+                    to_string(generated.prior).c_str(), rate);
+      }
+      report.row("workload_families")
+          .field("family", point.family)
+          .field("records", generated.universe.size())
+          .field("requests", log.size())
+          .field("prior", to_string(generated.prior))
+          .field("audits_per_sec", rate, 0);
     }
   }
 

@@ -41,10 +41,12 @@
 
 #include "bench_json.h"
 #include "core/auditor.h"
+#include "db/parser.h"
 #include "db/record.h"
 #include "engine/decision_engine.h"
 #include "engine/incremental.h"
 #include "util/rng.h"
+#include "workloads/family.h"
 #include "worlds/world_set.h"
 
 using namespace epi;
@@ -311,6 +313,93 @@ unsigned rounds_for(unsigned length) {
   return rounds;
 }
 
+// --- Workload-family axis ---------------------------------------------------
+// The synthetic sweep above controls the shrink rate; this axis replays the
+// registry families' actual per-user streams (src/workloads/) through the
+// same two strategies, so the session numbers cover the query mixes the
+// parity check and the serving tier see. Each family stream becomes one
+// SessionTrace per user (Prop. 3.10 running intersections), audited against
+// the family's first sensitive property under the family's own prior.
+
+struct FamilyResult {
+  const char* family;
+  std::string prior;
+  unsigned records = 0;
+  std::size_t sessions = 0;
+  std::size_t steps = 0;
+  AxisTiming recompute;
+  AxisTiming incremental;
+};
+
+bool run_family_axis(std::vector<FamilyResult>* out) {
+  const struct {
+    const char* name;
+    unsigned records, requests, users;
+  } points[] = {
+      {"hospital", 8, 192, 3},  {"aggregate", 8, 192, 3},
+      {"policy", 10, 160, 2},   {"collusion", 10, 120, 3},
+      {"rectangles", 12, 120, 2},
+  };
+  for (const auto& point : points) {
+    const workloads::WorkloadFamily* family = workloads::find_family(point.name);
+    workloads::FamilyOptions options;
+    options.seed = 0x5E55'0F00;
+    options.records = point.records;
+    options.requests = point.requests;
+    options.users = point.users;
+    workloads::GeneratedWorkload generated;
+    if (family == nullptr || !family->generate(options, &generated).ok()) {
+      std::fprintf(stderr, "family generation failed: %s\n", point.name);
+      return false;
+    }
+
+    Scenario sc;
+    sc.name = point.name;
+    sc.n = generated.universe.size();
+    sc.auditor = std::make_unique<Auditor>(generated.universe, generated.prior);
+    sc.a = parse_query(generated.audit_queries.front())
+               ->compile(generated.universe);
+    if (generated.prior == PriorAssumption::kSubcubeKnowledge) {
+      sc.oracle = sc.auditor->shared_subcube_oracle();
+    }
+
+    // One session per user: the running intersection after each of that
+    // user's disclosures, with the same changed/unchanged marks Session
+    // tracks.
+    std::vector<SessionTrace> sessions;
+    std::vector<std::string> users;
+    for (const workloads::StreamRequest& request : generated.stream) {
+      std::size_t index = 0;
+      while (index < users.size() && users[index] != request.user) ++index;
+      if (index == users.size()) {
+        users.push_back(request.user);
+        sessions.emplace_back();
+      }
+      SessionTrace& trace = sessions[index];
+      const WorldSet satisfying =
+          parse_query(request.query_text)->compile(generated.universe);
+      WorldSet acc =
+          trace.s.empty() ? WorldSet::universe(sc.n) : trace.s.back();
+      const WorldSet prev = acc;
+      acc &= request.answer ? satisfying : ~satisfying;
+      trace.changed.push_back(acc != prev ? 1 : 0);
+      trace.s.push_back(std::move(acc));
+    }
+
+    if (!verify_identical(sc, sessions)) return false;
+    FamilyResult res;
+    res.family = point.name;
+    res.prior = to_string(generated.prior);
+    res.records = sc.n;
+    res.sessions = sessions.size();
+    for (const SessionTrace& trace : sessions) res.steps += trace.s.size();
+    res.recompute = run_recompute(sc, sessions, 4);
+    res.incremental = run_incremental(sc, sessions, 4);
+    out->push_back(std::move(res));
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -346,12 +435,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::vector<FamilyResult> family_results;
+  if (!run_family_axis(&family_results)) return 1;
+
   if (json) {
     bench::JsonReport report("bench_session_throughput");
     for (const Result& r : results) {
       report.row("session")
           .field("scenario", r.scenario)
           .field("length", r.length)
+          .field("recompute_per_sec", r.recompute.per_sec(), 0)
+          .field("incremental_per_sec", r.incremental.per_sec(), 0)
+          .field("speedup", r.incremental.per_sec() / r.recompute.per_sec())
+          .field("recompute_kth_ns", r.recompute.kth_ns(), 1)
+          .field("incremental_kth_ns", r.incremental.kth_ns(), 1)
+          .field("speedup_kth",
+                 r.recompute.kth_ns() / r.incremental.kth_ns());
+    }
+    for (const FamilyResult& r : family_results) {
+      report.row("session_families")
+          .field("family", r.family)
+          .field("prior", r.prior)
+          .field("records", r.records)
+          .field("sessions", r.sessions)
+          .field("steps", r.steps)
           .field("recompute_per_sec", r.recompute.per_sec(), 0)
           .field("incremental_per_sec", r.incremental.per_sec(), 0)
           .field("speedup", r.incremental.per_sec() / r.recompute.per_sec())
@@ -377,6 +484,17 @@ int main(int argc, char** argv) {
                 r.recompute.kth_ns(), r.incremental.kth_ns(),
                 r.recompute.kth_ns() / r.incremental.kth_ns());
   }
+  std::printf(
+      "\n== workload families: registry streams, one session per user ==\n");
+  std::printf("%-13s %18s %5s %6s  %13s %13s %8s\n", "family", "prior",
+              "sess", "steps", "recompute/s", "incremental/s", "kth spd");
+  for (const FamilyResult& r : family_results) {
+    std::printf("%-13s %18s %5zu %6zu  %13.0f %13.0f %7.1fx\n", r.family,
+                r.prior.c_str(), r.sessions, r.steps, r.recompute.per_sec(),
+                r.incremental.per_sec(),
+                r.recompute.kth_ns() / r.incremental.kth_ns());
+  }
+
   std::printf(
       "\nkth = steady-state per-verdict cost, first step of each session\n"
       "excluded (it pays one-time per-session state construction).\n"

@@ -1,15 +1,62 @@
 #include "core/workload.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace epi {
 
+namespace {
+
+/// The mix-weight half of WorkloadOptions::validate(), shared with
+/// random_workload_query (which has no use for the population knobs).
+Status validate_mix(const WorkloadOptions& options) {
+  const double weights[] = {options.point_weight, options.implication_weight,
+                            options.negation_weight, options.counting_weight};
+  double total = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(
+          "WorkloadOptions: mix weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(
+        "WorkloadOptions: mix weights are all zero — no query shape to draw");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WorkloadOptions::validate() const {
+  if (patients == 0 || patients > kMaxCoordinates) {
+    return Status::InvalidArgument(
+        "WorkloadOptions: patients must be in [1, " +
+        std::to_string(kMaxCoordinates) + "]");
+  }
+  if (queries < 0) {
+    return Status::InvalidArgument("WorkloadOptions: queries must be >= 0");
+  }
+  if (users < 1) {
+    return Status::InvalidArgument("WorkloadOptions: users must be >= 1");
+  }
+  if (!std::isfinite(record_present_prob) || record_present_prob < 0.0 ||
+      record_present_prob > 1.0) {
+    return Status::InvalidArgument(
+        "WorkloadOptions: record_present_prob must be in [0, 1]");
+  }
+  return validate_mix(*this);
+}
+
 std::string random_workload_query(const std::vector<std::string>& names, Rng& rng,
                                   const WorkloadOptions& options) {
   if (names.empty()) throw std::invalid_argument("random_workload_query: no records");
+  if (Status mix = validate_mix(options); !mix.ok()) {
+    throw std::invalid_argument("random_workload_query: " + mix.message());
+  }
   const double total = options.point_weight + options.implication_weight +
                        options.negation_weight + options.counting_weight;
-  if (total <= 0.0) throw std::invalid_argument("random_workload_query: zero weights");
   double pick = rng.next_double() * total;
   auto name = [&] { return names[rng.next_below(names.size())]; };
 
@@ -36,10 +83,12 @@ std::string random_workload_query(const std::vector<std::string>& names, Rng& rn
   return (rng.next_bool() ? "atleast(" : "atmost(") + std::to_string(k) + body + ")";
 }
 
-Workload make_hospital_workload(const WorkloadOptions& options) {
-  if (options.patients == 0 || options.patients > kMaxCoordinates) {
-    throw std::invalid_argument("make_hospital_workload: bad patient count");
+Status try_make_hospital_workload(const WorkloadOptions& options, Workload* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("try_make_hospital_workload: null output");
   }
+  if (Status valid = options.validate(); !valid.ok()) return valid;
+
   RecordUniverse universe;
   std::vector<std::string> names;
   for (unsigned p = 0; p < options.patients; ++p) {
@@ -62,6 +111,15 @@ Workload make_hospital_workload(const WorkloadOptions& options) {
                         "t" + std::to_string(q));
   }
   workload.audit_candidates = names;
+  *out = std::move(workload);
+  return Status::Ok();
+}
+
+Workload make_hospital_workload(const WorkloadOptions& options) {
+  Workload workload{RecordUniverse{}};
+  if (Status made = try_make_hospital_workload(options, &workload); !made.ok()) {
+    throw std::invalid_argument("make_hospital_workload: " + made.message());
+  }
   return workload;
 }
 

@@ -2,6 +2,11 @@
 // with a realistic mix of query shapes (point lookups, implications,
 // negations, counting thresholds). Used by the throughput experiment (E13)
 // and available to applications for load testing their audit pipelines.
+//
+// This generator is also registered as the `hospital` family in the
+// workload-family registry (src/workloads/family.h), which adds the other
+// scenario families (aggregate, policy, collusion, rectangles) behind one
+// interface.
 #pragma once
 
 #include <string>
@@ -10,6 +15,7 @@
 #include "core/audit_log.h"
 #include "db/database.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace epi {
 
@@ -19,12 +25,20 @@ struct WorkloadOptions {
   double record_present_prob = 0.5;  ///< database density
   int queries = 100;
   int users = 5;
-  /// Mix weights (normalized internally).
+  /// Mix weights (relative, not required to sum to 1). Every weight must be
+  /// finite and >= 0 and the mix must not be all-zero — validate() rejects
+  /// such options instead of silently normalizing them away.
   double point_weight = 0.35;       ///< single-record lookups
   double implication_weight = 0.25; ///< r_i -> r_j
   double negation_weight = 0.2;     ///< !r_i, !(r_i & r_j)
   double counting_weight = 0.2;     ///< atleast/atmost over a subset
   std::uint64_t seed = 0xAB5;
+
+  /// Rejects degenerate settings: zero patients or more than
+  /// kMaxCoordinates, a negative query count, fewer than one user, a
+  /// presence probability outside [0, 1], any negative/non-finite mix
+  /// weight, and an all-zero mix (which has no query shape to draw).
+  Status validate() const;
 };
 
 /// A generated scenario: universe, populated database and filled log.
@@ -37,10 +51,17 @@ struct Workload {
   explicit Workload(RecordUniverse u) : universe(u), database(std::move(u)) {}
 };
 
-/// Builds a workload. Record names are "p<k>_cond".
+/// Builds a workload. Record names are "p<k>_cond". Throws
+/// std::invalid_argument (with the Status message) when validate() fails.
 Workload make_hospital_workload(const WorkloadOptions& options = {});
 
-/// One random query text in the configured mix (exposed for reuse).
+/// Status-first variant: WorkloadOptions::validate() failures come back as
+/// InvalidArgument and `*out` is left untouched.
+Status try_make_hospital_workload(const WorkloadOptions& options, Workload* out);
+
+/// One random query text in the configured mix (exposed for reuse). Throws
+/// std::invalid_argument on an empty name list or an invalid mix (any
+/// negative weight, or all weights zero).
 std::string random_workload_query(const std::vector<std::string>& names, Rng& rng,
                                   const WorkloadOptions& options);
 

@@ -38,16 +38,17 @@ AuditFinding to_finding(const EngineDecision& d, std::string user,
 }
 
 /// Shared by try_create and reload: the universe must be non-empty, the
-/// initial state a member of {0,1}^n, and the audit query well-formed.
-/// (RecordUniverse::add already caps n at kMaxCoordinates, so the shift is
-/// always in range.)
+/// initial state a member of {0,1}^n, and the audit query well-formed. The
+/// membership test runs in 64 bits: RecordUniverse::add caps n at
+/// kMaxSymbolicCoordinates = 32, where a 32-bit `World{1} << n` would
+/// overflow (and wrongly reject every nonzero state at the ceiling).
 Status validate_scenario_inputs(const RecordUniverse& universe,
                                 World initial_state,
                                 const std::string& audit_query_text) {
   if (universe.empty()) {
     return Status::InvalidArgument("AuditService: empty record universe");
   }
-  if (initial_state >= (World{1} << universe.size())) {
+  if (std::uint64_t{initial_state} >= (std::uint64_t{1} << universe.size())) {
     return Status::InvalidArgument(
         "AuditService: initial state " + std::to_string(initial_state) +
         " outside {0,1}^" + std::to_string(universe.size()));

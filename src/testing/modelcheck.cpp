@@ -20,6 +20,7 @@
 #include "service/audit_service.h"
 #include "testing/generators.h"
 #include "testing/oracle.h"
+#include "workloads/family.h"
 #include "worlds/dense_bits.h"
 
 namespace epi {
@@ -999,6 +1000,153 @@ void check_backend_parity(Rng& rng, const ModelCheckOptions& opt,
   }
 }
 
+// --- Check 10: workload-parity ----------------------------------------------
+// Every registered workload family, generated at sweep-friendly sizes, must
+// (a) regenerate byte-identically from the same options, (b) satisfy its own
+// declared shape, and (c) replay through AuditService incremental sessions
+// onto findings byte-identical to the offline Auditor over the same log —
+// the named-family analogue of check_service_composition, run on traffic the
+// engine was NOT tuned on.
+
+void check_workload_parity(Rng& rng, const ModelCheckOptions& opt,
+                           Failures& out) {
+  (void)opt;
+  const std::vector<const workloads::WorkloadFamily*>& families =
+      workloads::all_families();
+  const workloads::WorkloadFamily& family =
+      *families[rng.next_below(families.size())];
+
+  workloads::FamilyOptions family_options;
+  family_options.seed = rng.next_u64();
+  family_options.requests = 3 + static_cast<unsigned>(rng.next_below(8));
+  family_options.users = 1 + static_cast<unsigned>(rng.next_below(3));
+  if (family.name() == "policy") {
+    family_options.records = 3 + static_cast<unsigned>(rng.next_below(6));
+    family_options.requests += 4;  // longer sessions are the family's point
+  } else if (family.name() == "collusion") {
+    family_options.records = 4 + static_cast<unsigned>(rng.next_below(5));
+    family_options.users = 2 + static_cast<unsigned>(rng.next_below(2));
+    family_options.requests = std::max(4u, family_options.requests);
+  } else if (family.name() == "rectangles") {
+    // Mostly small dense grids; one case in eight crosses the dense wall so
+    // the symbolic service path sees family traffic too.
+    static constexpr unsigned kDenseCells[] = {4, 6, 8, 9, 10, 12};
+    family_options.records =
+        rng.next_below(8) == 0
+            ? 27 + static_cast<unsigned>(rng.next_below(6))
+            : kDenseCells[rng.next_below(6)];
+  } else {
+    family_options.records = 3 + static_cast<unsigned>(rng.next_below(4));
+  }
+
+  const std::string tag = "family '" + std::string(family.name()) +
+                          "' (seed " + std::to_string(family_options.seed) +
+                          ", records " + std::to_string(family_options.records) +
+                          ", requests " +
+                          std::to_string(family_options.requests) + ", users " +
+                          std::to_string(family_options.users) + ")";
+
+  workloads::GeneratedWorkload workload;
+  if (Status generated = family.generate(family_options, &workload);
+      !generated.ok()) {
+    out.push_back(tag + " failed to generate: " + generated.to_string());
+    return;
+  }
+  if (Status valid = workloads::validate_workload(family, workload);
+      !valid.ok()) {
+    out.push_back(tag + " violates its declared shape: " + valid.to_string());
+    return;
+  }
+
+  // Determinism: the same options must reproduce the instance byte for byte.
+  workloads::GeneratedWorkload again;
+  if (!family.generate(family_options, &again).ok() ||
+      again.initial_state != workload.initial_state ||
+      again.universe.names() != workload.universe.names() ||
+      again.audit_queries != workload.audit_queries ||
+      again.stream.size() != workload.stream.size()) {
+    out.push_back(tag + " is not deterministic (scenario drifted)");
+    return;
+  }
+  for (std::size_t i = 0; i < workload.stream.size(); ++i) {
+    if (again.stream[i].user != workload.stream[i].user ||
+        again.stream[i].query_text != workload.stream[i].query_text ||
+        again.stream[i].answer != workload.stream[i].answer) {
+      out.push_back(tag + " is not deterministic (stream entry #" +
+                    std::to_string(i) + " drifted)");
+      return;
+    }
+  }
+
+  // Offline reference: one batch audit of the whole log.
+  AuditorOptions auditor_options;
+  auditor_options.threads = 1;
+  const Auditor auditor(workload.universe, workload.prior, auditor_options);
+  const AuditLog log = workload.to_log();
+  const std::size_t audits = std::min<std::size_t>(2, workload.audit_queries.size());
+  const std::span<const std::string> audit_queries(workload.audit_queries.data(),
+                                                   audits);
+  std::vector<AuditReport> reports;
+  if (Status audited = auditor.try_audit_many(log, audit_queries, &reports);
+      !audited.ok()) {
+    out.push_back(tag + " offline audit failed: " + audited.to_string());
+    return;
+  }
+
+  // Service replay, one incremental-session service per audited property.
+  for (std::size_t a = 0; a < audits; ++a) {
+    service::ServiceOptions service_options;
+    service_options.auditor = auditor_options;
+    service_options.workers = 2;
+    std::unique_ptr<service::AuditService> svc;
+    if (Status created = service::AuditService::try_create(
+            workload.universe, workload.initial_state,
+            workload.audit_queries[a], workload.prior, service_options, &svc);
+        !created.ok()) {
+      out.push_back(tag + ": AuditService::try_create rejected audit query \"" +
+                    workload.audit_queries[a] + "\": " + created.to_string());
+      return;
+    }
+    const AuditReport& report = reports[a];
+    auto mismatch = [&](const char* which, std::size_t index,
+                        const AuditFinding& got, const AuditFinding& want) {
+      if (got.verdict == want.verdict && got.method == want.method &&
+          got.certified == want.certified && got.detail == want.detail) {
+        return;
+      }
+      std::ostringstream os;
+      os << tag << ": " << which << " finding #" << index
+         << " diverges from the offline auditor under "
+         << to_string(workload.prior) << ": service=("
+         << verdict_name(got.verdict) << ", " << got.method << ") offline=("
+         << verdict_name(want.verdict) << ", " << want.method
+         << "); audit query \"" << workload.audit_queries[a] << "\"";
+      out.push_back(os.str());
+    };
+
+    std::unordered_map<std::string, AuditFinding> last_cumulative;
+    for (std::size_t i = 0; i < workload.stream.size(); ++i) {
+      const workloads::StreamRequest& entry = workload.stream[i];
+      service::AuditRequest request;
+      request.user = entry.user;
+      request.query_text = entry.query_text;
+      request.answer = entry.answer;
+      const service::AuditResponse response = svc->process(std::move(request));
+      if (!response.status.ok()) {
+        out.push_back(tag + ": service rejected replayed request #" +
+                      std::to_string(i) + ": " + response.status.to_string());
+        return;
+      }
+      mismatch("per-disclosure", i, response.disclosure,
+               report.per_disclosure[i]);
+      last_cumulative[entry.user] = response.cumulative;
+    }
+    for (const AuditFinding& want : report.per_user_cumulative) {
+      mismatch("cumulative", 0, last_cumulative.at(want.user), want);
+    }
+  }
+}
+
 // --- Driver -----------------------------------------------------------------
 
 struct Check {
@@ -1016,6 +1164,7 @@ constexpr Check kChecks[] = {
     {"service-composition", check_service_composition},
     {"fused-kernels", check_fused_kernels},
     {"backend-parity", check_backend_parity},
+    {"workload-parity", check_workload_parity},
 };
 
 }  // namespace

@@ -28,7 +28,7 @@ struct ModelCheckOptions {
   /// Master seed; every (check, case) derives its own Rng from it, so one
   /// case replays identically regardless of which other checks ran.
   std::uint64_t seed = 2008;
-  /// Scenarios per check. The default across the 8 checks totals 10,000.
+  /// Scenarios per check. The default across the 10 checks totals 12,500.
   std::uint64_t cases_per_check = 1250;
   /// When non-empty, run only the named check (see check_names()).
   std::string only_check;
@@ -71,7 +71,9 @@ struct ModelCheckReport {
 /// Names of all checks, in execution order: possibilistic-unrestricted,
 /// probabilistic-unrestricted, sigma-intervals, product-cascade,
 /// supermodular-cascade, engine-parity, service-composition, fused-kernels,
-/// backend-parity (dense vs symbolic subcube-cover representation).
+/// backend-parity (dense vs symbolic subcube-cover representation), and
+/// workload-parity (every registered workload family replayed through
+/// AuditService incremental sessions against the offline Auditor).
 std::vector<std::string> check_names();
 
 /// Runs the configured checks; when `progress` is non-null, one line per

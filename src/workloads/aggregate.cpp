@@ -1,0 +1,135 @@
+// The `aggregate` family: statistical audits in the style of Breutigam–
+// Reischuk's *Statistical Privacy* — analysts ask count thresholds over
+// attribute groups (sums/counts as disclosed properties) while the audited
+// properties are individual records and a group-majority threshold. The
+// counting shapes stress the C(m, k) threshold compilation and, under the
+// product prior, the counting branches of the cascade.
+#include "workloads/families.h"
+
+#include "util/rng.h"
+
+namespace epi {
+namespace workloads {
+namespace {
+
+constexpr unsigned kDefaultRecords = 8;
+constexpr unsigned kDefaultRequests = 40;
+constexpr unsigned kDefaultUsers = 3;
+constexpr unsigned kGroupSize = 4;
+
+class AggregateFamily final : public WorkloadFamily {
+ public:
+  std::string_view name() const override { return "aggregate"; }
+  std::string_view description() const override {
+    return "count-threshold disclosures over attribute groups with "
+           "individual records as the sensitive properties "
+           "(Breutigam-Reischuk-style statistical audits)";
+  }
+  WorkloadShape shape() const override {
+    WorkloadShape shape;
+    shape.min_users = 1;
+    shape.min_requests = 1;
+    shape.counting_queries = true;
+    shape.consistent_answers = true;
+    return shape;
+  }
+  Status generate(const FamilyOptions& options,
+                  GeneratedWorkload* out) const override {
+    if (out == nullptr) {
+      return Status::InvalidArgument("aggregate: null output");
+    }
+    const unsigned records =
+        options.records != 0 ? options.records : kDefaultRecords;
+    const unsigned requests =
+        options.requests != 0 ? options.requests : kDefaultRequests;
+    const unsigned users = options.users != 0 ? options.users : kDefaultUsers;
+    if (records < 2 || records > kMaxCoordinates) {
+      return Status::InvalidArgument(
+          "aggregate: records must be in [2, " +
+          std::to_string(kMaxCoordinates) + "]");
+    }
+
+    GeneratedWorkload generated;
+    generated.prior = PriorAssumption::kProduct;
+    // Group g<j> holds members g<j>_m<0..3>; the last group may be short.
+    std::vector<std::vector<std::string>> groups;
+    for (unsigned r = 0; r < records; ++r) {
+      const unsigned group = r / kGroupSize;
+      const std::string group_name = "g" + std::to_string(group);
+      const std::string member =
+          group_name + "_m" + std::to_string(r % kGroupSize);
+      generated.universe.add(
+          Record{member, {{"group", group_name}}});
+      if (group >= groups.size()) groups.emplace_back();
+      groups[group].push_back(member);
+    }
+    const std::vector<std::string> names = generated.universe.names();
+
+    Rng rng(options.seed);
+    generated.initial_state = static_cast<World>(rng.next_bits(records));
+
+    auto group_count_query = [&]() -> std::string {
+      const std::vector<std::string>& group =
+          groups[rng.next_below(groups.size())];
+      std::string body;
+      for (const std::string& member : group) body += ", " + member;
+      const unsigned k = 1 + static_cast<unsigned>(rng.next_below(group.size()));
+      return (rng.next_bool() ? "atleast(" : "atmost(") + std::to_string(k) +
+             body + ")";
+    };
+
+    for (unsigned q = 0; q < requests; ++q) {
+      const std::string user =
+          "analyst" + std::to_string(rng.next_below(users));
+      std::string text;
+      // Request 0 is always a group count, making the counting-query shape
+      // guarantee unconditional even for one-request streams.
+      const std::uint64_t kind = q == 0 ? 0 : rng.next_below(10);
+      if (kind < 6) {
+        text = group_count_query();
+      } else if (kind < 7) {
+        // Cross-group count over a small sample (repeats allowed — the
+        // parser and threshold compiler accept them).
+        const std::size_t sample = 2 + rng.next_below(2);
+        std::string body;
+        for (std::size_t i = 0; i < sample; ++i) {
+          body += ", " + names[rng.next_below(names.size())];
+        }
+        const unsigned k = 1 + static_cast<unsigned>(rng.next_below(sample));
+        text = "atleast(" + std::to_string(k) + body + ")";
+      } else if (kind < 9) {
+        // Point drill-down on one individual.
+        text = names[rng.next_below(names.size())];
+      } else {
+        text = "!" + names[rng.next_below(names.size())];
+      }
+      if (Status pushed =
+              push_request(generated.universe, generated.initial_state, user,
+                           std::move(text), &generated.stream);
+          !pushed.ok()) {
+        return pushed;
+      }
+    }
+
+    // Sensitive properties: two individuals' records plus a group majority.
+    generated.audit_queries.push_back(names[0]);
+    if (names.size() > 1) generated.audit_queries.push_back(names.back());
+    std::string body;
+    for (const std::string& member : groups[0]) body += ", " + member;
+    generated.audit_queries.push_back(
+        "atleast(" + std::to_string((groups[0].size() + 1) / 2) + body + ")");
+
+    *out = std::move(generated);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+const WorkloadFamily& aggregate_family() {
+  static const AggregateFamily family;
+  return family;
+}
+
+}  // namespace workloads
+}  // namespace epi

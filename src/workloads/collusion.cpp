@@ -1,0 +1,143 @@
+// The `collusion` family: a fleet of agents, each probing an overlapping
+// slice of the record space, followed by a `coalition` pseudo-user that
+// replays the first two agents' requests into one session — pooling
+// disclosures by intersection exactly as Section 4.1's collusion semantics
+// prescribe (and as collusion_users()/audit_coalitions analyze directly).
+// The log-supermodular prior routes verdicts through the supermodular
+// cascade; the shared slices make agents' knowledge genuinely overlap.
+#include "workloads/families.h"
+
+#include "util/rng.h"
+
+namespace epi {
+namespace workloads {
+namespace {
+
+constexpr unsigned kDefaultRecords = 8;
+constexpr unsigned kDefaultRequests = 36;
+constexpr unsigned kDefaultAgents = 3;
+
+class CollusionFamily final : public WorkloadFamily {
+ public:
+  std::string_view name() const override { return "collusion"; }
+  std::string_view description() const override {
+    return "agent fleet over overlapping record slices plus a coalition "
+           "user pooling the first two agents' disclosures (Section 4.1 "
+           "collusion), under the log-supermodular prior";
+  }
+  WorkloadShape shape() const override {
+    WorkloadShape shape;
+    shape.min_users = 3;  // >= 2 agents plus the coalition replay
+    shape.min_requests = 2;
+    shape.counting_queries = true;
+    shape.consistent_answers = true;
+    return shape;
+  }
+  Status generate(const FamilyOptions& options,
+                  GeneratedWorkload* out) const override {
+    if (out == nullptr) {
+      return Status::InvalidArgument("collusion: null output");
+    }
+    const unsigned records =
+        options.records != 0 ? options.records : kDefaultRecords;
+    const unsigned requests =
+        options.requests != 0 ? options.requests : kDefaultRequests;
+    const unsigned agents = options.users != 0 ? options.users : kDefaultAgents;
+    if (records < 2 || records > kMaxCoordinates) {
+      return Status::InvalidArgument(
+          "collusion: records must be in [2, " +
+          std::to_string(kMaxCoordinates) + "]");
+    }
+    if (agents < 2) {
+      return Status::InvalidArgument("collusion: users (agents) must be >= 2");
+    }
+    if (requests < 2) {
+      // One agent request cannot cover agents 0 and 1, so the coalition
+      // would pool a single agent — below the declared user floor.
+      return Status::InvalidArgument("collusion: requests must be >= 2");
+    }
+
+    GeneratedWorkload generated;
+    generated.prior = PriorAssumption::kLogSupermodular;
+    for (unsigned r = 0; r < records; ++r) {
+      generated.universe.add("acct" + std::to_string(r));
+    }
+    const std::vector<std::string> names = generated.universe.names();
+
+    Rng rng(options.seed);
+    generated.initial_state = static_cast<World>(rng.next_bits(records));
+
+    // Agent k sees a contiguous window of the records; windows overlap so
+    // pooled knowledge is strictly sharper than any one agent's.
+    const unsigned window =
+        std::max(2u, records / agents + 1);
+    auto slice_name = [&](unsigned agent) {
+      const unsigned span = records > window ? records - window : 0;
+      const unsigned start =
+          agents > 1 ? (agent * span) / (agents - 1) : 0;
+      return names[start + rng.next_below(std::min(window, records))];
+    };
+
+    auto slice_query = [&](unsigned agent, bool force_counting) {
+      const std::uint64_t kind = force_counting ? 6 : rng.next_below(10);
+      if (kind < 4) return slice_name(agent);
+      if (kind < 6) return "!" + slice_name(agent);
+      if (kind < 8) {
+        // Counting threshold over a small sample of the slice.
+        const std::size_t sample = 2 + rng.next_below(2);
+        std::string body;
+        for (std::size_t i = 0; i < sample; ++i) body += ", " + slice_name(agent);
+        const unsigned k = 1 + static_cast<unsigned>(rng.next_below(sample));
+        return (rng.next_bool() ? "atleast(" : "atmost(") + std::to_string(k) +
+               body + ")";
+      }
+      return slice_name(agent) + " & " + slice_name(agent);
+    };
+
+    // Agent phase: each request from a random agent inside its slice. The
+    // round-robin floor guarantees agents 0 and 1 (the future coalition)
+    // both appear whenever requests >= 2.
+    for (unsigned q = 0; q < requests; ++q) {
+      const unsigned agent = q < agents ? q : static_cast<unsigned>(
+                                                  rng.next_below(agents));
+      if (Status pushed = push_request(
+              generated.universe, generated.initial_state,
+              "agent" + std::to_string(agent), slice_query(agent, q == 0),
+              &generated.stream);
+          !pushed.ok()) {
+        return pushed;
+      }
+    }
+
+    // Coalition phase: one pseudo-user re-issues agents 0 and 1's requests,
+    // so its session's accumulated knowledge is exactly the pooled
+    // intersection of the two agents' disclosures (Prop. 3.10).
+    const std::size_t agent_phase = generated.stream.size();
+    for (std::size_t i = 0; i < agent_phase; ++i) {
+      const StreamRequest& request = generated.stream[i];
+      if (request.user == "agent0" || request.user == "agent1") {
+        generated.stream.push_back(
+            StreamRequest{"coalition", request.query_text, request.answer});
+      }
+    }
+
+    // Sensitive properties: one record per coalition slice plus the
+    // cross-slice conjunction only pooled knowledge can pin down.
+    generated.audit_queries.push_back(names.front());
+    generated.audit_queries.push_back(names.back());
+    generated.audit_queries.push_back(names.front() + " & " + names.back());
+
+    *out = std::move(generated);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+const WorkloadFamily& collusion_family() {
+  static const CollusionFamily family;
+  return family;
+}
+
+}  // namespace workloads
+}  // namespace epi

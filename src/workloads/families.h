@@ -1,0 +1,26 @@
+// Internal: the built-in family singletons, one accessor per translation
+// unit, assembled into the registry by family.cpp. Explicit accessors (not
+// static self-registration) so a static-library link never drops a family.
+#pragma once
+
+#include "workloads/family.h"
+
+namespace epi {
+namespace workloads {
+
+const WorkloadFamily& hospital_family();
+const WorkloadFamily& aggregate_family();
+const WorkloadFamily& policy_family();
+const WorkloadFamily& collusion_family();
+const WorkloadFamily& rectangles_family();
+
+/// Parses `text`, evaluates it at `state` (the consistent answer every
+/// built-in family records) and appends the answered request to `stream`.
+/// InvalidArgument when the generated text does not parse — a generator bug
+/// surfaced instead of swallowed.
+Status push_request(const RecordUniverse& universe, World state,
+                    std::string user, std::string text,
+                    std::vector<StreamRequest>* stream);
+
+}  // namespace workloads
+}  // namespace epi

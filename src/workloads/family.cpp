@@ -1,0 +1,180 @@
+#include "workloads/family.h"
+
+#include <set>
+#include <sstream>
+
+#include "db/parser.h"
+#include "workloads/families.h"
+#include "worlds/finite_set.h"
+
+namespace epi {
+namespace workloads {
+
+AuditLog GeneratedWorkload::to_log() const {
+  AuditLog log;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    log.record_with_answer(stream[i].user, stream[i].query_text,
+                           stream[i].answer, "t" + std::to_string(i));
+  }
+  return log;
+}
+
+const std::vector<const WorkloadFamily*>& all_families() {
+  static const std::vector<const WorkloadFamily*> families = {
+      &hospital_family(), &aggregate_family(), &policy_family(),
+      &collusion_family(), &rectangles_family()};
+  return families;
+}
+
+const WorkloadFamily* find_family(std::string_view name) {
+  for (const WorkloadFamily* family : all_families()) {
+    if (family->name() == name) return family;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> family_names() {
+  std::vector<std::string> names;
+  for (const WorkloadFamily* family : all_families()) {
+    names.emplace_back(family->name());
+  }
+  return names;
+}
+
+Status validate_workload(const WorkloadFamily& family,
+                         const GeneratedWorkload& workload) {
+  const WorkloadShape shape = family.shape();
+  const std::string tag = "workload '" + std::string(family.name()) + "': ";
+  if (workload.universe.empty()) {
+    return Status::InvalidArgument(tag + "empty universe");
+  }
+  if (workload.universe.size() > shape.max_coordinates) {
+    return Status::InvalidArgument(
+        tag + "universe has " + std::to_string(workload.universe.size()) +
+        " records, above the family ceiling of " +
+        std::to_string(shape.max_coordinates));
+  }
+  if (workload.stream.size() < shape.min_requests) {
+    return Status::InvalidArgument(
+        tag + "stream has " + std::to_string(workload.stream.size()) +
+        " requests, below the declared floor of " +
+        std::to_string(shape.min_requests));
+  }
+  std::set<std::string> users;
+  bool counting = false;
+  for (std::size_t i = 0; i < workload.stream.size(); ++i) {
+    const StreamRequest& request = workload.stream[i];
+    users.insert(request.user);
+    QueryPtr query;
+    if (Status parsed = try_parse_query(request.query_text, &query);
+        !parsed.ok()) {
+      return Status::InvalidArgument(tag + "stream query #" +
+                                     std::to_string(i) + " does not parse: " +
+                                     parsed.message());
+    }
+    counting = counting ||
+               request.query_text.find("atleast(") != std::string::npos ||
+               request.query_text.find("atmost(") != std::string::npos;
+    if (shape.consistent_answers &&
+        query->evaluate(workload.universe, workload.initial_state) !=
+            request.answer) {
+      return Status::InvalidArgument(
+          tag + "stream answer #" + std::to_string(i) +
+          " contradicts initial_state for \"" + request.query_text + "\"");
+    }
+  }
+  if (users.size() < shape.min_users) {
+    return Status::InvalidArgument(
+        tag + "stream covers " + std::to_string(users.size()) +
+        " users, below the declared floor of " +
+        std::to_string(shape.min_users));
+  }
+  if (shape.counting_queries && !counting) {
+    return Status::InvalidArgument(
+        tag + "declared counting queries but the stream has none");
+  }
+  if (workload.audit_queries.empty()) {
+    return Status::InvalidArgument(tag + "no audit queries");
+  }
+  for (const std::string& text : workload.audit_queries) {
+    QueryPtr query;
+    if (Status parsed = try_parse_query(text, &query); !parsed.ok()) {
+      return Status::InvalidArgument(tag + "audit query \"" + text +
+                                     "\" does not parse: " + parsed.message());
+    }
+  }
+  return Status::Ok();
+}
+
+std::string to_scenario_script(const WorkloadFamily& family,
+                               const GeneratedWorkload& workload) {
+  std::ostringstream os;
+  os << "# workload family: " << family.name() << "\n";
+  const std::vector<std::string> names = workload.universe.names();
+  for (const std::string& name : names) os << "record " << name << "\n";
+  for (unsigned c = 0; c < workload.universe.size(); ++c) {
+    if ((workload.initial_state >> c) & 1u) os << "insert " << names[c] << "\n";
+  }
+  os << "prior " << to_string(workload.prior) << "\n";
+  for (std::size_t i = 0; i < workload.stream.size(); ++i) {
+    const StreamRequest& request = workload.stream[i];
+    os << "query " << request.user << " @t" << i << " " << request.query_text
+       << "\n";
+  }
+  for (const std::string& text : workload.audit_queries) {
+    os << "audit " << text << "\n";
+  }
+  return os.str();
+}
+
+Status push_request(const RecordUniverse& universe, World state,
+                    std::string user, std::string text,
+                    std::vector<StreamRequest>* stream) {
+  QueryPtr query;
+  if (Status parsed = try_parse_query(text, &query); !parsed.ok()) {
+    return Status::InvalidArgument("generated query \"" + text +
+                                   "\" does not parse: " + parsed.message());
+  }
+  const bool answer = query->evaluate(universe, state);
+  stream->push_back(StreamRequest{std::move(user), std::move(text), answer});
+  return Status::Ok();
+}
+
+Status collusion_users(const GeneratedWorkload& workload,
+                       std::vector<CollusionUser>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("collusion_users: null output");
+  }
+  const unsigned n = workload.universe.size();
+  if (n == 0 || n > kMaxCoordinates) {
+    return Status::InvalidArgument(
+        "collusion_users: needs a dense universe (1.." +
+        std::to_string(kMaxCoordinates) + " records), got " +
+        std::to_string(n));
+  }
+  const std::size_t omega = std::size_t{1} << n;
+  std::vector<CollusionUser> users;
+  auto user_of = [&](const std::string& name) -> CollusionUser& {
+    for (CollusionUser& user : users) {
+      if (user.name == name) return user;
+    }
+    users.push_back(CollusionUser{name, {FiniteSet::universe(omega)}, {}});
+    return users.back();
+  };
+  for (const StreamRequest& request : workload.stream) {
+    QueryPtr query;
+    if (Status parsed = try_parse_query(request.query_text, &query);
+        !parsed.ok()) {
+      return parsed;
+    }
+    WorldSet satisfying = query->compile(workload.universe);
+    user_of(request.user)
+        .disclosures.push_back(
+            to_finite(request.answer ? satisfying : ~satisfying));
+  }
+  *out = std::move(users);
+  return Status::Ok();
+}
+
+}  // namespace workloads
+}  // namespace epi

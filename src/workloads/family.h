@@ -1,0 +1,136 @@
+// The workload-family registry: named scenario generators behind one
+// interface, so every consumer — the `workload-parity` model check, the
+// bench family axes, the `epi_workload` CLI and the replay scripts — draws
+// its traffic from the same five families instead of the single synthetic
+// hospital mix the perf work was tuned on.
+//
+// Families (see docs/workloads.md for the catalog):
+//   hospital    the original core/workload.h mix, promoted unchanged
+//   aggregate   count-threshold disclosures over attribute groups
+//               (Breutigam–Reischuk-style statistical audits)
+//   policy      long monotone sessions whose audited properties come from a
+//               declarative denial rule set (Cima et al.-style CQE)
+//   collusion   agent fleets pooling disclosures (Section 4.1 collusion)
+//   rectangles  scaled-up Ex. 4.9 grids, sweepable to the symbolic
+//               backend's 32-coordinate ceiling
+//
+// Every family is deterministic: the same FamilyOptions produce a
+// byte-identical GeneratedWorkload (tests/golden/workloads/ pins the
+// streams), and every family's answers are consistent with one fixed
+// database state, so replaying the stream through the AuditService must
+// reproduce the offline Auditor verdict for verdict — the workload-parity
+// check's contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "engine/decision_engine.h"
+#include "possibilistic/collusion.h"
+#include "util/status.h"
+
+namespace epi {
+namespace workloads {
+
+/// One replayed request: who asked what, and the answer they saw.
+struct StreamRequest {
+  std::string user;
+  std::string query_text;
+  bool answer = false;
+};
+
+/// Declared invariants of a family's output. validate_workload() checks a
+/// generated instance against its family's shape; tests and the
+/// workload-parity check assert on it, so these are guarantees, not hints.
+struct WorkloadShape {
+  /// The stream covers at least this many distinct users.
+  std::size_t min_users = 1;
+  /// The stream holds at least this many requests.
+  std::size_t min_requests = 1;
+  /// The stream contains at least one atleast/atmost counting query.
+  bool counting_queries = false;
+  /// Every answer equals the query evaluated at `initial_state` — which
+  /// makes every session monotone and never inconsistent: the actual world
+  /// stays inside each user's shrinking knowledge set.
+  bool consistent_answers = false;
+  /// Universe ceiling the family may generate up to (kMaxCoordinates for
+  /// dense-only families, kMaxSymbolicCoordinates for rectangles).
+  unsigned max_coordinates = kMaxCoordinates;
+};
+
+/// Size and seed knobs shared by every family. Zero means "family default";
+/// each family documents how `records` is interpreted (hospital: patients,
+/// aggregate/policy/collusion: records, rectangles: grid cells).
+struct FamilyOptions {
+  std::uint64_t seed = 2008;
+  unsigned records = 0;   ///< universe size knob (0 = family default)
+  unsigned requests = 0;  ///< stream length target (0 = family default)
+  unsigned users = 0;     ///< distinct users/agents (0 = family default)
+};
+
+/// A generated instance: the scenario (universe + actual state + prior the
+/// family is designed for), the request stream, and the sensitive
+/// properties to audit against it.
+struct GeneratedWorkload {
+  RecordUniverse universe;
+  World initial_state = 0;
+  PriorAssumption prior = PriorAssumption::kUnrestricted;
+  std::vector<StreamRequest> stream;
+  std::vector<std::string> audit_queries;
+
+  /// The stream as an offline AuditLog (record_with_answer per request,
+  /// timestamps "t<k>") — the input Auditor::audit_many expects.
+  AuditLog to_log() const;
+};
+
+/// One named scenario generator.
+class WorkloadFamily {
+ public:
+  virtual ~WorkloadFamily() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  /// The invariants every generate() output satisfies.
+  virtual WorkloadShape shape() const = 0;
+  /// Builds an instance. Deterministic in `options`; rejects out-of-range
+  /// knobs with InvalidArgument and leaves `*out` untouched on failure.
+  virtual Status generate(const FamilyOptions& options,
+                          GeneratedWorkload* out) const = 0;
+};
+
+/// Every registered family, in catalog order (hospital first).
+const std::vector<const WorkloadFamily*>& all_families();
+/// Lookup by name; nullptr when unknown.
+const WorkloadFamily* find_family(std::string_view name);
+/// Registered names, in catalog order.
+std::vector<std::string> family_names();
+
+/// Checks a generated instance against its family's declared shape:
+/// universe bounds, stream/user floors, query parseability, the
+/// counting-query guarantee, and (consistent_answers) that every answer
+/// matches evaluation at initial_state.
+Status validate_workload(const WorkloadFamily& family,
+                         const GeneratedWorkload& workload);
+
+/// The instance as a scenario script (core/scenario.h): record/insert
+/// directives rebuilding initial_state, the prior, the query stream, then
+/// one audit directive per sensitive property. Running it through
+/// run_scenario (or audit_cli / audit_server --scenario) reproduces the
+/// stream's answers exactly — valid for consistent_answers families, which
+/// all five built-ins are.
+std::string to_scenario_script(const WorkloadFamily& family,
+                               const GeneratedWorkload& workload);
+
+/// The per-user collusion view (possibilistic/collusion.h): each user
+/// becomes a CollusionUser with an unrestricted prior family and their
+/// disclosed sets as FiniteSets over the 2^n world space, ready for
+/// audit_coalitions. Dense universes only (n <= kMaxCoordinates; the 2^n
+/// FiniteSets are explicit).
+Status collusion_users(const GeneratedWorkload& workload,
+                       std::vector<CollusionUser>* out);
+
+}  // namespace workloads
+}  // namespace epi

@@ -1,0 +1,72 @@
+// The `hospital` family: the original core/workload.h generator promoted
+// into the registry unchanged — same record names, same query mix, same
+// seed-for-seed output — so existing callers (bench_service_throughput,
+// E13, workload_test.cpp) and the family consumers draw identical traffic.
+#include "workloads/families.h"
+
+#include "core/workload.h"
+
+namespace epi {
+namespace workloads {
+namespace {
+
+class HospitalFamily final : public WorkloadFamily {
+ public:
+  std::string_view name() const override { return "hospital"; }
+  std::string_view description() const override {
+    return "hospital-style mix of point lookups, implications, negations "
+           "and counting thresholds (core/workload.h, the original bench "
+           "scenario)";
+  }
+  WorkloadShape shape() const override {
+    WorkloadShape shape;
+    shape.min_users = 1;
+    shape.min_requests = 1;
+    // The mix draws counting queries with probability ~0.2 per request, so
+    // short streams may legitimately contain none — not a guarantee here.
+    shape.counting_queries = false;
+    shape.consistent_answers = true;
+    return shape;
+  }
+  Status generate(const FamilyOptions& options,
+                  GeneratedWorkload* out) const override {
+    if (out == nullptr) {
+      return Status::InvalidArgument("hospital: null output");
+    }
+    WorkloadOptions workload_options;
+    workload_options.seed = options.seed;
+    if (options.records != 0) workload_options.patients = options.records;
+    if (options.requests != 0) {
+      workload_options.queries = static_cast<int>(options.requests);
+    }
+    if (options.users != 0) {
+      workload_options.users = static_cast<int>(options.users);
+    }
+    Workload workload{RecordUniverse{}};
+    if (Status made = try_make_hospital_workload(workload_options, &workload);
+        !made.ok()) {
+      return made;
+    }
+    GeneratedWorkload generated;
+    generated.universe = workload.universe;
+    generated.initial_state = workload.database.state();
+    generated.prior = PriorAssumption::kProduct;
+    for (const Disclosure& entry : workload.log.entries()) {
+      generated.stream.push_back(
+          StreamRequest{entry.user, entry.query_text, entry.answer});
+    }
+    generated.audit_queries = workload.audit_candidates;
+    *out = std::move(generated);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+const WorkloadFamily& hospital_family() {
+  static const HospitalFamily family;
+  return family;
+}
+
+}  // namespace workloads
+}  // namespace epi

@@ -1,0 +1,142 @@
+// The `policy` family: controlled-query-evaluation streams in the style of
+// Cima et al.'s *Epistemic Dependencies* — a declarative rule set of denial
+// patterns (implications the user must not come to know, protected atoms,
+// forbidden conjunctions) generates the audited properties, while a few
+// clients run long sessions of atoms/implications against one fixed
+// database. Sessions are monotone and consistent by construction, which is
+// exactly the shape the incremental-session tiers (pins, unchanged-S
+// replay, Δ-evaluation) are built for; the subcube-knowledge prior routes
+// every decision through the Section 4.1 interval machinery.
+#include "workloads/families.h"
+
+#include <set>
+
+#include "possibilistic/subcubes.h"
+#include "util/rng.h"
+
+namespace epi {
+namespace workloads {
+namespace {
+
+constexpr unsigned kDefaultRecords = 10;
+constexpr unsigned kDefaultRequests = 48;
+constexpr unsigned kDefaultUsers = 2;
+
+class PolicyFamily final : public WorkloadFamily {
+ public:
+  std::string_view name() const override { return "policy"; }
+  std::string_view description() const override {
+    return "long monotone client sessions audited against a declarative "
+           "denial rule set (Cima-et-al-style controlled query evaluation), "
+           "under the subcube-knowledge prior";
+  }
+  WorkloadShape shape() const override {
+    WorkloadShape shape;
+    shape.min_users = 1;
+    shape.min_requests = 1;
+    shape.counting_queries = false;
+    shape.consistent_answers = true;
+    // The Section 4.1 oracle enumerates the subcube family; stay under its
+    // ceiling so the prior the family declares is actually runnable.
+    shape.max_coordinates = kMaxSubcubeEnumerationCoordinates;
+    return shape;
+  }
+  Status generate(const FamilyOptions& options,
+                  GeneratedWorkload* out) const override {
+    if (out == nullptr) {
+      return Status::InvalidArgument("policy: null output");
+    }
+    const unsigned records =
+        options.records != 0 ? options.records : kDefaultRecords;
+    const unsigned requests =
+        options.requests != 0 ? options.requests : kDefaultRequests;
+    const unsigned users = options.users != 0 ? options.users : kDefaultUsers;
+    if (records < 2 || records > kMaxSubcubeEnumerationCoordinates) {
+      return Status::InvalidArgument(
+          "policy: records must be in [2, " +
+          std::to_string(kMaxSubcubeEnumerationCoordinates) +
+          "] (subcube-knowledge prior)");
+    }
+
+    GeneratedWorkload generated;
+    generated.prior = PriorAssumption::kSubcubeKnowledge;
+    for (unsigned r = 0; r < records; ++r) {
+      generated.universe.add("fact" + std::to_string(r));
+    }
+    const std::vector<std::string> names = generated.universe.names();
+
+    Rng rng(options.seed);
+    generated.initial_state = static_cast<World>(rng.next_bits(records));
+
+    auto distinct_pair = [&](std::string* lhs, std::string* rhs) {
+      const std::size_t i = rng.next_below(names.size());
+      std::size_t j = rng.next_below(names.size() - 1);
+      if (j >= i) ++j;
+      *lhs = names[i];
+      *rhs = names[j];
+    };
+
+    // The rule set: denial patterns become the audited properties. Dedup
+    // keeps the first occurrence's order.
+    const std::size_t rules = std::min<std::size_t>(6, records);
+    std::set<std::string> seen;
+    for (std::size_t r = 0; r < rules; ++r) {
+      std::string text;
+      std::string lhs, rhs;
+      switch (rng.next_below(3)) {
+        case 0:  // denial of implication: the user must not learn lhs -> rhs
+          distinct_pair(&lhs, &rhs);
+          text = lhs + " -> " + rhs;
+          break;
+        case 1:  // protected atom
+          text = names[rng.next_below(names.size())];
+          break;
+        default:  // forbidden conjunction
+          distinct_pair(&lhs, &rhs);
+          text = "!(" + lhs + " & " + rhs + ")";
+          break;
+      }
+      if (seen.insert(text).second) {
+        generated.audit_queries.push_back(std::move(text));
+      }
+    }
+
+    // Long per-client sessions of atoms and implications.
+    for (unsigned q = 0; q < requests; ++q) {
+      const std::string user = "client" + std::to_string(rng.next_below(users));
+      std::string text;
+      std::string lhs, rhs;
+      const std::uint64_t kind = rng.next_below(20);
+      if (kind < 8) {
+        text = names[rng.next_below(names.size())];
+      } else if (kind < 14) {
+        distinct_pair(&lhs, &rhs);
+        text = lhs + " -> " + rhs;
+      } else if (kind < 17) {
+        distinct_pair(&lhs, &rhs);
+        text = lhs + " & " + rhs;
+      } else {
+        text = "!" + names[rng.next_below(names.size())];
+      }
+      if (Status pushed =
+              push_request(generated.universe, generated.initial_state, user,
+                           std::move(text), &generated.stream);
+          !pushed.ok()) {
+        return pushed;
+      }
+    }
+
+    *out = std::move(generated);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+const WorkloadFamily& policy_family() {
+  static const PolicyFamily family;
+  return family;
+}
+
+}  // namespace workloads
+}  // namespace epi

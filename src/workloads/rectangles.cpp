@@ -1,0 +1,159 @@
+// The `rectangles` family: scaled-up Example 4.9 — worlds are occupancy
+// patterns of a width x height cell grid and observers probe axis-aligned
+// sub-rectangles (all-occupied conjunctions, occupancy thresholds, single
+// cells). Under the unrestricted prior the whole stream runs on Thm. 3.11,
+// which the symbolic subcube-cover backend evaluates without a dense 2^n
+// bitset — so `records` sweeps past the 26-coordinate dense wall up to the
+// backend's 32-coordinate ceiling (the MatchVector packing limit).
+#include "workloads/families.h"
+
+#include "util/rng.h"
+
+namespace epi {
+namespace workloads {
+namespace {
+
+constexpr unsigned kDefaultCells = 24;
+constexpr unsigned kDefaultRequests = 40;
+constexpr unsigned kDefaultUsers = 2;
+
+/// Widest grid no taller than wide: h = largest divisor of `cells` with
+/// h * h <= cells, w = cells / h (primes degrade to a 1 x p strip).
+void factor_grid(unsigned cells, unsigned* width, unsigned* height) {
+  unsigned h = 1;
+  for (unsigned d = 1; d * d <= cells; ++d) {
+    if (cells % d == 0) h = d;
+  }
+  *height = h;
+  *width = cells / h;
+}
+
+class RectanglesFamily final : public WorkloadFamily {
+ public:
+  std::string_view name() const override { return "rectangles"; }
+  std::string_view description() const override {
+    return "Example 4.9 cell grids probed by sub-rectangle conjunctions and "
+           "occupancy thresholds under the unrestricted prior; `records` "
+           "(grid cells) sweeps to the symbolic backend's 32-coordinate "
+           "ceiling";
+  }
+  WorkloadShape shape() const override {
+    WorkloadShape shape;
+    shape.min_users = 1;
+    shape.min_requests = 1;
+    shape.counting_queries = true;
+    shape.consistent_answers = true;
+    shape.max_coordinates = kMaxSymbolicCoordinates;
+    return shape;
+  }
+  Status generate(const FamilyOptions& options,
+                  GeneratedWorkload* out) const override {
+    if (out == nullptr) {
+      return Status::InvalidArgument("rectangles: null output");
+    }
+    const unsigned cells =
+        options.records != 0 ? options.records : kDefaultCells;
+    const unsigned requests =
+        options.requests != 0 ? options.requests : kDefaultRequests;
+    const unsigned users = options.users != 0 ? options.users : kDefaultUsers;
+    if (cells < 2 || cells > kMaxSymbolicCoordinates) {
+      return Status::InvalidArgument(
+          "rectangles: records (grid cells) must be in [2, " +
+          std::to_string(kMaxSymbolicCoordinates) + "]");
+    }
+    unsigned width = 0;
+    unsigned height = 0;
+    factor_grid(cells, &width, &height);
+
+    GeneratedWorkload generated;
+    generated.prior = PriorAssumption::kUnrestricted;
+    // Coordinate (y - 1) * width + (x - 1) is cell c<x>_<y>, matching
+    // GridDomain's row-major 1-based layout.
+    for (unsigned y = 1; y <= height; ++y) {
+      for (unsigned x = 1; x <= width; ++x) {
+        generated.universe.add(
+            Record{"c" + std::to_string(x) + "_" + std::to_string(y),
+                   {{"x", std::to_string(x)}, {"y", std::to_string(y)}}});
+      }
+    }
+    const std::vector<std::string> names = generated.universe.names();
+
+    Rng rng(options.seed);
+    generated.initial_state = static_cast<World>(rng.next_bits(cells));
+
+    // A random sub-rectangle with at most `max_area` cells, returned as the
+    // member names in row-major order.
+    auto block = [&](unsigned max_area) {
+      const unsigned block_w = 1 + static_cast<unsigned>(rng.next_below(
+                                       std::min(width, max_area)));
+      const unsigned max_h = std::max(1u, max_area / block_w);
+      const unsigned block_h = 1 + static_cast<unsigned>(rng.next_below(
+                                       std::min(height, max_h)));
+      const unsigned x1 = 1 + static_cast<unsigned>(
+                                  rng.next_below(width - block_w + 1));
+      const unsigned y1 = 1 + static_cast<unsigned>(
+                                  rng.next_below(height - block_h + 1));
+      std::vector<std::string> members;
+      for (unsigned y = y1; y < y1 + block_h; ++y) {
+        for (unsigned x = x1; x < x1 + block_w; ++x) {
+          members.push_back(names[(y - 1) * width + (x - 1)]);
+        }
+      }
+      return members;
+    };
+
+    for (unsigned q = 0; q < requests; ++q) {
+      const std::string user =
+          "observer" + std::to_string(rng.next_below(users));
+      std::string text;
+      const std::uint64_t kind = q == 0 ? 4 : rng.next_below(10);
+      if (kind < 4) {
+        // All cells of a small rectangle occupied (a pure conjunction — the
+        // symbolic backend's single-cylinder case).
+        std::string conjunction;
+        for (const std::string& member : block(4)) {
+          conjunction += conjunction.empty() ? member : " & " + member;
+        }
+        text = conjunction;
+      } else if (kind < 7) {
+        // Occupancy threshold over a rectangle (C(m, k) cube covers).
+        const std::vector<std::string> members = block(6);
+        std::string body;
+        for (const std::string& member : members) body += ", " + member;
+        const unsigned k =
+            1 + static_cast<unsigned>(rng.next_below(members.size()));
+        text = (rng.next_bool() ? "atleast(" : "atmost(") + std::to_string(k) +
+               body + ")";
+      } else if (kind < 9) {
+        text = names[rng.next_below(names.size())];
+      } else {
+        text = "!" + names[rng.next_below(names.size())];
+      }
+      if (Status pushed =
+              push_request(generated.universe, generated.initial_state, user,
+                           std::move(text), &generated.stream);
+          !pushed.ok()) {
+        return pushed;
+      }
+    }
+
+    // Sensitive properties: one corner cell and a 2-cell block conjunction.
+    generated.audit_queries.push_back(names.front());
+    if (names.size() >= 2) {
+      generated.audit_queries.push_back(names[0] + " & " + names[1]);
+    }
+
+    *out = std::move(generated);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+const WorkloadFamily& rectangles_family() {
+  static const RectanglesFamily family;
+  return family;
+}
+
+}  // namespace workloads
+}  // namespace epi

@@ -173,6 +173,25 @@ TEST(ModelCheck, AllChecksAgreeWithTheOracles) {
   }
 }
 
+// Seed sweep of the workload-parity check: the family registry must replay
+// byte-identically through AuditService incremental sessions for seeds
+// other than the CI default, so a lucky default seed cannot hide a
+// family/service divergence.
+TEST(ModelCheck, WorkloadParityHoldsAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 0xAB5ull, 20080615ull}) {
+    ModelCheckOptions options;
+    options.seed = seed;
+    options.only_check = "workload-parity";
+    options.cases_per_check = 40;
+    const ModelCheckReport report = run_model_check(options);
+    EXPECT_EQ(report.total_cases, 40u);
+    for (const CheckFailure& f : report.failures) {
+      ADD_FAILURE() << "seed " << seed << ": [" << f.check << " #"
+                    << f.case_index << "] " << f.description;
+    }
+  }
+}
+
 TEST(ModelCheck, SingleCaseReproRunsExactlyOneCase) {
   ModelCheckOptions options;
   options.only_check = "sigma-intervals";

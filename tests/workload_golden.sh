@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Pins every workload family's generator output: the first 20 stream lines
+# at the default knobs (seed 2008) must match the checked-in snapshot in
+# tests/golden/workloads/<family>.stream byte for byte, so accidental
+# generator drift — a reordered rng draw, a renamed record, a changed mix —
+# fails loudly instead of silently invalidating benches and goldens.
+#
+# Usage: workload_golden.sh <epi_workload> <golden_dir>
+#
+# Refreshing after an INTENTIONAL generator change (call it out in the PR):
+#   for f in hospital aggregate policy collusion rectangles; do
+#     build/tools/epi_workload --family=$f --emit=stream | head -20 \
+#       > tests/golden/workloads/$f.stream
+#   done
+set -u
+
+EPI_WORKLOAD="$1"
+GOLDEN_DIR="$2"
+STATUS=0
+
+for family in hospital aggregate policy collusion rectangles; do
+  golden="$GOLDEN_DIR/$family.stream"
+  if [ ! -f "$golden" ]; then
+    echo "FAIL [$family] missing golden snapshot $golden"
+    STATUS=1
+    continue
+  fi
+  fresh="$("$EPI_WORKLOAD" --family="$family" --emit=stream | head -20)"
+  if [ -z "$fresh" ]; then
+    echo "FAIL [$family] generator produced no stream"
+    STATUS=1
+    continue
+  fi
+  if ! diff -u "$golden" <(printf '%s\n' "$fresh") > /tmp/workload_golden_diff.$$; then
+    echo "FAIL [$family] stream drifted from $golden:"
+    cat /tmp/workload_golden_diff.$$
+    echo "(intentional change? refresh per the header of $0)"
+    STATUS=1
+  else
+    echo "ok   [$family]"
+  fi
+  rm -f /tmp/workload_golden_diff.$$
+done
+
+exit $STATUS

@@ -99,6 +99,60 @@ TEST(Workload, RejectsBadOptions) {
   zero_mix.point_weight = zero_mix.implication_weight = zero_mix.negation_weight =
       zero_mix.counting_weight = 0.0;
   EXPECT_THROW(random_workload_query({"a"}, rng, zero_mix), std::invalid_argument);
+  // Negative weights are rejected too, even when the total is positive —
+  // they silently skewed the mix before WorkloadOptions::validate() existed.
+  WorkloadOptions negative_mix;
+  negative_mix.point_weight = -0.5;
+  EXPECT_THROW(random_workload_query({"a"}, rng, negative_mix),
+               std::invalid_argument);
+  EXPECT_THROW(make_hospital_workload(negative_mix), std::invalid_argument);
+}
+
+TEST(Workload, ValidateReportsEachBadKnob) {
+  EXPECT_TRUE(WorkloadOptions{}.validate().ok());
+
+  WorkloadOptions bad;
+  bad.patients = kMaxCoordinates + 1;
+  EXPECT_EQ(bad.validate().code(), Status::Code::kInvalidArgument);
+
+  bad = WorkloadOptions{};
+  bad.queries = -1;
+  EXPECT_EQ(bad.validate().code(), Status::Code::kInvalidArgument);
+
+  bad = WorkloadOptions{};
+  bad.users = 0;
+  EXPECT_EQ(bad.validate().code(), Status::Code::kInvalidArgument);
+
+  bad = WorkloadOptions{};
+  bad.record_present_prob = 1.5;
+  EXPECT_EQ(bad.validate().code(), Status::Code::kInvalidArgument);
+
+  bad = WorkloadOptions{};
+  bad.counting_weight = -0.1;
+  EXPECT_EQ(bad.validate().code(), Status::Code::kInvalidArgument);
+
+  bad = WorkloadOptions{};
+  bad.point_weight = bad.implication_weight = bad.negation_weight =
+      bad.counting_weight = 0.0;
+  EXPECT_EQ(bad.validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Workload, TryMakeHospitalWorkloadStatusSurface) {
+  WorkloadOptions options;
+  options.patients = 3;
+  options.queries = 10;
+  Workload made{RecordUniverse{}};
+  ASSERT_TRUE(try_make_hospital_workload(options, &made).ok());
+  EXPECT_EQ(made.universe.size(), 3u);
+  EXPECT_EQ(made.log.size(), 10u);
+
+  options.implication_weight = -1.0;
+  Workload untouched{RecordUniverse{}};
+  const Status rejected = try_make_hospital_workload(options, &untouched);
+  EXPECT_EQ(rejected.code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(untouched.universe.empty());  // left untouched on failure
+  EXPECT_EQ(try_make_hospital_workload(WorkloadOptions{}, nullptr).code(),
+            Status::Code::kInvalidArgument);
 }
 
 }  // namespace

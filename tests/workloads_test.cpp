@@ -1,0 +1,331 @@
+// Tests for the workload-family registry (src/workloads/): registry
+// lookups, per-family determinism, the declared-shape guarantees each
+// family must honor (monotone policy sessions, collusion agent coverage,
+// counting queries, the symbolic rectangle ceiling), the scenario-script
+// round trip, and the collusion-analysis bridge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/auditor.h"
+#include "core/scenario.h"
+#include "core/workload.h"
+#include "db/parser.h"
+#include "possibilistic/collusion.h"
+#include "possibilistic/subcubes.h"
+#include "worlds/finite_set.h"
+#include "worlds/world_set.h"
+#include "workloads/family.h"
+
+namespace epi {
+namespace workloads {
+namespace {
+
+TEST(WorkloadRegistry, CatalogsTheFiveFamilies) {
+  const std::vector<std::string> names = family_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "hospital");
+  EXPECT_EQ(names[1], "aggregate");
+  EXPECT_EQ(names[2], "policy");
+  EXPECT_EQ(names[3], "collusion");
+  EXPECT_EQ(names[4], "rectangles");
+  for (const std::string& name : names) {
+    const WorkloadFamily* family = find_family(name);
+    ASSERT_NE(family, nullptr) << name;
+    EXPECT_EQ(family->name(), name);
+    EXPECT_FALSE(family->description().empty());
+  }
+  EXPECT_EQ(find_family("no-such-family"), nullptr);
+}
+
+TEST(WorkloadRegistry, EveryFamilyGeneratesItsDeclaredShape) {
+  for (const WorkloadFamily* family : all_families()) {
+    FamilyOptions options;
+    options.seed = 7;
+    GeneratedWorkload workload;
+    ASSERT_TRUE(family->generate(options, &workload).ok()) << family->name();
+    const Status valid = validate_workload(*family, workload);
+    EXPECT_TRUE(valid.ok()) << family->name() << ": " << valid.message();
+    // The log view mirrors the stream one-to-one.
+    const AuditLog log = workload.to_log();
+    ASSERT_EQ(log.size(), workload.stream.size()) << family->name();
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(log.entries()[i].user, workload.stream[i].user);
+      EXPECT_EQ(log.entries()[i].answer, workload.stream[i].answer);
+    }
+  }
+}
+
+TEST(WorkloadRegistry, SameSeedIsByteIdenticalAndSeedsMatter) {
+  for (const WorkloadFamily* family : all_families()) {
+    FamilyOptions options;
+    options.seed = 0xFEED;
+    GeneratedWorkload first, second;
+    ASSERT_TRUE(family->generate(options, &first).ok()) << family->name();
+    ASSERT_TRUE(family->generate(options, &second).ok()) << family->name();
+    EXPECT_EQ(first.initial_state, second.initial_state) << family->name();
+    EXPECT_EQ(first.universe.names(), second.universe.names());
+    EXPECT_EQ(first.audit_queries, second.audit_queries);
+    ASSERT_EQ(first.stream.size(), second.stream.size()) << family->name();
+    for (std::size_t i = 0; i < first.stream.size(); ++i) {
+      EXPECT_EQ(first.stream[i].user, second.stream[i].user);
+      EXPECT_EQ(first.stream[i].query_text, second.stream[i].query_text);
+      EXPECT_EQ(first.stream[i].answer, second.stream[i].answer);
+    }
+    // A different seed must actually change the instance (the state or the
+    // stream text, with overwhelming probability at default sizes).
+    FamilyOptions other = options;
+    other.seed = 0xFEED + 1;
+    GeneratedWorkload third;
+    ASSERT_TRUE(family->generate(other, &third).ok()) << family->name();
+    bool drifted = third.initial_state != first.initial_state ||
+                   third.stream.size() != first.stream.size();
+    for (std::size_t i = 0; !drifted && i < first.stream.size(); ++i) {
+      drifted = third.stream[i].query_text != first.stream[i].query_text ||
+                third.stream[i].user != first.stream[i].user;
+    }
+    EXPECT_TRUE(drifted) << family->name() << ": seed is ignored";
+  }
+}
+
+// The hospital family must be the core generator, not a reimplementation:
+// identical universe, database state, stream, and audit candidates.
+TEST(WorkloadHospital, PromotionMatchesCoreGeneratorByteForByte) {
+  const WorkloadFamily* family = find_family("hospital");
+  ASSERT_NE(family, nullptr);
+  FamilyOptions options;
+  options.seed = 99;
+  options.records = 5;
+  options.requests = 30;
+  options.users = 3;
+  GeneratedWorkload workload;
+  ASSERT_TRUE(family->generate(options, &workload).ok());
+  EXPECT_EQ(workload.prior, PriorAssumption::kProduct);
+
+  WorkloadOptions core_options;
+  core_options.seed = options.seed;
+  core_options.patients = options.records;
+  core_options.queries = static_cast<int>(options.requests);
+  core_options.users = static_cast<int>(options.users);
+  const Workload core = make_hospital_workload(core_options);
+  EXPECT_EQ(workload.universe.names(), core.universe.names());
+  EXPECT_EQ(workload.initial_state, core.database.state());
+  EXPECT_EQ(workload.audit_queries, core.audit_candidates);
+  ASSERT_EQ(workload.stream.size(), core.log.size());
+  for (std::size_t i = 0; i < workload.stream.size(); ++i) {
+    EXPECT_EQ(workload.stream[i].user, core.log.entries()[i].user);
+    EXPECT_EQ(workload.stream[i].query_text, core.log.entries()[i].query_text);
+    EXPECT_EQ(workload.stream[i].answer, core.log.entries()[i].answer);
+  }
+}
+
+TEST(WorkloadPolicy, SessionsAreMonotoneAndNeverInconsistent) {
+  const WorkloadFamily* family = find_family("policy");
+  ASSERT_NE(family, nullptr);
+  FamilyOptions options;
+  options.records = 8;
+  options.requests = 40;
+  options.users = 2;
+  GeneratedWorkload workload;
+  ASSERT_TRUE(family->generate(options, &workload).ok());
+  EXPECT_EQ(workload.prior, PriorAssumption::kSubcubeKnowledge);
+  EXPECT_LE(workload.universe.size(), kMaxSubcubeEnumerationCoordinates);
+
+  // Per-user accumulated knowledge (Prop. 3.10 intersections) only ever
+  // shrinks and always keeps the actual world — the monotone-session shape
+  // the incremental tiers rely on.
+  std::map<std::string, WorldSet> accumulated;
+  for (const StreamRequest& request : workload.stream) {
+    const WorldSet satisfying =
+        parse_query(request.query_text)->compile(workload.universe);
+    const WorldSet disclosed = request.answer ? satisfying : ~satisfying;
+    auto [it, fresh] = accumulated.emplace(
+        request.user, WorldSet::universe(workload.universe.size()));
+    (void)fresh;
+    const std::size_t before = it->second.count();
+    it->second &= disclosed;
+    EXPECT_LE(it->second.count(), before);
+    EXPECT_TRUE(it->second.contains(workload.initial_state))
+        << request.user << " session went inconsistent at \""
+        << request.query_text << "\"";
+  }
+  EXPECT_EQ(accumulated.size(), 2u);
+
+  // The rule set (the audited properties) audits cleanly end to end under
+  // the family's own prior.
+  AuditorOptions auditor_options;
+  auditor_options.threads = 1;
+  const Auditor auditor(workload.universe, workload.prior, auditor_options);
+  std::vector<AuditReport> reports;
+  ASSERT_TRUE(
+      auditor.try_audit_many(workload.to_log(), workload.audit_queries, &reports)
+          .ok());
+  EXPECT_EQ(reports.size(), workload.audit_queries.size());
+}
+
+TEST(WorkloadCollusion, CoversAgentsAndPoolsThroughTheCoalitionUser) {
+  const WorkloadFamily* family = find_family("collusion");
+  ASSERT_NE(family, nullptr);
+  FamilyOptions options;
+  options.records = 6;
+  options.requests = 12;
+  options.users = 3;
+  GeneratedWorkload workload;
+  ASSERT_TRUE(family->generate(options, &workload).ok());
+  EXPECT_EQ(workload.prior, PriorAssumption::kLogSupermodular);
+
+  std::set<std::string> users;
+  for (const StreamRequest& request : workload.stream) {
+    users.insert(request.user);
+  }
+  EXPECT_GE(users.size(), 3u);  // >= 2 agents plus the coalition
+  ASSERT_TRUE(users.count("coalition"));
+
+  // The coalition user's stream is exactly agents 0 and 1's requests, in
+  // order — pooled disclosure by replay (Prop. 3.10 makes it exact).
+  std::vector<std::pair<std::string, bool>> pooled, replayed;
+  for (const StreamRequest& request : workload.stream) {
+    if (request.user == "agent0" || request.user == "agent1") {
+      pooled.emplace_back(request.query_text, request.answer);
+    } else if (request.user == "coalition") {
+      replayed.emplace_back(request.query_text, request.answer);
+    }
+  }
+  EXPECT_EQ(replayed, pooled);
+
+  // Too few agents is a hard error, not a silent clamp.
+  FamilyOptions solo = options;
+  solo.users = 1;
+  GeneratedWorkload ignored;
+  EXPECT_EQ(family->generate(solo, &ignored).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(WorkloadCollusion, BridgesIntoCoalitionAuditing) {
+  const WorkloadFamily* family = find_family("collusion");
+  ASSERT_NE(family, nullptr);
+  FamilyOptions options;
+  options.records = 5;
+  options.requests = 8;
+  options.users = 2;
+  GeneratedWorkload workload;
+  ASSERT_TRUE(family->generate(options, &workload).ok());
+
+  std::vector<CollusionUser> users;
+  ASSERT_TRUE(collusion_users(workload, &users).ok());
+  ASSERT_GE(users.size(), 3u);
+  for (const CollusionUser& user : users) {
+    EXPECT_FALSE(user.disclosures.empty()) << user.name;
+  }
+  // Audit only the agents (the coalition user would re-count them).
+  users.erase(std::remove_if(users.begin(), users.end(),
+                             [](const CollusionUser& user) {
+                               return user.name == "coalition";
+                             }),
+              users.end());
+  ASSERT_EQ(users.size(), 2u);
+  const WorldSet sensitive =
+      parse_query(workload.audit_queries.back())->compile(workload.universe);
+  const std::vector<CoalitionFinding> findings =
+      audit_coalitions(users, to_finite(sensitive), workload.initial_state);
+  ASSERT_EQ(findings.size(), 3u);  // 2^2 - 1 coalitions
+  // Pooling only sharpens knowledge: if any single agent pins the sensitive
+  // set, the pair does too.
+  const bool single =
+      findings[0].knows_sensitive || findings[1].knows_sensitive;
+  ASSERT_EQ(findings.back().members.size(), 2u);
+  if (single) EXPECT_TRUE(findings.back().knows_sensitive);
+}
+
+TEST(WorkloadRectangles, SweepsToTheSymbolicCeiling) {
+  const WorkloadFamily* family = find_family("rectangles");
+  ASSERT_NE(family, nullptr);
+  EXPECT_EQ(family->shape().max_coordinates, kMaxSymbolicCoordinates);
+
+  FamilyOptions options;
+  options.records = 32;  // past the dense wall — symbolic covers only
+  options.requests = 8;
+  GeneratedWorkload workload;
+  ASSERT_TRUE(family->generate(options, &workload).ok());
+  EXPECT_EQ(workload.universe.size(), 32u);
+  EXPECT_EQ(workload.prior, PriorAssumption::kUnrestricted);
+  ASSERT_TRUE(validate_workload(*family, workload).ok());
+
+  AuditorOptions auditor_options;
+  auditor_options.threads = 1;
+  const Auditor auditor(workload.universe, workload.prior, auditor_options);
+  EXPECT_EQ(auditor.resolved_backend(), SetBackend::kSymbolic);
+  std::vector<AuditReport> reports;
+  ASSERT_TRUE(
+      auditor.try_audit_many(workload.to_log(), workload.audit_queries, &reports)
+          .ok());
+  for (const AuditReport& report : reports) {
+    EXPECT_EQ(report.per_disclosure.size(), workload.stream.size());
+  }
+
+  // One past the ceiling is a hard error.
+  FamilyOptions too_big = options;
+  too_big.records = 33;
+  GeneratedWorkload ignored;
+  EXPECT_EQ(family->generate(too_big, &ignored).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(WorkloadAggregate, KeepsTheCountingGuaranteeEvenForTinyStreams) {
+  const WorkloadFamily* family = find_family("aggregate");
+  ASSERT_NE(family, nullptr);
+  ASSERT_TRUE(family->shape().counting_queries);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    FamilyOptions options;
+    options.seed = seed;
+    options.records = 4;
+    options.requests = 1;  // worst case: the single request must be a count
+    GeneratedWorkload workload;
+    ASSERT_TRUE(family->generate(options, &workload).ok()) << "seed " << seed;
+    const Status valid = validate_workload(*family, workload);
+    EXPECT_TRUE(valid.ok()) << "seed " << seed << ": " << valid.message();
+  }
+}
+
+TEST(WorkloadScript, ScenarioRoundTripReproducesTheStream) {
+  const WorkloadFamily* family = find_family("aggregate");
+  ASSERT_NE(family, nullptr);
+  FamilyOptions options;
+  options.records = 6;
+  options.requests = 10;
+  GeneratedWorkload workload;
+  ASSERT_TRUE(family->generate(options, &workload).ok());
+
+  const std::string script = to_scenario_script(*family, workload);
+  const ScenarioResult result = run_scenario(script);
+  EXPECT_EQ(result.final_state, workload.initial_state);
+  ASSERT_EQ(result.log.size(), workload.stream.size());
+  for (std::size_t i = 0; i < workload.stream.size(); ++i) {
+    EXPECT_EQ(result.log.entries()[i].user, workload.stream[i].user);
+    EXPECT_EQ(result.log.entries()[i].query_text,
+              workload.stream[i].query_text);
+    EXPECT_EQ(result.log.entries()[i].answer, workload.stream[i].answer)
+        << "scenario replay changed the answer of \""
+        << workload.stream[i].query_text << "\"";
+  }
+  EXPECT_EQ(result.reports.size(), workload.audit_queries.size());
+}
+
+TEST(WorkloadRegistry, GenerationErrorsLeaveTheOutputUntouched) {
+  const WorkloadFamily* family = find_family("policy");
+  ASSERT_NE(family, nullptr);
+  GeneratedWorkload workload;
+  workload.initial_state = 42;
+  FamilyOptions options;
+  options.records = kMaxSubcubeEnumerationCoordinates + 1;
+  EXPECT_FALSE(family->generate(options, &workload).ok());
+  EXPECT_EQ(workload.initial_state, 42u);
+  EXPECT_EQ(workload.universe.size(), 0u);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace epi

@@ -20,7 +20,7 @@ namespace {
 void usage(std::ostream& os) {
   os << "usage: epi_modelcheck [options]\n"
         "  --seed=<u64>     master seed (default 2008)\n"
-        "  --cases=<u64>    scenarios per check (default 1250; 9 checks)\n"
+        "  --cases=<u64>    scenarios per check (default 1250; 10 checks)\n"
         "  --check=<name>   run a single check (see --list)\n"
         "  --case=<u64>     run a single case index (repro mode)\n"
         "  --max-m=<n>      largest finite universe (default 9)\n"

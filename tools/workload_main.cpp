@@ -1,0 +1,161 @@
+// epi_workload: command-line front-end for the workload-family registry
+// (src/workloads/family.h). Emits a family's deterministic request stream,
+// its scenario script (consumable by audit_cli and audit_server
+// --scenario), its distinct query texts (loadgen --query fodder), or a
+// human-readable summary.
+//
+// Exit codes: 0 success, 2 usage error, 3 generation failure.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "workloads/family.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: epi_workload --family=<name> [options]\n"
+        "       epi_workload --list\n"
+        "options:\n"
+        "  --family=<name>  one of the registered families (see --list)\n"
+        "  --seed=<u64>     generator seed (default 2008)\n"
+        "  --records=<n>    universe size knob, 0 = family default\n"
+        "  --requests=<n>   stream length target, 0 = family default\n"
+        "  --users=<n>      distinct users/agents, 0 = family default\n"
+        "  --emit=<what>    stream | scenario | queries | summary\n"
+        "                   (default stream)\n"
+        "emit formats:\n"
+        "  stream    one request per line: <user>\\t<query>\\t<0|1>\n"
+        "  scenario  scenario script (audit_cli / audit_server --scenario)\n"
+        "  queries   distinct stream query texts, one per line\n"
+        "  summary   family, knobs, shape and stream statistics\n";
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stoull(text, &pos);
+    return pos == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string family_name;
+  std::string emit = "stream";
+  epi::workloads::FamilyOptions options;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    std::uint64_t parsed = 0;
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--family=", 0) == 0) {
+      family_name = value("--family=");
+    } else if (arg.rfind("--emit=", 0) == 0) {
+      emit = value("--emit=");
+    } else if (arg.rfind("--seed=", 0) == 0 && parse_u64(value("--seed="), &parsed)) {
+      options.seed = parsed;
+    } else if (arg.rfind("--records=", 0) == 0 &&
+               parse_u64(value("--records="), &parsed)) {
+      options.records = static_cast<unsigned>(parsed);
+    } else if (arg.rfind("--requests=", 0) == 0 &&
+               parse_u64(value("--requests="), &parsed)) {
+      options.requests = static_cast<unsigned>(parsed);
+    } else if (arg.rfind("--users=", 0) == 0 &&
+               parse_u64(value("--users="), &parsed)) {
+      options.users = static_cast<unsigned>(parsed);
+    } else {
+      std::cerr << "unknown or malformed argument: " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const epi::workloads::WorkloadFamily* family :
+         epi::workloads::all_families()) {
+      std::cout << family->name() << "\t" << family->description() << "\n";
+    }
+    return 0;
+  }
+  if (family_name.empty()) {
+    std::cerr << "missing --family (or --list)\n";
+    usage(std::cerr);
+    return 2;
+  }
+  const epi::workloads::WorkloadFamily* family =
+      epi::workloads::find_family(family_name);
+  if (family == nullptr) {
+    std::cerr << "unknown family '" << family_name << "'; registered:";
+    for (const std::string& name : epi::workloads::family_names()) {
+      std::cerr << " " << name;
+    }
+    std::cerr << "\n";
+    return 2;
+  }
+
+  epi::workloads::GeneratedWorkload workload;
+  if (epi::Status generated = family->generate(options, &workload);
+      !generated.ok()) {
+    std::cerr << generated.to_string() << "\n";
+    return 3;
+  }
+  if (epi::Status valid = epi::workloads::validate_workload(*family, workload);
+      !valid.ok()) {
+    std::cerr << "generated workload violates its shape: " << valid.to_string()
+              << "\n";
+    return 3;
+  }
+
+  if (emit == "stream") {
+    for (const epi::workloads::StreamRequest& request : workload.stream) {
+      std::cout << request.user << "\t" << request.query_text << "\t"
+                << (request.answer ? 1 : 0) << "\n";
+    }
+  } else if (emit == "scenario") {
+    std::cout << epi::workloads::to_scenario_script(*family, workload);
+  } else if (emit == "queries") {
+    std::set<std::string> seen;
+    for (const epi::workloads::StreamRequest& request : workload.stream) {
+      if (seen.insert(request.query_text).second) {
+        std::cout << request.query_text << "\n";
+      }
+    }
+  } else if (emit == "summary") {
+    const epi::workloads::WorkloadShape shape = family->shape();
+    std::set<std::string> users;
+    for (const epi::workloads::StreamRequest& request : workload.stream) {
+      users.insert(request.user);
+    }
+    std::cout << "family: " << family->name() << "\n"
+              << "description: " << family->description() << "\n"
+              << "prior: " << epi::to_string(workload.prior) << "\n"
+              << "records: " << workload.universe.size() << "\n"
+              << "requests: " << workload.stream.size() << "\n"
+              << "users: " << users.size() << "\n"
+              << "audit queries: " << workload.audit_queries.size() << "\n"
+              << "shape: min_users=" << shape.min_users
+              << " min_requests=" << shape.min_requests
+              << " counting=" << (shape.counting_queries ? "yes" : "no")
+              << " consistent=" << (shape.consistent_answers ? "yes" : "no")
+              << " max_records=" << shape.max_coordinates << "\n";
+  } else {
+    std::cerr << "unknown --emit mode '" << emit << "'\n";
+    usage(std::cerr);
+    return 2;
+  }
+  return 0;
+}

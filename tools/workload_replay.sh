@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Drives the serving tier with workload-family traffic: generates a family
+# scenario with epi_workload, boots an audit_server on it (optionally behind
+# a shard_router), then replays the family's own query mix through loadgen
+# and requires error-free goodput. The third consumer of the family registry
+# (after the workload-parity model check and the bench family axes) — proof
+# that every family's traffic survives the wire protocol, the router hash
+# ring and the session tier, not just the in-process API.
+#
+# Usage:
+#   workload_replay.sh <epi_workload> <audit_server> <loadgen> <family> \
+#                      [shard_router]
+#
+# With a shard_router argument the scenario is served by 2 workers behind
+# the router; without it, by a single audit_server. Exit 0 iff loadgen
+# completed with zero errors and nonzero goodput.
+set -u
+
+EPI_WORKLOAD="$1"
+AUDIT_SERVER="$2"
+LOADGEN="$3"
+FAMILY="$4"
+SHARD_ROUTER="${5:-}"
+
+WORK_DIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+  done
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+SCENARIO="$WORK_DIR/$FAMILY.scn"
+QUERIES="$WORK_DIR/$FAMILY.queries"
+"$EPI_WORKLOAD" --family="$FAMILY" --emit=scenario > "$SCENARIO" || {
+  echo "FAIL: scenario generation for family '$FAMILY'"; exit 1; }
+"$EPI_WORKLOAD" --family="$FAMILY" --emit=queries > "$QUERIES" || {
+  echo "FAIL: query-list generation for family '$FAMILY'"; exit 1; }
+
+# loadgen replays the family's own distinct queries (capped at 12 so the
+# command line stays sane for long streams).
+QUERY_ARGS=()
+while IFS= read -r query; do
+  QUERY_ARGS+=(--query "$query")
+  [ "${#QUERY_ARGS[@]}" -ge 24 ] && break
+done < "$QUERIES"
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: socket $1 never appeared"
+  return 1
+}
+
+if [ -n "$SHARD_ROUTER" ]; then
+  for i in 0 1; do
+    "$AUDIT_SERVER" --listen "unix:$WORK_DIR/worker$i.sock" \
+      --scenario "$SCENARIO" > "$WORK_DIR/worker$i.log" 2>&1 &
+    PIDS+=($!)
+  done
+  wait_for_socket "$WORK_DIR/worker0.sock" || exit 1
+  wait_for_socket "$WORK_DIR/worker1.sock" || exit 1
+  "$SHARD_ROUTER" --listen "unix:$WORK_DIR/router.sock" \
+    --worker "unix:$WORK_DIR/worker0.sock" \
+    --worker "unix:$WORK_DIR/worker1.sock" \
+    > "$WORK_DIR/router.log" 2>&1 &
+  PIDS+=($!)
+  FRONT="$WORK_DIR/router.sock"
+else
+  "$AUDIT_SERVER" --listen "unix:$WORK_DIR/server.sock" \
+    --scenario "$SCENARIO" > "$WORK_DIR/server.log" 2>&1 &
+  PIDS+=($!)
+  FRONT="$WORK_DIR/server.sock"
+fi
+wait_for_socket "$FRONT" || { cat "$WORK_DIR"/*.log; exit 1; }
+
+OUT="$("$LOADGEN" --connect "unix:$FRONT" --rate 400 --duration-s 2 \
+  --warmup-s 0 --connections 4 --users 8 --user-prefix "$FAMILY" --json \
+  "${QUERY_ARGS[@]}")" || { echo "$OUT"; cat "$WORK_DIR"/*.log; exit 1; }
+echo "$OUT"
+
+GOODPUT="$(echo "$OUT" | sed -n 's/.*"goodput_per_sec": *\([0-9.]*\).*/\1/p' | head -1)"
+ERROR_PCT="$(echo "$OUT" | sed -n 's/.*"error_pct": *\([0-9.]*\).*/\1/p' | head -1)"
+if [ -z "$GOODPUT" ] || [ "${GOODPUT%%.*}" -eq 0 ]; then
+  echo "FAIL: zero goodput for family '$FAMILY'"
+  cat "$WORK_DIR"/*.log
+  exit 1
+fi
+if [ -n "$ERROR_PCT" ] && [ "${ERROR_PCT%%.*}" -ne 0 ]; then
+  echo "FAIL: ${ERROR_PCT}% loadgen errors for family '$FAMILY'"
+  cat "$WORK_DIR"/*.log
+  exit 1
+fi
+echo "ok: family '$FAMILY' served at ${GOODPUT}/s with 0 errors"
